@@ -1,0 +1,28 @@
+//! Criterion bench: the Fig 10 memory-map ablation — the same permuted
+//! double max-plus under the three inner-triangle layouts.
+
+use bench::dmp::dmp_solve;
+use bpmax::ftable::Layout;
+use bpmax::kernels::R0Order;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use machine::traffic;
+
+fn bench_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_map");
+    group.sample_size(10);
+    let n = 20usize;
+    group.throughput(Throughput::Elements(traffic::r0_flops(n, n)));
+    for (label, layout) in [
+        ("option1_identity", Layout::Identity),
+        ("option2_shifted", Layout::Shifted),
+        ("packed", Layout::Packed),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &layout, |b, &l| {
+            b.iter(|| dmp_solve(n, n, R0Order::Permuted, l));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: the Fig 12 streaming kernel `Y = max(a + X, Y)` at
+//! L1/L2/L3-resident working sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tropical::scalar::mp_axpy;
+use tropical::stream::StreamBench;
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxplus_stream");
+    group.sample_size(20);
+    for chunk_bytes in [8usize << 10, 128 << 10, 2 << 20] {
+        let elems = chunk_bytes / 4;
+        group.throughput(Throughput::Elements(elems as u64));
+        let mut bench = StreamBench::new(elems);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}KiB", chunk_bytes >> 10)),
+            &elems,
+            |b, _| {
+                b.iter(|| bench.run(1));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mp_axpy");
+    group.sample_size(20);
+    for n in [64usize, 1024, 16384] {
+        let x = vec![1.0f32; n];
+        let mut y = vec![0.5f32; n];
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| mp_axpy(std::hint::black_box(0.25), &x, &mut y));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream, bench_axpy);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: the Nussinov substrate (the `S` tables BPMax
+//! consumes), across strand lengths and table layouts.
+
+use bench::{model, workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rna::nussinov::Nussinov;
+use tropical::triangular::Layout;
+
+fn bench_fold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nussinov_fold");
+    group.sample_size(20);
+    let m = model();
+    for n in [32usize, 128, 512] {
+        let (seq, _) = workload(0x57, n, 1);
+        // Θ(n³) cells of work
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| Nussinov::fold(&seq, &m));
+        });
+    }
+    group.finish();
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nussinov_layout");
+    group.sample_size(20);
+    let m = model();
+    let (seq, _) = workload(0x58, 256, 1);
+    for (label, layout) in [
+        ("packed", Layout::Packed),
+        ("identity", Layout::Identity),
+        ("shifted", Layout::Shifted),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &layout, |b, &l| {
+            b.iter(|| Nussinov::fold_with_layout(&seq, &m, l));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fold, bench_layouts);
+criterion_main!(benches);

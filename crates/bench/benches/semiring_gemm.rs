@@ -1,0 +1,43 @@
+//! Criterion bench: the tropical GEMM loop orders (the Fig 8 "matrix
+//! instance" in isolation, on rectangular operands).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tropical::gemm::{
+    gemm_flops, maxplus_gemm_naive, maxplus_gemm_permuted, maxplus_gemm_tiled, TileShape,
+};
+use tropical::matrix::Matrix;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxplus_gemm");
+    group.sample_size(10);
+    for n in [64usize, 192] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 7) % 64) as f32);
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 3) % 64) as f32);
+        group.throughput(Throughput::Elements(gemm_flops(n, n, n)));
+        group.bench_with_input(BenchmarkId::new("naive_ijk", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut cm = Matrix::neg_inf(n, n);
+                maxplus_gemm_naive(&a, &b, &mut cm);
+                cm
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("permuted_ikj", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut cm = Matrix::neg_inf(n, n);
+                maxplus_gemm_permuted(&a, &b, &mut cm);
+                cm
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tiled_64x16xN", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut cm = Matrix::neg_inf(n, n);
+                maxplus_gemm_tiled(&a, &b, &mut cm, TileShape::j_untiled(64, 16));
+                cm
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

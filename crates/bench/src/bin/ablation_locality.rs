@@ -1,0 +1,114 @@
+//! Ablation — locality of schedules and memory maps, by cache simulation.
+//!
+//! Replaces the paper's hardware-counter arguments with simulated misses:
+//!
+//! 1. **Loop order** (Fig 13's why): execute the double max-plus in the
+//!    naive (`k2` innermost) vs permuted (`j2` innermost) order at a small
+//!    size, trace every `F` access through the packed memory map, and
+//!    replay through the cache hierarchy. The permuted order's streaming
+//!    reads must miss less.
+//! 2. **Memory map** (Fig 10): same permuted instance order, inner
+//!    triangle mapped by option 1 `(i2, j2)` vs option 2 `(i2, j2−i2)` vs
+//!    packed; compare misses.
+
+use bench::{banner, f2, Table};
+use bpmax::ftable::{FTable, Layout};
+use machine::cache::CacheSim;
+use machine::spec::MachineSpec;
+use polyhedral::executor::Trace;
+
+/// Trace the double max-plus over an `m × n` table in one of two loop
+/// orders, mapping cells through `layout`.
+fn trace_dmp(m: usize, n: usize, layout: Layout, j2_inner: bool) -> Trace {
+    let ft = FTable::new(m, n, layout);
+    let block_len = layout.storage_len(n) as i64;
+    let addr = |i1: usize, j1: usize, i2: usize, j2: usize| -> i64 {
+        ft.outer(i1, j1) as i64 * block_len + ft.inner(i2, j2) as i64
+    };
+    let mut trace = Trace::new();
+    for d1 in 1..m {
+        for i1 in 0..m - d1 {
+            let j1 = i1 + d1;
+            for k1 in i1..j1 {
+                if j2_inner {
+                    // (i2, k2, j2): streaming over j2
+                    for i2 in 0..n {
+                        for k2 in i2..n.saturating_sub(1) {
+                            trace.read(addr(i1, k1, i2, k2));
+                            for j2 in k2 + 1..n {
+                                trace.read(addr(k1 + 1, j1, k2 + 1, j2));
+                                trace.read(addr(i1, j1, i2, j2));
+                                trace.write(addr(i1, j1, i2, j2));
+                            }
+                        }
+                    }
+                } else {
+                    // (i2, j2, k2): dot products, strided B column
+                    for i2 in 0..n {
+                        for j2 in i2 + 1..n {
+                            for k2 in i2..j2 {
+                                trace.read(addr(i1, k1, i2, k2));
+                                trace.read(addr(k1 + 1, j1, k2 + 1, j2));
+                            }
+                            trace.read(addr(i1, j1, i2, j2));
+                            trace.write(addr(i1, j1, i2, j2));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    trace
+}
+
+fn simulate(trace: &Trace) -> (f64, u64) {
+    let mut sim = CacheSim::new(&MachineSpec::tiny_test_machine());
+    sim.replay(trace, 4);
+    let l1 = sim.stats()[0];
+    (l1.miss_ratio(), sim.dram_lines())
+}
+
+fn main() {
+    banner(
+        "Ablation",
+        "schedule & memory-map locality via cache simulation",
+        "permuted order streams (fewer misses); memory-map option 1 beats option 2 (Fig 10)",
+    );
+    let (m, n) = (6usize, 16usize);
+
+    println!("\n--- loop order (packed layout, {m} x {n}, tiny test cache) ---");
+    let mut t = Table::new(&["order", "accesses", "L1 miss ratio", "DRAM lines"]);
+    for (label, j2_inner) in [("naive (k2 inner)", false), ("permuted (j2 inner)", true)] {
+        let trace = trace_dmp(m, n, Layout::Packed, j2_inner);
+        let (miss, dram) = simulate(&trace);
+        t.row(vec![
+            label.to_string(),
+            trace.len().to_string(),
+            f2(miss),
+            dram.to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\n--- memory map (permuted order) ---");
+    let mut t = Table::new(&["map", "storage elems/block", "L1 miss ratio", "DRAM lines"]);
+    for (label, layout) in [
+        ("option 1: (i2, j2) bounding box", Layout::Identity),
+        ("option 2: (i2, j2-i2) shifted", Layout::Shifted),
+        ("packed triangle", Layout::Packed),
+    ] {
+        let trace = trace_dmp(m, n, layout, true);
+        let (miss, dram) = simulate(&trace);
+        t.row(vec![
+            label.to_string(),
+            layout.storage_len(n).to_string(),
+            f2(miss),
+            dram.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\n(miss ratios, not wall-clock: the simulator replaces uncore counters.");
+    println!(" option 1 vs option 2 show near-identical simulated misses — the paper's");
+    println!(" wall-clock win for option 1 comes from row alignment for the vector units,");
+    println!(" which a cache simulator cannot see; the packed map wins on footprint.)");
+}

@@ -1,0 +1,47 @@
+//! Ablation — OMP scheduling policy on the BPMax wavefront.
+//!
+//! §IV.C.d: "The OMP dynamic-schedule works better than the static and
+//! guided-schedule due to an imbalanced workload." The workload: one outer
+//! diagonal's triangles (coarse) or one triangle's rows (fine) — both
+//! triangular, i.e. linearly decreasing task costs.
+
+use bench::{banner, f2, Table};
+use simsched::sched::{simulate_parallel_for, OmpPolicy};
+
+fn triangle_rows(n: usize) -> Vec<f64> {
+    // row i2 of a triangle costs ~ (n - i2)^2 / 2 streaming updates
+    (0..n).map(|i2| ((n - i2) as f64).powi(2) / 2.0).collect()
+}
+
+fn main() {
+    banner(
+        "Ablation",
+        "OMP scheduling policy on triangular wavefronts",
+        "dynamic > guided > static under the row-imbalance of BPMax",
+    );
+    for (label, n, threads) in [
+        ("fine-grain rows, n=64", 64usize, 6usize),
+        ("fine-grain rows, n=256", 256, 6),
+        ("fine-grain rows, n=256, 12 threads", 256, 12),
+    ] {
+        let costs = triangle_rows(n);
+        let total: f64 = costs.iter().sum();
+        println!("\n{label} (ideal = {:.0}):", total / threads as f64);
+        let mut t = Table::new(&["policy", "makespan", "vs ideal", "imbalance"]);
+        for (name, policy) in [
+            ("static (blocks)", OmpPolicy::Static { chunk: None }),
+            ("static,1 (round-robin)", OmpPolicy::Static { chunk: Some(1) }),
+            ("guided", OmpPolicy::Guided { min_chunk: 1 }),
+            ("dynamic", OmpPolicy::Dynamic { chunk: 1 }),
+        ] {
+            let r = simulate_parallel_for(&costs, threads, policy);
+            t.row(vec![
+                name.to_string(),
+                format!("{:.0}", r.makespan),
+                f2(r.makespan / (total / threads as f64)),
+                f2(r.imbalance()),
+            ]);
+        }
+        t.print();
+    }
+}

@@ -1,0 +1,96 @@
+//! Fig 1 — summary of the optimization results.
+//!
+//! The paper's opening figure: speedup of the optimized (hybrid + tiled)
+//! BPMax over the original program, and fraction of machine peak reached,
+//! on both Xeons. Here: the measured serial part on this machine plus the
+//! modeled 6-thread (E5-1650v4) and 8-thread (E-2278G) numbers.
+
+use bench::{banner, f1, f2, model, time_median, workload, Opts, Table};
+use bpmax::kernels::Tile;
+use bpmax::perfmodel::{predict_bpmax_gflops, predict_bpmax_seconds, CostModel};
+use bpmax::{Algorithm, BpMaxProblem};
+use machine::spec::MachineSpec;
+use machine::traffic;
+use simsched::speedup::HtModel;
+
+fn main() {
+    let opts = Opts::parse(&[12, 18, 24], &[]);
+    banner(
+        "Fig 1",
+        "summary of the optimization results",
+        ">100x speedup over the original BPMax; ~1/4..1/5 of theoretical max-plus peak",
+    );
+
+    println!("\n--- measured on this machine (1 thread) ---");
+    let mut t = Table::new(&["M=N", "base s", "tiled s", "speedup", "tiled GFLOPS"]);
+    for &n in &opts.sizes {
+        let (s1, s2) = workload(opts.seed, n, n);
+        let p = BpMaxProblem::new(s1, s2, model());
+        let reps = if n <= 14 { 3 } else { 1 };
+        let tb = time_median(reps, || p.compute(Algorithm::Baseline));
+        let tt = time_median(reps, || {
+            p.compute(Algorithm::HybridTiled { tile: Tile::default() })
+        });
+        t.row(vec![
+            n.to_string(),
+            format!("{tb:.4}"),
+            format!("{tt:.4}"),
+            f1(tb / tt),
+            f2(p.flops() as f64 / tt / 1e9),
+        ]);
+    }
+    t.print();
+
+    println!("\n--- modeled on the paper's machines (full thread counts) ---");
+    let cm = CostModel::nominal(); // representative per-core Xeon rates (see perfmodel)
+    let n = if opts.full { 512 } else { 128 };
+    let mut t = Table::new(&[
+        "machine",
+        "threads",
+        "base 1T s",
+        "tiled s",
+        "speedup",
+        "GFLOPS",
+        "% of peak",
+    ]);
+    for spec in [MachineSpec::xeon_e5_1650v4(), MachineSpec::xeon_e_2278g()] {
+        let ht = HtModel {
+            physical: spec.cores,
+            smt_efficiency: 0.15,
+        };
+        let threads = spec.cores;
+        let base = predict_bpmax_seconds(Algorithm::Baseline, n, n, 1, &cm, &spec, ht);
+        let tiled = predict_bpmax_seconds(
+            Algorithm::HybridTiled { tile: Tile::default() },
+            n,
+            n,
+            threads,
+            &cm,
+            &spec,
+            ht,
+        );
+        let g = predict_bpmax_gflops(
+            Algorithm::HybridTiled { tile: Tile::default() },
+            n,
+            n,
+            threads,
+            &cm,
+            &spec,
+            ht,
+        );
+        t.row(vec![
+            spec.name.to_string(),
+            threads.to_string(),
+            format!("{base:.2}"),
+            format!("{tiled:.3}"),
+            f1(base / tiled),
+            f1(g),
+            f1(100.0 * g / spec.socket_peak_gflops()),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n(problem size {n} x {n}: {} reduction GFLOP total)",
+        f2(traffic::bpmax_flops(n, n) as f64 / 1e9)
+    );
+}

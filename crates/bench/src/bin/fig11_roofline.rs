@@ -1,0 +1,49 @@
+//! Fig 11 — roofline of the Xeon E5-1650v4 (and the E-2278G check).
+//!
+//! Regenerates the roofline series (one roof per memory level at 6/12
+//! threads), the theoretical max-plus peak (~346 GFLOPS), and the BPMax
+//! streaming point at arithmetic intensity 1/6.
+
+use bench::{banner, f1, f2, Table};
+use machine::roofline::{Roofline, MAXPLUS_STREAM_AI};
+use machine::spec::MachineSpec;
+
+fn main() {
+    banner(
+        "Fig 11",
+        "roofline model (max-plus, single precision)",
+        "peak ~346 GFLOPS on E5-1650v4; L1 roof at AI=1/6 ~329 GFLOPS; DRAM roof 12.8 GFLOPS",
+    );
+    for spec in [MachineSpec::xeon_e5_1650v4(), MachineSpec::xeon_e_2278g()] {
+        for threads in [spec.cores, spec.threads] {
+            let r = Roofline::new(spec.clone(), threads);
+            println!(
+                "\n{} @ {} threads — max-plus peak {} GFLOPS",
+                spec.name,
+                threads,
+                f1(r.peak())
+            );
+            let mut t = Table::new(&["roof", "BW GB/s", "ridge AI", "GFLOPS @ AI=1/6"]);
+            for roof in r.roofs() {
+                t.row(vec![
+                    roof.name.clone(),
+                    f1(roof.bw_gbps),
+                    f2(r.ridge(&roof.name)),
+                    f1(r.attainable(&roof.name, MAXPLUS_STREAM_AI)),
+                ]);
+            }
+            t.print();
+            // A short series for plotting (log-spaced AI).
+            let series = r.series("L1", 1.0 / 64.0, 8.0, 8);
+            let pts: Vec<String> = series
+                .iter()
+                .map(|(ai, g)| format!("({}, {})", f2(*ai), f1(*g)))
+                .collect();
+            println!("L1 series (AI, GFLOPS): {}", pts.join(" "));
+        }
+    }
+    println!(
+        "\nBPMax streaming pattern Y = max(a+X, Y): AI = 2 FLOP / 12 B = {:.4}",
+        MAXPLUS_STREAM_AI
+    );
+}

@@ -1,0 +1,69 @@
+//! Fig 13 — double max-plus performance by schedule, across sizes.
+//!
+//! Measured part: the real kernel at 1 thread in each loop order on this
+//! machine. Modeled part: the five paper curves (base, coarse, fine
+//! diagonal, fine bottom-up, tiled) at 6 threads on the paper's Xeon,
+//! from the calibrated cost model + `simsched` (DESIGN.md §3).
+//! Expected shape: coarse worst by far (DRAM traffic), fine variants
+//! close, tiled on top (paper: 117 GFLOPS, 97% of the micro-benchmark).
+
+use bench::dmp::{dmp_flops, dmp_solve};
+use bench::{banner, f2, gflops, time_median, Opts, Table};
+use bpmax::ftable::Layout;
+use bpmax::kernels::{R0Order, Tile};
+use bpmax::perfmodel::{predict_dmp_gflops, CostModel, DmpVariant};
+use machine::spec::MachineSpec;
+use simsched::speedup::HtModel;
+
+fn main() {
+    let opts = Opts::parse(&[12, 16, 24, 32], &[6]);
+    banner(
+        "Fig 13",
+        "double max-plus performance comparison",
+        "coarse-grain performs very poorly; tiling reaches 117 GFLOPS (~97% of the micro-benchmark)",
+    );
+
+    println!("\n--- measured, 1 thread, this machine ---");
+    let mut t = Table::new(&["M=N", "naive", "permuted", "tiled 32x4xN", "tiled 64x16xN"]);
+    for &n in &opts.sizes {
+        let flops = dmp_flops(n, n);
+        let reps = if n <= 16 { 3 } else { 1 };
+        let mut cells = vec![n.to_string()];
+        for order in [
+            R0Order::Naive,
+            R0Order::Permuted,
+            R0Order::Tiled(Tile::small()),
+            R0Order::Tiled(Tile::default()),
+        ] {
+            let secs = time_median(reps, || dmp_solve(n, n, order, Layout::Packed));
+            cells.push(f2(gflops(flops, secs)));
+        }
+        t.row(cells);
+    }
+    t.print();
+
+    println!("\n--- modeled, {} threads, {} ---", opts.threads[0], MachineSpec::xeon_e5_1650v4().name);
+    let cm = CostModel::nominal(); // representative per-core Xeon rates (see perfmodel)
+    let spec = MachineSpec::xeon_e5_1650v4();
+    let ht = HtModel {
+        physical: spec.cores,
+        smt_efficiency: 0.15,
+    };
+    let threads = opts.threads[0];
+    let sizes: Vec<usize> = if opts.full {
+        vec![64, 128, 256, 512, 1024, 2048]
+    } else {
+        vec![64, 128, 256, 512, 1024]
+    };
+    let mut header = vec!["M=N".to_string()];
+    header.extend(DmpVariant::all().iter().map(|v| v.label().to_string()));
+    let mut t = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for &n in &sizes {
+        let mut cells = vec![n.to_string()];
+        for v in DmpVariant::all() {
+            cells.push(f2(predict_dmp_gflops(v, n, n, threads, &cm, &spec, ht)));
+        }
+        t.row(cells);
+    }
+    t.print();
+}

@@ -1,0 +1,72 @@
+//! Fig 14 — double max-plus speedup over the base implementation.
+//!
+//! Same data as Fig 13, speedup view. Paper headline: ~178× for the tiled
+//! kernel over the original order at 6 threads (sequential improvement of
+//! 40–200% over the prior fine-grain schedule).
+
+use bench::dmp::{dmp_flops, dmp_solve};
+use bench::{banner, f1, time_median, Opts, Table};
+use bpmax::ftable::Layout;
+use bpmax::kernels::{R0Order, Tile};
+use bpmax::perfmodel::{predict_dmp_gflops, CostModel, DmpVariant};
+use machine::spec::MachineSpec;
+use simsched::speedup::HtModel;
+
+fn main() {
+    let opts = Opts::parse(&[12, 16, 24, 32], &[6]);
+    banner(
+        "Fig 14",
+        "double max-plus speedup comparison (vs base order)",
+        "~178x for tiled at 6 threads; permutation alone is a large serial win",
+    );
+
+    println!("\n--- measured serial speedups (loop order only), this machine ---");
+    println!("(tiling only pays off once the triangles outgrow L1/L2 -- use --sizes 48,64)");
+    let mut t = Table::new(&["M=N", "permuted/naive", "tiled/naive"]);
+    for &n in &opts.sizes {
+        let _ = dmp_flops(n, n);
+        let reps = if n <= 16 { 3 } else { 1 };
+        let t_naive = time_median(reps, || dmp_solve(n, n, R0Order::Naive, Layout::Packed));
+        let t_perm = time_median(reps, || dmp_solve(n, n, R0Order::Permuted, Layout::Packed));
+        let t_tiled = time_median(reps, || {
+            dmp_solve(n, n, R0Order::Tiled(Tile::small()), Layout::Packed)
+        });
+        t.row(vec![
+            n.to_string(),
+            f1(t_naive / t_perm),
+            f1(t_naive / t_tiled),
+        ]);
+    }
+    t.print();
+
+    println!("\n--- modeled speedup vs base, 6 threads, paper machine ---");
+    let cm = CostModel::nominal(); // representative per-core Xeon rates (see perfmodel)
+    let spec = MachineSpec::xeon_e5_1650v4();
+    let ht = HtModel {
+        physical: spec.cores,
+        smt_efficiency: 0.15,
+    };
+    let sizes: Vec<usize> = if opts.full {
+        vec![64, 128, 256, 512, 1024, 2048]
+    } else {
+        vec![64, 128, 256, 512, 1024]
+    };
+    let mut header = vec!["M=N".to_string()];
+    header.extend(
+        DmpVariant::all()
+            .iter()
+            .skip(1)
+            .map(|v| v.label().to_string()),
+    );
+    let mut t = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for &n in &sizes {
+        let base = predict_dmp_gflops(DmpVariant::Base, n, n, 1, &cm, &spec, ht);
+        let mut cells = vec![n.to_string()];
+        for v in DmpVariant::all().into_iter().skip(1) {
+            let g = predict_dmp_gflops(v, n, n, opts.threads[0], &cm, &spec, ht);
+            cells.push(f1(g / base));
+        }
+        t.row(cells);
+    }
+    t.print();
+}

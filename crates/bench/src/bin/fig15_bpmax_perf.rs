@@ -1,0 +1,89 @@
+//! Fig 15 — full-BPMax performance by program version.
+//!
+//! Measured part: every real program version at 1 thread on this machine
+//! (results are asserted identical across versions — the benchmark is also
+//! a correctness check). Modeled part: the five paper curves at 6 threads
+//! on the paper's Xeon. Expected shape: base ≪ coarse/fine < hybrid <
+//! hybrid+tiled (paper: ~76 GFLOPS for the tiled full program, ~60% below
+//! the pure kernel because of R1/R2).
+
+use bench::{banner, f2, gflops, model, time_median, workload, Opts, Table};
+use bpmax::kernels::Tile;
+use bpmax::perfmodel::{predict_bpmax_gflops, CostModel};
+use bpmax::{Algorithm, BpMaxProblem};
+use machine::spec::MachineSpec;
+use simsched::speedup::HtModel;
+
+fn main() {
+    let opts = Opts::parse(&[10, 14, 18, 24], &[6]);
+    banner(
+        "Fig 15",
+        "BPMax performance comparison",
+        "hybrid+tiled best (~76 GFLOPS); coarse & fine worst among optimized; R1/R2 cap the program",
+    );
+
+    println!("\n--- measured, 1 thread, this machine (GFLOPS) ---");
+    println!("(note: parallel variants pay rayon dispatch overhead with no cores to use it;\n their win is in the modeled section / on multicore hardware)");
+    let algs = Algorithm::all();
+    let mut header = vec!["M=N".to_string()];
+    header.extend(algs.iter().map(|a| a.label().to_string()));
+    let mut t = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for &n in &opts.sizes {
+        let (s1, s2) = workload(opts.seed, n, n);
+        let p = BpMaxProblem::new(s1, s2, model());
+        let flops = p.flops();
+        let reference = p.compute(Algorithm::Permuted).final_score();
+        let mut cells = vec![n.to_string()];
+        for &alg in &algs {
+            let reps = if n <= 14 { 3 } else { 1 };
+            let secs = time_median(reps, || p.compute(alg));
+            assert_eq!(
+                p.compute(alg).final_score(),
+                reference,
+                "version {alg:?} disagrees"
+            );
+            cells.push(f2(gflops(flops, secs)));
+        }
+        t.row(cells);
+    }
+    t.print();
+
+    println!("\n--- modeled, 6 threads, paper machine (GFLOPS) ---");
+    let cm = CostModel::nominal(); // representative per-core Xeon rates (see perfmodel)
+    let spec = MachineSpec::xeon_e5_1650v4();
+    let ht = HtModel {
+        physical: spec.cores,
+        smt_efficiency: 0.15,
+    };
+    let sizes: Vec<usize> = if opts.full {
+        vec![64, 128, 256, 512, 1024]
+    } else {
+        vec![64, 128, 256, 512]
+    };
+    let curves = [
+        Algorithm::Baseline,
+        Algorithm::CoarseGrain,
+        Algorithm::FineGrain,
+        Algorithm::Hybrid,
+        Algorithm::HybridTiled { tile: Tile::default() },
+    ];
+    let mut header = vec!["M=N".to_string()];
+    header.extend(curves.iter().map(|a| a.label().to_string()));
+    let mut t = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    for &n in &sizes {
+        let mut cells = vec![n.to_string()];
+        for &alg in &curves {
+            cells.push(f2(predict_bpmax_gflops(
+                alg,
+                n,
+                n,
+                opts.threads[0],
+                &cm,
+                &spec,
+                ht,
+            )));
+        }
+        t.row(cells);
+    }
+    t.print();
+}

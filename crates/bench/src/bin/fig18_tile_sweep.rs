@@ -1,0 +1,48 @@
+//! Fig 18 — effect of the tiling parameters `(i2 × k2 × j2)` on the
+//! double max-plus kernel at an asymmetric `16 × N` problem.
+//!
+//! Measured on this machine (scaled: the paper uses 16 × 2500; default
+//! here is 16 × 192, pass `--full` for 16 × 512). Expected shape: cubic
+//! tiles lose; shapes with `j2` untiled win ("we observe the best result
+//! when j2 is not tiled due to the streaming effect").
+
+use bench::dmp::{dmp_flops, dmp_solve};
+use bench::{banner, f2, gflops, time_median, Opts, Table};
+use bpmax::ftable::Layout;
+use bpmax::kernels::{R0Order, Tile};
+
+fn main() {
+    let opts = Opts::parse(&[192], &[]);
+    banner(
+        "Fig 18",
+        "effect of tiling parameters (i2 x k2 x j2), 16 x N problem",
+        "cubic tiles perform poorly; best shapes leave j2 untiled (paper: 16 x 2500)",
+    );
+    let m = 16usize;
+    let n = if opts.full { 512 } else { opts.sizes[0] };
+    let flops = dmp_flops(m, n);
+    let shapes: Vec<(String, Tile)> = vec![
+        ("8 x 8 x 8 (cubic)".into(), Tile::cubic(8)),
+        ("16 x 16 x 16 (cubic)".into(), Tile::cubic(16)),
+        ("32 x 32 x 32 (cubic)".into(), Tile::cubic(32)),
+        ("32 x 4 x N".into(), Tile::small()),
+        ("64 x 16 x N".into(), Tile::default()),
+        ("16 x 8 x N".into(), Tile { i2: 16, k2: 8, j2: usize::MAX }),
+        ("128 x 32 x N".into(), Tile { i2: 128, k2: 32, j2: usize::MAX }),
+        (
+            "32 x 4 x 64 (j2 tiled)".into(),
+            Tile { i2: 32, k2: 4, j2: 64 },
+        ),
+        ("untiled (permuted)".into(), Tile { i2: usize::MAX, k2: usize::MAX, j2: usize::MAX }),
+    ];
+    println!("\nproblem: {m} x {n}, 1 thread, this machine");
+    let mut t = Table::new(&["tile (i2 x k2 x j2)", "GFLOPS", "vs untiled"]);
+    let t_untiled = time_median(1, || dmp_solve(m, n, R0Order::Permuted, Layout::Packed));
+    let g_untiled = gflops(flops, t_untiled);
+    for (label, tile) in shapes {
+        let secs = time_median(1, || dmp_solve(m, n, R0Order::Tiled(tile), Layout::Packed));
+        let g = gflops(flops, secs);
+        t.row(vec![label, f2(g), f2(g / g_untiled)]);
+    }
+    t.print();
+}

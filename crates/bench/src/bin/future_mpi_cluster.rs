@@ -1,0 +1,48 @@
+//! Future-work experiment — distributing BPMax over an MPI cluster.
+//!
+//! The paper's conclusion: "We also plan to ... distribute the
+//! computation over a cluster using MPI." `simsched::distributed` models
+//! the wavefront with block-cyclic triangle ownership and non-overlapped
+//! communication; this binary sweeps node counts and problem sizes to
+//! show where an MPI port pays off (compute-bound large problems) and
+//! where it cannot (latency-bound small ones).
+
+use bench::{banner, f1, f2, Opts, Table};
+use simsched::distributed::{distributed_speedup, simulate_bpmax_distributed, ClusterSpec};
+
+fn main() {
+    let opts = Opts::parse(&[], &[1, 2, 4, 8, 16]);
+    banner(
+        "Future work",
+        "BPMax on an MPI cluster (model)",
+        "conclusion: 'distribute the computation over a cluster using MPI'",
+    );
+    let base = ClusterSpec::commodity(1);
+    println!(
+        "\ncluster node: {} cores x {} GFLOPS; link {} GB/s, latency {} us",
+        base.cores_per_node, base.core_gflops, base.link_gbps, base.latency_us
+    );
+    let sizes: &[(usize, usize)] = if opts.full {
+        &[(16, 64), (32, 256), (64, 1024), (128, 2048)]
+    } else {
+        &[(16, 64), (32, 256), (64, 1024)]
+    };
+    for &(m, n) in sizes {
+        println!("\nproblem {m} x {n}:");
+        let mut t = Table::new(&["nodes", "seconds", "speedup", "comm %", "GB moved"]);
+        for &nodes in &opts.threads {
+            let spec = ClusterSpec { nodes, ..base };
+            let r = simulate_bpmax_distributed(m, n, &spec);
+            t.row(vec![
+                nodes.to_string(),
+                format!("{:.4}", r.seconds),
+                f1(distributed_speedup(m, n, &base, nodes)),
+                f1(r.comm_fraction() * 100.0),
+                f2(r.bytes_moved as f64 / 1e9),
+            ]);
+        }
+        t.print();
+    }
+    println!("\n(model: block-cyclic ownership, non-overlapped communication — the");
+    println!(" pessimistic baseline an actual MPI port would start from)");
+}

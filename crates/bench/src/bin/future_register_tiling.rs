@@ -1,0 +1,55 @@
+//! Future-work experiment — register-level tiling of the double max-plus.
+//!
+//! The paper's conclusion: "the double max-plus operation remains
+//! bandwidth-bound even after tiling... an additional level of tiling at
+//! the register level is required to make the program compute-bound."
+//! `bpmax::kernels::r0_instance_reg` implements it: the `k2` loop is
+//! unrolled 4×, so four fused updates share one load/store of the
+//! accumulator row — arithmetic intensity rises from 1/6 to ~1/3
+//! FLOP/byte, doubling the bandwidth-roof ceiling.
+
+use bench::dmp::{dmp_flops, dmp_solve};
+use bench::{banner, f2, gflops, time_median, Opts, Table};
+use bpmax::ftable::Layout;
+use bpmax::kernels::{R0Order, Tile};
+use machine::roofline::Roofline;
+use machine::spec::MachineSpec;
+
+fn main() {
+    let opts = Opts::parse(&[24, 32, 48], &[]);
+    banner(
+        "Future work",
+        "register-level tiling of the double max-plus",
+        "conclusion: 'an additional level of tiling at the register level is required'",
+    );
+
+    // Roofline view: the intensity gain doubles the bandwidth ceiling.
+    let spec = MachineSpec::xeon_e5_1650v4();
+    let roof = Roofline::new(spec, 6);
+    println!(
+        "\nattainable through L2 at AI=1/6: {} GFLOPS; at AI=1/3: {} GFLOPS",
+        f2(roof.attainable("L2", 1.0 / 6.0)),
+        f2(roof.attainable("L2", 1.0 / 3.0)),
+    );
+
+    println!("\n--- measured, 1 thread, this machine ---");
+    let mut t = Table::new(&["M=N", "permuted", "cache-tiled", "reg-unrolled", "reg/permuted"]);
+    for &n in &opts.sizes {
+        let flops = dmp_flops(n, n);
+        let reps = if n <= 24 { 3 } else { 1 };
+        let t_perm = time_median(reps, || dmp_solve(n, n, R0Order::Permuted, Layout::Packed));
+        let t_tiled = time_median(reps, || {
+            dmp_solve(n, n, R0Order::Tiled(Tile::small()), Layout::Packed)
+        });
+        let t_reg = time_median(reps, || dmp_solve(n, n, R0Order::RegTiled, Layout::Packed));
+        t.row(vec![
+            n.to_string(),
+            f2(gflops(flops, t_perm)),
+            f2(gflops(flops, t_tiled)),
+            f2(gflops(flops, t_reg)),
+            f2(t_perm / t_reg),
+        ]);
+    }
+    t.print();
+    println!("\n(all three orders are asserted equal on checksums by the test-suite)");
+}

@@ -1,0 +1,236 @@
+//! Shared harness utilities for the figure/table binaries.
+//!
+//! Every evaluation artifact of the paper has a binary in `src/bin/`
+//! (`fig01_summary` … `table06_codegen_loc`). They share: seeded workload
+//! generation, wall-clock measurement with warm-up, GFLOPS accounting,
+//! aligned-table printing, and a tiny CLI parser (`--sizes 16,32,48`,
+//! `--threads 6`, `--full`, `--seed 7`).
+//!
+//! Run everything with `./run_all_figures.sh` or individually:
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig15_bpmax_perf -- --sizes 16,24,32
+//! ```
+
+pub mod dmp;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rna::{RnaSeq, ScoringModel};
+use std::time::Instant;
+
+/// Parsed common CLI options.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// Sequence sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// Thread counts of interest (for model predictions).
+    pub threads: Vec<usize>,
+    /// Larger, slower, closer-to-paper configuration.
+    pub full: bool,
+    /// RNG seed for workloads.
+    pub seed: u64,
+}
+
+impl Opts {
+    /// Parse from `std::env::args`, with per-binary defaults.
+    pub fn parse(default_sizes: &[usize], default_threads: &[usize]) -> Opts {
+        let mut opts = Opts {
+            sizes: default_sizes.to_vec(),
+            threads: default_threads.to_vec(),
+            full: false,
+            seed: 0xB9A11,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--sizes" => {
+                    i += 1;
+                    opts.sizes = args[i]
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("bad --sizes"))
+                        .collect();
+                }
+                "--threads" => {
+                    i += 1;
+                    opts.threads = args[i]
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("bad --threads"))
+                        .collect();
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args[i].parse().expect("bad --seed");
+                }
+                "--full" => opts.full = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --sizes a,b,c  --threads a,b  --seed N  --full"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown option {other:?}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// Deterministic random sequence pair of lengths `(m, n)`.
+pub fn workload(seed: u64, m: usize, n: usize) -> (RnaSeq, RnaSeq) {
+    let mut rng = StdRng::seed_from_u64(seed ^ ((m as u64) << 24) ^ n as u64);
+    (RnaSeq::random(&mut rng, m), RnaSeq::random(&mut rng, n))
+}
+
+/// The scoring model every harness binary uses.
+pub fn model() -> ScoringModel {
+    ScoringModel::bpmax_default()
+}
+
+/// Time a closure: one warm-up call, then the median of `reps` timed
+/// calls. Returns seconds.
+pub fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// GFLOPS from FLOP count and seconds.
+pub fn gflops(flops: u64, seconds: f64) -> f64 {
+    flops as f64 / seconds / 1e9
+}
+
+/// Column-aligned table printer.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (k, cell) in row.iter().enumerate() {
+                widths[k] = widths[k].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for k in 0..ncol {
+                if k > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cells[k], width = widths[k]));
+            }
+            line
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Standard banner: figure id + paper reference + substitution note.
+pub fn banner(id: &str, what: &str, paper_claim: &str) {
+    println!("==================================================================");
+    println!("{id}: {what}");
+    println!("paper: {paper_claim}");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let (a1, b1) = workload(7, 10, 12);
+        let (a2, b2) = workload(7, 10, 12);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_eq!(a1.len(), 10);
+        assert_eq!(b1.len(), 12);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["n", "GFLOPS"]);
+        t.row(vec!["16".into(), "1.25".into()]);
+        t.row(vec!["2048".into(), "117.00".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("GFLOPS"));
+        assert!(lines[3].contains("117.00"));
+    }
+
+    #[test]
+    fn gflops_math() {
+        assert_eq!(gflops(2_000_000_000, 2.0), 1.0);
+    }
+
+    #[test]
+    fn time_median_is_positive() {
+        let t = time_median(3, || {
+            let mut s = 0u64;
+            for i in 0..1000u64 {
+                s = s.wrapping_add(i * i);
+            }
+            s
+        });
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_checks_arity() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Smoke tests: every figure/table binary runs to completion at tiny
+//! sizes and prints its expected markers. This keeps the harness runnable
+//! as the library evolves — a broken figure binary fails `cargo test`.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> String {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn fig01_summary_runs() {
+    let out = run(env!("CARGO_BIN_EXE_fig01_summary"), &["--sizes", "8,10"]);
+    assert!(out.contains("speedup"));
+    assert!(out.contains("Xeon"));
+}
+
+#[test]
+fn table01_runs_and_all_schedules_legal() {
+    let out = run(env!("CARGO_BIN_EXE_table01_dmp_schedules"), &["--sizes", "8,12"]);
+    assert!(out.contains("j2 (vec)"));
+    assert!(!out.contains(" NO"));
+}
+
+#[test]
+fn tables02_05_verify() {
+    let out = run(env!("CARGO_BIN_EXE_tables02_05_bpmax_schedules"), &[]);
+    assert!(out.contains("all schedule sets verified legal"));
+    assert!(out.matches("LEGAL").count() >= 10);
+}
+
+#[test]
+fn fig11_roofline_exact_values() {
+    let out = run(env!("CARGO_BIN_EXE_fig11_roofline"), &[]);
+    assert!(out.contains("345.6"), "paper peak must appear");
+    assert!(out.contains("DRAM"));
+}
+
+#[test]
+fn fig12_microbench_runs() {
+    let out = run(env!("CARGO_BIN_EXE_fig12_microbench"), &[]);
+    assert!(out.contains("GFLOPS"));
+    assert!(out.contains("modeled thread scaling"));
+}
+
+#[test]
+fn fig13_fig14_run() {
+    let out = run(env!("CARGO_BIN_EXE_fig13_dmp_perf"), &["--sizes", "8,12"]);
+    assert!(out.contains("fine + tiled"));
+    let out = run(env!("CARGO_BIN_EXE_fig14_dmp_speedup"), &["--sizes", "8,12"]);
+    assert!(out.contains("modeled speedup"));
+}
+
+#[test]
+fn fig15_fig16_run() {
+    let out = run(env!("CARGO_BIN_EXE_fig15_bpmax_perf"), &["--sizes", "8,10"]);
+    assert!(out.contains("hybrid+tiled"));
+    let out = run(env!("CARGO_BIN_EXE_fig16_bpmax_speedup"), &["--sizes", "8,10"]);
+    assert!(out.contains("modeled speedup vs baseline"));
+}
+
+#[test]
+fn fig17_ht_gain_is_positive_and_small() {
+    let out = run(env!("CARGO_BIN_EXE_fig17_hyperthreading"), &[]);
+    assert!(out.contains("gain vs 6T"));
+    // the tiled scenario's 12-thread gain line exists
+    assert!(out.contains("12"));
+}
+
+#[test]
+fn fig18_tile_sweep_runs() {
+    let out = run(env!("CARGO_BIN_EXE_fig18_tile_sweep"), &["--sizes", "48"]);
+    assert!(out.contains("cubic"));
+    assert!(out.contains("untiled"));
+}
+
+#[test]
+fn table06_loc_ordering() {
+    let out = run(env!("CARGO_BIN_EXE_table06_codegen_loc"), &[]);
+    assert!(out.contains("BPMax hybrid with tiled R0"));
+    assert!(out.contains("#pragma omp parallel for"));
+}
+
+#[test]
+fn ablations_run() {
+    let out = run(env!("CARGO_BIN_EXE_ablation_locality"), &[]);
+    assert!(out.contains("miss ratio"));
+    let out = run(env!("CARGO_BIN_EXE_ablation_sched_policy"), &[]);
+    assert!(out.contains("dynamic"));
+}
+
+#[test]
+fn future_work_binaries_run() {
+    let out = run(env!("CARGO_BIN_EXE_future_register_tiling"), &["--sizes", "16"]);
+    assert!(out.contains("reg-unrolled"));
+    let out = run(env!("CARGO_BIN_EXE_future_mpi_cluster"), &[]);
+    assert!(out.contains("speedup"));
+    assert!(out.contains("comm %"));
+}

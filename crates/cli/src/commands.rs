@@ -1,0 +1,369 @@
+//! CLI command implementations. Every command returns its output as a
+//! `String` so unit tests can assert on it without spawning processes.
+
+use bpmax::kernels::{Ctx, Tile};
+use bpmax::windowed::scan_ranked;
+use bpmax::{Algorithm, BpMaxProblem};
+use rna::nussinov::Nussinov;
+use rna::{RnaSeq, ScoringModel};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Usage text shown on errors and by `help`.
+pub const USAGE: &str = "usage:
+  bpmax-cli fold <seq> [--min-loop K]
+  bpmax-cli interact <seq1> <seq2> [--alg base|permuted|coarse|fine|hybrid|hybrid-tiled]
+                     [--min-loop K]
+  bpmax-cli scan <query> <target> [--window W] [--top K]
+  bpmax-cli info [M] [N]
+  bpmax-cli verify [M N]
+  bpmax-cli help
+
+<seq> arguments are RNA strings (ACGU/T) or paths to FASTA files.";
+
+/// Parse a sequence argument: a FASTA path (first record) or a literal.
+fn load_seq(arg: &str) -> Result<RnaSeq, String> {
+    if Path::new(arg).is_file() {
+        let records =
+            rna::fasta::read_file(arg).map_err(|e| format!("reading {arg}: {e}"))?;
+        records
+            .into_iter()
+            .next()
+            .map(|r| r.seq)
+            .ok_or_else(|| format!("{arg}: no FASTA records"))
+    } else {
+        arg.parse()
+            .map_err(|e| format!("{arg:?} is neither a file nor an RNA sequence: {e}"))
+    }
+}
+
+/// Pull `--flag value` out of an argument list (returns remaining args).
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} requires a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn parse_alg(name: &str) -> Result<Algorithm, String> {
+    Ok(match name {
+        "base" | "baseline" => Algorithm::Baseline,
+        "permuted" => Algorithm::Permuted,
+        "coarse" => Algorithm::CoarseGrain,
+        "fine" => Algorithm::FineGrain,
+        "hybrid" => Algorithm::Hybrid,
+        "hybrid-tiled" | "tiled" => Algorithm::HybridTiled { tile: Tile::default() },
+        other => return Err(format!("unknown algorithm {other:?}")),
+    })
+}
+
+/// Entry point: dispatch on the first argument.
+pub fn dispatch(args: &[String]) -> Result<String, String> {
+    let mut args = args.to_vec();
+    if args.is_empty() {
+        return Err("no command given".to_string());
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "fold" => cmd_fold(args),
+        "interact" => cmd_interact(args),
+        "scan" => cmd_scan(args),
+        "info" => cmd_info(args),
+        "verify" => cmd_verify(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn model_with_min_loop(args: &mut Vec<String>) -> Result<ScoringModel, String> {
+    let min_loop = take_opt(args, "--min-loop")?
+        .map(|v| v.parse::<usize>().map_err(|_| "bad --min-loop".to_string()))
+        .transpose()?
+        .unwrap_or(0);
+    Ok(ScoringModel::bpmax_default().with_min_loop(min_loop))
+}
+
+fn cmd_fold(mut args: Vec<String>) -> Result<String, String> {
+    let model = model_with_min_loop(&mut args)?;
+    let [seq_arg] = args.as_slice() else {
+        return Err("fold takes exactly one sequence".to_string());
+    };
+    let seq = load_seq(seq_arg)?;
+    let fold = Nussinov::fold(&seq, &model);
+    let st = fold.traceback();
+    let mut out = String::new();
+    let _ = writeln!(out, "sequence ({} nt): {seq}", seq.len());
+    let _ = writeln!(out, "structure:        {}", st.dot_bracket(seq.len()));
+    let _ = writeln!(out, "score: {} ({} pairs)", fold.best_score(), st.len());
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_interact(mut args: Vec<String>) -> Result<String, String> {
+    let model = model_with_min_loop(&mut args)?;
+    let alg = match take_opt(&mut args, "--alg")? {
+        Some(name) => parse_alg(&name)?,
+        None => Algorithm::HybridTiled { tile: Tile::default() },
+    };
+    let [a1, a2] = args.as_slice() else {
+        return Err("interact takes exactly two sequences".to_string());
+    };
+    let s1 = load_seq(a1)?;
+    let s2 = load_seq(a2)?;
+    let problem = BpMaxProblem::new(s1.clone(), s2.clone(), model);
+    let solution = problem.solve(alg);
+    let st = solution.traceback();
+    st.validate(s1.len(), s2.len())
+        .map_err(|e| format!("internal error — invalid traceback: {e}"))?;
+    let (l1, l2) = st.render(s1.len(), s2.len());
+    let mut out = String::new();
+    let _ = writeln!(out, "strand 1 ({} nt): {s1}", s1.len());
+    let _ = writeln!(out, "strand 2 ({} nt): {s2}", s2.len());
+    let _ = writeln!(out, "algorithm: {}", alg.label());
+    let _ = writeln!(out, "interaction score: {}", solution.score());
+    let _ = writeln!(out, "\n  {s1}\n  {l1}\n  {l2}\n  {s2}");
+    let _ = writeln!(
+        out,
+        "pairs: {} intra-1, {} intra-2, {} inter",
+        st.intra1.len(),
+        st.intra2.len(),
+        st.inter.len()
+    );
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_scan(mut args: Vec<String>) -> Result<String, String> {
+    let model = model_with_min_loop(&mut args)?;
+    let window = take_opt(&mut args, "--window")?
+        .map(|v| v.parse::<usize>().map_err(|_| "bad --window".to_string()))
+        .transpose()?;
+    let top = take_opt(&mut args, "--top")?
+        .map(|v| v.parse::<usize>().map_err(|_| "bad --top".to_string()))
+        .transpose()?
+        .unwrap_or(5);
+    let [qa, ta] = args.as_slice() else {
+        return Err("scan takes a query and a target".to_string());
+    };
+    let query = load_seq(qa)?;
+    let target = load_seq(ta)?;
+    if query.is_empty() || target.is_empty() {
+        return Err("scan needs non-empty sequences".to_string());
+    }
+    let w = window.unwrap_or_else(|| (query.len() + 4).min(target.len()));
+    let ctx = Ctx::new(query.clone(), target.clone(), model);
+    let ranked = scan_ranked(&ctx, w);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "query ({} nt) vs target ({} nt), window {w}",
+        query.len(),
+        target.len()
+    );
+    let _ = writeln!(out, "top {} windows:", top.min(ranked.len()));
+    for (start, score) in ranked.iter().take(top) {
+        let end = (start + w).min(target.len());
+        let _ = writeln!(
+            out,
+            "  [{start:>5}..{end:<5}) score {score:>8.1}  {}",
+            target.slice(*start, end)
+        );
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_info(args: Vec<String>) -> Result<String, String> {
+    use machine::roofline::{Roofline, MAXPLUS_STREAM_AI};
+    use machine::spec::MachineSpec;
+    use machine::traffic;
+    let m: usize = args
+        .first()
+        .map(|v| v.parse().map_err(|_| "bad M".to_string()))
+        .transpose()?
+        .unwrap_or(16);
+    let n: usize = args
+        .get(1)
+        .map(|v| v.parse().map_err(|_| "bad N".to_string()))
+        .transpose()?
+        .unwrap_or(512);
+    let spec = MachineSpec::xeon_e5_1650v4();
+    let roof = Roofline::new(spec.clone(), spec.cores);
+    let mut out = String::new();
+    let _ = writeln!(out, "problem M = {m}, N = {n}:");
+    let _ = writeln!(
+        out,
+        "  table (packed):  {:>10.2} MiB",
+        traffic::ftable_bytes(m, n) as f64 / (1 << 20) as f64
+    );
+    let _ = writeln!(
+        out,
+        "  reduction work:  {:>10.3} GFLOP (R0 share {:.1}%)",
+        traffic::bpmax_flops(m, n) as f64 / 1e9,
+        100.0 * traffic::r0_fraction(m, n)
+    );
+    let _ = writeln!(
+        out,
+        "  reference machine ({}): peak {:.0} GFLOPS, L1 roof {:.0} GFLOPS at AI=1/6",
+        spec.name,
+        roof.peak(),
+        roof.attainable("L1", MAXPLUS_STREAM_AI)
+    );
+    let _ = writeln!(
+        out,
+        "  estimated time at the paper's 76 GFLOPS: {:.2} s",
+        traffic::bpmax_flops(m, n) as f64 / 76e9
+    );
+    Ok(out.trim_end().to_string())
+}
+
+/// Verify the paper's schedule tables against the BPMax dependence system
+/// at small sizes — AlphaZ's missing safety net, as a CLI command.
+fn cmd_verify(args: Vec<String>) -> Result<String, String> {
+    use bpmax::schedules;
+    use polyhedral::affine::env;
+    let m: i64 = args
+        .first()
+        .map(|v| v.parse().map_err(|_| "bad M".to_string()))
+        .transpose()?
+        .unwrap_or(4);
+    let n: i64 = args
+        .get(1)
+        .map(|v| v.parse().map_err(|_| "bad N".to_string()))
+        .transpose()?
+        .unwrap_or(4);
+    if !(1..=6).contains(&m) || !(1..=6).contains(&n) {
+        return Err("verification sizes must be in 1..=6 (exhaustive check)".to_string());
+    }
+    let sets = [
+        ("base (original order)", schedules::base_schedule()),
+        ("fine-grain (Table II)", schedules::fine_grain()),
+        ("coarse-grain (Table III)", schedules::coarse_grain()),
+        ("hybrid (Table IV)", schedules::hybrid()),
+        ("hybrid+tiled (Table V)", schedules::hybrid_tiled(2, 2)),
+    ];
+    let params = env(&[("M", m), ("N", n)]);
+    let mut out = String::new();
+    let mut all_ok = true;
+    for (name, sys) in &sets {
+        let instances = sys.dependence_instances(&params, m.max(n));
+        let viol = sys.verify(&params, m.max(n), 3);
+        let ok = viol.is_empty();
+        all_ok &= ok;
+        let _ = writeln!(
+            out,
+            "{name:<28} {instances:>7} instances  {}",
+            if ok { "LEGAL" } else { "ILLEGAL" }
+        );
+        for v in viol {
+            let _ = writeln!(out, "    {v}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "
+{} at M={m}, N={n}",
+        if all_ok { "all schedules legal" } else { "VIOLATIONS FOUND" }
+    );
+    if !all_ok {
+        return Err(out);
+    }
+    Ok(out.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> Result<String, String> {
+        dispatch(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn fold_hairpin() {
+        let out = run(&["fold", "GGGAAACCC"]).unwrap();
+        assert!(out.contains("score: 9"));
+        assert!(out.contains("((("));
+    }
+
+    #[test]
+    fn fold_with_min_loop() {
+        let out = run(&["fold", "GC", "--min-loop", "3"]).unwrap();
+        assert!(out.contains("score: 0"));
+    }
+
+    #[test]
+    fn interact_duplex() {
+        let out = run(&["interact", "GGG", "CCC"]).unwrap();
+        assert!(out.contains("interaction score: 9"));
+        assert!(out.contains("3 inter"));
+    }
+
+    #[test]
+    fn interact_algorithm_selection() {
+        for alg in ["base", "permuted", "coarse", "fine", "hybrid", "hybrid-tiled"] {
+            let out = run(&["interact", "GGGAAACCC", "UUU", "--alg", alg]).unwrap();
+            assert!(out.contains("interaction score: 15"), "{alg}: {out}");
+        }
+    }
+
+    #[test]
+    fn scan_finds_planted_site() {
+        let out = run(&[
+            "scan",
+            "GGGGG",
+            "AAAAAAAAAACCCCCAAAAAAAAAA",
+            "--window",
+            "5",
+            "--top",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("CCCCC"), "{out}");
+    }
+
+    #[test]
+    fn info_reports_sizes() {
+        let out = run(&["info", "16", "2048"]).unwrap();
+        assert!(out.contains("M = 16, N = 2048"));
+        assert!(out.contains("GFLOP"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&["fold"]).is_err());
+        assert!(run(&["fold", "XYZ"]).is_err());
+        assert!(run(&["interact", "GG"]).is_err());
+        assert!(run(&["interact", "GG", "CC", "--alg", "warp"]).is_err());
+        assert!(run(&["fold", "GC", "--min-loop"]).is_err());
+    }
+
+    #[test]
+    fn verify_reports_all_legal() {
+        let out = run(&["verify", "3", "4"]).unwrap();
+        assert!(out.contains("all schedules legal"));
+        assert_eq!(out.matches("LEGAL").count(), 5); // one per schedule set
+        assert!(run(&["verify", "9", "9"]).is_err());
+    }
+
+    #[test]
+    fn help_shows_usage() {
+        let out = run(&["help"]).unwrap();
+        assert!(out.contains("bpmax-cli interact"));
+    }
+
+    #[test]
+    fn fasta_files_accepted() {
+        let dir = std::env::temp_dir().join("bpmax_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("a.fa");
+        std::fs::write(&p1, ">x\nGGGAAACCC\n").unwrap();
+        let out = run(&["fold", p1.to_str().unwrap()]).unwrap();
+        assert!(out.contains("score: 9"));
+    }
+}

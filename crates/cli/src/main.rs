@@ -1,0 +1,32 @@
+//! `bpmax-cli` — fold, interact, and scan RNA from the command line.
+//!
+//! ```text
+//! bpmax-cli fold GGGAAACCC
+//! bpmax-cli interact GGGAAACCC UUUGG
+//! bpmax-cli interact seq1.fa seq2.fa --alg hybrid-tiled --min-loop 3
+//! bpmax-cli scan GGCAUUCC target.fa --window 16 --top 5
+//! bpmax-cli info 16 2048
+//! ```
+//!
+//! Sequence arguments may be literal RNA strings or paths to FASTA files
+//! (the first record is used).
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

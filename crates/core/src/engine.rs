@@ -1,0 +1,411 @@
+//! The BPMax program versions (Phases I–III) and the public solve API.
+//!
+//! All versions compute bit-identical F-tables (property-tested against
+//! [`crate::spec`]); they differ in iteration order, parallelization and
+//! tiling — the dimensions the paper explores:
+//!
+//! | [`Algorithm`] | paper version | traversal |
+//! |---|---|---|
+//! | `Baseline` | original program | diagonal-by-diagonal, reductions innermost |
+//! | `Permuted` | Phase I | per-triangle phases, streaming `j2` loops, serial |
+//! | `CoarseGrain` | Phase II | whole triangles distributed over threads |
+//! | `FineGrain` | Phase II | rows of one triangle distributed; `R1`/`R2` serial |
+//! | `Hybrid` | Phase III | fine-grain `R0`/`R3`/`R4`, coarse-grain `F`/`R1`/`R2` |
+//! | `HybridTiled` | Phase III + tiling | hybrid with `(i2 × k2 × j2)`-tiled `R0` |
+//!
+//! The wavefront invariant shared by all optimized versions: triangles are
+//! produced in ascending outer diagonal `d1 = j1 − i1`; within a diagonal,
+//! Phase A (accumulate `R0`/`R3`/`R4` from earlier diagonals) and Phase B
+//! (finalize with `F`/`R1`/`R2`) touch disjoint blocks, so parallelism is
+//! race-free by construction (the `schedules` module verifies the same
+//! property declaratively, on the paper's schedule encodings).
+
+use crate::baseline::solve_baseline;
+use crate::ftable::{FTable, Layout};
+use crate::kernels::{
+    accumulate_r034_parallel, accumulate_r034_serial, finalize_triangle, Ctx, R0Order, Tile,
+};
+use rayon::prelude::*;
+use rna::{JointStructure, RnaSeq, ScoringModel};
+
+/// Which BPMax program version to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Original diagonal-by-diagonal program (the speedup reference).
+    Baseline,
+    /// Phase I: loop-permuted serial version (vectorizable inner loops).
+    Permuted,
+    /// Phase II coarse-grain: threads own whole inner triangles.
+    CoarseGrain,
+    /// Phase II fine-grain: threads share each triangle's rows.
+    FineGrain,
+    /// Phase III hybrid: fine-grain `R0`/`R3`/`R4` + coarse-grain
+    /// finalization.
+    Hybrid,
+    /// Phase III hybrid with the tiled double max-plus (the champion).
+    HybridTiled {
+        /// Tile shape for the `R0` matrix instances.
+        tile: Tile,
+    },
+}
+
+impl Algorithm {
+    /// All versions, in the order the paper introduces them (with the
+    /// default tile for the tiled version).
+    pub fn all() -> Vec<Algorithm> {
+        vec![
+            Algorithm::Baseline,
+            Algorithm::Permuted,
+            Algorithm::CoarseGrain,
+            Algorithm::FineGrain,
+            Algorithm::Hybrid,
+            Algorithm::HybridTiled { tile: Tile::default() },
+        ]
+    }
+
+    /// Short label for tables and figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Baseline => "base",
+            Algorithm::Permuted => "permuted",
+            Algorithm::CoarseGrain => "coarse",
+            Algorithm::FineGrain => "fine",
+            Algorithm::Hybrid => "hybrid",
+            Algorithm::HybridTiled { .. } => "hybrid+tiled",
+        }
+    }
+}
+
+/// A BPMax problem instance: two strands and a scoring model.
+pub struct BpMaxProblem {
+    ctx: Ctx,
+    layout: Layout,
+}
+
+impl BpMaxProblem {
+    /// Build a problem (computes both Nussinov tables once; they are
+    /// shared by every subsequent solve).
+    pub fn new(s1: RnaSeq, s2: RnaSeq, model: ScoringModel) -> Self {
+        BpMaxProblem {
+            ctx: Ctx::new(s1, s2, model),
+            layout: Layout::Packed,
+        }
+    }
+
+    /// Select the inner-triangle memory map (Fig 10 ablation).
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Strand 1.
+    pub fn seq1(&self) -> &RnaSeq {
+        &self.ctx.s1
+    }
+
+    /// Strand 2.
+    pub fn seq2(&self) -> &RnaSeq {
+        &self.ctx.s2
+    }
+
+    /// The scoring model.
+    pub fn model(&self) -> &ScoringModel {
+        &self.ctx.model
+    }
+
+    /// The shared kernel context (folds + weight tables).
+    pub fn ctx(&self) -> &Ctx {
+        &self.ctx
+    }
+
+    /// Total max-plus FLOPs of the reductions at this problem size.
+    pub fn flops(&self) -> u64 {
+        machine::traffic::bpmax_flops(self.ctx.m(), self.ctx.n())
+    }
+
+    /// Solve with the chosen program version.
+    pub fn solve(&self, algorithm: Algorithm) -> Solution<'_> {
+        let f = self.compute(algorithm);
+        Solution { problem: self, f }
+    }
+
+    /// Solve on a dedicated rayon pool of `threads` workers — the knob the
+    /// paper's thread sweeps turn (OMP_NUM_THREADS). The global pool is
+    /// untouched; nested calls inside the pool use its size.
+    pub fn solve_with_threads(&self, algorithm: Algorithm, threads: usize) -> Solution<'_> {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads.max(1))
+            .build()
+            .expect("building rayon pool");
+        let f = pool.install(|| self.compute(algorithm));
+        Solution { problem: self, f }
+    }
+
+    /// Compute only the F-table (no solution wrapper) — benches use this.
+    pub fn compute(&self, algorithm: Algorithm) -> FTable {
+        let ctx = &self.ctx;
+        match algorithm {
+            Algorithm::Baseline => solve_baseline(ctx, self.layout),
+            Algorithm::Permuted => self.wavefront(WaveMode::Serial(R0Order::Permuted)),
+            Algorithm::CoarseGrain => self.wavefront(WaveMode::Coarse(R0Order::Permuted)),
+            Algorithm::FineGrain => self.wavefront(WaveMode::Fine(R0Order::Permuted)),
+            Algorithm::Hybrid => self.wavefront(WaveMode::Hybrid(R0Order::Permuted)),
+            Algorithm::HybridTiled { tile } => {
+                self.wavefront(WaveMode::Hybrid(R0Order::Tiled(tile)))
+            }
+        }
+    }
+
+    /// The shared wavefront driver: ascending outer diagonals, then one of
+    /// four parallelization modes per diagonal.
+    fn wavefront(&self, mode: WaveMode) -> FTable {
+        let ctx = &self.ctx;
+        let m = ctx.m();
+        let n = ctx.n();
+        let mut f = FTable::new(m, n, self.layout);
+        if m == 0 || n == 0 {
+            return f;
+        }
+        for d1 in 0..m {
+            match mode {
+                WaveMode::Serial(order) => {
+                    for i1 in 0..m - d1 {
+                        let j1 = i1 + d1;
+                        let mut acc = f.take_block(i1, j1);
+                        accumulate_r034_serial(ctx, &f, i1, j1, &mut acc, order);
+                        let prev = prev_block(&f, i1, j1);
+                        finalize_triangle(ctx, i1, j1, &f, prev, &mut acc);
+                        f.put_block(i1, j1, acc);
+                    }
+                }
+                WaveMode::Coarse(order) => {
+                    // Take every block of the diagonal, process whole
+                    // triangles (Phase A + B) in parallel, put back.
+                    let mut taken: Vec<(usize, Vec<f32>)> = (0..m - d1)
+                        .map(|i1| (i1, f.take_block(i1, i1 + d1)))
+                        .collect();
+                    taken.par_iter_mut().for_each(|(i1, acc)| {
+                        let j1 = *i1 + d1;
+                        accumulate_r034_serial(ctx, &f, *i1, j1, acc, order);
+                        let prev = prev_block(&f, *i1, j1);
+                        finalize_triangle(ctx, *i1, j1, &f, prev, acc);
+                    });
+                    for (i1, acc) in taken {
+                        f.put_block(i1, i1 + d1, acc);
+                    }
+                }
+                WaveMode::Fine(order) => {
+                    // Triangles sequential; rows of Phase A parallel;
+                    // Phase B serial (R1/R2 are not parallelized here).
+                    for i1 in 0..m - d1 {
+                        let j1 = i1 + d1;
+                        let mut acc = f.take_block(i1, j1);
+                        accumulate_r034_parallel(ctx, &f, i1, j1, &mut acc, order);
+                        let prev = prev_block(&f, i1, j1);
+                        finalize_triangle(ctx, i1, j1, &f, prev, &mut acc);
+                        f.put_block(i1, j1, acc);
+                    }
+                }
+                WaveMode::Hybrid(order) => {
+                    // Stage 1: all Phase A of the diagonal, each triangle's
+                    // rows fine-grain parallel. Stage 2: all Phase B,
+                    // coarse-grain parallel over triangles.
+                    let mut taken: Vec<(usize, Vec<f32>)> = (0..m - d1)
+                        .map(|i1| (i1, f.take_block(i1, i1 + d1)))
+                        .collect();
+                    for (i1, acc) in taken.iter_mut() {
+                        accumulate_r034_parallel(ctx, &f, *i1, *i1 + d1, acc, order);
+                    }
+                    taken.par_iter_mut().for_each(|(i1, acc)| {
+                        let j1 = *i1 + d1;
+                        let prev = prev_block(&f, *i1, j1);
+                        finalize_triangle(ctx, *i1, j1, &f, prev, acc);
+                    });
+                    for (i1, acc) in taken {
+                        f.put_block(i1, i1 + d1, acc);
+                    }
+                }
+            }
+        }
+        f
+    }
+}
+
+/// Per-diagonal parallelization mode of the wavefront driver.
+#[derive(Clone, Copy, Debug)]
+enum WaveMode {
+    Serial(R0Order),
+    Coarse(R0Order),
+    Fine(R0Order),
+    Hybrid(R0Order),
+}
+
+/// The pair-1 source block `(i1+1, j1−1)`, when it exists.
+fn prev_block<'f>(f: &'f FTable, i1: usize, j1: usize) -> Option<&'f [f32]> {
+    (j1 >= i1 + 2).then(|| f.block(i1 + 1, j1 - 1))
+}
+
+/// A solved BPMax instance.
+pub struct Solution<'p> {
+    problem: &'p BpMaxProblem,
+    f: FTable,
+}
+
+impl<'p> Solution<'p> {
+    /// The optimal interaction score `F[0, M−1, 0, N−1]` (0 when either
+    /// strand is empty — an empty structure).
+    pub fn score(&self) -> f32 {
+        match self.f.final_score() {
+            Some(v) => v,
+            None => {
+                // one strand empty: the problem degenerates to Nussinov
+                if self.problem.ctx().m() == 0 {
+                    self.problem.ctx().fold2.best_score()
+                } else {
+                    self.problem.ctx().fold1.best_score()
+                }
+            }
+        }
+    }
+
+    /// The full F-table.
+    pub fn ftable(&self) -> &FTable {
+        &self.f
+    }
+
+    /// The problem this solves.
+    pub fn problem(&self) -> &BpMaxProblem {
+        self.problem
+    }
+
+    /// Recover one optimal joint structure.
+    pub fn traceback(&self) -> JointStructure {
+        crate::traceback::traceback(self.problem.ctx(), &self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::spec_score;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn problem(a: &str, b: &str) -> BpMaxProblem {
+        BpMaxProblem::new(
+            a.parse().unwrap(),
+            b.parse().unwrap(),
+            ScoringModel::bpmax_default(),
+        )
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_baseline_small() {
+        let p = problem("GGAUCGAC", "CCGAUG");
+        let reference = p.compute(Algorithm::Baseline);
+        for alg in Algorithm::all().into_iter().skip(1) {
+            let f = p.compute(alg);
+            for (i1, j1, i2, j2) in reference.iter_cells().collect::<Vec<_>>() {
+                assert_eq!(
+                    f.get(i1, j1, i2, j2),
+                    reference.get(i1, j1, i2, j2),
+                    "{alg:?} F[{i1},{j1},{i2},{j2}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_algorithms_match_spec_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let model = ScoringModel::bpmax_default();
+        for trial in 0..6 {
+            let s1 = RnaSeq::random(&mut rng, 5 + trial % 3);
+            let s2 = RnaSeq::random(&mut rng, 4 + trial % 4);
+            let want = spec_score(&s1, &s2, &model);
+            let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
+            for alg in Algorithm::all() {
+                assert_eq!(
+                    p.solve(alg).score(),
+                    want,
+                    "{alg:?} on {s1} / {s2}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_layouts_agree() {
+        let model = ScoringModel::bpmax_default();
+        let s1: RnaSeq = "GGAUCGA".parse().unwrap();
+        let s2: RnaSeq = "CAUGG".parse().unwrap();
+        let want = spec_score(&s1, &s2, &model);
+        for layout in [Layout::Packed, Layout::Identity, Layout::Shifted] {
+            let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone())
+                .with_layout(layout);
+            for alg in [
+                Algorithm::Permuted,
+                Algorithm::Hybrid,
+                Algorithm::HybridTiled { tile: Tile::cubic(2) },
+            ] {
+                assert_eq!(p.solve(alg).score(), want, "{layout:?} {alg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        // empty strand-2: score = Nussinov of strand 1
+        let p = problem("GGGAAACCC", "");
+        for alg in Algorithm::all() {
+            assert_eq!(p.solve(alg).score(), 9.0, "{alg:?}");
+        }
+        // both single bases
+        let p = problem("G", "C");
+        for alg in Algorithm::all() {
+            assert_eq!(p.solve(alg).score(), 3.0, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn tile_shapes_do_not_change_results() {
+        let p = problem("GGAUCGACGG", "CCGAUGC");
+        let want = p.solve(Algorithm::Permuted).score();
+        for tile in [
+            Tile::cubic(1),
+            Tile::cubic(3),
+            Tile::small(),
+            Tile::default(),
+            Tile { i2: 2, k2: 5, j2: 3 },
+        ] {
+            assert_eq!(
+                p.solve(Algorithm::HybridTiled { tile }).score(),
+                want,
+                "{tile:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let p = problem("GGAUCGAC", "CCGAUG");
+        let want = p.solve(Algorithm::Permuted).score();
+        for threads in [1usize, 2, 4] {
+            for alg in [Algorithm::FineGrain, Algorithm::Hybrid] {
+                assert_eq!(
+                    p.solve_with_threads(alg, threads).score(),
+                    want,
+                    "{alg:?} @ {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flops_positive_and_growing() {
+        let small = problem("GGAU", "CCA").flops();
+        let large = problem("GGAUGGAU", "CCACCA").flops();
+        assert!(small > 0);
+        assert!(large > small);
+    }
+}

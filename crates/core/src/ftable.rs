@@ -1,0 +1,319 @@
+//! The 4-D BPMax table: a triangle of triangles.
+//!
+//! `F[i1][j1][i2][j2]` is defined for `0 ≤ i1 ≤ j1 < M`, `0 ≤ i2 ≤ j2 < N`.
+//! Storage is one *inner-triangle block* per outer cell `(i1, j1)`; the
+//! outer cells are packed like a row-major triangle, the inner block layout
+//! is selectable:
+//!
+//! * [`Layout::Packed`] (default) — `N(N+1)/2` elements per block, rows
+//!   contiguous. Total = `T(M)·T(N)` cells ≈ ¼ of the `M²N²` bounding box
+//!   ("we only need one-fourth of that memory", §IV.B.c).
+//! * [`Layout::Identity`] — the paper's Fig 10 **option 1** map
+//!   `(i2, j2) ↦ (i2, j2)` into an `N×N` box.
+//! * [`Layout::Shifted`] — Fig 10 **option 2** `(i2, j2) ↦ (i2, j2 − i2)`.
+//!
+//! All kernels access blocks through the uniform row API (`row(i2)` covers
+//! columns `i2..N` with `(i2, j2)` at `row[j2 − i2]`), so switching the map
+//! changes only addressing — the `memlayout` bench reproduces the paper's
+//! option-1 vs option-2 comparison by flipping this enum.
+//!
+//! Blocks are separate `Vec`s so a kernel can temporarily *take* a block
+//! out ([`FTable::take_block`]), mutate it with shared read access to the
+//! rest of the table (the wavefront guarantees disjointness), and put it
+//! back — the safe-Rust shape of the paper's "threads work on distinct
+//! inner triangles".
+
+pub use tropical::triangular::Layout;
+
+/// Empty-cell initialiser: max-plus additive identity.
+const NEG_INF: f32 = f32::NEG_INFINITY;
+
+/// The packed 4-D BPMax table.
+#[derive(Clone, Debug)]
+pub struct FTable {
+    m: usize,
+    n: usize,
+    layout: Layout,
+    block_len: usize,
+    blocks: Vec<Vec<f32>>,
+}
+
+impl FTable {
+    /// Allocate for strand lengths `m × n`, all cells `-∞`.
+    pub fn new(m: usize, n: usize, layout: Layout) -> Self {
+        let outer = m * (m + 1) / 2;
+        let block_len = layout.storage_len(n);
+        FTable {
+            m,
+            n,
+            layout,
+            block_len,
+            blocks: (0..outer).map(|_| vec![NEG_INF; block_len]).collect(),
+        }
+    }
+
+    /// Strand-1 length `M`.
+    #[inline(always)]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Strand-2 length `N`.
+    #[inline(always)]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Inner-block memory map.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Total bytes allocated for cell storage.
+    pub fn storage_bytes(&self) -> usize {
+        self.blocks.len() * self.block_len * std::mem::size_of::<f32>()
+    }
+
+    /// Outer index of cell `(i1, j1)` (packed row-major triangle).
+    #[inline(always)]
+    pub fn outer(&self, i1: usize, j1: usize) -> usize {
+        debug_assert!(i1 <= j1 && j1 < self.m, "outer index ({i1},{j1}) m={}", self.m);
+        i1 * (2 * self.m - i1 + 1) / 2 + (j1 - i1)
+    }
+
+    /// The inner-triangle block of `(i1, j1)`.
+    #[inline(always)]
+    pub fn block(&self, i1: usize, j1: usize) -> &[f32] {
+        &self.blocks[self.outer(i1, j1)]
+    }
+
+    /// Mutable inner-triangle block of `(i1, j1)`.
+    #[inline(always)]
+    pub fn block_mut(&mut self, i1: usize, j1: usize) -> &mut [f32] {
+        let o = self.outer(i1, j1);
+        &mut self.blocks[o]
+    }
+
+    /// Move block `(i1, j1)` out of the table (replaced by an empty `Vec`).
+    /// Pair with [`FTable::put_block`]. Lets a writer own its triangle
+    /// while readers borrow the rest of the table.
+    pub fn take_block(&mut self, i1: usize, j1: usize) -> Vec<f32> {
+        let o = self.outer(i1, j1);
+        std::mem::take(&mut self.blocks[o])
+    }
+
+    /// Return a block previously removed by [`FTable::take_block`].
+    pub fn put_block(&mut self, i1: usize, j1: usize, block: Vec<f32>) {
+        assert_eq!(block.len(), self.block_len, "block length mismatch");
+        let o = self.outer(i1, j1);
+        debug_assert!(self.blocks[o].is_empty(), "putting back a non-taken block");
+        self.blocks[o] = block;
+    }
+
+    /// Offset of `(i2, j2)` inside a block.
+    #[inline(always)]
+    pub fn inner(&self, i2: usize, j2: usize) -> usize {
+        self.layout.offset(self.n, i2, j2)
+    }
+
+    /// Start offset of inner row `i2` (columns `i2..n`) inside a block.
+    #[inline(always)]
+    pub fn inner_row_start(&self, i2: usize) -> usize {
+        self.layout.row_start(self.n, i2)
+    }
+
+    /// Row `i2` of a block as a slice over columns `i2..n`
+    /// (`(i2, j2)` at index `j2 − i2`).
+    #[inline(always)]
+    pub fn row_of<'a>(&self, block: &'a [f32], i2: usize) -> &'a [f32] {
+        let s = self.inner_row_start(i2);
+        &block[s..s + (self.n - i2)]
+    }
+
+    /// Mutable flavour of [`FTable::row_of`].
+    #[inline(always)]
+    pub fn row_of_mut<'a>(&self, block: &'a mut [f32], i2: usize) -> &'a mut [f32] {
+        let s = self.inner_row_start(i2);
+        &mut block[s..s + (self.n - i2)]
+    }
+
+    /// Read `F[i1, j1, i2, j2]`.
+    #[inline(always)]
+    pub fn get(&self, i1: usize, j1: usize, i2: usize, j2: usize) -> f32 {
+        self.blocks[self.outer(i1, j1)][self.inner(i2, j2)]
+    }
+
+    /// Write `F[i1, j1, i2, j2]`.
+    #[inline(always)]
+    pub fn set(&mut self, i1: usize, j1: usize, i2: usize, j2: usize, v: f32) {
+        let o = self.outer(i1, j1);
+        let k = self.inner(i2, j2);
+        self.blocks[o][k] = v;
+    }
+
+    /// Split a (taken) block into per-row mutable slices, outer row first —
+    /// the unit of fine-grain parallelism ("threads work on individual rows
+    /// of an inner triangle").
+    ///
+    /// Only [`Layout::Packed`] and [`Layout::Shifted`] rows tile the
+    /// storage contiguously; for [`Layout::Identity`] the leading slack of
+    /// each row is included in the previous row's slice tail, which is
+    /// harmless because kernels never index past `n − i2 − 1`... — to keep
+    /// it simple and safe this helper supports all layouts by splitting at
+    /// each row's start offset and handing out exactly the valid prefix.
+    pub fn rows_mut<'a>(&self, block: &'a mut [f32]) -> Vec<&'a mut [f32]> {
+        let mut out = Vec::with_capacity(self.n);
+        let mut rest = block;
+        let mut consumed = 0usize;
+        for i2 in 0..self.n {
+            let start = self.inner_row_start(i2);
+            let len = self.n - i2;
+            let skip = start - consumed;
+            let (_, tail) = rest.split_at_mut(skip);
+            let (row, tail) = tail.split_at_mut(len);
+            out.push(row);
+            rest = tail;
+            consumed = start + len;
+        }
+        out
+    }
+
+    /// Iterate all valid 4-index cells (slow; tests only).
+    pub fn iter_cells(&self) -> impl Iterator<Item = (usize, usize, usize, usize)> + '_ {
+        let (m, n) = (self.m, self.n);
+        (0..m).flat_map(move |i1| {
+            (i1..m).flat_map(move |j1| {
+                (0..n).flat_map(move |i2| (i2..n).map(move |j2| (i1, j1, i2, j2)))
+            })
+        })
+    }
+
+    /// The top-level score `F[0, M−1, 0, N−1]` (`None` for an empty strand).
+    pub fn final_score(&self) -> Option<f32> {
+        if self.m == 0 || self.n == 0 {
+            None
+        } else {
+            Some(self.get(0, self.m - 1, 0, self.n - 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outer_indexing_is_dense_and_unique() {
+        let t = FTable::new(5, 3, Layout::Packed);
+        let mut seen = std::collections::HashSet::new();
+        for i1 in 0..5 {
+            for j1 in i1..5 {
+                assert!(seen.insert(t.outer(i1, j1)));
+            }
+        }
+        assert_eq!(seen.len(), 15);
+        assert_eq!(*seen.iter().max().unwrap(), 14);
+    }
+
+    #[test]
+    fn get_set_round_trip_all_layouts() {
+        for layout in [Layout::Packed, Layout::Identity, Layout::Shifted] {
+            let mut t = FTable::new(4, 3, layout);
+            let mut v = 0.0f32;
+            for (i1, j1, i2, j2) in t.iter_cells().collect::<Vec<_>>() {
+                t.set(i1, j1, i2, j2, v);
+                v += 1.0;
+            }
+            let mut expect = 0.0f32;
+            for (i1, j1, i2, j2) in t.iter_cells().collect::<Vec<_>>() {
+                assert_eq!(t.get(i1, j1, i2, j2), expect, "{layout:?}");
+                expect += 1.0;
+            }
+        }
+    }
+
+    #[test]
+    fn storage_is_quarter_of_bbox_for_packed() {
+        let t = FTable::new(32, 32, Layout::Packed);
+        let bbox = 32usize * 32 * 32 * 32 * 4;
+        let ratio = t.storage_bytes() as f64 / bbox as f64;
+        assert!(ratio < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn row_api_matches_get() {
+        for layout in [Layout::Packed, Layout::Identity, Layout::Shifted] {
+            let mut t = FTable::new(2, 5, layout);
+            for i2 in 0..5 {
+                for j2 in i2..5 {
+                    t.set(0, 1, i2, j2, (i2 * 10 + j2) as f32);
+                }
+            }
+            let block = t.block(0, 1);
+            for i2 in 0..5 {
+                let row = t.row_of(block, i2);
+                assert_eq!(row.len(), 5 - i2);
+                for j2 in i2..5 {
+                    assert_eq!(row[j2 - i2], (i2 * 10 + j2) as f32, "{layout:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn take_put_block_round_trip() {
+        let mut t = FTable::new(3, 3, Layout::Packed);
+        t.set(0, 2, 1, 2, 42.0);
+        let b = t.take_block(0, 2);
+        assert_eq!(b[t.inner(1, 2)], 42.0);
+        // other blocks still readable
+        assert_eq!(t.get(0, 0, 0, 0), f32::NEG_INFINITY);
+        t.put_block(0, 2, b);
+        assert_eq!(t.get(0, 2, 1, 2), 42.0);
+    }
+
+    #[test]
+    fn rows_mut_partitions_every_layout() {
+        for layout in [Layout::Packed, Layout::Identity, Layout::Shifted] {
+            let t = FTable::new(1, 6, layout);
+            let mut block = vec![0.0f32; layout.storage_len(6)];
+            {
+                let rows = t.rows_mut(&mut block);
+                assert_eq!(rows.len(), 6);
+                for (i2, row) in rows.into_iter().enumerate() {
+                    assert_eq!(row.len(), 6 - i2, "{layout:?}");
+                    for (off, cell) in row.iter_mut().enumerate() {
+                        *cell = (i2 * 100 + i2 + off) as f32; // j2 = i2 + off
+                    }
+                }
+            }
+            // verify through the scalar API
+            for i2 in 0..6 {
+                for j2 in i2..6 {
+                    assert_eq!(
+                        block[t.inner(i2, j2)],
+                        (i2 * 100 + j2) as f32,
+                        "{layout:?} ({i2},{j2})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn final_score_edges() {
+        let t = FTable::new(0, 4, Layout::Packed);
+        assert_eq!(t.final_score(), None);
+        let mut t = FTable::new(2, 2, Layout::Packed);
+        t.set(0, 1, 0, 1, 7.0);
+        assert_eq!(t.final_score(), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "block length mismatch")]
+    fn put_wrong_block_panics() {
+        let mut t = FTable::new(2, 4, Layout::Packed);
+        let _ = t.take_block(0, 0);
+        t.put_block(0, 0, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,765 @@
+//! Per-triangle compute kernels — the materialization of the paper's
+//! schedules.
+//!
+//! Every optimized BPMax version factors into two phases per outer cell
+//! `(i1, j1)` (one *inner triangle* of the F-table):
+//!
+//! **Phase A — accumulate `R0`, `R3`, `R4`** (`accumulate_r034_*`):
+//! for each split point `k1 ∈ [i1, j1)`, combine triangles
+//! `A = F(i1, k1)` and `B = F(k1+1, j1)`:
+//!
+//! * `R0`: `acc[i2][j2] ⊕= A[i2][k2] + B[k2+1][j2]` over all `k2` — one
+//!   *matrix instance of max-plus operation* (paper Fig 8). Four loop
+//!   orders are provided: `naive` (`k2` innermost — the unvectorizable
+//!   baseline order), `permuted` (`j2` innermost — streams, vectorizes),
+//!   `tiled` (`(i2 × k2)` tiles, `j2` untiled — Phase III's winner), and
+//!   `reg` (`k2` unrolled 4× — the paper's register-tiling future work).
+//! * `R3`: `acc ⊕= S1(i1, k1) + B` — a whole-block axpy.
+//! * `R4`: `acc ⊕= A + S1(k1+1, j1)` — likewise. ("R3 and R4 are almost
+//!   free since those get computed along with the R0.")
+//!
+//! **Phase B — finalize** (`finalize_triangle`): walk rows `i2` from the
+//! bottom up (descending index, the `-i2` schedule dimension) and, within a
+//! row, columns left to right; at `(i2, k2)` the cell's final value is
+//! fixed (max of the accumulator, `S1+S2`, both pair-closing terms, and
+//! the 1×1 `iscore` case), then its `R1`/`R2` contributions are pushed to
+//! the longer intervals of the same row as two streaming axpys — exactly
+//! the paper's "we ensure that F-table gets updated when k2 reaches j2"
+//! interleave that keeps `R1`/`R2` vectorizable despite their reduction.
+
+use crate::ftable::FTable;
+use rna::nussinov::{Fold, Nussinov};
+use rna::{RnaSeq, ScoringModel};
+use rayon::prelude::*;
+use tropical::scalar::mp_axpy;
+
+/// Shared per-problem context: sequences, model, `S⁽¹⁾`/`S⁽²⁾` tables and
+/// pre-evaluated pair-weight tables.
+pub struct Ctx {
+    /// Strand 1.
+    pub s1: RnaSeq,
+    /// Strand 2.
+    pub s2: RnaSeq,
+    /// The scoring model.
+    pub model: ScoringModel,
+    /// Nussinov fold of strand 1 (the `S⁽¹⁾` table).
+    pub fold1: Fold,
+    /// Nussinov fold of strand 2 (the `S⁽²⁾` table).
+    pub fold2: Fold,
+    /// `w1[i1·M + j1]`: positional intramolecular weight in strand 1
+    /// (`-∞` when the pair is illegal).
+    w1: Vec<f32>,
+    /// `w2[i2·N + j2]`: likewise for strand 2.
+    w2: Vec<f32>,
+    /// `wi[i1·N + i2]`: intermolecular weight.
+    wi: Vec<f32>,
+}
+
+impl Ctx {
+    /// Build the context (runs both Nussinov folds).
+    pub fn new(s1: RnaSeq, s2: RnaSeq, model: ScoringModel) -> Self {
+        let fold1 = Nussinov::fold(&s1, &model);
+        let fold2 = Nussinov::fold(&s2, &model);
+        let m = s1.len();
+        let n = s2.len();
+        let mut w1 = vec![ScoringModel::NO_PAIR; m * m];
+        for i in 0..m {
+            for j in i + 1..m {
+                w1[i * m + j] = model.intra_pos(i, j, s1[i], s1[j]);
+            }
+        }
+        let mut w2 = vec![ScoringModel::NO_PAIR; n * n];
+        for i in 0..n {
+            for j in i + 1..n {
+                w2[i * n + j] = model.intra_pos(i, j, s2[i], s2[j]);
+            }
+        }
+        let mut wi = vec![ScoringModel::NO_PAIR; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                wi[i * n + j] = model.inter(s1[i], s2[j]);
+            }
+        }
+        Ctx {
+            s1,
+            s2,
+            model,
+            fold1,
+            fold2,
+            w1,
+            w2,
+            wi,
+        }
+    }
+
+    /// Strand-1 length.
+    #[inline(always)]
+    pub fn m(&self) -> usize {
+        self.s1.len()
+    }
+
+    /// Strand-2 length.
+    #[inline(always)]
+    pub fn n(&self) -> usize {
+        self.s2.len()
+    }
+
+    /// `S⁽¹⁾(i1, j1)` with the empty convention (`0` when `j1 < i1`).
+    #[inline(always)]
+    pub fn s1v(&self, i1: usize, j1: usize) -> f32 {
+        if j1 < i1 {
+            0.0
+        } else {
+            self.fold1.score(i1, j1)
+        }
+    }
+
+    /// `S⁽²⁾(i2, j2)` with the empty convention.
+    #[inline(always)]
+    pub fn s2v(&self, i2: usize, j2: usize) -> f32 {
+        if j2 < i2 {
+            0.0
+        } else {
+            self.fold2.score(i2, j2)
+        }
+    }
+
+    /// Intramolecular pair weight in strand 1 (positional, `-∞` = illegal).
+    #[inline(always)]
+    pub fn w1(&self, i1: usize, j1: usize) -> f32 {
+        self.w1[i1 * self.m() + j1]
+    }
+
+    /// Intramolecular pair weight in strand 2.
+    #[inline(always)]
+    pub fn w2(&self, i2: usize, j2: usize) -> f32 {
+        self.w2[i2 * self.n() + j2]
+    }
+
+    /// Intermolecular pair weight.
+    #[inline(always)]
+    pub fn wi(&self, i1: usize, i2: usize) -> f32 {
+        self.wi[i1 * self.n() + i2]
+    }
+}
+
+/// Tile shape `(i2 × k2 × j2)` for the tiled double max-plus
+/// (`usize::MAX` = untiled dimension).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tile {
+    /// Rows of the accumulator triangle per tile.
+    pub i2: usize,
+    /// Split points per tile.
+    pub k2: usize,
+    /// Columns per tile (`usize::MAX` keeps the streaming loop full-width —
+    /// "we observe the best result when j2 is not tiled").
+    pub j2: usize,
+}
+
+impl Default for Tile {
+    /// The paper's generic shape `64 × 16 × N`.
+    fn default() -> Self {
+        Tile {
+            i2: 64,
+            k2: 16,
+            j2: usize::MAX,
+        }
+    }
+}
+
+impl Tile {
+    /// The paper's small-sequence shape `32 × 4 × N` ("restricted for
+    /// sequence length up to 2048").
+    pub fn small() -> Self {
+        Tile {
+            i2: 32,
+            k2: 4,
+            j2: usize::MAX,
+        }
+    }
+
+    /// A cubic tile `t × t × t` (shown to perform poorly — Fig 18).
+    pub fn cubic(t: usize) -> Self {
+        Tile { i2: t, k2: t, j2: t }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R0: one matrix instance  acc ⊕= A ⊗ B  over triangles
+// ---------------------------------------------------------------------
+
+/// `R0` matrix instance, **naive** order: `(i2, j2, k2)` with the reduction
+/// innermost — a dot product per cell, strided reads of `B`, no
+/// vectorization. This is the loop order the original BPMax uses.
+pub fn r0_instance_naive(ft: &FTable, a: &[f32], b: &[f32], acc: &mut [f32]) {
+    let n = ft.n();
+    for i2 in 0..n {
+        let arow = ft.row_of(a, i2);
+        let crow = ft.row_of_mut(acc, i2);
+        for j2 in i2 + 1..n {
+            let mut best = crow[j2 - i2];
+            for k2 in i2..j2 {
+                // B[k2+1][j2]: strided column access
+                let bv = b[ft.inner(k2 + 1, j2)];
+                best = best.max(arow[k2 - i2] + bv);
+            }
+            crow[j2 - i2] = best;
+        }
+    }
+}
+
+/// `R0` matrix instance, **permuted** order: `(i2, k2, j2)` with the
+/// streaming column loop innermost — each `(i2, k2)` step is one
+/// [`mp_axpy`] from a contiguous `B` row into a contiguous `acc` row
+/// segment. This is the Phase I loop permutation that unlocks
+/// auto-vectorization.
+pub fn r0_instance_permuted(ft: &FTable, a: &[f32], b: &[f32], acc: &mut [f32]) {
+    let n = ft.n();
+    for i2 in 0..n {
+        let arow = ft.row_of(a, i2);
+        let crow = ft.row_of_mut(acc, i2);
+        for k2 in i2..n.saturating_sub(1) {
+            let av = arow[k2 - i2];
+            if av == f32::NEG_INFINITY {
+                continue;
+            }
+            let brow = ft.row_of(b, k2 + 1);
+            mp_axpy(av, brow, &mut crow[k2 + 1 - i2..]);
+        }
+    }
+}
+
+/// `R0` matrix instance, **tiled** order: `(i2, k2)` tiles with `j2`
+/// chunks (untiled by default) — Phase III's locality transformation,
+/// keeping the `B` row panel and `acc` row band in cache across `k2`
+/// steps.
+pub fn r0_instance_tiled(ft: &FTable, a: &[f32], b: &[f32], acc: &mut [f32], t: Tile) {
+    let n = ft.n();
+    if n < 2 {
+        return;
+    }
+    for (i2lo, i2hi) in polyhedral::tiling::tile_ranges(0, n, t.i2.max(1)) {
+        r0_row_band_tiled(ft, a, b, acc, i2lo, i2hi, t);
+    }
+}
+
+/// The `[i2lo, i2hi)` row band of the tiled `R0` instance — the unit that
+/// fine-grain parallelism distributes ("we parallelize the outer i2
+/// dimension" of the tiled space).
+fn r0_row_band_tiled(
+    ft: &FTable,
+    a: &[f32],
+    b: &[f32],
+    acc: &mut [f32],
+    i2lo: usize,
+    i2hi: usize,
+    t: Tile,
+) {
+    let n = ft.n();
+    for (k2lo, k2hi) in polyhedral::tiling::tile_ranges(i2lo, n - 1, t.k2.max(1)) {
+        for (j2lo, j2hi) in polyhedral::tiling::tile_ranges(k2lo + 1, n, t.j2.max(1)) {
+            for i2 in i2lo..i2hi {
+                let arow = ft.row_of(a, i2);
+                // Row borrow re-derived per i2: rows of `acc` are disjoint.
+                let rs = ft.inner_row_start(i2);
+                let crow = &mut acc[rs..rs + (n - i2)];
+                for k2 in k2lo.max(i2)..k2hi {
+                    let lo = j2lo.max(k2 + 1);
+                    if lo >= j2hi {
+                        continue;
+                    }
+                    let av = arow[k2 - i2];
+                    if av == f32::NEG_INFINITY {
+                        continue;
+                    }
+                    let brow = ft.row_of(b, k2 + 1);
+                    mp_axpy(
+                        av,
+                        &brow[lo - (k2 + 1)..j2hi - (k2 + 1)],
+                        &mut crow[lo - i2..j2hi - i2],
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `R0` matrix instance with **register-level tiling** — the paper's
+/// future-work item ("an additional level of tiling at the register level
+/// is required to make the program compute-bound").
+///
+/// The streaming update reads and writes the `acc` row once per `k2` step
+/// (arithmetic intensity 1/6). Unrolling the `k2` loop by 4 keeps the
+/// `acc` vector register live across four fused updates, quartering its
+/// traffic: per 8 FLOPs the loop now moves four `B` loads + one `acc`
+/// load + one store ≈ 24 B / 8 FLOP → intensity 1/3. The epilogue handles
+/// the `< 4` remainder and the ragged triangle heads.
+pub fn r0_instance_reg(ft: &FTable, a: &[f32], b: &[f32], acc: &mut [f32]) {
+    let n = ft.n();
+    if n < 2 {
+        return;
+    }
+    for i2 in 0..n {
+        let arow = ft.row_of(a, i2);
+        let rs = ft.inner_row_start(i2);
+        let crow = &mut acc[rs..rs + (n - i2)];
+        r0_row_reg(ft, arow, b, crow, i2);
+    }
+}
+
+/// One row of the register-unrolled `R0` instance (shared by the serial
+/// and the fine-grain parallel drivers).
+pub(crate) fn r0_row_reg(ft: &FTable, arow: &[f32], b: &[f32], crow: &mut [f32], i2: usize) {
+    let n = ft.n();
+    {
+        let mut k2 = i2;
+        // Unrolled body: four consecutive k2 values share one pass over
+        // the common column range [k2+4, n).
+        while k2 + 4 <= n.saturating_sub(1) {
+            let av = [
+                arow[k2 - i2],
+                arow[k2 + 1 - i2],
+                arow[k2 + 2 - i2],
+                arow[k2 + 3 - i2],
+            ];
+            let b0 = ft.row_of(b, k2 + 1);
+            let b1 = ft.row_of(b, k2 + 2);
+            let b2 = ft.row_of(b, k2 + 3);
+            let b3 = ft.row_of(b, k2 + 4);
+            // Head: columns j2 in (k2, k2+4) are only reachable by the
+            // earlier k2 values of this group.
+            for (lane, brow) in [b0, b1, b2].iter().enumerate() {
+                let kk = k2 + lane;
+                let hi = (k2 + 4).min(n);
+                for j2 in kk + 1..hi {
+                    crow[j2 - i2] = crow[j2 - i2].max(av[lane] + brow[j2 - (kk + 1)]);
+                }
+            }
+            // Body: the shared range, one load/store of crow per 8 FLOPs.
+            let lo = k2 + 4;
+            for j2 in lo..n {
+                let mut c = crow[j2 - i2];
+                c = c.max(av[0] + b0[j2 - (k2 + 1)]);
+                c = c.max(av[1] + b1[j2 - (k2 + 2)]);
+                c = c.max(av[2] + b2[j2 - (k2 + 3)]);
+                c = c.max(av[3] + b3[j2 - (k2 + 4)]);
+                crow[j2 - i2] = c;
+            }
+            k2 += 4;
+        }
+        // Remainder k2 values: plain streaming updates.
+        while k2 < n.saturating_sub(1) {
+            let av = arow[k2 - i2];
+            if av != f32::NEG_INFINITY {
+                let brow = ft.row_of(b, k2 + 1);
+                mp_axpy(av, brow, &mut crow[k2 + 1 - i2..]);
+            }
+            k2 += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R3 / R4: whole-block axpys that ride along with R0
+// ---------------------------------------------------------------------
+
+/// `R3` contribution of split `k1`: `acc ⊕= S1(i1, k1) + B` over the whole
+/// block. Slack cells of bounding-box layouts hold `-∞` in `B`, making the
+/// update a no-op there.
+pub fn r3_block(s1_ik1: f32, b: &[f32], acc: &mut [f32]) {
+    if s1_ik1 == f32::NEG_INFINITY {
+        return;
+    }
+    mp_axpy(s1_ik1, b, acc);
+}
+
+/// `R4` contribution of split `k1`: `acc ⊕= A + S1(k1+1, j1)`.
+pub fn r4_block(s1_k1p1j: f32, a: &[f32], acc: &mut [f32]) {
+    if s1_k1p1j == f32::NEG_INFINITY {
+        return;
+    }
+    mp_axpy(s1_k1p1j, a, acc);
+}
+
+// ---------------------------------------------------------------------
+// Phase A drivers
+// ---------------------------------------------------------------------
+
+/// Which loop order Phase A uses for the `R0` matrix instances.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum R0Order {
+    /// Reduction innermost (baseline order).
+    Naive,
+    /// Streaming `j2` innermost (Phase I permutation).
+    Permuted,
+    /// Tiled `(i2 × k2 × j2)` (Phase III).
+    Tiled(Tile),
+    /// Register-level `k2`-unrolled streaming (the paper's future work).
+    RegTiled,
+}
+
+/// Serial Phase A for triangle `(i1, j1)`: accumulate `R0`, `R3`, `R4`
+/// into `acc` across all splits `k1`.
+pub fn accumulate_r034_serial(
+    ctx: &Ctx,
+    ft: &FTable,
+    i1: usize,
+    j1: usize,
+    acc: &mut [f32],
+    order: R0Order,
+) {
+    for k1 in i1..j1 {
+        let a = ft.block(i1, k1);
+        let b = ft.block(k1 + 1, j1);
+        match order {
+            R0Order::Naive => r0_instance_naive(ft, a, b, acc),
+            R0Order::Permuted => r0_instance_permuted(ft, a, b, acc),
+            R0Order::Tiled(t) => r0_instance_tiled(ft, a, b, acc, t),
+            R0Order::RegTiled => r0_instance_reg(ft, a, b, acc),
+        }
+        r3_block(ctx.s1v(i1, k1), b, acc);
+        r4_block(ctx.s1v(k1 + 1, j1), a, acc);
+    }
+}
+
+/// Parallel Phase A: rows (or row bands, when tiled) of the accumulator
+/// are distributed over the rayon pool — the paper's fine-grain processor
+/// allocation. Reads of `A`/`B` are shared; each task owns disjoint rows
+/// of `acc`.
+pub fn accumulate_r034_parallel(
+    ctx: &Ctx,
+    ft: &FTable,
+    i1: usize,
+    j1: usize,
+    acc: &mut [f32],
+    order: R0Order,
+) {
+    let n = ft.n();
+    if n == 0 {
+        return;
+    }
+    let band = match order {
+        R0Order::Tiled(t) => t.i2.max(1),
+        _ => 1,
+    };
+    for k1 in i1..j1 {
+        let a = ft.block(i1, k1);
+        let b = ft.block(k1 + 1, j1);
+        // Split acc into per-row slices, group into bands of `band` rows.
+        let rows = ft.rows_mut(acc);
+        let mut bands: Vec<Vec<&mut [f32]>> = Vec::new();
+        for (idx, row) in rows.into_iter().enumerate() {
+            if idx % band == 0 {
+                bands.push(Vec::with_capacity(band));
+            }
+            bands.last_mut().unwrap().push(row);
+        }
+        bands.into_par_iter().enumerate().for_each(|(bi, mut rows)| {
+            let i2lo = bi * band;
+            for (off, crow) in rows.iter_mut().enumerate() {
+                let i2 = i2lo + off;
+                let arow = ft.row_of(a, i2);
+                match order {
+                    R0Order::Naive => {
+                        for j2 in i2 + 1..n {
+                            let mut best = crow[j2 - i2];
+                            for k2 in i2..j2 {
+                                best = best.max(arow[k2 - i2] + b[ft.inner(k2 + 1, j2)]);
+                            }
+                            crow[j2 - i2] = best;
+                        }
+                    }
+                    R0Order::Permuted => {
+                        for k2 in i2..n.saturating_sub(1) {
+                            let av = arow[k2 - i2];
+                            if av == f32::NEG_INFINITY {
+                                continue;
+                            }
+                            mp_axpy(av, ft.row_of(b, k2 + 1), &mut crow[k2 + 1 - i2..]);
+                        }
+                    }
+                    R0Order::RegTiled => {
+                        r0_row_reg(ft, arow, b, crow, i2);
+                    }
+                    R0Order::Tiled(t) => {
+                        // k2/j2 tile loops local to this row.
+                        for (k2lo, k2hi) in
+                            polyhedral::tiling::tile_ranges(i2, n.saturating_sub(1), t.k2.max(1))
+                        {
+                            for (j2lo, j2hi) in
+                                polyhedral::tiling::tile_ranges(k2lo + 1, n, t.j2.max(1))
+                            {
+                                for k2 in k2lo..k2hi {
+                                    let lo = j2lo.max(k2 + 1);
+                                    if lo >= j2hi {
+                                        continue;
+                                    }
+                                    let av = arow[k2 - i2];
+                                    if av == f32::NEG_INFINITY {
+                                        continue;
+                                    }
+                                    let brow = ft.row_of(b, k2 + 1);
+                                    mp_axpy(
+                                        av,
+                                        &brow[lo - (k2 + 1)..j2hi - (k2 + 1)],
+                                        &mut crow[lo - i2..j2hi - i2],
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                // R3 / R4 for this row.
+                let s3 = ctx.s1v(i1, k1);
+                if s3 != f32::NEG_INFINITY {
+                    mp_axpy(s3, ft.row_of(b, i2), crow);
+                }
+                let s4 = ctx.s1v(k1 + 1, j1);
+                if s4 != f32::NEG_INFINITY {
+                    mp_axpy(s4, arow, crow);
+                }
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase B: finalization (F + R1 + R2)
+// ---------------------------------------------------------------------
+
+/// Finalize triangle `(i1, j1)`: combine the Phase-A accumulator with the
+/// remaining recurrence terms and resolve `R1`/`R2` by the bottom-up,
+/// left-to-right interleave. On return, `acc` holds final `F` values.
+///
+/// `prev` is the block of `(i1+1, j1−1)` when `j1 ≥ i1+2` (the pair-1
+/// term's source); for `j1 = i1+1` the term degenerates to `S⁽²⁾`.
+pub fn finalize_triangle(
+    ctx: &Ctx,
+    i1: usize,
+    j1: usize,
+    ft: &FTable,
+    prev: Option<&[f32]>,
+    acc: &mut [f32],
+) {
+    let n = ft.n();
+    let s1ij = ctx.s1v(i1, j1);
+    let w1 = if j1 > i1 { ctx.w1(i1, j1) } else { ScoringModel::NO_PAIR };
+    for i2 in (0..n).rev() {
+        let rs_i2 = ft.inner_row_start(i2);
+        for k2 in i2..n {
+            // --- finalize F[i1, j1, i2, k2] ---
+            let idx = ft.inner(i2, k2);
+            let mut val = acc[idx];
+            val = val.max(s1ij + ctx.s2v(i2, k2));
+            // pair i2–k2 (strand-2 closing)
+            let w2 = if k2 > i2 { ctx.w2(i2, k2) } else { ScoringModel::NO_PAIR };
+            if w2 != ScoringModel::NO_PAIR {
+                let inner = if k2 >= i2 + 2 {
+                    acc[ft.inner(i2 + 1, k2 - 1)] // row i2+1 already final
+                } else {
+                    s1ij // empty strand-2 interval ⇒ F = S1
+                };
+                val = val.max(inner + w2);
+            }
+            // pair i1–j1 (strand-1 closing)
+            if w1 != ScoringModel::NO_PAIR {
+                let inner = match prev {
+                    Some(p) => p[ft.inner(i2, k2)],
+                    None => ctx.s2v(i2, k2), // empty strand-1 interval
+                };
+                val = val.max(inner + w1);
+            }
+            // 1×1 box: the intermolecular pair
+            if i1 == j1 && i2 == k2 {
+                let wi = ctx.wi(i1, i2);
+                if wi != ScoringModel::NO_PAIR {
+                    val = val.max(wi);
+                }
+            }
+            acc[idx] = val;
+            // --- propagate R1 / R2 to longer intervals of row i2 ---
+            if k2 + 1 >= n {
+                continue;
+            }
+            let rs_next = ft.inner_row_start(k2 + 1);
+            let (lo_part, hi_part) = acc.split_at_mut(rs_next);
+            let frow_next = &hi_part[..n - (k2 + 1)]; // final row k2+1
+            let row_i2 = &mut lo_part[rs_i2..rs_i2 + (n - i2)];
+            let dst = &mut row_i2[k2 + 1 - i2..];
+            // R1: S2(i2, k2) + F[i1, j1, k2+1, j2]
+            let s2ik = ctx.s2v(i2, k2);
+            mp_axpy(s2ik, frow_next, dst);
+            // R2: F[i1, j1, i2, k2] + S2(k2+1, j2)
+            let s2row = ctx.fold2.table().row(k2 + 1);
+            mp_axpy(val, s2row, dst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftable::Layout;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ctx(a: &str, b: &str) -> Ctx {
+        Ctx::new(
+            a.parse().unwrap(),
+            b.parse().unwrap(),
+            ScoringModel::bpmax_default(),
+        )
+    }
+
+    /// Random triangle block over the given layout, slack cells -inf.
+    fn random_block(ft: &FTable, rng: &mut StdRng) -> Vec<f32> {
+        let mut block = vec![f32::NEG_INFINITY; ft.layout().storage_len(ft.n())];
+        for i2 in 0..ft.n() {
+            for j2 in i2..ft.n() {
+                block[ft.inner(i2, j2)] = rng.gen_range(-8..8) as f32;
+            }
+        }
+        block
+    }
+
+    #[test]
+    fn r0_orders_agree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for layout in [Layout::Packed, Layout::Identity, Layout::Shifted] {
+            for n in [1usize, 2, 3, 5, 9, 16] {
+                let ft = FTable::new(2, n, layout);
+                let a = random_block(&ft, &mut rng);
+                let b = random_block(&ft, &mut rng);
+                let mut c1 = random_block(&ft, &mut rng);
+                let mut c2 = c1.clone();
+                let mut c3 = c1.clone();
+                let mut c4 = c1.clone();
+                r0_instance_naive(&ft, &a, &b, &mut c1);
+                r0_instance_permuted(&ft, &a, &b, &mut c2);
+                r0_instance_tiled(&ft, &a, &b, &mut c3, Tile::default());
+                r0_instance_tiled(&ft, &a, &b, &mut c4, Tile::cubic(3));
+                for i2 in 0..n {
+                    for j2 in i2..n {
+                        let k = ft.inner(i2, j2);
+                        assert_eq!(c1[k], c2[k], "{layout:?} n={n} permuted ({i2},{j2})");
+                        assert_eq!(c1[k], c3[k], "{layout:?} n={n} tiled ({i2},{j2})");
+                        assert_eq!(c1[k], c4[k], "{layout:?} n={n} cubic ({i2},{j2})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reg_tiled_r0_agrees_with_naive() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for layout in [Layout::Packed, Layout::Identity, Layout::Shifted] {
+            for n in [1usize, 2, 4, 5, 7, 11, 16, 23] {
+                let ft = FTable::new(2, n, layout);
+                let a = random_block(&ft, &mut rng);
+                let b = random_block(&ft, &mut rng);
+                let mut c1 = random_block(&ft, &mut rng);
+                let mut c2 = c1.clone();
+                r0_instance_naive(&ft, &a, &b, &mut c1);
+                r0_instance_reg(&ft, &a, &b, &mut c2);
+                for i2 in 0..n {
+                    for j2 in i2..n {
+                        let k = ft.inner(i2, j2);
+                        assert_eq!(c1[k], c2[k], "{layout:?} n={n} ({i2},{j2})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn r0_matches_direct_definition() {
+        // acc'[i2][j2] = max(acc, max_{k2 in [i2, j2)} a[i2][k2] + b[k2+1][j2])
+        let mut rng = StdRng::seed_from_u64(9);
+        let ft = FTable::new(2, 7, Layout::Packed);
+        let a = random_block(&ft, &mut rng);
+        let b = random_block(&ft, &mut rng);
+        let mut acc = random_block(&ft, &mut rng);
+        let orig = acc.clone();
+        r0_instance_permuted(&ft, &a, &b, &mut acc);
+        for i2 in 0..7 {
+            for j2 in i2..7 {
+                let mut expect = orig[ft.inner(i2, j2)];
+                for k2 in i2..j2 {
+                    expect = expect.max(a[ft.inner(i2, k2)] + b[ft.inner(k2 + 1, j2)]);
+                }
+                assert_eq!(acc[ft.inner(i2, j2)], expect, "({i2},{j2})");
+            }
+        }
+    }
+
+    #[test]
+    fn r3_r4_match_direct_definition() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ft = FTable::new(2, 6, Layout::Packed);
+        let b = random_block(&ft, &mut rng);
+        let mut acc = random_block(&ft, &mut rng);
+        let orig = acc.clone();
+        r3_block(2.5, &b, &mut acc);
+        for i2 in 0..6 {
+            for j2 in i2..6 {
+                let k = ft.inner(i2, j2);
+                assert_eq!(acc[k], orig[k].max(2.5 + b[k]));
+            }
+        }
+        // neg-inf scalar is a no-op
+        let before = acc.clone();
+        r4_block(f32::NEG_INFINITY, &b, &mut acc);
+        assert_eq!(acc, before);
+    }
+
+    #[test]
+    fn serial_and_parallel_phase_a_agree() {
+        let c = ctx("GGAUCGA", "CCGAU");
+        let mut rng = StdRng::seed_from_u64(8);
+        for order in [
+            R0Order::Naive,
+            R0Order::Permuted,
+            R0Order::Tiled(Tile::cubic(2)),
+            R0Order::Tiled(Tile::default()),
+        ] {
+            let mut ft = FTable::new(c.m(), c.n(), Layout::Packed);
+            // Fill all earlier triangles with random finite junk so the
+            // kernels have real inputs.
+            for i1 in 0..c.m() {
+                for j1 in i1..c.m() {
+                    let blk = random_block(&ft, &mut rng);
+                    ft.block_mut(i1, j1).copy_from_slice(&blk);
+                }
+            }
+            let (i1, j1) = (1, 5);
+            let mut acc1 = ft.block(i1, j1).to_vec();
+            let mut acc2 = acc1.clone();
+            accumulate_r034_serial(&c, &ft, i1, j1, &mut acc1, order);
+            accumulate_r034_parallel(&c, &ft, i1, j1, &mut acc2, order);
+            assert_eq!(acc1, acc2, "{order:?}");
+        }
+    }
+
+    #[test]
+    fn finalize_smallest_triangles() {
+        // Single-base strands: F = max(iscore, 0) — exercised through the
+        // full finalize path with an all--inf accumulator.
+        let c = ctx("G", "C");
+        let ft = FTable::new(1, 1, Layout::Packed);
+        let mut acc = vec![f32::NEG_INFINITY; 1];
+        finalize_triangle(&c, 0, 0, &ft, None, &mut acc);
+        assert_eq!(acc[0], 3.0); // G–C inter pair
+        let c = ctx("A", "C");
+        let mut acc = vec![f32::NEG_INFINITY; 1];
+        finalize_triangle(&c, 0, 0, &ft, None, &mut acc);
+        assert_eq!(acc[0], 0.0); // no pair, empty structure
+    }
+
+    #[test]
+    fn tile_constructors() {
+        assert_eq!(Tile::cubic(8), Tile { i2: 8, k2: 8, j2: 8 });
+        assert_eq!(Tile::default().j2, usize::MAX);
+        assert_eq!(Tile::small().i2, 32);
+    }
+}

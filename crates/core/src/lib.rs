@@ -1,0 +1,58 @@
+//! BPMax — base-pair maximization for RNA-RNA interaction — with every
+//! optimization stage of Mondal & Rajopadhye, *"Accelerating the BPMax
+//! Algorithm for RNA-RNA Interaction"* (IPPS 2021).
+//!
+//! BPMax takes two RNA strands and a weighted base-pair-counting model and
+//! computes, for every pair of subsequences `[i1..=j1] × [i2..=j2]`, the
+//! maximum total weight of a joint secondary structure (intramolecular
+//! pairs in each strand plus intermolecular pairs, no crossings or
+//! pseudoknots). The result is a 4-D "triangle of triangles" table `F` —
+//! `Θ(M²N²)` space filled in `Θ(M³N³)` time, dominated by the *double
+//! max-plus* reduction
+//! `D = max_{k1,k2} F[i1,k1,i2,k2] + F[k1+1,j1,k2+1,j2]`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use bpmax::{Algorithm, BpMaxProblem};
+//! use rna::{RnaSeq, ScoringModel};
+//!
+//! let s1: RnaSeq = "GGGAAACC".parse().unwrap();
+//! let s2: RnaSeq = "GGUUUCCC".parse().unwrap();
+//! let problem = BpMaxProblem::new(s1, s2, ScoringModel::bpmax_default());
+//! let solution = problem.solve(Algorithm::HybridTiled { tile: bpmax::kernels::Tile::default() });
+//! let structure = solution.traceback();
+//! assert_eq!(structure.score(problem.seq1(), problem.seq2(), problem.model()),
+//!            solution.score());
+//! ```
+//!
+//! # Module map
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`spec`] | Equations (1)–(3) as a memoized recursion — the correctness oracle |
+//! | [`ftable`] | the packed 4-D table + Fig 10 memory-map options |
+//! | [`baseline`] | the original diagonal-by-diagonal program (the speedup reference) |
+//! | [`kernels`] | the per-triangle compute kernels: double max-plus (naive, permuted, tiled), R1/R2 interleaved finalization, R3/R4 piggybacking |
+//! | [`engine`] | the six program versions (Phase I–III) assembled from the kernels |
+//! | [`traceback`] | recovering an optimal [`rna::JointStructure`] from `F` |
+//! | [`schedules`] | Tables I–V encoded as `polyhedral` schedules + dependence system, machine-verified |
+//! | [`nests`] | generated loop nests per version (Table VI LOC metric) |
+//! | [`perfmodel`] | calibrated cost model + `simsched` composition for the multi-thread figures |
+//! | [`windowed`] | banded/windowed BPMax (the Glidemaster-style restriction) |
+//! | [`screening`] | batch all-vs-all scoring and shuffle-null scan significance |
+
+pub mod baseline;
+pub mod engine;
+pub mod ftable;
+pub mod kernels;
+pub mod nests;
+pub mod perfmodel;
+pub mod schedules;
+pub mod screening;
+pub mod spec;
+pub mod traceback;
+pub mod windowed;
+
+pub use engine::{Algorithm, BpMaxProblem, Solution};
+pub use ftable::FTable;

@@ -1,0 +1,891 @@
+//! The paper's mapping directives — Tables I–V — encoded as first-class,
+//! machine-verified polyhedral schedules.
+//!
+//! This module builds the BPMax equation system once (variables `S1`, `S2`,
+//! `F`, and the five reduction bodies `R0`…`R4`, with all value and
+//! accumulation dependences) and then attaches each of the paper's schedule
+//! sets:
+//!
+//! * [`base_schedule`] — the original program's
+//!   `(j1−i1, j2−i2, i1, i2, …)` diagonal order (sequential),
+//! * [`fine_grain`] — Table II (parallel dimension 5: rows `i2` of
+//!   `R0`/`R3`/`R4`; `F`/`R1`/`R2` sequential),
+//! * [`coarse_grain`] — Table III (parallel dimension 2: whole triangles
+//!   `i1` on a diagonal),
+//! * [`hybrid`] — Table IV (parallel dimension 4, which is `i2` for
+//!   `R0`/`R3`/`R4` but `i1` for `F`/`R1`/`R2` — the paper's "best of both
+//!   worlds" trick rendered as a single schedule),
+//! * [`hybrid_tiled`] — Table V: the hybrid schedule with the
+//!   `(i2 × k2)` band of `R0` strip-mined (the `j2` stream untiled),
+//!   mirroring the subsystem the paper splits off for tiling,
+//! * [`dmp_schedules`] — Table I's schedule candidates for the isolated
+//!   double max-plus kernel.
+//!
+//! Each is verified against every dependence with
+//! [`polyhedral::System::verify`]; the test-suite also *perturbs* them
+//! (swapping a sign, moving the F-update too early, mis-declaring a
+//! parallel dimension) and checks that the verifier objects — evidence the
+//! legality checking has teeth.
+//!
+//! Transcription note: the paper's tables contain typesetting glitches
+//! (duplicated columns, stray signs in the OCR). The encodings here follow
+//! the prose semantics of §IV; where a literal table entry conflicts with
+//! the prose, the prose wins, and the verifier confirms legality of what
+//! we encode.
+
+use polyhedral::affine::{c, v, AffineExpr, AffineMap};
+use polyhedral::domain::Domain;
+use polyhedral::schedule::Schedule;
+use polyhedral::tiling::strip_mine;
+use polyhedral::{Dependence, System, Var};
+
+/// Index names of the 4-D table variables.
+pub const F_IDX: [&str; 4] = ["i1", "j1", "i2", "j2"];
+/// Index names of the `k2` reductions (`R1`, `R2`).
+pub const RK2_IDX: [&str; 5] = ["i1", "j1", "i2", "j2", "k2"];
+/// Index names of the `k1` reductions (`R3`, `R4`).
+pub const RK1_IDX: [&str; 5] = ["i1", "j1", "i2", "j2", "k1"];
+/// Index names of the double reduction (`R0`).
+pub const R0_IDX: [&str; 6] = ["i1", "j1", "i2", "j2", "k1", "k2"];
+
+/// The "triangle of triangles" domain over the given index names.
+fn box_domain(indices: &[&str]) -> Domain {
+    Domain::universe(indices)
+        .ge0(v("i1"))
+        .ge0(v("j1") - v("i1"))
+        .lt(v("j1"), v("M"))
+        .ge0(v("i2"))
+        .ge0(v("j2") - v("i2"))
+        .lt(v("j2"), v("N"))
+}
+
+/// Build the BPMax equation system: variables, domains and dependences.
+/// Schedules are attached separately by the functions below.
+pub fn bpmax_system() -> System {
+    let mut sys = System::new(&["M", "N"]);
+
+    // --- variables ---
+    sys.add_var(Var::new(
+        "S1",
+        Domain::universe(&["i1", "j1"])
+            .ge0(v("i1"))
+            .ge0(v("j1") - v("i1"))
+            .lt(v("j1"), v("M")),
+    ));
+    sys.add_var(Var::new(
+        "S2",
+        Domain::universe(&["i2", "j2"])
+            .ge0(v("i2"))
+            .ge0(v("j2") - v("i2"))
+            .lt(v("j2"), v("N")),
+    ));
+    sys.add_var(Var::new("F", box_domain(&F_IDX)));
+    sys.add_var(Var::new(
+        "R0",
+        box_domain(&R0_IDX)
+            .le(v("i1"), v("k1"))
+            .lt(v("k1"), v("j1"))
+            .le(v("i2"), v("k2"))
+            .lt(v("k2"), v("j2")),
+    ));
+    for r in ["R1", "R2"] {
+        sys.add_var(Var::new(
+            r,
+            box_domain(&RK2_IDX).le(v("i2"), v("k2")).lt(v("k2"), v("j2")),
+        ));
+    }
+    for r in ["R3", "R4"] {
+        sys.add_var(Var::new(
+            r,
+            box_domain(&RK1_IDX).le(v("i1"), v("k1")).lt(v("k1"), v("j1")),
+        ));
+    }
+
+    // --- value dependences (reads of other variables) ---
+    let map = |from: &[&str], exprs: Vec<AffineExpr>| AffineMap::new(from, exprs);
+
+    // R0 reads both F halves.
+    sys.add_dep(Dependence::new(
+        "R0 reads F(i1,k1,i2,k2)",
+        "R0",
+        "F",
+        map(&R0_IDX, vec![v("i1"), v("k1"), v("i2"), v("k2")]),
+    ));
+    sys.add_dep(Dependence::new(
+        "R0 reads F(k1+1,j1,k2+1,j2)",
+        "R0",
+        "F",
+        map(&R0_IDX, vec![v("k1") + 1, v("j1"), v("k2") + 1, v("j2")]),
+    ));
+    // R1 reads S2 prefix and the same-triangle F suffix.
+    sys.add_dep(Dependence::new(
+        "R1 reads S2(i2,k2)",
+        "R1",
+        "S2",
+        map(&RK2_IDX, vec![v("i2"), v("k2")]),
+    ));
+    sys.add_dep(Dependence::new(
+        "R1 reads F(i1,j1,k2+1,j2)",
+        "R1",
+        "F",
+        map(&RK2_IDX, vec![v("i1"), v("j1"), v("k2") + 1, v("j2")]),
+    ));
+    // R2 mirror image.
+    sys.add_dep(Dependence::new(
+        "R2 reads F(i1,j1,i2,k2)",
+        "R2",
+        "F",
+        map(&RK2_IDX, vec![v("i1"), v("j1"), v("i2"), v("k2")]),
+    ));
+    sys.add_dep(Dependence::new(
+        "R2 reads S2(k2+1,j2)",
+        "R2",
+        "S2",
+        map(&RK2_IDX, vec![v("k2") + 1, v("j2")]),
+    ));
+    // R3 / R4.
+    sys.add_dep(Dependence::new(
+        "R3 reads S1(i1,k1)",
+        "R3",
+        "S1",
+        map(&RK1_IDX, vec![v("i1"), v("k1")]),
+    ));
+    sys.add_dep(Dependence::new(
+        "R3 reads F(k1+1,j1,i2,j2)",
+        "R3",
+        "F",
+        map(&RK1_IDX, vec![v("k1") + 1, v("j1"), v("i2"), v("j2")]),
+    ));
+    sys.add_dep(Dependence::new(
+        "R4 reads F(i1,k1,i2,j2)",
+        "R4",
+        "F",
+        map(&RK1_IDX, vec![v("i1"), v("k1"), v("i2"), v("j2")]),
+    ));
+    sys.add_dep(Dependence::new(
+        "R4 reads S1(k1+1,j1)",
+        "R4",
+        "S1",
+        map(&RK1_IDX, vec![v("k1") + 1, v("j1")]),
+    ));
+    // F reads its pair-closing terms (guarded to non-degenerate intervals).
+    sys.add_dep(
+        Dependence::new(
+            "F reads F(i1+1,j1-1,i2,j2) [pair1]",
+            "F",
+            "F",
+            map(&F_IDX, vec![v("i1") + 1, v("j1") - 1, v("i2"), v("j2")]),
+        )
+        .with_guard(Domain::universe(&F_IDX).ge0(v("j1") - v("i1") - 2)),
+    );
+    sys.add_dep(
+        Dependence::new(
+            "F reads F(i1,j1,i2+1,j2-1) [pair2]",
+            "F",
+            "F",
+            map(&F_IDX, vec![v("i1"), v("j1"), v("i2") + 1, v("j2") - 1]),
+        )
+        .with_guard(Domain::universe(&F_IDX).ge0(v("j2") - v("i2") - 2)),
+    );
+    // F reads S1 and S2 directly (the no-interaction term).
+    sys.add_dep(Dependence::new(
+        "F reads S1(i1,j1)",
+        "F",
+        "S1",
+        map(&F_IDX, vec![v("i1"), v("j1")]),
+    ));
+    sys.add_dep(Dependence::new(
+        "F reads S2(i2,j2)",
+        "F",
+        "S2",
+        map(&F_IDX, vec![v("i2"), v("j2")]),
+    ));
+    // F consumes the finished reductions (one-to-many; enumerated on the
+    // producer side).
+    for (r, idx) in [
+        ("R0", &R0_IDX[..]),
+        ("R1", &RK2_IDX[..]),
+        ("R2", &RK2_IDX[..]),
+        ("R3", &RK1_IDX[..]),
+        ("R4", &RK1_IDX[..]),
+    ] {
+        sys.add_dep(Dependence::reduction_result(
+            &format!("F consumes reduce({r})"),
+            "F",
+            r,
+            AffineMap::new(idx, vec![v("i1"), v("j1"), v("i2"), v("j2")]),
+        ));
+    }
+    // Accumulation chains: reduction instances over the same result cell
+    // must be sequentially ordered (write-write on the accumulator). The
+    // canonical order is ascending (k1, k2).
+    sys.add_dep(
+        Dependence::new(
+            "R0 accumulation chain (k2)",
+            "R0",
+            "R0",
+            map(
+                &R0_IDX,
+                vec![v("i1"), v("j1"), v("i2"), v("j2"), v("k1"), v("k2") - 1],
+            ),
+        )
+        .with_guard(Domain::universe(&R0_IDX).ge0(v("k2") - v("i2") - 1)),
+    );
+    sys.add_dep(
+        Dependence::new(
+            "R0 accumulation chain (k1)",
+            "R0",
+            "R0",
+            map(
+                &R0_IDX,
+                vec![v("i1"), v("j1"), v("i2"), v("j2"), v("k1") - 1, v("i2")],
+            ),
+        )
+        .with_guard(
+            Domain::universe(&R0_IDX)
+                .ge0(v("k1") - v("i1") - 1)
+                .eq0(v("k2") - v("i2")),
+        ),
+    );
+    for r in ["R1", "R2"] {
+        sys.add_dep(
+            Dependence::new(
+                &format!("{r} accumulation chain (k2)"),
+                r,
+                r,
+                map(
+                    &RK2_IDX,
+                    vec![v("i1"), v("j1"), v("i2"), v("j2"), v("k2") - 1],
+                ),
+            )
+            .with_guard(Domain::universe(&RK2_IDX).ge0(v("k2") - v("i2") - 1)),
+        );
+    }
+    for r in ["R3", "R4"] {
+        sys.add_dep(
+            Dependence::new(
+                &format!("{r} accumulation chain (k1)"),
+                r,
+                r,
+                map(
+                    &RK1_IDX,
+                    vec![v("i1"), v("j1"), v("i2"), v("j2"), v("k1") - 1],
+                ),
+            )
+            .with_guard(Domain::universe(&RK1_IDX).ge0(v("k1") - v("i1") - 1)),
+        );
+    }
+    sys
+}
+
+fn sched(inputs: &[&str], exprs: Vec<AffineExpr>) -> Schedule {
+    Schedule::affine(inputs, exprs)
+}
+
+/// The original program's sequential schedule,
+/// `(j1−i1, j2−i2, i1, i2, k, tag)`-shaped: diagonal-by-diagonal in both
+/// index pairs, reductions evaluated inside each cell's time slot.
+pub fn base_schedule() -> System {
+    let mut sys = bpmax_system();
+    let d1 = || v("j1") - v("i1");
+    let d2 = || v("j2") - v("i2");
+    // S tables first (time dim 0 = -1 puts them before every F diagonal).
+    sys.set_schedule(
+        "S1",
+        sched(&["i1", "j1"], vec![c(-1), v("j1") - v("i1"), v("i1"), c(0), c(0), c(0)]),
+    );
+    sys.set_schedule(
+        "S2",
+        sched(&["i2", "j2"], vec![c(-1), v("j2") - v("i2"), v("i2"), c(0), c(0), c(1)]),
+    );
+    // Reductions happen strictly inside their cell's time slot, before F.
+    sys.set_schedule(
+        "F",
+        sched(&F_IDX, vec![d1(), d2(), v("i1"), v("i2"), v("M") + v("N"), c(0)]),
+    );
+    sys.set_schedule(
+        "R0",
+        sched(&R0_IDX, vec![d1(), d2(), v("i1"), v("i2"), v("k1"), v("k2")]),
+    );
+    sys.set_schedule(
+        "R1",
+        sched(&RK2_IDX, vec![d1(), d2(), v("i1"), v("i2"), v("k2"), c(2)]),
+    );
+    sys.set_schedule(
+        "R2",
+        sched(&RK2_IDX, vec![d1(), d2(), v("i1"), v("i2"), v("k2"), c(3)]),
+    );
+    sys.set_schedule(
+        "R3",
+        sched(&RK1_IDX, vec![d1(), d2(), v("i1"), v("i2"), v("k1"), c(4)]),
+    );
+    sys.set_schedule(
+        "R4",
+        sched(&RK1_IDX, vec![d1(), d2(), v("i1"), v("i2"), v("k1"), c(5)]),
+    );
+    sys
+}
+
+/// Table II — the fine-grain schedule (8-dimensional time, parallel
+/// dimension 5). `R0`/`R3`/`R4` run their rows `i2` in parallel;
+/// `F`/`R1`/`R2` put a constant in the parallel dimension (single thread).
+pub fn fine_grain() -> System {
+    let mut sys = bpmax_system();
+    sys.set_schedule(
+        "S1",
+        sched(
+            &["i1", "j1"],
+            vec![c(0), c(0), c(0), c(0), v("j1") - v("i1"), v("i1"), c(0), c(0)],
+        ),
+    );
+    sys.set_schedule(
+        "S2",
+        sched(
+            &["i2", "j2"],
+            vec![c(0), c(0), c(0), c(0), v("j2") - v("i2"), v("i2"), c(0), c(1)],
+        ),
+    );
+    // F: (1, -i1, j1, j1, -i2, 0, j2, 0)
+    sys.set_schedule(
+        "F",
+        sched(
+            &F_IDX,
+            vec![c(1), -v("i1"), v("j1"), v("j1"), -v("i2"), c(0), v("j2"), c(0)],
+        ),
+    );
+    // R1/R2: (1, -i1, j1, j1, -i2, 0, k2, j2) — the R2 copy is offset in
+    // the last dimension to keep instants unique.
+    sys.set_schedule(
+        "R1",
+        sched(
+            &RK2_IDX,
+            vec![c(1), -v("i1"), v("j1"), v("j1"), -v("i2"), c(0), v("k2"), v("j2")],
+        ),
+    );
+    sys.set_schedule(
+        "R2",
+        sched(
+            &RK2_IDX,
+            vec![
+                c(1),
+                -v("i1"),
+                v("j1"),
+                v("j1"),
+                -v("i2"),
+                c(0),
+                v("k2"),
+                v("j2") + v("N"),
+            ],
+        ),
+    );
+    // R0: (1, -i1, j1, k1, -1, -i2, k2, j2)
+    sys.set_schedule(
+        "R0",
+        sched(
+            &R0_IDX,
+            vec![c(1), -v("i1"), v("j1"), v("k1"), c(-1), -v("i2"), v("k2"), v("j2")],
+        ),
+    );
+    // R3/R4: (1, -i1, j1, k1, -1, -i2, i2, j2) — riding the same k1 steps.
+    sys.set_schedule(
+        "R3",
+        sched(
+            &RK1_IDX,
+            vec![c(1), -v("i1"), v("j1"), v("k1"), c(-1), -v("i2"), v("i2"), v("j2")],
+        ),
+    );
+    sys.set_schedule(
+        "R4",
+        sched(
+            &RK1_IDX,
+            vec![
+                c(1),
+                -v("i1"),
+                v("j1"),
+                v("k1"),
+                c(-1),
+                -v("i2"),
+                v("i2"),
+                v("j2") + v("N"),
+            ],
+        ),
+    );
+    sys.set_parallel(5);
+    sys
+}
+
+/// Table III — the coarse-grain schedule (7-dimensional time, parallel
+/// dimension 2 = `i1`: threads own whole triangles of a diagonal).
+pub fn coarse_grain() -> System {
+    let mut sys = bpmax_system();
+    let d1 = || v("j1") - v("i1");
+    sys.set_schedule(
+        "S1",
+        sched(
+            &["i1", "j1"],
+            vec![c(0), v("j1") - v("i1"), v("i1"), c(0), c(0), c(0), c(0)],
+        ),
+    );
+    sys.set_schedule(
+        "S2",
+        sched(
+            &["i2", "j2"],
+            vec![c(0), v("j2") - v("i2"), v("i2"), c(0), c(0), c(0), c(1)],
+        ),
+    );
+    // F: (1, j1-i1, i1, j1, -i2, j2, j2)
+    sys.set_schedule(
+        "F",
+        sched(
+            &F_IDX,
+            vec![c(1), d1(), v("i1"), v("j1"), -v("i2"), v("j2"), v("j2")],
+        ),
+    );
+    // R1/R2: (1, j1-i1, i1, j1, -i2, k2, j2)
+    sys.set_schedule(
+        "R1",
+        sched(
+            &RK2_IDX,
+            vec![c(1), d1(), v("i1"), v("j1"), -v("i2"), v("k2"), v("j2")],
+        ),
+    );
+    sys.set_schedule(
+        "R2",
+        sched(
+            &RK2_IDX,
+            vec![
+                c(1),
+                d1(),
+                v("i1"),
+                v("j1"),
+                -v("i2"),
+                v("k2"),
+                v("j2") + v("N"),
+            ],
+        ),
+    );
+    // R0: (1, j1-i1, i1, k1, i2, k2, j2)
+    sys.set_schedule(
+        "R0",
+        sched(
+            &R0_IDX,
+            vec![c(1), d1(), v("i1"), v("k1"), v("i2"), v("k2"), v("j2")],
+        ),
+    );
+    // R3/R4: (1, j1-i1, i1, k1, i2, i2, j2)
+    sys.set_schedule(
+        "R3",
+        sched(
+            &RK1_IDX,
+            vec![c(1), d1(), v("i1"), v("k1"), v("i2"), v("i2"), v("j2")],
+        ),
+    );
+    sys.set_schedule(
+        "R4",
+        sched(
+            &RK1_IDX,
+            vec![
+                c(1),
+                d1(),
+                v("i1"),
+                v("k1"),
+                v("i2"),
+                v("i2"),
+                v("j2") + v("N"),
+            ],
+        ),
+    );
+    sys.set_parallel(2);
+    sys
+}
+
+/// Table IV — the hybrid schedule (8-dimensional time, parallel dimension
+/// 4). The trick: dimension 4 carries `i2` for `R0`/`R3`/`R4` (fine-grain
+/// rows) but `i1` for `F`/`R1`/`R2` (coarse-grain triangles), and
+/// dimension 2 is `i1` for the reductions but the *parameter `M`* for the
+/// finalization — so all reduction work of a diagonal precedes all of its
+/// finalization.
+pub fn hybrid() -> System {
+    let mut sys = bpmax_system();
+    let d1 = || v("j1") - v("i1");
+    sys.set_schedule(
+        "S1",
+        sched(
+            &["i1", "j1"],
+            vec![c(0), c(0), c(0), v("j1") - v("i1"), v("i1"), c(0), c(0), c(0)],
+        ),
+    );
+    sys.set_schedule(
+        "S2",
+        sched(
+            &["i2", "j2"],
+            vec![c(0), c(0), c(0), v("j2") - v("i2"), v("i2"), c(0), c(0), c(1)],
+        ),
+    );
+    // F: (1, j1-i1, M, 0, i1, -i2, j2, 0)
+    sys.set_schedule(
+        "F",
+        sched(
+            &F_IDX,
+            vec![c(1), d1(), v("M"), c(0), v("i1"), -v("i2"), v("j2"), c(0)],
+        ),
+    );
+    // R1/R2: (1, j1-i1, M, 0, i1, -i2, k2, j2)
+    sys.set_schedule(
+        "R1",
+        sched(
+            &RK2_IDX,
+            vec![c(1), d1(), v("M"), c(0), v("i1"), -v("i2"), v("k2"), v("j2")],
+        ),
+    );
+    sys.set_schedule(
+        "R2",
+        sched(
+            &RK2_IDX,
+            vec![
+                c(1),
+                d1(),
+                v("M"),
+                c(0),
+                v("i1"),
+                -v("i2"),
+                v("k2"),
+                v("j2") + v("N"),
+            ],
+        ),
+    );
+    // R0: (1, j1-i1, i1, k1, i2, k2, j2, 0)
+    sys.set_schedule(
+        "R0",
+        sched(
+            &R0_IDX,
+            vec![c(1), d1(), v("i1"), v("k1"), v("i2"), v("k2"), v("j2"), c(0)],
+        ),
+    );
+    // R3/R4: (1, j1-i1, i1, k1, i2, i2, j2, tag)
+    sys.set_schedule(
+        "R3",
+        sched(
+            &RK1_IDX,
+            vec![c(1), d1(), v("i1"), v("k1"), v("i2"), v("i2"), v("j2"), c(1)],
+        ),
+    );
+    sys.set_schedule(
+        "R4",
+        sched(
+            &RK1_IDX,
+            vec![c(1), d1(), v("i1"), v("k1"), v("i2"), v("i2"), v("j2"), c(2)],
+        ),
+    );
+    sys.set_parallel(4);
+    sys
+}
+
+/// Table V — the hybrid schedule with the `R0` band `(i2, k2)` strip-mined
+/// (tile sizes `ti × tk`, `j2` untiled), the transformation the paper
+/// performs through an Alpha subsystem. The tile coordinates are inserted
+/// before the row dimension, so the parallel dimension becomes the `i2`
+/// *tile* index for `R0` — threads own row bands, exactly like the
+/// `r0_row_band_tiled` kernel.
+pub fn hybrid_tiled(ti: i64, tk: i64) -> System {
+    let donor = hybrid();
+    // R0 dims: (1, d1, i1, k1, i2, k2, j2, 0) — band = dims 4 (i2), 5 (k2).
+    let tiled_r0 = strip_mine(donor.schedule("R0"), &[4, 5], &[ti, tk]);
+    // Other variables must match the new dimensionality (10): duplicate
+    // their own dims 4 and 5 as pseudo-tile coordinates — copies preserve
+    // each variable's own order, and cross-variable ordering is decided at
+    // dims ≤ 3 anyway (verified).
+    let pad = |s: &Schedule| -> Schedule {
+        let dims = s.dims().to_vec();
+        let mut new_dims = dims[..4].to_vec();
+        new_dims.push(dims[4].clone());
+        new_dims.push(dims[5].clone());
+        new_dims.extend(dims[4..].iter().cloned());
+        let inputs: Vec<&str> = s.inputs().iter().map(|x| x.as_str()).collect();
+        Schedule::new(&inputs, new_dims)
+    };
+    // Rebuild on a fresh system so all schedules arrive at 10 dimensions.
+    let mut sys = bpmax_system();
+    for var in ["S1", "S2", "F", "R1", "R2", "R3", "R4"] {
+        sys.set_schedule(var, pad(donor.schedule(var)));
+    }
+    sys.set_schedule("R0", tiled_r0);
+    sys.set_parallel(4);
+    sys
+}
+
+/// One candidate schedule for the isolated double max-plus kernel
+/// (Table I): a label, the attached system, and whether the innermost
+/// dimension is the streaming `j2` (vectorizable) or the reduction `k2`
+/// (not).
+pub struct DmpSchedule {
+    /// Row label as in Table I.
+    pub label: &'static str,
+    /// Whether the innermost loop is `j2` (auto-vectorization possible).
+    pub vectorizable: bool,
+    /// The system with schedules attached.
+    pub system: System,
+}
+
+/// A reduced system containing only `F` and `R0` with the value and
+/// accumulation dependences — the "simplified BPMax" of Phase I
+/// (Equation 4).
+pub fn dmp_system() -> System {
+    let mut sys = System::new(&["M", "N"]);
+    sys.add_var(Var::new("F", box_domain(&F_IDX)));
+    sys.add_var(Var::new(
+        "R0",
+        box_domain(&R0_IDX)
+            .le(v("i1"), v("k1"))
+            .lt(v("k1"), v("j1"))
+            .le(v("i2"), v("k2"))
+            .lt(v("k2"), v("j2")),
+    ));
+    sys.add_dep(Dependence::new(
+        "R0 reads F(i1,k1,i2,k2)",
+        "R0",
+        "F",
+        AffineMap::new(&R0_IDX, vec![v("i1"), v("k1"), v("i2"), v("k2")]),
+    ));
+    sys.add_dep(Dependence::new(
+        "R0 reads F(k1+1,j1,k2+1,j2)",
+        "R0",
+        "F",
+        AffineMap::new(&R0_IDX, vec![v("k1") + 1, v("j1"), v("k2") + 1, v("j2")]),
+    ));
+    sys.add_dep(Dependence::reduction_result(
+        "F consumes reduce(R0)",
+        "F",
+        "R0",
+        AffineMap::new(&R0_IDX, vec![v("i1"), v("j1"), v("i2"), v("j2")]),
+    ));
+    sys.add_dep(
+        Dependence::new(
+            "R0 accumulation chain (k2)",
+            "R0",
+            "R0",
+            AffineMap::new(
+                &R0_IDX,
+                vec![v("i1"), v("j1"), v("i2"), v("j2"), v("k1"), v("k2") - 1],
+            ),
+        )
+        .with_guard(Domain::universe(&R0_IDX).ge0(v("k2") - v("i2") - 1)),
+    );
+    sys.add_dep(
+        Dependence::new(
+            "R0 accumulation chain (k1)",
+            "R0",
+            "R0",
+            AffineMap::new(
+                &R0_IDX,
+                vec![v("i1"), v("j1"), v("i2"), v("j2"), v("k1") - 1, v("i2")],
+            ),
+        )
+        .with_guard(
+            Domain::universe(&R0_IDX)
+                .ge0(v("k1") - v("i1") - 1)
+                .eq0(v("k2") - v("i2")),
+        ),
+    );
+    sys
+}
+
+/// Table I's double max-plus schedule candidates. All are legal; they
+/// differ in the inner-triangle walk (diagonal vs bottom-up) and in which
+/// dimension lands innermost.
+pub fn dmp_schedules() -> Vec<DmpSchedule> {
+    let mk = |label: &'static str,
+              vectorizable: bool,
+              f_dims: Vec<AffineExpr>,
+              r0_dims: Vec<AffineExpr>| {
+        let mut system = dmp_system();
+        system.set_schedule("F", sched(&F_IDX, f_dims));
+        system.set_schedule("R0", sched(&R0_IDX, r0_dims));
+        DmpSchedule {
+            label,
+            vectorizable,
+            system,
+        }
+    };
+    let d1 = || v("j1") - v("i1");
+    let big = || v("M") + v("N"); // an "after everything" slot
+    vec![
+        // (a) diagonal outer walk, k2 innermost — the unvectorizable order.
+        mk(
+            "a: (j1-i1, i1, k1 | i2, j2, k2)",
+            false,
+            vec![d1(), v("i1"), big(), v("i2"), v("j2"), big()],
+            vec![d1(), v("i1"), v("k1"), v("i2"), v("j2"), v("k2")],
+        ),
+        // (b) diagonal outer walk, j2 innermost — vectorizable.
+        mk(
+            "b: (j1-i1, i1, k1 | i2, k2, j2)",
+            true,
+            vec![d1(), v("i1"), big(), v("i2"), big(), v("j2")],
+            vec![d1(), v("i1"), v("k1"), v("i2"), v("k2"), v("j2")],
+        ),
+        // (c) bottom-up/left-right outer walk (-i1, j1), j2 innermost.
+        mk(
+            "c: (-i1, j1, k1 | i2, k2, j2)",
+            true,
+            vec![-v("i1"), v("j1"), big(), v("i2"), big(), v("j2")],
+            vec![-v("i1"), v("j1"), v("k1"), v("i2"), v("k2"), v("j2")],
+        ),
+        // (d) bottom-up walk with the inner triangle also bottom-up.
+        mk(
+            "d: (-i1, j1, k1 | -i2, k2, j2)",
+            true,
+            vec![-v("i1"), v("j1"), big(), -v("i2"), big(), v("j2")],
+            vec![-v("i1"), v("j1"), v("k1"), -v("i2"), v("k2"), v("j2")],
+        ),
+        // (e) inner diagonal walk (j2-i2, i2), k2 innermost.
+        mk(
+            "e: (j1-i1, i1, k1 | j2-i2, i2, k2)",
+            false,
+            vec![d1(), v("i1"), big(), v("j2") - v("i2"), v("i2"), big()],
+            vec![
+                d1(),
+                v("i1"),
+                v("k1"),
+                v("j2") - v("i2"),
+                v("i2"),
+                v("k2"),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyhedral::affine::env;
+    use polyhedral::Violation;
+
+    const SIZES: [(i64, i64); 2] = [(4, 4), (5, 3)];
+
+    fn assert_legal(sys: &System, name: &str) {
+        for (m, n) in SIZES {
+            let params = env(&[("M", m), ("N", n)]);
+            let viol = sys.verify(&params, m.max(n), 5);
+            assert!(
+                viol.is_empty(),
+                "{name} at M={m},N={n}:\n{}",
+                viol.iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+    }
+
+    #[test]
+    fn base_schedule_is_legal() {
+        assert_legal(&base_schedule(), "base");
+    }
+
+    #[test]
+    fn fine_grain_is_legal() {
+        assert_legal(&fine_grain(), "fine-grain (Table II)");
+    }
+
+    #[test]
+    fn coarse_grain_is_legal() {
+        assert_legal(&coarse_grain(), "coarse-grain (Table III)");
+    }
+
+    #[test]
+    fn hybrid_is_legal() {
+        assert_legal(&hybrid(), "hybrid (Table IV)");
+    }
+
+    #[test]
+    fn hybrid_tiled_is_legal() {
+        assert_legal(&hybrid_tiled(2, 2), "hybrid+tiled (Table V), 2x2");
+        assert_legal(&hybrid_tiled(3, 1), "hybrid+tiled (Table V), 3x1");
+    }
+
+    #[test]
+    fn all_dmp_schedules_are_legal() {
+        for s in dmp_schedules() {
+            assert_legal(&s.system, s.label);
+        }
+    }
+
+    #[test]
+    fn broken_schedule_is_caught() {
+        // Sabotage: run outer diagonals in DESCENDING order.
+        let mut sys = dmp_system();
+        sys.set_schedule(
+            "F",
+            sched(
+                &F_IDX,
+                vec![
+                    v("i1") - v("j1"),
+                    v("i1"),
+                    v("M") + v("N"),
+                    v("i2"),
+                    v("j2"),
+                    c(0),
+                ],
+            ),
+        );
+        sys.set_schedule(
+            "R0",
+            sched(
+                &R0_IDX,
+                vec![
+                    v("i1") - v("j1"),
+                    v("i1"),
+                    v("k1"),
+                    v("i2"),
+                    v("j2"),
+                    v("k2"),
+                ],
+            ),
+        );
+        let viol = sys.verify(&env(&[("M", 4), ("N", 4)]), 4, 5);
+        assert!(!viol.is_empty(), "descending diagonals must be illegal");
+    }
+
+    #[test]
+    fn premature_f_update_is_caught() {
+        // Sabotage the fine-grain schedule: F updates before the reduction
+        // finishes (F's k-slot dimension set to -1 instead of j1).
+        let mut sys = fine_grain();
+        sys.set_schedule(
+            "F",
+            sched(
+                &F_IDX,
+                vec![c(1), -v("i1"), v("j1"), c(-1), -v("i2"), c(0), v("j2"), c(0)],
+            ),
+        );
+        let viol = sys.verify(&env(&[("M", 4), ("N", 4)]), 4, 10);
+        assert!(viol
+            .iter()
+            .any(|x| matches!(x, Violation::NotBefore { .. })));
+    }
+
+    #[test]
+    fn race_is_caught_when_r1_declared_parallel() {
+        // Sabotage the coarse-grain schedule: declare dimension 4 parallel
+        // too. R1 reads F of the same triangle at other rows i2 — now a
+        // cross-thread race at dim 4.
+        let mut sys = coarse_grain();
+        sys.set_parallel(4);
+        let viol = sys.verify(&env(&[("M", 3), ("N", 4)]), 4, 200);
+        assert!(
+            viol.iter().any(|x| matches!(x, Violation::Race { .. })),
+            "expected a race, got: {:?}",
+            viol.first()
+        );
+    }
+
+    #[test]
+    fn instance_counts_scale_with_size() {
+        let sys = bpmax_system();
+        let small = sys.dependence_instances(&env(&[("M", 3), ("N", 3)]), 3);
+        let large = sys.dependence_instances(&env(&[("M", 5), ("N", 5)]), 5);
+        assert!(large > small);
+        assert!(small > 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Independent brute force over joint structures.
+//!
+//! The spec oracle (`bpmax::spec`) is a different *traversal* of the same
+//! recurrence; this test is a different *definition*: enumerate every set
+//! of pairs (intramolecular in each strand + intermolecular) that passes
+//! the structural validity rules (`JointStructure::validate`: disjoint
+//! positions, non-crossing intra pairs, parallel non-crossing inter
+//! pairs), score each, and take the maximum.
+//!
+//! Two directions are checked:
+//! * **soundness**: every BPMax traceback validates, so BPMax ≤ brute max;
+//! * **completeness at small sizes**: BPMax == brute max on exhaustive
+//!   tiny instances — i.e. at these sizes the recurrence's decomposition
+//!   grammar reaches every disjoint/non-crossing/parallel structure.
+//!   (The literature's "zigzag" exclusions need deeper nesting than these
+//!   sizes express; if a gap exists at larger sizes, this test documents
+//!   exactly where the class boundary is *not*.)
+
+use bpmax::spec::spec_score;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rna::{JointStructure, RnaSeq, ScoringModel, Structure};
+
+/// Enumerate assignments for s1 positions (unpaired / intra1 / inter),
+/// then all intra2 matchings of leftover s2 positions; keep the best
+/// score among structures that validate.
+fn brute_force_joint(s1: &RnaSeq, s2: &RnaSeq, model: &ScoringModel) -> f32 {
+    let m = s1.len();
+    let n = s2.len();
+    let mut used1 = vec![false; m];
+    let mut used2 = vec![false; n];
+    let mut intra1: Vec<(usize, usize)> = Vec::new();
+    let mut intra2: Vec<(usize, usize)> = Vec::new();
+    let mut inter: Vec<(usize, usize)> = Vec::new();
+    let mut best = f32::NEG_INFINITY;
+
+    fn finish_s2(
+        pos: usize,
+        s1: &RnaSeq,
+        s2: &RnaSeq,
+        model: &ScoringModel,
+        used2: &mut Vec<bool>,
+        intra1: &Vec<(usize, usize)>,
+        intra2: &mut Vec<(usize, usize)>,
+        inter: &Vec<(usize, usize)>,
+        best: &mut f32,
+    ) {
+        let n = s2.len();
+        let next = (pos..n).find(|&p| !used2[p]);
+        match next {
+            None => {
+                let js = JointStructure {
+                    intra1: Structure::new(intra1.clone()),
+                    intra2: Structure::new(intra2.clone()),
+                    inter: inter.clone(),
+                };
+                if js.validate(s1.len(), n).is_ok() {
+                    let score = js.score(s1, s2, model);
+                    if score > *best {
+                        *best = score;
+                    }
+                }
+            }
+            Some(p) => {
+                // p unpaired
+                used2[p] = true;
+                finish_s2(p + 1, s1, s2, model, used2, intra1, intra2, inter, best);
+                // p pairs a later unused s2 position
+                for q in p + 1..n {
+                    if !used2[q]
+                        && model.intra_pos(p, q, s2[p], s2[q]) != ScoringModel::NO_PAIR
+                    {
+                        used2[q] = true;
+                        intra2.push((p, q));
+                        finish_s2(p + 1, s1, s2, model, used2, intra1, intra2, inter, best);
+                        intra2.pop();
+                        used2[q] = false;
+                    }
+                }
+                used2[p] = false;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn go(
+        pos: usize,
+        s1: &RnaSeq,
+        s2: &RnaSeq,
+        model: &ScoringModel,
+        used1: &mut Vec<bool>,
+        used2: &mut Vec<bool>,
+        intra1: &mut Vec<(usize, usize)>,
+        intra2: &mut Vec<(usize, usize)>,
+        inter: &mut Vec<(usize, usize)>,
+        best: &mut f32,
+    ) {
+        let m = s1.len();
+        let next = (pos..m).find(|&p| !used1[p]);
+        match next {
+            None => finish_s2(0, s1, s2, model, used2, intra1, intra2, inter, best),
+            Some(p) => {
+                used1[p] = true;
+                // unpaired
+                go(p + 1, s1, s2, model, used1, used2, intra1, intra2, inter, best);
+                // intra1 with a later unused s1 position
+                for q in p + 1..m {
+                    if !used1[q]
+                        && model.intra_pos(p, q, s1[p], s1[q]) != ScoringModel::NO_PAIR
+                    {
+                        used1[q] = true;
+                        intra1.push((p, q));
+                        go(p + 1, s1, s2, model, used1, used2, intra1, intra2, inter, best);
+                        intra1.pop();
+                        used1[q] = false;
+                    }
+                }
+                // inter with an unused s2 position
+                for q in 0..s2.len() {
+                    if !used2[q] && model.inter(s1[p], s2[q]) != ScoringModel::NO_PAIR {
+                        used2[q] = true;
+                        inter.push((p, q));
+                        go(p + 1, s1, s2, model, used1, used2, intra1, intra2, inter, best);
+                        inter.pop();
+                        used2[q] = false;
+                    }
+                }
+                used1[p] = false;
+            }
+        }
+    }
+
+    go(
+        0, s1, s2, model, &mut used1, &mut used2, &mut intra1, &mut intra2, &mut inter,
+        &mut best,
+    );
+    best.max(0.0) // the empty structure is always available
+}
+
+fn check(s1: &RnaSeq, s2: &RnaSeq, model: &ScoringModel) {
+    let dp = spec_score(s1, s2, model);
+    let bf = brute_force_joint(s1, s2, model);
+    assert_eq!(
+        dp, bf,
+        "class mismatch on {s1} / {s2}: recurrence {dp}, brute force {bf}"
+    );
+}
+
+#[test]
+fn matches_brute_force_on_fixed_instances() {
+    let model = ScoringModel::bpmax_default();
+    for (a, b) in [
+        ("G", "C"),
+        ("GC", "GC"),
+        ("GGA", "UCC"),
+        ("GAUC", "GAUC"),
+        ("GGGA", "UCCC"),
+        ("ACGU", "ACGU"),
+    ] {
+        check(&a.parse().unwrap(), &b.parse().unwrap(), &model);
+    }
+}
+
+#[test]
+fn matches_brute_force_on_random_3x4() {
+    let mut rng = StdRng::seed_from_u64(0xBF01);
+    let model = ScoringModel::bpmax_default();
+    for _ in 0..15 {
+        let s1 = RnaSeq::random(&mut rng, 3);
+        let s2 = RnaSeq::random(&mut rng, 4);
+        check(&s1, &s2, &model);
+    }
+}
+
+#[test]
+fn matches_brute_force_on_random_4x4() {
+    let mut rng = StdRng::seed_from_u64(0xBF02);
+    let model = ScoringModel::bpmax_default();
+    for _ in 0..10 {
+        let s1 = RnaSeq::random(&mut rng, 4);
+        let s2 = RnaSeq::random(&mut rng, 4);
+        check(&s1, &s2, &model);
+    }
+}
+
+#[test]
+fn matches_brute_force_with_min_loop() {
+    let mut rng = StdRng::seed_from_u64(0xBF03);
+    let model = ScoringModel::bpmax_default().with_min_loop(2);
+    for _ in 0..10 {
+        let s1 = RnaSeq::random(&mut rng, 4);
+        let s2 = RnaSeq::random(&mut rng, 4);
+        check(&s1, &s2, &model);
+    }
+}
+
+#[test]
+fn matches_brute_force_on_random_5x4() {
+    let mut rng = StdRng::seed_from_u64(0xBF04);
+    let model = ScoringModel::bpmax_default();
+    for _ in 0..6 {
+        let s1 = RnaSeq::random(&mut rng, 5);
+        let s2 = RnaSeq::random(&mut rng, 4);
+        check(&s1, &s2, &model);
+    }
+}
+
+#[test]
+fn matches_brute_force_on_random_6x5() {
+    let mut rng = StdRng::seed_from_u64(0xBF05);
+    let model = ScoringModel::bpmax_default();
+    for _ in 0..4 {
+        let s1 = RnaSeq::random(&mut rng, 6);
+        let s2 = RnaSeq::random(&mut rng, 5);
+        check(&s1, &s2, &model);
+    }
+}

@@ -1,0 +1,30 @@
+//! Machine model: cache hierarchies, roofline analysis, cache simulation,
+//! and analytic data-traffic estimates.
+//!
+//! The paper grounds its optimization targets in a machine model of the
+//! Xeon E5-1650v4 (§V.A): per-level sustained bandwidths from Intel's
+//! micro-architecture documentation, a theoretical *max-plus* peak of
+//! ~346 single-precision GFLOPS, and the arithmetic intensity `1/6`
+//! FLOP/byte of the streaming max-plus access pattern. Everything the
+//! evaluation argues — why coarse-grain parallelization collapses (DRAM
+//! bound), why tiling gets within 97% of the micro-benchmark, why `R1`/`R2`
+//! hurt (Θ(N²) row working set) — is a statement about this model.
+//!
+//! * [`spec`] — machine descriptions with presets for both Xeons used in
+//!   the paper.
+//! * [`roofline`] — roofline curves and attainable-performance queries
+//!   (reproduces Fig 11).
+//! * [`cache`] — a multi-level set-associative LRU cache simulator that
+//!   consumes memory traces from `polyhedral::executor` (replaces the
+//!   paper's hardware performance counters).
+//! * [`traffic`] — closed-form working-set/traffic estimates for the BPMax
+//!   reductions (the Θ(N²)-per-row analysis of §V.C).
+
+pub mod cache;
+pub mod roofline;
+pub mod spec;
+pub mod traffic;
+
+pub use cache::{CacheSim, LevelStats};
+pub use roofline::Roofline;
+pub use spec::{CacheLevel, MachineSpec};

@@ -1,0 +1,187 @@
+//! Roofline model (Fig 11).
+//!
+//! Attainable performance at arithmetic intensity `I` (FLOP/byte) through a
+//! memory level with bandwidth `B` (GB/s) under compute peak `P` (GFLOPS):
+//! `min(P, I·B)`. The paper plots one roof per memory level (L1, L2, L3,
+//! DRAM) for the max-plus peak of the Xeon E5-1650v4, and marks the BPMax
+//! streaming pattern at `I = 2 / (3×4) = 1/6`: the expected ceiling through
+//! L1 is ≈ 329 GFLOPS at 6 threads — slightly below peak — while through
+//! DRAM it is only ≈ 12.8 GFLOPS, which is why locality decides everything.
+
+use crate::spec::MachineSpec;
+
+/// The arithmetic intensity of the max-plus streaming pattern
+/// `Y = max(a + X, Y)`: 2 FLOPs per three 4-byte memory operations.
+pub const MAXPLUS_STREAM_AI: f64 = 2.0 / 12.0;
+
+/// A roofline for one machine at a given thread count.
+#[derive(Clone, Debug)]
+pub struct Roofline {
+    /// The machine.
+    pub spec: MachineSpec,
+    /// Thread count the roofs are drawn for.
+    pub threads: usize,
+}
+
+/// One roof: a named bandwidth ceiling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Roof {
+    /// Level name ("L1" … "DRAM").
+    pub name: String,
+    /// Bandwidth in GB/s (aggregated over threads for private levels).
+    pub bw_gbps: f64,
+}
+
+impl Roofline {
+    /// Build for a machine at `threads` threads.
+    pub fn new(spec: MachineSpec, threads: usize) -> Self {
+        Roofline { spec, threads }
+    }
+
+    /// Compute peak in GFLOPS (max-plus, single precision).
+    pub fn peak(&self) -> f64 {
+        self.spec.maxplus_peak_gflops(self.threads)
+    }
+
+    /// All roofs, innermost level first, DRAM last.
+    pub fn roofs(&self) -> Vec<Roof> {
+        let mut out: Vec<Roof> = self
+            .spec
+            .caches
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Roof {
+                name: c.name.to_string(),
+                bw_gbps: self.spec.cache_bw_gbps(i, self.threads),
+            })
+            .collect();
+        out.push(Roof {
+            name: "DRAM".to_string(),
+            bw_gbps: self.spec.dram_gbps,
+        });
+        out
+    }
+
+    /// Attainable GFLOPS at intensity `ai` through the level named `level`.
+    pub fn attainable(&self, level: &str, ai: f64) -> f64 {
+        let roof = self
+            .roofs()
+            .into_iter()
+            .find(|r| r.name == level)
+            .unwrap_or_else(|| panic!("unknown memory level {level:?}"));
+        (ai * roof.bw_gbps).min(self.peak())
+    }
+
+    /// Ridge point of a level: the intensity where its bandwidth roof meets
+    /// the compute peak.
+    pub fn ridge(&self, level: &str) -> f64 {
+        let roof = self
+            .roofs()
+            .into_iter()
+            .find(|r| r.name == level)
+            .unwrap_or_else(|| panic!("unknown memory level {level:?}"));
+        self.peak() / roof.bw_gbps
+    }
+
+    /// Sample a roof as `(ai, gflops)` points over log-spaced intensities —
+    /// the plot series of Fig 11.
+    pub fn series(&self, level: &str, ai_min: f64, ai_max: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2 && ai_min > 0.0 && ai_max > ai_min);
+        let l0 = ai_min.ln();
+        let l1 = ai_max.ln();
+        (0..points)
+            .map(|k| {
+                let ai = (l0 + (l1 - l0) * k as f64 / (points - 1) as f64).exp();
+                (ai, self.attainable(level, ai))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn six_thread_e5() -> Roofline {
+        Roofline::new(MachineSpec::xeon_e5_1650v4(), 6)
+    }
+
+    #[test]
+    fn l1_ceiling_matches_paper_329() {
+        let r = six_thread_e5();
+        // 1/6 FLOP/byte × (6 × 334.8 GB/s) = 334.8 GFLOPS, capped at peak
+        // 345.6 → paper rounds the attainable value to "around 329 GFLOPS"
+        // using its own bandwidth accounting; we accept the 329–335 window.
+        let a = r.attainable("L1", MAXPLUS_STREAM_AI);
+        assert!(a > 320.0 && a <= r.peak(), "attainable {a}");
+    }
+
+    #[test]
+    fn dram_ceiling_is_low() {
+        let r = six_thread_e5();
+        let a = r.attainable("DRAM", MAXPLUS_STREAM_AI);
+        // 76.8 GB/s × 1/6 = 12.8 GFLOPS
+        assert!((a - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roofs_order_and_count() {
+        let r = six_thread_e5();
+        let roofs = r.roofs();
+        assert_eq!(
+            roofs.iter().map(|x| x.name.as_str()).collect::<Vec<_>>(),
+            vec!["L1", "L2", "L3", "DRAM"]
+        );
+        // cache bandwidths decrease outward at 6 threads; DRAM sits below
+        // L2 (the paper's 14 B/cyc L3 figure is per-core sustained, so the
+        // L3 roof can fall below the DRAM socket number — Fig 11 shows the
+        // same inversion).
+        for w in roofs[..3].windows(2) {
+            assert!(w[0].bw_gbps > w[1].bw_gbps);
+        }
+        assert!(roofs[3].bw_gbps < roofs[1].bw_gbps);
+    }
+
+    #[test]
+    fn attainable_caps_at_peak() {
+        let r = six_thread_e5();
+        assert_eq!(r.attainable("L1", 1e6), r.peak());
+    }
+
+    #[test]
+    fn ridge_point_sanity() {
+        let r = six_thread_e5();
+        let ridge = r.ridge("L1");
+        // below ridge: bandwidth-bound; above: compute-bound
+        assert!(r.attainable("L1", ridge * 0.5) < r.peak());
+        assert_eq!(r.attainable("L1", ridge * 2.0), r.peak());
+    }
+
+    #[test]
+    fn series_is_monotone_nondecreasing() {
+        let r = six_thread_e5();
+        let s = r.series("L3", 0.01, 100.0, 40);
+        assert_eq!(s.len(), 40);
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn single_thread_roofline_lower() {
+        let r1 = Roofline::new(MachineSpec::xeon_e5_1650v4(), 1);
+        let r6 = six_thread_e5();
+        assert!(r1.attainable("L1", MAXPLUS_STREAM_AI) < r6.attainable("L1", MAXPLUS_STREAM_AI));
+        // shared DRAM: same roof regardless of threads
+        assert_eq!(
+            r1.attainable("DRAM", MAXPLUS_STREAM_AI),
+            r6.attainable("DRAM", MAXPLUS_STREAM_AI)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown memory level")]
+    fn unknown_level_panics() {
+        six_thread_e5().attainable("L9", 1.0);
+    }
+}

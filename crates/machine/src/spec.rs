@@ -1,0 +1,251 @@
+//! Machine descriptions.
+
+/// One cache level.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheLevel {
+    /// Level name ("L1", "L2", "L3").
+    pub name: &'static str,
+    /// Capacity in bytes (per core for private levels, total for shared).
+    pub size_bytes: usize,
+    /// Associativity (ways).
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Sustained bandwidth in bytes per cycle (per core for private
+    /// levels), from vendor micro-architecture documentation.
+    pub bytes_per_cycle: f64,
+    /// Whether the level is shared across cores.
+    pub shared: bool,
+}
+
+impl CacheLevel {
+    /// Number of sets (`size / (assoc × line)`).
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.assoc * self.line_bytes)
+    }
+
+    /// Bandwidth in GB/s at the given core frequency (per core for private
+    /// levels).
+    pub fn gbytes_per_sec(&self, freq_ghz: f64) -> f64 {
+        self.bytes_per_cycle * freq_ghz
+    }
+}
+
+/// A CPU description sufficient for roofline analysis and cache simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Physical cores.
+    pub cores: usize,
+    /// Hardware threads (with SMT/hyper-threading).
+    pub threads: usize,
+    /// Sustained core frequency in GHz (all-core turbo for vector code).
+    pub freq_ghz: f64,
+    /// Single-precision SIMD lanes (8 for AVX2).
+    pub simd_lanes_f32: usize,
+    /// Max-plus operations issued per lane per cycle (2 when `vmaxps` and
+    /// `vaddps` dual-issue on separate ports, as on Broadwell/Coffee Lake).
+    pub ops_per_lane_cycle: usize,
+    /// Cache levels, innermost first.
+    pub caches: Vec<CacheLevel>,
+    /// DRAM bandwidth in GB/s (socket total).
+    pub dram_gbps: f64,
+}
+
+impl MachineSpec {
+    /// Theoretical single-precision **max-plus** peak in GFLOPS for `t`
+    /// threads (capped at physical cores — SMT does not add issue width).
+    pub fn maxplus_peak_gflops(&self, threads: usize) -> f64 {
+        let effective = threads.min(self.cores) as f64;
+        effective * self.freq_ghz * self.simd_lanes_f32 as f64 * self.ops_per_lane_cycle as f64
+    }
+
+    /// Socket peak (all cores).
+    pub fn socket_peak_gflops(&self) -> f64 {
+        self.maxplus_peak_gflops(self.cores)
+    }
+
+    /// Bandwidth of cache level `idx` in GB/s, aggregated over `t` threads
+    /// for private levels (each core streams from its own L1/L2).
+    pub fn cache_bw_gbps(&self, idx: usize, threads: usize) -> f64 {
+        let level = &self.caches[idx];
+        let per = level.gbytes_per_sec(self.freq_ghz);
+        if level.shared {
+            per
+        } else {
+            per * threads.min(self.cores) as f64
+        }
+    }
+
+    /// The Xeon E5-1650v4 of the paper: 6C/12T Broadwell-E, 32 KB 8-way L1
+    /// and 256 KB 8-way L2 per core, 15 MB 20-way shared L3; sustained
+    /// bandwidths 93 / 25 / 14 bytes/cycle; DRAM 76.8 GB/s. With the 3.6 GHz
+    /// clock this yields the paper's ~346 GFLOPS max-plus peak
+    /// (6 × 3.6 × 8 × 2 = 345.6).
+    pub fn xeon_e5_1650v4() -> Self {
+        MachineSpec {
+            name: "Intel Xeon E5-1650 v4",
+            cores: 6,
+            threads: 12,
+            freq_ghz: 3.6,
+            simd_lanes_f32: 8,
+            ops_per_lane_cycle: 2,
+            caches: vec![
+                CacheLevel {
+                    name: "L1",
+                    size_bytes: 32 * 1024,
+                    assoc: 8,
+                    line_bytes: 64,
+                    bytes_per_cycle: 93.0,
+                    shared: false,
+                },
+                CacheLevel {
+                    name: "L2",
+                    size_bytes: 256 * 1024,
+                    assoc: 8,
+                    line_bytes: 64,
+                    bytes_per_cycle: 25.0,
+                    shared: false,
+                },
+                CacheLevel {
+                    name: "L3",
+                    size_bytes: 15 * 1024 * 1024,
+                    assoc: 20,
+                    line_bytes: 64,
+                    bytes_per_cycle: 14.0,
+                    shared: true,
+                },
+            ],
+            dram_gbps: 76.8,
+        }
+    }
+
+    /// The Xeon E-2278G used for the scalability check (8C/16T Coffee
+    /// Lake, "runs almost at the same speed as E5-1650v4").
+    pub fn xeon_e_2278g() -> Self {
+        MachineSpec {
+            name: "Intel Xeon E-2278G",
+            cores: 8,
+            threads: 16,
+            freq_ghz: 3.4,
+            simd_lanes_f32: 8,
+            ops_per_lane_cycle: 2,
+            caches: vec![
+                CacheLevel {
+                    name: "L1",
+                    size_bytes: 32 * 1024,
+                    assoc: 8,
+                    line_bytes: 64,
+                    bytes_per_cycle: 93.0,
+                    shared: false,
+                },
+                CacheLevel {
+                    name: "L2",
+                    size_bytes: 256 * 1024,
+                    assoc: 4,
+                    line_bytes: 64,
+                    bytes_per_cycle: 25.0,
+                    shared: false,
+                },
+                CacheLevel {
+                    name: "L3",
+                    size_bytes: 16 * 1024 * 1024,
+                    assoc: 16,
+                    line_bytes: 64,
+                    bytes_per_cycle: 14.0,
+                    shared: true,
+                },
+            ],
+            dram_gbps: 41.6, // 2-channel DDR4-2666
+        }
+    }
+
+    /// A deliberately small synthetic machine for fast cache-simulation
+    /// tests (tiny caches make capacity effects visible at test sizes).
+    pub fn tiny_test_machine() -> Self {
+        MachineSpec {
+            name: "tiny-test",
+            cores: 2,
+            threads: 4,
+            freq_ghz: 1.0,
+            simd_lanes_f32: 4,
+            ops_per_lane_cycle: 1,
+            caches: vec![
+                CacheLevel {
+                    name: "L1",
+                    size_bytes: 512,
+                    assoc: 2,
+                    line_bytes: 32,
+                    bytes_per_cycle: 32.0,
+                    shared: false,
+                },
+                CacheLevel {
+                    name: "L2",
+                    size_bytes: 4096,
+                    assoc: 4,
+                    line_bytes: 32,
+                    bytes_per_cycle: 8.0,
+                    shared: true,
+                },
+            ],
+            dram_gbps: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_peak_matches_paper() {
+        let m = MachineSpec::xeon_e5_1650v4();
+        let peak = m.socket_peak_gflops();
+        // paper: "about 346 GFLOPS"
+        assert!((peak - 345.6).abs() < 1e-9, "peak {peak}");
+    }
+
+    #[test]
+    fn peak_caps_at_physical_cores() {
+        let m = MachineSpec::xeon_e5_1650v4();
+        assert_eq!(
+            m.maxplus_peak_gflops(12),
+            m.maxplus_peak_gflops(6),
+            "hyper-threads must not add peak"
+        );
+        assert!(m.maxplus_peak_gflops(1) < m.maxplus_peak_gflops(2));
+    }
+
+    #[test]
+    fn l1_bandwidth_scales_private() {
+        let m = MachineSpec::xeon_e5_1650v4();
+        let one = m.cache_bw_gbps(0, 1);
+        let six = m.cache_bw_gbps(0, 6);
+        assert!((six / one - 6.0).abs() < 1e-9);
+        // paper: 93 B/cyc × 3.6 GHz = 334.8 GB/s per core
+        assert!((one - 334.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l3_bandwidth_is_shared() {
+        let m = MachineSpec::xeon_e5_1650v4();
+        assert_eq!(m.cache_bw_gbps(2, 1), m.cache_bw_gbps(2, 6));
+    }
+
+    #[test]
+    fn set_counts() {
+        let m = MachineSpec::xeon_e5_1650v4();
+        assert_eq!(m.caches[0].sets(), 64); // 32K / (8 × 64)
+        assert_eq!(m.caches[2].sets(), 12288); // 15M / (20 × 64)
+    }
+
+    #[test]
+    fn e2278g_has_more_cores_similar_speed() {
+        let a = MachineSpec::xeon_e5_1650v4();
+        let b = MachineSpec::xeon_e_2278g();
+        assert!(b.cores > a.cores);
+        assert!((a.freq_ghz - b.freq_ghz).abs() < 0.5);
+        assert!(b.socket_peak_gflops() > a.socket_peak_gflops());
+    }
+}

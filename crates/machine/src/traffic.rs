@@ -1,0 +1,203 @@
+//! Analytic working-set and data-traffic estimates for BPMax.
+//!
+//! §V.C of the paper explains the performance ceiling of the full program
+//! by data-movement arithmetic: computing one *row* of an inner triangle of
+//! the F-table for reductions `R1`/`R2` touches "most of the elements of
+//! one inner triangle of F-table and the S⁽²⁾-table", i.e. a working set of
+//! Θ(N²) ≈ 16 MB for N = 2048 — larger than the 15 MB L3, so hybrid
+//! parallelization beyond physical cores starves on DRAM. These closed
+//! forms reproduce that arithmetic and the coarse-vs-fine traffic
+//! comparison, and the cache-simulator tests cross-check them at small N.
+
+use crate::spec::MachineSpec;
+
+/// Bytes of one single-precision element.
+pub const F32_BYTES: usize = 4;
+
+/// Elements in a packed triangle of side `n`: `n(n+1)/2`.
+pub fn triangle_elems(n: usize) -> usize {
+    n * (n + 1) / 2
+}
+
+/// Storage of the packed 4-D F-table for sizes `m × n`, in bytes —
+/// `T(m) × T(n)` single-precision cells ("one-fourth" of the `M²N²`
+/// bounding box the default AlphaZ memory map would allocate).
+pub fn ftable_bytes(m: usize, n: usize) -> usize {
+    triangle_elems(m) * triangle_elems(n) * F32_BYTES
+}
+
+/// Bounding-box storage the default memory map would use, in bytes.
+pub fn ftable_bbox_bytes(m: usize, n: usize) -> usize {
+    m * m * n * n * F32_BYTES
+}
+
+/// Working set of computing one row of an inner triangle for `R1`/`R2`
+/// (§V.C): one inner triangle of F (`T(n)` cells) plus the S⁽²⁾ triangle —
+/// Θ(N²) bytes.
+pub fn r1r2_row_working_set_bytes(n: usize) -> usize {
+    (triangle_elems(n) + triangle_elems(n)) * F32_BYTES
+}
+
+/// Does the `R1`/`R2` row working set fit in the machine's last-level
+/// cache? (The paper's N = 2048 case: 16 MB > 15 MB L3 → no.)
+pub fn r1r2_row_fits_llc(spec: &MachineSpec, n: usize) -> bool {
+    let llc = spec
+        .caches
+        .last()
+        .expect("machine has caches")
+        .size_bytes;
+    r1r2_row_working_set_bytes(n) <= llc
+}
+
+/// Max-plus FLOPs of the double max-plus reduction `R0` over the full
+/// table: for every `(i1 ≤ k1 < j1)` × `(i2 ≤ k2 < j2)` combination, 2
+/// FLOPs. Closed form: `2 · C(m+1, 3)·... ` computed exactly by summation
+/// (cheap — only `m·n` terms).
+pub fn r0_flops(m: usize, n: usize) -> u64 {
+    // Σ_{i1≤j1} (j1-i1) = Σ_{d1=0}^{m-1} d1·(m-d1)  (d1 = j1-i1)
+    let s1: u64 = (0..m as u64).map(|d| d * (m as u64 - d)).sum();
+    let s2: u64 = (0..n as u64).map(|d| d * (n as u64 - d)).sum();
+    2 * s1 * s2
+}
+
+/// FLOPs of `R1` + `R2` (each: Σ over (i1,j1) pairs × Σ over (i2,j2) of
+/// (j2-i2) combinations, 2 FLOPs per term).
+pub fn r1r2_flops(m: usize, n: usize) -> u64 {
+    let pairs1 = triangle_elems(m) as u64;
+    let s2: u64 = (0..n as u64).map(|d| d * (n as u64 - d)).sum();
+    2 * 2 * pairs1 * s2
+}
+
+/// FLOPs of `R3` + `R4` (symmetric to `R1`/`R2` with the strands swapped).
+pub fn r3r4_flops(m: usize, n: usize) -> u64 {
+    let pairs2 = triangle_elems(n) as u64;
+    let s1: u64 = (0..m as u64).map(|d| d * (m as u64 - d)).sum();
+    2 * 2 * pairs2 * s1
+}
+
+/// Total reduction FLOPs of BPMax (R0 + R1 + R2 + R3 + R4). The O(M²N²)
+/// pointwise `F` work (base cases, the two pair-closing terms, `S1+S2`) is
+/// excluded — the paper's GFLOPS numbers count reduction work.
+pub fn bpmax_flops(m: usize, n: usize) -> u64 {
+    r0_flops(m, n) + r1r2_flops(m, n) + r3r4_flops(m, n)
+}
+
+/// Fraction of BPMax FLOPs in the double max-plus (→ 1 as sizes grow; the
+/// reason the paper optimizes R0 first).
+pub fn r0_fraction(m: usize, n: usize) -> f64 {
+    r0_flops(m, n) as f64 / bpmax_flops(m, n) as f64
+}
+
+/// DRAM traffic estimate (bytes) of the **coarse-grain** schedule for one
+/// inner-triangle update in R0: each thread walks a different inner
+/// triangle of F *and* all triangles west/south of it; the per-thread
+/// streams do not share, so every F row it consumes is fetched from DRAM.
+/// Traffic ≈ reads of 2·T(n) cells per (k1) step, times threads.
+pub fn coarse_r0_dram_bytes_per_step(n: usize, threads: usize) -> usize {
+    2 * triangle_elems(n) * F32_BYTES * threads
+}
+
+/// The same step under the **fine-grain** schedule: the threads cooperate
+/// on one triangle; each F row is fetched once and reused across rows via
+/// shared LLC. Traffic ≈ reads of 2·T(n) cells, once.
+pub fn fine_r0_dram_bytes_per_step(n: usize) -> usize {
+    2 * triangle_elems(n) * F32_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MachineSpec;
+
+    #[test]
+    fn paper_16mb_working_set_at_2048() {
+        let ws = r1r2_row_working_set_bytes(2048);
+        // 2 × T(2048) × 4 B ≈ 16.8 MB — the paper's "about 16 MB".
+        assert!(ws > 15 * 1024 * 1024 && ws < 18 * 1024 * 1024, "ws {ws}");
+        assert!(!r1r2_row_fits_llc(&MachineSpec::xeon_e5_1650v4(), 2048));
+        assert!(r1r2_row_fits_llc(&MachineSpec::xeon_e5_1650v4(), 512));
+    }
+
+    #[test]
+    fn ftable_is_quarter_of_bbox() {
+        let m = 64;
+        let n = 48;
+        let packed = ftable_bytes(m, n);
+        let bbox = ftable_bbox_bytes(m, n);
+        let ratio = packed as f64 / bbox as f64;
+        // T(m)T(n) / (m²n²) → 1/4 as sizes grow
+        assert!((ratio - 0.25).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn r0_flops_matches_bruteforce() {
+        let (m, n) = (7, 5);
+        let mut count = 0u64;
+        for i1 in 0..m {
+            for j1 in i1..m {
+                for i2 in 0..n {
+                    for j2 in i2..n {
+                        for _k1 in i1..j1 {
+                            for _k2 in i2..j2 {
+                                count += 2;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(r0_flops(m, n), count);
+    }
+
+    #[test]
+    fn r1r2_flops_matches_bruteforce() {
+        let (m, n) = (6, 5);
+        let mut count = 0u64;
+        for i1 in 0..m {
+            for j1 in i1..m {
+                let _ = j1;
+                for i2 in 0..n {
+                    for j2 in i2..n {
+                        for _k2 in i2..j2 {
+                            count += 2 * 2; // R1 and R2
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(r1r2_flops(m, n), count);
+    }
+
+    #[test]
+    fn r0_dominates_at_scale() {
+        assert!(r0_fraction(16, 16) > 0.5);
+        assert!(r0_fraction(128, 128) > 0.9);
+        assert!(r0_fraction(128, 128) > r0_fraction(16, 16));
+    }
+
+    #[test]
+    fn asymmetric_sizes() {
+        // R1/R2 are Θ(M²N³): with N ≫ M they rival R0 (Θ(M³N³)/36-ish).
+        let frac_square = r0_fraction(64, 64);
+        let frac_skewed = r0_fraction(4, 64);
+        assert!(frac_skewed < frac_square);
+    }
+
+    #[test]
+    fn coarse_traffic_exceeds_fine() {
+        let n = 256;
+        assert_eq!(
+            coarse_r0_dram_bytes_per_step(n, 6),
+            6 * fine_r0_dram_bytes_per_step(n)
+        );
+    }
+
+    #[test]
+    fn bpmax_flops_is_sum() {
+        let (m, n) = (10, 12);
+        assert_eq!(
+            bpmax_flops(m, n),
+            r0_flops(m, n) + r1r2_flops(m, n) + r3r4_flops(m, n)
+        );
+    }
+}

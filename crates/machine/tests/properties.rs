@@ -1,0 +1,122 @@
+//! Property tests for the machine model: cache-simulator invariants and
+//! roofline monotonicity.
+
+use machine::cache::CacheSim;
+use machine::roofline::Roofline;
+use machine::spec::{CacheLevel, MachineSpec};
+use machine::traffic;
+use proptest::prelude::*;
+
+fn tiny_machine(l1_bytes: usize, assoc: usize) -> MachineSpec {
+    MachineSpec {
+        name: "prop-test",
+        cores: 1,
+        threads: 1,
+        freq_ghz: 1.0,
+        simd_lanes_f32: 4,
+        ops_per_lane_cycle: 1,
+        caches: vec![CacheLevel {
+            name: "L1",
+            size_bytes: l1_bytes,
+            assoc,
+            line_bytes: 32,
+            bytes_per_cycle: 32.0,
+            shared: false,
+        }],
+        dram_gbps: 1.0,
+    }
+}
+
+fn access_trace() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    proptest::collection::vec(((0u64..2048), any::<bool>()), 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hits_plus_misses_equals_accesses(trace in access_trace()) {
+        let mut sim = CacheSim::new(&tiny_machine(512, 2));
+        for &(addr, write) in &trace {
+            if write {
+                sim.write(addr, 4);
+            } else {
+                sim.read(addr, 4);
+            }
+        }
+        let s = sim.stats()[0];
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert!(s.accesses >= trace.len() as u64); // straddles add accesses
+        // DRAM lines = L1 misses in a one-level hierarchy
+        prop_assert_eq!(sim.dram_lines(), s.misses);
+    }
+
+    #[test]
+    fn bigger_cache_never_misses_more_fully_assoc(trace in access_trace()) {
+        // LRU with full associativity is a stack algorithm: no Belady
+        // anomaly, so a larger cache cannot miss more.
+        let run = |bytes: usize| {
+            let assoc = bytes / 32; // fully associative (one set)
+            let mut sim = CacheSim::new(&tiny_machine(bytes, assoc));
+            for &(addr, write) in &trace {
+                if write {
+                    sim.write(addr, 4);
+                } else {
+                    sim.read(addr, 4);
+                }
+            }
+            sim.stats()[0].misses
+        };
+        prop_assert!(run(1024) <= run(256));
+        prop_assert!(run(4096) <= run(1024));
+    }
+
+    #[test]
+    fn repeating_a_trace_only_adds_hits_when_it_fits(
+        addrs in proptest::collection::vec(0u64..8, 1..8),
+    ) {
+        // 8 lines × 32 B = 256 B working set fits a 512 B cache: the
+        // second pass must be all hits.
+        let mut sim = CacheSim::new(&tiny_machine(512, 16));
+        for &a in &addrs {
+            sim.read(a * 32, 4);
+        }
+        let first = sim.stats()[0];
+        for &a in &addrs {
+            sim.read(a * 32, 4);
+        }
+        let second = sim.stats()[0];
+        prop_assert_eq!(second.misses, first.misses);
+        prop_assert_eq!(second.hits, first.hits + addrs.len() as u64);
+    }
+
+    #[test]
+    fn roofline_attainable_monotone_in_intensity(
+        ai1 in 0.001f64..100.0,
+        ai2 in 0.001f64..100.0,
+        threads in 1usize..12,
+    ) {
+        let r = Roofline::new(MachineSpec::xeon_e5_1650v4(), threads);
+        for level in ["L1", "L2", "L3", "DRAM"] {
+            let (lo, hi) = if ai1 <= ai2 { (ai1, ai2) } else { (ai2, ai1) };
+            prop_assert!(r.attainable(level, lo) <= r.attainable(level, hi) + 1e-9);
+            prop_assert!(r.attainable(level, hi) <= r.peak() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn flops_formulas_are_monotone(m in 1usize..20, n in 1usize..20) {
+        prop_assert!(traffic::r0_flops(m + 1, n) >= traffic::r0_flops(m, n));
+        prop_assert!(traffic::r0_flops(m, n + 1) >= traffic::r0_flops(m, n));
+        prop_assert!(traffic::bpmax_flops(m, n) >= traffic::r0_flops(m, n));
+        // symmetry of the double reduction
+        prop_assert_eq!(traffic::r0_flops(m, n), traffic::r0_flops(n, m));
+        // R1R2 ↔ R3R4 mirror under strand swap
+        prop_assert_eq!(traffic::r1r2_flops(m, n), traffic::r3r4_flops(n, m));
+    }
+
+    #[test]
+    fn packed_table_never_larger_than_bbox(m in 1usize..40, n in 1usize..40) {
+        prop_assert!(traffic::ftable_bytes(m, n) <= traffic::ftable_bbox_bytes(m, n));
+    }
+}

@@ -1,0 +1,510 @@
+//! Loop-nest IR, C-like pretty-printing, and the Table VI LOC metric.
+//!
+//! AlphaZ's final stage prints a scheduled program as C loops. The paper
+//! reports, per BPMax version, the generated line count plus how many lines
+//! were hand-written or macro-patched (Table VI) — evidence for the
+//! "optimized programs should be generated, not hand-written" thesis.
+//!
+//! Here the same pipeline is: the `bpmax` crate builds a [`LoopNest`] for
+//! each program version (from its validated schedules), [`render`] prints
+//! it as C-like text, and [`CodeStats`] counts the lines. The IR is
+//! *executable*: [`LoopNest::execute`] enumerates statement instances in
+//! loop order, which lets tests prove a printed nest visits exactly the
+//! points of the corresponding domain in schedule order — i.e. the printed
+//! artifact is the real program, not décor.
+
+use crate::affine::{AffineExpr, Env};
+use std::fmt::Write as _;
+
+/// A loop bound: max of lower expressions / min of upper expressions
+/// (tiled loops need `min(hi, tt + ts)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bound {
+    exprs: Vec<AffineExpr>,
+    is_min: bool,
+}
+
+impl Bound {
+    /// A single-expression bound.
+    pub fn expr(e: AffineExpr) -> Self {
+        Bound {
+            exprs: vec![e],
+            is_min: true,
+        }
+    }
+
+    /// `min(e₀, e₁, …)` — for upper bounds.
+    pub fn min(exprs: Vec<AffineExpr>) -> Self {
+        assert!(!exprs.is_empty());
+        Bound {
+            exprs,
+            is_min: true,
+        }
+    }
+
+    /// `max(e₀, e₁, …)` — for lower bounds.
+    pub fn max(exprs: Vec<AffineExpr>) -> Self {
+        assert!(!exprs.is_empty());
+        Bound {
+            exprs,
+            is_min: false,
+        }
+    }
+
+    /// Evaluate under `env`.
+    pub fn eval(&self, env: &Env) -> i64 {
+        let it = self.exprs.iter().map(|e| e.eval(env));
+        if self.is_min {
+            it.min().unwrap()
+        } else {
+            it.max().unwrap()
+        }
+    }
+
+    fn render(&self) -> String {
+        if self.exprs.len() == 1 {
+            return self.exprs[0].to_string();
+        }
+        let inner = self
+            .exprs
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        if self.is_min {
+            format!("min({inner})")
+        } else {
+            format!("max({inner})")
+        }
+    }
+}
+
+/// One node of the loop-nest IR.
+#[derive(Clone, Debug)]
+pub enum Node {
+    /// `for var in lo..hi` (optionally a parallel loop).
+    Loop {
+        /// Loop variable name (becomes visible to inner bounds/statements).
+        var: String,
+        /// Inclusive lower bound.
+        lo: Bound,
+        /// Exclusive upper bound.
+        hi: Bound,
+        /// Whether this loop is annotated `parallel` (OpenMP
+        /// `parallel for` in the paper's generated code).
+        parallel: bool,
+        /// Loop body.
+        body: Vec<Node>,
+    },
+    /// A guarded statement instance `name(args…)`.
+    Stmt {
+        /// Statement (macro) name, e.g. `"S0"`.
+        name: String,
+        /// Index arguments.
+        args: Vec<AffineExpr>,
+        /// Guard conjunction (`expr ≥ 0` each); empty = unconditional.
+        guard: Vec<AffineExpr>,
+    },
+    /// A free-form comment line (counts toward LOC like AlphaZ's
+    /// `#define` scaffolding lines).
+    Comment(String),
+}
+
+/// Builder helpers.
+impl Node {
+    /// A sequential loop.
+    pub fn loop_(var: &str, lo: Bound, hi: Bound, body: Vec<Node>) -> Node {
+        Node::Loop {
+            var: var.to_string(),
+            lo,
+            hi,
+            parallel: false,
+            body,
+        }
+    }
+
+    /// A parallel loop.
+    pub fn par_loop(var: &str, lo: Bound, hi: Bound, body: Vec<Node>) -> Node {
+        Node::Loop {
+            var: var.to_string(),
+            lo,
+            hi,
+            parallel: true,
+            body,
+        }
+    }
+
+    /// An unguarded statement.
+    pub fn stmt(name: &str, args: Vec<AffineExpr>) -> Node {
+        Node::Stmt {
+            name: name.to_string(),
+            args,
+            guard: Vec::new(),
+        }
+    }
+
+    /// A guarded statement (`guards[i] ≥ 0` must all hold).
+    pub fn stmt_if(name: &str, args: Vec<AffineExpr>, guard: Vec<AffineExpr>) -> Node {
+        Node::Stmt {
+            name: name.to_string(),
+            args,
+            guard,
+        }
+    }
+}
+
+/// A whole generated program: name, parameters, and top-level nodes.
+#[derive(Clone, Debug)]
+pub struct LoopNest {
+    /// Program name (rendered as a comment header).
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Top-level nodes.
+    pub body: Vec<Node>,
+}
+
+impl LoopNest {
+    /// Build a program.
+    pub fn new(name: &str, params: &[&str], body: Vec<Node>) -> Self {
+        LoopNest {
+            name: name.to_string(),
+            params: params.iter().map(|s| s.to_string()).collect(),
+            body,
+        }
+    }
+
+    /// Execute: call `visit(stmt_name, args)` for every statement instance
+    /// in loop order (parallel loops execute in index order — the
+    /// sequential elaboration of the parallel program).
+    pub fn execute(&self, params: &Env, visit: &mut impl FnMut(&str, &[i64])) {
+        let mut env = params.clone();
+        for node in &self.body {
+            exec_node(node, &mut env, visit);
+        }
+    }
+
+    /// Count of statement instances at given parameter values.
+    pub fn count_instances(&self, params: &Env) -> usize {
+        let mut n = 0;
+        self.execute(params, &mut |_, _| n += 1);
+        n
+    }
+}
+
+fn exec_node(node: &Node, env: &mut Env, visit: &mut impl FnMut(&str, &[i64])) {
+    match node {
+        Node::Comment(_) => {}
+        Node::Stmt { name, args, guard } => {
+            if guard.iter().all(|g| g.eval(env) >= 0) {
+                let vals: Vec<i64> = args.iter().map(|a| a.eval(env)).collect();
+                visit(name, &vals);
+            }
+        }
+        Node::Loop {
+            var, lo, hi, body, ..
+        } => {
+            let l = lo.eval(env);
+            let h = hi.eval(env);
+            let saved = env.get(var).copied();
+            for val in l..h {
+                env.insert(var.clone(), val);
+                for n in body {
+                    exec_node(n, env, visit);
+                }
+            }
+            match saved {
+                Some(s) => {
+                    env.insert(var.clone(), s);
+                }
+                None => {
+                    env.remove(var);
+                }
+            }
+        }
+    }
+}
+
+/// Render the program as C-like text.
+pub fn render(nest: &LoopNest) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// generated: {}", nest.name);
+    let _ = writeln!(out, "// parameters: {}", nest.params.join(", "));
+    let _ = writeln!(out, "{{");
+    for node in &nest.body {
+        render_node(node, 1, &mut out);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn render_node(node: &Node, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match node {
+        Node::Comment(text) => {
+            let _ = writeln!(out, "{pad}// {text}");
+        }
+        Node::Stmt { name, args, guard } => {
+            let rendered_args = args
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            if guard.is_empty() {
+                let _ = writeln!(out, "{pad}{name}({rendered_args});");
+            } else {
+                let cond = guard
+                    .iter()
+                    .map(|g| format!("{g} >= 0"))
+                    .collect::<Vec<_>>()
+                    .join(" && ");
+                let _ = writeln!(out, "{pad}if ({cond}) {name}({rendered_args});");
+            }
+        }
+        Node::Loop {
+            var,
+            lo,
+            hi,
+            parallel,
+            body,
+        } => {
+            if *parallel {
+                let _ = writeln!(out, "{pad}#pragma omp parallel for");
+            }
+            let _ = writeln!(
+                out,
+                "{pad}for ({var} = {}; {var} < {}; {var}++) {{",
+                lo.render(),
+                hi.render()
+            );
+            for n in body {
+                render_node(n, depth + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
+/// Code statistics in the shape of the paper's Table VI.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodeStats {
+    /// Program name.
+    pub name: String,
+    /// Generated lines of code (non-blank lines of [`render`] output).
+    pub loc: usize,
+    /// Number of loops.
+    pub loops: usize,
+    /// Number of parallel loops.
+    pub parallel_loops: usize,
+    /// Number of statements.
+    pub statements: usize,
+    /// Maximum loop nesting depth.
+    pub max_depth: usize,
+}
+
+/// Compute [`CodeStats`] for a program.
+pub fn stats(nest: &LoopNest) -> CodeStats {
+    let loc = render(nest).lines().filter(|l| !l.trim().is_empty()).count();
+    let mut loops = 0;
+    let mut parallel_loops = 0;
+    let mut statements = 0;
+    let mut max_depth = 0;
+    fn walk(
+        nodes: &[Node],
+        depth: usize,
+        loops: &mut usize,
+        par: &mut usize,
+        stmts: &mut usize,
+        max_depth: &mut usize,
+    ) {
+        for n in nodes {
+            match n {
+                Node::Comment(_) => {}
+                Node::Stmt { .. } => *stmts += 1,
+                Node::Loop { parallel, body, .. } => {
+                    *loops += 1;
+                    if *parallel {
+                        *par += 1;
+                    }
+                    *max_depth = (*max_depth).max(depth + 1);
+                    walk(body, depth + 1, loops, par, stmts, max_depth);
+                }
+            }
+        }
+    }
+    walk(
+        &nest.body,
+        0,
+        &mut loops,
+        &mut parallel_loops,
+        &mut statements,
+        &mut max_depth,
+    );
+    CodeStats {
+        name: nest.name.clone(),
+        loc,
+        loops,
+        parallel_loops,
+        statements,
+        max_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::{c, env, v};
+    use crate::domain::triangle;
+
+    /// Triangle scan: for i in 0..N, for j in i..N, S(i, j).
+    fn triangle_nest() -> LoopNest {
+        LoopNest::new(
+            "triangle",
+            &["N"],
+            vec![Node::loop_(
+                "i",
+                Bound::expr(c(0)),
+                Bound::expr(v("N")),
+                vec![Node::loop_(
+                    "j",
+                    Bound::expr(v("i")),
+                    Bound::expr(v("N")),
+                    vec![Node::stmt("S", vec![v("i"), v("j")])],
+                )],
+            )],
+        )
+    }
+
+    #[test]
+    fn executes_exactly_the_domain() {
+        let nest = triangle_nest();
+        let params = env(&[("N", 6)]);
+        let mut visited = Vec::new();
+        nest.execute(&params, &mut |name, args| {
+            assert_eq!(name, "S");
+            visited.push(args.to_vec());
+        });
+        let dom = triangle("i", "j", "N");
+        let expected = dom.enumerate(&dom.param_box(&params, "N"), &params);
+        assert_eq!(visited, expected);
+    }
+
+    #[test]
+    fn guards_filter_instances() {
+        // only the diagonal: guard j - i == 0 encoded as (j-i >= 0 && i-j >= 0)
+        let nest = LoopNest::new(
+            "diag",
+            &["N"],
+            vec![Node::loop_(
+                "i",
+                Bound::expr(c(0)),
+                Bound::expr(v("N")),
+                vec![Node::loop_(
+                    "j",
+                    Bound::expr(c(0)),
+                    Bound::expr(v("N")),
+                    vec![Node::stmt_if(
+                        "D",
+                        vec![v("i")],
+                        vec![v("j") - v("i"), v("i") - v("j")],
+                    )],
+                )],
+            )],
+        );
+        assert_eq!(nest.count_instances(&env(&[("N", 5)])), 5);
+    }
+
+    #[test]
+    fn min_max_bounds() {
+        // for t in 0..N step-tiles of 3: for i in max(t*3... emulate via
+        // explicit min bound: for i in t..min(N, t+3)
+        let nest = LoopNest::new(
+            "tiled",
+            &["N"],
+            vec![Node::loop_(
+                "t",
+                Bound::expr(c(0)),
+                Bound::expr(v("N")),
+                vec![Node::loop_(
+                    "i",
+                    Bound::expr(v("t") * 3),
+                    Bound::min(vec![v("N"), v("t") * 3 + 3]),
+                    vec![Node::stmt("S", vec![v("i")])],
+                )],
+            )],
+        );
+        // t ranges 0..N but only t with t*3 < N contribute; every i in 0..N
+        // visited exactly ceil-consistent times... with t unbounded each i
+        // visited once when t = i/3.
+        let mut seen = Vec::new();
+        nest.execute(&env(&[("N", 7)]), &mut |_, a| seen.push(a[0]));
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn render_and_stats() {
+        let nest = triangle_nest();
+        let text = render(&nest);
+        assert!(text.contains("for (i = 0; i < N; i++) {"));
+        assert!(text.contains("S(i, j);"));
+        let st = stats(&nest);
+        assert_eq!(st.loops, 2);
+        assert_eq!(st.statements, 1);
+        assert_eq!(st.max_depth, 2);
+        assert_eq!(st.parallel_loops, 0);
+        assert_eq!(st.loc, text.lines().filter(|l| !l.trim().is_empty()).count());
+    }
+
+    #[test]
+    fn parallel_loop_renders_pragma() {
+        let nest = LoopNest::new(
+            "par",
+            &["N"],
+            vec![Node::par_loop(
+                "i",
+                Bound::expr(c(0)),
+                Bound::expr(v("N")),
+                vec![Node::stmt("S", vec![v("i")])],
+            )],
+        );
+        let text = render(&nest);
+        assert!(text.contains("#pragma omp parallel for"));
+        assert_eq!(stats(&nest).parallel_loops, 1);
+    }
+
+    #[test]
+    fn loop_variable_scoping_restores() {
+        // inner loop reuses name "i": after the nest, outer value visible.
+        let nest = LoopNest::new(
+            "scope",
+            &[],
+            vec![Node::loop_(
+                "i",
+                Bound::expr(c(0)),
+                Bound::expr(c(2)),
+                vec![
+                    Node::loop_("i", Bound::expr(c(10)), Bound::expr(c(12)), vec![Node::stmt("In", vec![v("i")])]),
+                    Node::stmt("Out", vec![v("i")]),
+                ],
+            )],
+        );
+        let mut outs = Vec::new();
+        nest.execute(&env(&[]), &mut |n, a| {
+            if n == "Out" {
+                outs.push(a[0]);
+            }
+        });
+        assert_eq!(outs, vec![0, 1]);
+    }
+
+    #[test]
+    fn comments_do_not_execute_but_render() {
+        let nest = LoopNest::new(
+            "c",
+            &[],
+            vec![Node::Comment("hello".into()), Node::stmt("S", vec![c(0)])],
+        );
+        assert_eq!(nest.count_instances(&env(&[])), 1);
+        assert!(render(&nest).contains("// hello"));
+    }
+}

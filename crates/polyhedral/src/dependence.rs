@@ -1,0 +1,562 @@
+//! Variables, dependences, systems, and schedule-legality verification.
+//!
+//! An Alpha *system* is a set of variables defined over polyhedral domains
+//! by equations; each value-level read induces an affine **dependence**
+//! from the consumer instance to the producer instance. A set of schedules
+//! (one per variable, all into a common time space) is **legal** iff every
+//! dependence instance has its producer strictly lexicographically before
+//! its consumer, with the first differing time dimension *sequential* —
+//! a difference first arising at a parallel dimension would be a data race
+//! between threads.
+//!
+//! AlphaZ leaves validity to the user ("it is the responsibility of the
+//! user to ensure the transformations are valid"); here we actually check:
+//! [`System::verify`] enumerates every dependence instance at given
+//! parameter values and reports violation witnesses. Exhaustive-at-small-
+//! sizes is the honest analogue of a symbolic check for this reproduction:
+//! BPMax dependences are dense and uniform enough that violations, when
+//! present, already occur at tiny sizes (the test-suite demonstrates this
+//! by breaking schedules on purpose).
+
+use crate::affine::{AffineMap, Env};
+use crate::domain::Domain;
+use crate::schedule::{lex_cmp, Schedule, TimeVec};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A variable computed by the system, with its definition domain.
+#[derive(Clone, Debug)]
+pub struct Var {
+    /// Variable name (e.g. `"F"`, `"R0"`).
+    pub name: String,
+    /// Its domain (index names + constraints).
+    pub domain: Domain,
+}
+
+impl Var {
+    /// Build a variable.
+    pub fn new(name: &str, domain: Domain) -> Self {
+        Var {
+            name: name.to_string(),
+            domain,
+        }
+    }
+}
+
+/// One affine dependence: instances of `consumer` (restricted by `guard`)
+/// read `producer` at `map(consumer point)`.
+#[derive(Clone, Debug)]
+pub struct Dependence {
+    /// Human-readable label for diagnostics (e.g. `"R0 reads F left"`).
+    pub label: String,
+    /// Consumer variable name.
+    pub consumer: String,
+    /// Producer variable name.
+    pub producer: String,
+    /// Extra constraints (over the enumeration side's indices + params)
+    /// limiting where the dependence applies; `None` means the whole
+    /// enumeration domain.
+    pub guard: Option<Domain>,
+    /// Affine map from the enumeration side's indices to the other side's
+    /// point (consumer → producer normally; producer → consumer when
+    /// [`Dependence::enumerate_producer`] is set).
+    pub map: AffineMap,
+    /// When set, instances are enumerated over the **producer** domain and
+    /// `map` sends a producer point to the consumer point that reads it.
+    /// This expresses one-to-many reads such as "F consumes every partial
+    /// accumulation of the reduction R0": the consumer (one F cell) reads
+    /// producer instances over the whole reduction body, which is only
+    /// affine in the producer's indices.
+    pub enumerate_producer: bool,
+}
+
+impl Dependence {
+    /// Build a dependence covering the consumer's whole domain.
+    pub fn new(label: &str, consumer: &str, producer: &str, map: AffineMap) -> Self {
+        Dependence {
+            label: label.to_string(),
+            consumer: consumer.to_string(),
+            producer: producer.to_string(),
+            guard: None,
+            map,
+            enumerate_producer: false,
+        }
+    }
+
+    /// A reduction-result dependence: enumerate over the **producer**
+    /// domain; `map` sends each producer (reduction-body) point to the
+    /// consumer point that reads the finished reduction.
+    pub fn reduction_result(label: &str, consumer: &str, producer: &str, map: AffineMap) -> Self {
+        Dependence {
+            label: label.to_string(),
+            consumer: consumer.to_string(),
+            producer: producer.to_string(),
+            guard: None,
+            map,
+            enumerate_producer: true,
+        }
+    }
+
+    /// Restrict to a guard domain (same indices as the enumeration side).
+    pub fn with_guard(mut self, guard: Domain) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+}
+
+/// A legality violation witness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The dependence maps a consumer instance outside the producer domain.
+    OutOfDomain {
+        /// Dependence label.
+        dep: String,
+        /// Consumer point.
+        consumer_point: Vec<i64>,
+        /// Mapped (invalid) producer point.
+        producer_point: Vec<i64>,
+    },
+    /// Producer not scheduled strictly before consumer.
+    NotBefore {
+        /// Dependence label.
+        dep: String,
+        /// Consumer point and its time.
+        consumer_point: Vec<i64>,
+        /// Producer point and its time.
+        producer_point: Vec<i64>,
+        /// Consumer time vector.
+        consumer_time: TimeVec,
+        /// Producer time vector.
+        producer_time: TimeVec,
+    },
+    /// Ordered only by a parallel dimension — a cross-thread race.
+    Race {
+        /// Dependence label.
+        dep: String,
+        /// Consumer point.
+        consumer_point: Vec<i64>,
+        /// Producer point.
+        producer_point: Vec<i64>,
+        /// The parallel dimension at which the times first differ.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::OutOfDomain {
+                dep,
+                consumer_point,
+                producer_point,
+            } => write!(
+                f,
+                "[{dep}] consumer {consumer_point:?} reads outside producer domain at {producer_point:?}"
+            ),
+            Violation::NotBefore {
+                dep,
+                consumer_point,
+                producer_point,
+                consumer_time,
+                producer_time,
+            } => write!(
+                f,
+                "[{dep}] producer {producer_point:?} @ {producer_time:?} not before consumer {consumer_point:?} @ {consumer_time:?}"
+            ),
+            Violation::Race {
+                dep,
+                consumer_point,
+                producer_point,
+                dim,
+            } => write!(
+                f,
+                "[{dep}] producer {producer_point:?} / consumer {consumer_point:?} ordered only by parallel dim {dim} (race)"
+            ),
+        }
+    }
+}
+
+/// A system: parameters, variables, dependences, per-variable schedules and
+/// system-wide parallel time dimensions.
+#[derive(Clone, Debug, Default)]
+pub struct System {
+    /// Size parameter names (e.g. `["M", "N"]`).
+    pub params: Vec<String>,
+    vars: BTreeMap<String, Var>,
+    deps: Vec<Dependence>,
+    schedules: BTreeMap<String, Schedule>,
+    parallel: Vec<usize>,
+}
+
+impl System {
+    /// An empty system over the given parameters.
+    pub fn new(params: &[&str]) -> Self {
+        System {
+            params: params.iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Add a variable.
+    pub fn add_var(&mut self, var: Var) -> &mut Self {
+        self.vars.insert(var.name.clone(), var);
+        self
+    }
+
+    /// Add a dependence (consumer and producer must exist).
+    pub fn add_dep(&mut self, dep: Dependence) -> &mut Self {
+        assert!(
+            self.vars.contains_key(&dep.consumer),
+            "unknown consumer {:?}",
+            dep.consumer
+        );
+        assert!(
+            self.vars.contains_key(&dep.producer),
+            "unknown producer {:?}",
+            dep.producer
+        );
+        self.deps.push(dep);
+        self
+    }
+
+    /// Set (or replace) the schedule of a variable. All schedules must have
+    /// equal time dimensionality ("a system with multiple variables
+    /// requires the dimension of all the space-time maps to be equal").
+    pub fn set_schedule(&mut self, var: &str, schedule: Schedule) -> &mut Self {
+        assert!(self.vars.contains_key(var), "unknown variable {var:?}");
+        if let Some(d) = self.schedules.values().map(Schedule::dim).next() {
+            assert_eq!(
+                schedule.dim(),
+                d,
+                "schedule dimension mismatch for {var:?} ({} vs {d})",
+                schedule.dim()
+            );
+        }
+        self.schedules.insert(var.to_string(), schedule);
+        self
+    }
+
+    /// Mark time dimension `dim` parallel (AlphaZ `setParallel`), for the
+    /// whole system.
+    pub fn set_parallel(&mut self, dim: usize) -> &mut Self {
+        if !self.parallel.contains(&dim) {
+            self.parallel.push(dim);
+            self.parallel.sort_unstable();
+        }
+        self
+    }
+
+    /// The system-wide parallel dimensions.
+    pub fn parallel_dims(&self) -> &[usize] {
+        &self.parallel
+    }
+
+    /// Look up a variable.
+    pub fn var(&self, name: &str) -> &Var {
+        &self.vars[name]
+    }
+
+    /// All variables, name-ordered.
+    pub fn vars(&self) -> impl Iterator<Item = &Var> {
+        self.vars.values()
+    }
+
+    /// All dependences.
+    pub fn deps(&self) -> &[Dependence] {
+        &self.deps
+    }
+
+    /// Schedule of a variable (panics if unset).
+    pub fn schedule(&self, var: &str) -> &Schedule {
+        self.schedules
+            .get(var)
+            .unwrap_or_else(|| panic!("no schedule set for {var:?}"))
+    }
+
+    /// Verify every dependence instance at the given parameter values.
+    ///
+    /// `index_bound`: enumeration box half-open upper bound for every index
+    /// variable (a safe choice is `max(param values)`); lower bound is 0.
+    /// Returns at most `max_violations` witnesses (empty ⇒ legal at these
+    /// sizes).
+    pub fn verify(&self, params: &Env, index_bound: i64, max_violations: usize) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for dep in &self.deps {
+            let cons = &self.vars[&dep.consumer];
+            let prod = &self.vars[&dep.producer];
+            let cons_sched = self.schedule(&dep.consumer);
+            let prod_sched = self.schedule(&dep.producer);
+            // Enumerate on one side; `map` yields the other side's point.
+            let enum_var = if dep.enumerate_producer { prod } else { cons };
+            let other_var = if dep.enumerate_producer { cons } else { prod };
+            let mut dom = enum_var.domain.clone();
+            if let Some(g) = &dep.guard {
+                dom = dom.intersect(g);
+            }
+            let box_: Vec<(i64, i64)> = vec![(0, index_bound); dom.dim()];
+            for e in dom.enumerate(&box_, params) {
+                let o = dep.map.eval_point(&e, params);
+                // Orient into (consumer point p, producer point q).
+                let (p, q) = if dep.enumerate_producer {
+                    (o.clone(), e.clone())
+                } else {
+                    (e.clone(), o.clone())
+                };
+                if !other_var.domain.contains(&o, params) {
+                    out.push(Violation::OutOfDomain {
+                        dep: dep.label.clone(),
+                        consumer_point: p,
+                        producer_point: q,
+                    });
+                    if out.len() >= max_violations {
+                        return out;
+                    }
+                    continue;
+                }
+                let tc = cons_sched.time(&p, params);
+                let tp = prod_sched.time(&q, params);
+                match tp
+                    .iter()
+                    .zip(tc.iter())
+                    .position(|(a, b)| a != b)
+                {
+                    None => {
+                        out.push(Violation::NotBefore {
+                            dep: dep.label.clone(),
+                            consumer_point: p.clone(),
+                            producer_point: q,
+                            consumer_time: tc,
+                            producer_time: tp,
+                        });
+                    }
+                    Some(d) => {
+                        if lex_cmp(&tp, &tc) == Ordering::Greater {
+                            out.push(Violation::NotBefore {
+                                dep: dep.label.clone(),
+                                consumer_point: p.clone(),
+                                producer_point: q,
+                                consumer_time: tc,
+                                producer_time: tp,
+                            });
+                        } else if self.parallel.contains(&d) {
+                            out.push(Violation::Race {
+                                dep: dep.label.clone(),
+                                consumer_point: p.clone(),
+                                producer_point: q,
+                                dim: d,
+                            });
+                        }
+                    }
+                }
+                if out.len() >= max_violations {
+                    return out;
+                }
+            }
+        }
+        out
+    }
+
+    /// Total dependence-instance count at the given sizes (the work the
+    /// verifier does; useful for reporting).
+    pub fn dependence_instances(&self, params: &Env, index_bound: i64) -> usize {
+        self.deps
+            .iter()
+            .map(|dep| {
+                let enum_var = if dep.enumerate_producer {
+                    &self.vars[&dep.producer]
+                } else {
+                    &self.vars[&dep.consumer]
+                };
+                let mut dom = enum_var.domain.clone();
+                if let Some(g) = &dep.guard {
+                    dom = dom.intersect(g);
+                }
+                let box_: Vec<(i64, i64)> = vec![(0, index_bound); dom.dim()];
+                dom.count(&box_, params)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::{env, v, AffineMap};
+    use crate::domain::Domain;
+
+    /// A 1-D chain: X[i] reads X[i-1] for 1 <= i < N.
+    fn chain_system(schedule: Schedule) -> System {
+        let mut sys = System::new(&["N"]);
+        sys.add_var(Var::new(
+            "X",
+            Domain::universe(&["i"]).ge0(v("i")).lt(v("i"), v("N")),
+        ));
+        sys.add_dep(
+            Dependence::new(
+                "X reads X[i-1]",
+                "X",
+                "X",
+                AffineMap::new(&["i"], vec![v("i") - 1]),
+            )
+            .with_guard(Domain::universe(&["i"]).ge0(v("i") - 1)),
+        );
+        sys.set_schedule("X", schedule);
+        sys
+    }
+
+    #[test]
+    fn forward_schedule_is_legal() {
+        let sys = chain_system(Schedule::affine(&["i"], vec![v("i")]));
+        assert!(sys.verify(&env(&[("N", 8)]), 8, 10).is_empty());
+    }
+
+    #[test]
+    fn reversed_schedule_is_caught() {
+        let sys = chain_system(Schedule::affine(&["i"], vec![-v("i")]));
+        let viol = sys.verify(&env(&[("N", 8)]), 8, 10);
+        assert!(matches!(viol[0], Violation::NotBefore { .. }));
+    }
+
+    #[test]
+    fn constant_schedule_is_caught_as_not_before() {
+        let sys = chain_system(Schedule::affine(&["i"], vec![crate::affine::c(0)]));
+        let viol = sys.verify(&env(&[("N", 4)]), 4, 10);
+        assert!(!viol.is_empty());
+        assert!(matches!(viol[0], Violation::NotBefore { .. }));
+    }
+
+    #[test]
+    fn parallel_chain_is_a_race() {
+        let mut sys = chain_system(Schedule::affine(&["i"], vec![v("i")]));
+        sys.set_parallel(0);
+        let viol = sys.verify(&env(&[("N", 4)]), 4, 10);
+        assert!(matches!(viol[0], Violation::Race { dim: 0, .. }));
+    }
+
+    #[test]
+    fn inner_parallel_dim_is_fine_when_outer_orders() {
+        // 2-D: X[i][j] reads X[i-1][j']; schedule (i, j) with j parallel:
+        // ordering established at dim 0 (sequential) → no race.
+        let mut sys = System::new(&["N"]);
+        sys.add_var(Var::new(
+            "X",
+            Domain::universe(&["i", "j"])
+                .ge0(v("i"))
+                .lt(v("i"), v("N"))
+                .ge0(v("j"))
+                .lt(v("j"), v("N")),
+        ));
+        sys.add_dep(
+            Dependence::new(
+                "row reads previous row transposed",
+                "X",
+                "X",
+                AffineMap::new(&["i", "j"], vec![v("i") - 1, v("j")]),
+            )
+            .with_guard(Domain::universe(&["i", "j"]).ge0(v("i") - 1)),
+        );
+        sys.set_schedule("X", Schedule::affine(&["i", "j"], vec![v("i"), v("j")]));
+        sys.set_parallel(1);
+        assert!(sys.verify(&env(&[("N", 5)]), 5, 10).is_empty());
+    }
+
+    #[test]
+    fn out_of_domain_read_is_caught() {
+        // Dependence without the guard: X[0] would read X[-1].
+        let mut sys = System::new(&["N"]);
+        sys.add_var(Var::new(
+            "X",
+            Domain::universe(&["i"]).ge0(v("i")).lt(v("i"), v("N")),
+        ));
+        sys.add_dep(Dependence::new(
+            "unguarded chain",
+            "X",
+            "X",
+            AffineMap::new(&["i"], vec![v("i") - 1]),
+        ));
+        sys.set_schedule("X", Schedule::affine(&["i"], vec![v("i")]));
+        let viol = sys.verify(&env(&[("N", 3)]), 3, 10);
+        assert!(matches!(viol[0], Violation::OutOfDomain { .. }));
+    }
+
+    #[test]
+    fn self_time_equality_is_not_before() {
+        // Schedule that maps consumer and producer to the same instant.
+        let sys = chain_system(Schedule::affine(&["i"], vec![v("i") - v("i")]));
+        let viol = sys.verify(&env(&[("N", 3)]), 3, 10);
+        assert!(matches!(viol[0], Violation::NotBefore { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule dimension mismatch")]
+    fn mismatched_schedule_dims_panic() {
+        let mut sys = System::new(&["N"]);
+        sys.add_var(Var::new("A", Domain::universe(&["i"])));
+        sys.add_var(Var::new("B", Domain::universe(&["i"])));
+        sys.set_schedule("A", Schedule::affine(&["i"], vec![v("i")]));
+        sys.set_schedule("B", Schedule::affine(&["i"], vec![v("i"), v("i")]));
+    }
+
+    #[test]
+    fn dependence_instance_count() {
+        let sys = chain_system(Schedule::affine(&["i"], vec![v("i")]));
+        // guard: 1 <= i < 6 → 5 instances
+        assert_eq!(sys.dependence_instances(&env(&[("N", 6)]), 6), 5);
+    }
+
+    #[test]
+    fn max_violations_truncates() {
+        let sys = chain_system(Schedule::affine(&["i"], vec![-v("i")]));
+        let viol = sys.verify(&env(&[("N", 20)]), 20, 3);
+        assert_eq!(viol.len(), 3);
+    }
+
+    /// Reduction-result dependence: `Y` reads the completed reduction
+    /// `R[i, k]` over all k — enumerated on the producer side.
+    fn reduction_system(y_sched: Schedule) -> System {
+        let mut sys = System::new(&["N"]);
+        sys.add_var(Var::new(
+            "R",
+            Domain::universe(&["i", "k"])
+                .ge0(v("i"))
+                .lt(v("i"), v("N"))
+                .ge0(v("k"))
+                .lt(v("k"), v("N")),
+        ));
+        sys.add_var(Var::new(
+            "Y",
+            Domain::universe(&["i"]).ge0(v("i")).lt(v("i"), v("N")),
+        ));
+        sys.add_dep(Dependence::reduction_result(
+            "Y consumes reduce(R)",
+            "Y",
+            "R",
+            AffineMap::new(&["i", "k"], vec![v("i")]),
+        ));
+        // R body at time (i, k), 2-D schedules throughout.
+        sys.set_schedule(
+            "R",
+            Schedule::affine(&["i", "k"], vec![v("i"), v("k")]),
+        );
+        sys.set_schedule("Y", y_sched);
+        sys
+    }
+
+    #[test]
+    fn reduction_result_after_whole_body_is_legal() {
+        // Y[i] at (i, N): after every R[i, k] (k < N).
+        let sys = reduction_system(Schedule::affine(&["i"], vec![v("i"), v("N")]));
+        assert!(sys.verify(&env(&[("N", 5)]), 5, 10).is_empty());
+    }
+
+    #[test]
+    fn reduction_result_too_early_is_caught() {
+        // Y[i] at (i, 0): before most of the reduction body.
+        let sys = reduction_system(Schedule::affine(&["i"], vec![v("i"), crate::affine::c(0)]));
+        let viol = sys.verify(&env(&[("N", 4)]), 4, 50);
+        assert!(viol
+            .iter()
+            .any(|x| matches!(x, Violation::NotBefore { .. })));
+    }
+}

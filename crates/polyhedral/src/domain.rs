@@ -1,0 +1,259 @@
+//! Polyhedral domains: conjunctions of affine constraints.
+//!
+//! A domain describes the set of integer points (iteration instances) a
+//! statement executes on, e.g. the BPMax F-table domain
+//! `{ (i1,j1,i2,j2) | 0 ≤ i1 ≤ j1 < M ∧ 0 ≤ i2 ≤ j2 < N }` — "a triangular
+//! collection of triangles". Constraints may mention size parameters, which
+//! are bound at verification time (we verify schedules exhaustively on
+//! scaled instances rather than symbolically; see `dependence`).
+
+use crate::affine::{AffineExpr, Env};
+use std::fmt;
+
+/// One affine constraint: `expr ≥ 0` or `expr = 0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Constraint {
+    /// `expr ≥ 0`
+    Ge0(AffineExpr),
+    /// `expr = 0`
+    Eq0(AffineExpr),
+}
+
+impl Constraint {
+    /// Is the constraint satisfied under `env`?
+    pub fn holds(&self, env: &Env) -> bool {
+        match self {
+            Constraint::Ge0(e) => e.eval(env) >= 0,
+            Constraint::Eq0(e) => e.eval(env) == 0,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Ge0(e) => write!(f, "{e} >= 0"),
+            Constraint::Eq0(e) => write!(f, "{e} == 0"),
+        }
+    }
+}
+
+/// A polyhedral domain: index variable names plus a constraint conjunction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Domain {
+    indices: Vec<String>,
+    constraints: Vec<Constraint>,
+}
+
+impl Domain {
+    /// A domain over `indices` with no constraints (the whole lattice).
+    pub fn universe(indices: &[&str]) -> Self {
+        Domain {
+            indices: indices.iter().map(|s| s.to_string()).collect(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Add a constraint `expr ≥ 0` (builder style).
+    pub fn ge0(mut self, expr: AffineExpr) -> Self {
+        self.constraints.push(Constraint::Ge0(expr));
+        self
+    }
+
+    /// Add `lo ≤ e` (i.e. `e − lo ≥ 0`).
+    pub fn le(self, lo: AffineExpr, e: AffineExpr) -> Self {
+        self.ge0(e - lo)
+    }
+
+    /// Add `e < hi` (i.e. `hi − e − 1 ≥ 0`).
+    pub fn lt(self, e: AffineExpr, hi: AffineExpr) -> Self {
+        self.ge0(hi - e - 1)
+    }
+
+    /// Add a constraint `expr = 0`.
+    pub fn eq0(mut self, expr: AffineExpr) -> Self {
+        self.constraints.push(Constraint::Eq0(expr));
+        self
+    }
+
+    /// Index variable names.
+    pub fn indices(&self) -> &[String] {
+        &self.indices
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Intersect with another domain over the *same* index list.
+    pub fn intersect(mut self, other: &Domain) -> Self {
+        assert_eq!(self.indices, other.indices, "intersect: index mismatch");
+        self.constraints.extend(other.constraints.iter().cloned());
+        self
+    }
+
+    /// Does `point` (bound to this domain's indices, over `params`) satisfy
+    /// every constraint?
+    pub fn contains(&self, point: &[i64], params: &Env) -> bool {
+        assert_eq!(
+            point.len(),
+            self.indices.len(),
+            "point arity does not match domain"
+        );
+        let mut env = params.clone();
+        for (name, &val) in self.indices.iter().zip(point) {
+            env.insert(name.clone(), val);
+        }
+        self.constraints.iter().all(|c| c.holds(&env))
+    }
+
+    /// Enumerate all points inside `box_` (inclusive lo, exclusive hi per
+    /// dimension) that satisfy the constraints. Intended for verification
+    /// at small parameter values — complexity is the box volume.
+    pub fn enumerate(&self, box_: &[(i64, i64)], params: &Env) -> Vec<Vec<i64>> {
+        assert_eq!(box_.len(), self.indices.len(), "box arity mismatch");
+        let mut out = Vec::new();
+        let mut point = vec![0i64; box_.len()];
+        self.enum_rec(box_, params, 0, &mut point, &mut out);
+        out
+    }
+
+    fn enum_rec(
+        &self,
+        box_: &[(i64, i64)],
+        params: &Env,
+        dim: usize,
+        point: &mut Vec<i64>,
+        out: &mut Vec<Vec<i64>>,
+    ) {
+        if dim == box_.len() {
+            if self.contains(point, params) {
+                out.push(point.clone());
+            }
+            return;
+        }
+        for val in box_[dim].0..box_[dim].1 {
+            point[dim] = val;
+            self.enum_rec(box_, params, dim + 1, point, out);
+        }
+    }
+
+    /// Convenience: the box `[0, bound)^dim` where `bound` is the value of
+    /// parameter `param` in `params` — covers any BPMax index domain.
+    pub fn param_box(&self, params: &Env, param: &str) -> Vec<(i64, i64)> {
+        let b = *params
+            .get(param)
+            .unwrap_or_else(|| panic!("parameter {param:?} unbound"));
+        vec![(0, b); self.indices.len()]
+    }
+
+    /// Number of points in the box satisfying the constraints.
+    pub fn count(&self, box_: &[(i64, i64)], params: &Env) -> usize {
+        self.enumerate(box_, params).len()
+    }
+
+    /// Is the domain empty within the box?
+    pub fn is_empty_in(&self, box_: &[(i64, i64)], params: &Env) -> bool {
+        self.count(box_, params) == 0
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{ ({}) | ", self.indices.join(", "))?;
+        for (k, c) in self.constraints.iter().enumerate() {
+            if k > 0 {
+                write!(f, " && ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+/// The standard BPMax-style triangular domain
+/// `{ (i, j) | 0 ≤ i ≤ j < bound }` over the given index names, with
+/// `bound` a parameter name.
+pub fn triangle(i: &str, j: &str, bound: &str) -> Domain {
+    use crate::affine::v;
+    Domain::universe(&[i, j])
+        .ge0(v(i))
+        .ge0(v(j) - v(i))
+        .lt(v(j), v(bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::{env, v};
+
+    #[test]
+    fn membership() {
+        let d = triangle("i", "j", "N");
+        let params = env(&[("N", 4)]);
+        assert!(d.contains(&[0, 0], &params));
+        assert!(d.contains(&[1, 3], &params));
+        assert!(!d.contains(&[3, 1], &params)); // j < i
+        assert!(!d.contains(&[0, 4], &params)); // j = N
+        assert!(!d.contains(&[-1, 0], &params));
+    }
+
+    #[test]
+    fn enumerate_triangle_counts() {
+        let d = triangle("i", "j", "N");
+        let params = env(&[("N", 5)]);
+        let pts = d.enumerate(&d.param_box(&params, "N"), &params);
+        assert_eq!(pts.len(), 15); // 5·6/2
+        // lexicographic by construction of the scan
+        let mut sorted = pts.clone();
+        sorted.sort();
+        assert_eq!(pts, sorted);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        let d = Domain::universe(&["i", "j"]).eq0(v("i") - v("j"));
+        let params = env(&[]);
+        let pts = d.enumerate(&[(0, 3), (0, 3)], &params);
+        assert_eq!(pts, vec![vec![0, 0], vec![1, 1], vec![2, 2]]);
+    }
+
+    #[test]
+    fn intersect_conjoins() {
+        let d1 = Domain::universe(&["i"]).ge0(v("i"));
+        let d2 = Domain::universe(&["i"]).lt(v("i"), v("N"));
+        let d = d1.intersect(&d2);
+        let params = env(&[("N", 3)]);
+        assert_eq!(d.count(&[(-5, 10)], &params), 3);
+    }
+
+    #[test]
+    fn empty_detection() {
+        let d = Domain::universe(&["i"]).ge0(v("i") - 5).lt(v("i"), v("N"));
+        assert!(d.is_empty_in(&[(0, 10)], &env(&[("N", 5)])));
+        assert!(!d.is_empty_in(&[(0, 10)], &env(&[("N", 6)])));
+    }
+
+    #[test]
+    fn le_lt_builders() {
+        let d = Domain::universe(&["k"]).le(v("i"), v("k")).lt(v("k"), v("j"));
+        // k in [i, j)
+        let params = env(&[("i", 2), ("j", 5)]);
+        let pts = d.enumerate(&[(0, 10)], &params);
+        assert_eq!(pts, vec![vec![2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let d = triangle("i1", "j1", "M");
+        let s = d.to_string();
+        assert!(s.contains("i1 >= 0"));
+        assert!(s.contains("-i1 + j1 >= 0"));
+    }
+}

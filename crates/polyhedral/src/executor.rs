@@ -1,0 +1,301 @@
+//! Schedule-order execution and memory-access traces.
+//!
+//! The executor *interprets* a [`System`]: it enumerates every instance of
+//! every scheduled variable, sorts them by lexicographic time (ties broken
+//! by statement registration order, like textual statement order inside a
+//! loop body), and invokes user statements in that order. The `bpmax` test
+//! suite uses this to run small BPMax instances **directly from the encoded
+//! paper schedules** and compare against the reference implementation —
+//! proving the Tables I–V transcriptions are not just legal but compute the
+//! right thing.
+//!
+//! [`MemMap`] (AlphaZ `setMemoryMap`) turns instance points into linear
+//! addresses so an execution can emit a memory-access [`Trace`] for the
+//! cache simulator in the `machine` crate — the tool we use to reproduce
+//! the paper's locality arguments (coarse-grain DRAM-boundedness, Fig 10's
+//! option-1 vs option-2 memory maps).
+
+use crate::affine::{AffineMap, Env};
+use crate::dependence::System;
+use crate::schedule::TimeVec;
+
+/// One scheduled statement instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instance {
+    /// Variable name.
+    pub var: String,
+    /// Iteration point.
+    pub point: Vec<i64>,
+    /// Time vector under the variable's schedule.
+    pub time: TimeVec,
+}
+
+/// Enumerate all instances of the system's variables (those with a
+/// schedule) in execution order. `index_bound` bounds the enumeration box
+/// per index dimension (half-open, lower bound 0).
+pub fn ordered_instances(system: &System, params: &Env, index_bound: i64) -> Vec<Instance> {
+    let mut all: Vec<(usize, Instance)> = Vec::new();
+    for (ord, var) in system.vars().enumerate() {
+        let sched = system.schedule(&var.name);
+        let box_: Vec<(i64, i64)> = vec![(0, index_bound); var.domain.dim()];
+        for point in var.domain.enumerate(&box_, params) {
+            let time = sched.time(&point, params);
+            all.push((
+                ord,
+                Instance {
+                    var: var.name.clone(),
+                    point,
+                    time,
+                },
+            ));
+        }
+    }
+    all.sort_by(|(oa, a), (ob, b)| a.time.cmp(&b.time).then(oa.cmp(ob)).then(a.point.cmp(&b.point)));
+    all.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Run the system: invoke `stmt(var_name, point)` for every instance in
+/// schedule order.
+pub fn run(system: &System, params: &Env, index_bound: i64, stmt: &mut impl FnMut(&str, &[i64])) {
+    for inst in ordered_instances(system, params, index_bound) {
+        stmt(&inst.var, &inst.point);
+    }
+}
+
+/// An affine memory map: data point ↦ linear address
+/// `base + Σ coordᵢ · strideᵢ` where `coord = map(point)`.
+#[derive(Clone, Debug)]
+pub struct MemMap {
+    /// Map from iteration/data indices to storage coordinates.
+    pub map: AffineMap,
+    /// Stride (in elements) per storage coordinate.
+    pub strides: Vec<i64>,
+    /// Base offset (in elements).
+    pub base: i64,
+}
+
+impl MemMap {
+    /// Build a map; `strides.len()` must match the map's output arity.
+    pub fn new(map: AffineMap, strides: Vec<i64>, base: i64) -> Self {
+        assert_eq!(map.out_dim(), strides.len(), "stride arity mismatch");
+        MemMap { map, strides, base }
+    }
+
+    /// Row-major map over `dims` (sizes of each storage coordinate).
+    pub fn row_major(map: AffineMap, dims: &[i64]) -> Self {
+        assert_eq!(map.out_dim(), dims.len());
+        let mut strides = vec![1i64; dims.len()];
+        for d in (0..dims.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * dims[d + 1];
+        }
+        MemMap {
+            map,
+            strides,
+            base: 0,
+        }
+    }
+
+    /// Linear address of `point`.
+    pub fn addr(&self, point: &[i64], params: &Env) -> i64 {
+        let coords = self.map.eval_point(point, params);
+        self.base
+            + coords
+                .iter()
+                .zip(&self.strides)
+                .map(|(c, s)| c * s)
+                .sum::<i64>()
+    }
+}
+
+/// Kind of a traced access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// One traced memory access (element-granular; the cache simulator applies
+/// the element size).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Linear element address.
+    pub addr: i64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// A memory-access trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    accesses: Vec<Access>,
+}
+
+impl Trace {
+    /// New empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Record a read of `addr`.
+    pub fn read(&mut self, addr: i64) {
+        self.accesses.push(Access {
+            addr,
+            kind: AccessKind::Read,
+        });
+    }
+
+    /// Record a write of `addr`.
+    pub fn write(&mut self, addr: i64) {
+        self.accesses.push(Access {
+            addr,
+            kind: AccessKind::Write,
+        });
+    }
+
+    /// The recorded accesses, in order.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Count of distinct addresses (the working set, in elements).
+    pub fn distinct_addrs(&self) -> usize {
+        let mut a: Vec<i64> = self.accesses.iter().map(|x| x.addr).collect();
+        a.sort_unstable();
+        a.dedup();
+        a.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::{env, v, AffineMap};
+    use crate::dependence::{Dependence, Var};
+    use crate::domain::Domain;
+    use crate::schedule::Schedule;
+
+    /// The paper's Listing 1 (prefix sum) as a system: sum[i] = Σ_{j≤i} a[j]
+    /// modelled as S over (i, j) accumulation instances.
+    fn prefix_sum_system() -> System {
+        let mut sys = System::new(&["N"]);
+        sys.add_var(Var::new(
+            "S",
+            Domain::universe(&["i", "j"])
+                .ge0(v("j"))
+                .ge0(v("i") - v("j"))
+                .lt(v("i"), v("N")),
+        ));
+        // accumulation order: S[i,j] reads S[i,j-1]
+        sys.add_dep(
+            Dependence::new(
+                "acc",
+                "S",
+                "S",
+                AffineMap::new(&["i", "j"], vec![v("i"), v("j") - 1]),
+            )
+            .with_guard(Domain::universe(&["i", "j"]).ge0(v("j") - 1)),
+        );
+        sys.set_schedule("S", Schedule::affine(&["i", "j"], vec![v("i"), v("j")]));
+        sys
+    }
+
+    #[test]
+    fn prefix_sum_executes_correctly() {
+        let sys = prefix_sum_system();
+        let params = env(&[("N", 7)]);
+        assert!(sys.verify(&params, 7, 5).is_empty());
+        let a: Vec<i64> = (0..7).map(|x| x * x + 1).collect();
+        let mut sums = vec![0i64; 7];
+        run(&sys, &params, 7, &mut |var, pt| {
+            assert_eq!(var, "S");
+            let (i, j) = (pt[0] as usize, pt[1] as usize);
+            if j == 0 {
+                sums[i] = a[0];
+            } else {
+                sums[i] += a[j];
+            }
+        });
+        let mut expect = vec![0i64; 7];
+        let mut acc = 0;
+        for (i, &x) in a.iter().enumerate() {
+            acc += x;
+            expect[i] = acc;
+        }
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn instances_are_time_sorted() {
+        let sys = prefix_sum_system();
+        let params = env(&[("N", 5)]);
+        let insts = ordered_instances(&sys, &params, 5);
+        assert_eq!(insts.len(), 15);
+        for w in insts.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn two_variable_interleaving_by_time() {
+        // A at time (i, 0), B at time (i, 1): for each i, A before B.
+        let mut sys = System::new(&["N"]);
+        let dom = Domain::universe(&["i"]).ge0(v("i")).lt(v("i"), v("N"));
+        sys.add_var(Var::new("A", dom.clone()));
+        sys.add_var(Var::new("B", dom));
+        sys.set_schedule("A", Schedule::affine(&["i"], vec![v("i"), crate::affine::c(0)]));
+        sys.set_schedule("B", Schedule::affine(&["i"], vec![v("i"), crate::affine::c(1)]));
+        let mut log = Vec::new();
+        run(&sys, &env(&[("N", 3)]), 3, &mut |var, pt| {
+            log.push(format!("{var}{}", pt[0]));
+        });
+        assert_eq!(log, vec!["A0", "B0", "A1", "B1", "A2", "B2"]);
+    }
+
+    #[test]
+    fn memmap_row_major() {
+        // (i, j) ↦ i·8 + j
+        let m = MemMap::row_major(AffineMap::identity(&["i", "j"]), &[4, 8]);
+        assert_eq!(m.addr(&[0, 0], &env(&[])), 0);
+        assert_eq!(m.addr(&[2, 3], &env(&[])), 19);
+    }
+
+    #[test]
+    fn memmap_shifted_option2() {
+        // The paper's option 2: (i, j) ↦ (i, j - i), row length 8.
+        let m = MemMap::row_major(
+            AffineMap::new(&["i", "j"], vec![v("i"), v("j") - v("i")]),
+            &[8, 8],
+        );
+        assert_eq!(m.addr(&[3, 3], &env(&[])), 24);
+        assert_eq!(m.addr(&[3, 7], &env(&[])), 28);
+    }
+
+    #[test]
+    fn trace_counts_and_working_set() {
+        let mut t = Trace::new();
+        t.read(10);
+        t.write(10);
+        t.read(20);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.distinct_addrs(), 2);
+        assert_eq!(t.accesses()[1].kind, AccessKind::Write);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride arity mismatch")]
+    fn memmap_arity_checked() {
+        let _ = MemMap::new(AffineMap::identity(&["i"]), vec![1, 2], 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! A compact polyhedral-model substrate — the AlphaZ stand-in of the BPMax
+//! reproduction.
+//!
+//! The paper's method is: write the BPMax recurrence as a system of affine
+//! recurrence equations, then hand AlphaZ *mapping directives* — a
+//! multidimensional affine **schedule** per variable (Tables I–V), a
+//! **processor allocation** (which schedule dimension runs in parallel), a
+//! **memory map**, and a **tiling** of the dominant reduction — and let the
+//! tool generate C. The scientific content is in the directives: they must
+//! be *legal* (respect every dependence) and they determine locality and
+//! vectorizability.
+//!
+//! This crate reproduces that content in Rust:
+//!
+//! * [`affine`] — affine expressions and multi-dim affine maps over named
+//!   index variables and size parameters.
+//! * [`domain`] — polyhedral domains (conjunctions of affine inequalities):
+//!   membership, bounded enumeration, emptiness-in-box.
+//! * [`schedule`] — multidimensional schedules, including strip-mined
+//!   (tiled) dimensions `⌊e/s⌋`, lexicographic time comparison, and
+//!   parallel-dimension annotations.
+//! * [`dependence`] — variables, affine dependences, and whole systems;
+//!   **legality verification**: every dependence instance must have its
+//!   producer scheduled strictly lexicographically before its consumer
+//!   (checked exhaustively over scaled problem instances, with violation
+//!   witnesses).
+//! * [`tiling`] — strip-mining transformations on schedules and the loop
+//!   range helpers the hand-materialized kernels share.
+//! * [`codegen`] — textual loop-nest generation from (domain, schedule)
+//!   pairs plus the LOC metric of the paper's Table VI.
+//! * [`parser`] — a miniature Alpha-like surface syntax: systems,
+//!   domains, dependences and schedules as text (the shape of the paper's
+//!   "alphabets" programs and command scripts).
+//! * [`scangen`] — automatic scan-loop generation from a (domain,
+//!   schedule) pair for signed-permutation schedules (AlphaZ's
+//!   `generateScheduleC`, restricted to the class Tables I–V use per
+//!   variable); generated nests are proven to visit instances in exactly
+//!   the executor's order.
+//! * [`executor`] — an interpreter that runs a system's statements in
+//!   schedule order (used by tests to execute BPMax straight from the
+//!   encoded paper schedules) and can emit memory-access traces for the
+//!   cache simulator in the `machine` crate.
+//!
+//! The deliberate scope cut (mirroring the paper, where a human writes the
+//! schedules): there is no automatic scheduler. We verify and apply mapping
+//! directives; we do not search for them.
+//!
+//! # Example: verify a schedule from text
+//!
+//! ```
+//! use polyhedral::parser::parse_system;
+//! use polyhedral::affine::env;
+//!
+//! let sys = parse_system(r#"
+//!     system Chain {N}
+//!     var X {i | 0 <= i < N};
+//!     dep "prev" X -> X (i - 1) when {i | i >= 1};
+//!     schedule X (i -> i);
+//! "#).unwrap();
+//! assert!(sys.verify(&env(&[("N", 10)]), 10, 5).is_empty());
+//!
+//! // the reversed order violates the chain dependence
+//! let bad = parse_system(r#"
+//!     system Chain {N}
+//!     var X {i | 0 <= i < N};
+//!     dep "prev" X -> X (i - 1) when {i | i >= 1};
+//!     schedule X (i -> 0 - i);
+//! "#).unwrap();
+//! assert!(!bad.verify(&env(&[("N", 10)]), 10, 5).is_empty());
+//! ```
+
+pub mod affine;
+pub mod codegen;
+pub mod dependence;
+pub mod domain;
+pub mod executor;
+pub mod parser;
+pub mod scangen;
+pub mod schedule;
+pub mod tiling;
+
+pub use affine::{AffineExpr, AffineMap, Env};
+pub use dependence::{Dependence, System, Var, Violation};
+pub use domain::{Constraint, Domain};
+pub use schedule::{SchedDim, Schedule, TimeVec};

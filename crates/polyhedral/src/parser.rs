@@ -1,0 +1,613 @@
+//! A parser for a miniature Alpha-like surface syntax.
+//!
+//! AlphaZ programs come in two pieces: an *alphabets* file declaring the
+//! system (parameters, variables over polyhedral domains, equations) and a
+//! command script applying mapping directives (`setSpaceTimeMap`,
+//! `setParallel`, …). This module parses a compact dialect covering the
+//! parts this reproduction models — domains, dependences, schedules,
+//! parallel annotations — into a ready-to-verify [`System`]:
+//!
+//! ```text
+//! system DMP {M, N}
+//!
+//! var F  {i1,j1,i2,j2 | 0 <= i1 <= j1 < M && 0 <= i2 <= j2 < N};
+//! var R0 {i1,j1,i2,j2,k1,k2 | 0 <= i1 <= k1 < j1 < M
+//!                           && 0 <= i2 <= k2 < j2 < N};
+//!
+//! dep "R0 reads left"  R0 -> F (i1, k1, i2, k2);
+//! dep "R0 reads right" R0 -> F (k1+1, j1, k2+1, j2);
+//! reduce "F consumes R0" F <- R0 (i1, j1, i2, j2);
+//!
+//! schedule F  (i1,j1,i2,j2 -> j1-i1, i1, M+N, i2, j2, 0);
+//! schedule R0 (i1,j1,i2,j2,k1,k2 -> j1-i1, i1, k1, i2, k2, j2);
+//! parallel 1;
+//! ```
+//!
+//! Statements:
+//! * `system NAME {P1, P2, …}` — header, must come first.
+//! * `var NAME {i, j, … | constraints};` — a variable and its domain.
+//!   Constraints are `&&`-conjoined chains of `expr (<|<=|>=|>|==) expr`
+//!   (chains like `0 <= i <= j < N` expand pairwise).
+//! * `dep "label" CONSUMER -> PRODUCER (exprs…) [when {i,… | constraints}];`
+//! * `reduce "label" CONSUMER <- PRODUCER (exprs…);` — a reduction-result
+//!   dependence (enumerated over the producer; the map sends the
+//!   reduction-body point to the consuming cell).
+//! * `schedule NAME (i, j, … -> exprs…);`
+//! * `parallel D;` — mark time dimension `D` parallel.
+//!
+//! Affine expressions: `3*i + j - 2`, `-i1 + M`, parenthesised terms.
+
+use crate::affine::{AffineExpr, AffineMap};
+use crate::dependence::{Dependence, System, Var};
+use crate::domain::Domain;
+use crate::schedule::Schedule;
+use std::fmt;
+
+/// A parse error with a (line, column) position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Sym(&'static str),
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize, usize)>,
+    pos: usize,
+}
+
+const SYMBOLS: [&str; 18] = [
+    "->", "<-", "<=", ">=", "==", "&&", "{", "}", "(", ")", "|", ",", ";", "+", "-", "*", "<", ">",
+];
+
+fn lex(src: &str) -> Result<Lexer, ParseError> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    'outer: while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            col += 1;
+            i += 1;
+            continue;
+        }
+        // comments: `//` or `#` to end of line
+        if c == '#' || (c == '/' && bytes.get(i + 1) == Some(&'/')) {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '"' {
+            let (start_line, start_col) = (line, col);
+            let mut s = String::new();
+            i += 1;
+            col += 1;
+            loop {
+                match bytes.get(i) {
+                    Some('"') => {
+                        i += 1;
+                        col += 1;
+                        break;
+                    }
+                    Some('\n') | None => {
+                        return Err(ParseError {
+                            line: start_line,
+                            col: start_col,
+                            message: "unterminated string".to_string(),
+                        })
+                    }
+                    Some(&ch) => {
+                        s.push(ch);
+                        i += 1;
+                        col += 1;
+                    }
+                }
+            }
+            toks.push((Tok::Str(s), start_line, start_col));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let (l, co) = (line, col);
+            let mut v = 0i64;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                v = v * 10 + (bytes[i] as i64 - '0' as i64);
+                i += 1;
+                col += 1;
+            }
+            toks.push((Tok::Int(v), l, co));
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let (l, co) = (line, col);
+            let mut s = String::new();
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                s.push(bytes[i]);
+                i += 1;
+                col += 1;
+            }
+            toks.push((Tok::Ident(s), l, co));
+            continue;
+        }
+        for sym in SYMBOLS {
+            if src[byte_index(&bytes, i)..].starts_with(sym) {
+                toks.push((Tok::Sym(sym), line, col));
+                i += sym.chars().count();
+                col += sym.chars().count();
+                continue 'outer;
+            }
+        }
+        return Err(ParseError {
+            line,
+            col,
+            message: format!("unexpected character {c:?}"),
+        });
+    }
+    Ok(Lexer { toks, pos: 0 })
+}
+
+fn byte_index(chars: &[char], char_idx: usize) -> usize {
+    chars[..char_idx].iter().map(|c| c.len_utf8()).sum()
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _, _)| t)
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|&(_, l, c)| (l, c))
+            .unwrap_or((1, 1))
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_sym(&mut self, sym: &'static str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Sym(s)) if *s == sym => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected {sym:?}, found {other:?}"))),
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &'static str) -> bool {
+        matches!(self.peek(), Some(Tok::Sym(s)) if *s == sym) && {
+            self.pos += 1;
+            true
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == kw => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.err(format!("expected {kw:?}, found {other:?}"))),
+        }
+    }
+}
+
+/// expr := term (('+'|'-') term)*
+/// term := INT ['*' atom] | ['-'] atom | '-' term
+/// atom := IDENT | '(' expr ')'
+fn parse_expr(lx: &mut Lexer) -> Result<AffineExpr, ParseError> {
+    let mut acc = parse_term(lx)?;
+    loop {
+        if lx.eat_sym("+") {
+            acc = acc + parse_term(lx)?;
+        } else if lx.eat_sym("-") {
+            acc = acc - parse_term(lx)?;
+        } else {
+            return Ok(acc);
+        }
+    }
+}
+
+fn parse_term(lx: &mut Lexer) -> Result<AffineExpr, ParseError> {
+    if lx.eat_sym("-") {
+        return Ok(-parse_term(lx)?);
+    }
+    match lx.peek().cloned() {
+        Some(Tok::Int(v)) => {
+            lx.pos += 1;
+            if lx.eat_sym("*") {
+                let atom = parse_atom(lx)?;
+                Ok(atom * v)
+            } else {
+                Ok(AffineExpr::constant(v))
+            }
+        }
+        _ => parse_atom(lx),
+    }
+}
+
+fn parse_atom(lx: &mut Lexer) -> Result<AffineExpr, ParseError> {
+    match lx.peek().cloned() {
+        Some(Tok::Ident(name)) => {
+            lx.pos += 1;
+            Ok(AffineExpr::var(&name))
+        }
+        Some(Tok::Sym("(")) => {
+            lx.pos += 1;
+            let e = parse_expr(lx)?;
+            lx.expect_sym(")")?;
+            Ok(e)
+        }
+        other => Err(lx.err(format!("expected expression, found {other:?}"))),
+    }
+}
+
+/// Chained comparison list: `e0 op e1 op e2 …` — each adjacent pair
+/// contributes one constraint to `dom`.
+fn parse_constraint_chain(lx: &mut Lexer, mut dom: Domain) -> Result<Domain, ParseError> {
+    let mut lhs = parse_expr(lx)?;
+    let mut any = false;
+    loop {
+        let op = match lx.peek() {
+            Some(Tok::Sym(s @ ("<" | "<=" | ">" | ">=" | "=="))) => *s,
+            _ => {
+                if any {
+                    return Ok(dom);
+                }
+                return Err(lx.err("expected comparison operator"));
+            }
+        };
+        lx.pos += 1;
+        let rhs = parse_expr(lx)?;
+        dom = match op {
+            "<" => dom.ge0(rhs.clone() - lhs.clone() - 1),
+            "<=" => dom.ge0(rhs.clone() - lhs.clone()),
+            ">" => dom.ge0(lhs.clone() - rhs.clone() - 1),
+            ">=" => dom.ge0(lhs.clone() - rhs.clone()),
+            "==" => dom.eq0(lhs.clone() - rhs.clone()),
+            _ => unreachable!(),
+        };
+        lhs = rhs;
+        any = true;
+    }
+}
+
+/// `{i, j, … | constraints}` (constraint part optional: `{i, j}`).
+fn parse_domain(lx: &mut Lexer) -> Result<Domain, ParseError> {
+    lx.expect_sym("{")?;
+    let mut indices = vec![lx.expect_ident()?];
+    while lx.eat_sym(",") {
+        indices.push(lx.expect_ident()?);
+    }
+    let index_refs: Vec<&str> = indices.iter().map(|s| s.as_str()).collect();
+    let mut dom = Domain::universe(&index_refs);
+    if lx.eat_sym("|") {
+        dom = parse_constraint_chain(lx, dom)?;
+        while lx.eat_sym("&&") {
+            dom = parse_constraint_chain(lx, dom)?;
+        }
+    }
+    lx.expect_sym("}")?;
+    Ok(dom)
+}
+
+/// `(i, j, … -> e0, e1, …)` — an affine map with declared inputs.
+fn parse_map(lx: &mut Lexer) -> Result<AffineMap, ParseError> {
+    lx.expect_sym("(")?;
+    let mut inputs = vec![lx.expect_ident()?];
+    while lx.eat_sym(",") {
+        inputs.push(lx.expect_ident()?);
+    }
+    lx.expect_sym("->")?;
+    let mut exprs = vec![parse_expr(lx)?];
+    while lx.eat_sym(",") {
+        exprs.push(parse_expr(lx)?);
+    }
+    lx.expect_sym(")")?;
+    let input_refs: Vec<&str> = inputs.iter().map(|s| s.as_str()).collect();
+    Ok(AffineMap::new(&input_refs, exprs))
+}
+
+/// `(e0, e1, …)` — map outputs whose inputs are taken from `inputs`.
+fn parse_output_tuple(lx: &mut Lexer, inputs: &[String]) -> Result<AffineMap, ParseError> {
+    lx.expect_sym("(")?;
+    let mut exprs = vec![parse_expr(lx)?];
+    while lx.eat_sym(",") {
+        exprs.push(parse_expr(lx)?);
+    }
+    lx.expect_sym(")")?;
+    let input_refs: Vec<&str> = inputs.iter().map(|s| s.as_str()).collect();
+    Ok(AffineMap::new(&input_refs, exprs))
+}
+
+/// Parse a whole system description.
+pub fn parse_system(src: &str) -> Result<System, ParseError> {
+    let mut lx = lex(src)?;
+    lx.expect_keyword("system")?;
+    let _name = lx.expect_ident()?;
+    lx.expect_sym("{")?;
+    let mut params = vec![lx.expect_ident()?];
+    while lx.eat_sym(",") {
+        params.push(lx.expect_ident()?);
+    }
+    lx.expect_sym("}")?;
+    let param_refs: Vec<&str> = params.iter().map(|s| s.as_str()).collect();
+    let mut sys = System::new(&param_refs);
+
+    while let Some(tok) = lx.peek().cloned() {
+        match tok {
+            Tok::Ident(kw) if kw == "var" => {
+                lx.pos += 1;
+                let name = lx.expect_ident()?;
+                let dom = parse_domain(&mut lx)?;
+                lx.expect_sym(";")?;
+                sys.add_var(Var::new(&name, dom));
+            }
+            Tok::Ident(kw) if kw == "dep" || kw == "reduce" => {
+                lx.pos += 1;
+                let label = match lx.next() {
+                    Some(Tok::Str(s)) => s,
+                    other => return Err(lx.err(format!("expected label string, found {other:?}"))),
+                };
+                let first = lx.expect_ident()?;
+                let is_reduce = kw == "reduce";
+                if is_reduce {
+                    lx.expect_sym("<-")?;
+                } else {
+                    lx.expect_sym("->")?;
+                }
+                let second = lx.expect_ident()?;
+                for name in [&first, &second] {
+                    if !sys.vars().any(|v| &v.name == name) {
+                        return Err(lx.err(format!("unknown variable {name:?} in dependence")));
+                    }
+                }
+                // map inputs = the enumeration side's indices
+                let enum_var = if is_reduce { &second } else { &first };
+                let enum_indices = sys
+                    .vars()
+                    .find(|v| &v.name == enum_var)
+                    .ok_or_else(|| lx.err(format!("unknown variable {enum_var:?}")))?
+                    .domain
+                    .indices()
+                    .to_vec();
+                let map = parse_output_tuple(&mut lx, &enum_indices)?;
+                let mut dep = if is_reduce {
+                    Dependence::reduction_result(&label, &first, &second, map)
+                } else {
+                    Dependence::new(&label, &first, &second, map)
+                };
+                if matches!(lx.peek(), Some(Tok::Ident(w)) if w == "when") {
+                    lx.pos += 1;
+                    dep = dep.with_guard(parse_domain(&mut lx)?);
+                }
+                lx.expect_sym(";")?;
+                sys.add_dep(dep);
+            }
+            Tok::Ident(kw) if kw == "schedule" => {
+                lx.pos += 1;
+                let name = lx.expect_ident()?;
+                let map = parse_map(&mut lx)?;
+                lx.expect_sym(";")?;
+                sys.set_schedule(&name, Schedule::from_map(&map));
+            }
+            Tok::Ident(kw) if kw == "parallel" => {
+                lx.pos += 1;
+                match lx.next() {
+                    Some(Tok::Int(d)) if d >= 0 => {
+                        sys.set_parallel(d as usize);
+                    }
+                    other => {
+                        return Err(lx.err(format!("expected dimension number, found {other:?}")))
+                    }
+                }
+                lx.expect_sym(";")?;
+            }
+            other => {
+                return Err(lx.err(format!(
+                    "expected var/dep/reduce/schedule/parallel, found {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(sys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::env;
+
+    const CHAIN: &str = r#"
+        system Chain {N}
+        var X {i | 0 <= i < N};
+        dep "prev" X -> X (i - 1) when {i | i >= 1};
+        schedule X (i -> i);
+    "#;
+
+    #[test]
+    fn parses_and_verifies_a_chain() {
+        let sys = parse_system(CHAIN).unwrap();
+        assert!(sys.verify(&env(&[("N", 8)]), 8, 5).is_empty());
+        assert_eq!(sys.dependence_instances(&env(&[("N", 8)]), 8), 7);
+    }
+
+    #[test]
+    fn reversed_text_schedule_is_illegal() {
+        let src = CHAIN.replace("(i -> i)", "(i -> 0 - i)");
+        let sys = parse_system(&src).unwrap();
+        assert!(!sys.verify(&env(&[("N", 8)]), 8, 5).is_empty());
+    }
+
+    #[test]
+    fn chained_comparisons_expand() {
+        let src = r#"
+            system T {N}
+            var F {i, j | 0 <= i <= j < N};
+            schedule F (i, j -> j - i, i);
+        "#;
+        let sys = parse_system(src).unwrap();
+        let dom = &sys.var("F").domain;
+        let params = env(&[("N", 5)]);
+        assert_eq!(dom.count(&[(-2, 7), (-2, 7)], &params), 15);
+    }
+
+    #[test]
+    fn expressions_with_coefficients_and_parens() {
+        let src = r#"
+            system T {M}
+            var X {i | 0 <= i < M};
+            schedule X (i -> 3*i - (M - 1), 2*i + 4);
+        "#;
+        let sys = parse_system(src).unwrap();
+        let t = sys.schedule("X").time(&[2], &env(&[("M", 10)]));
+        assert_eq!(t, vec![6 - 9, 8]);
+    }
+
+    #[test]
+    fn reduce_statement_builds_producer_enumerated_dep() {
+        let src = r#"
+            system R {N}
+            var Acc {i, k | 0 <= i < N && 0 <= k < N};
+            var Y {i | 0 <= i < N};
+            reduce "Y consumes Acc" Y <- Acc (i);
+            schedule Acc (i, k -> i, k);
+            schedule Y (i -> i, N);
+        "#;
+        let sys = parse_system(src).unwrap();
+        assert!(sys.verify(&env(&[("N", 4)]), 4, 5).is_empty());
+        // moving Y before the body must fail
+        let bad = src.replace("(i -> i, N)", "(i -> i, 0 - 1)");
+        let sys = parse_system(&bad).unwrap();
+        assert!(!sys.verify(&env(&[("N", 4)]), 4, 5).is_empty());
+    }
+
+    #[test]
+    fn parallel_annotation_applies() {
+        let src = r#"
+            system P {N}
+            var X {i | 0 <= i < N};
+            dep "prev" X -> X (i - 1) when {i | i >= 1};
+            schedule X (i -> i);
+            parallel 0;
+        "#;
+        let sys = parse_system(src).unwrap();
+        assert_eq!(sys.parallel_dims(), &[0]);
+        // the chain over a parallel dim is a race
+        assert!(!sys.verify(&env(&[("N", 4)]), 4, 5).is_empty());
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let src = r#"
+            // a comment
+            system C {N}  # another comment
+            var X {i | 0 <= i < N}; // trailing
+            schedule X (i -> i);
+        "#;
+        assert!(parse_system(src).is_ok());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_system("system X {N}\nvar {i};").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("identifier"));
+        let err = parse_system("system X {N}\nvar Y {i | i >= };").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_system("bogus").unwrap_err();
+        assert!(err.message.contains("system"));
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = parse_system("system X {N}\nvar A {i};\ndep \"oops A -> A (i);").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn unknown_dep_variable_is_an_error() {
+        let err = parse_system(
+            "system X {N}\nvar A {i | 0 <= i < N};\ndep \"d\" A -> B (i);",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown variable \"B\""), "{err}");
+    }
+
+    /// The paper's double max-plus system, straight from text, verified
+    /// against the same dependences as the hand-built one.
+    #[test]
+    fn textual_dmp_system_verifies() {
+        let src = r#"
+            system DMP {M, N}
+            var F  {i1,j1,i2,j2 | 0 <= i1 <= j1 < M && 0 <= i2 <= j2 < N};
+            var R0 {i1,j1,i2,j2,k1,k2 | 0 <= i1 <= k1 && k1 < j1 && j1 < M
+                                      && 0 <= i2 <= k2 && k2 < j2 && j2 < N};
+            dep "R0 reads left"  R0 -> F (i1, k1, i2, k2);
+            dep "R0 reads right" R0 -> F (k1 + 1, j1, k2 + 1, j2);
+            reduce "F consumes R0" F <- R0 (i1, j1, i2, j2);
+            schedule F  (i1,j1,i2,j2 -> j1 - i1, i1, M + N, i2, j2, 0);
+            schedule R0 (i1,j1,i2,j2,k1,k2 -> j1 - i1, i1, k1, i2, k2, j2);
+        "#;
+        let sys = parse_system(src).unwrap();
+        for (m, n) in [(4i64, 4i64), (5, 3)] {
+            let params = env(&[("M", m), ("N", n)]);
+            let viol = sys.verify(&params, m.max(n), 5);
+            assert!(viol.is_empty(), "{m}x{n}: {:?}", viol.first());
+        }
+    }
+}

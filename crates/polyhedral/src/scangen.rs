@@ -1,0 +1,330 @@
+//! Automatic scan-loop generation from a (domain, schedule) pair.
+//!
+//! `generateScheduleC` in AlphaZ turns a scheduled variable into loops over
+//! its time dimensions. This module implements the core of that for the
+//! schedule class the BPMax tables actually use — each time dimension is
+//! either a constant, a parameter expression, or `±index + const`, with
+//! every index variable covered by some dimension (a signed permutation
+//! with offsets; repeated occurrences are order-neutral and skipped).
+//! That covers the lexicographic (non-diagonal) walks of Tables I–V —
+//! diagonal-major walks like `(j1−i1, i1, …)` need a skewing change of
+//! basis first and are rejected explicitly.
+//!
+//! The generated [`LoopNest`] iterates the time dimensions in order
+//! (negated indices become ascending loops over the negated range), binds
+//! the original index names back via affine substitution, guards with the
+//! domain constraints, and emits one statement per instance. Tests prove
+//! the nest visits exactly the instances of
+//! [`crate::executor::ordered_instances`], **in the same order** — the
+//! generated text is the schedule, not an approximation of it.
+
+use crate::affine::{AffineExpr, Env};
+use crate::codegen::{Bound, LoopNest, Node};
+use crate::domain::{Constraint, Domain};
+use crate::schedule::{SchedDim, Schedule};
+use std::collections::BTreeMap;
+
+/// Why a schedule cannot be scanned by this generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScanError {
+    /// A time dimension mentions several index variables (e.g. `j1 − i1`)
+    /// or a non-unit coefficient — outside the signed-permutation class.
+    NonPermutationDim(usize),
+    /// An index variable appears in no time dimension (the schedule is not
+    /// injective on the domain, so a scan would need an inner search).
+    UnscannedIndex(String),
+    /// A tiled dimension (strip-mined schedules need the tile-loop
+    /// generator of `nests`, not this plain scan).
+    TiledDim(usize),
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::NonPermutationDim(d) => {
+                write!(f, "time dimension {d} is not ±index + const")
+            }
+            ScanError::UnscannedIndex(v) => write!(f, "index {v:?} not covered by any dimension"),
+            ScanError::TiledDim(d) => write!(f, "dimension {d} is strip-mined"),
+        }
+    }
+}
+
+/// Generate a scan nest for `stmt` over `domain` in `schedule` order.
+///
+/// `index_bound`: expression for the half-open upper bound of every index
+/// variable (e.g. `v("M") + v("N")` for BPMax — the same box the verifier
+/// uses); lower bound is `lo_bound` (typically a small negative constant
+/// or 0). Domain constraints guard the statement, so a loose box only
+/// costs scan time, never correctness.
+pub fn generate_scan(
+    stmt: &str,
+    domain: &Domain,
+    schedule: &Schedule,
+    lo_bound: AffineExpr,
+    hi_bound: AffineExpr,
+) -> Result<LoopNest, ScanError> {
+    assert_eq!(
+        domain.indices(),
+        schedule.inputs(),
+        "domain and schedule must agree on index names"
+    );
+    // Classify each time dimension.
+    let mut covered: BTreeMap<String, usize> = BTreeMap::new();
+    enum DimKind {
+        Fixed,                       // constant / parameter expression
+        Index { name: String, neg: bool }, // ±name + const
+    }
+    let mut kinds = Vec::new();
+    for (d, dim) in schedule.dims().iter().enumerate() {
+        let expr = match dim {
+            SchedDim::Affine(e) => e,
+            SchedDim::Tiled { .. } => return Err(ScanError::TiledDim(d)),
+        };
+        let index_vars: Vec<&str> = expr
+            .vars()
+            .filter(|v| domain.indices().iter().any(|i| i == v))
+            .collect();
+        match index_vars.as_slice() {
+            [] => kinds.push(DimKind::Fixed),
+            [one] => {
+                let coeff = expr.coeff(one);
+                if coeff != 1 && coeff != -1 {
+                    return Err(ScanError::NonPermutationDim(d));
+                }
+                let name = one.to_string();
+                if covered.contains_key(&name) {
+                    // A repeated index (e.g. the fine-grain F schedule's
+                    // `…, j1, j1, …`) can never be the *first* differing
+                    // dimension — its first occurrence already differs —
+                    // so it is order-neutral here: skip it.
+                    kinds.push(DimKind::Fixed);
+                } else {
+                    covered.insert(name.clone(), d);
+                    kinds.push(DimKind::Index {
+                        name,
+                        neg: coeff == -1,
+                    });
+                }
+            }
+            _ => return Err(ScanError::NonPermutationDim(d)),
+        }
+    }
+    for idx in domain.indices() {
+        if !covered.contains_key(idx) {
+            return Err(ScanError::UnscannedIndex(idx.clone()));
+        }
+    }
+    // Build loops outermost-first. Loop variable for dimension d is a
+    // fresh name `t{d}`; the original index is recovered as ±t{d}
+    // (constant offsets in the dim expression shift the loop range, which
+    // the loose box + guards absorb — we simply scan the index box).
+    let mut subs: BTreeMap<String, AffineExpr> = BTreeMap::new();
+    let mut loops: Vec<(String, bool, bool)> = Vec::new(); // (index, neg, is_loop)
+    for (d, kind) in kinds.iter().enumerate() {
+        if let DimKind::Index { name, neg } = kind {
+            let tvar = format!("t{d}");
+            let recover = if *neg {
+                -AffineExpr::var(&tvar)
+            } else {
+                AffineExpr::var(&tvar)
+            };
+            subs.insert(name.clone(), recover);
+            loops.push((tvar, *neg, true));
+        }
+    }
+    // Statement: original indices substituted, guarded by the domain.
+    let args: Vec<AffineExpr> = domain
+        .indices()
+        .iter()
+        .map(|i| AffineExpr::var(i).substitute(&subs))
+        .collect();
+    let guards: Vec<AffineExpr> = domain
+        .constraints()
+        .iter()
+        .flat_map(|c| match c {
+            Constraint::Ge0(e) => vec![e.substitute(&subs)],
+            Constraint::Eq0(e) => vec![e.substitute(&subs), -e.substitute(&subs)],
+        })
+        .collect();
+    let mut body = vec![Node::stmt_if(stmt, args, guards)];
+    // Wrap loops inside-out. A negated index i (time = -i) must scan i
+    // descending, i.e. t ascending over [-(hi-1), -lo+1) with i = -t.
+    for (tvar, neg, _) in loops.into_iter().rev() {
+        let (lo, hi) = if neg {
+            (
+                -(hi_bound.clone()) + 1,
+                -(lo_bound.clone()) + 1,
+            )
+        } else {
+            (lo_bound.clone(), hi_bound.clone())
+        };
+        body = vec![Node::loop_(&tvar, Bound::expr(lo), Bound::expr(hi), body)];
+    }
+    Ok(LoopNest::new(
+        &format!("scan of {stmt}"),
+        &[],
+        body,
+    ))
+}
+
+/// Execute a generated scan and collect visited instances, for comparison
+/// against the executor.
+pub fn collect_instances(nest: &LoopNest, params: &Env) -> Vec<Vec<i64>> {
+    let mut out = Vec::new();
+    nest.execute(params, &mut |_, args| out.push(args.to_vec()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::{c, env, v};
+    use crate::dependence::{System, Var};
+    use crate::executor::ordered_instances;
+
+    fn triangle() -> Domain {
+        Domain::universe(&["i", "j"])
+            .ge0(v("i"))
+            .ge0(v("j") - v("i"))
+            .lt(v("j"), v("N"))
+    }
+
+    /// Compare the generated scan against the executor on a one-variable
+    /// system: same instances, same order.
+    fn check(domain: Domain, schedule: Schedule, params: &Env, bound: i64) {
+        let nest = generate_scan(
+            "S",
+            &domain,
+            &schedule,
+            c(-bound),
+            v("N") + v("N"), // loose box
+        )
+        .unwrap();
+        let scanned = collect_instances(&nest, params);
+        let mut sys = System::new(&["N"]);
+        sys.add_var(Var::new("S", domain));
+        sys.set_schedule("S", schedule);
+        let expected: Vec<Vec<i64>> = ordered_instances(&sys, params, bound)
+            .into_iter()
+            .map(|inst| inst.point)
+            .collect();
+        assert_eq!(scanned, expected);
+    }
+
+    #[test]
+    fn identity_order() {
+        check(
+            triangle(),
+            Schedule::affine(&["i", "j"], vec![v("i"), v("j")]),
+            &env(&[("N", 6)]),
+            6,
+        );
+    }
+
+    #[test]
+    fn column_major_order() {
+        check(
+            triangle(),
+            Schedule::affine(&["i", "j"], vec![v("j"), v("i")]),
+            &env(&[("N", 5)]),
+            5,
+        );
+    }
+
+    #[test]
+    fn bottom_up_order() {
+        // (-i, j): rows bottom-up, the BPMax fine-grain walk.
+        check(
+            triangle(),
+            Schedule::affine(&["i", "j"], vec![-v("i"), v("j")]),
+            &env(&[("N", 7)]),
+            7,
+        );
+    }
+
+    #[test]
+    fn offsets_are_tolerated() {
+        check(
+            triangle(),
+            Schedule::affine(&["i", "j"], vec![v("i") + 3, v("j") - 2]),
+            &env(&[("N", 5)]),
+            5,
+        );
+    }
+
+    #[test]
+    fn fixed_dims_are_skipped() {
+        check(
+            triangle(),
+            Schedule::affine(&["i", "j"], vec![c(1), v("i"), v("N"), v("j")]),
+            &env(&[("N", 5)]),
+            5,
+        );
+    }
+
+    #[test]
+    fn diagonal_schedules_are_rejected() {
+        let err = generate_scan(
+            "S",
+            &triangle(),
+            &Schedule::affine(&["i", "j"], vec![v("j") - v("i"), v("i")]),
+            c(0),
+            v("N"),
+        )
+        .unwrap_err();
+        assert_eq!(err, ScanError::NonPermutationDim(0));
+    }
+
+    #[test]
+    fn uncovered_index_rejected() {
+        let err = generate_scan(
+            "S",
+            &triangle(),
+            &Schedule::affine(&["i", "j"], vec![v("i"), c(0)]),
+            c(0),
+            v("N"),
+        )
+        .unwrap_err();
+        assert_eq!(err, ScanError::UnscannedIndex("j".to_string()));
+    }
+
+    #[test]
+    fn duplicate_index_dims_are_order_neutral() {
+        // `(i, i, j)` orders exactly like `(i, j)`.
+        check(
+            triangle(),
+            Schedule::affine(&["i", "j"], vec![v("i"), v("i"), v("j")]),
+            &env(&[("N", 5)]),
+            5,
+        );
+    }
+
+    #[test]
+    fn fine_grain_f_style_schedule_is_scannable() {
+        // The shape of Table II's F schedule: (1, -i1, j1, j1, -i2, 0, j2, 0)
+        // reduced to one strand: (1, -i, j, j, 0).
+        check(
+            triangle(),
+            Schedule::affine(&["i", "j"], vec![c(1), -v("i"), v("j"), v("j"), c(0)]),
+            &env(&[("N", 6)]),
+            6,
+        );
+    }
+
+    #[test]
+    fn rendered_text_is_loops_and_guards() {
+        let nest = generate_scan(
+            "S",
+            &triangle(),
+            &Schedule::affine(&["i", "j"], vec![-v("i"), v("j")]),
+            c(0),
+            v("N"),
+        )
+        .unwrap();
+        let text = crate::codegen::render(&nest);
+        assert!(text.contains("for (t0"));
+        assert!(text.contains("if ("));
+        assert!(text.contains("S("));
+    }
+}

@@ -1,0 +1,259 @@
+//! Multidimensional schedules and lexicographic time.
+//!
+//! A schedule maps every instance of a variable to a point in a common
+//! *d*-dimensional logical time; execution order is lexicographic on time
+//! vectors. The paper's Tables I–V are exactly such maps, e.g. (Table III,
+//! coarse grain, `R0`):
+//!
+//! ```text
+//! (i1,j1,i2,j2,k1,k2) ↦ (1, j1-i1, i1, k1, i2, k2, j2)
+//! ```
+//!
+//! Two extensions beyond plain affine maps are needed:
+//!
+//! * **Tiled dimensions** `⌊e/s⌋` — strip-mined time produced by the tiling
+//!   transformation of Phase III (floor division is not affine, so it gets
+//!   its own [`SchedDim`] variant; legality checking and the executor just
+//!   evaluate it).
+//! * **Parallel-dimension annotations** — AlphaZ's `setParallel`: marking a
+//!   schedule dimension as executed by concurrent threads. A dependence
+//!   whose source and sink differ *only* at and after a parallel dimension
+//!   is a race; the legality checker (see [`crate::dependence`]) treats
+//!   parallel dimensions as providing no ordering.
+
+use crate::affine::{AffineExpr, AffineMap, Env};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// One dimension of logical time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedDim {
+    /// An affine expression of the indices/parameters.
+    Affine(AffineExpr),
+    /// A strip-mined dimension `⌊expr / size⌋` (`size ≥ 1`).
+    Tiled {
+        /// The expression being strip-mined.
+        expr: AffineExpr,
+        /// The tile size.
+        size: i64,
+    },
+}
+
+impl SchedDim {
+    /// Evaluate to an integer time coordinate.
+    pub fn eval(&self, env: &Env) -> i64 {
+        match self {
+            SchedDim::Affine(e) => e.eval(env),
+            SchedDim::Tiled { expr, size } => {
+                debug_assert!(*size >= 1, "tile size must be >= 1");
+                expr.eval(env).div_euclid(*size)
+            }
+        }
+    }
+}
+
+impl fmt::Display for SchedDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedDim::Affine(e) => write!(f, "{e}"),
+            SchedDim::Tiled { expr, size } => write!(f, "floor(({expr})/{size})"),
+        }
+    }
+}
+
+/// A time vector (one lexicographic instant).
+pub type TimeVec = Vec<i64>;
+
+/// Lexicographic comparison of equal-length time vectors.
+pub fn lex_cmp(a: &[i64], b: &[i64]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len(), "comparing times of different dimension");
+    a.cmp(b)
+}
+
+/// A schedule for one variable: input index names, time dimensions, and the
+/// set of dimensions annotated parallel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    inputs: Vec<String>,
+    dims: Vec<SchedDim>,
+    parallel: Vec<usize>,
+}
+
+impl Schedule {
+    /// Build from index names and time dimensions.
+    pub fn new(inputs: &[&str], dims: Vec<SchedDim>) -> Self {
+        Schedule {
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            dims,
+            parallel: Vec::new(),
+        }
+    }
+
+    /// Build from an [`AffineMap`] (every dimension affine).
+    pub fn from_map(map: &AffineMap) -> Self {
+        Schedule {
+            inputs: map.inputs().to_vec(),
+            dims: map
+                .exprs()
+                .iter()
+                .cloned()
+                .map(SchedDim::Affine)
+                .collect(),
+            parallel: Vec::new(),
+        }
+    }
+
+    /// Convenience: affine schedule from index names and expressions.
+    pub fn affine(inputs: &[&str], exprs: Vec<AffineExpr>) -> Self {
+        Schedule::new(
+            inputs,
+            exprs.into_iter().map(SchedDim::Affine).collect(),
+        )
+    }
+
+    /// Mark dimension `dim` as parallel (AlphaZ `setParallel`).
+    pub fn with_parallel(mut self, dim: usize) -> Self {
+        assert!(dim < self.dims.len(), "parallel dim out of range");
+        if !self.parallel.contains(&dim) {
+            self.parallel.push(dim);
+            self.parallel.sort_unstable();
+        }
+        self
+    }
+
+    /// The parallel dimensions, ascending.
+    pub fn parallel_dims(&self) -> &[usize] {
+        &self.parallel
+    }
+
+    /// Input index names.
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// Time dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The time dimensions.
+    pub fn dims(&self) -> &[SchedDim] {
+        &self.dims
+    }
+
+    /// Time vector of `point` under `params`.
+    pub fn time(&self, point: &[i64], params: &Env) -> TimeVec {
+        assert_eq!(
+            point.len(),
+            self.inputs.len(),
+            "point arity {} does not match schedule inputs {:?}",
+            point.len(),
+            self.inputs
+        );
+        let mut env = params.clone();
+        for (name, &val) in self.inputs.iter().zip(point) {
+            env.insert(name.clone(), val);
+        }
+        self.dims.iter().map(|d| d.eval(&env)).collect()
+    }
+
+    /// Whether time `a` provides a *sequential* happens-before guarantee
+    /// over time `b`: `a <lex b` **and** the first differing dimension is
+    /// not parallel (a parallel dimension provides no ordering between its
+    /// iterations). Equal times never order.
+    pub fn sequentially_before(&self, a: &[i64], b: &[i64]) -> bool {
+        match a.iter().zip(b.iter()).position(|(x, y)| x != y) {
+            None => false,
+            Some(d) => a[d] < b[d] && !self.parallel.contains(&d),
+        }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}) -> (", self.inputs.join(", "))?;
+        for (k, d) in self.dims.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+            if self.parallel.contains(&k) {
+                write!(f, "‖")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::{env, v};
+
+    #[test]
+    fn affine_schedule_time() {
+        // (i1,j1) -> (j1-i1, i1)
+        let s = Schedule::affine(&["i1", "j1"], vec![v("j1") - v("i1"), v("i1")]);
+        assert_eq!(s.time(&[2, 5], &env(&[])), vec![3, 2]);
+    }
+
+    #[test]
+    fn tiled_dim_floordiv() {
+        let s = Schedule::new(
+            &["i"],
+            vec![
+                SchedDim::Tiled {
+                    expr: v("i"),
+                    size: 4,
+                },
+                SchedDim::Affine(v("i")),
+            ],
+        );
+        assert_eq!(s.time(&[0], &env(&[])), vec![0, 0]);
+        assert_eq!(s.time(&[3], &env(&[])), vec![0, 3]);
+        assert_eq!(s.time(&[4], &env(&[])), vec![1, 4]);
+        // Euclidean floor for negatives
+        assert_eq!(s.time(&[-1], &env(&[])), vec![-1, -1]);
+    }
+
+    #[test]
+    fn lex_order() {
+        assert_eq!(lex_cmp(&[1, 2, 3], &[1, 2, 4]), Ordering::Less);
+        assert_eq!(lex_cmp(&[2, 0, 0], &[1, 9, 9]), Ordering::Greater);
+        assert_eq!(lex_cmp(&[1, 1], &[1, 1]), Ordering::Equal);
+    }
+
+    #[test]
+    fn parameters_in_schedule() {
+        // The hybrid schedule of Table IV uses the parameter M as a time
+        // coordinate: (i1,j1,i2,j2 -> 1, j1-i1, M, ...).
+        let s = Schedule::affine(&["i1"], vec![v("M"), v("i1")]);
+        assert_eq!(s.time(&[3], &env(&[("M", 16)])), vec![16, 3]);
+    }
+
+    #[test]
+    fn sequential_ordering_respects_parallel_dims() {
+        let s = Schedule::affine(&["i", "j"], vec![v("i"), v("j")]).with_parallel(1);
+        // differ at dim 0 (sequential): ordered
+        assert!(s.sequentially_before(&[0, 5], &[1, 0]));
+        // differ first at dim 1 (parallel): NOT ordered
+        assert!(!s.sequentially_before(&[0, 1], &[0, 2]));
+        // equal: not ordered
+        assert!(!s.sequentially_before(&[1, 1], &[1, 1]));
+        // lex-greater: not ordered
+        assert!(!s.sequentially_before(&[2, 0], &[1, 9]));
+    }
+
+    #[test]
+    fn display_marks_parallel() {
+        let s = Schedule::affine(&["i"], vec![v("i"), v("i") + 1]).with_parallel(0);
+        let txt = s.to_string();
+        assert!(txt.contains('‖'));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel dim out of range")]
+    fn parallel_oob_panics() {
+        let _ = Schedule::affine(&["i"], vec![v("i")]).with_parallel(3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Tiling transformations.
+//!
+//! Phase III of the paper tiles the three inner dimensions of the double
+//! max-plus reduction ("we tile three inner dimensions with k2 loop still
+//! in the middle and j2 loop inside"). In schedule terms, tiling =
+//! *strip-mining* a band of schedule dimensions: each banded dimension `e`
+//! contributes an outer tile coordinate `⌊e/s⌋`, and the original
+//! dimensions remain inside as point coordinates. Legality of the tiled
+//! schedule is rechecked by [`crate::dependence::System::verify`] like any
+//! other schedule — tiling is only valid when the band is fully permutable,
+//! and an illegal band produces witnesses.
+//!
+//! Also provides [`tile_ranges`], the iterator every hand-materialized
+//! tiled kernel in the workspace uses to chop `[lo, hi)` into `[t, t+size)`
+//! chunks, so tile-boundary arithmetic lives in exactly one place.
+
+use crate::schedule::{SchedDim, Schedule};
+
+/// Strip-mine the schedule dimensions `band` (indices into the existing
+/// time dims, in the order they should appear as tile coordinates) with the
+/// given tile `sizes`. The tile coordinates are inserted as a block
+/// *before* the first banded dimension; all original dimensions keep their
+/// relative order after it.
+///
+/// Example: dims `(a, b, c)`, band `[1, 2]`, sizes `[4, 8]` →
+/// `(a, ⌊b/4⌋, ⌊c/8⌋, b, c)`.
+///
+/// Panics if a banded dimension is already tiled or out of range, or if
+/// `band` and `sizes` lengths differ.
+pub fn strip_mine(schedule: &Schedule, band: &[usize], sizes: &[i64]) -> Schedule {
+    assert_eq!(band.len(), sizes.len(), "band/sizes length mismatch");
+    assert!(!band.is_empty(), "empty tiling band");
+    let dims = schedule.dims();
+    let first = *band.iter().min().unwrap();
+    assert!(
+        band.iter().all(|&d| d < dims.len()),
+        "band dimension out of range"
+    );
+    let mut tile_dims = Vec::with_capacity(band.len());
+    for (&d, &s) in band.iter().zip(sizes) {
+        assert!(s >= 1, "tile size must be >= 1");
+        match &dims[d] {
+            SchedDim::Affine(e) => tile_dims.push(SchedDim::Tiled {
+                expr: e.clone(),
+                size: s,
+            }),
+            SchedDim::Tiled { .. } => panic!("dimension {d} is already tiled"),
+        }
+    }
+    let mut new_dims = Vec::with_capacity(dims.len() + band.len());
+    new_dims.extend(dims[..first].iter().cloned());
+    new_dims.extend(tile_dims);
+    new_dims.extend(dims[first..].iter().cloned());
+    let inputs: Vec<&str> = schedule.inputs().iter().map(|s| s.as_str()).collect();
+    Schedule::new(&inputs, new_dims)
+}
+
+/// Iterator over tile ranges `[start, end)` covering `[lo, hi)` in steps of
+/// `size` (the last range may be short). `size = usize::MAX` yields the
+/// whole range at once (an *untiled* dimension — the paper's best choice
+/// for the streaming `j2` loop).
+pub fn tile_ranges(lo: usize, hi: usize, size: usize) -> impl Iterator<Item = (usize, usize)> {
+    assert!(size > 0, "tile size must be positive");
+    let mut start = lo;
+    std::iter::from_fn(move || {
+        if start >= hi {
+            return None;
+        }
+        let end = start.saturating_add(size).min(hi);
+        let r = (start, end);
+        start = end;
+        Some(r)
+    })
+}
+
+/// Number of tiles covering `[lo, hi)` with the given size.
+pub fn tile_count(lo: usize, hi: usize, size: usize) -> usize {
+    if hi <= lo {
+        0
+    } else if size == usize::MAX {
+        1
+    } else {
+        (hi - lo).div_ceil(size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::{env, v};
+
+    #[test]
+    fn strip_mine_inserts_tile_block() {
+        let s = Schedule::affine(&["i", "j", "k"], vec![v("i"), v("j"), v("k")]);
+        let t = strip_mine(&s, &[1, 2], &[4, 8]);
+        assert_eq!(t.dim(), 5);
+        // point (0, 5, 17) → (0, ⌊5/4⌋, ⌊17/8⌋, 5, 17)
+        assert_eq!(t.time(&[0, 5, 17], &env(&[])), vec![0, 1, 2, 5, 17]);
+    }
+
+    #[test]
+    fn strip_mine_respects_band_order() {
+        let s = Schedule::affine(&["i", "j"], vec![v("i"), v("j")]);
+        // band listed (1, 0): tile coords in that order, inserted at dim 0
+        let t = strip_mine(&s, &[1, 0], &[10, 2]);
+        assert_eq!(t.time(&[3, 25], &env(&[])), vec![2, 1, 3, 25]);
+    }
+
+    #[test]
+    fn tiled_schedule_orders_tiles_lexicographically() {
+        let s = Schedule::affine(&["i"], vec![v("i")]);
+        let t = strip_mine(&s, &[0], &[4]);
+        let params = env(&[]);
+        // i=3 (tile 0) before i=4 (tile 1); within a tile original order.
+        assert!(t.time(&[3], &params) < t.time(&[4], &params));
+        assert!(t.time(&[4], &params) < t.time(&[5], &params));
+    }
+
+    #[test]
+    #[should_panic(expected = "already tiled")]
+    fn double_tiling_panics() {
+        let s = Schedule::affine(&["i"], vec![v("i")]);
+        let t = strip_mine(&s, &[0], &[4]);
+        let _ = strip_mine(&t, &[0], &[2]);
+    }
+
+    #[test]
+    fn tile_ranges_cover_exactly() {
+        let ranges: Vec<_> = tile_ranges(3, 17, 5).collect();
+        assert_eq!(ranges, vec![(3, 8), (8, 13), (13, 17)]);
+        // untiled
+        let ranges: Vec<_> = tile_ranges(0, 9, usize::MAX).collect();
+        assert_eq!(ranges, vec![(0, 9)]);
+        // empty
+        assert_eq!(tile_ranges(5, 5, 3).count(), 0);
+    }
+
+    #[test]
+    fn tile_count_matches_ranges() {
+        for (lo, hi, s) in [(0usize, 10usize, 3usize), (2, 17, 4), (0, 0, 5), (0, 8, usize::MAX)] {
+            assert_eq!(tile_count(lo, hi, s), tile_ranges(lo, hi, s).count());
+        }
+    }
+
+    #[test]
+    fn ranges_partition_without_overlap() {
+        let mut covered = vec![false; 23];
+        for (a, b) in tile_ranges(0, 23, 7) {
+            for x in a..b {
+                assert!(!covered[x]);
+                covered[x] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for the polyhedral substrate.
+
+use polyhedral::affine::{env, v, AffineExpr, AffineMap, Env};
+use polyhedral::domain::Domain;
+use polyhedral::schedule::{lex_cmp, Schedule};
+use polyhedral::tiling::{strip_mine, tile_count, tile_ranges};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+fn small_expr() -> impl Strategy<Value = AffineExpr> {
+    // c0 + c1·x + c2·y with small coefficients
+    (-5i64..=5, -5i64..=5, -5i64..=5).prop_map(|(c0, c1, c2)| {
+        AffineExpr::constant(c0) + v("x") * c1 + v("y") * c2
+    })
+}
+
+fn point() -> impl Strategy<Value = (i64, i64)> {
+    (-20i64..=20, -20i64..=20)
+}
+
+fn eval(e: &AffineExpr, (x, y): (i64, i64)) -> i64 {
+    e.eval(&env(&[("x", x), ("y", y)]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn affine_addition_is_pointwise(a in small_expr(), b in small_expr(), p in point()) {
+        let sum = a.clone() + b.clone();
+        prop_assert_eq!(eval(&sum, p), eval(&a, p) + eval(&b, p));
+        let diff = a.clone() - b.clone();
+        prop_assert_eq!(eval(&diff, p), eval(&a, p) - eval(&b, p));
+        let neg = -a.clone();
+        prop_assert_eq!(eval(&neg, p), -eval(&a, p));
+    }
+
+    #[test]
+    fn affine_scaling_is_pointwise(a in small_expr(), k in -4i64..=4, p in point()) {
+        let scaled = a.clone() * k;
+        prop_assert_eq!(eval(&scaled, p), k * eval(&a, p));
+    }
+
+    #[test]
+    fn substitution_commutes_with_evaluation(
+        a in small_expr(),
+        inner1 in small_expr(),
+        inner2 in small_expr(),
+        p in point(),
+    ) {
+        // a[x := inner1, y := inner2] evaluated at p equals a evaluated at
+        // (inner1(p), inner2(p)).
+        let mut subs = std::collections::BTreeMap::new();
+        subs.insert("x".to_string(), inner1.clone());
+        subs.insert("y".to_string(), inner2.clone());
+        let substituted = a.substitute(&subs);
+        let direct = {
+            let e: Env = env(&[("x", eval(&inner1, p)), ("y", eval(&inner2, p))]);
+            a.eval(&e)
+        };
+        prop_assert_eq!(eval(&substituted, p), direct);
+    }
+
+    #[test]
+    fn map_composition_is_function_composition(
+        e1 in small_expr(), e2 in small_expr(), e3 in small_expr(), p in point(),
+    ) {
+        let inner = AffineMap::new(&["x", "y"], vec![e1, e2]);
+        let outer = AffineMap::new(&["x", "y"], vec![e3]);
+        let composed = outer.compose(&inner);
+        let params = env(&[]);
+        let inner_out = inner.eval_point(&[p.0, p.1], &params);
+        let expect = outer.eval_point(&inner_out, &params);
+        prop_assert_eq!(composed.eval_point(&[p.0, p.1], &params), expect);
+    }
+
+    #[test]
+    fn domain_enumeration_matches_membership(bound in 1i64..8) {
+        let d = Domain::universe(&["x", "y"])
+            .ge0(v("x"))
+            .ge0(v("y") - v("x"))
+            .lt(v("y"), v("N"));
+        let params = env(&[("N", bound)]);
+        let box_ = vec![(-2i64, bound + 2); 2];
+        let pts = d.enumerate(&box_, &params);
+        // every enumerated point is a member; every member is enumerated
+        let mut count = 0;
+        for x in -2..bound + 2 {
+            for y in -2..bound + 2 {
+                if d.contains(&[x, y], &params) {
+                    count += 1;
+                    prop_assert!(pts.contains(&vec![x, y]));
+                }
+            }
+        }
+        prop_assert_eq!(pts.len(), count);
+        prop_assert_eq!(count as i64, bound * (bound + 1) / 2);
+    }
+
+    #[test]
+    fn lex_cmp_is_a_total_order(
+        a in proptest::collection::vec(-10i64..10, 3),
+        b in proptest::collection::vec(-10i64..10, 3),
+        c in proptest::collection::vec(-10i64..10, 3),
+    ) {
+        // antisymmetry
+        match lex_cmp(&a, &b) {
+            Ordering::Less => prop_assert_eq!(lex_cmp(&b, &a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(lex_cmp(&b, &a), Ordering::Less),
+            Ordering::Equal => prop_assert_eq!(&a, &b),
+        }
+        // transitivity (check one direction)
+        if lex_cmp(&a, &b) != Ordering::Greater && lex_cmp(&b, &c) != Ordering::Greater {
+            prop_assert_ne!(lex_cmp(&a, &c), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn strip_mine_preserves_relative_order_per_band_point(
+        size in 1i64..9,
+        i in 0i64..64,
+        j in 0i64..64,
+    ) {
+        // Tiling dims [0] of a 1-D schedule: order between two points is
+        // preserved (tiling a single ascending dimension is always legal).
+        let s = Schedule::affine(&["i"], vec![v("i")]);
+        let t = strip_mine(&s, &[0], &[size]);
+        let params = env(&[]);
+        let (ta, tb) = (t.time(&[i], &params), t.time(&[j], &params));
+        match i.cmp(&j) {
+            Ordering::Less => prop_assert_eq!(lex_cmp(&ta, &tb), Ordering::Less),
+            Ordering::Greater => prop_assert_eq!(lex_cmp(&ta, &tb), Ordering::Greater),
+            Ordering::Equal => prop_assert_eq!(ta, tb),
+        }
+    }
+
+    #[test]
+    fn tile_ranges_partition(lo in 0usize..50, len in 0usize..60, size in 1usize..17) {
+        let hi = lo + len;
+        let ranges: Vec<_> = tile_ranges(lo, hi, size).collect();
+        prop_assert_eq!(ranges.len(), tile_count(lo, hi, size));
+        // contiguity + coverage
+        let mut cursor = lo;
+        for (a, b) in ranges {
+            prop_assert_eq!(a, cursor);
+            prop_assert!(b > a && b - a <= size);
+            cursor = b;
+        }
+        prop_assert_eq!(cursor.max(lo), hi.max(lo));
+    }
+
+    #[test]
+    fn schedule_times_are_parameter_stable(
+        p in point(),
+        m in 1i64..50,
+    ) {
+        // A schedule without parameters gives the same time regardless of
+        // the parameter environment.
+        let s = Schedule::affine(&["x", "y"], vec![v("y") - v("x"), v("x")]);
+        let t1 = s.time(&[p.0, p.1], &env(&[]));
+        let t2 = s.time(&[p.0, p.1], &env(&[("M", m)]));
+        prop_assert_eq!(t1, t2);
+    }
+}

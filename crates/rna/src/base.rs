@@ -1,0 +1,143 @@
+//! Nucleotides and pairing rules.
+
+use std::fmt;
+
+/// One RNA nucleotide.
+///
+/// The discriminant values (0..4) are used to index 4×4 weight tables in
+/// [`crate::scoring::ScoringModel`], so they are part of this type's contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine
+    A = 0,
+    /// Cytosine
+    C = 1,
+    /// Guanine
+    G = 2,
+    /// Uracil
+    U = 3,
+}
+
+/// All four bases, in discriminant order.
+pub const BASES: [Base; 4] = [Base::A, Base::C, Base::G, Base::U];
+
+impl Base {
+    /// Parse one character; accepts lowercase and DNA-style `T`/`t` for `U`.
+    pub fn from_char(c: char) -> Result<Base, ParseBaseError> {
+        match c {
+            'A' | 'a' => Ok(Base::A),
+            'C' | 'c' => Ok(Base::C),
+            'G' | 'g' => Ok(Base::G),
+            'U' | 'u' | 'T' | 't' => Ok(Base::U),
+            other => Err(ParseBaseError(other)),
+        }
+    }
+
+    /// Upper-case character representation.
+    pub fn to_char(self) -> char {
+        match self {
+            Base::A => 'A',
+            Base::C => 'C',
+            Base::G => 'G',
+            Base::U => 'U',
+        }
+    }
+
+    /// Index in `0..4`, matching [`BASES`] order.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The Watson-Crick complement (`A↔U`, `C↔G`).
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::U,
+            Base::U => Base::A,
+            Base::C => Base::G,
+            Base::G => Base::C,
+        }
+    }
+
+    /// Whether `self` can pair with `other` under the canonical + wobble
+    /// rules used by the base-pair counting model: `AU`, `CG`, and `GU`.
+    pub fn can_pair(self, other: Base) -> bool {
+        matches!(
+            (self, other),
+            (Base::A, Base::U)
+                | (Base::U, Base::A)
+                | (Base::C, Base::G)
+                | (Base::G, Base::C)
+                | (Base::G, Base::U)
+                | (Base::U, Base::G)
+        )
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+/// Error for a character that is not a nucleotide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseBaseError(pub char);
+
+impl fmt::Display for ParseBaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid nucleotide character {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseBaseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_representations() {
+        assert_eq!(Base::from_char('a'), Ok(Base::A));
+        assert_eq!(Base::from_char('T'), Ok(Base::U));
+        assert_eq!(Base::from_char('u'), Ok(Base::U));
+        assert!(Base::from_char('x').is_err());
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in BASES {
+            assert_eq!(b.complement().complement(), b);
+        }
+    }
+
+    #[test]
+    fn pairing_is_symmetric() {
+        for a in BASES {
+            for b in BASES {
+                assert_eq!(a.can_pair(b), b.can_pair(a));
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_three_unordered_pairings() {
+        let mut count = 0;
+        for (ai, a) in BASES.iter().enumerate() {
+            for b in &BASES[ai..] {
+                if a.can_pair(*b) {
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(count, 3); // AU, CG, GU
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, b) in BASES.iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
+    }
+}

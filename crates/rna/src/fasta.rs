@@ -1,0 +1,177 @@
+//! Minimal FASTA reading and writing.
+//!
+//! Enough for the example binaries to load real-ish sequence files: `>`
+//! header lines start a record, subsequent lines are sequence data, blank
+//! lines and `;` comment lines are skipped.
+
+use crate::base::ParseBaseError;
+use crate::seq::RnaSeq;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// One FASTA record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Header text after `>` (may be empty).
+    pub id: String,
+    /// The sequence.
+    pub seq: RnaSeq,
+}
+
+/// Errors while parsing FASTA text.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Sequence data appeared before any `>` header.
+    DataBeforeHeader(usize),
+    /// A sequence line contained a non-nucleotide character.
+    BadBase(usize, ParseBaseError),
+    /// I/O failure reading a file.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::DataBeforeHeader(line) => {
+                write!(f, "line {line}: sequence data before any '>' header")
+            }
+            FastaError::BadBase(line, e) => write!(f, "line {line}: {e}"),
+            FastaError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+impl From<std::io::Error> for FastaError {
+    fn from(e: std::io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Parse FASTA text into records.
+pub fn parse(text: &str) -> Result<Vec<Record>, FastaError> {
+    let mut records: Vec<Record> = Vec::new();
+    let mut current: Option<(String, String)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some((id, seq)) = current.take() {
+                records.push(make_record(id, &seq, idx)?);
+            }
+            current = Some((header.trim().to_string(), String::new()));
+        } else {
+            match &mut current {
+                Some((_, seq)) => seq.push_str(line),
+                None => return Err(FastaError::DataBeforeHeader(idx + 1)),
+            }
+        }
+    }
+    if let Some((id, seq)) = current {
+        let line = text.lines().count();
+        records.push(make_record(id, &seq, line)?);
+    }
+    Ok(records)
+}
+
+fn make_record(id: String, seq: &str, line: usize) -> Result<Record, FastaError> {
+    let parsed: RnaSeq = seq
+        .parse()
+        .map_err(|e| FastaError::BadBase(line, e))?;
+    Ok(Record { id, seq: parsed })
+}
+
+/// Read records from a file.
+pub fn read_file(path: impl AsRef<Path>) -> Result<Vec<Record>, FastaError> {
+    parse(&fs::read_to_string(path)?)
+}
+
+/// Render records as FASTA text (60-column wrapped).
+pub fn render(records: &[Record]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push('>');
+        out.push_str(&r.id);
+        out.push('\n');
+        let s = r.seq.to_string();
+        for chunk in s.as_bytes().chunks(60) {
+            out.push_str(std::str::from_utf8(chunk).unwrap());
+            out.push('\n');
+        }
+        if r.seq.is_empty() {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Write records to a file.
+pub fn write_file(path: impl AsRef<Path>, records: &[Record]) -> Result<(), FastaError> {
+    fs::write(path, render(records))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_two_records() {
+        let text = ">first one\nACGU\nGGCC\n; comment\n>second\nuuaa\n";
+        let recs = parse(text).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, "first one");
+        assert_eq!(recs[0].seq.to_string(), "ACGUGGCC");
+        assert_eq!(recs[1].seq.to_string(), "UUAA");
+    }
+
+    #[test]
+    fn rejects_headerless_data() {
+        assert!(matches!(
+            parse("ACGU\n"),
+            Err(FastaError::DataBeforeHeader(1))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_base_with_line() {
+        let err = parse(">x\nACGZ\n").unwrap_err();
+        assert!(matches!(err, FastaError::BadBase(..)));
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let text = ">a\nACGU\n>b\nGG\n";
+        let recs = parse(text).unwrap();
+        let rendered = render(&recs);
+        assert_eq!(parse(&rendered).unwrap(), recs);
+    }
+
+    #[test]
+    fn wraps_long_sequences() {
+        let seq: RnaSeq = "A".repeat(130).parse().unwrap();
+        let recs = vec![Record {
+            id: "long".into(),
+            seq,
+        }];
+        let rendered = render(&recs);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 60 + 60 + 10
+        assert_eq!(lines[1].len(), 60);
+        assert_eq!(lines[3].len(), 10);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("bpmax_fasta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.fa");
+        let recs = parse(">x\nGGAUC\n").unwrap();
+        write_file(&path, &recs).unwrap();
+        assert_eq!(read_file(&path).unwrap(), recs);
+    }
+}

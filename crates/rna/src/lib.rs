@@ -1,0 +1,44 @@
+//! RNA sequences, scoring models, and single-strand folding.
+//!
+//! This crate provides the biological substrate of the BPMax reproduction:
+//!
+//! * [`base`] — the four nucleotides and their pairing rules.
+//! * [`seq`] — owned RNA sequences: parsing, display, seeded random
+//!   generation with controllable GC content.
+//! * [`fasta`] — minimal FASTA reading/writing for the example binaries.
+//! * [`datasets`] — synthetic interaction-motif fixtures (antisense
+//!   duplexes, kissing hairpins, planted binding sites).
+//! * [`scoring`] — the weighted base-pair counting model of BPMax
+//!   (Ebrahimpour-Boroojeny, Rajopadhye & Chitsaz 2019): intramolecular
+//!   weights (default GC=3, AU=2, GU=1) and intermolecular weights.
+//! * [`nussinov`] — the weighted Nussinov dynamic program producing the
+//!   `S⁽¹⁾`/`S⁽²⁾` tables BPMax consumes, with traceback and an exponential
+//!   brute-force oracle for testing.
+//! * [`structure`] — (joint) secondary structures: pair lists, validity
+//!   checking (disjointness, non-crossing), dot-bracket rendering, scoring.
+//!
+//! # Quick example
+//!
+//! ```
+//! use rna::{RnaSeq, ScoringModel, nussinov::Nussinov};
+//!
+//! let seq: RnaSeq = "GGGAAACCC".parse().unwrap();
+//! let model = ScoringModel::bpmax_default();
+//! let fold = Nussinov::fold(&seq, &model);
+//! assert_eq!(fold.best_score(), 9.0); // three GC pairs, weight 3 each
+//! let st = fold.traceback();
+//! assert_eq!(st.pairs().len(), 3);
+//! ```
+
+pub mod base;
+pub mod datasets;
+pub mod fasta;
+pub mod nussinov;
+pub mod scoring;
+pub mod seq;
+pub mod structure;
+
+pub use base::Base;
+pub use scoring::ScoringModel;
+pub use seq::RnaSeq;
+pub use structure::{JointStructure, Structure};

@@ -1,0 +1,200 @@
+//! Owned RNA sequences.
+
+use crate::base::{Base, ParseBaseError, BASES};
+use rand::Rng;
+use std::fmt;
+use std::ops::Index;
+use std::str::FromStr;
+
+/// An owned RNA sequence (5'→3').
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RnaSeq {
+    bases: Vec<Base>,
+}
+
+impl RnaSeq {
+    /// Build from raw bases.
+    pub fn new(bases: Vec<Base>) -> Self {
+        RnaSeq { bases }
+    }
+
+    /// The empty sequence.
+    pub fn empty() -> Self {
+        RnaSeq { bases: Vec::new() }
+    }
+
+    /// Length in nucleotides.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Whether the sequence has no nucleotides.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// The bases as a slice.
+    pub fn bases(&self) -> &[Base] {
+        &self.bases
+    }
+
+    /// Subsequence `[lo..hi)` as a new sequence.
+    pub fn slice(&self, lo: usize, hi: usize) -> RnaSeq {
+        RnaSeq {
+            bases: self.bases[lo..hi].to_vec(),
+        }
+    }
+
+    /// Reverse (3'→5' reading) — interaction algorithms often consider the
+    /// second strand reversed.
+    pub fn reversed(&self) -> RnaSeq {
+        RnaSeq {
+            bases: self.bases.iter().rev().copied().collect(),
+        }
+    }
+
+    /// Reverse complement.
+    pub fn reverse_complement(&self) -> RnaSeq {
+        RnaSeq {
+            bases: self.bases.iter().rev().map(|b| b.complement()).collect(),
+        }
+    }
+
+    /// Fraction of `G`/`C` nucleotides (0 for the empty sequence).
+    pub fn gc_content(&self) -> f64 {
+        if self.bases.is_empty() {
+            return 0.0;
+        }
+        let gc = self
+            .bases
+            .iter()
+            .filter(|b| matches!(b, Base::G | Base::C))
+            .count();
+        gc as f64 / self.bases.len() as f64
+    }
+
+    /// Uniformly random sequence of length `n`.
+    pub fn random(rng: &mut impl Rng, n: usize) -> RnaSeq {
+        RnaSeq {
+            bases: (0..n).map(|_| BASES[rng.gen_range(0..4)]).collect(),
+        }
+    }
+
+    /// Random sequence with expected GC content `gc ∈ [0, 1]` (G and C
+    /// equiprobable within the GC mass, likewise A and U).
+    pub fn random_gc(rng: &mut impl Rng, n: usize, gc: f64) -> RnaSeq {
+        assert!((0.0..=1.0).contains(&gc), "gc content must be in [0,1]");
+        RnaSeq {
+            bases: (0..n)
+                .map(|_| {
+                    if rng.gen_bool(gc) {
+                        if rng.gen_bool(0.5) {
+                            Base::G
+                        } else {
+                            Base::C
+                        }
+                    } else if rng.gen_bool(0.5) {
+                        Base::A
+                    } else {
+                        Base::U
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Index<usize> for RnaSeq {
+    type Output = Base;
+    #[inline(always)]
+    fn index(&self, i: usize) -> &Base {
+        &self.bases[i]
+    }
+}
+
+impl FromStr for RnaSeq {
+    type Err = ParseBaseError;
+
+    /// Parse from a string; whitespace is skipped, `T` is read as `U`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut bases = Vec::with_capacity(s.len());
+        for c in s.chars() {
+            if c.is_whitespace() {
+                continue;
+            }
+            bases.push(Base::from_char(c)?);
+        }
+        Ok(RnaSeq { bases })
+    }
+}
+
+impl fmt::Display for RnaSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bases {
+            write!(f, "{}", b)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parse_display_round_trip() {
+        let s: RnaSeq = "ACGU".parse().unwrap();
+        assert_eq!(s.to_string(), "ACGU");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[2], Base::G);
+    }
+
+    #[test]
+    fn parse_skips_whitespace_and_maps_t() {
+        let s: RnaSeq = "ac g\nT".parse().unwrap();
+        assert_eq!(s.to_string(), "ACGU");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("ACGX".parse::<RnaSeq>().is_err());
+    }
+
+    #[test]
+    fn reverse_complement() {
+        let s: RnaSeq = "GGAU".parse().unwrap();
+        assert_eq!(s.reverse_complement().to_string(), "AUCC");
+        assert_eq!(s.reversed().to_string(), "UAGG");
+    }
+
+    #[test]
+    fn gc_content_bounds() {
+        let s: RnaSeq = "GGCC".parse().unwrap();
+        assert_eq!(s.gc_content(), 1.0);
+        let s: RnaSeq = "AAUU".parse().unwrap();
+        assert_eq!(s.gc_content(), 0.0);
+        assert_eq!(RnaSeq::empty().gc_content(), 0.0);
+    }
+
+    #[test]
+    fn random_is_deterministic_under_seed() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        assert_eq!(RnaSeq::random(&mut r1, 50), RnaSeq::random(&mut r2, 50));
+    }
+
+    #[test]
+    fn random_gc_hits_target_roughly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = RnaSeq::random_gc(&mut rng, 20_000, 0.7);
+        assert!((s.gc_content() - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn slice_works() {
+        let s: RnaSeq = "ACGUA".parse().unwrap();
+        assert_eq!(s.slice(1, 4).to_string(), "CGU");
+    }
+}

@@ -1,0 +1,211 @@
+//! Distributed-memory (MPI-style) execution model — the paper's second
+//! future-work item ("we plan to ... distribute the computation over a
+//! cluster using MPI").
+//!
+//! Model: the outer triangle cells `(i1, j1)` are owned block-cyclically
+//! by `i1 mod nodes`. The wavefront proceeds one outer diagonal at a
+//! time; to build triangle `(i1, j1)` a node needs the inner-triangle
+//! blocks of `(i1, k1)` and `(k1+1, j1)` for every split `k1` — blocks
+//! owned by other nodes must be received over the interconnect. Per
+//! diagonal, compute and communication are *not* overlapped (the
+//! pessimistic baseline an MPI port would start from):
+//!
+//! `T(d) = max_node(compute) + (remote_blocks × block_bytes) / link_bw
+//!        + messages × latency`
+//!
+//! The model exposes the two regimes any MPI port of a wavefront DP hits:
+//! small problems are latency-bound (speedup ≪ nodes), large problems
+//! amortize communication against `Θ(M³N³)` compute and scale.
+
+/// A homogeneous cluster description.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Cores per node.
+    pub cores_per_node: usize,
+    /// Sustained per-core kernel rate in GFLOPS.
+    pub core_gflops: f64,
+    /// Interconnect bandwidth per node, GB/s.
+    pub link_gbps: f64,
+    /// Per-message latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl ClusterSpec {
+    /// A typical small cluster: 100 Gb/s interconnect, 2 µs latency.
+    pub fn commodity(nodes: usize) -> Self {
+        ClusterSpec {
+            nodes,
+            cores_per_node: 6,
+            core_gflops: 20.0,
+            link_gbps: 12.5,
+            latency_us: 2.0,
+        }
+    }
+}
+
+/// Result of one simulated distributed run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistResult {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Seconds spent communicating (non-overlapped model).
+    pub comm_seconds: f64,
+    /// Total bytes moved between nodes.
+    pub bytes_moved: u64,
+    /// Messages sent.
+    pub messages: u64,
+}
+
+impl DistResult {
+    /// Fraction of time in communication.
+    pub fn comm_fraction(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.comm_seconds / self.seconds
+        }
+    }
+}
+
+/// FLOPs of one triangle's reductions at outer diagonal `d1` (R0 over all
+/// splits; R3/R4 ride along and R1/R2 are charged at the same rate).
+fn triangle_flops(d1: usize, n: usize) -> f64 {
+    let s2: u64 = (0..n as u64).map(|d| d * (n as u64 - d)).sum();
+    (2 * d1 as u64 * s2) as f64 + 4.0 * s2 as f64
+}
+
+/// Bytes of one inner-triangle block (packed single precision).
+fn block_bytes(n: usize) -> u64 {
+    (n as u64 * (n as u64 + 1) / 2) * 4
+}
+
+/// Simulate BPMax over an `m × n` problem on `cluster`.
+pub fn simulate_bpmax_distributed(m: usize, n: usize, cluster: &ClusterSpec) -> DistResult {
+    assert!(cluster.nodes >= 1 && cluster.cores_per_node >= 1);
+    let node_rate = cluster.core_gflops * 1e9 * cluster.cores_per_node as f64;
+    let owner = |i1: usize| i1 % cluster.nodes;
+    let mut seconds = 0.0f64;
+    let mut comm_seconds = 0.0f64;
+    let mut bytes_moved = 0u64;
+    let mut messages = 0u64;
+    for d1 in 1..m {
+        // Compute: each node works on the triangles it owns, cores within
+        // a node share the row-parallel kernel (assumed fully efficient —
+        // the intra-node story is Figs 13–17's).
+        let mut node_work = vec![0.0f64; cluster.nodes];
+        let mut node_remote_blocks = vec![0u64; cluster.nodes];
+        for i1 in 0..m - d1 {
+            let j1 = i1 + d1;
+            let me = owner(i1);
+            node_work[me] += triangle_flops(d1, n);
+            // operand blocks: (i1, k1) owned by `me` (same i1); and
+            // (k1+1, j1) owned by owner(k1+1) — remote when different.
+            for k1 in i1..j1 {
+                if owner(k1 + 1) != me {
+                    node_remote_blocks[me] += 1;
+                }
+            }
+        }
+        let compute = node_work
+            .iter()
+            .map(|w| w / node_rate)
+            .fold(0.0, f64::max);
+        // Communication: received blocks per node, bandwidth-serialized at
+        // the busiest receiver, plus one latency per message.
+        let max_blocks = node_remote_blocks.iter().copied().max().unwrap_or(0);
+        let comm = max_blocks as f64 * block_bytes(n) as f64 / (cluster.link_gbps * 1e9)
+            + max_blocks as f64 * cluster.latency_us * 1e-6;
+        bytes_moved += node_remote_blocks.iter().sum::<u64>() * block_bytes(n);
+        messages += node_remote_blocks.iter().sum::<u64>();
+        seconds += compute + comm;
+        comm_seconds += comm;
+    }
+    DistResult {
+        seconds,
+        comm_seconds,
+        bytes_moved,
+        messages,
+    }
+}
+
+/// Speedup of `nodes` nodes over one node of the same spec.
+pub fn distributed_speedup(m: usize, n: usize, base: &ClusterSpec, nodes: usize) -> f64 {
+    let one = simulate_bpmax_distributed(m, n, &ClusterSpec { nodes: 1, ..*base });
+    let many = simulate_bpmax_distributed(m, n, &ClusterSpec { nodes, ..*base });
+    one.seconds / many.seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_node_has_no_communication() {
+        let r = simulate_bpmax_distributed(16, 32, &ClusterSpec::commodity(1));
+        assert_eq!(r.bytes_moved, 0);
+        assert_eq!(r.messages, 0);
+        assert_eq!(r.comm_seconds, 0.0);
+        assert!(r.seconds > 0.0);
+    }
+
+    #[test]
+    fn large_problems_scale_small_ones_do_not() {
+        let base = ClusterSpec::commodity(1);
+        let small = distributed_speedup(8, 16, &base, 4);
+        let large = distributed_speedup(64, 512, &base, 4);
+        assert!(large > small, "large {large} vs small {small}");
+        assert!(large > 2.0, "4 nodes should give >2x on a large problem: {large}");
+        assert!(small < 4.0, "small problems must not scale perfectly: {small}");
+    }
+
+    #[test]
+    fn speedup_bounded_by_nodes() {
+        let base = ClusterSpec::commodity(1);
+        for nodes in [2usize, 4, 8] {
+            let s = distributed_speedup(32, 128, &base, nodes);
+            assert!(s <= nodes as f64 + 1e-9, "{nodes} nodes: {s}");
+            assert!(s >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn slower_links_hurt() {
+        let fast = ClusterSpec {
+            link_gbps: 50.0,
+            ..ClusterSpec::commodity(4)
+        };
+        let slow = ClusterSpec {
+            link_gbps: 1.0,
+            ..ClusterSpec::commodity(4)
+        };
+        let rf = simulate_bpmax_distributed(24, 96, &fast);
+        let rs = simulate_bpmax_distributed(24, 96, &slow);
+        assert!(rs.seconds > rf.seconds);
+        assert!(rs.comm_fraction() > rf.comm_fraction());
+    }
+
+    #[test]
+    fn latency_dominates_tiny_problems() {
+        let lowlat = ClusterSpec {
+            latency_us: 0.1,
+            ..ClusterSpec::commodity(4)
+        };
+        let highlat = ClusterSpec {
+            latency_us: 100.0,
+            ..ClusterSpec::commodity(4)
+        };
+        let a = simulate_bpmax_distributed(8, 8, &lowlat);
+        let b = simulate_bpmax_distributed(8, 8, &highlat);
+        assert!(b.seconds > a.seconds);
+    }
+
+    #[test]
+    fn comm_fraction_falls_with_problem_size() {
+        let c = ClusterSpec::commodity(4);
+        let small = simulate_bpmax_distributed(8, 32, &c).comm_fraction();
+        let large = simulate_bpmax_distributed(32, 256, &c).comm_fraction();
+        assert!(large < small, "{large} < {small}");
+    }
+}

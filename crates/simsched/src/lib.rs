@@ -1,0 +1,29 @@
+//! Task-DAG parallel-execution simulation.
+//!
+//! The reproduction substitutes this simulator for the paper's 6-core /
+//! 8-core Xeons (see DESIGN.md §3): the parallel *shape* of the BPMax
+//! results — coarse vs fine vs hybrid ranking, load imbalance on triangular
+//! wavefronts, why OMP `dynamic` scheduling wins, the small hyper-threading
+//! gain of Fig 17 — is a property of the task graph, the per-task costs,
+//! and the scheduling policy. We build exactly those task graphs (in the
+//! `bpmax` crate) with per-task costs calibrated from measured kernel
+//! times, and list-schedule them onto `P` simulated workers.
+//!
+//! * [`task`] — weighted task DAGs: construction, topological order, total
+//!   work, critical path.
+//! * [`sched`] — greedy list scheduling of DAGs (the OMP-`dynamic`
+//!   analogue) plus OMP `static` / `dynamic` / `guided` policies for flat
+//!   parallel-for loops.
+//! * [`speedup`] — speedup curves and the hyper-threading efficiency model.
+//! * [`distributed`] — an MPI-cluster model of the wavefront (the paper's
+//!   future-work item), exposing the latency-bound vs compute-bound
+//!   regimes of a distributed BPMax.
+
+pub mod distributed;
+pub mod sched;
+pub mod speedup;
+pub mod task;
+
+pub use sched::{simulate_dag, simulate_parallel_for, OmpPolicy, SimResult};
+pub use speedup::{speedup_curve, HtModel};
+pub use task::{TaskGraph, TaskId};

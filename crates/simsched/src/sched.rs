@@ -1,0 +1,350 @@
+//! List scheduling of DAGs and OMP-style parallel-for policies.
+//!
+//! [`simulate_dag`] is a greedy work-conserving list scheduler (the
+//! behaviour of OMP `dynamic` / a work-stealing runtime, up to tie-breaks):
+//! whenever a worker is free and a task is ready, it runs. Greedy
+//! scheduling obeys Graham's bound `T_P ≤ work/P + (1 − 1/P)·cp`, which the
+//! property tests assert.
+//!
+//! [`simulate_parallel_for`] models one OMP `parallel for` over tasks of
+//! varying cost under the three schedule clauses. BPMax wavefronts are
+//! triangular, so per-iteration costs shrink along the loop — exactly the
+//! imbalance that makes the paper prefer `dynamic` ("The OMP
+//! dynamic-schedule works better than the static and guided-schedule due
+//! to an imbalanced workload").
+
+use crate::task::{TaskGraph, TaskId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Total order on finite f64 times for the event heap.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Result of a simulated execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimResult {
+    /// Wall-clock makespan.
+    pub makespan: f64,
+    /// Busy time per worker.
+    pub busy: Vec<f64>,
+}
+
+impl SimResult {
+    /// Utilization: total busy time / (makespan × workers), in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0.0 {
+            return 1.0;
+        }
+        let total: f64 = self.busy.iter().sum();
+        total / (self.makespan * self.busy.len() as f64)
+    }
+
+    /// Load imbalance: max busy / mean busy (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let mean: f64 = self.busy.iter().sum::<f64>() / self.busy.len() as f64;
+        if mean == 0.0 {
+            return 1.0;
+        }
+        self.busy.iter().copied().fold(0.0, f64::max) / mean
+    }
+}
+
+/// Greedy list scheduling of `graph` onto `workers` workers, each running
+/// at `speed` (cost units per time unit; the hyper-threading model passes
+/// `speed < 1`). Ready tasks are dispatched FIFO in task-id order —
+/// deterministic and close to OMP `dynamic` on wavefront loops.
+pub fn simulate_dag_speed(graph: &TaskGraph, workers: usize, speed: f64) -> SimResult {
+    assert!(workers >= 1, "need at least one worker");
+    assert!(speed > 0.0, "worker speed must be positive");
+    let mut indeg = graph.pred_counts().to_vec();
+    let mut ready: VecDeque<TaskId> = (0..graph.len()).filter(|&t| indeg[t] == 0).collect();
+    // running: min-heap of (finish_time, task, worker)
+    let mut running: BinaryHeap<Reverse<(OrdF64, TaskId, usize)>> = BinaryHeap::new();
+    let mut free: VecDeque<usize> = (0..workers).collect();
+    let mut busy = vec![0.0f64; workers];
+    let mut now = 0.0f64;
+    let mut done = 0usize;
+    loop {
+        while !ready.is_empty() && !free.is_empty() {
+            let t = ready.pop_front().unwrap();
+            let w = free.pop_front().unwrap();
+            let dur = graph.cost(t) / speed;
+            busy[w] += dur;
+            running.push(Reverse((OrdF64(now + dur), t, w)));
+        }
+        match running.pop() {
+            None => break,
+            Some(Reverse((OrdF64(t_fin), t, w))) => {
+                now = t_fin;
+                free.push_back(w);
+                done += 1;
+                for &s in graph.succs(t) {
+                    indeg[s] -= 1;
+                    if indeg[s] == 0 {
+                        ready.push_back(s);
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(done, graph.len(), "task graph has a cycle (deadlock)");
+    SimResult { makespan: now, busy }
+}
+
+/// [`simulate_dag_speed`] at unit speed.
+pub fn simulate_dag(graph: &TaskGraph, workers: usize) -> SimResult {
+    simulate_dag_speed(graph, workers, 1.0)
+}
+
+/// OMP loop-schedule policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OmpPolicy {
+    /// `schedule(static)` — contiguous blocks, one per thread (or
+    /// round-robin chunks when a chunk size is given).
+    Static {
+        /// Chunk size; `None` = one contiguous block per thread.
+        chunk: Option<usize>,
+    },
+    /// `schedule(dynamic, chunk)` — free threads grab the next chunk.
+    Dynamic {
+        /// Chunk size (≥ 1).
+        chunk: usize,
+    },
+    /// `schedule(guided, min_chunk)` — grab `max(remaining/threads,
+    /// min_chunk)` iterations at a time.
+    Guided {
+        /// Minimum chunk size (≥ 1).
+        min_chunk: usize,
+    },
+}
+
+/// Simulate one `parallel for` over `costs` (cost of each iteration) with
+/// `workers` threads under `policy`.
+pub fn simulate_parallel_for(costs: &[f64], workers: usize, policy: OmpPolicy) -> SimResult {
+    assert!(workers >= 1);
+    let n = costs.len();
+    let mut busy = vec![0.0f64; workers];
+    match policy {
+        OmpPolicy::Static { chunk } => {
+            match chunk {
+                None => {
+                    // contiguous blocks of ⌈n/w⌉ then remainder, like GCC.
+                    let block = n.div_ceil(workers.max(1)).max(1);
+                    for (w, ch) in costs.chunks(block).enumerate() {
+                        let w = w % workers;
+                        busy[w] += ch.iter().sum::<f64>();
+                    }
+                }
+                Some(c) => {
+                    let c = c.max(1);
+                    for (k, ch) in costs.chunks(c).enumerate() {
+                        busy[k % workers] += ch.iter().sum::<f64>();
+                    }
+                }
+            }
+            let makespan = busy.iter().copied().fold(0.0, f64::max);
+            SimResult { makespan, busy }
+        }
+        OmpPolicy::Dynamic { chunk } => {
+            let c = chunk.max(1);
+            simulate_grab(costs, workers, move |_remaining, _w| c)
+        }
+        OmpPolicy::Guided { min_chunk } => {
+            let mc = min_chunk.max(1);
+            let w = workers;
+            simulate_grab(costs, workers, move |remaining, _| {
+                (remaining / w).max(mc)
+            })
+        }
+    }
+}
+
+/// Event-driven simulation where a freed worker grabs `chunk_fn(remaining)`
+/// iterations from the shared index.
+fn simulate_grab(
+    costs: &[f64],
+    workers: usize,
+    chunk_fn: impl Fn(usize, usize) -> usize,
+) -> SimResult {
+    let n = costs.len();
+    let mut next = 0usize;
+    let mut busy = vec![0.0f64; workers];
+    let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> =
+        (0..workers).map(|w| Reverse((OrdF64(0.0), w))).collect();
+    let mut makespan = 0.0f64;
+    while next < n {
+        let Reverse((OrdF64(t), w)) = heap.pop().unwrap();
+        let take = chunk_fn(n - next, w).min(n - next).max(1);
+        let dur: f64 = costs[next..next + take].iter().sum();
+        next += take;
+        busy[w] += dur;
+        makespan = makespan.max(t + dur);
+        heap.push(Reverse((OrdF64(t + dur), w)));
+    }
+    SimResult { makespan, busy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskGraph;
+
+    fn chain(costs: &[f64]) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let ids: Vec<_> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| g.add_task(c, format!("t{i}")))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        g
+    }
+
+    fn independent(costs: &[f64]) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for (i, &c) in costs.iter().enumerate() {
+            g.add_task(c, format!("t{i}"));
+        }
+        g
+    }
+
+    #[test]
+    fn chain_gets_no_speedup() {
+        let g = chain(&[1.0, 2.0, 3.0]);
+        assert_eq!(simulate_dag(&g, 1).makespan, 6.0);
+        assert_eq!(simulate_dag(&g, 4).makespan, 6.0);
+    }
+
+    #[test]
+    fn independent_tasks_scale() {
+        let g = independent(&[1.0; 8]);
+        assert_eq!(simulate_dag(&g, 1).makespan, 8.0);
+        assert_eq!(simulate_dag(&g, 4).makespan, 2.0);
+        assert_eq!(simulate_dag(&g, 8).makespan, 1.0);
+        assert_eq!(simulate_dag(&g, 16).makespan, 1.0);
+    }
+
+    #[test]
+    fn graham_bound_holds() {
+        // Random-ish diamond lattice.
+        let mut g = TaskGraph::new();
+        let mut prev: Vec<usize> = Vec::new();
+        let mut idx = 0u64;
+        for layer in 0..6 {
+            let width = 1 + (layer * 7) % 5;
+            let cur: Vec<usize> = (0..width)
+                .map(|k| {
+                    idx = idx.wrapping_mul(6364136223846793005).wrapping_add(k as u64 + 1);
+                    g.add_task(((idx >> 33) % 10) as f64 + 1.0, "t")
+                })
+                .collect();
+            for &p in &prev {
+                for &c in &cur {
+                    g.add_edge(p, c);
+                }
+            }
+            prev = cur;
+        }
+        for p in [1usize, 2, 3, 6] {
+            let t = simulate_dag(&g, p).makespan;
+            let bound = g.total_work() / p as f64 + (1.0 - 1.0 / p as f64) * g.critical_path();
+            assert!(t <= bound + 1e-9, "P={p}: {t} > {bound}");
+            assert!(t >= g.total_work() / p as f64 - 1e-9);
+            assert!(t >= g.critical_path() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn speed_scales_makespan() {
+        let g = independent(&[2.0; 4]);
+        let full = simulate_dag_speed(&g, 2, 1.0).makespan;
+        let half = simulate_dag_speed(&g, 2, 0.5).makespan;
+        assert!((half - 2.0 * full).abs() < 1e-12);
+    }
+
+    /// Triangular wavefront costs (decreasing) — the BPMax imbalance shape.
+    fn triangle_costs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (n - i) as f64).collect()
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_imbalanced_loop() {
+        let costs = triangle_costs(64);
+        let stat = simulate_parallel_for(&costs, 6, OmpPolicy::Static { chunk: None });
+        let dyn_ = simulate_parallel_for(&costs, 6, OmpPolicy::Dynamic { chunk: 1 });
+        assert!(
+            dyn_.makespan < stat.makespan,
+            "dynamic {} vs static {}",
+            dyn_.makespan,
+            stat.makespan
+        );
+        // static blocks: first thread gets the most expensive block
+        assert!(stat.imbalance() > dyn_.imbalance());
+    }
+
+    #[test]
+    fn guided_between_static_and_dynamic() {
+        let costs = triangle_costs(96);
+        let stat = simulate_parallel_for(&costs, 6, OmpPolicy::Static { chunk: None }).makespan;
+        let guided = simulate_parallel_for(&costs, 6, OmpPolicy::Guided { min_chunk: 1 }).makespan;
+        let dyn_ = simulate_parallel_for(&costs, 6, OmpPolicy::Dynamic { chunk: 1 }).makespan;
+        assert!(dyn_ <= guided + 1e-9);
+        assert!(guided <= stat + 1e-9);
+    }
+
+    #[test]
+    fn static_round_robin_chunks_balance_better_than_blocks() {
+        let costs = triangle_costs(60);
+        let blocks = simulate_parallel_for(&costs, 4, OmpPolicy::Static { chunk: None }).makespan;
+        let rr = simulate_parallel_for(&costs, 4, OmpPolicy::Static { chunk: Some(1) }).makespan;
+        assert!(rr < blocks);
+    }
+
+    #[test]
+    fn all_policies_do_all_work() {
+        let costs = triangle_costs(33);
+        let total: f64 = costs.iter().sum();
+        for policy in [
+            OmpPolicy::Static { chunk: None },
+            OmpPolicy::Static { chunk: Some(4) },
+            OmpPolicy::Dynamic { chunk: 2 },
+            OmpPolicy::Guided { min_chunk: 2 },
+        ] {
+            let r = simulate_parallel_for(&costs, 5, policy);
+            let done: f64 = r.busy.iter().sum();
+            assert!((done - total).abs() < 1e-9, "{policy:?}");
+            assert!(r.makespan >= total / 5.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn utilization_and_imbalance_metrics() {
+        let r = SimResult {
+            makespan: 4.0,
+            busy: vec![4.0, 2.0],
+        };
+        assert!((r.utilization() - 0.75).abs() < 1e-12);
+        assert!((r.imbalance() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_loop() {
+        let r = simulate_parallel_for(&[], 4, OmpPolicy::Dynamic { chunk: 1 });
+        assert_eq!(r.makespan, 0.0);
+    }
+}

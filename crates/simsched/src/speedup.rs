@@ -1,0 +1,156 @@
+//! Speedup curves and the hyper-threading model (Figs 12, 16, 17).
+//!
+//! Hyper-threading shares a core's issue ports between two hardware
+//! threads: for compute-dense code the second thread adds little (the
+//! paper measures 3–5% on the tiled double max-plus), while latency-bound
+//! code can gain more (Varadrajan's >10%). We model a machine with `P`
+//! physical cores running `t > P` workers as all workers slowing to
+//! `speed(t) = (P + (t − P)·η) / t`, where `η ∈ [0, 1]` is the SMT
+//! efficiency: `η = 0` means the extra threads add nothing (pure issue-
+//! bound), `η = 1` means perfect scaling (never reached in practice).
+
+use crate::sched::{simulate_dag_speed, SimResult};
+use crate::task::TaskGraph;
+
+/// Hyper-threading efficiency model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HtModel {
+    /// Physical core count.
+    pub physical: usize,
+    /// Marginal efficiency of a hyper-thread (0 = useless, 1 = a full
+    /// core). The paper's tiled kernel behaves like η ≈ 0.1–0.2.
+    pub smt_efficiency: f64,
+}
+
+impl HtModel {
+    /// No hyper-threading benefit at all.
+    pub fn none(physical: usize) -> Self {
+        HtModel {
+            physical,
+            smt_efficiency: 0.0,
+        }
+    }
+
+    /// Per-worker speed when running `t` workers.
+    pub fn worker_speed(&self, t: usize) -> f64 {
+        if t <= self.physical {
+            1.0
+        } else {
+            let p = self.physical as f64;
+            let t = t as f64;
+            (p + (t - p) * self.smt_efficiency) / t
+        }
+    }
+
+    /// Aggregate throughput (workers × speed) — monotone non-decreasing in
+    /// `t`, capped by `physical + (t − physical)·η`.
+    pub fn aggregate_throughput(&self, t: usize) -> f64 {
+        t as f64 * self.worker_speed(t)
+    }
+}
+
+/// Simulate `graph` for each thread count; returns `(threads, makespan,
+/// speedup-vs-1-thread)` triples. `ht` scales worker speed beyond physical
+/// cores; pass [`HtModel::none`] with a huge `physical` to disable.
+pub fn speedup_curve(graph: &TaskGraph, threads: &[usize], ht: HtModel) -> Vec<(usize, f64, f64)> {
+    let base = simulate_dag_speed(graph, 1, ht.worker_speed(1)).makespan;
+    threads
+        .iter()
+        .map(|&t| {
+            let r: SimResult = simulate_dag_speed(graph, t, ht.worker_speed(t));
+            let s = if r.makespan == 0.0 {
+                1.0
+            } else {
+                base / r.makespan
+            };
+            (t, r.makespan, s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskGraph;
+
+    fn flat(n: usize, cost: f64) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        for i in 0..n {
+            g.add_task(cost, format!("t{i}"));
+        }
+        g
+    }
+
+    #[test]
+    fn speed_is_one_within_physical() {
+        let m = HtModel {
+            physical: 6,
+            smt_efficiency: 0.15,
+        };
+        assert_eq!(m.worker_speed(1), 1.0);
+        assert_eq!(m.worker_speed(6), 1.0);
+        assert!(m.worker_speed(7) < 1.0);
+    }
+
+    #[test]
+    fn throughput_monotone_and_capped() {
+        let m = HtModel {
+            physical: 6,
+            smt_efficiency: 0.15,
+        };
+        let mut prev = 0.0;
+        for t in 1..=12 {
+            let agg = m.aggregate_throughput(t);
+            assert!(agg >= prev - 1e-12);
+            prev = agg;
+        }
+        // 12 threads on 6 cores at η=0.15 → 6 + 6·0.15 = 6.9 "cores"
+        assert!((m.aggregate_throughput(12) - 6.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ht_gain_is_small_like_fig17() {
+        // 1200 equal tasks on 6 physical cores, η = 0.15:
+        // 12 threads should gain a few percent over 6, not 2×.
+        let g = flat(1200, 1.0);
+        let m = HtModel {
+            physical: 6,
+            smt_efficiency: 0.15,
+        };
+        let curve = speedup_curve(&g, &[6, 12], m);
+        let s6 = curve[0].2;
+        let s12 = curve[1].2;
+        let gain = s12 / s6 - 1.0;
+        assert!(gain > 0.0 && gain < 0.2, "gain {gain}");
+        assert!((gain - 0.15).abs() < 0.05); // ≈ η for embarrassingly parallel work
+    }
+
+    #[test]
+    fn no_ht_model_plateaus() {
+        let g = flat(600, 1.0);
+        let m = HtModel::none(6);
+        let curve = speedup_curve(&g, &[6, 8, 12], m);
+        let s6 = curve[0].2;
+        for &(_, _, s) in &curve[1..] {
+            assert!((s - s6).abs() < 1e-9, "no gain beyond physical");
+        }
+    }
+
+    #[test]
+    fn perfect_smt_doubles() {
+        let g = flat(1200, 1.0);
+        let m = HtModel {
+            physical: 6,
+            smt_efficiency: 1.0,
+        };
+        let curve = speedup_curve(&g, &[6, 12], m);
+        assert!((curve[1].2 / curve[0].2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_of_one_thread_is_one() {
+        let g = flat(10, 2.0);
+        let curve = speedup_curve(&g, &[1], HtModel::none(4));
+        assert!((curve[0].2 - 1.0).abs() < 1e-12);
+    }
+}

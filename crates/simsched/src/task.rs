@@ -1,0 +1,207 @@
+//! Weighted task DAGs.
+
+/// Identifier of a task inside one [`TaskGraph`].
+pub type TaskId = usize;
+
+/// A directed acyclic graph of weighted tasks.
+///
+/// Edges point from prerequisite to dependent (`a → b` means `b` may start
+/// only after `a` finishes). Costs are in arbitrary time units (the BPMax
+/// DAG builders use calibrated seconds).
+#[derive(Clone, Debug, Default)]
+pub struct TaskGraph {
+    costs: Vec<f64>,
+    labels: Vec<String>,
+    succs: Vec<Vec<TaskId>>,
+    pred_count: Vec<usize>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Add a task with the given cost; returns its id.
+    pub fn add_task(&mut self, cost: f64, label: impl Into<String>) -> TaskId {
+        assert!(cost >= 0.0 && cost.is_finite(), "task cost must be finite and >= 0");
+        let id = self.costs.len();
+        self.costs.push(cost);
+        self.labels.push(label.into());
+        self.succs.push(Vec::new());
+        self.pred_count.push(0);
+        id
+    }
+
+    /// Add a dependency edge `from → to`.
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId) {
+        assert!(from < self.costs.len() && to < self.costs.len(), "edge endpoint out of range");
+        assert_ne!(from, to, "self-edge");
+        self.succs[from].push(to);
+        self.pred_count[to] += 1;
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Whether the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Cost of a task.
+    pub fn cost(&self, id: TaskId) -> f64 {
+        self.costs[id]
+    }
+
+    /// Label of a task.
+    pub fn label(&self, id: TaskId) -> &str {
+        &self.labels[id]
+    }
+
+    /// Successors of a task.
+    pub fn succs(&self, id: TaskId) -> &[TaskId] {
+        &self.succs[id]
+    }
+
+    /// In-degree (number of prerequisites) of each task.
+    pub fn pred_counts(&self) -> &[usize] {
+        &self.pred_count
+    }
+
+    /// Total work: sum of all costs (the 1-thread makespan).
+    pub fn total_work(&self) -> f64 {
+        self.costs.iter().sum()
+    }
+
+    /// A topological order; `None` if the graph has a cycle.
+    pub fn topo_order(&self) -> Option<Vec<TaskId>> {
+        let mut indeg = self.pred_count.clone();
+        let mut queue: Vec<TaskId> = indeg
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut order = Vec::with_capacity(self.len());
+        while let Some(t) = queue.pop() {
+            order.push(t);
+            for &s in &self.succs[t] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        (order.len() == self.len()).then_some(order)
+    }
+
+    /// Critical-path length (the ∞-thread makespan). Panics on cycles.
+    pub fn critical_path(&self) -> f64 {
+        let order = self.topo_order().expect("task graph has a cycle");
+        let mut finish = vec![0.0f64; self.len()];
+        for &t in &order {
+            let start = finish[t]; // accumulated via predecessors below
+            let f = start + self.costs[t];
+            finish[t] = f;
+            for &s in &self.succs[t] {
+                if finish[s] < f {
+                    finish[s] = f; // earliest start of s so far
+                }
+            }
+        }
+        finish.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Average parallelism: work / critical path (∞ if the path is 0).
+    pub fn parallelism(&self) -> f64 {
+        let cp = self.critical_path();
+        if cp == 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_work() / cp
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: a → {b, c} → d with costs 1, 2, 3, 1.
+    fn diamond() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(1.0, "a");
+        let b = g.add_task(2.0, "b");
+        let c = g.add_task(3.0, "c");
+        let d = g.add_task(1.0, "d");
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        g
+    }
+
+    #[test]
+    fn work_and_critical_path() {
+        let g = diamond();
+        assert_eq!(g.total_work(), 7.0);
+        // a → c → d = 1 + 3 + 1
+        assert_eq!(g.critical_path(), 5.0);
+        assert!((g.parallelism() - 7.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let order = g.topo_order().unwrap();
+        let pos = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
+        assert!(pos(0) < pos(1) && pos(0) < pos(2));
+        assert!(pos(1) < pos(3) && pos(2) < pos(3));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(1.0, "a");
+        let b = g.add_task(1.0, "b");
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        assert!(g.topo_order().is_none());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        assert_eq!(g.total_work(), 0.0);
+        assert_eq!(g.critical_path(), 0.0);
+        assert_eq!(g.topo_order().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn independent_tasks_have_singleton_critical_path() {
+        let mut g = TaskGraph::new();
+        for i in 0..5 {
+            g.add_task(i as f64 + 1.0, format!("t{i}"));
+        }
+        assert_eq!(g.critical_path(), 5.0);
+        assert_eq!(g.total_work(), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-edge")]
+    fn self_edge_panics() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(1.0, "a");
+        g.add_edge(a, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_cost_panics() {
+        let mut g = TaskGraph::new();
+        g.add_task(f64::NAN, "bad");
+    }
+}

@@ -1,0 +1,196 @@
+//! Dense row-major matrices.
+//!
+//! A deliberately small container: the kernels in [`crate::gemm`] operate on
+//! raw row slices, so `Matrix` only needs indexing, row access and
+//! constructors. Generic over the element so the same type serves `f32`
+//! max-plus data and `i64` exact test oracles.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `rows × cols` matrix stored row-major in one allocation.
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T = f32> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy> Matrix<T> {
+    /// A matrix filled with `fill`.
+    pub fn filled(rows: usize, cols: usize, fill: T) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![fill; rows * cols],
+        }
+    }
+
+    /// Build from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from row slices (all rows must have equal length).
+    pub fn from_rows(rows: &[&[T]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(
+            rows.iter().all(|row| row.len() == c),
+            "ragged rows in Matrix::from_rows"
+        );
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.concat(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline(always)]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline(always)]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    #[inline(always)]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Row `i` as a mutable slice.
+    #[inline(always)]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Two distinct rows, one mutable — the shape semiring GEMM updates
+    /// (`C[i] ⊕= A[i][k] ⊗ B[k]`) need when `C` and `B` alias the same
+    /// storage is *not* supported; rows come from different matrices there.
+    pub fn rows_pair_mut(&mut self, i: usize, j: usize) -> (&mut [T], &[T]) {
+        assert_ne!(i, j, "rows_pair_mut requires distinct rows");
+        let cols = self.cols;
+        if i < j {
+            let (lo, hi) = self.data.split_at_mut(j * cols);
+            (&mut lo[i * cols..(i + 1) * cols], &hi[..cols])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(i * cols);
+            let row_j = &lo[j * cols..(j + 1) * cols];
+            (&mut hi[..cols], row_j)
+        }
+    }
+
+    /// Flat data slice (row-major).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Flat mutable data slice (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl Matrix<f32> {
+    /// A matrix of `-∞` — the max-plus additive identity (an "empty" C
+    /// accumulator for max-plus GEMM).
+    pub fn neg_inf(rows: usize, cols: usize) -> Self {
+        Matrix::filled(rows, cols, f32::NEG_INFINITY)
+    }
+}
+
+impl<T: Copy> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Copy> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Copy + fmt::Debug> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(i))?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_index_agree() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 10 + j) as i64);
+        assert_eq!(m[(2, 3)], 23);
+        assert_eq!(m.row(1), &[10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let m = Matrix::from_rows(&[&[1, 2][..], &[3, 4][..]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[&[1, 2][..], &[3][..]]);
+    }
+
+    #[test]
+    fn rows_pair_mut_both_orders() {
+        let mut m = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as i32);
+        {
+            let (a, b) = m.rows_pair_mut(0, 2);
+            assert_eq!(b, &[4, 5]);
+            a[0] = 99;
+        }
+        assert_eq!(m[(0, 0)], 99);
+        {
+            let (a, b) = m.rows_pair_mut(2, 0);
+            assert_eq!(b, &[99, 1]);
+            a[1] = -1;
+        }
+        assert_eq!(m[(2, 1)], -1);
+    }
+
+    #[test]
+    fn neg_inf_constructor() {
+        let m = Matrix::neg_inf(2, 2);
+        assert!(m.as_slice().iter().all(|v| *v == f32::NEG_INFINITY));
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut m = Matrix::filled(2, 3, 0i32);
+        m.row_mut(1).copy_from_slice(&[7, 8, 9]);
+        assert_eq!(m[(1, 2)], 9);
+        assert_eq!(m[(0, 2)], 0);
+    }
+}

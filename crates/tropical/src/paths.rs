@@ -1,0 +1,131 @@
+//! All-pairs shortest paths over the min-plus semiring — the classic
+//! "tropical linear algebra is not just RNA" demonstration (the GPU
+//! library the paper builds on bills itself as "(not just) a step towards
+//! RNA-RNA interaction computations").
+//!
+//! `D^(k)` = min-plus matrix power of the weighted adjacency matrix gives
+//! shortest paths using ≤ k edges; repeated squaring reaches the fixpoint
+//! in ⌈log₂ n⌉ products. The same [`crate::gemm`] kernels that power the
+//! BPMax benchmarks do the work — one more consumer exercising them.
+
+use crate::gemm::gemm_permuted;
+use crate::matrix::Matrix;
+use crate::semiring::MinPlus;
+
+/// Build a min-plus adjacency matrix from a directed edge list
+/// `(from, to, weight)`: `∞` off-edges, `0` diagonal, minimum weight kept
+/// for parallel edges.
+pub fn adjacency(n: usize, edges: &[(usize, usize, f32)]) -> Matrix<f32> {
+    let mut m = Matrix::filled(n, n, f32::INFINITY);
+    for i in 0..n {
+        m[(i, i)] = 0.0;
+    }
+    for &(u, v, w) in edges {
+        assert!(u < n && v < n, "edge endpoint out of range");
+        if w < m[(u, v)] {
+            m[(u, v)] = w;
+        }
+    }
+    m
+}
+
+/// All-pairs shortest path distances by repeated min-plus squaring.
+/// `Θ(n³ log n)`; requires non-negative weights (no negative-cycle
+/// detection — weights model costs/latencies here).
+pub fn apsp(adj: &Matrix<f32>) -> Matrix<f32> {
+    let n = adj.rows();
+    assert_eq!(n, adj.cols(), "adjacency must be square");
+    let mut dist = adj.clone();
+    let mut span = 1usize;
+    while span < n {
+        // dist ← dist ⊗ dist (min-plus); accumulate into a fresh ∞ matrix
+        let mut next = Matrix::filled(n, n, f32::INFINITY);
+        gemm_permuted::<MinPlus>(&dist, &dist, &mut next);
+        dist = next;
+        span *= 2;
+    }
+    dist
+}
+
+/// Reference Floyd–Warshall, for testing.
+pub fn floyd_warshall(adj: &Matrix<f32>) -> Matrix<f32> {
+    let n = adj.rows();
+    let mut d = adj.clone();
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = d[(i, k)] + d[(k, j)];
+                if via < d[(i, j)] {
+                    d[(i, j)] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Matrix<f32> {
+        // 0 →1→ 1 →1→ 3, 0 →5→ 2 →1→ 3, 0 →10→ 3
+        adjacency(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 5.0), (2, 3, 1.0), (0, 3, 10.0)])
+    }
+
+    #[test]
+    fn shortest_path_found() {
+        let d = apsp(&diamond());
+        assert_eq!(d[(0, 3)], 2.0);
+        assert_eq!(d[(0, 2)], 5.0);
+        assert_eq!(d[(2, 0)], f32::INFINITY); // unreachable
+        assert_eq!(d[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn matches_floyd_warshall_on_random_graphs() {
+        let mut state = 0xDECAFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [1usize, 2, 5, 9, 14] {
+            let mut edges = Vec::new();
+            for _ in 0..n * 3 {
+                let u = (next() % n as u64) as usize;
+                let v = (next() % n as u64) as usize;
+                let w = (next() % 20) as f32 + 1.0;
+                edges.push((u, v, w));
+            }
+            let adj = adjacency(n, &edges);
+            let a = apsp(&adj);
+            let b = floyd_warshall(&adj);
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(a[(i, j)], b[(i, j)], "n={n} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edges_keep_minimum() {
+        let adj = adjacency(2, &[(0, 1, 5.0), (0, 1, 2.0), (0, 1, 7.0)]);
+        assert_eq!(adj[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let d = apsp(&diamond());
+        let n = d.rows();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    assert!(d[(i, j)] <= d[(i, k)] + d[(k, j)] + 1e-6);
+                }
+            }
+        }
+    }
+}

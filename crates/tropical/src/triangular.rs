@@ -1,0 +1,265 @@
+//! Packed upper-triangular storage and the paper's two 2-D memory maps.
+//!
+//! BPMax tables are triangular: a single-sequence table `S` holds entries for
+//! `0 ≤ i ≤ j < n`, and the 4-D F-table is a *triangle of such triangles*.
+//! AlphaZ by default allocates the bounding box (`n × n`, wasting half), and
+//! the paper compares two affine memory maps for the inner triangle
+//! (§IV.C.d, Fig 10):
+//!
+//! * **Option 1** `(i, j) ↦ (i, j)` — identity into the bounding box; row `i`
+//!   starts at column `i`, rows are staggered across cache lines. The paper
+//!   finds this "always performs better".
+//! * **Option 2** `(i, j) ↦ (i, j - i)` — shifted so every row starts at
+//!   column 0 of the bounding box.
+//!
+//! We add a third, [`Layout::Packed`], the truly compact `n(n+1)/2` layout
+//! ("we only need one-fourth of that memory" for the 4-D table), trading
+//! address arithmetic for footprint.
+//!
+//! All three expose a uniform row API — `row(i)` covers columns `i..n` with
+//! element `(i, j)` at `row(i)[j - i]` — so the kernels are layout-generic
+//! and the memory-map ablation (bench `memlayout`) changes *only* the map.
+
+/// Memory map for an upper-triangular table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// Bounding box, identity map `(i, j) ↦ i·n + j` (paper's option 1).
+    Identity,
+    /// Bounding box, shifted map `(i, j) ↦ i·n + (j - i)` (paper's option 2).
+    Shifted,
+    /// Compact `n(n+1)/2` row-major packing `(i, j) ↦ off(i) + (j - i)`.
+    Packed,
+}
+
+impl Layout {
+    /// Storage (in elements) this layout needs for side `n`.
+    pub fn storage_len(self, n: usize) -> usize {
+        match self {
+            Layout::Identity | Layout::Shifted => n * n,
+            Layout::Packed => n * (n + 1) / 2,
+        }
+    }
+
+    /// Start offset of row `i`'s valid region (columns `i..n`).
+    #[inline(always)]
+    pub fn row_start(self, n: usize, i: usize) -> usize {
+        match self {
+            Layout::Identity => i * n + i,
+            Layout::Shifted => i * n,
+            // off(i) = Σ_{r<i} (n - r) = i·(2n − i + 1)/2
+            Layout::Packed => i * (2 * n - i + 1) / 2,
+        }
+    }
+
+    /// Linear offset of element `(i, j)`, `i ≤ j < n`.
+    #[inline(always)]
+    pub fn offset(self, n: usize, i: usize, j: usize) -> usize {
+        debug_assert!(i <= j && j < n, "triangular index ({i},{j}) out of range n={n}");
+        self.row_start(n, i) + (j - i)
+    }
+}
+
+/// An upper-triangular table over `0 ≤ i ≤ j < n` with a selectable
+/// [`Layout`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Triangular<T = f32> {
+    n: usize,
+    layout: Layout,
+    data: Vec<T>,
+}
+
+impl<T: Copy> Triangular<T> {
+    /// A table of side `n` filled with `fill`.
+    pub fn filled(n: usize, layout: Layout, fill: T) -> Self {
+        Triangular {
+            n,
+            layout,
+            data: vec![fill; layout.storage_len(n)],
+        }
+    }
+
+    /// Build from a function of `(i, j)` over the valid triangle; slack cells
+    /// of bounding-box layouts keep `fill`.
+    pub fn from_fn(n: usize, layout: Layout, fill: T, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut t = Triangular::filled(n, layout, fill);
+        for i in 0..n {
+            for j in i..n {
+                t.set(i, j, f(i, j));
+            }
+        }
+        t
+    }
+
+    /// Side length.
+    #[inline(always)]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The memory map in use.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Number of valid (triangle) entries, `n(n+1)/2`.
+    pub fn len_triangle(&self) -> usize {
+        self.n * (self.n + 1) / 2
+    }
+
+    /// Bytes actually allocated.
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+
+    /// Element `(i, j)`, `i ≤ j < n`.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self.data[self.layout.offset(self.n, i, j)]
+    }
+
+    /// Set element `(i, j)`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        let off = self.layout.offset(self.n, i, j);
+        self.data[off] = v;
+    }
+
+    /// Row `i` as a slice over columns `i..n`; element `(i, j)` sits at
+    /// `row(i)[j - i]` in every layout.
+    #[inline(always)]
+    pub fn row(&self, i: usize) -> &[T] {
+        let s = self.layout.row_start(self.n, i);
+        &self.data[s..s + (self.n - i)]
+    }
+
+    /// Mutable row `i` (columns `i..n`).
+    #[inline(always)]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        let s = self.layout.row_start(self.n, i);
+        let e = s + (self.n - i);
+        &mut self.data[s..e]
+    }
+
+    /// Rows `i` (mutable) and `k` (shared) with `i < k` — the aliasing shape
+    /// of in-triangle max-plus updates `row_i ⊕= a ⊗ row_k`.
+    pub fn row_pair(&mut self, i: usize, k: usize) -> (&mut [T], &[T]) {
+        assert!(i < k && k < self.n, "row_pair requires i < k < n");
+        let si = self.layout.row_start(self.n, i);
+        let ei = si + (self.n - i);
+        let sk = self.layout.row_start(self.n, k);
+        let ek = sk + (self.n - k);
+        // In every layout rows are disjoint ranges and i < k ⇒ si ≤ ei ≤ sk
+        // except Identity where ei = i·n + n ≤ k·n = sk − k + ... still ≤ sk.
+        debug_assert!(ei <= sk);
+        let (lo, hi) = self.data.split_at_mut(sk);
+        (&mut lo[si..ei], &hi[..ek - sk])
+    }
+
+    /// Iterate valid cells `(i, j, value)` in row-major order.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        (0..self.n).flat_map(move |i| (i..self.n).map(move |j| (i, j, self.get(i, j))))
+    }
+
+    /// Re-materialise with a different layout (values preserved; slack cells
+    /// of the target filled with `fill`).
+    pub fn with_layout(&self, layout: Layout, fill: T) -> Self {
+        Triangular::from_fn(self.n, layout, fill, |i, j| self.get(i, j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_sizes() {
+        assert_eq!(Layout::Identity.storage_len(5), 25);
+        assert_eq!(Layout::Shifted.storage_len(5), 25);
+        assert_eq!(Layout::Packed.storage_len(5), 15);
+        assert_eq!(Layout::Packed.storage_len(0), 0);
+    }
+
+    #[test]
+    fn offsets_are_unique_and_in_range_all_layouts() {
+        let n = 9;
+        for layout in [Layout::Identity, Layout::Shifted, Layout::Packed] {
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..n {
+                for j in i..n {
+                    let off = layout.offset(n, i, j);
+                    assert!(off < layout.storage_len(n), "{layout:?} ({i},{j})");
+                    assert!(seen.insert(off), "{layout:?} collision at ({i},{j})");
+                }
+            }
+            assert_eq!(seen.len(), n * (n + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn get_set_round_trip_all_layouts() {
+        for layout in [Layout::Identity, Layout::Shifted, Layout::Packed] {
+            let mut t = Triangular::filled(6, layout, -1i64);
+            for i in 0..6 {
+                for j in i..6 {
+                    t.set(i, j, (i * 10 + j) as i64);
+                }
+            }
+            for i in 0..6 {
+                for j in i..6 {
+                    assert_eq!(t.get(i, j), (i * 10 + j) as i64, "{layout:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_slice_indexing_convention() {
+        for layout in [Layout::Identity, Layout::Shifted, Layout::Packed] {
+            let t = Triangular::from_fn(5, layout, 0i32, |i, j| (i * 5 + j) as i32);
+            for i in 0..5 {
+                let row = t.row(i);
+                assert_eq!(row.len(), 5 - i);
+                for j in i..5 {
+                    assert_eq!(row[j - i], (i * 5 + j) as i32, "{layout:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_pair_is_consistent() {
+        for layout in [Layout::Identity, Layout::Shifted, Layout::Packed] {
+            let mut t = Triangular::from_fn(5, layout, 0i32, |i, j| (i * 5 + j) as i32);
+            let (r1, r3) = t.row_pair(1, 3);
+            assert_eq!(r1[0], 6); // (1,1)
+            assert_eq!(r3[1], 19); // (3,4)
+            r1[2] = -7; // (1,3)
+            assert_eq!(t.get(1, 3), -7, "{layout:?}");
+        }
+    }
+
+    #[test]
+    fn layout_conversion_preserves_values() {
+        let t = Triangular::from_fn(7, Layout::Packed, f32::NEG_INFINITY, |i, j| (i + j) as f32);
+        for target in [Layout::Identity, Layout::Shifted] {
+            let u = t.with_layout(target, f32::NEG_INFINITY);
+            for (i, j, v) in t.iter_cells() {
+                assert_eq!(u.get(i, j), v);
+            }
+        }
+    }
+
+    #[test]
+    fn iter_cells_counts() {
+        let t = Triangular::filled(4, Layout::Packed, 0u8);
+        assert_eq!(t.iter_cells().count(), 10);
+        assert_eq!(t.len_triangle(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_pair requires")]
+    fn row_pair_rejects_equal_rows() {
+        let mut t = Triangular::filled(4, Layout::Packed, 0u8);
+        let _ = t.row_pair(2, 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Machine analysis: roofline + working-set report for a problem size —
+//! answers "which memory level will BPMax run out of, and at what size?".
+//!
+//! ```text
+//! cargo run --release --example roofline_report -- 16 2048
+//! ```
+
+use machine::roofline::{Roofline, MAXPLUS_STREAM_AI};
+use machine::spec::MachineSpec;
+use machine::traffic;
+
+fn main() {
+    // The paper's large runs pair a short outer strand with a long inner
+    // one (e.g. 16 x 2500 in Fig 18) — a square 2048 x 2048 table would
+    // need terabytes.
+    let args: Vec<String> = std::env::args().collect();
+    let m: usize = args.get(1).map(|s| s.parse().expect("bad M")).unwrap_or(16);
+    let n: usize = args.get(2).map(|s| s.parse().expect("bad N")).unwrap_or(2048);
+    let spec = MachineSpec::xeon_e5_1650v4();
+    let roof = Roofline::new(spec.clone(), spec.cores);
+
+    println!("machine: {} ({} cores)", spec.name, spec.cores);
+    println!(
+        "max-plus peak: {:.1} GFLOPS; streaming AI = {:.3} FLOP/byte",
+        roof.peak(),
+        MAXPLUS_STREAM_AI
+    );
+    for r in roof.roofs() {
+        println!(
+            "  through {:>4}: {:>7.1} GB/s -> attainable {:>6.1} GFLOPS",
+            r.name,
+            r.bw_gbps,
+            roof.attainable(&r.name, MAXPLUS_STREAM_AI)
+        );
+    }
+
+    println!("\nproblem size M = {m}, N = {n}:");
+    println!(
+        "  F-table (packed):        {:>10.1} MiB",
+        traffic::ftable_bytes(m, n) as f64 / (1 << 20) as f64
+    );
+    println!(
+        "  F-table (bounding box):  {:>10.1} MiB",
+        traffic::ftable_bbox_bytes(m, n) as f64 / (1 << 20) as f64
+    );
+    println!(
+        "  R0 triangle working set: {:>10.3} MiB  (pair of operand triangles)",
+        2.0 * traffic::triangle_elems(n) as f64 * 4.0 / (1 << 20) as f64
+    );
+    let ws = traffic::r1r2_row_working_set_bytes(n);
+    println!(
+        "  R1/R2 row working set:   {:>10.3} MiB  ({} LLC)",
+        ws as f64 / (1 << 20) as f64,
+        if traffic::r1r2_row_fits_llc(&spec, n) {
+            "fits"
+        } else {
+            "EXCEEDS"
+        }
+    );
+    println!(
+        "  reduction FLOPs:         {:>10.2} GFLOP  (R0 share {:.1}%)",
+        traffic::bpmax_flops(m, n) as f64 / 1e9,
+        100.0 * traffic::r0_fraction(m, n)
+    );
+    println!(
+        "\ncoarse-grain DRAM traffic per k1-step at {} threads: {:.2} MiB (fine-grain: {:.2} MiB)",
+        spec.cores,
+        traffic::coarse_r0_dram_bytes_per_step(n, spec.cores) as f64 / (1 << 20) as f64,
+        traffic::fine_r0_dram_bytes_per_step(n) as f64 / (1 << 20) as f64,
+    );
+}

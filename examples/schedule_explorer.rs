@@ -1,0 +1,56 @@
+//! Explore the paper's mapping directives: print each schedule set,
+//! verify its legality against the full dependence system, and show the
+//! generated loop nest + code statistics — AlphaZ's workflow, end to end.
+//!
+//! ```text
+//! cargo run --release --example schedule_explorer
+//! ```
+
+use bpmax::nests;
+use bpmax::schedules;
+use polyhedral::affine::env;
+use polyhedral::codegen::{render, stats};
+
+fn main() {
+    println!("== BPMax schedule explorer ==\n");
+    let sets = [
+        ("base (original order)", schedules::base_schedule()),
+        ("fine-grain (Table II)", schedules::fine_grain()),
+        ("coarse-grain (Table III)", schedules::coarse_grain()),
+        ("hybrid (Table IV)", schedules::hybrid()),
+        ("hybrid+tiled 32x4 (Table V)", schedules::hybrid_tiled(32, 4)),
+    ];
+    for (name, sys) in &sets {
+        println!("--- {name} ---");
+        for var in sys.vars() {
+            println!("  {:>3}: {}", var.name, sys.schedule(&var.name));
+        }
+        println!("  parallel dims: {:?}", sys.parallel_dims());
+        let params = env(&[("M", 4), ("N", 4)]);
+        let viol = sys.verify(&params, 4, 3);
+        println!(
+            "  verification at M=N=4 ({} dependence instances): {}\n",
+            sys.dependence_instances(&params, 4),
+            if viol.is_empty() {
+                "LEGAL".to_string()
+            } else {
+                format!("ILLEGAL — {}", viol[0])
+            }
+        );
+    }
+
+    println!("== generated code (Table VI view) ==\n");
+    for nest in [
+        nests::baseline_nest(),
+        nests::optimized_nest(nests::NestMode::Hybrid),
+        nests::tiled_nest(64, 16),
+    ] {
+        let s = stats(&nest);
+        println!(
+            "{:<40} LOC={:<4} loops={} parallel={} depth={}",
+            s.name, s.loc, s.loops, s.parallel_loops, s.max_depth
+        );
+    }
+    println!("\nfull text of the baseline program:\n");
+    println!("{}", render(&nests::baseline_nest()));
+}

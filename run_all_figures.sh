@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper's evaluation section.
+# Output goes to results/ (one text file per artifact).
+#
+#   ./run_all_figures.sh           # fast configuration (~a few minutes)
+#   ./run_all_figures.sh --full    # larger sizes, closer to the paper
+set -euo pipefail
+cd "$(dirname "$0")"
+
+EXTRA="${1:-}"
+OUT=results
+mkdir -p "$OUT"
+
+cargo build --release -p bench --bins
+
+run() {
+    local bin="$1"; shift
+    echo "== $bin $* =="
+    ./target/release/"$bin" "$@" $EXTRA | tee "$OUT/$bin.txt"
+    echo
+}
+
+run fig01_summary
+run table01_dmp_schedules
+run tables02_05_bpmax_schedules
+run fig11_roofline
+run fig12_microbench
+run fig13_dmp_perf
+run fig14_dmp_speedup
+run fig15_bpmax_perf
+run fig16_bpmax_speedup
+run fig17_hyperthreading
+run fig18_tile_sweep
+run table06_codegen_loc
+run ablation_locality
+run ablation_sched_policy
+run future_register_tiling
+run future_mpi_cluster
+
+echo "all artifacts written to $OUT/"

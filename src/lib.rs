@@ -1,0 +1,21 @@
+//! `bpmax-suite` — workspace façade for the BPMax reproduction.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); it re-exports the workspace
+//! crates under one roof so examples can `use bpmax_suite::…`.
+//!
+//! The interesting code lives in the member crates:
+//!
+//! * [`bpmax`] — the algorithm and its optimized variants,
+//! * [`rna`] — sequences, scoring, Nussinov folding,
+//! * [`tropical`] — max-plus kernels,
+//! * [`polyhedral`] — schedules, dependences, legality checking, codegen,
+//! * [`machine`] — roofline + cache simulation,
+//! * [`simsched`] — parallel-execution simulation.
+
+pub use bpmax;
+pub use machine;
+pub use polyhedral;
+pub use rna;
+pub use simsched;
+pub use tropical;

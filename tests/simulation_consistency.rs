@@ -1,0 +1,144 @@
+//! Cross-checks between the analytic models, the simulators, and the real
+//! kernels — the glue that makes the single-core reproduction of the
+//! multi-thread figures trustworthy.
+
+use machine::cache::CacheSim;
+use machine::roofline::{Roofline, MAXPLUS_STREAM_AI};
+use machine::spec::MachineSpec;
+use machine::traffic;
+use polyhedral::executor::Trace;
+use simsched::sched::{simulate_dag, simulate_parallel_for, OmpPolicy};
+use simsched::task::TaskGraph;
+
+/// Build the coarse-grain wavefront DAG of BPMax (triangles as tasks,
+/// edges along the two diagonal parents) and check Graham/critical-path
+/// structure.
+fn coarse_dag(m: usize, n: usize) -> TaskGraph {
+    let mut g = TaskGraph::new();
+    let mut ids = std::collections::HashMap::new();
+    for d1 in 0..m {
+        for i1 in 0..m - d1 {
+            let j1 = i1 + d1;
+            let s2: u64 = (0..n as u64).map(|d| d * (n as u64 - d)).sum();
+            let cost = (2 * d1 as u64 * s2) as f64 + 1.0;
+            let id = g.add_task(cost, format!("T({i1},{j1})"));
+            ids.insert((i1, j1), id);
+            if d1 > 0 {
+                g.add_edge(ids[&(i1, j1 - 1)], id);
+                g.add_edge(ids[&(i1 + 1, j1)], id);
+            }
+        }
+    }
+    g
+}
+
+#[test]
+fn bpmax_wavefront_dag_has_expected_structure() {
+    let g = coarse_dag(8, 8);
+    assert_eq!(g.len(), 36); // T(8) triangles
+    // Critical path = the diagonal chain: parallelism is bounded by m.
+    let r1 = simulate_dag(&g, 1);
+    let r8 = simulate_dag(&g, 8);
+    assert!(r8.makespan >= g.critical_path() - 1e-9);
+    assert!(r8.makespan < r1.makespan);
+    // Graham bound
+    for p in [2usize, 4, 8] {
+        let r = simulate_dag(&g, p);
+        let bound = g.total_work() / p as f64
+            + (1.0 - 1.0 / p as f64) * g.critical_path();
+        assert!(r.makespan <= bound + 1e-6);
+    }
+}
+
+#[test]
+fn late_diagonals_limit_parallelism() {
+    // Near the end of the wavefront only a few triangles exist per
+    // diagonal: with threads > triangles the extra threads idle, which is
+    // the load-imbalance story of the paper's coarse schedule.
+    let g = coarse_dag(4, 16);
+    let r4 = simulate_dag(&g, 4);
+    let r16 = simulate_dag(&g, 16);
+    // more than 4 workers cannot help: only ≤ 4 triangles per diagonal
+    assert!((r16.makespan - r4.makespan).abs() < 1e-9);
+}
+
+#[test]
+fn dynamic_beats_static_on_real_row_profile() {
+    // Actual fine-grain row costs of one triangle (decreasing), threads=6.
+    let n = 128usize;
+    let costs: Vec<f64> = (0..n)
+        .map(|i2| {
+            let combos: u64 = (i2 as u64..n as u64).map(|k2| n as u64 - 1 - k2).sum();
+            combos as f64
+        })
+        .collect();
+    let stat = simulate_parallel_for(&costs, 6, OmpPolicy::Static { chunk: None });
+    let dynm = simulate_parallel_for(&costs, 6, OmpPolicy::Dynamic { chunk: 1 });
+    assert!(dynm.makespan < stat.makespan);
+}
+
+#[test]
+fn cache_sim_confirms_tiling_reduces_misses() {
+    // Stream a row panel twice: untiled (panel > L1) vs tiled (block fits).
+    let spec = MachineSpec::tiny_test_machine(); // 512 B L1, 32 B lines
+    let panel = 64u64; // 64 lines = 2 KiB > L1
+    let passes = 8u64;
+
+    // untiled: sweep the whole panel each pass
+    let mut untiled = CacheSim::new(&spec);
+    for _ in 0..passes {
+        for line in 0..panel {
+            untiled.read(line * 32, 4);
+        }
+    }
+    // tiled: process 8-line blocks, all passes per block before moving on
+    let mut tiled = CacheSim::new(&spec);
+    for block in 0..panel / 8 {
+        for _ in 0..passes {
+            for line in 0..8 {
+                tiled.read((block * 8 + line) * 32, 4);
+            }
+        }
+    }
+    let mu = untiled.stats()[0];
+    let mt = tiled.stats()[0];
+    assert_eq!(mu.accesses, mt.accesses);
+    assert!(
+        mt.misses * 4 < mu.misses,
+        "tiled {} vs untiled {} misses",
+        mt.misses,
+        mu.misses
+    );
+}
+
+#[test]
+fn executor_trace_feeds_cache_sim() {
+    let mut trace = Trace::new();
+    for pass in 0..3 {
+        for i in 0..32 {
+            trace.read(i);
+            if pass == 0 {
+                trace.write(i);
+            }
+        }
+    }
+    let mut sim = CacheSim::new(&MachineSpec::tiny_test_machine());
+    sim.replay(&trace, 4);
+    let l1 = sim.stats()[0];
+    // 32 elements × 4 B = 128 B fits the 512 B L1: only compulsory misses.
+    assert_eq!(l1.misses as usize, 128 / 32);
+}
+
+#[test]
+fn roofline_and_traffic_tell_the_same_story() {
+    let spec = MachineSpec::xeon_e5_1650v4();
+    let roof = Roofline::new(spec.clone(), 6);
+    // If the R1/R2 working set spills to DRAM, the attainable rate drops
+    // to the DRAM roof — less than a tenth of the L1 roof.
+    assert!(!traffic::r1r2_row_fits_llc(&spec, 2048));
+    let dram = roof.attainable("DRAM", MAXPLUS_STREAM_AI);
+    let l1 = roof.attainable("L1", MAXPLUS_STREAM_AI);
+    assert!(dram * 10.0 < l1);
+    // And the fraction of work exposed to that cliff grows with N/M skew.
+    assert!(traffic::r0_fraction(16, 2048) < traffic::r0_fraction(2048, 2048));
+}
