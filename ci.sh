@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Pre-PR gate: run everything the reviewer will run, in the order that
+# fails fastest. All three steps must pass before a branch is pushed.
+#
+#   ./ci.sh            # fmt check + clippy (deny warnings) + full test suite
+#
+# The workspace vendors offline shims for rand/rayon/proptest/criterion
+# (see shims/), so no network access is needed at any step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test --workspace --offline -q
+
+echo "ci.sh: all gates passed"

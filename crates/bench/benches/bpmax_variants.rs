@@ -1,4 +1,4 @@
-//! Criterion bench: the six BPMax program versions (Fig 15's measured
+//! Criterion bench: the six `BPMax` program versions (Fig 15's measured
 //! side) at a bench-friendly size.
 
 use bench::{model, workload};
@@ -17,15 +17,13 @@ fn bench_variants(c: &mut Criterion) {
         Algorithm::Baseline,
         Algorithm::Permuted,
         Algorithm::Hybrid,
-        Algorithm::HybridTiled { tile: Tile::small() },
+        Algorithm::HybridTiled {
+            tile: Tile::small(),
+        },
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(alg.label()),
-            &alg,
-            |b, &alg| {
-                b.iter(|| p.compute(alg));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(alg.label()), &alg, |b, &alg| {
+            b.iter(|| p.compute(alg));
+        });
     }
     group.finish();
 }

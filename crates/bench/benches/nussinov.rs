@@ -1,4 +1,4 @@
-//! Criterion bench: the Nussinov substrate (the `S` tables BPMax
+//! Criterion bench: the Nussinov substrate (the `S` tables `BPMax`
 //! consumes), across strand lengths and table layouts.
 
 use bench::{model, workload};

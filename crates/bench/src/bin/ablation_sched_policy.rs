@@ -1,4 +1,4 @@
-//! Ablation — OMP scheduling policy on the BPMax wavefront.
+//! Ablation — OMP scheduling policy on the `BPMax` wavefront.
 //!
 //! §IV.C.d: "The OMP dynamic-schedule works better than the static and
 //! guided-schedule due to an imbalanced workload." The workload: one outer
@@ -30,7 +30,10 @@ fn main() {
         let mut t = Table::new(&["policy", "makespan", "vs ideal", "imbalance"]);
         for (name, policy) in [
             ("static (blocks)", OmpPolicy::Static { chunk: None }),
-            ("static,1 (round-robin)", OmpPolicy::Static { chunk: Some(1) }),
+            (
+                "static,1 (round-robin)",
+                OmpPolicy::Static { chunk: Some(1) },
+            ),
             ("guided", OmpPolicy::Guided { min_chunk: 1 }),
             ("dynamic", OmpPolicy::Dynamic { chunk: 1 }),
         ] {

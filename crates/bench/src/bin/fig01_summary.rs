@@ -1,7 +1,7 @@
 //! Fig 1 — summary of the optimization results.
 //!
 //! The paper's opening figure: speedup of the optimized (hybrid + tiled)
-//! BPMax over the original program, and fraction of machine peak reached,
+//! `BPMax` over the original program, and fraction of machine peak reached,
 //! on both Xeons. Here: the measured serial part on this machine plus the
 //! modeled 6-thread (E5-1650v4) and 8-thread (E-2278G) numbers.
 
@@ -29,7 +29,9 @@ fn main() {
         let reps = if n <= 14 { 3 } else { 1 };
         let tb = time_median(reps, || p.compute(Algorithm::Baseline));
         let tt = time_median(reps, || {
-            p.compute(Algorithm::HybridTiled { tile: Tile::default() })
+            p.compute(Algorithm::HybridTiled {
+                tile: Tile::default(),
+            })
         });
         t.row(vec![
             n.to_string(),
@@ -61,7 +63,9 @@ fn main() {
         let threads = spec.cores;
         let base = predict_bpmax_seconds(Algorithm::Baseline, n, n, 1, &cm, &spec, ht);
         let tiled = predict_bpmax_seconds(
-            Algorithm::HybridTiled { tile: Tile::default() },
+            Algorithm::HybridTiled {
+                tile: Tile::default(),
+            },
             n,
             n,
             threads,
@@ -70,7 +74,9 @@ fn main() {
             ht,
         );
         let g = predict_bpmax_gflops(
-            Algorithm::HybridTiled { tile: Tile::default() },
+            Algorithm::HybridTiled {
+                tile: Tile::default(),
+            },
             n,
             n,
             threads,

@@ -1,7 +1,7 @@
 //! Fig 11 — roofline of the Xeon E5-1650v4 (and the E-2278G check).
 //!
 //! Regenerates the roofline series (one roof per memory level at 6/12
-//! threads), the theoretical max-plus peak (~346 GFLOPS), and the BPMax
+//! threads), the theoretical max-plus peak (~346 GFLOPS), and the `BPMax`
 //! streaming point at arithmetic intensity 1/6.
 
 use bench::{banner, f1, f2, Table};
@@ -43,7 +43,6 @@ fn main() {
         }
     }
     println!(
-        "\nBPMax streaming pattern Y = max(a+X, Y): AI = 2 FLOP / 12 B = {:.4}",
-        MAXPLUS_STREAM_AI
+        "\nBPMax streaming pattern Y = max(a+X, Y): AI = 2 FLOP / 12 B = {MAXPLUS_STREAM_AI:.4}"
     );
 }

@@ -42,7 +42,11 @@ fn main() {
     }
     t.print();
 
-    println!("\n--- modeled, {} threads, {} ---", opts.threads[0], MachineSpec::xeon_e5_1650v4().name);
+    println!(
+        "\n--- modeled, {} threads, {} ---",
+        opts.threads[0],
+        MachineSpec::xeon_e5_1650v4().name
+    );
     let cm = CostModel::nominal(); // representative per-core Xeon rates (see perfmodel)
     let spec = MachineSpec::xeon_e5_1650v4();
     let ht = HtModel {
@@ -57,7 +61,7 @@ fn main() {
     };
     let mut header = vec!["M=N".to_string()];
     header.extend(DmpVariant::all().iter().map(|v| v.label().to_string()));
-    let mut t = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
     for &n in &sizes {
         let mut cells = vec![n.to_string()];
         for v in DmpVariant::all() {

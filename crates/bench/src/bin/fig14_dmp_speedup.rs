@@ -58,7 +58,7 @@ fn main() {
             .skip(1)
             .map(|v| v.label().to_string()),
     );
-    let mut t = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
     for &n in &sizes {
         let base = predict_dmp_gflops(DmpVariant::Base, n, n, 1, &cm, &spec, ht);
         let mut cells = vec![n.to_string()];

@@ -27,7 +27,7 @@ fn main() {
     let algs = Algorithm::all();
     let mut header = vec!["M=N".to_string()];
     header.extend(algs.iter().map(|a| a.label().to_string()));
-    let mut t = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
     for &n in &opts.sizes {
         let (s1, s2) = workload(opts.seed, n, n);
         let p = BpMaxProblem::new(s1, s2, model());
@@ -65,11 +65,13 @@ fn main() {
         Algorithm::CoarseGrain,
         Algorithm::FineGrain,
         Algorithm::Hybrid,
-        Algorithm::HybridTiled { tile: Tile::default() },
+        Algorithm::HybridTiled {
+            tile: Tile::default(),
+        },
     ];
     let mut header = vec!["M=N".to_string()];
     header.extend(curves.iter().map(|a| a.label().to_string()));
-    let mut t = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
     for &n in &sizes {
         let mut cells = vec![n.to_string()];
         for &alg in &curves {

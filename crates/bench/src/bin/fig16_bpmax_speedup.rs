@@ -31,7 +31,9 @@ fn main() {
         let row: Vec<String> = [
             Algorithm::Permuted,
             Algorithm::Hybrid,
-            Algorithm::HybridTiled { tile: Tile::default() },
+            Algorithm::HybridTiled {
+                tile: Tile::default(),
+            },
         ]
         .iter()
         .map(|&alg| f1(t_base / time_median(reps, || p.compute(alg))))
@@ -58,11 +60,13 @@ fn main() {
         Algorithm::CoarseGrain,
         Algorithm::FineGrain,
         Algorithm::Hybrid,
-        Algorithm::HybridTiled { tile: Tile::default() },
+        Algorithm::HybridTiled {
+            tile: Tile::default(),
+        },
     ];
     let mut header = vec!["M=N".to_string()];
     header.extend(curves.iter().map(|a| a.label().to_string()));
-    let mut t = Table::new(&header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
     for &n in &sizes {
         let base = predict_bpmax_seconds(Algorithm::Baseline, n, n, 1, &cm, &spec, ht);
         let mut cells = vec![n.to_string()];

@@ -27,7 +27,11 @@ fn main() {
     // work's >10% observation).
     let scenarios = [
         ("tiled kernel (eta=0.06)", 0.06, DmpVariant::Tiled),
-        ("unoptimized kernel (eta=0.30)", 0.30, DmpVariant::FineDiagonal),
+        (
+            "unoptimized kernel (eta=0.30)",
+            0.30,
+            DmpVariant::FineDiagonal,
+        ),
     ];
     for (label, eta, variant) in scenarios {
         println!("\n{label}, problem {m}x{n}:");

@@ -27,13 +27,38 @@ fn main() {
         ("32 x 32 x 32 (cubic)".into(), Tile::cubic(32)),
         ("32 x 4 x N".into(), Tile::small()),
         ("64 x 16 x N".into(), Tile::default()),
-        ("16 x 8 x N".into(), Tile { i2: 16, k2: 8, j2: usize::MAX }),
-        ("128 x 32 x N".into(), Tile { i2: 128, k2: 32, j2: usize::MAX }),
+        (
+            "16 x 8 x N".into(),
+            Tile {
+                i2: 16,
+                k2: 8,
+                j2: usize::MAX,
+            },
+        ),
+        (
+            "128 x 32 x N".into(),
+            Tile {
+                i2: 128,
+                k2: 32,
+                j2: usize::MAX,
+            },
+        ),
         (
             "32 x 4 x 64 (j2 tiled)".into(),
-            Tile { i2: 32, k2: 4, j2: 64 },
+            Tile {
+                i2: 32,
+                k2: 4,
+                j2: 64,
+            },
         ),
-        ("untiled (permuted)".into(), Tile { i2: usize::MAX, k2: usize::MAX, j2: usize::MAX }),
+        (
+            "untiled (permuted)".into(),
+            Tile {
+                i2: usize::MAX,
+                k2: usize::MAX,
+                j2: usize::MAX,
+            },
+        ),
     ];
     println!("\nproblem: {m} x {n}, 1 thread, this machine");
     let mut t = Table::new(&["tile (i2 x k2 x j2)", "GFLOPS", "vs untiled"]);

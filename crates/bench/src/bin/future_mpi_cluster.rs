@@ -1,4 +1,4 @@
-//! Future-work experiment — distributing BPMax over an MPI cluster.
+//! Future-work experiment — distributing `BPMax` over an MPI cluster.
 //!
 //! The paper's conclusion: "We also plan to ... distribute the
 //! computation over a cluster using MPI." `simsched::distributed` models

@@ -33,7 +33,13 @@ fn main() {
     );
 
     println!("\n--- measured, 1 thread, this machine ---");
-    let mut t = Table::new(&["M=N", "permuted", "cache-tiled", "reg-unrolled", "reg/permuted"]);
+    let mut t = Table::new(&[
+        "M=N",
+        "permuted",
+        "cache-tiled",
+        "reg-unrolled",
+        "reg/permuted",
+    ]);
     for &n in &opts.sizes {
         let flops = dmp_flops(n, n);
         let reps = if n <= 24 { 3 } else { 1 };

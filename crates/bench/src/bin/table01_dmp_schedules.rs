@@ -32,7 +32,12 @@ fn main() {
         }
         t.row(vec![
             s.label.to_string(),
-            if s.vectorizable { "j2 (vec)" } else { "k2 (no vec)" }.to_string(),
+            if s.vectorizable {
+                "j2 (vec)"
+            } else {
+                "k2 (no vec)"
+            }
+            .to_string(),
             if legal { "yes" } else { "NO" }.to_string(),
         ]);
         assert!(legal);
@@ -40,7 +45,14 @@ fn main() {
     t.print();
 
     println!("\n--- measured kernel throughput (1 thread, this machine) ---");
-    let mut t = Table::new(&["M=N", "naive GFLOPS", "permuted GFLOPS", "tiled GFLOPS", "reg-tiled GFLOPS", "perm/naive"]);
+    let mut t = Table::new(&[
+        "M=N",
+        "naive GFLOPS",
+        "permuted GFLOPS",
+        "tiled GFLOPS",
+        "reg-tiled GFLOPS",
+        "perm/naive",
+    ]);
     for &n in &opts.sizes {
         let reps = if n <= 24 { 3 } else { 1 };
         let flops = dmp_flops(n, n);

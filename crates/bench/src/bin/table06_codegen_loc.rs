@@ -1,6 +1,6 @@
-//! Table VI — auto-generated code statistics per BPMax version.
+//! Table VI — auto-generated code statistics per `BPMax` version.
 //!
-//! The paper counts the C LOC AlphaZ emits (base 140; double max-plus
+//! The paper counts the C LOC `AlphaZ` emits (base 140; double max-plus
 //! ~150; full coarse/fine/hybrid ~1200; tiled ~1400) plus hand-written /
 //! macro-patched lines. Our code generator prints the same programs from
 //! the loop-nest IR; absolute LOC differ (different printer, and our

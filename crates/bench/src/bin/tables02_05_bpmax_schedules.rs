@@ -3,7 +3,7 @@
 //! For each schedule set (fine-grain, coarse-grain, hybrid, hybrid+tiled)
 //! this prints every variable's space-time map and the parallel dimension,
 //! then verifies legality of **every dependence instance** at several
-//! problem sizes — the check AlphaZ leaves to the user.
+//! problem sizes — the check `AlphaZ` leaves to the user.
 
 use bench::{banner, Opts, Table};
 use bpmax::schedules;
@@ -14,10 +14,7 @@ fn report(name: &str, paper: &str, sys: &System, sizes: &[(i64, i64)]) {
     println!("\n### {name} ({paper})");
     let mut t = Table::new(&["variable", "schedule"]);
     for var in sys.vars() {
-        t.row(vec![
-            var.name.clone(),
-            sys.schedule(&var.name).to_string(),
-        ]);
+        t.row(vec![var.name.clone(), sys.schedule(&var.name).to_string()]);
     }
     t.print();
     println!("parallel time dimensions: {:?}", sys.parallel_dims());
@@ -49,9 +46,19 @@ fn main() {
     } else {
         &[(4, 4), (5, 3)]
     };
-    report("base", "original program", &schedules::base_schedule(), sizes);
+    report(
+        "base",
+        "original program",
+        &schedules::base_schedule(),
+        sizes,
+    );
     report("fine-grain", "Table II", &schedules::fine_grain(), sizes);
-    report("coarse-grain", "Table III", &schedules::coarse_grain(), sizes);
+    report(
+        "coarse-grain",
+        "Table III",
+        &schedules::coarse_grain(),
+        sizes,
+    );
     report("hybrid", "Table IV", &schedules::hybrid(), sizes);
     report(
         "hybrid + tiled (ti=2, tk=2)",

@@ -8,7 +8,9 @@
 //! the work).
 
 use bpmax::ftable::{FTable, Layout};
-use bpmax::kernels::{r0_instance_naive, r0_instance_permuted, r0_instance_reg, r0_instance_tiled, R0Order, Tile};
+use bpmax::kernels::{
+    r0_instance_naive, r0_instance_permuted, r0_instance_reg, r0_instance_tiled, R0Order, Tile,
+};
 use machine::traffic;
 
 /// Seed every cell of every triangle with a small deterministic value.

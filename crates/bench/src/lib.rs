@@ -65,9 +65,7 @@ impl Opts {
                 }
                 "--full" => opts.full = true,
                 "--help" | "-h" => {
-                    eprintln!(
-                        "options: --sizes a,b,c  --threads a,b  --seed N  --full"
-                    );
+                    eprintln!("options: --sizes a,b,c  --threads a,b  --seed N  --full");
                     std::process::exit(0);
                 }
                 other => panic!("unknown option {other:?}"),
@@ -119,7 +117,7 @@ impl Table {
     /// New table with the given column headers.
     pub fn new(header: &[&str]) -> Table {
         Table {
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }
@@ -133,7 +131,7 @@ impl Table {
     /// Render with aligned columns.
     pub fn render(&self) -> String {
         let ncol = self.header.len();
-        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = self.header.iter().map(std::string::String::len).collect();
         for row in &self.rows {
             for (k, cell) in row.iter().enumerate() {
                 widths[k] = widths[k].max(cell.len());

@@ -26,7 +26,10 @@ fn fig01_summary_runs() {
 
 #[test]
 fn table01_runs_and_all_schedules_legal() {
-    let out = run(env!("CARGO_BIN_EXE_table01_dmp_schedules"), &["--sizes", "8,12"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_table01_dmp_schedules"),
+        &["--sizes", "8,12"],
+    );
     assert!(out.contains("j2 (vec)"));
     assert!(!out.contains(" NO"));
 }
@@ -56,7 +59,10 @@ fn fig12_microbench_runs() {
 fn fig13_fig14_run() {
     let out = run(env!("CARGO_BIN_EXE_fig13_dmp_perf"), &["--sizes", "8,12"]);
     assert!(out.contains("fine + tiled"));
-    let out = run(env!("CARGO_BIN_EXE_fig14_dmp_speedup"), &["--sizes", "8,12"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_fig14_dmp_speedup"),
+        &["--sizes", "8,12"],
+    );
     assert!(out.contains("modeled speedup"));
 }
 
@@ -64,7 +70,10 @@ fn fig13_fig14_run() {
 fn fig15_fig16_run() {
     let out = run(env!("CARGO_BIN_EXE_fig15_bpmax_perf"), &["--sizes", "8,10"]);
     assert!(out.contains("hybrid+tiled"));
-    let out = run(env!("CARGO_BIN_EXE_fig16_bpmax_speedup"), &["--sizes", "8,10"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_fig16_bpmax_speedup"),
+        &["--sizes", "8,10"],
+    );
     assert!(out.contains("modeled speedup vs baseline"));
 }
 
@@ -100,7 +109,10 @@ fn ablations_run() {
 
 #[test]
 fn future_work_binaries_run() {
-    let out = run(env!("CARGO_BIN_EXE_future_register_tiling"), &["--sizes", "16"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_future_register_tiling"),
+        &["--sizes", "16"],
+    );
     assert!(out.contains("reg-unrolled"));
     let out = run(env!("CARGO_BIN_EXE_future_mpi_cluster"), &[]);
     assert!(out.contains("speedup"));

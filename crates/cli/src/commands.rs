@@ -10,22 +10,25 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 /// Usage text shown on errors and by `help`.
-pub const USAGE: &str = "usage:
+pub(crate) const USAGE: &str = "usage:
   bpmax-cli fold <seq> [--min-loop K]
   bpmax-cli interact <seq1> <seq2> [--alg base|permuted|coarse|fine|hybrid|hybrid-tiled]
                      [--min-loop K]
   bpmax-cli scan <query> <target> [--window W] [--top K]
   bpmax-cli info [M] [N]
-  bpmax-cli verify [M N]
+  bpmax-cli verify [M N] [--static]
   bpmax-cli help
+
+verify checks the paper's schedule tables against the BPMax dependence
+system: exhaustively at sizes M x N (any size; large sizes warn about
+cost), or symbolically for ALL sizes at once with --static.
 
 <seq> arguments are RNA strings (ACGU/T) or paths to FASTA files.";
 
 /// Parse a sequence argument: a FASTA path (first record) or a literal.
 fn load_seq(arg: &str) -> Result<RnaSeq, String> {
     if Path::new(arg).is_file() {
-        let records =
-            rna::fasta::read_file(arg).map_err(|e| format!("reading {arg}: {e}"))?;
+        let records = rna::fasta::read_file(arg).map_err(|e| format!("reading {arg}: {e}"))?;
         records
             .into_iter()
             .next()
@@ -58,13 +61,15 @@ fn parse_alg(name: &str) -> Result<Algorithm, String> {
         "coarse" => Algorithm::CoarseGrain,
         "fine" => Algorithm::FineGrain,
         "hybrid" => Algorithm::Hybrid,
-        "hybrid-tiled" | "tiled" => Algorithm::HybridTiled { tile: Tile::default() },
+        "hybrid-tiled" | "tiled" => Algorithm::HybridTiled {
+            tile: Tile::default(),
+        },
         other => return Err(format!("unknown algorithm {other:?}")),
     })
 }
 
 /// Entry point: dispatch on the first argument.
-pub fn dispatch(args: &[String]) -> Result<String, String> {
+pub(crate) fn dispatch(args: &[String]) -> Result<String, String> {
     let mut args = args.to_vec();
     if args.is_empty() {
         return Err("no command given".to_string());
@@ -108,7 +113,9 @@ fn cmd_interact(mut args: Vec<String>) -> Result<String, String> {
     let model = model_with_min_loop(&mut args)?;
     let alg = match take_opt(&mut args, "--alg")? {
         Some(name) => parse_alg(&name)?,
-        None => Algorithm::HybridTiled { tile: Tile::default() },
+        None => Algorithm::HybridTiled {
+            tile: Tile::default(),
+        },
     };
     let [a1, a2] = args.as_slice() else {
         return Err("interact takes exactly two sequences".to_string());
@@ -220,11 +227,70 @@ fn cmd_info(args: Vec<String>) -> Result<String, String> {
     Ok(out.trim_end().to_string())
 }
 
-/// Verify the paper's schedule tables against the BPMax dependence system
-/// at small sizes — AlphaZ's missing safety net, as a CLI command.
+/// Verify the paper's schedule tables against the `BPMax` dependence system:
+/// exhaustively at one size, or symbolically for all sizes with
+/// `--static` — `AlphaZ`'s missing safety net, as a CLI command.
 fn cmd_verify(args: Vec<String>) -> Result<String, String> {
     use bpmax::schedules;
     use polyhedral::affine::env;
+    let mut args = args;
+    let static_mode = if let Some(pos) = args.iter().position(|a| a == "--static") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let sets = [
+        ("base (original order)", schedules::base_schedule()),
+        ("fine-grain (Table II)", schedules::fine_grain()),
+        ("coarse-grain (Table III)", schedules::coarse_grain()),
+        ("hybrid (Table IV)", schedules::hybrid()),
+        ("hybrid+tiled (Table V)", schedules::hybrid_tiled(2, 2)),
+    ];
+    if static_mode {
+        if !args.is_empty() {
+            return Err("--static takes no sizes: it certifies all M, N at once".to_string());
+        }
+        let mut out = String::new();
+        let mut all_ok = true;
+        for (name, sys) in &sets {
+            let report = sys.verify_static();
+            let verdict = if report.is_legal() {
+                "LEGAL (all sizes)".to_string()
+            } else if report.violations().next().is_some() {
+                all_ok = false;
+                "ILLEGAL".to_string()
+            } else {
+                all_ok = false;
+                "UNDECIDED".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "{name:<28} {:>4} cases  {verdict}",
+                report.cases_checked()
+            );
+            for w in report.violations() {
+                let _ = writeln!(out, "    {w}");
+            }
+            for d in report.unknowns() {
+                let _ = writeln!(out, "    undecided: {}", d.dep);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "
+{}",
+            if all_ok {
+                "all schedules certified legal for every M, N"
+            } else {
+                "NOT CERTIFIED"
+            }
+        );
+        if !all_ok {
+            return Err(out);
+        }
+        return Ok(out.trim_end().to_string());
+    }
     let m: i64 = args
         .first()
         .map(|v| v.parse().map_err(|_| "bad M".to_string()))
@@ -235,18 +301,19 @@ fn cmd_verify(args: Vec<String>) -> Result<String, String> {
         .map(|v| v.parse().map_err(|_| "bad N".to_string()))
         .transpose()?
         .unwrap_or(4);
-    if !(1..=6).contains(&m) || !(1..=6).contains(&n) {
-        return Err("verification sizes must be in 1..=6 (exhaustive check)".to_string());
+    if m < 1 || n < 1 {
+        return Err("verification sizes must be >= 1".to_string());
     }
-    let sets = [
-        ("base (original order)", schedules::base_schedule()),
-        ("fine-grain (Table II)", schedules::fine_grain()),
-        ("coarse-grain (Table III)", schedules::coarse_grain()),
-        ("hybrid (Table IV)", schedules::hybrid()),
-        ("hybrid+tiled (Table V)", schedules::hybrid_tiled(2, 2)),
-    ];
     let params = env(&[("M", m), ("N", n)]);
     let mut out = String::new();
+    if m.max(n) > 6 {
+        let _ = writeln!(
+            out,
+            "note: exhaustive checking enumerates ~O((M+N)^6) dependence \
+             instances; sizes above 6 may take a while (use --static for a \
+             symbolic all-sizes certificate)"
+        );
+    }
     let mut all_ok = true;
     for (name, sys) in &sets {
         let instances = sys.dependence_instances(&params, m.max(n));
@@ -266,7 +333,11 @@ fn cmd_verify(args: Vec<String>) -> Result<String, String> {
         out,
         "
 {} at M={m}, N={n}",
-        if all_ok { "all schedules legal" } else { "VIOLATIONS FOUND" }
+        if all_ok {
+            "all schedules legal"
+        } else {
+            "VIOLATIONS FOUND"
+        }
     );
     if !all_ok {
         return Err(out);
@@ -279,7 +350,7 @@ mod tests {
     use super::*;
 
     fn run(argv: &[&str]) -> Result<String, String> {
-        dispatch(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        dispatch(&argv.iter().map(ToString::to_string).collect::<Vec<_>>())
     }
 
     #[test]
@@ -304,7 +375,14 @@ mod tests {
 
     #[test]
     fn interact_algorithm_selection() {
-        for alg in ["base", "permuted", "coarse", "fine", "hybrid", "hybrid-tiled"] {
+        for alg in [
+            "base",
+            "permuted",
+            "coarse",
+            "fine",
+            "hybrid",
+            "hybrid-tiled",
+        ] {
             let out = run(&["interact", "GGGAAACCC", "UUU", "--alg", alg]).unwrap();
             assert!(out.contains("interaction score: 15"), "{alg}: {out}");
         }
@@ -348,7 +426,22 @@ mod tests {
         let out = run(&["verify", "3", "4"]).unwrap();
         assert!(out.contains("all schedules legal"));
         assert_eq!(out.matches("LEGAL").count(), 5); // one per schedule set
-        assert!(run(&["verify", "9", "9"]).is_err());
+        assert!(run(&["verify", "0", "4"]).is_err());
+        assert!(run(&["verify", "3", "4", "--static"]).is_err()); // sizes + --static
+    }
+
+    #[test]
+    fn verify_large_sizes_warn_but_run() {
+        let out = run(&["verify", "7", "2"]).unwrap();
+        assert!(out.contains("may take a while"), "{out}");
+        assert!(out.contains("all schedules legal"), "{out}");
+    }
+
+    #[test]
+    fn verify_static_certifies_all_sizes() {
+        let out = run(&["verify", "--static"]).unwrap();
+        assert!(out.contains("certified legal for every M, N"), "{out}");
+        assert_eq!(out.matches("LEGAL (all sizes)").count(), 5, "{out}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
-//! The original BPMax program: diagonal-by-diagonal, reduction innermost.
+//! The original `BPMax` program: diagonal-by-diagonal, reduction innermost.
 //!
-//! This is the speedup reference of the paper ("We use the original BPMax
-//! program as the reference since no better CPU-version of the BPMax
+//! This is the speedup reference of the paper ("We use the original `BPMax`
+//! program as the reference since no better CPU-version of the `BPMax`
 //! program is available"). The schedule is
 //! `(i1, j1, i2, j2) ↦ (j1−i1, j2−i2, i1, i2)` with every reduction
 //! evaluated per cell, `k1`/`k2` innermost:
@@ -121,8 +121,7 @@ mod tests {
                 for i2 in 0..s2.len() {
                     for j2 in i2..s2.len() {
                         let got = f.get(i1, j1, i2, j2);
-                        let want =
-                            spec.f(i1 as isize, j1 as isize, i2 as isize, j2 as isize);
+                        let want = spec.f(i1 as isize, j1 as isize, i2 as isize, j2 as isize);
                         assert_eq!(got, want, "{a}/{b} F[{i1},{j1},{i2},{j2}]");
                     }
                 }
@@ -149,11 +148,7 @@ mod tests {
             let ctx = Ctx::new(s1.clone(), s2.clone(), model.clone());
             let f = solve_baseline(&ctx, Layout::Packed);
             let mut spec = SpecEval::new(&s1, &s2, &model);
-            assert_eq!(
-                f.final_score().unwrap(),
-                spec.top(),
-                "{s1} / {s2}"
-            );
+            assert_eq!(f.final_score().unwrap(), spec.top(), "{s1} / {s2}");
         }
     }
 

@@ -1,4 +1,4 @@
-//! The BPMax program versions (Phases I–III) and the public solve API.
+//! The `BPMax` program versions (Phases I–III) and the public solve API.
 //!
 //! All versions compute bit-identical F-tables (property-tested against
 //! [`crate::spec`]); they differ in iteration order, parallelization and
@@ -28,7 +28,7 @@ use crate::kernels::{
 use rayon::prelude::*;
 use rna::{JointStructure, RnaSeq, ScoringModel};
 
-/// Which BPMax program version to run.
+/// Which `BPMax` program version to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Algorithm {
     /// Original diagonal-by-diagonal program (the speedup reference).
@@ -59,7 +59,9 @@ impl Algorithm {
             Algorithm::CoarseGrain,
             Algorithm::FineGrain,
             Algorithm::Hybrid,
-            Algorithm::HybridTiled { tile: Tile::default() },
+            Algorithm::HybridTiled {
+                tile: Tile::default(),
+            },
         ]
     }
 
@@ -76,7 +78,7 @@ impl Algorithm {
     }
 }
 
-/// A BPMax problem instance: two strands and a scoring model.
+/// A `BPMax` problem instance: two strands and a scoring model.
 pub struct BpMaxProblem {
     ctx: Ctx,
     layout: Layout,
@@ -130,7 +132,7 @@ impl BpMaxProblem {
     }
 
     /// Solve on a dedicated rayon pool of `threads` workers — the knob the
-    /// paper's thread sweeps turn (OMP_NUM_THREADS). The global pool is
+    /// paper's thread sweeps turn (`OMP_NUM_THREADS`). The global pool is
     /// untouched; nested calls inside the pool use its size.
     pub fn solve_with_threads(&self, algorithm: Algorithm, threads: usize) -> Solution<'_> {
         let pool = rayon::ThreadPoolBuilder::new()
@@ -213,7 +215,7 @@ impl BpMaxProblem {
                     let mut taken: Vec<(usize, Vec<f32>)> = (0..m - d1)
                         .map(|i1| (i1, f.take_block(i1, i1 + d1)))
                         .collect();
-                    for (i1, acc) in taken.iter_mut() {
+                    for (i1, acc) in &mut taken {
                         accumulate_r034_parallel(ctx, &f, *i1, *i1 + d1, acc, order);
                     }
                     taken.par_iter_mut().for_each(|(i1, acc)| {
@@ -241,11 +243,11 @@ enum WaveMode {
 }
 
 /// The pair-1 source block `(i1+1, j1−1)`, when it exists.
-fn prev_block<'f>(f: &'f FTable, i1: usize, j1: usize) -> Option<&'f [f32]> {
+fn prev_block(f: &FTable, i1: usize, j1: usize) -> Option<&[f32]> {
     (j1 >= i1 + 2).then(|| f.block(i1 + 1, j1 - 1))
 }
 
-/// A solved BPMax instance.
+/// A solved `BPMax` instance.
 pub struct Solution<'p> {
     problem: &'p BpMaxProblem,
     f: FTable,
@@ -325,11 +327,7 @@ mod tests {
             let want = spec_score(&s1, &s2, &model);
             let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
             for alg in Algorithm::all() {
-                assert_eq!(
-                    p.solve(alg).score(),
-                    want,
-                    "{alg:?} on {s1} / {s2}"
-                );
+                assert_eq!(p.solve(alg).score(), want, "{alg:?} on {s1} / {s2}");
             }
         }
     }
@@ -341,12 +339,13 @@ mod tests {
         let s2: RnaSeq = "CAUGG".parse().unwrap();
         let want = spec_score(&s1, &s2, &model);
         for layout in [Layout::Packed, Layout::Identity, Layout::Shifted] {
-            let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone())
-                .with_layout(layout);
+            let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone()).with_layout(layout);
             for alg in [
                 Algorithm::Permuted,
                 Algorithm::Hybrid,
-                Algorithm::HybridTiled { tile: Tile::cubic(2) },
+                Algorithm::HybridTiled {
+                    tile: Tile::cubic(2),
+                },
             ] {
                 assert_eq!(p.solve(alg).score(), want, "{layout:?} {alg:?}");
             }
@@ -376,7 +375,11 @@ mod tests {
             Tile::cubic(3),
             Tile::small(),
             Tile::default(),
-            Tile { i2: 2, k2: 5, j2: 3 },
+            Tile {
+                i2: 2,
+                k2: 5,
+                j2: 3,
+            },
         ] {
             assert_eq!(
                 p.solve(Algorithm::HybridTiled { tile }).score(),

@@ -1,4 +1,4 @@
-//! The 4-D BPMax table: a triangle of triangles.
+//! The 4-D `BPMax` table: a triangle of triangles.
 //!
 //! `F[i1][j1][i2][j2]` is defined for `0 ≤ i1 ≤ j1 < M`, `0 ≤ i2 ≤ j2 < N`.
 //! Storage is one *inner-triangle block* per outer cell `(i1, j1)`; the
@@ -28,7 +28,7 @@ pub use tropical::triangular::Layout;
 /// Empty-cell initialiser: max-plus additive identity.
 const NEG_INF: f32 = f32::NEG_INFINITY;
 
-/// The packed 4-D BPMax table.
+/// The packed 4-D `BPMax` table.
 #[derive(Clone, Debug)]
 pub struct FTable {
     m: usize,
@@ -77,7 +77,11 @@ impl FTable {
     /// Outer index of cell `(i1, j1)` (packed row-major triangle).
     #[inline(always)]
     pub fn outer(&self, i1: usize, j1: usize) -> usize {
-        debug_assert!(i1 <= j1 && j1 < self.m, "outer index ({i1},{j1}) m={}", self.m);
+        debug_assert!(
+            i1 <= j1 && j1 < self.m,
+            "outer index ({i1},{j1}) m={}",
+            self.m
+        );
         i1 * (2 * self.m - i1 + 1) / 2 + (j1 - i1)
     }
 

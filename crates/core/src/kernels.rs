@@ -1,7 +1,7 @@
 //! Per-triangle compute kernels — the materialization of the paper's
 //! schedules.
 //!
-//! Every optimized BPMax version factors into two phases per outer cell
+//! Every optimized `BPMax` version factors into two phases per outer cell
 //! `(i1, j1)` (one *inner triangle* of the F-table):
 //!
 //! **Phase A — accumulate `R0`, `R3`, `R4`** (`accumulate_r034_*`):
@@ -28,9 +28,9 @@
 //! interleave that keeps `R1`/`R2` vectorizable despite their reduction.
 
 use crate::ftable::FTable;
+use rayon::prelude::*;
 use rna::nussinov::{Fold, Nussinov};
 use rna::{RnaSeq, ScoringModel};
-use rayon::prelude::*;
 use tropical::scalar::mp_axpy;
 
 /// Shared per-problem context: sequences, model, `S⁽¹⁾`/`S⁽²⁾` tables and
@@ -180,7 +180,11 @@ impl Tile {
 
     /// A cubic tile `t × t × t` (shown to perform poorly — Fig 18).
     pub fn cubic(t: usize) -> Self {
-        Tile { i2: t, k2: t, j2: t }
+        Tile {
+            i2: t,
+            k2: t,
+            j2: t,
+        }
     }
 }
 
@@ -188,11 +192,32 @@ impl Tile {
 // R0: one matrix instance  acc ⊕= A ⊗ B  over triangles
 // ---------------------------------------------------------------------
 
+/// Debug-build check that every block slice is as long as the layout's
+/// storage for an `n × n` triangle — the hot loops below index blocks
+/// through `FTable::inner`/`row_of` without per-access bounds reasoning,
+/// so a short slice would be a silent out-of-bounds under `unsafe`-free
+/// indexing only because Rust panics; this names the broken precondition
+/// instead.
+#[inline(always)]
+fn debug_assert_block_shapes(ft: &FTable, blocks: &[&[f32]]) {
+    if cfg!(debug_assertions) {
+        let need = ft.layout().storage_len(ft.n());
+        for (idx, blk) in blocks.iter().enumerate() {
+            debug_assert!(
+                blk.len() >= need,
+                "block {idx} has {} elements, layout needs {need}",
+                blk.len()
+            );
+        }
+    }
+}
+
 /// `R0` matrix instance, **naive** order: `(i2, j2, k2)` with the reduction
 /// innermost — a dot product per cell, strided reads of `B`, no
-/// vectorization. This is the loop order the original BPMax uses.
+/// vectorization. This is the loop order the original `BPMax` uses.
 pub fn r0_instance_naive(ft: &FTable, a: &[f32], b: &[f32], acc: &mut [f32]) {
     let n = ft.n();
+    debug_assert_block_shapes(ft, &[a, b, acc]);
     for i2 in 0..n {
         let arow = ft.row_of(a, i2);
         let crow = ft.row_of_mut(acc, i2);
@@ -215,6 +240,7 @@ pub fn r0_instance_naive(ft: &FTable, a: &[f32], b: &[f32], acc: &mut [f32]) {
 /// auto-vectorization.
 pub fn r0_instance_permuted(ft: &FTable, a: &[f32], b: &[f32], acc: &mut [f32]) {
     let n = ft.n();
+    debug_assert_block_shapes(ft, &[a, b, acc]);
     for i2 in 0..n {
         let arow = ft.row_of(a, i2);
         let crow = ft.row_of_mut(acc, i2);
@@ -235,6 +261,7 @@ pub fn r0_instance_permuted(ft: &FTable, a: &[f32], b: &[f32], acc: &mut [f32]) 
 /// steps.
 pub fn r0_instance_tiled(ft: &FTable, a: &[f32], b: &[f32], acc: &mut [f32], t: Tile) {
     let n = ft.n();
+    debug_assert_block_shapes(ft, &[a, b, acc]);
     if n < 2 {
         return;
     }
@@ -256,6 +283,10 @@ fn r0_row_band_tiled(
     t: Tile,
 ) {
     let n = ft.n();
+    debug_assert!(
+        i2lo <= i2hi && i2hi <= n,
+        "row band [{i2lo}, {i2hi}) outside triangle of {n} rows"
+    );
     for (k2lo, k2hi) in polyhedral::tiling::tile_ranges(i2lo, n - 1, t.k2.max(1)) {
         for (j2lo, j2hi) in polyhedral::tiling::tile_ranges(k2lo + 1, n, t.j2.max(1)) {
             for i2 in i2lo..i2hi {
@@ -296,6 +327,7 @@ fn r0_row_band_tiled(
 /// the `< 4` remainder and the ragged triangle heads.
 pub fn r0_instance_reg(ft: &FTable, a: &[f32], b: &[f32], acc: &mut [f32]) {
     let n = ft.n();
+    debug_assert_block_shapes(ft, &[a, b, acc]);
     if n < 2 {
         return;
     }
@@ -311,6 +343,12 @@ pub fn r0_instance_reg(ft: &FTable, a: &[f32], b: &[f32], acc: &mut [f32]) {
 /// and the fine-grain parallel drivers).
 pub(crate) fn r0_row_reg(ft: &FTable, arow: &[f32], b: &[f32], crow: &mut [f32], i2: usize) {
     let n = ft.n();
+    debug_assert!(i2 < n, "row {i2} outside triangle of {n} rows");
+    debug_assert!(
+        arow.len() >= n - i2 && crow.len() >= n - i2,
+        "row slices shorter than the {} remaining columns of row {i2}",
+        n - i2
+    );
     {
         let mut k2 = i2;
         // Unrolled body: four consecutive k2 values share one pass over
@@ -408,6 +446,12 @@ pub fn accumulate_r034_serial(
     acc: &mut [f32],
     order: R0Order,
 ) {
+    debug_assert!(
+        i1 <= j1 && j1 < ctx.m(),
+        "outer cell ({i1}, {j1}) outside the {0}×{0} upper triangle",
+        ctx.m()
+    );
+    debug_assert_block_shapes(ft, &[acc]);
     for k1 in i1..j1 {
         let a = ft.block(i1, k1);
         let b = ft.block(k1 + 1, j1);
@@ -435,6 +479,12 @@ pub fn accumulate_r034_parallel(
     order: R0Order,
 ) {
     let n = ft.n();
+    debug_assert!(
+        i1 <= j1 && j1 < ctx.m(),
+        "outer cell ({i1}, {j1}) outside the {0}×{0} upper triangle",
+        ctx.m()
+    );
+    debug_assert_block_shapes(ft, &[acc]);
     if n == 0 {
         return;
     }
@@ -454,72 +504,77 @@ pub fn accumulate_r034_parallel(
             }
             bands.last_mut().unwrap().push(row);
         }
-        bands.into_par_iter().enumerate().for_each(|(bi, mut rows)| {
-            let i2lo = bi * band;
-            for (off, crow) in rows.iter_mut().enumerate() {
-                let i2 = i2lo + off;
-                let arow = ft.row_of(a, i2);
-                match order {
-                    R0Order::Naive => {
-                        for j2 in i2 + 1..n {
-                            let mut best = crow[j2 - i2];
-                            for k2 in i2..j2 {
-                                best = best.max(arow[k2 - i2] + b[ft.inner(k2 + 1, j2)]);
+        bands
+            .into_par_iter()
+            .enumerate()
+            .for_each(|(bi, mut rows)| {
+                let i2lo = bi * band;
+                for (off, crow) in rows.iter_mut().enumerate() {
+                    let i2 = i2lo + off;
+                    let arow = ft.row_of(a, i2);
+                    match order {
+                        R0Order::Naive => {
+                            for j2 in i2 + 1..n {
+                                let mut best = crow[j2 - i2];
+                                for k2 in i2..j2 {
+                                    best = best.max(arow[k2 - i2] + b[ft.inner(k2 + 1, j2)]);
+                                }
+                                crow[j2 - i2] = best;
                             }
-                            crow[j2 - i2] = best;
                         }
-                    }
-                    R0Order::Permuted => {
-                        for k2 in i2..n.saturating_sub(1) {
-                            let av = arow[k2 - i2];
-                            if av == f32::NEG_INFINITY {
-                                continue;
+                        R0Order::Permuted => {
+                            for k2 in i2..n.saturating_sub(1) {
+                                let av = arow[k2 - i2];
+                                if av == f32::NEG_INFINITY {
+                                    continue;
+                                }
+                                mp_axpy(av, ft.row_of(b, k2 + 1), &mut crow[k2 + 1 - i2..]);
                             }
-                            mp_axpy(av, ft.row_of(b, k2 + 1), &mut crow[k2 + 1 - i2..]);
                         }
-                    }
-                    R0Order::RegTiled => {
-                        r0_row_reg(ft, arow, b, crow, i2);
-                    }
-                    R0Order::Tiled(t) => {
-                        // k2/j2 tile loops local to this row.
-                        for (k2lo, k2hi) in
-                            polyhedral::tiling::tile_ranges(i2, n.saturating_sub(1), t.k2.max(1))
-                        {
-                            for (j2lo, j2hi) in
-                                polyhedral::tiling::tile_ranges(k2lo + 1, n, t.j2.max(1))
-                            {
-                                for k2 in k2lo..k2hi {
-                                    let lo = j2lo.max(k2 + 1);
-                                    if lo >= j2hi {
-                                        continue;
+                        R0Order::RegTiled => {
+                            r0_row_reg(ft, arow, b, crow, i2);
+                        }
+                        R0Order::Tiled(t) => {
+                            // k2/j2 tile loops local to this row.
+                            for (k2lo, k2hi) in polyhedral::tiling::tile_ranges(
+                                i2,
+                                n.saturating_sub(1),
+                                t.k2.max(1),
+                            ) {
+                                for (j2lo, j2hi) in
+                                    polyhedral::tiling::tile_ranges(k2lo + 1, n, t.j2.max(1))
+                                {
+                                    for k2 in k2lo..k2hi {
+                                        let lo = j2lo.max(k2 + 1);
+                                        if lo >= j2hi {
+                                            continue;
+                                        }
+                                        let av = arow[k2 - i2];
+                                        if av == f32::NEG_INFINITY {
+                                            continue;
+                                        }
+                                        let brow = ft.row_of(b, k2 + 1);
+                                        mp_axpy(
+                                            av,
+                                            &brow[lo - (k2 + 1)..j2hi - (k2 + 1)],
+                                            &mut crow[lo - i2..j2hi - i2],
+                                        );
                                     }
-                                    let av = arow[k2 - i2];
-                                    if av == f32::NEG_INFINITY {
-                                        continue;
-                                    }
-                                    let brow = ft.row_of(b, k2 + 1);
-                                    mp_axpy(
-                                        av,
-                                        &brow[lo - (k2 + 1)..j2hi - (k2 + 1)],
-                                        &mut crow[lo - i2..j2hi - i2],
-                                    );
                                 }
                             }
                         }
                     }
+                    // R3 / R4 for this row.
+                    let s3 = ctx.s1v(i1, k1);
+                    if s3 != f32::NEG_INFINITY {
+                        mp_axpy(s3, ft.row_of(b, i2), crow);
+                    }
+                    let s4 = ctx.s1v(k1 + 1, j1);
+                    if s4 != f32::NEG_INFINITY {
+                        mp_axpy(s4, arow, crow);
+                    }
                 }
-                // R3 / R4 for this row.
-                let s3 = ctx.s1v(i1, k1);
-                if s3 != f32::NEG_INFINITY {
-                    mp_axpy(s3, ft.row_of(b, i2), crow);
-                }
-                let s4 = ctx.s1v(k1 + 1, j1);
-                if s4 != f32::NEG_INFINITY {
-                    mp_axpy(s4, arow, crow);
-                }
-            }
-        });
+            });
     }
 }
 
@@ -542,8 +597,25 @@ pub fn finalize_triangle(
     acc: &mut [f32],
 ) {
     let n = ft.n();
+    debug_assert!(
+        i1 <= j1 && j1 < ctx.m(),
+        "outer cell ({i1}, {j1}) outside the {0}×{0} upper triangle",
+        ctx.m()
+    );
+    debug_assert!(
+        prev.is_some() == (j1 >= i1 + 2),
+        "prev block must be supplied exactly when (i1+1, j1-1) is a real cell"
+    );
+    debug_assert_block_shapes(ft, &[acc]);
+    if let Some(p) = prev {
+        debug_assert_block_shapes(ft, &[p]);
+    }
     let s1ij = ctx.s1v(i1, j1);
-    let w1 = if j1 > i1 { ctx.w1(i1, j1) } else { ScoringModel::NO_PAIR };
+    let w1 = if j1 > i1 {
+        ctx.w1(i1, j1)
+    } else {
+        ScoringModel::NO_PAIR
+    };
     for i2 in (0..n).rev() {
         let rs_i2 = ft.inner_row_start(i2);
         for k2 in i2..n {
@@ -552,7 +624,11 @@ pub fn finalize_triangle(
             let mut val = acc[idx];
             val = val.max(s1ij + ctx.s2v(i2, k2));
             // pair i2–k2 (strand-2 closing)
-            let w2 = if k2 > i2 { ctx.w2(i2, k2) } else { ScoringModel::NO_PAIR };
+            let w2 = if k2 > i2 {
+                ctx.w2(i2, k2)
+            } else {
+                ScoringModel::NO_PAIR
+            };
             if w2 != ScoringModel::NO_PAIR {
                 let inner = if k2 >= i2 + 2 {
                     acc[ft.inner(i2 + 1, k2 - 1)] // row i2+1 already final
@@ -758,7 +834,14 @@ mod tests {
 
     #[test]
     fn tile_constructors() {
-        assert_eq!(Tile::cubic(8), Tile { i2: 8, k2: 8, j2: 8 });
+        assert_eq!(
+            Tile::cubic(8),
+            Tile {
+                i2: 8,
+                k2: 8,
+                j2: 8
+            }
+        );
         assert_eq!(Tile::default().j2, usize::MAX);
         assert_eq!(Tile::small().i2, 32);
     }

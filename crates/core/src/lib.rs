@@ -1,8 +1,8 @@
-//! BPMax — base-pair maximization for RNA-RNA interaction — with every
-//! optimization stage of Mondal & Rajopadhye, *"Accelerating the BPMax
+//! `BPMax` — base-pair maximization for RNA-RNA interaction — with every
+//! optimization stage of Mondal & Rajopadhye, *"Accelerating the `BPMax`
 //! Algorithm for RNA-RNA Interaction"* (IPPS 2021).
 //!
-//! BPMax takes two RNA strands and a weighted base-pair-counting model and
+//! `BPMax` takes two RNA strands and a weighted base-pair-counting model and
 //! computes, for every pair of subsequences `[i1..=j1] × [i2..=j2]`, the
 //! maximum total weight of a joint secondary structure (intramolecular
 //! pairs in each strand plus intermolecular pairs, no crossings or

@@ -1,7 +1,7 @@
 //! Generated loop nests per program version — the Table VI artifact.
 //!
-//! AlphaZ's last stage prints the scheduled program as C; the paper
-//! reports the generated LOC per BPMax version (140 for the base program,
+//! `AlphaZ`'s last stage prints the scheduled program as C; the paper
+//! reports the generated LOC per `BPMax` version (140 for the base program,
 //! ~150 for the double max-plus kernels, ~1200 for the full
 //! coarse/fine/hybrid versions, ~1400 with tiling) as evidence of how much
 //! mechanical code the tool owns.
@@ -10,7 +10,7 @@
 //! `polyhedral::codegen` IR. The nests are *executable* — tests run them
 //! and check the statement-instance counts against closed-form work
 //! formulas — and `render` + `stats` turn them into the LOC table. Our
-//! absolute LOC differ from AlphaZ's (different pretty-printer), but the
+//! absolute LOC differ from `AlphaZ`'s (different pretty-printer), but the
 //! ordering and the growth from baseline → optimized → tiled reproduce.
 
 use machine::traffic;
@@ -117,7 +117,14 @@ pub fn dmp_nest(vectorized: bool, parallel_rows: bool) -> LoopNest {
                 Bound::expr(v("N")),
                 vec![Node::stmt(
                     "S_R0",
-                    vec![v("i1"), v("i1") + v("d1"), v("i2"), v("j2"), v("k1"), v("k2")],
+                    vec![
+                        v("i1"),
+                        v("i1") + v("d1"),
+                        v("i2"),
+                        v("j2"),
+                        v("k1"),
+                        v("k2"),
+                    ],
                 )],
             )],
         )
@@ -133,7 +140,14 @@ pub fn dmp_nest(vectorized: bool, parallel_rows: bool) -> LoopNest {
                 Bound::expr(v("j2")),
                 vec![Node::stmt(
                     "S_R0",
-                    vec![v("i1"), v("i1") + v("d1"), v("i2"), v("j2"), v("k1"), v("k2")],
+                    vec![
+                        v("i1"),
+                        v("i1") + v("d1"),
+                        v("i2"),
+                        v("j2"),
+                        v("k1"),
+                        v("k2"),
+                    ],
                 )],
             )],
         )
@@ -180,7 +194,7 @@ pub enum NestMode {
     Hybrid,
 }
 
-/// The full optimized BPMax nest (Phases A + B per diagonal).
+/// The full optimized `BPMax` nest (Phases A + B per diagonal).
 pub fn optimized_nest(mode: NestMode) -> LoopNest {
     let j1 = || v("i1") + v("d1");
     // Phase A body for one triangle: k1 loop, rows i2, streaming k2/j2.
@@ -497,7 +511,11 @@ mod tests {
         let loc: Vec<usize> = t.iter().map(|s| s.loc).collect();
         // base < optimized; optimized < tiled — the Table VI growth.
         let base = loc[0];
-        let hybrid = t.iter().find(|s| s.name.contains("hybrid") && !s.name.contains("tiled")).unwrap().loc;
+        let hybrid = t
+            .iter()
+            .find(|s| s.name.contains("hybrid") && !s.name.contains("tiled"))
+            .unwrap()
+            .loc;
         let tiled = t.iter().find(|s| s.name.contains("tiled")).unwrap().loc;
         assert!(base < hybrid * 3, "baseline should be of comparable order");
         assert!(hybrid <= tiled, "tiling adds code: {hybrid} vs {tiled}");

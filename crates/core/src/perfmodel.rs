@@ -19,7 +19,7 @@
 //! * **Fine-grain/hybrid R0** shares the same two triangles across
 //!   threads; it throttles only when a *single* working set exceeds LLC.
 //! * **R1/R2 rows** touch Θ(N²) bytes; beyond-LLC sizes pay the DRAM
-//!   ratio, which is what caps the full BPMax at ~60% below the pure
+//!   ratio, which is what caps the full `BPMax` at ~60% below the pure
 //!   kernel (§V.C) and what hyper-threading amplifies.
 
 use crate::engine::{Algorithm, BpMaxProblem};
@@ -89,7 +89,9 @@ impl CostModel {
         let _ = p.compute(Algorithm::Permuted);
         let t_base = time(Algorithm::Baseline);
         let t_perm = time(Algorithm::Permuted);
-        let t_tiled = time(Algorithm::HybridTiled { tile: Tile::small() });
+        let t_tiled = time(Algorithm::HybridTiled {
+            tile: Tile::small(),
+        });
         let all = traffic::bpmax_flops(size, size) as f64;
         // Attribute whole-program time to R0 FLOPs (R0 dominates at this
         // aspect ratio); R1/R2 throughput taken as half the permuted rate.
@@ -100,7 +102,6 @@ impl CostModel {
             spf_r0_tiled: (t_tiled / all).max(1e-12).min(t_perm / all),
             spf_r12: 2.0 * (t_perm / all).max(1e-12),
             spf_cell: nominal.spf_cell,
-            ..nominal
         }
         .validated(flops)
     }
@@ -219,10 +220,9 @@ pub fn predict_dmp_seconds(
                 let active = threads.min(triangles).max(1);
                 let spf = throttle(cm.spf_r0_permuted, active, ws, spec);
                 let costs = vec![triangle_r0_flops(d1, n) * spf; triangles];
-                total +=
-                    simulate_parallel_for(&costs, threads, OmpPolicy::Dynamic { chunk: 1 })
-                        .makespan
-                        / speed;
+                total += simulate_parallel_for(&costs, threads, OmpPolicy::Dynamic { chunk: 1 })
+                    .makespan
+                    / speed;
             }
             DmpVariant::FineDiagonal | DmpVariant::FineBottomUp => {
                 // Rows of one triangle shared; one working set total.
@@ -272,7 +272,7 @@ pub fn predict_dmp_gflops(
     flops / predict_dmp_seconds(v, m, n, threads, cm, spec, ht) / 1e9
 }
 
-/// Predict seconds for the **full BPMax program** (Figs 15/16).
+/// Predict seconds for the **full `BPMax` program** (Figs 15/16).
 pub fn predict_bpmax_seconds(
     alg: Algorithm,
     m: usize,
@@ -289,8 +289,7 @@ pub fn predict_bpmax_seconds(
     let mut total = 0.0;
     for d1 in 0..m {
         let triangles = m - d1;
-        let fin_flops =
-            triangle_r12_flops(n) + cells_per_triangle * (cm.spf_cell / cm.spf_r12);
+        let fin_flops = triangle_r12_flops(n) + cells_per_triangle * (cm.spf_cell / cm.spf_r12);
         match alg {
             Algorithm::Baseline => {
                 let spf = throttle(cm.spf_r0_naive, 1, ws_r0, spec);
@@ -307,12 +306,10 @@ pub fn predict_bpmax_seconds(
                 let active = threads.min(triangles).max(1);
                 let spf = throttle(cm.spf_r0_permuted, active, ws_r0, spec);
                 let spf12 = throttle(cm.spf_r12, active, ws_r12, spec);
-                let costs =
-                    vec![triangle_r0_flops(d1, n) * spf + fin_flops * spf12; triangles];
-                total +=
-                    simulate_parallel_for(&costs, threads, OmpPolicy::Dynamic { chunk: 1 })
-                        .makespan
-                        / speed;
+                let costs = vec![triangle_r0_flops(d1, n) * spf + fin_flops * spf12; triangles];
+                total += simulate_parallel_for(&costs, threads, OmpPolicy::Dynamic { chunk: 1 })
+                    .makespan
+                    / speed;
             }
             Algorithm::FineGrain => {
                 let spf = throttle(cm.spf_r0_permuted, 1, ws_r0, spec);
@@ -341,10 +338,9 @@ pub fn predict_bpmax_seconds(
                 let active = threads.min(triangles).max(1);
                 let spf12 = throttle(cm.spf_r12, active, ws_r12, spec);
                 let costs = vec![fin_flops * spf12; triangles];
-                total +=
-                    simulate_parallel_for(&costs, threads, OmpPolicy::Dynamic { chunk: 1 })
-                        .makespan
-                        / speed;
+                total += simulate_parallel_for(&costs, threads, OmpPolicy::Dynamic { chunk: 1 })
+                    .makespan
+                    / speed;
             }
         }
     }
@@ -390,7 +386,10 @@ mod tests {
         let fine = g(DmpVariant::FineBottomUp);
         let tiled = g(DmpVariant::Tiled);
         assert!(base < coarse, "base {base} < coarse {coarse}");
-        assert!(fine > coarse, "fine {fine} > coarse {coarse} (DRAM-bound coarse)");
+        assert!(
+            fine > coarse,
+            "fine {fine} > coarse {coarse} (DRAM-bound coarse)"
+        );
         assert!(tiled >= fine, "tiled {tiled} >= fine {fine}");
     }
 
@@ -404,7 +403,10 @@ mod tests {
         let big_ratio = predict_dmp_gflops(DmpVariant::Coarse, 16, 1400, 6, &cm, &spec, ht)
             / predict_dmp_gflops(DmpVariant::FineBottomUp, 16, 1400, 6, &cm, &spec, ht);
         assert!(big_ratio < small_ratio, "{big_ratio} < {small_ratio}");
-        assert!(big_ratio < 0.6, "coarse must collapse at scale: {big_ratio}");
+        assert!(
+            big_ratio < 0.6,
+            "coarse must collapse at scale: {big_ratio}"
+        );
     }
 
     #[test]
@@ -416,7 +418,9 @@ mod tests {
         let coarse = g(Algorithm::CoarseGrain);
         let fine = g(Algorithm::FineGrain);
         let hybrid = g(Algorithm::Hybrid);
-        let tiled = g(Algorithm::HybridTiled { tile: Tile::default() });
+        let tiled = g(Algorithm::HybridTiled {
+            tile: Tile::default(),
+        });
         assert!(base < fine);
         assert!(hybrid > fine, "hybrid {hybrid} > fine {fine}");
         assert!(hybrid > coarse, "hybrid {hybrid} > coarse {coarse}");
@@ -429,7 +433,9 @@ mod tests {
         let (m, n) = (64, 64);
         let base = predict_bpmax_seconds(Algorithm::Baseline, m, n, 1, &cm, &spec, ht);
         let tiled = predict_bpmax_seconds(
-            Algorithm::HybridTiled { tile: Tile::default() },
+            Algorithm::HybridTiled {
+                tile: Tile::default(),
+            },
             m,
             n,
             6,
@@ -448,7 +454,7 @@ mod tests {
         let s6 = predict_dmp_seconds(DmpVariant::Tiled, 32, 96, 6, &cm, &spec, ht);
         let s12 = predict_dmp_seconds(DmpVariant::Tiled, 32, 96, 12, &cm, &spec, ht);
         let gain = s6 / s12 - 1.0;
-        assert!(gain >= 0.0 && gain < 0.25, "HT gain {gain} (Fig 17: 3-5%)");
+        assert!((0.0..0.25).contains(&gain), "HT gain {gain} (Fig 17: 3-5%)");
     }
 
     #[test]

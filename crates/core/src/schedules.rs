@@ -1,7 +1,7 @@
 //! The paper's mapping directives — Tables I–V — encoded as first-class,
 //! machine-verified polyhedral schedules.
 //!
-//! This module builds the BPMax equation system once (variables `S1`, `S2`,
+//! This module builds the `BPMax` equation system once (variables `S1`, `S2`,
 //! `F`, and the five reduction bodies `R0`…`R4`, with all value and
 //! accumulation dependences) and then attaches each of the paper's schedule
 //! sets:
@@ -59,7 +59,7 @@ fn box_domain(indices: &[&str]) -> Domain {
         .lt(v("j2"), v("N"))
 }
 
-/// Build the BPMax equation system: variables, domains and dependences.
+/// Build the `BPMax` equation system: variables, domains and dependences.
 /// Schedules are attached separately by the functions below.
 pub fn bpmax_system() -> System {
     let mut sys = System::new(&["M", "N"]);
@@ -91,13 +91,17 @@ pub fn bpmax_system() -> System {
     for r in ["R1", "R2"] {
         sys.add_var(Var::new(
             r,
-            box_domain(&RK2_IDX).le(v("i2"), v("k2")).lt(v("k2"), v("j2")),
+            box_domain(&RK2_IDX)
+                .le(v("i2"), v("k2"))
+                .lt(v("k2"), v("j2")),
         ));
     }
     for r in ["R3", "R4"] {
         sys.add_var(Var::new(
             r,
-            box_domain(&RK1_IDX).le(v("i1"), v("k1")).lt(v("k1"), v("j1")),
+            box_domain(&RK1_IDX)
+                .le(v("i1"), v("k1"))
+                .lt(v("k1"), v("j1")),
         ));
     }
 
@@ -292,20 +296,32 @@ pub fn base_schedule() -> System {
     // S tables first (time dim 0 = -1 puts them before every F diagonal).
     sys.set_schedule(
         "S1",
-        sched(&["i1", "j1"], vec![c(-1), v("j1") - v("i1"), v("i1"), c(0), c(0), c(0)]),
+        sched(
+            &["i1", "j1"],
+            vec![c(-1), v("j1") - v("i1"), v("i1"), c(0), c(0), c(0)],
+        ),
     );
     sys.set_schedule(
         "S2",
-        sched(&["i2", "j2"], vec![c(-1), v("j2") - v("i2"), v("i2"), c(0), c(0), c(1)]),
+        sched(
+            &["i2", "j2"],
+            vec![c(-1), v("j2") - v("i2"), v("i2"), c(0), c(0), c(1)],
+        ),
     );
     // Reductions happen strictly inside their cell's time slot, before F.
     sys.set_schedule(
         "F",
-        sched(&F_IDX, vec![d1(), d2(), v("i1"), v("i2"), v("M") + v("N"), c(0)]),
+        sched(
+            &F_IDX,
+            vec![d1(), d2(), v("i1"), v("i2"), v("M") + v("N"), c(0)],
+        ),
     );
     sys.set_schedule(
         "R0",
-        sched(&R0_IDX, vec![d1(), d2(), v("i1"), v("i2"), v("k1"), v("k2")]),
+        sched(
+            &R0_IDX,
+            vec![d1(), d2(), v("i1"), v("i2"), v("k1"), v("k2")],
+        ),
     );
     sys.set_schedule(
         "R1",
@@ -335,14 +351,32 @@ pub fn fine_grain() -> System {
         "S1",
         sched(
             &["i1", "j1"],
-            vec![c(0), c(0), c(0), c(0), v("j1") - v("i1"), v("i1"), c(0), c(0)],
+            vec![
+                c(0),
+                c(0),
+                c(0),
+                c(0),
+                v("j1") - v("i1"),
+                v("i1"),
+                c(0),
+                c(0),
+            ],
         ),
     );
     sys.set_schedule(
         "S2",
         sched(
             &["i2", "j2"],
-            vec![c(0), c(0), c(0), c(0), v("j2") - v("i2"), v("i2"), c(0), c(1)],
+            vec![
+                c(0),
+                c(0),
+                c(0),
+                c(0),
+                v("j2") - v("i2"),
+                v("i2"),
+                c(0),
+                c(1),
+            ],
         ),
     );
     // F: (1, -i1, j1, j1, -i2, 0, j2, 0)
@@ -350,7 +384,16 @@ pub fn fine_grain() -> System {
         "F",
         sched(
             &F_IDX,
-            vec![c(1), -v("i1"), v("j1"), v("j1"), -v("i2"), c(0), v("j2"), c(0)],
+            vec![
+                c(1),
+                -v("i1"),
+                v("j1"),
+                v("j1"),
+                -v("i2"),
+                c(0),
+                v("j2"),
+                c(0),
+            ],
         ),
     );
     // R1/R2: (1, -i1, j1, j1, -i2, 0, k2, j2) — the R2 copy is offset in
@@ -359,7 +402,16 @@ pub fn fine_grain() -> System {
         "R1",
         sched(
             &RK2_IDX,
-            vec![c(1), -v("i1"), v("j1"), v("j1"), -v("i2"), c(0), v("k2"), v("j2")],
+            vec![
+                c(1),
+                -v("i1"),
+                v("j1"),
+                v("j1"),
+                -v("i2"),
+                c(0),
+                v("k2"),
+                v("j2"),
+            ],
         ),
     );
     sys.set_schedule(
@@ -383,7 +435,16 @@ pub fn fine_grain() -> System {
         "R0",
         sched(
             &R0_IDX,
-            vec![c(1), -v("i1"), v("j1"), v("k1"), c(-1), -v("i2"), v("k2"), v("j2")],
+            vec![
+                c(1),
+                -v("i1"),
+                v("j1"),
+                v("k1"),
+                c(-1),
+                -v("i2"),
+                v("k2"),
+                v("j2"),
+            ],
         ),
     );
     // R3/R4: (1, -i1, j1, k1, -1, -i2, i2, j2) — riding the same k1 steps.
@@ -391,7 +452,16 @@ pub fn fine_grain() -> System {
         "R3",
         sched(
             &RK1_IDX,
-            vec![c(1), -v("i1"), v("j1"), v("k1"), c(-1), -v("i2"), v("i2"), v("j2")],
+            vec![
+                c(1),
+                -v("i1"),
+                v("j1"),
+                v("k1"),
+                c(-1),
+                -v("i2"),
+                v("i2"),
+                v("j2"),
+            ],
         ),
     );
     sys.set_schedule(
@@ -512,14 +582,32 @@ pub fn hybrid() -> System {
         "S1",
         sched(
             &["i1", "j1"],
-            vec![c(0), c(0), c(0), v("j1") - v("i1"), v("i1"), c(0), c(0), c(0)],
+            vec![
+                c(0),
+                c(0),
+                c(0),
+                v("j1") - v("i1"),
+                v("i1"),
+                c(0),
+                c(0),
+                c(0),
+            ],
         ),
     );
     sys.set_schedule(
         "S2",
         sched(
             &["i2", "j2"],
-            vec![c(0), c(0), c(0), v("j2") - v("i2"), v("i2"), c(0), c(0), c(1)],
+            vec![
+                c(0),
+                c(0),
+                c(0),
+                v("j2") - v("i2"),
+                v("i2"),
+                c(0),
+                c(0),
+                c(1),
+            ],
         ),
     );
     // F: (1, j1-i1, M, 0, i1, -i2, j2, 0)
@@ -535,7 +623,16 @@ pub fn hybrid() -> System {
         "R1",
         sched(
             &RK2_IDX,
-            vec![c(1), d1(), v("M"), c(0), v("i1"), -v("i2"), v("k2"), v("j2")],
+            vec![
+                c(1),
+                d1(),
+                v("M"),
+                c(0),
+                v("i1"),
+                -v("i2"),
+                v("k2"),
+                v("j2"),
+            ],
         ),
     );
     sys.set_schedule(
@@ -559,7 +656,16 @@ pub fn hybrid() -> System {
         "R0",
         sched(
             &R0_IDX,
-            vec![c(1), d1(), v("i1"), v("k1"), v("i2"), v("k2"), v("j2"), c(0)],
+            vec![
+                c(1),
+                d1(),
+                v("i1"),
+                v("k1"),
+                v("i2"),
+                v("k2"),
+                v("j2"),
+                c(0),
+            ],
         ),
     );
     // R3/R4: (1, j1-i1, i1, k1, i2, i2, j2, tag)
@@ -567,14 +673,32 @@ pub fn hybrid() -> System {
         "R3",
         sched(
             &RK1_IDX,
-            vec![c(1), d1(), v("i1"), v("k1"), v("i2"), v("i2"), v("j2"), c(1)],
+            vec![
+                c(1),
+                d1(),
+                v("i1"),
+                v("k1"),
+                v("i2"),
+                v("i2"),
+                v("j2"),
+                c(1),
+            ],
         ),
     );
     sys.set_schedule(
         "R4",
         sched(
             &RK1_IDX,
-            vec![c(1), d1(), v("i1"), v("k1"), v("i2"), v("i2"), v("j2"), c(2)],
+            vec![
+                c(1),
+                d1(),
+                v("i1"),
+                v("k1"),
+                v("i2"),
+                v("i2"),
+                v("j2"),
+                c(2),
+            ],
         ),
     );
     sys.set_parallel(4);
@@ -601,7 +725,7 @@ pub fn hybrid_tiled(ti: i64, tk: i64) -> System {
         new_dims.push(dims[4].clone());
         new_dims.push(dims[5].clone());
         new_dims.extend(dims[4..].iter().cloned());
-        let inputs: Vec<&str> = s.inputs().iter().map(|x| x.as_str()).collect();
+        let inputs: Vec<&str> = s.inputs().iter().map(String::as_str).collect();
         Schedule::new(&inputs, new_dims)
     };
     // Rebuild on a fresh system so all schedules arrive at 10 dimensions.
@@ -628,7 +752,7 @@ pub struct DmpSchedule {
 }
 
 /// A reduced system containing only `F` and `R0` with the value and
-/// accumulation dependences — the "simplified BPMax" of Phase I
+/// accumulation dependences — the "simplified `BPMax`" of Phase I
 /// (Equation 4).
 pub fn dmp_system() -> System {
     let mut sys = System::new(&["M", "N"]);
@@ -743,14 +867,7 @@ pub fn dmp_schedules() -> Vec<DmpSchedule> {
             "e: (j1-i1, i1, k1 | j2-i2, i2, k2)",
             false,
             vec![d1(), v("i1"), big(), v("j2") - v("i2"), v("i2"), big()],
-            vec![
-                d1(),
-                v("i1"),
-                v("k1"),
-                v("j2") - v("i2"),
-                v("i2"),
-                v("k2"),
-            ],
+            vec![d1(), v("i1"), v("k1"), v("j2") - v("i2"), v("i2"), v("k2")],
         ),
     ]
 }
@@ -771,7 +888,7 @@ mod tests {
                 viol.is_empty(),
                 "{name} at M={m},N={n}:\n{}",
                 viol.iter()
-                    .map(|x| x.to_string())
+                    .map(ToString::to_string)
                     .collect::<Vec<_>>()
                     .join("\n")
             );
@@ -856,7 +973,16 @@ mod tests {
             "F",
             sched(
                 &F_IDX,
-                vec![c(1), -v("i1"), v("j1"), c(-1), -v("i2"), c(0), v("j2"), c(0)],
+                vec![
+                    c(1),
+                    -v("i1"),
+                    v("j1"),
+                    c(-1),
+                    -v("i2"),
+                    c(0),
+                    v("j2"),
+                    c(0),
+                ],
             ),
         );
         let viol = sys.verify(&env(&[("M", 4), ("N", 4)]), 4, 10);

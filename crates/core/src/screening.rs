@@ -4,7 +4,7 @@
 //! ("necessitating efficient computational tools") is screening candidate
 //! RNA-RNA interactions, not solving one pair. Two entry points:
 //!
-//! * [`score_matrix`] — all-vs-all interaction scores (full BPMax per
+//! * [`score_matrix`] — all-vs-all interaction scores (full `BPMax` per
 //!   pair), pairs distributed over the rayon pool. Coarse parallelism over
 //!   *problems* composes with the serial `Permuted` variant per problem —
 //!   at screening scale this is the right processor allocation (each pair
@@ -23,13 +23,9 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use rna::{RnaSeq, ScoringModel};
 
-/// All-vs-all interaction scores: `result[q][t]` = BPMax score of
+/// All-vs-all interaction scores: `result[q][t]` = `BPMax` score of
 /// `queries[q]` × `targets[t]`. Pairs run in parallel on the rayon pool.
-pub fn score_matrix(
-    queries: &[RnaSeq],
-    targets: &[RnaSeq],
-    model: &ScoringModel,
-) -> Vec<Vec<f32>> {
+pub fn score_matrix(queries: &[RnaSeq], targets: &[RnaSeq], model: &ScoringModel) -> Vec<Vec<f32>> {
     queries
         .par_iter()
         .map(|q| {
@@ -89,24 +85,23 @@ pub fn scan_significance(
     seed: u64,
 ) -> Vec<ScanHit> {
     assert!(shuffles >= 2, "need at least 2 shuffles for a variance");
-    let real = solve_windowed(&Ctx::new(query.clone(), target.clone(), model.clone()), w)
-        .window_scores();
+    let real =
+        solve_windowed(&Ctx::new(query.clone(), target.clone(), model.clone()), w).window_scores();
     // Null distribution per window, shuffles in parallel.
     let null_scores: Vec<Vec<f32>> = (0..shuffles)
         .into_par_iter()
         .map(|k| {
             let mut rng = StdRng::seed_from_u64(seed ^ (k as u64).wrapping_mul(0x9E37_79B9));
             let shuffled = shuffle_seq(&mut rng, query);
-            solve_windowed(&Ctx::new(shuffled, target.clone(), model.clone()), w)
-                .window_scores()
+            solve_windowed(&Ctx::new(shuffled, target.clone(), model.clone()), w).window_scores()
         })
         .collect();
     let mut hits: Vec<ScanHit> = (0..real.len())
         .map(|s| {
             let vals: Vec<f32> = null_scores.iter().map(|run| run[s]).collect();
             let mean = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                / (vals.len() - 1) as f32;
+            let var =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / (vals.len() - 1) as f32;
             ScanHit {
                 start: s,
                 score: real[s],
@@ -135,7 +130,7 @@ mod tests {
         assert_eq!(m[0][0], 9.0); // GGG x CCC duplex
         assert_eq!(m[1][1], 6.0); // AAA x UUU duplex
         assert_eq!(m[1][0], 0.0); // AAA x CCC: nothing pairs
-        // GGG x UUU: G-U wobble x3
+                                  // GGG x UUU: G-U wobble x3
         assert_eq!(m[0][1], 3.0);
     }
 
@@ -174,7 +169,11 @@ mod tests {
         // A query whose order matters: alternating GC/AU so shuffles
         // usually break the perfect duplex.
         let query: RnaSeq = "GACUGACUGACU".parse().unwrap();
-        let target = datasets::planted_site(&mut rng, &query, 80, 40);
+        // Plant the window that binds `query` in the engine's *parallel*
+        // inter-pair orientation: splicing the reverse complement of the
+        // reversed query leaves the elementwise complement of `query`,
+        // i.e. a fully representable duplex (see the spec conventions).
+        let target = datasets::planted_site(&mut rng, &query.reversed(), 80, 40);
         let model = ScoringModel::bpmax_default();
         let hits = scan_significance(&query, &target, &model, query.len(), 8, 7);
         assert_eq!(hits.len(), 80);

@@ -1,4 +1,4 @@
-//! The BPMax recurrence as a direct memoized recursion — the oracle.
+//! The `BPMax` recurrence as a direct memoized recursion — the oracle.
 //!
 //! This module transcribes Equations (1)–(3) of the paper with no regard
 //! for performance: top-down recursion, a hash-map memo, and the boundary
@@ -268,8 +268,8 @@ mod tests {
             let s1 = RnaSeq::random(&mut rng, 8);
             let s2 = RnaSeq::random(&mut rng, 7);
             let f = spec_score(&s1, &s2, &model);
-            let sum = Nussinov::fold(&s1, &model).best_score()
-                + Nussinov::fold(&s2, &model).best_score();
+            let sum =
+                Nussinov::fold(&s1, &model).best_score() + Nussinov::fold(&s2, &model).best_score();
             assert!(f >= sum, "{s1} / {s2}: {f} < {sum}");
         }
     }

@@ -177,9 +177,7 @@ impl Tracer<'_> {
                 }
             }
         }
-        unreachable!(
-            "traceback: no case reproduces F[{i1},{j1},{i2},{j2}] = {target}"
-        );
+        unreachable!("traceback: no case reproduces F[{i1},{j1},{i2},{j2}] = {target}");
     }
 }
 
@@ -231,12 +229,9 @@ mod tests {
             let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
             let sol = p.solve(Algorithm::Hybrid);
             let st = sol.traceback();
-            st.validate(9, 7).unwrap_or_else(|e| panic!("{s1}/{s2}: {e}"));
-            assert_eq!(
-                st.score(&s1, &s2, &model),
-                sol.score(),
-                "{s1} / {s2}"
-            );
+            st.validate(9, 7)
+                .unwrap_or_else(|e| panic!("{s1}/{s2}: {e}"));
+            assert_eq!(st.score(&s1, &s2, &model), sol.score(), "{s1} / {s2}");
         }
     }
 

@@ -1,7 +1,7 @@
-//! Windowed (banded) BPMax — the Glidemaster-style restriction.
+//! Windowed (banded) `BPMax` — the Glidemaster-style restriction.
 //!
 //! The paper's related-work section notes that the GPU library only
-//! handles "a windowed version of the BPMax" because the full `Θ(M²N²)`
+//! handles "a windowed version of the `BPMax`" because the full `Θ(M²N²)`
 //! table does not fit device memory. The same restriction is useful on
 //! CPUs for the classic scanning workload: a short regulator strand
 //! against every window of a long target (sRNA → mRNA target search).
@@ -39,8 +39,7 @@ impl WindowedTable {
         debug_assert!(j2 >= i2 && j2 - i2 < self.w && j2 < self.n);
         // start(i2) = Σ_{r<i2} min(w, n−r)
         let full_rows = self.n.saturating_sub(self.w - 1).min(i2);
-        let start = full_rows * self.w
-            + (full_rows..i2).map(|r| self.n - r).sum::<usize>();
+        let start = full_rows * self.w + (full_rows..i2).map(|r| self.n - r).sum::<usize>();
         start + (j2 - i2)
     }
 
@@ -109,7 +108,9 @@ pub fn solve_windowed(ctx: &Ctx, w: usize) -> WindowedTable {
         m,
         n,
         w,
-        blocks: (0..m * (m + 1) / 2).map(|_| vec![f32::NEG_INFINITY; band_len]).collect(),
+        blocks: (0..m * (m + 1) / 2)
+            .map(|_| vec![f32::NEG_INFINITY; band_len])
+            .collect(),
         band_len,
     };
     for d1 in 0..m {
@@ -194,7 +195,11 @@ mod tests {
     use rna::RnaSeq;
 
     fn ctx(a: &str, b: &str) -> Ctx {
-        Ctx::new(a.parse().unwrap(), b.parse().unwrap(), ScoringModel::bpmax_default())
+        Ctx::new(
+            a.parse().unwrap(),
+            b.parse().unwrap(),
+            ScoringModel::bpmax_default(),
+        )
     }
 
     #[test]
@@ -230,15 +235,8 @@ mod tests {
     fn full_width_window_recovers_global_score() {
         let c = ctx("GGGAAACCC", "UUUCC");
         let t = solve_windowed(&c, 5);
-        let p = BpMaxProblem::new(
-            c.s1.clone(),
-            c.s2.clone(),
-            ScoringModel::bpmax_default(),
-        );
-        assert_eq!(
-            t.get(0, 8, 0, 4),
-            p.solve(Algorithm::Permuted).score()
-        );
+        let p = BpMaxProblem::new(c.s1.clone(), c.s2.clone(), ScoringModel::bpmax_default());
+        assert_eq!(t.get(0, 8, 0, 4), p.solve(Algorithm::Permuted).score());
     }
 
     #[test]

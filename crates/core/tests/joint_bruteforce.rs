@@ -8,8 +8,8 @@
 //! pairs), score each, and take the maximum.
 //!
 //! Two directions are checked:
-//! * **soundness**: every BPMax traceback validates, so BPMax ≤ brute max;
-//! * **completeness at small sizes**: BPMax == brute max on exhaustive
+//! * **soundness**: every `BPMax` traceback validates, so `BPMax` ≤ brute max;
+//! * **completeness at small sizes**: `BPMax` == brute max on exhaustive
 //!   tiny instances — i.e. at these sizes the recurrence's decomposition
 //!   grammar reaches every disjoint/non-crossing/parallel structure.
 //!   (The literature's "zigzag" exclusions need deeper nesting than these
@@ -34,6 +34,7 @@ fn brute_force_joint(s1: &RnaSeq, s2: &RnaSeq, model: &ScoringModel) -> f32 {
     let mut inter: Vec<(usize, usize)> = Vec::new();
     let mut best = f32::NEG_INFINITY;
 
+    #[allow(clippy::too_many_arguments)] // recursive enumeration carries all state explicitly
     fn finish_s2(
         pos: usize,
         s1: &RnaSeq,
@@ -67,9 +68,7 @@ fn brute_force_joint(s1: &RnaSeq, s2: &RnaSeq, model: &ScoringModel) -> f32 {
                 finish_s2(p + 1, s1, s2, model, used2, intra1, intra2, inter, best);
                 // p pairs a later unused s2 position
                 for q in p + 1..n {
-                    if !used2[q]
-                        && model.intra_pos(p, q, s2[p], s2[q]) != ScoringModel::NO_PAIR
-                    {
+                    if !used2[q] && model.intra_pos(p, q, s2[p], s2[q]) != ScoringModel::NO_PAIR {
                         used2[q] = true;
                         intra2.push((p, q));
                         finish_s2(p + 1, s1, s2, model, used2, intra1, intra2, inter, best);
@@ -102,15 +101,35 @@ fn brute_force_joint(s1: &RnaSeq, s2: &RnaSeq, model: &ScoringModel) -> f32 {
             Some(p) => {
                 used1[p] = true;
                 // unpaired
-                go(p + 1, s1, s2, model, used1, used2, intra1, intra2, inter, best);
+                go(
+                    p + 1,
+                    s1,
+                    s2,
+                    model,
+                    used1,
+                    used2,
+                    intra1,
+                    intra2,
+                    inter,
+                    best,
+                );
                 // intra1 with a later unused s1 position
                 for q in p + 1..m {
-                    if !used1[q]
-                        && model.intra_pos(p, q, s1[p], s1[q]) != ScoringModel::NO_PAIR
-                    {
+                    if !used1[q] && model.intra_pos(p, q, s1[p], s1[q]) != ScoringModel::NO_PAIR {
                         used1[q] = true;
                         intra1.push((p, q));
-                        go(p + 1, s1, s2, model, used1, used2, intra1, intra2, inter, best);
+                        go(
+                            p + 1,
+                            s1,
+                            s2,
+                            model,
+                            used1,
+                            used2,
+                            intra1,
+                            intra2,
+                            inter,
+                            best,
+                        );
                         intra1.pop();
                         used1[q] = false;
                     }
@@ -120,7 +139,18 @@ fn brute_force_joint(s1: &RnaSeq, s2: &RnaSeq, model: &ScoringModel) -> f32 {
                     if !used2[q] && model.inter(s1[p], s2[q]) != ScoringModel::NO_PAIR {
                         used2[q] = true;
                         inter.push((p, q));
-                        go(p + 1, s1, s2, model, used1, used2, intra1, intra2, inter, best);
+                        go(
+                            p + 1,
+                            s1,
+                            s2,
+                            model,
+                            used1,
+                            used2,
+                            intra1,
+                            intra2,
+                            inter,
+                            best,
+                        );
                         inter.pop();
                         used2[q] = false;
                     }
@@ -131,7 +161,15 @@ fn brute_force_joint(s1: &RnaSeq, s2: &RnaSeq, model: &ScoringModel) -> f32 {
     }
 
     go(
-        0, s1, s2, model, &mut used1, &mut used2, &mut intra1, &mut intra2, &mut inter,
+        0,
+        s1,
+        s2,
+        model,
+        &mut used1,
+        &mut used2,
+        &mut intra1,
+        &mut intra2,
+        &mut inter,
         &mut best,
     );
     best.max(0.0) // the empty structure is always available

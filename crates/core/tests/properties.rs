@@ -1,4 +1,4 @@
-//! Property tests for the BPMax core: random instances, random scoring
+//! Property tests for the `BPMax` core: random instances, random scoring
 //! models, every program version against the specification oracle.
 
 use bpmax::kernels::Tile;

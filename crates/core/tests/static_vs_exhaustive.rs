@@ -1,0 +1,303 @@
+//! Differential harness: the symbolic legality analyzer
+//! ([`polyhedral::verify_static`]) against the exhaustive instance-level
+//! checker ([`polyhedral::System::verify`]).
+//!
+//! Two directions:
+//!
+//! * every paper schedule set (base, Tables II–V, and the Table I DMP
+//!   candidates) must be certified **legal for all parameter values** by
+//!   the static analyzer — strictly stronger than the fixed-size
+//!   exhaustive runs the schedule tests already do;
+//! * deliberately broken mutants of those schedules must each be rejected
+//!   with a concrete integer witness whose parameter values, replayed on
+//!   the exhaustive checker, reproduce a violation of the same kind.
+
+use bpmax::schedules::{
+    base_schedule, coarse_grain, dmp_schedules, dmp_system, fine_grain, hybrid, hybrid_tiled,
+    F_IDX, R0_IDX,
+};
+use polyhedral::affine::{c, v};
+use polyhedral::schedule::{SchedDim, Schedule};
+use polyhedral::verify_static::{StaticViolation, StaticViolationKind};
+use polyhedral::{System, Violation};
+
+fn assert_statically_legal(sys: &System, name: &str) {
+    let report = sys.verify_static();
+    assert!(
+        report.is_legal(),
+        "{name} must be certified legal for all sizes:\n{report}"
+    );
+}
+
+#[test]
+fn base_schedule_is_statically_legal() {
+    assert_statically_legal(&base_schedule(), "base schedule");
+}
+
+#[test]
+fn fine_grain_is_statically_legal() {
+    assert_statically_legal(&fine_grain(), "fine-grain (Table II)");
+}
+
+#[test]
+fn coarse_grain_is_statically_legal() {
+    assert_statically_legal(&coarse_grain(), "coarse-grain (Table III)");
+}
+
+#[test]
+fn hybrid_is_statically_legal() {
+    assert_statically_legal(&hybrid(), "hybrid (Table IV)");
+}
+
+#[test]
+fn hybrid_tiled_is_statically_legal() {
+    assert_statically_legal(&hybrid_tiled(2, 2), "hybrid+tiled (Table V) 2x2");
+    assert_statically_legal(&hybrid_tiled(3, 1), "hybrid+tiled (Table V) 3x1");
+}
+
+#[test]
+fn all_dmp_candidates_are_statically_legal() {
+    for s in dmp_schedules() {
+        assert_statically_legal(&s.system, s.label);
+    }
+}
+
+/// The static witness replayed on the exhaustive checker: run `verify` at
+/// the witness's parameter values with an index bound generously covering
+/// the witness coordinates, and demand a violation of the same kind.
+fn confirm_with_exhaustive(sys: &System, w: &StaticViolation, mutant: &str) {
+    let coord_span = w
+        .consumer_point
+        .iter()
+        .chain(&w.producer_point)
+        .map(|&x| x.abs())
+        .max()
+        .unwrap_or(0);
+    let param_span = w.params.values().map(|&x| x.abs()).max().unwrap_or(0);
+    let bound = coord_span.max(param_span).max(3) + 1;
+    let found = sys.verify(&w.params, bound, 500);
+    assert!(
+        !found.is_empty(),
+        "{mutant}: exhaustive checker found nothing at {:?} (bound {bound})",
+        w.params
+    );
+    let kind_matches = found.iter().any(|viol| {
+        matches!(
+            (&w.kind, viol),
+            (StaticViolationKind::NotBefore, Violation::NotBefore { .. })
+                | (StaticViolationKind::Race { .. }, Violation::Race { .. })
+                | (
+                    StaticViolationKind::OutOfDomain,
+                    Violation::OutOfDomain { .. }
+                )
+        )
+    });
+    assert!(
+        kind_matches,
+        "{mutant}: exhaustive checker has violations but none of kind {:?}: {:?}",
+        w.kind,
+        found.first()
+    );
+}
+
+/// Run the static analyzer on a mutant, demand a concrete witness of the
+/// expected kind, and cross-check it on the exhaustive checker.
+fn assert_mutant_caught(sys: &System, mutant: &str, want_race: bool) {
+    let report = sys.verify_static();
+    assert!(!report.is_legal(), "{mutant} must be rejected");
+    let w = report
+        .violations()
+        .next()
+        .unwrap_or_else(|| panic!("{mutant}: rejected but no integer witness:\n{report}"));
+    if want_race {
+        assert!(
+            report
+                .violations()
+                .any(|x| matches!(x.kind, StaticViolationKind::Race { .. })),
+            "{mutant}: expected a race among the witnesses:\n{report}"
+        );
+    }
+    let race_witness;
+    let w = if want_race {
+        race_witness = report
+            .violations()
+            .find(|x| matches!(x.kind, StaticViolationKind::Race { .. }))
+            .unwrap()
+            .clone();
+        &race_witness
+    } else {
+        w
+    };
+    confirm_with_exhaustive(sys, w, mutant);
+}
+
+/// Mutant 1 — DMP with the outer diagonals run in *descending* order.
+#[test]
+fn mutant_descending_diagonals_is_caught() {
+    let mut sys = dmp_system();
+    sys.set_schedule(
+        "F",
+        Schedule::affine(
+            &F_IDX,
+            vec![
+                v("i1") - v("j1"),
+                v("i1"),
+                v("M") + v("N"),
+                v("i2"),
+                v("j2"),
+                c(0),
+            ],
+        ),
+    );
+    sys.set_schedule(
+        "R0",
+        Schedule::affine(
+            &R0_IDX,
+            vec![
+                v("i1") - v("j1"),
+                v("i1"),
+                v("k1"),
+                v("i2"),
+                v("j2"),
+                v("k2"),
+            ],
+        ),
+    );
+    assert_mutant_caught(&sys, "descending diagonals", false);
+}
+
+/// Mutant 2 — fine-grain with F's reduction-slot dimension set to −1:
+/// the cell finalizes before its reductions have run.
+#[test]
+fn mutant_premature_f_update_is_caught() {
+    let mut sys = fine_grain();
+    sys.set_schedule(
+        "F",
+        Schedule::affine(
+            &F_IDX,
+            vec![
+                c(1),
+                -v("i1"),
+                v("j1"),
+                c(-1),
+                -v("i2"),
+                c(0),
+                v("j2"),
+                c(0),
+            ],
+        ),
+    );
+    assert_mutant_caught(&sys, "premature F update", false);
+}
+
+/// Mutant 3 — coarse-grain with dimension 4 *also* declared parallel:
+/// R1 reads F of other rows of the same triangle, a cross-thread race.
+#[test]
+fn mutant_extra_parallel_dim_races() {
+    let mut sys = coarse_grain();
+    sys.set_parallel(4);
+    assert_mutant_caught(&sys, "coarse-grain + parallel dim 4", true);
+}
+
+/// Mutant 4 — hybrid with the *carried* diagonal dimension declared
+/// parallel: the wavefront ordering it relies on disappears.
+#[test]
+fn mutant_parallel_wavefront_races() {
+    let mut sys = hybrid();
+    sys.set_parallel(1);
+    assert_mutant_caught(&sys, "hybrid + parallel dim 1", true);
+}
+
+/// Mutant 5 — coarse-grain with R0's `i1`/`k1` time dims swapped: the
+/// reduction body of a later triangle runs before its cell's `F`.
+#[test]
+fn mutant_swapped_r0_dims_is_caught() {
+    let mut sys = coarse_grain();
+    sys.set_schedule(
+        "R0",
+        Schedule::affine(
+            &R0_IDX,
+            vec![
+                c(1),
+                v("j1") - v("i1"),
+                v("k1"),
+                v("i1"),
+                v("i2"),
+                v("k2"),
+                v("j2"),
+            ],
+        ),
+    );
+    assert_mutant_caught(&sys, "coarse-grain R0 i1/k1 swap", false);
+}
+
+/// Mutant 6 — DMP with F collapsed to a single time instant: F's
+/// pair-closing self-dependences land on *equal* time vectors, the
+/// "not strictly before" edge case.
+#[test]
+fn mutant_constant_f_schedule_is_caught() {
+    let mut sys = dmp_system();
+    sys.set_schedule(
+        "F",
+        Schedule::affine(&F_IDX, vec![c(0), c(0), c(0), c(0), c(0), c(0)]),
+    );
+    sys.set_schedule(
+        "R0",
+        Schedule::affine(
+            &R0_IDX,
+            vec![
+                v("j1") - v("i1"),
+                v("i1"),
+                v("k1"),
+                v("i2"),
+                v("j2"),
+                v("k2"),
+            ],
+        ),
+    );
+    assert_mutant_caught(&sys, "constant F schedule", false);
+}
+
+/// Mutant 7 — a *tiled* illegality: R0's `k2` reduction dimension is
+/// strip-mined on `−k2`, so the tile coordinate decreases while the
+/// accumulation chain demands ascending `k2`. The violation is only
+/// expressible through the `⌊·/s⌋` dimension (the inner affine dim still
+/// ascends), exercising the analyzer's tile linearization.
+#[test]
+fn mutant_descending_tile_coordinate_is_caught() {
+    let mut sys = dmp_system();
+    sys.set_schedule(
+        "F",
+        Schedule::affine(
+            &F_IDX,
+            vec![
+                v("j1") - v("i1"),
+                v("i1"),
+                v("M") + v("N"),
+                v("i2"),
+                v("j2"),
+                v("M") + v("N"),
+                v("M") + v("N"),
+            ],
+        ),
+    );
+    sys.set_schedule(
+        "R0",
+        Schedule::new(
+            &R0_IDX,
+            vec![
+                SchedDim::Affine(v("j1") - v("i1")),
+                SchedDim::Affine(v("i1")),
+                SchedDim::Affine(v("k1")),
+                SchedDim::Affine(v("i2")),
+                SchedDim::Affine(v("j2")),
+                SchedDim::Tiled {
+                    expr: c(0) - v("k2"),
+                    size: 2,
+                },
+                SchedDim::Affine(v("k2")),
+            ],
+        ),
+    );
+    assert_mutant_caught(&sys, "descending k2 tile coordinate", false);
+}

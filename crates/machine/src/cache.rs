@@ -51,7 +51,7 @@ impl Set {
         }
     }
 
-    /// Access `tag`; returns (hit, writeback_occurred).
+    /// Access `tag`; returns (hit, `writeback_occurred`).
     fn access(&mut self, tag: u64, write: bool) -> (bool, bool) {
         if let Some(pos) = self.tags.iter().position(|&(t, _)| t == tag) {
             let (t, d) = self.tags.remove(pos);

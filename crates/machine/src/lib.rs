@@ -17,7 +17,7 @@
 //! * [`cache`] — a multi-level set-associative LRU cache simulator that
 //!   consumes memory traces from `polyhedral::executor` (replaces the
 //!   paper's hardware performance counters).
-//! * [`traffic`] — closed-form working-set/traffic estimates for the BPMax
+//! * [`traffic`] — closed-form working-set/traffic estimates for the `BPMax`
 //!   reductions (the Θ(N²)-per-row analysis of §V.C).
 
 pub mod cache;

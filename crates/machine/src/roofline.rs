@@ -3,7 +3,7 @@
 //! Attainable performance at arithmetic intensity `I` (FLOP/byte) through a
 //! memory level with bandwidth `B` (GB/s) under compute peak `P` (GFLOPS):
 //! `min(P, I·B)`. The paper plots one roof per memory level (L1, L2, L3,
-//! DRAM) for the max-plus peak of the Xeon E5-1650v4, and marks the BPMax
+//! DRAM) for the max-plus peak of the Xeon E5-1650v4, and marks the `BPMax`
 //! streaming pattern at `I = 2 / (3×4) = 1/6`: the expected ceiling through
 //! L1 is ≈ 329 GFLOPS at 6 threads — slightly below peak — while through
 //! DRAM it is only ≈ 12.8 GFLOPS, which is why locality decides everything.

@@ -1,4 +1,4 @@
-//! Analytic working-set and data-traffic estimates for BPMax.
+//! Analytic working-set and data-traffic estimates for `BPMax`.
 //!
 //! §V.C of the paper explains the performance ceiling of the full program
 //! by data-movement arithmetic: computing one *row* of an inner triangle of
@@ -21,7 +21,7 @@ pub fn triangle_elems(n: usize) -> usize {
 
 /// Storage of the packed 4-D F-table for sizes `m × n`, in bytes —
 /// `T(m) × T(n)` single-precision cells ("one-fourth" of the `M²N²`
-/// bounding box the default AlphaZ memory map would allocate).
+/// bounding box the default `AlphaZ` memory map would allocate).
 pub fn ftable_bytes(m: usize, n: usize) -> usize {
     triangle_elems(m) * triangle_elems(n) * F32_BYTES
 }
@@ -41,11 +41,7 @@ pub fn r1r2_row_working_set_bytes(n: usize) -> usize {
 /// Does the `R1`/`R2` row working set fit in the machine's last-level
 /// cache? (The paper's N = 2048 case: 16 MB > 15 MB L3 → no.)
 pub fn r1r2_row_fits_llc(spec: &MachineSpec, n: usize) -> bool {
-    let llc = spec
-        .caches
-        .last()
-        .expect("machine has caches")
-        .size_bytes;
+    let llc = spec.caches.last().expect("machine has caches").size_bytes;
     r1r2_row_working_set_bytes(n) <= llc
 }
 
@@ -75,14 +71,14 @@ pub fn r3r4_flops(m: usize, n: usize) -> u64 {
     2 * 2 * pairs2 * s1
 }
 
-/// Total reduction FLOPs of BPMax (R0 + R1 + R2 + R3 + R4). The O(M²N²)
+/// Total reduction FLOPs of `BPMax` (R0 + R1 + R2 + R3 + R4). The O(M²N²)
 /// pointwise `F` work (base cases, the two pair-closing terms, `S1+S2`) is
 /// excluded — the paper's GFLOPS numbers count reduction work.
 pub fn bpmax_flops(m: usize, n: usize) -> u64 {
     r0_flops(m, n) + r1r2_flops(m, n) + r3r4_flops(m, n)
 }
 
-/// Fraction of BPMax FLOPs in the double max-plus (→ 1 as sizes grow; the
+/// Fraction of `BPMax` FLOPs in the double max-plus (→ 1 as sizes grow; the
 /// reason the paper optimizes R0 first).
 pub fn r0_fraction(m: usize, n: usize) -> f64 {
     r0_flops(m, n) as f64 / bpmax_flops(m, n) as f64

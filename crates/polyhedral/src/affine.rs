@@ -3,7 +3,7 @@
 //! Everything in the polyhedral model — iteration domains, dependences,
 //! schedules, memory maps — is built from integer affine expressions
 //! `Σ cᵥ·v + c₀` over index variables (`i1`, `j1`, …) and size parameters
-//! (`M`, `N`). We use *named* variables throughout: BPMax schedules mix
+//! (`M`, `N`). We use *named* variables throughout: `BPMax` schedules mix
 //! variables of different arities (Tables II–V schedule 2-D, 4-D, 5-D and
 //! 6-D variables into one 7/8-dimensional time), and names keep those maps
 //! readable and composable without positional bookkeeping.
@@ -17,10 +17,7 @@ pub type Env = BTreeMap<String, i64>;
 
 /// Build an [`Env`] from `(name, value)` pairs.
 pub fn env(pairs: &[(&str, i64)]) -> Env {
-    pairs
-        .iter()
-        .map(|&(k, v)| (k.to_string(), v))
-        .collect()
+    pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
 }
 
 /// An integer affine expression `Σ coeff(v)·v + constant`.
@@ -226,7 +223,7 @@ impl AffineMap {
     /// Build a map from input names and output expressions.
     pub fn new(inputs: &[&str], exprs: Vec<AffineExpr>) -> Self {
         AffineMap {
-            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            inputs: inputs.iter().map(ToString::to_string).collect(),
             exprs,
         }
     }

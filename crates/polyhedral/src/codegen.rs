@@ -1,7 +1,7 @@
 //! Loop-nest IR, C-like pretty-printing, and the Table VI LOC metric.
 //!
-//! AlphaZ's final stage prints a scheduled program as C loops. The paper
-//! reports, per BPMax version, the generated line count plus how many lines
+//! `AlphaZ`'s final stage prints a scheduled program as C loops. The paper
+//! reports, per `BPMax` version, the generated line count plus how many lines
 //! were hand-written or macro-patched (Table VI) — evidence for the
 //! "optimized programs should be generated, not hand-written" thesis.
 //!
@@ -68,7 +68,7 @@ impl Bound {
         let inner = self
             .exprs
             .iter()
-            .map(|e| e.to_string())
+            .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join(", ");
         if self.is_min {
@@ -105,7 +105,7 @@ pub enum Node {
         /// Guard conjunction (`expr ≥ 0` each); empty = unconditional.
         guard: Vec<AffineExpr>,
     },
-    /// A free-form comment line (counts toward LOC like AlphaZ's
+    /// A free-form comment line (counts toward LOC like `AlphaZ`'s
     /// `#define` scaffolding lines).
     Comment(String),
 }
@@ -169,7 +169,7 @@ impl LoopNest {
     pub fn new(name: &str, params: &[&str], body: Vec<Node>) -> Self {
         LoopNest {
             name: name.to_string(),
-            params: params.iter().map(|s| s.to_string()).collect(),
+            params: params.iter().map(ToString::to_string).collect(),
             body,
         }
     }
@@ -247,7 +247,7 @@ fn render_node(node: &Node, depth: usize, out: &mut String) {
         Node::Stmt { name, args, guard } => {
             let rendered_args = args
                 .iter()
-                .map(|a| a.to_string())
+                .map(ToString::to_string)
                 .collect::<Vec<_>>()
                 .join(", ");
             if guard.is_empty() {
@@ -304,7 +304,10 @@ pub struct CodeStats {
 
 /// Compute [`CodeStats`] for a program.
 pub fn stats(nest: &LoopNest) -> CodeStats {
-    let loc = render(nest).lines().filter(|l| !l.trim().is_empty()).count();
+    let loc = render(nest)
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count();
     let mut loops = 0;
     let mut parallel_loops = 0;
     let mut statements = 0;
@@ -452,7 +455,10 @@ mod tests {
         assert_eq!(st.statements, 1);
         assert_eq!(st.max_depth, 2);
         assert_eq!(st.parallel_loops, 0);
-        assert_eq!(st.loc, text.lines().filter(|l| !l.trim().is_empty()).count());
+        assert_eq!(
+            st.loc,
+            text.lines().filter(|l| !l.trim().is_empty()).count()
+        );
     }
 
     #[test]
@@ -483,7 +489,12 @@ mod tests {
                 Bound::expr(c(0)),
                 Bound::expr(c(2)),
                 vec![
-                    Node::loop_("i", Bound::expr(c(10)), Bound::expr(c(12)), vec![Node::stmt("In", vec![v("i")])]),
+                    Node::loop_(
+                        "i",
+                        Bound::expr(c(10)),
+                        Bound::expr(c(12)),
+                        vec![Node::stmt("In", vec![v("i")])],
+                    ),
                     Node::stmt("Out", vec![v("i")]),
                 ],
             )],

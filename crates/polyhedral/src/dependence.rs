@@ -9,14 +9,21 @@
 //! a difference first arising at a parallel dimension would be a data race
 //! between threads.
 //!
-//! AlphaZ leaves validity to the user ("it is the responsibility of the
-//! user to ensure the transformations are valid"); here we actually check:
-//! [`System::verify`] enumerates every dependence instance at given
-//! parameter values and reports violation witnesses. Exhaustive-at-small-
-//! sizes is the honest analogue of a symbolic check for this reproduction:
-//! BPMax dependences are dense and uniform enough that violations, when
-//! present, already occur at tiny sizes (the test-suite demonstrates this
-//! by breaking schedules on purpose).
+//! `AlphaZ` leaves validity to the user ("it is the responsibility of the
+//! user to ensure the transformations are valid"); here we actually check,
+//! two ways:
+//!
+//! * **exhaustively** — [`System::verify`] (and the general-box
+//!   [`System::verify_boxed`]) enumerates every dependence instance at
+//!   given parameter values and reports violation witnesses; violations in
+//!   these dense, uniform systems already occur at tiny sizes, so this is
+//!   a cheap concrete check (the test-suite demonstrates it has teeth by
+//!   breaking schedules on purpose);
+//! * **symbolically** — [`System::verify_static`] (in
+//!   [`crate::verify_static`]) certifies legality for *all* parameter
+//!   values at once by proving the violation polyhedra empty of integer
+//!   points, or refutes it with a concrete witness the exhaustive checker
+//!   can replay.
 
 use crate::affine::{AffineMap, Env};
 use crate::domain::Domain;
@@ -193,7 +200,7 @@ impl System {
     /// An empty system over the given parameters.
     pub fn new(params: &[&str]) -> Self {
         System {
-            params: params.iter().map(|s| s.to_string()).collect(),
+            params: params.iter().map(ToString::to_string).collect(),
             ..Default::default()
         }
     }
@@ -237,7 +244,7 @@ impl System {
         self
     }
 
-    /// Mark time dimension `dim` parallel (AlphaZ `setParallel`), for the
+    /// Mark time dimension `dim` parallel (`AlphaZ` `setParallel`), for the
     /// whole system.
     pub fn set_parallel(&mut self, dim: usize) -> &mut Self {
         if !self.parallel.contains(&dim) {
@@ -281,6 +288,19 @@ impl System {
     /// Returns at most `max_violations` witnesses (empty ⇒ legal at these
     /// sizes).
     pub fn verify(&self, params: &Env, index_bound: i64, max_violations: usize) -> Vec<Violation> {
+        self.verify_boxed(params, 0, index_bound, max_violations)
+    }
+
+    /// Like [`System::verify`] but with an explicit enumeration box
+    /// `[lo, hi)` (half-open, like [`Domain::enumerate`]) for every index
+    /// variable — needed when domains reach into negative coordinates.
+    pub fn verify_boxed(
+        &self,
+        params: &Env,
+        lo: i64,
+        hi: i64,
+        max_violations: usize,
+    ) -> Vec<Violation> {
         let mut out = Vec::new();
         for dep in &self.deps {
             let cons = &self.vars[&dep.consumer];
@@ -294,7 +314,7 @@ impl System {
             if let Some(g) = &dep.guard {
                 dom = dom.intersect(g);
             }
-            let box_: Vec<(i64, i64)> = vec![(0, index_bound); dom.dim()];
+            let box_: Vec<(i64, i64)> = vec![(lo, hi); dom.dim()];
             for e in dom.enumerate(&box_, params) {
                 let o = dep.map.eval_point(&e, params);
                 // Orient into (consumer point p, producer point q).
@@ -316,11 +336,7 @@ impl System {
                 }
                 let tc = cons_sched.time(&p, params);
                 let tp = prod_sched.time(&q, params);
-                match tp
-                    .iter()
-                    .zip(tc.iter())
-                    .position(|(a, b)| a != b)
-                {
+                match tp.iter().zip(tc.iter()).position(|(a, b)| a != b) {
                     None => {
                         out.push(Violation::NotBefore {
                             dep: dep.label.clone(),
@@ -535,10 +551,7 @@ mod tests {
             AffineMap::new(&["i", "k"], vec![v("i")]),
         ));
         // R body at time (i, k), 2-D schedules throughout.
-        sys.set_schedule(
-            "R",
-            Schedule::affine(&["i", "k"], vec![v("i"), v("k")]),
-        );
+        sys.set_schedule("R", Schedule::affine(&["i", "k"], vec![v("i"), v("k")]));
         sys.set_schedule("Y", y_sched);
         sys
     }

@@ -1,7 +1,7 @@
 //! Polyhedral domains: conjunctions of affine constraints.
 //!
 //! A domain describes the set of integer points (iteration instances) a
-//! statement executes on, e.g. the BPMax F-table domain
+//! statement executes on, e.g. the `BPMax` F-table domain
 //! `{ (i1,j1,i2,j2) | 0 ≤ i1 ≤ j1 < M ∧ 0 ≤ i2 ≤ j2 < N }` — "a triangular
 //! collection of triangles". Constraints may mention size parameters, which
 //! are bound at verification time (we verify schedules exhaustively on
@@ -49,7 +49,7 @@ impl Domain {
     /// A domain over `indices` with no constraints (the whole lattice).
     pub fn universe(indices: &[&str]) -> Self {
         Domain {
-            indices: indices.iter().map(|s| s.to_string()).collect(),
+            indices: indices.iter().map(ToString::to_string).collect(),
             constraints: Vec::new(),
         }
     }
@@ -145,7 +145,7 @@ impl Domain {
     }
 
     /// Convenience: the box `[0, bound)^dim` where `bound` is the value of
-    /// parameter `param` in `params` — covers any BPMax index domain.
+    /// parameter `param` in `params` — covers any `BPMax` index domain.
     pub fn param_box(&self, params: &Env, param: &str) -> Vec<(i64, i64)> {
         let b = *params
             .get(param)
@@ -210,7 +210,7 @@ mod tests {
         let params = env(&[("N", 5)]);
         let pts = d.enumerate(&d.param_box(&params, "N"), &params);
         assert_eq!(pts.len(), 15); // 5·6/2
-        // lexicographic by construction of the scan
+                                   // lexicographic by construction of the scan
         let mut sorted = pts.clone();
         sorted.sort();
         assert_eq!(pts, sorted);
@@ -242,7 +242,9 @@ mod tests {
 
     #[test]
     fn le_lt_builders() {
-        let d = Domain::universe(&["k"]).le(v("i"), v("k")).lt(v("k"), v("j"));
+        let d = Domain::universe(&["k"])
+            .le(v("i"), v("k"))
+            .lt(v("k"), v("j"));
         // k in [i, j)
         let params = env(&[("i", 2), ("j", 5)]);
         let pts = d.enumerate(&[(0, 10)], &params);

@@ -4,12 +4,12 @@
 //! every scheduled variable, sorts them by lexicographic time (ties broken
 //! by statement registration order, like textual statement order inside a
 //! loop body), and invokes user statements in that order. The `bpmax` test
-//! suite uses this to run small BPMax instances **directly from the encoded
+//! suite uses this to run small `BPMax` instances **directly from the encoded
 //! paper schedules** and compare against the reference implementation —
 //! proving the Tables I–V transcriptions are not just legal but compute the
 //! right thing.
 //!
-//! [`MemMap`] (AlphaZ `setMemoryMap`) turns instance points into linear
+//! [`MemMap`] (`AlphaZ` `setMemoryMap`) turns instance points into linear
 //! addresses so an execution can emit a memory-access [`Trace`] for the
 //! cache simulator in the `machine` crate — the tool we use to reproduce
 //! the paper's locality arguments (coarse-grain DRAM-boundedness, Fig 10's
@@ -50,7 +50,12 @@ pub fn ordered_instances(system: &System, params: &Env, index_bound: i64) -> Vec
             ));
         }
     }
-    all.sort_by(|(oa, a), (ob, b)| a.time.cmp(&b.time).then(oa.cmp(ob)).then(a.point.cmp(&b.point)));
+    all.sort_by(|(oa, a), (ob, b)| {
+        a.time
+            .cmp(&b.time)
+            .then(oa.cmp(ob))
+            .then(a.point.cmp(&b.point))
+    });
     all.into_iter().map(|(_, i)| i).collect()
 }
 
@@ -97,13 +102,24 @@ impl MemMap {
 
     /// Linear address of `point`.
     pub fn addr(&self, point: &[i64], params: &Env) -> i64 {
+        debug_assert_eq!(
+            point.len(),
+            self.map.inputs().len(),
+            "point arity does not match the memory map's inputs"
+        );
         let coords = self.map.eval_point(point, params);
-        self.base
+        debug_assert_eq!(coords.len(), self.strides.len());
+        let addr = self.base
             + coords
                 .iter()
                 .zip(&self.strides)
                 .map(|(c, s)| c * s)
-                .sum::<i64>()
+                .sum::<i64>();
+        debug_assert!(
+            addr >= 0,
+            "memory map sent {point:?} to negative address {addr}"
+        );
+        addr
     }
 }
 
@@ -254,8 +270,14 @@ mod tests {
         let dom = Domain::universe(&["i"]).ge0(v("i")).lt(v("i"), v("N"));
         sys.add_var(Var::new("A", dom.clone()));
         sys.add_var(Var::new("B", dom));
-        sys.set_schedule("A", Schedule::affine(&["i"], vec![v("i"), crate::affine::c(0)]));
-        sys.set_schedule("B", Schedule::affine(&["i"], vec![v("i"), crate::affine::c(1)]));
+        sys.set_schedule(
+            "A",
+            Schedule::affine(&["i"], vec![v("i"), crate::affine::c(0)]),
+        );
+        sys.set_schedule(
+            "B",
+            Schedule::affine(&["i"], vec![v("i"), crate::affine::c(1)]),
+        );
         let mut log = Vec::new();
         run(&sys, &env(&[("N", 3)]), 3, &mut |var, pt| {
             log.push(format!("{var}{}", pt[0]));

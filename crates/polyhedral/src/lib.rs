@@ -1,8 +1,8 @@
-//! A compact polyhedral-model substrate — the AlphaZ stand-in of the BPMax
+//! A compact polyhedral-model substrate — the `AlphaZ` stand-in of the `BPMax`
 //! reproduction.
 //!
-//! The paper's method is: write the BPMax recurrence as a system of affine
-//! recurrence equations, then hand AlphaZ *mapping directives* — a
+//! The paper's method is: write the `BPMax` recurrence as a system of affine
+//! recurrence equations, then hand `AlphaZ` *mapping directives* — a
 //! multidimensional affine **schedule** per variable (Tables I–V), a
 //! **processor allocation** (which schedule dimension runs in parallel), a
 //! **memory map**, and a **tiling** of the dominant reduction — and let the
@@ -20,10 +20,18 @@
 //!   (tiled) dimensions `⌊e/s⌋`, lexicographic time comparison, and
 //!   parallel-dimension annotations.
 //! * [`dependence`] — variables, affine dependences, and whole systems;
-//!   **legality verification**: every dependence instance must have its
-//!   producer scheduled strictly lexicographically before its consumer
-//!   (checked exhaustively over scaled problem instances, with violation
+//!   **exhaustive legality verification**: every dependence instance must
+//!   have its producer scheduled strictly lexicographically before its
+//!   consumer (checked over scaled problem instances, with violation
 //!   witnesses).
+//! * [`presburger`] — linear integer constraint systems decided by exact
+//!   rational Fourier–Motzkin elimination with integer tightening and a
+//!   backtracking integer-witness search.
+//! * [`verify_static`] — **symbolic legality verification**: per
+//!   dependence, the set of schedule-violating instances is encoded as
+//!   integer polyhedra over the iteration indices *and the size
+//!   parameters*, and certified empty for all parameter values at once
+//!   (or refuted with a concrete integer witness).
 //! * [`tiling`] — strip-mining transformations on schedules and the loop
 //!   range helpers the hand-materialized kernels share.
 //! * [`codegen`] — textual loop-nest generation from (domain, schedule)
@@ -32,12 +40,12 @@
 //!   domains, dependences and schedules as text (the shape of the paper's
 //!   "alphabets" programs and command scripts).
 //! * [`scangen`] — automatic scan-loop generation from a (domain,
-//!   schedule) pair for signed-permutation schedules (AlphaZ's
+//!   schedule) pair for signed-permutation schedules (`AlphaZ`'s
 //!   `generateScheduleC`, restricted to the class Tables I–V use per
 //!   variable); generated nests are proven to visit instances in exactly
 //!   the executor's order.
 //! * [`executor`] — an interpreter that runs a system's statements in
-//!   schedule order (used by tests to execute BPMax straight from the
+//!   schedule order (used by tests to execute `BPMax` straight from the
 //!   encoded paper schedules) and can emit memory-access traces for the
 //!   cache simulator in the `machine` crate.
 //!
@@ -69,17 +77,25 @@
 //! assert!(!bad.verify(&env(&[("N", 10)]), 10, 5).is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod affine;
 pub mod codegen;
 pub mod dependence;
 pub mod domain;
 pub mod executor;
 pub mod parser;
+pub mod presburger;
 pub mod scangen;
 pub mod schedule;
 pub mod tiling;
+pub mod verify_static;
 
 pub use affine::{AffineExpr, AffineMap, Env};
 pub use dependence::{Dependence, System, Var, Violation};
 pub use domain::{Constraint, Domain};
+pub use presburger::{Assignment, Budget, Feasibility, LinExpr, Polyhedron};
 pub use schedule::{SchedDim, Schedule, TimeVec};
+pub use verify_static::{
+    StaticOptions, StaticReport, StaticVerdict, StaticViolation, StaticViolationKind,
+};

@@ -1,6 +1,6 @@
 //! A parser for a miniature Alpha-like surface syntax.
 //!
-//! AlphaZ programs come in two pieces: an *alphabets* file declaring the
+//! `AlphaZ` programs come in two pieces: an *alphabets* file declaring the
 //! system (parameters, variables over polyhedral domains, equations) and a
 //! command script applying mapping directives (`setSpaceTimeMap`,
 //! `setParallel`, …). This module parses a compact dialect covering the
@@ -333,7 +333,7 @@ fn parse_domain(lx: &mut Lexer) -> Result<Domain, ParseError> {
     while lx.eat_sym(",") {
         indices.push(lx.expect_ident()?);
     }
-    let index_refs: Vec<&str> = indices.iter().map(|s| s.as_str()).collect();
+    let index_refs: Vec<&str> = indices.iter().map(String::as_str).collect();
     let mut dom = Domain::universe(&index_refs);
     if lx.eat_sym("|") {
         dom = parse_constraint_chain(lx, dom)?;
@@ -358,7 +358,7 @@ fn parse_map(lx: &mut Lexer) -> Result<AffineMap, ParseError> {
         exprs.push(parse_expr(lx)?);
     }
     lx.expect_sym(")")?;
-    let input_refs: Vec<&str> = inputs.iter().map(|s| s.as_str()).collect();
+    let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
     Ok(AffineMap::new(&input_refs, exprs))
 }
 
@@ -370,7 +370,7 @@ fn parse_output_tuple(lx: &mut Lexer, inputs: &[String]) -> Result<AffineMap, Pa
         exprs.push(parse_expr(lx)?);
     }
     lx.expect_sym(")")?;
-    let input_refs: Vec<&str> = inputs.iter().map(|s| s.as_str()).collect();
+    let input_refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
     Ok(AffineMap::new(&input_refs, exprs))
 }
 
@@ -385,7 +385,7 @@ pub fn parse_system(src: &str) -> Result<System, ParseError> {
         params.push(lx.expect_ident()?);
     }
     lx.expect_sym("}")?;
-    let param_refs: Vec<&str> = params.iter().map(|s| s.as_str()).collect();
+    let param_refs: Vec<&str> = params.iter().map(String::as_str).collect();
     let mut sys = System::new(&param_refs);
 
     while let Some(tok) = lx.peek().cloned() {
@@ -581,10 +581,8 @@ mod tests {
 
     #[test]
     fn unknown_dep_variable_is_an_error() {
-        let err = parse_system(
-            "system X {N}\nvar A {i | 0 <= i < N};\ndep \"d\" A -> B (i);",
-        )
-        .unwrap_err();
+        let err = parse_system("system X {N}\nvar A {i | 0 <= i < N};\ndep \"d\" A -> B (i);")
+            .unwrap_err();
         assert!(err.message.contains("unknown variable \"B\""), "{err}");
     }
 

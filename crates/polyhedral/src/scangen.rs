@@ -1,8 +1,8 @@
 //! Automatic scan-loop generation from a (domain, schedule) pair.
 //!
-//! `generateScheduleC` in AlphaZ turns a scheduled variable into loops over
+//! `generateScheduleC` in `AlphaZ` turns a scheduled variable into loops over
 //! its time dimensions. This module implements the core of that for the
-//! schedule class the BPMax tables actually use — each time dimension is
+//! schedule class the `BPMax` tables actually use — each time dimension is
 //! either a constant, a parameter expression, or `±index + const`, with
 //! every index variable covered by some dimension (a signed permutation
 //! with offsets; repeated occurrences are order-neutral and skipped).
@@ -53,7 +53,7 @@ impl std::fmt::Display for ScanError {
 /// Generate a scan nest for `stmt` over `domain` in `schedule` order.
 ///
 /// `index_bound`: expression for the half-open upper bound of every index
-/// variable (e.g. `v("M") + v("N")` for BPMax — the same box the verifier
+/// variable (e.g. `v("M") + v("N")` for `BPMax` — the same box the verifier
 /// uses); lower bound is `lo_bound` (typically a small negative constant
 /// or 0). Domain constraints guard the statement, so a loose box only
 /// costs scan time, never correctness.
@@ -72,7 +72,7 @@ pub fn generate_scan(
     // Classify each time dimension.
     let mut covered: BTreeMap<String, usize> = BTreeMap::new();
     enum DimKind {
-        Fixed,                       // constant / parameter expression
+        Fixed,                             // constant / parameter expression
         Index { name: String, neg: bool }, // ±name + const
     }
     let mut kinds = Vec::new();
@@ -152,20 +152,13 @@ pub fn generate_scan(
     // descending, i.e. t ascending over [-(hi-1), -lo+1) with i = -t.
     for (tvar, neg, _) in loops.into_iter().rev() {
         let (lo, hi) = if neg {
-            (
-                -(hi_bound.clone()) + 1,
-                -(lo_bound.clone()) + 1,
-            )
+            (-(hi_bound.clone()) + 1, -(lo_bound.clone()) + 1)
         } else {
             (lo_bound.clone(), hi_bound.clone())
         };
         body = vec![Node::loop_(&tvar, Bound::expr(lo), Bound::expr(hi), body)];
     }
-    Ok(LoopNest::new(
-        &format!("scan of {stmt}"),
-        &[],
-        body,
-    ))
+    Ok(LoopNest::new(&format!("scan of {stmt}"), &[], body))
 }
 
 /// Execute a generated scan and collect visited instances, for comparison

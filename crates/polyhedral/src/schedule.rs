@@ -15,7 +15,7 @@
 //!   transformation of Phase III (floor division is not affine, so it gets
 //!   its own [`SchedDim`] variant; legality checking and the executor just
 //!   evaluate it).
-//! * **Parallel-dimension annotations** — AlphaZ's `setParallel`: marking a
+//! * **Parallel-dimension annotations** — `AlphaZ`'s `setParallel`: marking a
 //!   schedule dimension as executed by concurrent threads. A dependence
 //!   whose source and sink differ *only* at and after a parallel dimension
 //!   is a race; the legality checker (see [`crate::dependence`]) treats
@@ -83,7 +83,7 @@ impl Schedule {
     /// Build from index names and time dimensions.
     pub fn new(inputs: &[&str], dims: Vec<SchedDim>) -> Self {
         Schedule {
-            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            inputs: inputs.iter().map(ToString::to_string).collect(),
             dims,
             parallel: Vec::new(),
         }
@@ -93,25 +93,17 @@ impl Schedule {
     pub fn from_map(map: &AffineMap) -> Self {
         Schedule {
             inputs: map.inputs().to_vec(),
-            dims: map
-                .exprs()
-                .iter()
-                .cloned()
-                .map(SchedDim::Affine)
-                .collect(),
+            dims: map.exprs().iter().cloned().map(SchedDim::Affine).collect(),
             parallel: Vec::new(),
         }
     }
 
     /// Convenience: affine schedule from index names and expressions.
     pub fn affine(inputs: &[&str], exprs: Vec<AffineExpr>) -> Self {
-        Schedule::new(
-            inputs,
-            exprs.into_iter().map(SchedDim::Affine).collect(),
-        )
+        Schedule::new(inputs, exprs.into_iter().map(SchedDim::Affine).collect())
     }
 
-    /// Mark dimension `dim` as parallel (AlphaZ `setParallel`).
+    /// Mark dimension `dim` as parallel (`AlphaZ` `setParallel`).
     pub fn with_parallel(mut self, dim: usize) -> Self {
         assert!(dim < self.dims.len(), "parallel dim out of range");
         if !self.parallel.contains(&dim) {

@@ -51,7 +51,7 @@ pub fn strip_mine(schedule: &Schedule, band: &[usize], sizes: &[i64]) -> Schedul
     new_dims.extend(dims[..first].iter().cloned());
     new_dims.extend(tile_dims);
     new_dims.extend(dims[first..].iter().cloned());
-    let inputs: Vec<&str> = schedule.inputs().iter().map(|s| s.as_str()).collect();
+    let inputs: Vec<&str> = schedule.inputs().iter().map(String::as_str).collect();
     Schedule::new(&inputs, new_dims)
 }
 
@@ -137,18 +137,23 @@ mod tests {
 
     #[test]
     fn tile_count_matches_ranges() {
-        for (lo, hi, s) in [(0usize, 10usize, 3usize), (2, 17, 4), (0, 0, 5), (0, 8, usize::MAX)] {
+        for (lo, hi, s) in [
+            (0usize, 10usize, 3usize),
+            (2, 17, 4),
+            (0, 0, 5),
+            (0, 8, usize::MAX),
+        ] {
             assert_eq!(tile_count(lo, hi, s), tile_ranges(lo, hi, s).count());
         }
     }
 
     #[test]
     fn ranges_partition_without_overlap() {
-        let mut covered = vec![false; 23];
+        let mut covered = [false; 23];
         for (a, b) in tile_ranges(0, 23, 7) {
-            for x in a..b {
-                assert!(!covered[x]);
-                covered[x] = true;
+            for cell in &mut covered[a..b] {
+                assert!(!*cell);
+                *cell = true;
             }
         }
         assert!(covered.iter().all(|&c| c));

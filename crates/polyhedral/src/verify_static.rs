@@ -1,0 +1,717 @@
+//! Symbolic (parameter-free) schedule legality: prove, for **all** values
+//! of the size parameters above a small floor, that every dependence is
+//! scheduled producer-strictly-before-consumer and that no first-differing
+//! time dimension is marked parallel.
+//!
+//! Where [`System::verify`] enumerates dependence instances at fixed
+//! sizes, [`System::verify_static`] builds, per dependence, a family of
+//! *violation polyhedra* over the enumeration-side iteration indices and
+//! the symbolic parameters, and certifies each one empty of integer
+//! points via [`crate::presburger`]. The case split mirrors the exhaustive
+//! checker exactly:
+//!
+//! * **Out of domain** — the enumerated point satisfies its domain and the
+//!   dependence guard, but the mapped point violates one constraint of the
+//!   other side's domain (one polyhedron per negated constraint; `e = 0`
+//!   splits into `e ≥ 1` and `-e ≥ 1`).
+//! * **Not before** — both points in-domain and either the two time
+//!   vectors are equal, or (per time dimension `d`) the first `d`
+//!   coordinates agree and `t_prod[d] ≥ t_cons[d] + 1`.
+//! * **Race** — both points in-domain, the first `d` coordinates agree,
+//!   `t_cons[d] ≥ t_prod[d] + 1`, and `d` is in the system's parallel set
+//!   (the producer runs earlier, but on a dimension with no ordering
+//!   guarantee).
+//!
+//! [`SchedDim::Tiled`] time coordinates `⌊e/s⌋` are linearized with a
+//! fresh integer variable `q` constrained by `0 ≤ e − s·q ≤ s − 1`, which
+//! pins `q = ⌊e/s⌋` exactly; `q` then serves as the time coordinate.
+//!
+//! A non-empty violation set always comes with a concrete integer witness
+//! (parameter values plus consumer/producer instances) that can be
+//! replayed on the exhaustive checker; an exhausted search budget yields
+//! the honest [`StaticVerdict::Unknown`], never "legal".
+
+use crate::affine::{v, AffineExpr, Env};
+use crate::dependence::{Dependence, System};
+use crate::domain::{Constraint, Domain};
+use crate::presburger::{Assignment, Budget, Feasibility, LinExpr, Polyhedron};
+use crate::schedule::SchedDim;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Options for [`System::verify_static_with`].
+#[derive(Clone, Debug)]
+pub struct StaticOptions {
+    /// Parameters are constrained only by `param ≥ param_floor`.
+    pub param_floor: i64,
+    /// Resource limits for each emptiness query.
+    pub budget: Budget,
+}
+
+impl Default for StaticOptions {
+    fn default() -> Self {
+        StaticOptions {
+            param_floor: 1,
+            budget: Budget::default(),
+        }
+    }
+}
+
+/// The kind of scheduling error a witness demonstrates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StaticViolationKind {
+    /// The dependence maps an in-domain point outside the other side's
+    /// domain.
+    OutOfDomain,
+    /// The producer instance is scheduled at-or-after the consumer.
+    NotBefore,
+    /// Producer and consumer first differ on a parallel time dimension.
+    Race {
+        /// The offending time dimension.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for StaticViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaticViolationKind::OutOfDomain => write!(f, "out-of-domain"),
+            StaticViolationKind::NotBefore => write!(f, "not-before"),
+            StaticViolationKind::Race { dim } => write!(f, "race on parallel dim {dim}"),
+        }
+    }
+}
+
+/// A concrete counterexample to schedule legality.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StaticViolation {
+    /// Label of the violated dependence.
+    pub dep: String,
+    /// What went wrong.
+    pub kind: StaticViolationKind,
+    /// Parameter values at which the violation manifests.
+    pub params: Env,
+    /// The consumer instance.
+    pub consumer_point: Vec<i64>,
+    /// The producer instance.
+    pub producer_point: Vec<i64>,
+}
+
+impl fmt::Display for StaticViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params: Vec<String> = self
+            .params
+            .iter()
+            .map(|(k, val)| format!("{k}={val}"))
+            .collect();
+        write!(
+            f,
+            "{}: {} at [{}]: consumer {:?} / producer {:?}",
+            self.dep,
+            self.kind,
+            params.join(", "),
+            self.consumer_point,
+            self.producer_point,
+        )
+    }
+}
+
+/// Per-dependence outcome of the symbolic analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StaticVerdict {
+    /// Every violation polyhedron is certified empty: the dependence is
+    /// respected for all parameter values above the floor.
+    Legal,
+    /// A violation polyhedron contains the given integer point.
+    Violation(StaticViolation),
+    /// Some violation set could not be certified empty within budget and
+    /// no witness was found. Must be treated as "not proven legal".
+    Unknown {
+        /// Which case split could not be decided.
+        case: String,
+    },
+}
+
+/// One dependence's report line.
+#[derive(Clone, Debug)]
+pub struct DepReport {
+    /// The dependence label.
+    pub dep: String,
+    /// Outcome for this dependence.
+    pub verdict: StaticVerdict,
+    /// How many violation polyhedra were checked.
+    pub cases: usize,
+}
+
+/// The full symbolic-legality report for a scheduled system.
+#[derive(Clone, Debug, Default)]
+pub struct StaticReport {
+    /// One entry per dependence, in system registration order.
+    pub deps: Vec<DepReport>,
+}
+
+impl StaticReport {
+    /// True when every dependence is certified legal.
+    #[must_use]
+    pub fn is_legal(&self) -> bool {
+        self.deps
+            .iter()
+            .all(|d| matches!(d.verdict, StaticVerdict::Legal))
+    }
+
+    /// All concrete violations found.
+    pub fn violations(&self) -> impl Iterator<Item = &StaticViolation> {
+        self.deps.iter().filter_map(|d| match &d.verdict {
+            StaticVerdict::Violation(w) => Some(w),
+            _ => None,
+        })
+    }
+
+    /// Dependences whose verdict is [`StaticVerdict::Unknown`].
+    pub fn unknowns(&self) -> impl Iterator<Item = &DepReport> {
+        self.deps
+            .iter()
+            .filter(|d| matches!(d.verdict, StaticVerdict::Unknown { .. }))
+    }
+
+    /// Total violation polyhedra certified or refuted.
+    #[must_use]
+    pub fn cases_checked(&self) -> usize {
+        self.deps.iter().map(|d| d.cases).sum()
+    }
+}
+
+impl fmt::Display for StaticReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.deps {
+            match &d.verdict {
+                StaticVerdict::Legal => writeln!(f, "  ok   {} ({} cases)", d.dep, d.cases)?,
+                StaticVerdict::Violation(w) => writeln!(f, "  FAIL {w}")?,
+                StaticVerdict::Unknown { case } => {
+                    writeln!(f, "  ???  {} (undecided case: {case})", d.dep)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl System {
+    /// Symbolically verify every dependence under the current schedules
+    /// with default options. See the module docs.
+    #[must_use]
+    pub fn verify_static(&self) -> StaticReport {
+        self.verify_static_with(&StaticOptions::default())
+    }
+
+    /// Symbolically verify every dependence under the current schedules.
+    #[must_use]
+    pub fn verify_static_with(&self, opts: &StaticOptions) -> StaticReport {
+        let mut report = StaticReport::default();
+        for dep in self.deps() {
+            report.deps.push(DepAnalysis::new(self, dep, opts).run());
+        }
+        report
+    }
+}
+
+/// Canonical variable name for an enumeration-side index. The `$`
+/// separator cannot occur in parameter names, so no collision is possible.
+fn canon(prefix: &str, index: &str) -> String {
+    format!("{prefix}${index}")
+}
+
+/// Everything needed to build violation polyhedra for one dependence.
+struct DepAnalysis<'a> {
+    system: &'a System,
+    dep: &'a Dependence,
+    opts: &'a StaticOptions,
+    /// Enumeration-side domain indices renamed to canonical variables.
+    enum_indices: Vec<String>,
+    /// Identity point of the enumeration side, as canonical-variable exprs.
+    enum_point: Vec<AffineExpr>,
+    /// The mapped (other-side) point, as canonical-variable exprs.
+    other_point: Vec<AffineExpr>,
+    /// Other side's domain with its indices substituted by `other_point`.
+    other_constraints: Vec<Constraint>,
+    /// Base constraints: enum-side domain + guard + parameter floors.
+    base: Polyhedron,
+}
+
+impl<'a> DepAnalysis<'a> {
+    fn new(system: &'a System, dep: &'a Dependence, opts: &'a StaticOptions) -> Self {
+        let enum_var = if dep.enumerate_producer {
+            system.var(&dep.producer)
+        } else {
+            system.var(&dep.consumer)
+        };
+        let other_var = if dep.enumerate_producer {
+            system.var(&dep.consumer)
+        } else {
+            system.var(&dep.producer)
+        };
+        let prefix = if dep.enumerate_producer { "p" } else { "c" };
+
+        let enum_indices: Vec<String> = enum_var
+            .domain
+            .indices()
+            .iter()
+            .map(|i| canon(prefix, i))
+            .collect();
+        let enum_subs: BTreeMap<String, AffineExpr> = enum_var
+            .domain
+            .indices()
+            .iter()
+            .zip(&enum_indices)
+            .map(|(i, c)| (i.clone(), v(c)))
+            .collect();
+        let enum_point: Vec<AffineExpr> = enum_indices.iter().map(|c| v(c)).collect();
+
+        // The dependence map is defined over the enumeration side's
+        // indices (mirroring `AffineMap::eval_point` in the exhaustive
+        // checker); rebase it onto the canonical variables.
+        let map_subs: BTreeMap<String, AffineExpr> = dep
+            .map
+            .inputs()
+            .iter()
+            .zip(&enum_indices)
+            .map(|(i, c)| (i.clone(), v(c)))
+            .collect();
+        let other_point: Vec<AffineExpr> = dep
+            .map
+            .exprs()
+            .iter()
+            .map(|e| e.substitute(&map_subs))
+            .collect();
+
+        let other_subs: BTreeMap<String, AffineExpr> = other_var
+            .domain
+            .indices()
+            .iter()
+            .zip(&other_point)
+            .map(|(i, e)| (i.clone(), e.clone()))
+            .collect();
+        let other_constraints: Vec<Constraint> = substitute_domain(&other_var.domain, &other_subs);
+
+        let mut base = Polyhedron::new();
+        for c in substitute_domain(&enum_var.domain, &enum_subs) {
+            add_constraint(&mut base, &c);
+        }
+        if let Some(guard) = &dep.guard {
+            for c in substitute_domain(guard, &enum_subs) {
+                add_constraint(&mut base, &c);
+            }
+        }
+        for p in &system.params {
+            // param − floor ≥ 0.
+            base.add_ge0(LinExpr::var(p).add(&LinExpr::constant(-i128::from(opts.param_floor))));
+        }
+
+        DepAnalysis {
+            system,
+            dep,
+            opts,
+            enum_indices,
+            enum_point,
+            other_point,
+            other_constraints,
+            base,
+        }
+    }
+
+    fn run(self) -> DepReport {
+        let mut cases = 0usize;
+        let mut unknown: Option<String> = None;
+
+        // -- Case family A: mapped point escapes the other side's domain.
+        for (j, c) in self.other_constraints.iter().enumerate() {
+            let negations: Vec<LinExpr> = match c {
+                // ¬(e ≥ 0) ⟺ −e − 1 ≥ 0.
+                Constraint::Ge0(e) => vec![LinExpr::from(e).scale(-1).add(&LinExpr::constant(-1))],
+                // ¬(e = 0) ⟺ e ≥ 1 ∨ −e ≥ 1.
+                Constraint::Eq0(e) => vec![
+                    LinExpr::from(e).add(&LinExpr::constant(-1)),
+                    LinExpr::from(e).scale(-1).add(&LinExpr::constant(-1)),
+                ],
+            };
+            for (half, neg) in negations.into_iter().enumerate() {
+                cases += 1;
+                let mut poly = self.base.clone();
+                poly.add_ge0(neg);
+                match self.decide(&poly) {
+                    Outcome::Empty => {}
+                    Outcome::Witness(w) => {
+                        return self.report(cases, StaticViolationKind::OutOfDomain, w);
+                    }
+                    Outcome::Unknown => {
+                        unknown.get_or_insert(format!("out-of-domain constraint {j}.{half}"));
+                    }
+                }
+            }
+        }
+
+        // -- Case families B/C need both sides in-domain plus the
+        //    symbolic time vectors (with tiled dims linearized).
+        let mut sched_base = self.base.clone();
+        for c in &self.other_constraints {
+            add_constraint(&mut sched_base, c);
+        }
+        let cons_point;
+        let prod_point;
+        if self.dep.enumerate_producer {
+            cons_point = &self.other_point;
+            prod_point = &self.enum_point;
+        } else {
+            cons_point = &self.enum_point;
+            prod_point = &self.other_point;
+        }
+        let tc = self.time_exprs(&self.dep.consumer, "c", cons_point, &mut sched_base);
+        let tp = self.time_exprs(&self.dep.producer, "p", prod_point, &mut sched_base);
+        assert_eq!(tc.len(), tp.len(), "schedules must agree on time dims");
+
+        // B0: identical time vectors.
+        cases += 1;
+        let mut poly = sched_base.clone();
+        for (a, b) in tp.iter().zip(&tc) {
+            poly.add_eq0(a.sub(b));
+        }
+        match self.decide(&poly) {
+            Outcome::Empty => {}
+            Outcome::Witness(w) => return self.report(cases, StaticViolationKind::NotBefore, w),
+            Outcome::Unknown => {
+                unknown.get_or_insert("equal time vectors".to_string());
+            }
+        }
+
+        // B_d: first difference at dim d with the producer later.
+        // C_d: first difference at a parallel dim d with the producer
+        //      earlier (no ordering guarantee ⟹ race).
+        for d in 0..tc.len() {
+            for race in [false, true] {
+                if race && !self.system.parallel_dims().contains(&d) {
+                    continue;
+                }
+                cases += 1;
+                let mut poly = sched_base.clone();
+                for k in 0..d {
+                    poly.add_eq0(tp[k].sub(&tc[k]));
+                }
+                let gap = if race {
+                    tc[d].sub(&tp[d]) // t_cons[d] − t_prod[d] ≥ 1
+                } else {
+                    tp[d].sub(&tc[d]) // t_prod[d] − t_cons[d] ≥ 1
+                };
+                poly.add_ge0(gap.add(&LinExpr::constant(-1)));
+                match self.decide(&poly) {
+                    Outcome::Empty => {}
+                    Outcome::Witness(w) => {
+                        let kind = if race {
+                            StaticViolationKind::Race { dim: d }
+                        } else {
+                            StaticViolationKind::NotBefore
+                        };
+                        return self.report(cases, kind, w);
+                    }
+                    Outcome::Unknown => {
+                        let label = if race { "race" } else { "not-before" };
+                        unknown.get_or_insert(format!("{label} at dim {d}"));
+                    }
+                }
+            }
+        }
+
+        DepReport {
+            dep: self.dep.label.clone(),
+            verdict: match unknown {
+                None => StaticVerdict::Legal,
+                Some(case) => StaticVerdict::Unknown { case },
+            },
+            cases,
+        }
+    }
+
+    /// Symbolic time vector of `var`'s schedule applied to `point`,
+    /// linearizing tiled dims with fresh `q` variables constrained in
+    /// `poly` (`0 ≤ e − s·q ≤ s − 1`).
+    fn time_exprs(
+        &self,
+        var: &str,
+        side: &str,
+        point: &[AffineExpr],
+        poly: &mut Polyhedron,
+    ) -> Vec<LinExpr> {
+        let schedule = self.system.schedule(var);
+        let subs: BTreeMap<String, AffineExpr> = schedule
+            .inputs()
+            .iter()
+            .zip(point)
+            .map(|(i, e)| (i.clone(), e.clone()))
+            .collect();
+        schedule
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(d, dim)| match dim {
+                SchedDim::Affine(e) => LinExpr::from(&e.substitute(&subs)),
+                SchedDim::Tiled { expr, size } => {
+                    assert!(*size >= 1, "tile size must be >= 1");
+                    let q = format!("q${side}${d}");
+                    let e = LinExpr::from(&expr.substitute(&subs));
+                    let sq = LinExpr::var(&q).scale(i128::from(*size));
+                    // e − s·q ≥ 0 and s·q + (s−1) − e ≥ 0 pin q = ⌊e/s⌋.
+                    poly.add_ge0(e.sub(&sq));
+                    poly.add_ge0(sq.add(&LinExpr::constant(i128::from(*size) - 1)).sub(&e));
+                    LinExpr::var(&q)
+                }
+            })
+            .collect()
+    }
+
+    fn decide(&self, poly: &Polyhedron) -> Outcome {
+        match poly.feasibility(&self.opts.budget) {
+            Feasibility::Empty => Outcome::Empty,
+            Feasibility::Witness(w) => Outcome::Witness(w),
+            Feasibility::RationalOnly => Outcome::Unknown,
+        }
+    }
+
+    /// Turn a raw solver assignment into an oriented violation report.
+    fn report(&self, cases: usize, kind: StaticViolationKind, witness: Assignment) -> DepReport {
+        // The witness binds the polyhedron's variables; canonical index
+        // variables absent from every constraint default to 0.
+        let mut env: Env = witness.clone();
+        for c in &self.enum_indices {
+            env.entry(c.clone()).or_insert(0);
+        }
+        let enum_vals: Vec<i64> = self.enum_point.iter().map(|e| e.eval(&env)).collect();
+        let other_vals: Vec<i64> = self.other_point.iter().map(|e| e.eval(&env)).collect();
+        let (consumer_point, producer_point) = if self.dep.enumerate_producer {
+            (other_vals, enum_vals)
+        } else {
+            (enum_vals, other_vals)
+        };
+        let params: Env = self
+            .system
+            .params
+            .iter()
+            .map(|p| {
+                (
+                    p.clone(),
+                    *witness.get(p).expect("params are always constrained"),
+                )
+            })
+            .collect();
+        DepReport {
+            dep: self.dep.label.clone(),
+            verdict: StaticVerdict::Violation(StaticViolation {
+                dep: self.dep.label.clone(),
+                kind,
+                params,
+                consumer_point,
+                producer_point,
+            }),
+            cases,
+        }
+    }
+}
+
+enum Outcome {
+    Empty,
+    Witness(Assignment),
+    Unknown,
+}
+
+/// A domain's constraints with its index variables substituted.
+fn substitute_domain(domain: &Domain, subs: &BTreeMap<String, AffineExpr>) -> Vec<Constraint> {
+    domain
+        .constraints()
+        .iter()
+        .map(|c| match c {
+            Constraint::Ge0(e) => Constraint::Ge0(e.substitute(subs)),
+            Constraint::Eq0(e) => Constraint::Eq0(e.substitute(subs)),
+        })
+        .collect()
+}
+
+fn add_constraint(poly: &mut Polyhedron, c: &Constraint) {
+    match c {
+        Constraint::Ge0(e) => poly.add_ge0(LinExpr::from(e)),
+        Constraint::Eq0(e) => poly.add_eq0(LinExpr::from(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::{c, env, AffineMap};
+    use crate::dependence::Var;
+    use crate::schedule::Schedule;
+    use crate::tiling::strip_mine;
+
+    /// X[i] ← X[i−1] over 0 ≤ i < N.
+    fn chain_system() -> System {
+        let mut sys = System::new(&["N"]);
+        let dom = Domain::universe(&["i"]).ge0(v("i")).lt(v("i"), v("N"));
+        sys.add_var(Var::new("X", dom.clone()));
+        sys.add_dep(
+            Dependence::new(
+                "flow",
+                "X",
+                "X",
+                AffineMap::new(&["i"], vec![v("i") - c(1)]),
+            )
+            .with_guard(Domain::universe(&["i"]).ge0(v("i") - c(1))),
+        );
+        sys
+    }
+
+    #[test]
+    fn forward_chain_schedule_is_legal() {
+        let mut sys = chain_system();
+        sys.set_schedule("X", Schedule::affine(&["i"], vec![v("i")]));
+        let report = sys.verify_static();
+        assert!(report.is_legal(), "{report}");
+        assert!(report.cases_checked() > 0);
+    }
+
+    #[test]
+    fn reversed_chain_schedule_is_caught_with_witness() {
+        let mut sys = chain_system();
+        sys.set_schedule("X", Schedule::affine(&["i"], vec![c(0) - v("i")]));
+        let report = sys.verify_static();
+        assert!(!report.is_legal());
+        let w = report.violations().next().expect("a violation");
+        assert_eq!(w.kind, StaticViolationKind::NotBefore);
+        // Replay the witness on the exhaustive checker.
+        let n = w.params["N"];
+        let violations = sys.verify(&w.params, n.max(4), 64);
+        assert!(!violations.is_empty(), "exhaustive checker must agree");
+    }
+
+    #[test]
+    fn parallel_chain_dim_races() {
+        let mut sys = chain_system();
+        sys.set_schedule("X", Schedule::affine(&["i"], vec![c(0), v("i")]));
+        sys.set_parallel(1);
+        let report = sys.verify_static();
+        assert!(!report.is_legal());
+        let w = report.violations().next().expect("a violation");
+        assert!(matches!(w.kind, StaticViolationKind::Race { dim: 1 }));
+    }
+
+    #[test]
+    fn tiled_forward_chain_is_legal() {
+        let mut sys = chain_system();
+        let tiled = strip_mine(&Schedule::affine(&["i"], vec![v("i")]), &[0], &[4]);
+        sys.set_schedule("X", tiled);
+        let report = sys.verify_static();
+        assert!(report.is_legal(), "{report}");
+    }
+
+    #[test]
+    fn descending_tile_coordinate_is_caught() {
+        // Time (⌊−i/2⌋, i): tile coordinate decreases as i grows, so the
+        // producer i−1 lands in a *later* tile whenever i crosses a tile
+        // boundary — illegal, and only expressible through the ⌊·⌋ dim.
+        let mut sys = chain_system();
+        sys.set_schedule(
+            "X",
+            Schedule::new(
+                &["i"],
+                vec![
+                    SchedDim::Tiled {
+                        expr: c(0) - v("i"),
+                        size: 2,
+                    },
+                    SchedDim::Affine(v("i")),
+                ],
+            ),
+        );
+        let report = sys.verify_static();
+        assert!(!report.is_legal());
+        let w = report.violations().next().expect("a violation");
+        assert_eq!(w.kind, StaticViolationKind::NotBefore);
+        let n = w.params["N"];
+        assert!(
+            !sys.verify(&w.params, n.max(4), 64).is_empty(),
+            "exhaustive checker must confirm the tiled witness"
+        );
+    }
+
+    #[test]
+    fn out_of_domain_map_is_caught() {
+        // X[i] ← X[i−1] with no guard: at i = 0 the producer is outside.
+        let mut sys = System::new(&["N"]);
+        let dom = Domain::universe(&["i"]).ge0(v("i")).lt(v("i"), v("N"));
+        sys.add_var(Var::new("X", dom));
+        sys.add_dep(Dependence::new(
+            "flow",
+            "X",
+            "X",
+            AffineMap::new(&["i"], vec![v("i") - c(1)]),
+        ));
+        sys.set_schedule("X", Schedule::affine(&["i"], vec![v("i")]));
+        let report = sys.verify_static();
+        let w = report.violations().next().expect("a violation");
+        assert_eq!(w.kind, StaticViolationKind::OutOfDomain);
+        assert_eq!(w.consumer_point, vec![0]);
+        assert_eq!(w.producer_point, vec![-1]);
+    }
+
+    #[test]
+    fn witness_params_replay_on_exhaustive_checker() {
+        let mut sys = chain_system();
+        sys.set_schedule("X", Schedule::affine(&["i"], vec![c(0) - v("i")]));
+        let report = sys.verify_static();
+        let w = report.violations().next().expect("a violation");
+        let found = sys.verify(&w.params, w.params["N"].max(4), 64);
+        assert!(found
+            .iter()
+            .any(|viol| matches!(viol, crate::dependence::Violation::NotBefore { .. })));
+    }
+
+    #[test]
+    fn two_var_reduction_style_system() {
+        // F[i] consumes reduce(R[i][k]) — modeled as F[i] ← R[i, N−1]
+        // with R accumulating along k.
+        let mut sys = System::new(&["N"]);
+        let fdom = Domain::universe(&["i"]).ge0(v("i")).lt(v("i"), v("N"));
+        let rdom = Domain::universe(&["i", "k"])
+            .ge0(v("i"))
+            .lt(v("i"), v("N"))
+            .ge0(v("k"))
+            .lt(v("k"), v("N"));
+        sys.add_var(Var::new("F", fdom));
+        sys.add_var(Var::new("R", rdom));
+        sys.add_dep(Dependence::new(
+            "use",
+            "F",
+            "R",
+            AffineMap::new(&["i"], vec![v("i"), v("N") - c(1)]),
+        ));
+        // Legal: R at (i, k), F after all R of its row.
+        sys.set_schedule(
+            "R",
+            Schedule::affine(&["i", "k"], vec![v("i"), c(0), v("k")]),
+        );
+        sys.set_schedule("F", Schedule::affine(&["i"], vec![v("i"), c(1), c(0)]));
+        assert!(sys.verify_static().is_legal());
+        // Illegal: F scheduled with the first R element instead of after.
+        sys.set_schedule("F", Schedule::affine(&["i"], vec![v("i"), c(0), c(0)]));
+        let report = sys.verify_static();
+        assert!(!report.is_legal());
+        let w = report.violations().next().expect("a violation");
+        let bound = w.params["N"].max(4);
+        assert!(!sys.verify(&w.params, bound, 64).is_empty());
+    }
+
+    #[test]
+    fn report_display_mentions_each_dep() {
+        let mut sys = chain_system();
+        sys.set_schedule("X", Schedule::affine(&["i"], vec![v("i")]));
+        let report = sys.verify_static();
+        let text = report.to_string();
+        assert!(text.contains("flow"), "{text}");
+        assert!(env(&[("N", 4)]).contains_key("N"));
+    }
+}

@@ -9,9 +9,8 @@ use std::cmp::Ordering;
 
 fn small_expr() -> impl Strategy<Value = AffineExpr> {
     // c0 + c1·x + c2·y with small coefficients
-    (-5i64..=5, -5i64..=5, -5i64..=5).prop_map(|(c0, c1, c2)| {
-        AffineExpr::constant(c0) + v("x") * c1 + v("y") * c2
-    })
+    (-5i64..=5, -5i64..=5, -5i64..=5)
+        .prop_map(|(c0, c1, c2)| AffineExpr::constant(c0) + v("x") * c1 + v("y") * c2)
 }
 
 fn point() -> impl Strategy<Value = (i64, i64)> {

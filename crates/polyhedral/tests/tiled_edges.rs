@@ -1,0 +1,171 @@
+//! Edge cases of `SchedDim::Tiled` (`⌊e/s⌋` time coordinates) checked on
+//! *both* legality checkers — the exhaustive enumerator and the symbolic
+//! analyzer must agree on: tile size 1 (the identity tiling), tile size
+//! larger than the whole domain extent (one tile holds everything), and
+//! domains reaching into negative coordinates (where `⌊·/s⌋` must be a
+//! floor division, not truncation).
+
+use polyhedral::affine::{c, env, v, AffineMap};
+use polyhedral::schedule::SchedDim;
+use polyhedral::tiling::strip_mine;
+use polyhedral::{Dependence, Domain, Schedule, System, Var};
+
+/// X[i] ← X[i−1] over the given domain.
+fn chain(domain: Domain) -> System {
+    let mut sys = System::new(&["N"]);
+    sys.add_var(Var::new("X", domain));
+    sys.add_dep(
+        Dependence::new(
+            "chain",
+            "X",
+            "X",
+            AffineMap::new(&["i"], vec![v("i") - c(1)]),
+        )
+        .with_guard(Domain::universe(&["i"]).ge0(v("i") - c(1))),
+    );
+    sys
+}
+
+fn nonneg_domain() -> Domain {
+    Domain::universe(&["i"]).ge0(v("i")).lt(v("i"), v("N"))
+}
+
+/// −N ≤ i < N: the negative-bounds variant (guarded to i ≥ 1 by the dep,
+/// the *domain* still spans negatives so enumeration and floor-division
+/// both have to cope).
+fn signed_domain() -> Domain {
+    Domain::universe(&["i"])
+        .ge0(v("i") + v("N"))
+        .lt(v("i"), v("N"))
+}
+
+/// A signed chain whose guard permits negative consumers too: X[i] reads
+/// X[i−1] everywhere above the domain floor.
+fn signed_chain() -> System {
+    let mut sys = System::new(&["N"]);
+    sys.add_var(Var::new("X", signed_domain()));
+    sys.add_dep(
+        Dependence::new(
+            "chain",
+            "X",
+            "X",
+            AffineMap::new(&["i"], vec![v("i") - c(1)]),
+        )
+        .with_guard(Domain::universe(&["i"]).ge0(v("i") + v("N") - c(1))),
+    );
+    sys
+}
+
+#[test]
+fn tile_size_one_is_the_identity_tiling() {
+    let mut sys = chain(nonneg_domain());
+    sys.set_schedule(
+        "X",
+        strip_mine(&Schedule::affine(&["i"], vec![v("i")]), &[0], &[1]),
+    );
+    assert!(sys.verify(&env(&[("N", 8)]), 8, 10).is_empty());
+    let report = sys.verify_static();
+    assert!(report.is_legal(), "{report}");
+}
+
+#[test]
+fn tile_size_one_still_catches_reversal() {
+    let mut sys = chain(nonneg_domain());
+    sys.set_schedule(
+        "X",
+        strip_mine(&Schedule::affine(&["i"], vec![c(0) - v("i")]), &[0], &[1]),
+    );
+    assert!(!sys.verify(&env(&[("N", 8)]), 8, 10).is_empty());
+    let report = sys.verify_static();
+    assert!(!report.is_legal());
+    assert!(report.violations().next().is_some(), "needs a witness");
+}
+
+#[test]
+fn tile_larger_than_domain_extent_is_one_big_tile() {
+    let mut sys = chain(nonneg_domain());
+    sys.set_schedule(
+        "X",
+        strip_mine(&Schedule::affine(&["i"], vec![v("i")]), &[0], &[64]),
+    );
+    // Exhaustively at N = 5 (extent 5 « tile 64) ...
+    assert!(sys.verify(&env(&[("N", 5)]), 5, 10).is_empty());
+    // ... and symbolically for all N, including N > 64.
+    let report = sys.verify_static();
+    assert!(report.is_legal(), "{report}");
+}
+
+#[test]
+fn negative_bounds_tiled_chain_is_legal_on_both_checkers() {
+    let mut sys = signed_chain();
+    sys.set_schedule(
+        "X",
+        strip_mine(&Schedule::affine(&["i"], vec![v("i")]), &[0], &[2]),
+    );
+    // Exhaustive needs the explicit box: [−8, 8) covers −N ≤ i < N at N=8.
+    assert!(sys.verify_boxed(&env(&[("N", 8)]), -8, 8, 10).is_empty());
+    let report = sys.verify_static();
+    assert!(report.is_legal(), "{report}");
+}
+
+#[test]
+fn negative_bounds_reversed_tiled_chain_is_caught_by_both() {
+    let mut sys = signed_chain();
+    sys.set_schedule(
+        "X",
+        Schedule::new(
+            &["i"],
+            vec![
+                SchedDim::Tiled {
+                    expr: c(0) - v("i"),
+                    size: 2,
+                },
+                SchedDim::Affine(v("i")),
+            ],
+        ),
+    );
+    let report = sys.verify_static();
+    assert!(!report.is_legal());
+    let w = report.violations().next().expect("a witness");
+    // Replay at the witness's parameters with a box covering its points.
+    let span = w
+        .consumer_point
+        .iter()
+        .chain(&w.producer_point)
+        .map(|&x| x.abs())
+        .max()
+        .unwrap()
+        .max(w.params["N"])
+        + 1;
+    let found = sys.verify_boxed(&w.params, -span, span, 10);
+    assert!(
+        !found.is_empty(),
+        "exhaustive must confirm at N={}",
+        w.params["N"]
+    );
+}
+
+#[test]
+fn floor_division_not_truncation_at_negative_indices() {
+    // ⌊i/2⌋ at i = −1 must be −1 (floor), not 0 (truncation): with a
+    // truncating division the pair (−1 → −2) would look misordered
+    // (tile(−2) = −1 = tile(−1) is fine, but tile(−3) = −2 < tile(−2) = −1
+    // keeps order). A legal verdict on the signed tiled chain is exactly
+    // the statement that the engine divides with floor semantics.
+    let mut sys = signed_chain();
+    sys.set_schedule(
+        "X",
+        Schedule::new(
+            &["i"],
+            vec![
+                SchedDim::Tiled {
+                    expr: v("i"),
+                    size: 2,
+                },
+                SchedDim::Affine(v("i")),
+            ],
+        ),
+    );
+    assert!(sys.verify_boxed(&env(&[("N", 6)]), -6, 6, 10).is_empty());
+    assert!(sys.verify_static().is_legal());
+}

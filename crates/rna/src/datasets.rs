@@ -1,9 +1,9 @@
 //! Interaction-scenario fixtures.
 //!
 //! Synthetic sequences shaped like the classic RNA-RNA interaction motifs
-//! the RRI literature (and the BPMax paper's motivation) cares about. They
+//! the RRI literature (and the `BPMax` paper's motivation) cares about. They
 //! are **constructed, not curated biology** — each generator documents the
-//! structural motif it encodes, and the test-suite asserts that BPMax
+//! structural motif it encodes, and the test-suite asserts that `BPMax`
 //! recovers exactly that motif. Useful as regression fixtures and for
 //! examples that need "realistic" inputs without shipping databases.
 
@@ -23,7 +23,7 @@ pub fn antisense_pair(rng: &mut impl Rng, len: usize) -> (RnaSeq, RnaSeq) {
 /// A kissing-hairpin pair (OxyS/fhlA-style): each strand folds into a
 /// stem-loop, and the two loops are complementary — the interaction uses
 /// intramolecular stems *plus* loop-loop intermolecular pairs, the mixed
-/// structure class BPMax models and simple duplex finders miss.
+/// structure class `BPMax` models and simple duplex finders miss.
 ///
 /// Returns `(strand1, strand2, stem, loop_len)`.
 pub fn kissing_hairpins(stem: usize, loop_len: usize) -> (RnaSeq, RnaSeq, usize, usize) {
@@ -31,25 +31,20 @@ pub fn kissing_hairpins(stem: usize, loop_len: usize) -> (RnaSeq, RnaSeq, usize,
     // strand2: G^stem  (loop: complementary G-core ...U)  C^stem
     // loops: loop1 = C^loop_len, loop2 = G^loop_len (C–G pairs across).
     let mut s1 = Vec::new();
-    s1.extend(std::iter::repeat(Base::G).take(stem));
-    s1.extend(std::iter::repeat(Base::C).take(loop_len));
-    s1.extend(std::iter::repeat(Base::C).take(stem));
+    s1.extend(std::iter::repeat_n(Base::G, stem));
+    s1.extend(std::iter::repeat_n(Base::C, loop_len));
+    s1.extend(std::iter::repeat_n(Base::C, stem));
     // make the stem close: the closing side must complement G^stem → C^stem ✓
     let mut s2 = Vec::new();
-    s2.extend(std::iter::repeat(Base::A).take(stem)); // A-stem needs U close
-    s2.extend(std::iter::repeat(Base::G).take(loop_len));
-    s2.extend(std::iter::repeat(Base::U).take(stem));
+    s2.extend(std::iter::repeat_n(Base::A, stem)); // A-stem needs U close
+    s2.extend(std::iter::repeat_n(Base::G, loop_len));
+    s2.extend(std::iter::repeat_n(Base::U, stem));
     (RnaSeq::new(s1), RnaSeq::new(s2), stem, loop_len)
 }
 
 /// A target with a planted binding site: random background of `target_len`
 /// with the reverse complement of `query` spliced in at `site`.
-pub fn planted_site(
-    rng: &mut impl Rng,
-    query: &RnaSeq,
-    target_len: usize,
-    site: usize,
-) -> RnaSeq {
+pub fn planted_site(rng: &mut impl Rng, query: &RnaSeq, target_len: usize, site: usize) -> RnaSeq {
     assert!(site + query.len() <= target_len, "site out of range");
     let mut bases = RnaSeq::random_gc(rng, target_len, 0.5).bases().to_vec();
     let rc = query.reverse_complement();
@@ -61,9 +56,9 @@ pub fn planted_site(
 /// (the `GGG…AAA…CCC` shape used throughout the test-suite), sized up.
 pub fn hairpin_with_loop(stem: usize, loop_len: usize) -> RnaSeq {
     let mut b = Vec::new();
-    b.extend(std::iter::repeat(Base::G).take(stem));
-    b.extend(std::iter::repeat(Base::A).take(loop_len));
-    b.extend(std::iter::repeat(Base::C).take(stem));
+    b.extend(std::iter::repeat_n(Base::G, stem));
+    b.extend(std::iter::repeat_n(Base::A, loop_len));
+    b.extend(std::iter::repeat_n(Base::C, stem));
     RnaSeq::new(b)
 }
 

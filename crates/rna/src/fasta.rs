@@ -79,9 +79,7 @@ pub fn parse(text: &str) -> Result<Vec<Record>, FastaError> {
 }
 
 fn make_record(id: String, seq: &str, line: usize) -> Result<Record, FastaError> {
-    let parsed: RnaSeq = seq
-        .parse()
-        .map_err(|e| FastaError::BadBase(line, e))?;
+    let parsed: RnaSeq = seq.parse().map_err(|e| FastaError::BadBase(line, e))?;
     Ok(Record { id, seq: parsed })
 }
 

@@ -1,6 +1,6 @@
 //! RNA sequences, scoring models, and single-strand folding.
 //!
-//! This crate provides the biological substrate of the BPMax reproduction:
+//! This crate provides the biological substrate of the `BPMax` reproduction:
 //!
 //! * [`base`] — the four nucleotides and their pairing rules.
 //! * [`seq`] — owned RNA sequences: parsing, display, seeded random
@@ -8,11 +8,11 @@
 //! * [`fasta`] — minimal FASTA reading/writing for the example binaries.
 //! * [`datasets`] — synthetic interaction-motif fixtures (antisense
 //!   duplexes, kissing hairpins, planted binding sites).
-//! * [`scoring`] — the weighted base-pair counting model of BPMax
+//! * [`scoring`] — the weighted base-pair counting model of `BPMax`
 //!   (Ebrahimpour-Boroojeny, Rajopadhye & Chitsaz 2019): intramolecular
 //!   weights (default GC=3, AU=2, GU=1) and intermolecular weights.
 //! * [`nussinov`] — the weighted Nussinov dynamic program producing the
-//!   `S⁽¹⁾`/`S⁽²⁾` tables BPMax consumes, with traceback and an exponential
+//!   `S⁽¹⁾`/`S⁽²⁾` tables `BPMax` consumes, with traceback and an exponential
 //!   brute-force oracle for testing.
 //! * [`structure`] — (joint) secondary structures: pair lists, validity
 //!   checking (disjointness, non-crossing), dot-bracket rendering, scoring.

@@ -1,7 +1,7 @@
-//! Weighted Nussinov folding — the `S⁽¹⁾`/`S⁽²⁾` substrate of BPMax.
+//! Weighted Nussinov folding — the `S⁽¹⁾`/`S⁽²⁾` substrate of `BPMax`.
 //!
 //! Nussinov's 1978 algorithm maximises (weighted) non-crossing base pairs of
-//! a single strand in `Θ(n³)` time and `Θ(n²)` space. BPMax consumes the full
+//! a single strand in `Θ(n³)` time and `Θ(n²)` space. `BPMax` consumes the full
 //! triangular table (`S[i][j]` = best score of the subsequence `[i..=j]`),
 //! not just the corner value: every reduction `R1..R4` adds `S` entries to
 //! `F` entries.
@@ -34,7 +34,7 @@ impl Nussinov {
         Self::fold_with_layout(seq, model, Layout::Packed)
     }
 
-    /// Fold with an explicit table [`Layout`] (the BPMax kernels stream rows
+    /// Fold with an explicit table [`Layout`] (the `BPMax` kernels stream rows
     /// of `S`, so layout choice matters there; results are identical).
     pub fn fold_with_layout(seq: &RnaSeq, model: &ScoringModel, layout: Layout) -> Fold {
         let n = seq.len();
@@ -50,7 +50,11 @@ impl Nussinov {
                 // i pairs j
                 let w = model.intra_pos(i, j, seq[i], seq[j]);
                 if w != ScoringModel::NO_PAIR {
-                    let inner = if i + 1 <= j - 1 { table.get(i + 1, j - 1) } else { 0.0 };
+                    let inner = if i < j - 1 {
+                        table.get(i + 1, j - 1)
+                    } else {
+                        0.0
+                    };
                     best = best.max(w + inner);
                 }
                 // bifurcation
@@ -71,7 +75,7 @@ impl Nussinov {
 impl Nussinov {
     /// Fold with the anti-diagonal wavefront parallelized (the
     /// parallelization Palkowski & Bielecki study for Nussinov — cited as
-    /// related work [17] in the BPMax paper). Cells of one anti-diagonal
+    /// related work [17] in the `BPMax` paper). Cells of one anti-diagonal
     /// are independent; the split/bifurcation reads stay within earlier
     /// diagonals. Results are identical to [`Nussinov::fold`].
     pub fn fold_parallel(seq: &RnaSeq, model: &ScoringModel) -> Fold {
@@ -90,7 +94,11 @@ impl Nussinov {
                     let mut best = snapshot.get(i + 1, j).max(snapshot.get(i, j - 1));
                     let w = model.intra_pos(i, j, seq[i], seq[j]);
                     if w != ScoringModel::NO_PAIR {
-                        let inner = if i + 1 <= j - 1 { snapshot.get(i + 1, j - 1) } else { 0.0 };
+                        let inner = if i < j - 1 {
+                            snapshot.get(i + 1, j - 1)
+                        } else {
+                            0.0
+                        };
                         best = best.max(w + inner);
                     }
                     for k in i + 1..j {
@@ -153,7 +161,7 @@ impl Fold {
         }
     }
 
-    /// Borrow the raw triangular table (the BPMax kernels read rows of it).
+    /// Borrow the raw triangular table (the `BPMax` kernels read rows of it).
     pub fn table(&self) -> &Triangular<f32> {
         &self.table
     }
@@ -167,7 +175,7 @@ impl Fold {
         self.traceback_interval(0, n - 1)
     }
 
-    /// Traceback restricted to the subsequence `[i..=j]` — BPMax traceback
+    /// Traceback restricted to the subsequence `[i..=j]` — `BPMax` traceback
     /// recurses into `S` sub-intervals whenever one strand side of a box is
     /// empty or split off.
     pub fn traceback_interval(&self, i: usize, j: usize) -> Structure {
@@ -199,10 +207,14 @@ impl Fold {
         // i pairs j?
         let w = self.model.intra_pos(i, j, self.seq[i], self.seq[j]);
         if w != ScoringModel::NO_PAIR {
-            let inner = if i + 1 <= j - 1 { self.table.get(i + 1, j - 1) } else { 0.0 };
+            let inner = if i < j - 1 {
+                self.table.get(i + 1, j - 1)
+            } else {
+                0.0
+            };
             if w + inner == target {
                 pairs.push((i, j));
-                if i + 1 <= j.wrapping_sub(1) && j >= 1 {
+                if i < j.wrapping_sub(1) && j >= 1 {
                     self.trace(i + 1, j - 1, pairs);
                 }
                 return;

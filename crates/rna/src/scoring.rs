@@ -1,6 +1,6 @@
-//! The weighted base-pair counting model of BPMax.
+//! The weighted base-pair counting model of `BPMax`.
 //!
-//! BPMax "uses weighted base-pair counting for base-pair maximization"
+//! `BPMax` "uses weighted base-pair counting for base-pair maximization"
 //! with a simplified energy model that "considers only base pair counting".
 //! A scoring model assigns a weight to every ordered pair of bases,
 //! separately for intramolecular pairs (`score` in the paper's recurrence)
@@ -30,7 +30,7 @@ impl ScoringModel {
     /// Sentinel weight for a non-pairing base combination.
     pub const NO_PAIR: f32 = f32::NEG_INFINITY;
 
-    /// The BPMax default: `GC = 3`, `AU = 2`, `GU = 1`, same table for
+    /// The `BPMax` default: `GC = 3`, `AU = 2`, `GU = 1`, same table for
     /// intra- and intermolecular pairs, no hairpin constraint (the pure
     /// counting model of the original program).
     pub fn bpmax_default() -> Self {

@@ -131,7 +131,7 @@ impl FromStr for RnaSeq {
 impl fmt::Display for RnaSeq {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for b in &self.bases {
-            write!(f, "{}", b)?;
+            write!(f, "{b}")?;
         }
         Ok(())
     }

@@ -8,10 +8,10 @@
 //! * every position participates in at most one pair,
 //! * intramolecular pairs of one strand are mutually non-crossing,
 //! * intermolecular pairs are mutually non-crossing in the *parallel* sense
-//!   induced by BPMax's double-split decomposition `F[i1,k1,i2,k2] ⊗
+//!   induced by `BPMax`'s double-split decomposition `F[i1,k1,i2,k2] ⊗
 //!   F[k1+1,j1,k2+1,j2]`: for `(a,b), (c,d)` with `a < c` we need `b < d`.
 //!
-//! These checks validate traceback output from both Nussinov and BPMax.
+//! These checks validate traceback output from both Nussinov and `BPMax`.
 
 use crate::base::Base;
 use crate::scoring::ScoringModel;
@@ -110,9 +110,7 @@ impl Structure {
                 '.' => {}
                 '(' => stack.push(idx),
                 ')' => {
-                    let open = stack
-                        .pop()
-                        .ok_or(StructureError::UnbalancedBracket(idx))?;
+                    let open = stack.pop().ok_or(StructureError::UnbalancedBracket(idx))?;
                     pairs.push((open, idx));
                 }
                 other => return Err(StructureError::BadBracketChar(idx, other)),
@@ -152,8 +150,18 @@ impl JointStructure {
     pub fn validate(&self, m: usize, n: usize) -> Result<(), StructureError> {
         self.intra1.validate(m)?;
         self.intra2.validate(n)?;
-        let mut used1: HashSet<usize> = self.intra1.pairs().iter().flat_map(|&(a, b)| [a, b]).collect();
-        let mut used2: HashSet<usize> = self.intra2.pairs().iter().flat_map(|&(a, b)| [a, b]).collect();
+        let mut used1: HashSet<usize> = self
+            .intra1
+            .pairs()
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
+        let mut used2: HashSet<usize> = self
+            .intra2
+            .pairs()
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
         let mut sorted = self.inter.clone();
         sorted.sort_unstable();
         for &(p1, p2) in &sorted {
@@ -281,7 +289,10 @@ mod tests {
         let s = Structure::new(vec![(0, 5), (5, 8)]);
         assert!(matches!(s.validate(10), Err(StructureError::Reused(5))));
         let s = Structure::new(vec![(0, 12)]);
-        assert!(matches!(s.validate(10), Err(StructureError::OutOfRange(..))));
+        assert!(matches!(
+            s.validate(10),
+            Err(StructureError::OutOfRange(..))
+        ));
     }
 
     #[test]

@@ -81,7 +81,7 @@ fn block_bytes(n: usize) -> u64 {
     (n as u64 * (n as u64 + 1) / 2) * 4
 }
 
-/// Simulate BPMax over an `m × n` problem on `cluster`.
+/// Simulate `BPMax` over an `m × n` problem on `cluster`.
 pub fn simulate_bpmax_distributed(m: usize, n: usize, cluster: &ClusterSpec) -> DistResult {
     assert!(cluster.nodes >= 1 && cluster.cores_per_node >= 1);
     let node_rate = cluster.core_gflops * 1e9 * cluster.cores_per_node as f64;
@@ -108,10 +108,7 @@ pub fn simulate_bpmax_distributed(m: usize, n: usize, cluster: &ClusterSpec) -> 
                 }
             }
         }
-        let compute = node_work
-            .iter()
-            .map(|w| w / node_rate)
-            .fold(0.0, f64::max);
+        let compute = node_work.iter().map(|w| w / node_rate).fold(0.0, f64::max);
         // Communication: received blocks per node, bandwidth-serialized at
         // the busiest receiver, plus one latency per message.
         let max_blocks = node_remote_blocks.iter().copied().max().unwrap_or(0);
@@ -156,8 +153,14 @@ mod tests {
         let small = distributed_speedup(8, 16, &base, 4);
         let large = distributed_speedup(64, 512, &base, 4);
         assert!(large > small, "large {large} vs small {small}");
-        assert!(large > 2.0, "4 nodes should give >2x on a large problem: {large}");
-        assert!(small < 4.0, "small problems must not scale perfectly: {small}");
+        assert!(
+            large > 2.0,
+            "4 nodes should give >2x on a large problem: {large}"
+        );
+        assert!(
+            small < 4.0,
+            "small problems must not scale perfectly: {small}"
+        );
     }
 
     #[test]

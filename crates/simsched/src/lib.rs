@@ -1,7 +1,7 @@
 //! Task-DAG parallel-execution simulation.
 //!
 //! The reproduction substitutes this simulator for the paper's 6-core /
-//! 8-core Xeons (see DESIGN.md §3): the parallel *shape* of the BPMax
+//! 8-core Xeons (see DESIGN.md §3): the parallel *shape* of the `BPMax`
 //! results — coarse vs fine vs hybrid ranking, load imbalance on triangular
 //! wavefronts, why OMP `dynamic` scheduling wins, the small hyper-threading
 //! gain of Fig 17 — is a property of the task graph, the per-task costs,
@@ -17,7 +17,7 @@
 //! * [`speedup`] — speedup curves and the hyper-threading efficiency model.
 //! * [`distributed`] — an MPI-cluster model of the wavefront (the paper's
 //!   future-work item), exposing the latency-bound vs compute-bound
-//!   regimes of a distributed BPMax.
+//!   regimes of a distributed `BPMax`.
 
 pub mod distributed;
 pub mod sched;

@@ -7,7 +7,7 @@
 //! property tests assert.
 //!
 //! [`simulate_parallel_for`] models one OMP `parallel for` over tasks of
-//! varying cost under the three schedule clauses. BPMax wavefronts are
+//! varying cost under the three schedule clauses. `BPMax` wavefronts are
 //! triangular, so per-iteration costs shrink along the loop — exactly the
 //! imbalance that makes the paper prefer `dynamic` ("The OMP
 //! dynamic-schedule works better than the static and guided-schedule due
@@ -101,7 +101,10 @@ pub fn simulate_dag_speed(graph: &TaskGraph, workers: usize, speed: f64) -> SimR
         }
     }
     assert_eq!(done, graph.len(), "task graph has a cycle (deadlock)");
-    SimResult { makespan: now, busy }
+    SimResult {
+        makespan: now,
+        busy,
+    }
 }
 
 /// [`simulate_dag_speed`] at unit speed.
@@ -165,9 +168,7 @@ pub fn simulate_parallel_for(costs: &[f64], workers: usize, policy: OmpPolicy) -
         OmpPolicy::Guided { min_chunk } => {
             let mc = min_chunk.max(1);
             let w = workers;
-            simulate_grab(costs, workers, move |remaining, _| {
-                (remaining / w).max(mc)
-            })
+            simulate_grab(costs, workers, move |remaining, _| (remaining / w).max(mc))
         }
     }
 }
@@ -249,7 +250,9 @@ mod tests {
             let width = 1 + (layer * 7) % 5;
             let cur: Vec<usize> = (0..width)
                 .map(|k| {
-                    idx = idx.wrapping_mul(6364136223846793005).wrapping_add(k as u64 + 1);
+                    idx = idx
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(k as u64 + 1);
                     g.add_task(((idx >> 33) % 10) as f64 + 1.0, "t")
                 })
                 .collect();
@@ -277,7 +280,7 @@ mod tests {
         assert!((half - 2.0 * full).abs() < 1e-12);
     }
 
-    /// Triangular wavefront costs (decreasing) — the BPMax imbalance shape.
+    /// Triangular wavefront costs (decreasing) — the `BPMax` imbalance shape.
     fn triangle_costs(n: usize) -> Vec<f64> {
         (0..n).map(|i| (n - i) as f64).collect()
     }

@@ -6,7 +6,7 @@ pub type TaskId = usize;
 /// A directed acyclic graph of weighted tasks.
 ///
 /// Edges point from prerequisite to dependent (`a → b` means `b` may start
-/// only after `a` finishes). Costs are in arbitrary time units (the BPMax
+/// only after `a` finishes). Costs are in arbitrary time units (the `BPMax`
 /// DAG builders use calibrated seconds).
 #[derive(Clone, Debug, Default)]
 pub struct TaskGraph {
@@ -24,7 +24,10 @@ impl TaskGraph {
 
     /// Add a task with the given cost; returns its id.
     pub fn add_task(&mut self, cost: f64, label: impl Into<String>) -> TaskId {
-        assert!(cost >= 0.0 && cost.is_finite(), "task cost must be finite and >= 0");
+        assert!(
+            cost >= 0.0 && cost.is_finite(),
+            "task cost must be finite and >= 0"
+        );
         let id = self.costs.len();
         self.costs.push(cost);
         self.labels.push(label.into());
@@ -35,7 +38,10 @@ impl TaskGraph {
 
     /// Add a dependency edge `from → to`.
     pub fn add_edge(&mut self, from: TaskId, to: TaskId) {
-        assert!(from < self.costs.len() && to < self.costs.len(), "edge endpoint out of range");
+        assert!(
+            from < self.costs.len() && to < self.costs.len(),
+            "edge endpoint out of range"
+        );
         assert_ne!(from, to, "self-edge");
         self.succs[from].push(to);
         self.pred_count[to] += 1;

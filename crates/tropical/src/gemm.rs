@@ -1,6 +1,6 @@
 //! Semiring matrix products in the loop orders the paper explores.
 //!
-//! The double max-plus reduction `R0` of BPMax is, per `(k1)` step, one
+//! The double max-plus reduction `R0` of `BPMax` is, per `(k1)` step, one
 //! *max-plus matrix product* `C ⊕= A ⊗ B` over triangular operands (paper
 //! Fig 8). The schedule question of §IV.A — which of `(i2, k2, j2)` goes
 //! innermost — is exactly the classic GEMM loop-order question:

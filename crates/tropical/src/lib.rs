@@ -1,7 +1,7 @@
 //! Tropical (max-plus) semiring kernels.
 //!
-//! This crate is the computational substrate of the BPMax reproduction: the
-//! dominant kernel of BPMax (the "double max-plus" reduction `R0`) is, per
+//! This crate is the computational substrate of the `BPMax` reproduction: the
+//! dominant kernel of `BPMax` (the "double max-plus" reduction `R0`) is, per
 //! instance, a *max-plus matrix product* — "matrix multiplication like
 //! computation, except only a fraction of work is being done here, and the
 //! access pattern is imbalanced" (Mondal & Rajopadhye, IPPS 2021, Fig 8).
@@ -22,7 +22,7 @@
 //!   paper's `(i2 × k2 × j2)` tiling where the streaming `j2` dimension is
 //!   deliberately left untiled).
 //! * [`triangular`] — packed upper-triangular storage, the building block of
-//!   the BPMax "triangle of triangles" F-table.
+//!   the `BPMax` "triangle of triangles" F-table.
 //! * [`paths`] — all-pairs shortest paths over min-plus, exercising the
 //!   same GEMM kernels on a second domain ("(not just) a step towards
 //!   RNA-RNA interaction computations").

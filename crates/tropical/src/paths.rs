@@ -6,7 +6,7 @@
 //! `D^(k)` = min-plus matrix power of the weighted adjacency matrix gives
 //! shortest paths using ≤ k edges; repeated squaring reaches the fixpoint
 //! in ⌈log₂ n⌉ products. The same [`crate::gemm`] kernels that power the
-//! BPMax benchmarks do the work — one more consumer exercising them.
+//! `BPMax` benchmarks do the work — one more consumer exercising them.
 
 use crate::gemm::gemm_permuted;
 use crate::matrix::Matrix;
@@ -70,7 +70,16 @@ mod tests {
 
     fn diamond() -> Matrix<f32> {
         // 0 →1→ 1 →1→ 3, 0 →5→ 2 →1→ 3, 0 →10→ 3
-        adjacency(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 5.0), (2, 3, 1.0), (0, 3, 10.0)])
+        adjacency(
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 3, 1.0),
+                (0, 2, 5.0),
+                (2, 3, 1.0),
+                (0, 3, 10.0),
+            ],
+        )
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Scalar max-plus helpers on `f32`.
 //!
-//! BPMax stores scores in single precision ("we use single-precision storage
-//! to reduce the memory footprint of BPMax" — §IV.A). These helpers define
+//! `BPMax` stores scores in single precision ("we use single-precision storage
+//! to reduce the memory footprint of `BPMax`" — §IV.A). These helpers define
 //! the handful of scalar idioms the kernels are written in, so the hot loops
 //! stay uniform and auto-vectorizable.
 

@@ -4,7 +4,7 @@
 //! with identity `0̄`, an associative "multiplication" `⊗` with identity `1̄`
 //! that distributes over `⊕`, and `0̄` annihilates under `⊗`.
 //!
-//! BPMax computes over the **max-plus** (tropical) semiring:
+//! `BPMax` computes over the **max-plus** (tropical) semiring:
 //! `⊕ = max`, `⊗ = +`, `0̄ = -∞`, `1̄ = 0`. The paper's headline kernel
 //! performance (117 GFLOPS on the double max-plus) counts one `max` and one
 //! `+` per inner-loop iteration, i.e. 2 FLOPs per `⊗`/`⊕` pair.
@@ -22,7 +22,7 @@ use std::fmt::Debug;
 /// them with property tests for every instance shipped by this crate
 /// (floating-point instances are checked modulo IEEE rounding, which is exact
 /// for `max` and commutative-but-unassociative for `+`; the axioms hold
-/// exactly on the integer-valued scores BPMax uses).
+/// exactly on the integer-valued scores `BPMax` uses).
 pub trait Semiring: Copy + Debug + 'static {
     /// The scalar carrier type.
     type Elem: Copy + PartialEq + Debug + Send + Sync;
@@ -48,7 +48,7 @@ pub trait Semiring: Copy + Debug + 'static {
 
 /// Max-plus (tropical) semiring on `f32`: `⊕ = max`, `⊗ = +`.
 ///
-/// This is the semiring of BPMax: scores of alternative substructures are
+/// This is the semiring of `BPMax`: scores of alternative substructures are
 /// combined with `max`, scores of independent parts with `+`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MaxPlus;
@@ -153,7 +153,7 @@ impl Semiring for Arith {
 }
 
 /// Max-plus on `i64` — the exact integer instance used by property tests
-/// (BPMax scores are small integers, so `i64` never overflows in practice;
+/// (`BPMax` scores are small integers, so `i64` never overflows in practice;
 /// `i64::MIN / 4` stands in for `-∞` with headroom for one addition).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MaxPlusInt;

@@ -1,8 +1,8 @@
 //! Packed upper-triangular storage and the paper's two 2-D memory maps.
 //!
-//! BPMax tables are triangular: a single-sequence table `S` holds entries for
+//! `BPMax` tables are triangular: a single-sequence table `S` holds entries for
 //! `0 ≤ i ≤ j < n`, and the 4-D F-table is a *triangle of such triangles*.
-//! AlphaZ by default allocates the bounding box (`n × n`, wasting half), and
+//! `AlphaZ` by default allocates the bounding box (`n × n`, wasting half), and
 //! the paper compares two affine memory maps for the inner triangle
 //! (§IV.C.d, Fig 10):
 //!
@@ -54,7 +54,10 @@ impl Layout {
     /// Linear offset of element `(i, j)`, `i ≤ j < n`.
     #[inline(always)]
     pub fn offset(self, n: usize, i: usize, j: usize) -> usize {
-        debug_assert!(i <= j && j < n, "triangular index ({i},{j}) out of range n={n}");
+        debug_assert!(
+            i <= j && j < n,
+            "triangular index ({i},{j}) out of range n={n}"
+        );
         self.row_start(n, i) + (j - i)
     }
 }
@@ -80,7 +83,12 @@ impl<T: Copy> Triangular<T> {
 
     /// Build from a function of `(i, j)` over the valid triangle; slack cells
     /// of bounding-box layouts keep `fill`.
-    pub fn from_fn(n: usize, layout: Layout, fill: T, mut f: impl FnMut(usize, usize) -> T) -> Self {
+    pub fn from_fn(
+        n: usize,
+        layout: Layout,
+        fill: T,
+        mut f: impl FnMut(usize, usize) -> T,
+    ) -> Self {
         let mut t = Triangular::filled(n, layout, fill);
         for i in 0..n {
             for j in i..n {

@@ -3,23 +3,20 @@
 //! rounding cannot mask (or fake) disagreements.
 
 use proptest::prelude::*;
-use tropical::gemm::{gemm_naive, gemm_permuted, maxplus_gemm_par_rows, maxplus_gemm_tiled, TileShape};
+use tropical::gemm::{
+    gemm_naive, gemm_permuted, maxplus_gemm_par_rows, maxplus_gemm_tiled, TileShape,
+};
 use tropical::matrix::Matrix;
 use tropical::scalar::{mp_axpy, mp_axpy_reduce};
 use tropical::semiring::{MaxPlusInt, MinPlus, Semiring, NEG_INF_I64};
 use tropical::triangular::{Layout, Triangular};
 
-/// Scores in BPMax are small non-negative integers plus -inf; mirror that.
+/// Scores in `BPMax` are small non-negative integers plus -inf; mirror that.
 fn score() -> impl Strategy<Value = i64> {
     prop_oneof![
         4 => 0i64..100,
         1 => Just(NEG_INF_I64),
     ]
-}
-
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<i64>> {
-    proptest::collection::vec(score(), rows * cols)
-        .prop_map(move |v| Matrix::from_fn(rows, cols, |i, j| v[i * cols + j]))
 }
 
 proptest! {
@@ -58,7 +55,7 @@ proptest! {
         let mut s = seed | 1;
         let mut next = move || {
             s ^= s << 13; s ^= s >> 7; s ^= s << 17;
-            if s % 5 == 0 { NEG_INF_I64 } else { (s % 100) as i64 }
+            if s.is_multiple_of(5) { NEG_INF_I64 } else { (s % 100) as i64 }
         };
         let a = Matrix::from_fn(m, k, |_, _| next());
         let b = Matrix::from_fn(k, n, |_, _| next());

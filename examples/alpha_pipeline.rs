@@ -1,4 +1,4 @@
-//! The AlphaZ workflow on text: parse an Alpha-like system description,
+//! The `AlphaZ` workflow on text: parse an Alpha-like system description,
 //! verify the schedule, and execute it — all from a string.
 //!
 //! ```text
@@ -63,7 +63,11 @@ fn main() {
             // seed ⊕ the reduction result (scheduled after all its R0s)
             let key = (p[0], p[1], p[2], p[3]);
             let seed = ((p[0] + p[1] + p[2] + p[3]) % 5) as f32;
-            let v = acc.get(&key).copied().unwrap_or(f32::NEG_INFINITY).max(seed);
+            let v = acc
+                .get(&key)
+                .copied()
+                .unwrap_or(f32::NEG_INFINITY)
+                .max(seed);
             f.insert(key, v);
             executed.0 += 1;
         }
@@ -80,7 +84,10 @@ fn main() {
         }
         _ => unreachable!(),
     });
-    println!("  executed {} F instances, {} R0 instances", executed.0, executed.1);
+    println!(
+        "  executed {} F instances, {} R0 instances",
+        executed.0, executed.1
+    );
     println!(
         "  F[0, {}, 0, {}] = {}",
         m - 1,

@@ -12,7 +12,10 @@ use rna::{RnaSeq, ScoringModel};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let (s1, s2): (RnaSeq, RnaSeq) = if args.len() >= 3 {
-        (args[1].parse().expect("bad seq 1"), args[2].parse().expect("bad seq 2"))
+        (
+            args[1].parse().expect("bad seq 1"),
+            args[2].parse().expect("bad seq 2"),
+        )
     } else {
         ("GGGAAACCC".parse().unwrap(), "UUUGG".parse().unwrap())
     };
@@ -31,7 +34,9 @@ fn main() {
     }
     assert!(scores.windows(2).all(|w| w[0].1 == w[1].1));
 
-    let sol = p.solve(Algorithm::HybridTiled { tile: Tile::default() });
+    let sol = p.solve(Algorithm::HybridTiled {
+        tile: Tile::default(),
+    });
     let f = sol.ftable();
     println!(
         "\nF-table: {} x {} outer cells, {:.2} KiB packed",

@@ -26,7 +26,9 @@ fn main() {
 
     let model = ScoringModel::bpmax_default();
     let problem = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
-    let solution = problem.solve(Algorithm::HybridTiled { tile: Tile::default() });
+    let solution = problem.solve(Algorithm::HybridTiled {
+        tile: Tile::default(),
+    });
 
     println!("\noptimal interaction score: {}", solution.score());
     println!(

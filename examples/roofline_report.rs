@@ -1,5 +1,5 @@
 //! Machine analysis: roofline + working-set report for a problem size —
-//! answers "which memory level will BPMax run out of, and at what size?".
+//! answers "which memory level will `BPMax` run out of, and at what size?".
 //!
 //! ```text
 //! cargo run --release --example roofline_report -- 16 2048
@@ -15,7 +15,10 @@ fn main() {
     // need terabytes.
     let args: Vec<String> = std::env::args().collect();
     let m: usize = args.get(1).map(|s| s.parse().expect("bad M")).unwrap_or(16);
-    let n: usize = args.get(2).map(|s| s.parse().expect("bad N")).unwrap_or(2048);
+    let n: usize = args
+        .get(2)
+        .map(|s| s.parse().expect("bad N"))
+        .unwrap_or(2048);
     let spec = MachineSpec::xeon_e5_1650v4();
     let roof = Roofline::new(spec.clone(), spec.cores);
 

@@ -1,6 +1,6 @@
 //! Explore the paper's mapping directives: print each schedule set,
 //! verify its legality against the full dependence system, and show the
-//! generated loop nest + code statistics — AlphaZ's workflow, end to end.
+//! generated loop nest + code statistics — `AlphaZ`'s workflow, end to end.
 //!
 //! ```text
 //! cargo run --release --example schedule_explorer
@@ -18,7 +18,10 @@ fn main() {
         ("fine-grain (Table II)", schedules::fine_grain()),
         ("coarse-grain (Table III)", schedules::coarse_grain()),
         ("hybrid (Table IV)", schedules::hybrid()),
-        ("hybrid+tiled 32x4 (Table V)", schedules::hybrid_tiled(32, 4)),
+        (
+            "hybrid+tiled 32x4 (Table V)",
+            schedules::hybrid_tiled(32, 4),
+        ),
     ];
     for (name, sys) in &sets {
         println!("--- {name} ---");

@@ -1,5 +1,5 @@
 //! Domain scenario: scan a (synthetic) mRNA for the binding site of a
-//! small regulatory RNA, using the windowed BPMax solver.
+//! small regulatory RNA, using the windowed `BPMax` solver.
 //!
 //! This is the workload the paper's introduction motivates: RNA-RNA
 //! interactions "play an important role in various biological processes
@@ -28,7 +28,10 @@ fn main() {
     let mut mrna_bases = RnaSeq::random_gc(&mut rng, 160, 0.5).bases().to_vec();
     let site = srna.reverse_complement();
     let planted_at = 100usize;
-    mrna_bases.splice(planted_at..planted_at + site.len(), site.bases().iter().copied());
+    mrna_bases.splice(
+        planted_at..planted_at + site.len(),
+        site.bases().iter().copied(),
+    );
     let mrna = RnaSeq::new(mrna_bases);
 
     println!("sRNA  ({} nt): {srna}", srna.len());
@@ -59,7 +62,5 @@ fn main() {
         (best_start as i64 - planted_at as i64).abs() <= 4,
         "the planted site should rank first (got window {best_start})"
     );
-    println!(
-        "\nthe scan recovers the planted site: window {best_start} scores {best_score}"
-    );
+    println!("\nthe scan recovers the planted site: window {best_start} scores {best_score}");
 }

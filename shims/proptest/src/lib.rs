@@ -1,0 +1,317 @@
+//! Offline stand-in for the `proptest` crate, implementing the API subset
+//! this workspace's property tests use: the `proptest!` macro, range /
+//! tuple / `Just` / `any` / `prop_oneof!` / `collection::vec` strategies,
+//! `prop_map`, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the real crate cannot be fetched. This shim keeps the property suites
+//! runnable with the semantics that matter for CI: each test draws a
+//! deterministic pseudo-random stream (seeded from the test name), runs
+//! the body for `ProptestConfig::cases` iterations, and fails by panicking
+//! with the offending values. There is no shrinking and no failure
+//! persistence — a failing case prints its inputs instead.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// Everything a test file needs from `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Strategy producing any value of `T` (uniform over the representation).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Types with a canonical "whole domain" strategy, for [`any`].
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Scalars whose `Range` / `RangeInclusive` act as uniform strategies.
+///
+/// A single generic `Strategy` impl per range type (rather than one per
+/// scalar) keeps integer-literal inference working for untyped ranges.
+pub trait RangeValue: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "empty range strategy");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: RangeValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+macro_rules! int_range_value {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample_half_open(rng: &mut TestRng, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                let word = ((rng.next_u64() as u128) * span) >> 64;
+                (lo as i128 + word as i128) as $t
+            }
+            fn sample_inclusive(rng: &mut TestRng, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let word = ((rng.next_u64() as u128) * span) >> 64;
+                (lo as i128 + word as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_value!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_range_value {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample_half_open(rng: &mut TestRng, lo: $t, hi: $t) -> $t {
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+            fn sample_inclusive(rng: &mut TestRng, lo: $t, hi: $t) -> $t {
+                Self::sample_half_open(rng, lo, hi)
+            }
+        }
+    )*};
+}
+
+float_range_value!(f32, f64);
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything usable as a `vec` length specification.
+    pub trait SizeRange {
+        /// Inclusive `(lo, hi)` length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// `Vec` strategy with the given element strategy and length spec.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { element, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.lo, self.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Run `cases` iterations of a proptest body. Used by the `proptest!`
+/// macro expansion; not intended for direct use.
+pub fn run_cases(config: &ProptestConfig, test_name: &str, mut body: impl FnMut(&mut TestRng)) {
+    let mut rng = TestRng::from_name(test_name);
+    for _ in 0..config.cases {
+        body(&mut rng);
+    }
+}
+
+/// The property-test entry macro. Expands each
+/// `fn name(pat in strategy, ...) { body }` item into a zero-argument
+/// test that runs the body for `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{ @cfg ($cfg) $($rest)* }
+    };
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{ @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// `prop_assert!`: like `assert!` (no shrinking in this shim, so a plain
+/// panic is the right failure mode).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!`: like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!`: like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// `prop_assume!`: skip the current generated case when the assumption
+/// does not hold. Expands to `continue` targeting the case loop that
+/// `proptest!` wraps around the body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Weighted or unweighted choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( ($weight as u32, $crate::Strategy::boxed($strat)) ),+ ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( (1u32, $crate::Strategy::boxed($strat)) ),+ ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (i64, bool)> {
+        ((-5i64..5), any::<bool>())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+        #[test]
+        fn ranges_respect_bounds(x in 0i64..10, y in 1u8..=3) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(v in crate::collection::vec(0usize..4, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6, "bad len {}", v.len());
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn tuples_and_map((a, b) in pair(), s in (0i32..3).prop_map(|x| x * 2)) {
+            prop_assert!((-5..5).contains(&a));
+            let _ = b;
+            prop_assert_eq!(s % 2, 0);
+        }
+
+        #[test]
+        fn oneof_hits_both_arms(x in prop_oneof![3 => 0i64..10, 1 => Just(-99i64)]) {
+            prop_assert!(x == -99 || (0..10).contains(&x));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0i64..10) {
+            prop_assume!(x != 5);
+            prop_assert_ne!(x, 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = crate::collection::vec(0u64..1000, 5);
+        let mut r1 = crate::TestRng::from_name("fixed");
+        let mut r2 = crate::TestRng::from_name("fixed");
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

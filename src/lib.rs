@@ -1,4 +1,4 @@
-//! `bpmax-suite` — workspace façade for the BPMax reproduction.
+//! `bpmax-suite` — workspace façade for the `BPMax` reproduction.
 //!
 //! This crate exists to host the runnable examples (`examples/`) and the
 //! cross-crate integration tests (`tests/`); it re-exports the workspace

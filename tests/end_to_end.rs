@@ -39,7 +39,9 @@ fn full_table_cells_match_spec_everywhere() {
     let model = ScoringModel::bpmax_default().with_min_loop(2);
     let (s1, s2) = random_pair(&mut rng, 6, 6);
     let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
-    let f = p.compute(Algorithm::HybridTiled { tile: Tile::cubic(2) });
+    let f = p.compute(Algorithm::HybridTiled {
+        tile: Tile::cubic(2),
+    });
     let mut spec = SpecEval::new(&s1, &s2, &model);
     for (i1, j1, i2, j2) in f.iter_cells().collect::<Vec<_>>() {
         assert_eq!(
@@ -76,8 +78,8 @@ fn interaction_never_below_independent_folds() {
         let (s1, s2) = random_pair(&mut rng, 8, 6);
         let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
         let score = p.solve(Algorithm::Hybrid).score();
-        let floor = Nussinov::fold(&s1, &model).best_score()
-            + Nussinov::fold(&s2, &model).best_score();
+        let floor =
+            Nussinov::fold(&s1, &model).best_score() + Nussinov::fold(&s2, &model).best_score();
         assert!(score >= floor, "{s1}/{s2}: {score} < {floor}");
     }
 }
@@ -95,10 +97,7 @@ fn windowed_solver_agrees_with_full_solver_on_the_band() {
         for j1 in i1..4 {
             for i2 in 0..10 {
                 for j2 in i2..(i2 + 4).min(10) {
-                    assert_eq!(
-                        banded.get(i1, j1, i2, j2),
-                        full.get(i1, j1, i2, j2)
-                    );
+                    assert_eq!(banded.get(i1, j1, i2, j2), full.get(i1, j1, i2, j2));
                 }
             }
         }
@@ -124,9 +123,13 @@ fn growing_either_strand_never_decreases_the_score() {
 fn antisense_duplex_is_recovered() {
     let mut rng = StdRng::seed_from_u64(0xA5);
     let (target, antisense) = rna::datasets::antisense_pair(&mut rng, 12);
+    // The engine's inter-pair structure class is parallel (i1 < i1' ⟹
+    // i2 < i2'; see the spec module's conventions), so the antiparallel
+    // duplex is expressed by handing it the second strand reversed.
+    let binding = antisense.reversed();
     let p = BpMaxProblem::new(
         target.clone(),
-        antisense.clone(),
+        binding.clone(),
         ScoringModel::bpmax_default(),
     );
     let sol = p.solve(Algorithm::Hybrid);
@@ -136,16 +139,22 @@ fn antisense_duplex_is_recovered() {
     // least as well with an equivalent mix); the score must reach the
     // all-pairs duplex value.
     let duplex_score: f32 = (0..12)
-        .map(|k| p.model().inter(target[k], antisense[11 - k]))
+        .map(|k| p.model().inter(target[k], binding[k]))
         .sum();
-    assert!(sol.score() >= duplex_score, "{} < {duplex_score}", sol.score());
+    assert!(
+        sol.score() >= duplex_score,
+        "{} < {duplex_score}",
+        sol.score()
+    );
 }
 
 #[test]
 fn kissing_hairpins_mix_intra_and_inter_pairs() {
     let (s1, s2, stem, loop_len) = rna::datasets::kissing_hairpins(4, 5);
     let p = BpMaxProblem::new(s1.clone(), s2.clone(), ScoringModel::bpmax_default());
-    let sol = p.solve(Algorithm::HybridTiled { tile: Tile::default() });
+    let sol = p.solve(Algorithm::HybridTiled {
+        tile: Tile::default(),
+    });
     // stems: GC×4 (12) + AU×4 (8); kissing loops: CG×5 (15)
     let expected = 3.0 * stem as f32 + 2.0 * stem as f32 + 3.0 * loop_len as f32;
     assert_eq!(sol.score(), expected);

@@ -1,9 +1,9 @@
-//! The deepest cross-crate test: run BPMax **directly from the encoded
+//! The deepest cross-crate test: run `BPMax` **directly from the encoded
 //! paper schedules**, interpreting each statement instance in the order
 //! the schedule dictates (via `polyhedral::executor`), and compare every
 //! final F cell against the specification oracle.
 //!
-//! This closes the loop AlphaZ closes with code generation: the schedule
+//! This closes the loop `AlphaZ` closes with code generation: the schedule
 //! encodings of Tables II–IV are not just *legal* (no dependence
 //! violated — checked in `bpmax::schedules` tests) but *sufficient* — the
 //! execution order they induce computes the right answer. A legality bug,
@@ -21,12 +21,17 @@ use rna::nussinov::Fold;
 use rna::{RnaSeq, ScoringModel};
 use std::collections::HashMap;
 
-/// Interpret a scheduled BPMax system over one problem instance.
+/// Interpret a scheduled `BPMax` system over one problem instance.
 ///
 /// Storage: `acc` accumulates the five reductions per F cell (they share
 /// memory in the real kernels too); `f` holds finalized values. Statement
 /// semantics per variable follow Equations (1)–(3).
-fn execute_system(sys: &System, s1: &RnaSeq, s2: &RnaSeq, model: &ScoringModel) -> HashMap<(usize, usize, usize, usize), f32> {
+fn execute_system(
+    sys: &System,
+    s1: &RnaSeq,
+    s2: &RnaSeq,
+    model: &ScoringModel,
+) -> HashMap<(usize, usize, usize, usize), f32> {
     let m = s1.len() as i64;
     let n = s2.len() as i64;
     let fold1 = rna::nussinov::Nussinov::fold(s1, model);
@@ -47,16 +52,18 @@ fn execute_system(sys: &System, s1: &RnaSeq, s2: &RnaSeq, model: &ScoringModel) 
     };
     let mut f: HashMap<(i64, i64, i64, i64), f32> = HashMap::new();
     let mut acc: HashMap<(i64, i64, i64, i64), f32> = HashMap::new();
-    let fget = |f: &HashMap<(i64, i64, i64, i64), f32>, i1: i64, j1: i64, i2: i64, j2: i64| -> f32 {
-        if j1 < i1 {
-            return s2v(i2, j2);
-        }
-        if j2 < i2 {
-            return s1v(i1, j1);
-        }
-        *f.get(&(i1, j1, i2, j2))
-            .unwrap_or_else(|| panic!("read of unwritten F[{i1},{j1},{i2},{j2}] — schedule executed out of order"))
-    };
+    let fget =
+        |f: &HashMap<(i64, i64, i64, i64), f32>, i1: i64, j1: i64, i2: i64, j2: i64| -> f32 {
+            if j1 < i1 {
+                return s2v(i2, j2);
+            }
+            if j2 < i2 {
+                return s1v(i1, j1);
+            }
+            *f.get(&(i1, j1, i2, j2)).unwrap_or_else(|| {
+                panic!("read of unwritten F[{i1},{j1},{i2},{j2}] — schedule executed out of order")
+            })
+        };
     let params = env(&[("M", m), ("N", n)]);
     for inst in ordered_instances(sys, &params, m.max(n)) {
         let p = &inst.point;
@@ -105,23 +112,15 @@ fn execute_system(sys: &System, s1: &RnaSeq, s2: &RnaSeq, model: &ScoringModel) 
                     }
                 }
                 if j1 > i1 {
-                    let w1 = model.intra_pos(
-                        i1 as usize,
-                        j1 as usize,
-                        s1[i1 as usize],
-                        s1[j1 as usize],
-                    );
+                    let w1 =
+                        model.intra_pos(i1 as usize, j1 as usize, s1[i1 as usize], s1[j1 as usize]);
                     if w1 != ScoringModel::NO_PAIR {
                         best = best.max(fget(&f, i1 + 1, j1 - 1, i2, j2) + w1);
                     }
                 }
                 if j2 > i2 {
-                    let w2 = model.intra_pos(
-                        i2 as usize,
-                        j2 as usize,
-                        s2[i2 as usize],
-                        s2[j2 as usize],
-                    );
+                    let w2 =
+                        model.intra_pos(i2 as usize, j2 as usize, s2[i2 as usize], s2[j2 as usize]);
                     if w2 != ScoringModel::NO_PAIR {
                         best = best.max(fget(&f, i1, j1, i2 + 1, j2 - 1) + w2);
                     }
@@ -149,12 +148,8 @@ fn check_system(sys: &System, name: &str) {
                 for i2 in 0..n {
                     for j2 in i2..n {
                         let got = table[&(i1, j1, i2, j2)];
-                        let want =
-                            spec.f(i1 as isize, j1 as isize, i2 as isize, j2 as isize);
-                        assert_eq!(
-                            got, want,
-                            "{name} {s1}/{s2}: F[{i1},{j1},{i2},{j2}]"
-                        );
+                        let want = spec.f(i1 as isize, j1 as isize, i2 as isize, j2 as isize);
+                        assert_eq!(got, want, "{name} {s1}/{s2}: F[{i1},{j1},{i2},{j2}]");
                     }
                 }
             }

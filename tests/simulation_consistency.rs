@@ -10,7 +10,7 @@ use polyhedral::executor::Trace;
 use simsched::sched::{simulate_dag, simulate_parallel_for, OmpPolicy};
 use simsched::task::TaskGraph;
 
-/// Build the coarse-grain wavefront DAG of BPMax (triangles as tasks,
+/// Build the coarse-grain wavefront DAG of `BPMax` (triangles as tasks,
 /// edges along the two diagonal parents) and check Graham/critical-path
 /// structure.
 fn coarse_dag(m: usize, n: usize) -> TaskGraph {
@@ -36,7 +36,7 @@ fn coarse_dag(m: usize, n: usize) -> TaskGraph {
 fn bpmax_wavefront_dag_has_expected_structure() {
     let g = coarse_dag(8, 8);
     assert_eq!(g.len(), 36); // T(8) triangles
-    // Critical path = the diagonal chain: parallelism is bounded by m.
+                             // Critical path = the diagonal chain: parallelism is bounded by m.
     let r1 = simulate_dag(&g, 1);
     let r8 = simulate_dag(&g, 8);
     assert!(r8.makespan >= g.critical_path() - 1e-9);
@@ -44,8 +44,7 @@ fn bpmax_wavefront_dag_has_expected_structure() {
     // Graham bound
     for p in [2usize, 4, 8] {
         let r = simulate_dag(&g, p);
-        let bound = g.total_work() / p as f64
-            + (1.0 - 1.0 / p as f64) * g.critical_path();
+        let bound = g.total_work() / p as f64 + (1.0 - 1.0 / p as f64) * g.critical_path();
         assert!(r.makespan <= bound + 1e-6);
     }
 }
