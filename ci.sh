@@ -1,13 +1,32 @@
 #!/usr/bin/env bash
 # Pre-PR gate: run everything the reviewer will run, in the order that
-# fails fastest. All three steps must pass before a branch is pushed.
+# fails fastest. All steps must pass before a branch is pushed.
 #
-#   ./ci.sh            # fmt check + clippy (deny warnings) + full test suite
+#   ./ci.sh                        # fmt + clippy + tests + docs + perf gate
+#   BENCH_GATE=selfcheck ./ci.sh   # perf gate against a fresh same-host pin
+#   BENCH_GATE=update ./ci.sh      # re-pin results/baseline (after review)
+#   BENCH_GATE=off ./ci.sh         # correctness only
+#
+# The perf gate (see README.md "Benchmark telemetry & regression gate")
+# runs a small smoke subset of the figure binaries and compares their
+# JSON telemetry against results/baseline with noise-aware thresholds
+# (max(3x MAD, BENCH_REL_FLOOR)). Modes:
+#
+#   baseline   compare against the checked-in results/baseline (default;
+#              meaningful on the host that pinned it)
+#   selfcheck  pin a fresh baseline from a first run, then gate a second
+#              run against it — host-independent, used by CI runners
+#   update     refresh results/baseline from a fresh run and exit 0
+#   off        skip the perf gate
 #
 # The workspace vendors offline shims for rand/rayon/proptest/criterion
 # (see shims/), so no network access is needed at any step.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+BENCH_GATE="${BENCH_GATE:-baseline}"
+BENCH_REL_FLOOR="${BENCH_REL_FLOOR:-0.5}"
+BASELINE_DIR=results/baseline
 
 echo "== cargo fmt --check =="
 cargo fmt --check
@@ -17,5 +36,52 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== cargo test (workspace) =="
 cargo test --workspace --offline -q
+
+echo "== cargo doc (deny rustdoc warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
+
+if [ "$BENCH_GATE" = "off" ]; then
+    echo "ci.sh: all gates passed (perf gate skipped: BENCH_GATE=off)"
+    exit 0
+fi
+
+echo "== smoke-bench perf gate (BENCH_GATE=$BENCH_GATE) =="
+cargo build --release -p bench --bins --offline -q
+
+# The smoke subset: the measured hot paths (double max-plus kernel, full
+# BPMax versions, tile sweep) at small sizes with enough repetitions for
+# a stable median + MAD. Keep in sync with the baseline-update workflow
+# documented in README.md.
+run_smoke() {
+    local out="$1"
+    rm -rf "$out"
+    ./target/release/fig13_dmp_perf        --smoke --sizes 16,24 --reps 7 --json-dir "$out" > /dev/null
+    ./target/release/fig15_bpmax_perf      --smoke --sizes 12,16 --reps 7 --json-dir "$out" > /dev/null
+    ./target/release/fig18_tile_sweep      --smoke --sizes 48    --reps 5 --json-dir "$out" > /dev/null
+    ./target/release/table01_dmp_schedules --smoke --sizes 16,24 --reps 7 --json-dir "$out" > /dev/null
+}
+
+case "$BENCH_GATE" in
+update)
+    run_smoke results/ci_json
+    ./target/release/bench_compare --baseline "$BASELINE_DIR" \
+        --candidate results/ci_json --update-baseline
+    echo "ci.sh: results/baseline re-pinned (review the diff before committing)"
+    exit 0
+    ;;
+selfcheck)
+    run_smoke results/ci_selfcheck_baseline
+    BASELINE_DIR=results/ci_selfcheck_baseline
+    ;;
+baseline) ;;
+*)
+    echo "ci.sh: unknown BENCH_GATE '$BENCH_GATE' (baseline|selfcheck|update|off)" >&2
+    exit 2
+    ;;
+esac
+
+run_smoke results/ci_json
+./target/release/bench_compare --baseline "$BASELINE_DIR" \
+    --candidate results/ci_json --rel-floor "$BENCH_REL_FLOOR"
 
 echo "ci.sh: all gates passed"

@@ -5,7 +5,8 @@
 //! diagonal's triangles (coarse) or one triangle's rows (fine) — both
 //! triangular, i.e. linearly decreasing task costs.
 
-use bench::{banner, f2, Table};
+use bench::report::{Kind, Reporter};
+use bench::{banner, f2, Opts, Table};
 use simsched::sched::{simulate_parallel_for, OmpPolicy};
 
 fn triangle_rows(n: usize) -> Vec<f64> {
@@ -14,6 +15,8 @@ fn triangle_rows(n: usize) -> Vec<f64> {
 }
 
 fn main() {
+    let opts = Opts::parse(&[], &[]);
+    let mut rep = Reporter::new("ablation_sched_policy", &opts);
     banner(
         "Ablation",
         "OMP scheduling policy on triangular wavefronts",
@@ -38,6 +41,15 @@ fn main() {
             ("dynamic", OmpPolicy::Dynamic { chunk: 1 }),
         ] {
             let r = simulate_parallel_for(&costs, threads, policy);
+            rep.values(
+                format!("simulated/{label}/{name}"),
+                Kind::Simulated,
+                &[
+                    ("makespan", r.makespan),
+                    ("vs_ideal", r.makespan / (total / threads as f64)),
+                    ("imbalance", r.imbalance()),
+                ],
+            );
             t.row(vec![
                 name.to_string(),
                 format!("{:.0}", r.makespan),
@@ -47,4 +59,5 @@ fn main() {
         }
         t.print();
     }
+    rep.finish();
 }

@@ -1,0 +1,77 @@
+//! `bench_aggregate` — fold a telemetry directory into the repo-root
+//! `BENCH_SUMMARY.json`.
+//!
+//! Reads every `results/json/*.json` report written by the figure/table
+//! binaries and emits one summary document: per-artifact roll-ups
+//! (measurement counts per kind, best measured/modeled GFLOPS) plus the
+//! cross-artifact performance *trajectory* the paper argues for —
+//! measured naive → tiled double max-plus, measured base → hybrid+tiled
+//! `BPMax`, and the modeled paper-machine headline numbers
+//! (117 GFLOPS tiled kernel, >100× full-program speedup).
+//!
+//! ```text
+//! bench_aggregate --dir results/json --out BENCH_SUMMARY.json
+//! ```
+
+use bench::report::{summarize, Report};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: bench_aggregate [--dir results/json] [--out BENCH_SUMMARY.json]";
+
+fn main() {
+    let mut dir = PathBuf::from("results/json");
+    let mut out = PathBuf::from("BENCH_SUMMARY.json");
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = raw.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next()
+                .ok_or_else(|| format!("missing value after {flag}"))
+        };
+        let result = match flag.as_str() {
+            "--dir" => value().map(|v| dir = PathBuf::from(v)),
+            "--out" => value().map(|v| out = PathBuf::from(v)),
+            other => Err(format!("unknown option '{other}'")),
+        };
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+
+    let reports = match Report::load_dir(&dir) {
+        Ok(reports) if !reports.is_empty() => reports,
+        Ok(_) => {
+            eprintln!("error: no reports in {}", dir.display());
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let summary = summarize(&reports);
+    if let Err(e) = std::fs::write(&out, summary.render()) {
+        eprintln!("error: writing {}: {e}", out.display());
+        std::process::exit(2);
+    }
+
+    println!(
+        "aggregated {} report(s) from {} into {}",
+        reports.len(),
+        dir.display(),
+        out.display()
+    );
+    if let Some(bench::json::Json::Obj(pairs)) = summary.get("trajectory").cloned() {
+        if pairs.is_empty() {
+            println!("(no trajectory headline — perf artifacts not in this report set)");
+        }
+        for (key, value) in pairs {
+            if let Some(x) = value.as_f64() {
+                println!("  {key}: {x:.2}");
+            }
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! `bench_compare` — the performance-regression gate.
+//!
+//! Diffs a candidate telemetry directory (fresh `results/json`-style
+//! reports) against a pinned baseline (`results/baseline/`, checked into
+//! the repository) and exits non-zero when any wall-clock measurement
+//! regressed beyond the noise-aware threshold
+//!
+//! ```text
+//! threshold = max(mad_mult × max(MAD_base, MAD_cand), rel_floor × median_base)
+//! ```
+//!
+//! so a record only fails the gate when it is slower by more than both
+//! its own run-to-run noise (median absolute deviation, scaled) and a
+//! relative floor. Deterministic records (modeled / simulated / static
+//! kinds) are never wall-clock-gated; they are reported as *drift* when
+//! they change at all, which points at a model or codegen change that
+//! needs `--update-baseline` after review.
+//!
+//! ```text
+//! bench_compare --baseline results/baseline --candidate results/ci_json
+//! bench_compare ... --update-baseline     # re-pin after a reviewed change
+//! ```
+//!
+//! Exit codes: 0 clean, 1 regression(s), 2 usage or I/O error.
+
+use bench::report::{Kind, Measurement, Report};
+use bench::{f1, f2};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: bench_compare --baseline DIR --candidate DIR \
+[--rel-floor F] [--mad-mult K] [--update-baseline]
+  --rel-floor F       relative slowdown floor before a regression fires (default 0.30)
+  --mad-mult K        noise multiplier on the median absolute deviation (default 3.0)
+  --update-baseline   copy the candidate reports over the baseline and exit
+exit codes: 0 = clean, 1 = regression(s), 2 = usage/IO error";
+
+struct Args {
+    baseline: PathBuf,
+    candidate: PathBuf,
+    rel_floor: f64,
+    mad_mult: f64,
+    update_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut candidate = None;
+    let mut rel_floor: f64 = 0.30;
+    let mut mad_mult: f64 = 3.0;
+    let mut update_baseline = false;
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = raw.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || {
+            iter.next()
+                .ok_or_else(|| format!("missing value after {flag}"))
+        };
+        match flag.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value()?)),
+            "--candidate" => candidate = Some(PathBuf::from(value()?)),
+            "--rel-floor" => {
+                let v = value()?;
+                rel_floor = v
+                    .parse()
+                    .map_err(|e| format!("invalid --rel-floor '{v}': {e}"))?;
+                if rel_floor.is_nan() || rel_floor < 0.0 {
+                    return Err("--rel-floor must be non-negative".to_string());
+                }
+            }
+            "--mad-mult" => {
+                let v = value()?;
+                mad_mult = v
+                    .parse()
+                    .map_err(|e| format!("invalid --mad-mult '{v}': {e}"))?;
+                if mad_mult.is_nan() || mad_mult < 0.0 {
+                    return Err("--mad-mult must be non-negative".to_string());
+                }
+            }
+            "--update-baseline" => update_baseline = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("missing --baseline DIR")?,
+        candidate: candidate.ok_or("missing --candidate DIR")?,
+        rel_floor,
+        mad_mult,
+        update_baseline,
+    })
+}
+
+/// Outcome of comparing one measurement pair.
+enum Verdict {
+    /// Slower beyond the threshold.
+    Regression { detail: String },
+    /// Faster beyond the threshold (informational).
+    Improvement { detail: String },
+    /// Within noise.
+    Ok,
+    /// Deterministic record changed (model/simulator/static drift).
+    Drift { detail: String },
+    /// Not comparable (no overlapping statistics).
+    Skipped,
+}
+
+fn compare_measurement(base: &Measurement, cand: &Measurement, args: &Args) -> Verdict {
+    if base.kind == Kind::Measured || cand.kind == Kind::Measured {
+        if let (Some(bm), Some(cm)) = (base.median_s, cand.median_s) {
+            let noise = args.mad_mult * base.mad_s.unwrap_or(0.0).max(cand.mad_s.unwrap_or(0.0));
+            let threshold = noise.max(args.rel_floor * bm);
+            let delta = cm - bm;
+            let detail = format!(
+                "median {:.6}s -> {:.6}s ({:+.1}%, threshold ±{})",
+                bm,
+                cm,
+                100.0 * delta / bm,
+                f1(100.0 * threshold / bm)
+            );
+            return if delta > threshold {
+                Verdict::Regression { detail }
+            } else if -delta > threshold {
+                Verdict::Improvement { detail }
+            } else {
+                Verdict::Ok
+            };
+        }
+        if let (Some(bg), Some(cg)) = (base.gflops, cand.gflops) {
+            // Self-timed rates (e.g. the streaming micro-benchmark):
+            // higher is better, only the relative floor applies.
+            let threshold = args.rel_floor * bg;
+            let detail = format!(
+                "{} -> {} GFLOPS ({:+.1}%, floor {}%)",
+                f2(bg),
+                f2(cg),
+                100.0 * (cg - bg) / bg,
+                f1(100.0 * args.rel_floor)
+            );
+            return if bg - cg > threshold {
+                Verdict::Regression { detail }
+            } else if cg - bg > threshold {
+                Verdict::Improvement { detail }
+            } else {
+                Verdict::Ok
+            };
+        }
+        return Verdict::Skipped;
+    }
+    // Deterministic kinds: any numeric change at all is drift.
+    let differs = |a: Option<f64>, b: Option<f64>| match (a, b) {
+        (Some(a), Some(b)) => relative_diff(a, b) > 1e-9,
+        (None, None) => false,
+        _ => true,
+    };
+    if differs(base.gflops, cand.gflops) {
+        return Verdict::Drift {
+            detail: format!(
+                "gflops {} -> {}",
+                base.gflops.map_or("none".to_string(), f2),
+                cand.gflops.map_or("none".to_string(), f2)
+            ),
+        };
+    }
+    for (key, bv) in &base.metrics {
+        let cv = cand.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v);
+        match cv {
+            Some(cv) if relative_diff(*bv, cv) <= 1e-9 => {}
+            Some(cv) => {
+                return Verdict::Drift {
+                    detail: format!("metric '{key}' {bv} -> {cv}"),
+                }
+            }
+            None => {
+                return Verdict::Drift {
+                    detail: format!("metric '{key}' disappeared"),
+                }
+            }
+        }
+    }
+    Verdict::Ok
+}
+
+fn relative_diff(a: f64, b: f64) -> f64 {
+    let scale = a.abs().max(b.abs());
+    if scale == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
+fn update_baseline(args: &Args) -> Result<(), String> {
+    std::fs::create_dir_all(&args.baseline)
+        .map_err(|e| format!("creating {}: {e}", args.baseline.display()))?;
+    let mut copied = 0usize;
+    for report in Report::load_dir(&args.candidate)? {
+        let name = format!("{}.json", report.artifact);
+        let from = args.candidate.join(&name);
+        let to = args.baseline.join(&name);
+        std::fs::copy(&from, &to)
+            .map_err(|e| format!("copying {} -> {}: {e}", from.display(), to.display()))?;
+        copied += 1;
+    }
+    println!(
+        "pinned {copied} report(s) from {} into {}",
+        args.candidate.display(),
+        args.baseline.display()
+    );
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<i32, String> {
+    if args.update_baseline {
+        update_baseline(args)?;
+        return Ok(0);
+    }
+    let candidates = Report::load_dir(&args.candidate)?;
+    if candidates.is_empty() {
+        return Err(format!(
+            "no candidate reports in {}",
+            args.candidate.display()
+        ));
+    }
+
+    let mut regressions: Vec<String> = Vec::new();
+    let mut improvements: Vec<String> = Vec::new();
+    let mut drifts: Vec<String> = Vec::new();
+    let mut new_artifacts: Vec<String> = Vec::new();
+    let mut new_ids = 0usize;
+    let mut missing_ids = 0usize;
+    let mut compared = 0usize;
+    let mut cross_host_warned = false;
+
+    for cand in &candidates {
+        let path = args.baseline.join(format!("{}.json", cand.artifact));
+        if !path.exists() {
+            new_artifacts.push(cand.artifact.clone());
+            continue;
+        }
+        let base = Report::load(&path)?;
+        if !cross_host_warned
+            && (base.meta.rustc != cand.meta.rustc || base.meta.host_cores != cand.meta.host_cores)
+        {
+            eprintln!(
+                "warning: baseline was recorded on a different toolchain/host \
+                 ({} / {} cores vs {} / {} cores); wall-clock thresholds may be \
+                 meaningless — consider --update-baseline on this machine",
+                base.meta.rustc, base.meta.host_cores, cand.meta.rustc, cand.meta.host_cores
+            );
+            cross_host_warned = true;
+        }
+        for cm in &cand.measurements {
+            let Some(bm) = base.find(&cm.id) else {
+                new_ids += 1;
+                continue;
+            };
+            compared += 1;
+            let tag = format!("{}: {}", cand.artifact, cm.id);
+            match compare_measurement(bm, cm, args) {
+                Verdict::Regression { detail } => regressions.push(format!("{tag}: {detail}")),
+                Verdict::Improvement { detail } => improvements.push(format!("{tag}: {detail}")),
+                Verdict::Drift { detail } => drifts.push(format!("{tag}: {detail}")),
+                Verdict::Ok | Verdict::Skipped => {}
+            }
+        }
+        missing_ids += base
+            .measurements
+            .iter()
+            .filter(|bm| cand.find(&bm.id).is_none())
+            .count();
+    }
+
+    println!(
+        "bench_compare: {} artifact(s), {compared} measurement(s) compared \
+         (thresholds: max({}x MAD, {}% floor))",
+        candidates.len() - new_artifacts.len(),
+        args.mad_mult,
+        f1(100.0 * args.rel_floor)
+    );
+    if !new_artifacts.is_empty() {
+        println!(
+            "  note: {} artifact(s) have no baseline yet ({}); run with --update-baseline to pin",
+            new_artifacts.len(),
+            new_artifacts.join(", ")
+        );
+    }
+    if new_ids > 0 || missing_ids > 0 {
+        println!("  note: {new_ids} new measurement id(s), {missing_ids} missing vs baseline");
+    }
+    for line in &drifts {
+        println!("  drift: {line}");
+    }
+    if !drifts.is_empty() {
+        println!(
+            "  ({} deterministic record(s) changed — expected only after model/codegen \
+             changes; re-pin with --update-baseline)",
+            drifts.len()
+        );
+    }
+    for line in &improvements {
+        println!("  improvement: {line}");
+    }
+    if regressions.is_empty() {
+        println!("  no wall-clock regressions");
+        Ok(0)
+    } else {
+        for line in &regressions {
+            println!("  REGRESSION: {line}");
+        }
+        println!(
+            "bench_compare: {} regression(s) beyond threshold",
+            regressions.len()
+        );
+        Ok(1)
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -5,7 +5,8 @@
 //! on both Xeons. Here: the measured serial part on this machine plus the
 //! modeled 6-thread (E5-1650v4) and 8-thread (E-2278G) numbers.
 
-use bench::{banner, f1, f2, model, time_median, workload, Opts, Table};
+use bench::report::Reporter;
+use bench::{banner, f1, f2, model, time_stats, workload, Opts, Table};
 use bpmax::kernels::Tile;
 use bpmax::perfmodel::{predict_bpmax_gflops, predict_bpmax_seconds, CostModel};
 use bpmax::{Algorithm, BpMaxProblem};
@@ -15,6 +16,7 @@ use simsched::speedup::HtModel;
 
 fn main() {
     let opts = Opts::parse(&[12, 18, 24], &[]);
+    let mut rep = Reporter::new("fig01_summary", &opts);
     banner(
         "Fig 1",
         "summary of the optimization results",
@@ -26,13 +28,18 @@ fn main() {
     for &n in &opts.sizes {
         let (s1, s2) = workload(opts.seed, n, n);
         let p = BpMaxProblem::new(s1, s2, model());
-        let reps = if n <= 14 { 3 } else { 1 };
-        let tb = time_median(reps, || p.compute(Algorithm::Baseline));
-        let tt = time_median(reps, || {
+        let reps = opts.reps(if n <= 14 { 3 } else { 1 });
+        let sb = time_stats(reps, || p.compute(Algorithm::Baseline));
+        let st = time_stats(reps, || {
             p.compute(Algorithm::HybridTiled {
                 tile: Tile::default(),
             })
         });
+        let (tb, tt) = (sb.median_s, st.median_s);
+        rep.measured(format!("measured/base/n={n}"), sb, Some(p.flops()));
+        rep.annotate(&[("n", n as f64)]);
+        rep.measured(format!("measured/hybrid+tiled/n={n}"), st, Some(p.flops()));
+        rep.annotate(&[("n", n as f64), ("speedup_vs_base", tb / tt)]);
         t.row(vec![
             n.to_string(),
             format!("{tb:.4}"),
@@ -84,6 +91,11 @@ fn main() {
             &spec,
             ht,
         );
+        rep.modeled_gflops(format!("modeled/{}/t={threads}/n={n}", spec.name), g);
+        rep.annotate(&[
+            ("speedup_vs_base_1t", base / tiled),
+            ("pct_of_peak", 100.0 * g / spec.socket_peak_gflops()),
+        ]);
         t.row(vec![
             spec.name.to_string(),
             threads.to_string(),
@@ -95,6 +107,7 @@ fn main() {
         ]);
     }
     t.print();
+    rep.finish();
     println!(
         "\n(problem size {n} x {n}: {} reduction GFLOP total)",
         f2(traffic::bpmax_flops(n, n) as f64 / 1e9)

@@ -4,11 +4,14 @@
 //! threads), the theoretical max-plus peak (~346 GFLOPS), and the `BPMax`
 //! streaming point at arithmetic intensity 1/6.
 
-use bench::{banner, f1, f2, Table};
+use bench::report::Reporter;
+use bench::{banner, f1, f2, Opts, Table};
 use machine::roofline::{Roofline, MAXPLUS_STREAM_AI};
 use machine::spec::MachineSpec;
 
 fn main() {
+    let opts = Opts::parse(&[], &[]);
+    let mut rep = Reporter::new("fig11_roofline", &opts);
     banner(
         "Fig 11",
         "roofline model (max-plus, single precision)",
@@ -23,8 +26,14 @@ fn main() {
                 threads,
                 f1(r.peak())
             );
+            rep.modeled_gflops(format!("modeled/{}/t={threads}/peak", spec.name), r.peak());
             let mut t = Table::new(&["roof", "BW GB/s", "ridge AI", "GFLOPS @ AI=1/6"]);
             for roof in r.roofs() {
+                rep.modeled_gflops(
+                    format!("modeled/{}/t={threads}/roof={}", spec.name, roof.name),
+                    r.attainable(&roof.name, MAXPLUS_STREAM_AI),
+                );
+                rep.annotate(&[("bw_gbps", roof.bw_gbps), ("ridge_ai", r.ridge(&roof.name))]);
                 t.row(vec![
                     roof.name.clone(),
                     f1(roof.bw_gbps),
@@ -45,4 +54,5 @@ fn main() {
     println!(
         "\nBPMax streaming pattern Y = max(a+X, Y): AI = 2 FLOP / 12 B = {MAXPLUS_STREAM_AI:.4}"
     );
+    rep.finish();
 }

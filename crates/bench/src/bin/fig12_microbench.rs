@@ -8,6 +8,7 @@
 //! rate, private-L1 bandwidth scaling and the SMT efficiency model. The
 //! paper measures ~120 GFLOPS at 6 threads and ~240 at 12 on its machine.
 
+use bench::report::Reporter;
 use bench::{banner, f1, f2, Opts, Table};
 use machine::spec::MachineSpec;
 use simsched::speedup::HtModel;
@@ -15,6 +16,7 @@ use tropical::stream::{sweep_chunks, StreamBench};
 
 fn main() {
     let opts = Opts::parse(&[], &[1, 2, 4, 6, 8, 12]);
+    let mut rep = Reporter::new("fig12_microbench", &opts);
     banner(
         "Fig 12",
         "micro-benchmark for Y = max(a+X, Y)",
@@ -22,7 +24,13 @@ fn main() {
     );
 
     // --- measured: chunk sweep on this machine, 1 thread ---
-    let budget: u64 = if opts.full { 1 << 31 } else { 1 << 28 };
+    let budget: u64 = if opts.full {
+        1 << 31
+    } else if opts.smoke {
+        1 << 24
+    } else {
+        1 << 28
+    };
     let chunks: Vec<usize> = vec![
         8 << 10,   // L1-resident (2 arrays × 8 KiB)
         16 << 10,  // L1 boundary
@@ -35,6 +43,8 @@ fn main() {
     let results = sweep_chunks(&chunks, budget);
     let mut l1_rate = results[0].1;
     for (bytes, (elems, g)) in chunks.iter().zip(&results) {
+        rep.measured_gflops(format!("measured/stream/chunk={bytes}"), *g);
+        rep.annotate(&[("elems", *elems as f64)]);
         t.row(vec![bytes.to_string(), elems.to_string(), f2(*g)]);
         l1_rate = l1_rate.max(*g);
     }
@@ -42,7 +52,16 @@ fn main() {
 
     // --- one calibrated long run for stability ---
     let mut bench = StreamBench::new(8 << 10 >> 2);
-    let res = bench.run(if opts.full { 1 << 17 } else { 1 << 15 });
+    let iters = if opts.full {
+        1 << 17
+    } else if opts.smoke {
+        1 << 13
+    } else {
+        1 << 15
+    };
+    let res = bench.run(iters);
+    rep.measured_gflops("measured/stream/steady-l1", res.gflops());
+    rep.annotate(&[("gbytes_per_sec", res.gbytes_per_sec())]);
     println!(
         "\nsteady-state L1 run: {} GFLOPS, {} GB/s effective",
         f2(res.gflops()),
@@ -65,6 +84,7 @@ fn main() {
     for &threads in &opts.threads {
         let agg = ht.aggregate_throughput(threads);
         let modeled = l1_rate * agg;
+        rep.modeled_gflops(format!("modeled/{}/t={threads}", spec.name), modeled);
         let paper = match threads {
             6 => "~120",
             12 => "~240",
@@ -73,4 +93,5 @@ fn main() {
         t.row(vec![threads.to_string(), f1(modeled), paper.to_string()]);
     }
     t.print();
+    rep.finish();
 }

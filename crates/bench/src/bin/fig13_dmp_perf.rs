@@ -8,7 +8,8 @@
 //! close, tiled on top (paper: 117 GFLOPS, 97% of the micro-benchmark).
 
 use bench::dmp::{dmp_flops, dmp_solve};
-use bench::{banner, f2, gflops, time_median, Opts, Table};
+use bench::report::Reporter;
+use bench::{banner, f2, gflops, time_stats, Opts, Table};
 use bpmax::ftable::Layout;
 use bpmax::kernels::{R0Order, Tile};
 use bpmax::perfmodel::{predict_dmp_gflops, CostModel, DmpVariant};
@@ -17,6 +18,7 @@ use simsched::speedup::HtModel;
 
 fn main() {
     let opts = Opts::parse(&[12, 16, 24, 32], &[6]);
+    let mut rep = Reporter::new("fig13_dmp_perf", &opts);
     banner(
         "Fig 13",
         "double max-plus performance comparison",
@@ -27,16 +29,18 @@ fn main() {
     let mut t = Table::new(&["M=N", "naive", "permuted", "tiled 32x4xN", "tiled 64x16xN"]);
     for &n in &opts.sizes {
         let flops = dmp_flops(n, n);
-        let reps = if n <= 16 { 3 } else { 1 };
+        let reps = opts.reps(if n <= 16 { 3 } else { 1 });
         let mut cells = vec![n.to_string()];
-        for order in [
-            R0Order::Naive,
-            R0Order::Permuted,
-            R0Order::Tiled(Tile::small()),
-            R0Order::Tiled(Tile::default()),
+        for (label, order) in [
+            ("naive", R0Order::Naive),
+            ("permuted", R0Order::Permuted),
+            ("tiled 32x4xN", R0Order::Tiled(Tile::small())),
+            ("tiled 64x16xN", R0Order::Tiled(Tile::default())),
         ] {
-            let secs = time_median(reps, || dmp_solve(n, n, order, Layout::Packed));
-            cells.push(f2(gflops(flops, secs)));
+            let stats = time_stats(reps, || dmp_solve(n, n, order, Layout::Packed));
+            rep.measured(format!("measured/{label}/m={n},n={n}"), stats, Some(flops));
+            rep.annotate(&[("m", n as f64), ("n", n as f64)]);
+            cells.push(f2(gflops(flops, stats.median_s)));
         }
         t.row(cells);
     }
@@ -65,9 +69,12 @@ fn main() {
     for &n in &sizes {
         let mut cells = vec![n.to_string()];
         for v in DmpVariant::all() {
-            cells.push(f2(predict_dmp_gflops(v, n, n, threads, &cm, &spec, ht)));
+            let g = predict_dmp_gflops(v, n, n, threads, &cm, &spec, ht);
+            rep.modeled_gflops(format!("modeled/{}/t={threads}/n={n}", v.label()), g);
+            cells.push(f2(g));
         }
         t.row(cells);
     }
     t.print();
+    rep.finish();
 }

@@ -5,7 +5,8 @@
 //! 40–200% over the prior fine-grain schedule).
 
 use bench::dmp::{dmp_flops, dmp_solve};
-use bench::{banner, f1, time_median, Opts, Table};
+use bench::report::Reporter;
+use bench::{banner, f1, time_stats, Opts, Table};
 use bpmax::ftable::Layout;
 use bpmax::kernels::{R0Order, Tile};
 use bpmax::perfmodel::{predict_dmp_gflops, CostModel, DmpVariant};
@@ -14,6 +15,7 @@ use simsched::speedup::HtModel;
 
 fn main() {
     let opts = Opts::parse(&[12, 16, 24, 32], &[6]);
+    let mut rep = Reporter::new("fig14_dmp_speedup", &opts);
     banner(
         "Fig 14",
         "double max-plus speedup comparison (vs base order)",
@@ -24,13 +26,27 @@ fn main() {
     println!("(tiling only pays off once the triangles outgrow L1/L2 -- use --sizes 48,64)");
     let mut t = Table::new(&["M=N", "permuted/naive", "tiled/naive"]);
     for &n in &opts.sizes {
-        let _ = dmp_flops(n, n);
-        let reps = if n <= 16 { 3 } else { 1 };
-        let t_naive = time_median(reps, || dmp_solve(n, n, R0Order::Naive, Layout::Packed));
-        let t_perm = time_median(reps, || dmp_solve(n, n, R0Order::Permuted, Layout::Packed));
-        let t_tiled = time_median(reps, || {
+        let flops = dmp_flops(n, n);
+        let reps = opts.reps(if n <= 16 { 3 } else { 1 });
+        let s_naive = time_stats(reps, || dmp_solve(n, n, R0Order::Naive, Layout::Packed));
+        let s_perm = time_stats(reps, || dmp_solve(n, n, R0Order::Permuted, Layout::Packed));
+        let s_tiled = time_stats(reps, || {
             dmp_solve(n, n, R0Order::Tiled(Tile::small()), Layout::Packed)
         });
+        let (t_naive, t_perm, t_tiled) = (s_naive.median_s, s_perm.median_s, s_tiled.median_s);
+        rep.measured(format!("measured/naive/m={n},n={n}"), s_naive, Some(flops));
+        rep.measured(
+            format!("measured/permuted/m={n},n={n}"),
+            s_perm,
+            Some(flops),
+        );
+        rep.annotate(&[("speedup_vs_naive", t_naive / t_perm)]);
+        rep.measured(
+            format!("measured/tiled 32x4xN/m={n},n={n}"),
+            s_tiled,
+            Some(flops),
+        );
+        rep.annotate(&[("speedup_vs_naive", t_naive / t_tiled)]);
         t.row(vec![
             n.to_string(),
             f1(t_naive / t_perm),
@@ -64,9 +80,15 @@ fn main() {
         let mut cells = vec![n.to_string()];
         for v in DmpVariant::all().into_iter().skip(1) {
             let g = predict_dmp_gflops(v, n, n, opts.threads[0], &cm, &spec, ht);
+            rep.values(
+                format!("modeled/{}/t={}/n={n}", v.label(), opts.threads[0]),
+                bench::report::Kind::Modeled,
+                &[("speedup_vs_base", g / base)],
+            );
             cells.push(f1(g / base));
         }
         t.row(cells);
     }
     t.print();
+    rep.finish();
 }

@@ -7,7 +7,8 @@
 //! hybrid+tiled (paper: ~76 GFLOPS for the tiled full program, ~60% below
 //! the pure kernel because of R1/R2).
 
-use bench::{banner, f2, gflops, model, time_median, workload, Opts, Table};
+use bench::report::Reporter;
+use bench::{banner, f2, gflops, model, time_stats, workload, Opts, Table};
 use bpmax::kernels::Tile;
 use bpmax::perfmodel::{predict_bpmax_gflops, CostModel};
 use bpmax::{Algorithm, BpMaxProblem};
@@ -16,6 +17,7 @@ use simsched::speedup::HtModel;
 
 fn main() {
     let opts = Opts::parse(&[10, 14, 18, 24], &[6]);
+    let mut rep = Reporter::new("fig15_bpmax_perf", &opts);
     banner(
         "Fig 15",
         "BPMax performance comparison",
@@ -35,14 +37,20 @@ fn main() {
         let reference = p.compute(Algorithm::Permuted).final_score();
         let mut cells = vec![n.to_string()];
         for &alg in &algs {
-            let reps = if n <= 14 { 3 } else { 1 };
-            let secs = time_median(reps, || p.compute(alg));
+            let reps = opts.reps(if n <= 14 { 3 } else { 1 });
+            let stats = time_stats(reps, || p.compute(alg));
             assert_eq!(
                 p.compute(alg).final_score(),
                 reference,
                 "version {alg:?} disagrees"
             );
-            cells.push(f2(gflops(flops, secs)));
+            rep.measured(
+                format!("measured/{}/n={n}", alg.label()),
+                stats,
+                Some(flops),
+            );
+            rep.annotate(&[("n", n as f64)]);
+            cells.push(f2(gflops(flops, stats.median_s)));
         }
         t.row(cells);
     }
@@ -75,17 +83,15 @@ fn main() {
     for &n in &sizes {
         let mut cells = vec![n.to_string()];
         for &alg in &curves {
-            cells.push(f2(predict_bpmax_gflops(
-                alg,
-                n,
-                n,
-                opts.threads[0],
-                &cm,
-                &spec,
-                ht,
-            )));
+            let g = predict_bpmax_gflops(alg, n, n, opts.threads[0], &cm, &spec, ht);
+            rep.modeled_gflops(
+                format!("modeled/{}/t={}/n={n}", alg.label(), opts.threads[0]),
+                g,
+            );
+            cells.push(f2(g));
         }
         t.row(cells);
     }
     t.print();
+    rep.finish();
 }

@@ -5,7 +5,8 @@
 //! ">100× speedup for longer sequence lengths with 6 threads" for the
 //! hybrid+tiled version.
 
-use bench::{banner, f1, model, time_median, workload, Opts, Table};
+use bench::report::Reporter;
+use bench::{banner, f1, model, time_stats, workload, Opts, Table};
 use bpmax::kernels::Tile;
 use bpmax::perfmodel::{predict_bpmax_seconds, CostModel};
 use bpmax::{Algorithm, BpMaxProblem};
@@ -14,6 +15,7 @@ use simsched::speedup::HtModel;
 
 fn main() {
     let opts = Opts::parse(&[10, 14, 18, 24], &[6]);
+    let mut rep = Reporter::new("fig16_bpmax_speedup", &opts);
     banner(
         "Fig 16",
         "BPMax speedup comparison (vs original program)",
@@ -26,20 +28,28 @@ fn main() {
     for &n in &opts.sizes {
         let (s1, s2) = workload(opts.seed, n, n);
         let p = BpMaxProblem::new(s1, s2, model());
-        let reps = if n <= 14 { 3 } else { 1 };
-        let t_base = time_median(reps, || p.compute(Algorithm::Baseline));
-        let row: Vec<String> = [
+        let reps = opts.reps(if n <= 14 { 3 } else { 1 });
+        let flops = p.flops();
+        let s_base = time_stats(reps, || p.compute(Algorithm::Baseline));
+        let t_base = s_base.median_s;
+        rep.measured(format!("measured/base/n={n}"), s_base, Some(flops));
+        let mut cells = vec![n.to_string()];
+        for alg in [
             Algorithm::Permuted,
             Algorithm::Hybrid,
             Algorithm::HybridTiled {
                 tile: Tile::default(),
             },
-        ]
-        .iter()
-        .map(|&alg| f1(t_base / time_median(reps, || p.compute(alg))))
-        .collect();
-        let mut cells = vec![n.to_string()];
-        cells.extend(row);
+        ] {
+            let stats = time_stats(reps, || p.compute(alg));
+            rep.measured(
+                format!("measured/{}/n={n}", alg.label()),
+                stats,
+                Some(flops),
+            );
+            rep.annotate(&[("speedup_vs_base", t_base / stats.median_s)]);
+            cells.push(f1(t_base / stats.median_s));
+        }
         t.row(cells);
     }
     t.print();
@@ -72,9 +82,15 @@ fn main() {
         let mut cells = vec![n.to_string()];
         for &alg in &curves {
             let s = predict_bpmax_seconds(alg, n, n, opts.threads[0], &cm, &spec, ht);
+            rep.values(
+                format!("modeled/{}/t={}/n={n}", alg.label(), opts.threads[0]),
+                bench::report::Kind::Modeled,
+                &[("speedup_vs_base", base / s)],
+            );
             cells.push(f1(base / s));
         }
         t.row(cells);
     }
     t.print();
+    rep.finish();
 }

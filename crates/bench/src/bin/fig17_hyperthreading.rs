@@ -6,6 +6,7 @@
 //! compute-dense tiled kernel (vs >10% reported by prior work for a less
 //! optimized kernel — shown here as a higher-η curve).
 
+use bench::report::Reporter;
 use bench::{banner, f1, f2, Opts, Table};
 use bpmax::perfmodel::{predict_dmp_gflops, CostModel, DmpVariant};
 use machine::spec::MachineSpec;
@@ -13,6 +14,7 @@ use simsched::speedup::HtModel;
 
 fn main() {
     let opts = Opts::parse(&[96], &[1, 2, 4, 6, 8, 10, 12]);
+    let mut rep = Reporter::new("fig17_hyperthreading", &opts);
     banner(
         "Fig 17",
         "effect of hyper-threading on tiled double max-plus",
@@ -34,6 +36,7 @@ fn main() {
         ),
     ];
     for (label, eta, variant) in scenarios {
+        let scenario = if eta < 0.1 { "tiled" } else { "unoptimized" };
         println!("\n{label}, problem {m}x{n}:");
         let ht = HtModel {
             physical: spec.cores,
@@ -43,6 +46,8 @@ fn main() {
         let g6 = predict_dmp_gflops(variant, m, n, 6, &cm, &spec, ht);
         for &threads in &opts.threads {
             let g = predict_dmp_gflops(variant, m, n, threads, &cm, &spec, ht);
+            rep.modeled_gflops(format!("modeled/{scenario}/t={threads}/m={m},n={n}"), g);
+            rep.annotate(&[("eta", eta), ("gain_vs_6t", g / g6 - 1.0)]);
             t.row(vec![
                 threads.to_string(),
                 f2(g),
@@ -55,4 +60,5 @@ fn main() {
         }
         t.print();
     }
+    rep.finish();
 }

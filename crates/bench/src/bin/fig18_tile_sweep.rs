@@ -7,12 +7,14 @@
 //! when j2 is not tiled due to the streaming effect").
 
 use bench::dmp::{dmp_flops, dmp_solve};
-use bench::{banner, f2, gflops, time_median, Opts, Table};
+use bench::report::Reporter;
+use bench::{banner, f2, gflops, time_stats, Opts, Table};
 use bpmax::ftable::Layout;
 use bpmax::kernels::{R0Order, Tile};
 
 fn main() {
     let opts = Opts::parse(&[192], &[]);
+    let mut rep = Reporter::new("fig18_tile_sweep", &opts);
     banner(
         "Fig 18",
         "effect of tiling parameters (i2 x k2 x j2), 16 x N problem",
@@ -62,12 +64,23 @@ fn main() {
     ];
     println!("\nproblem: {m} x {n}, 1 thread, this machine");
     let mut t = Table::new(&["tile (i2 x k2 x j2)", "GFLOPS", "vs untiled"]);
-    let t_untiled = time_median(1, || dmp_solve(m, n, R0Order::Permuted, Layout::Packed));
-    let g_untiled = gflops(flops, t_untiled);
+    let reps = opts.reps(1);
+    let s_untiled = time_stats(reps, || dmp_solve(m, n, R0Order::Permuted, Layout::Packed));
+    let g_untiled = gflops(flops, s_untiled.median_s);
+    rep.measured(
+        format!("measured/untiled/m={m},n={n}"),
+        s_untiled,
+        Some(flops),
+    );
     for (label, tile) in shapes {
-        let secs = time_median(1, || dmp_solve(m, n, R0Order::Tiled(tile), Layout::Packed));
-        let g = gflops(flops, secs);
+        let stats = time_stats(reps, || {
+            dmp_solve(m, n, R0Order::Tiled(tile), Layout::Packed)
+        });
+        let g = gflops(flops, stats.median_s);
+        rep.measured(format!("measured/{label}/m={m},n={n}"), stats, Some(flops));
+        rep.annotate(&[("vs_untiled", g / g_untiled)]);
         t.row(vec![label, f2(g), f2(g / g_untiled)]);
     }
     t.print();
+    rep.finish();
 }

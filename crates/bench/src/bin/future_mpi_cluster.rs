@@ -7,11 +7,13 @@
 //! show where an MPI port pays off (compute-bound large problems) and
 //! where it cannot (latency-bound small ones).
 
+use bench::report::{Kind, Reporter};
 use bench::{banner, f1, f2, Opts, Table};
 use simsched::distributed::{distributed_speedup, simulate_bpmax_distributed, ClusterSpec};
 
 fn main() {
     let opts = Opts::parse(&[], &[1, 2, 4, 8, 16]);
+    let mut rep = Reporter::new("future_mpi_cluster", &opts);
     banner(
         "Future work",
         "BPMax on an MPI cluster (model)",
@@ -33,6 +35,23 @@ fn main() {
         for &nodes in &opts.threads {
             let spec = ClusterSpec { nodes, ..base };
             let r = simulate_bpmax_distributed(m, n, &spec);
+            rep.add(bench::report::Measurement {
+                id: format!("modeled/cluster/nodes={nodes}/m={m},n={n}"),
+                kind: Kind::Modeled,
+                reps: 0,
+                median_s: None,
+                mad_s: None,
+                gflops: Some(machine::traffic::bpmax_flops(m, n) as f64 / r.seconds / 1e9),
+                metrics: vec![
+                    ("seconds".to_string(), r.seconds),
+                    (
+                        "speedup".to_string(),
+                        distributed_speedup(m, n, &base, nodes),
+                    ),
+                    ("comm_fraction".to_string(), r.comm_fraction()),
+                    ("bytes_moved".to_string(), r.bytes_moved as f64),
+                ],
+            });
             t.row(vec![
                 nodes.to_string(),
                 format!("{:.4}", r.seconds),
@@ -45,4 +64,5 @@ fn main() {
     }
     println!("\n(model: block-cyclic ownership, non-overlapped communication — the");
     println!(" pessimistic baseline an actual MPI port would start from)");
+    rep.finish();
 }

@@ -9,7 +9,8 @@
 //! FLOP/byte, doubling the bandwidth-roof ceiling.
 
 use bench::dmp::{dmp_flops, dmp_solve};
-use bench::{banner, f2, gflops, time_median, Opts, Table};
+use bench::report::Reporter;
+use bench::{banner, f2, gflops, time_stats, Opts, Table};
 use bpmax::ftable::Layout;
 use bpmax::kernels::{R0Order, Tile};
 use machine::roofline::Roofline;
@@ -17,6 +18,7 @@ use machine::spec::MachineSpec;
 
 fn main() {
     let opts = Opts::parse(&[24, 32, 48], &[]);
+    let mut rep = Reporter::new("future_register_tiling", &opts);
     banner(
         "Future work",
         "register-level tiling of the double max-plus",
@@ -31,6 +33,8 @@ fn main() {
         f2(roof.attainable("L2", 1.0 / 6.0)),
         f2(roof.attainable("L2", 1.0 / 3.0)),
     );
+    rep.modeled_gflops("modeled/roof-l2/ai=1-6", roof.attainable("L2", 1.0 / 6.0));
+    rep.modeled_gflops("modeled/roof-l2/ai=1-3", roof.attainable("L2", 1.0 / 3.0));
 
     println!("\n--- measured, 1 thread, this machine ---");
     let mut t = Table::new(&[
@@ -42,20 +46,37 @@ fn main() {
     ]);
     for &n in &opts.sizes {
         let flops = dmp_flops(n, n);
-        let reps = if n <= 24 { 3 } else { 1 };
-        let t_perm = time_median(reps, || dmp_solve(n, n, R0Order::Permuted, Layout::Packed));
-        let t_tiled = time_median(reps, || {
+        let reps = opts.reps(if n <= 24 { 3 } else { 1 });
+        let s_perm = time_stats(reps, || dmp_solve(n, n, R0Order::Permuted, Layout::Packed));
+        let s_tiled = time_stats(reps, || {
             dmp_solve(n, n, R0Order::Tiled(Tile::small()), Layout::Packed)
         });
-        let t_reg = time_median(reps, || dmp_solve(n, n, R0Order::RegTiled, Layout::Packed));
+        let s_reg = time_stats(reps, || dmp_solve(n, n, R0Order::RegTiled, Layout::Packed));
+        rep.measured(
+            format!("measured/permuted/m={n},n={n}"),
+            s_perm,
+            Some(flops),
+        );
+        rep.measured(
+            format!("measured/cache-tiled/m={n},n={n}"),
+            s_tiled,
+            Some(flops),
+        );
+        rep.measured(
+            format!("measured/reg-unrolled/m={n},n={n}"),
+            s_reg,
+            Some(flops),
+        );
+        rep.annotate(&[("speedup_vs_permuted", s_perm.median_s / s_reg.median_s)]);
         t.row(vec![
             n.to_string(),
-            f2(gflops(flops, t_perm)),
-            f2(gflops(flops, t_tiled)),
-            f2(gflops(flops, t_reg)),
-            f2(t_perm / t_reg),
+            f2(gflops(flops, s_perm.median_s)),
+            f2(gflops(flops, s_tiled.median_s)),
+            f2(gflops(flops, s_reg.median_s)),
+            f2(s_perm.median_s / s_reg.median_s),
         ]);
     }
     t.print();
     println!("\n(all three orders are asserted equal on checksums by the test-suite)");
+    rep.finish();
 }

@@ -6,7 +6,8 @@
 //! tiled one) to show the permutation's effect on this machine.
 
 use bench::dmp::{dmp_flops, dmp_solve};
-use bench::{banner, f2, gflops, time_median, Opts, Table};
+use bench::report::{Kind, Reporter};
+use bench::{banner, f2, gflops, time_stats, Opts, Table};
 use bpmax::ftable::Layout;
 use bpmax::kernels::{R0Order, Tile};
 use bpmax::schedules::dmp_schedules;
@@ -14,6 +15,7 @@ use polyhedral::affine::env;
 
 fn main() {
     let opts = Opts::parse(&[16, 24, 32], &[]);
+    let mut rep = Reporter::new("table01_dmp_schedules", &opts);
     banner(
         "Table I",
         "double max-plus schedules",
@@ -30,6 +32,14 @@ fn main() {
                 .verify(&env(&[("M", m), ("N", n)]), m.max(n), 1)
                 .is_empty();
         }
+        rep.values(
+            format!("static/schedule/{}", s.label),
+            Kind::Static,
+            &[
+                ("legal", f64::from(legal)),
+                ("vectorizable", f64::from(s.vectorizable)),
+            ],
+        );
         t.row(vec![
             s.label.to_string(),
             if s.vectorizable {
@@ -54,22 +64,41 @@ fn main() {
         "perm/naive",
     ]);
     for &n in &opts.sizes {
-        let reps = if n <= 24 { 3 } else { 1 };
+        let reps = opts.reps(if n <= 24 { 3 } else { 1 });
         let flops = dmp_flops(n, n);
-        let t_naive = time_median(reps, || dmp_solve(n, n, R0Order::Naive, Layout::Packed));
-        let t_perm = time_median(reps, || dmp_solve(n, n, R0Order::Permuted, Layout::Packed));
-        let t_tiled = time_median(reps, || {
+        let s_naive = time_stats(reps, || dmp_solve(n, n, R0Order::Naive, Layout::Packed));
+        let s_perm = time_stats(reps, || dmp_solve(n, n, R0Order::Permuted, Layout::Packed));
+        let s_tiled = time_stats(reps, || {
             dmp_solve(n, n, R0Order::Tiled(Tile::small()), Layout::Packed)
         });
-        let t_reg = time_median(reps, || dmp_solve(n, n, R0Order::RegTiled, Layout::Packed));
+        let s_reg = time_stats(reps, || dmp_solve(n, n, R0Order::RegTiled, Layout::Packed));
+        let (t_naive, t_perm) = (s_naive.median_s, s_perm.median_s);
+        rep.measured(format!("measured/naive/m={n},n={n}"), s_naive, Some(flops));
+        rep.measured(
+            format!("measured/permuted/m={n},n={n}"),
+            s_perm,
+            Some(flops),
+        );
+        rep.annotate(&[("speedup_vs_naive", t_naive / t_perm)]);
+        rep.measured(
+            format!("measured/tiled 32x4xN/m={n},n={n}"),
+            s_tiled,
+            Some(flops),
+        );
+        rep.measured(
+            format!("measured/reg-tiled/m={n},n={n}"),
+            s_reg,
+            Some(flops),
+        );
         t.row(vec![
             n.to_string(),
             f2(gflops(flops, t_naive)),
             f2(gflops(flops, t_perm)),
-            f2(gflops(flops, t_tiled)),
-            f2(gflops(flops, t_reg)),
+            f2(gflops(flops, s_tiled.median_s)),
+            f2(gflops(flops, s_reg.median_s)),
             f2(t_naive / t_perm),
         ]);
     }
     t.print();
+    rep.finish();
 }

@@ -6,11 +6,14 @@
 //! the loop-nest IR; absolute LOC differ (different printer, and our
 //! statement macros hide more), but the ordering and growth reproduce.
 
-use bench::{banner, Table};
+use bench::report::{Kind, Reporter};
+use bench::{banner, Opts, Table};
 use bpmax::nests;
 use polyhedral::codegen::render;
 
 fn main() {
+    let opts = Opts::parse(&[], &[]);
+    let mut rep = Reporter::new("table06_codegen_loc", &opts);
     banner(
         "Table VI",
         "generated code statistics",
@@ -25,6 +28,17 @@ fn main() {
         "depth",
     ]);
     for s in nests::table6() {
+        rep.values(
+            format!("static/codegen/{}", s.name),
+            Kind::Static,
+            &[
+                ("loc", s.loc as f64),
+                ("loops", s.loops as f64),
+                ("parallel_loops", s.parallel_loops as f64),
+                ("statements", s.statements as f64),
+                ("max_depth", s.max_depth as f64),
+            ],
+        );
         t.row(vec![
             s.name.clone(),
             s.loc.to_string(),
@@ -38,4 +52,5 @@ fn main() {
 
     println!("\n--- sample: generated hybrid+tiled program ---\n");
     println!("{}", render(&nests::tiled_nest(64, 16)));
+    rep.finish();
 }

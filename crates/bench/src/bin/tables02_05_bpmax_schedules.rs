@@ -5,12 +5,13 @@
 //! then verifies legality of **every dependence instance** at several
 //! problem sizes — the check `AlphaZ` leaves to the user.
 
+use bench::report::{Kind, Reporter};
 use bench::{banner, Opts, Table};
 use bpmax::schedules;
 use polyhedral::affine::env;
 use polyhedral::System;
 
-fn report(name: &str, paper: &str, sys: &System, sizes: &[(i64, i64)]) {
+fn report(rep: &mut Reporter, name: &str, paper: &str, sys: &System, sizes: &[(i64, i64)]) {
     println!("\n### {name} ({paper})");
     let mut t = Table::new(&["variable", "schedule"]);
     for var in sys.vars() {
@@ -30,12 +31,21 @@ fn report(name: &str, paper: &str, sys: &System, sizes: &[(i64, i64)]) {
                 format!("{} VIOLATIONS (first: {})", viol.len(), viol[0])
             }
         );
+        rep.values(
+            format!("static/{name}/M={m},N={n}"),
+            Kind::Static,
+            &[
+                ("dependence_instances", instances as f64),
+                ("violations", viol.len() as f64),
+            ],
+        );
         assert!(viol.is_empty(), "schedule {name} must be legal");
     }
 }
 
 fn main() {
     let opts = Opts::parse(&[], &[]);
+    let mut rep = Reporter::new("tables02_05_bpmax_schedules", &opts);
     banner(
         "Tables II-V",
         "full-BPMax space-time maps, verified",
@@ -47,24 +57,34 @@ fn main() {
         &[(4, 4), (5, 3)]
     };
     report(
+        &mut rep,
         "base",
         "original program",
         &schedules::base_schedule(),
         sizes,
     );
-    report("fine-grain", "Table II", &schedules::fine_grain(), sizes);
     report(
+        &mut rep,
+        "fine-grain",
+        "Table II",
+        &schedules::fine_grain(),
+        sizes,
+    );
+    report(
+        &mut rep,
         "coarse-grain",
         "Table III",
         &schedules::coarse_grain(),
         sizes,
     );
-    report("hybrid", "Table IV", &schedules::hybrid(), sizes);
+    report(&mut rep, "hybrid", "Table IV", &schedules::hybrid(), sizes);
     report(
+        &mut rep,
         "hybrid + tiled (ti=2, tk=2)",
         "Table V",
         &schedules::hybrid_tiled(2, 2),
         sizes,
     );
     println!("\nall schedule sets verified legal.");
+    rep.finish();
 }

@@ -3,16 +3,24 @@
 //! Every evaluation artifact of the paper has a binary in `src/bin/`
 //! (`fig01_summary` … `table06_codegen_loc`). They share: seeded workload
 //! generation, wall-clock measurement with warm-up, GFLOPS accounting,
-//! aligned-table printing, and a tiny CLI parser (`--sizes 16,32,48`,
-//! `--threads 6`, `--full`, `--seed 7`).
+//! aligned-table printing, structured JSON telemetry ([`report`]), and a
+//! tiny CLI parser (`--sizes 16,32,48`, `--threads 6`, `--full`,
+//! `--seed 7`, `--reps 5`, `--smoke`, `--json-dir DIR`).
 //!
 //! Run everything with `./run_all_figures.sh` or individually:
 //!
 //! ```text
 //! cargo run -p bench --release --bin fig15_bpmax_perf -- --sizes 16,24,32
 //! ```
+//!
+//! Alongside its text table, every binary writes
+//! `results/json/<name>.json` (see [`report`] for the schema); the
+//! `bench_compare` binary gates CI on those reports and
+//! `bench_aggregate` folds them into `BENCH_SUMMARY.json`.
 
 pub mod dmp;
+pub mod json;
+pub mod report;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,7 +28,7 @@ use rna::{RnaSeq, ScoringModel};
 use std::time::Instant;
 
 /// Parsed common CLI options.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Opts {
     /// Sequence sizes to sweep.
     pub sizes: Vec<usize>,
@@ -28,52 +36,111 @@ pub struct Opts {
     pub threads: Vec<usize>,
     /// Larger, slower, closer-to-paper configuration.
     pub full: bool,
+    /// Fast small-size configuration for the CI regression gate; tags
+    /// the telemetry report and shrinks self-calibrating workloads.
+    pub smoke: bool,
     /// RNG seed for workloads.
     pub seed: u64,
+    /// Repetition-count override for timed measurements (`--reps`).
+    pub reps_override: Option<usize>,
+    /// Output directory for the JSON report (`--json-dir`); default
+    /// `results/json`.
+    pub json_dir: Option<String>,
 }
 
+const USAGE: &str = "options: --sizes a,b,c  --threads a,b  --seed N  --reps N  \
+--json-dir DIR  --smoke  --full";
+
 impl Opts {
-    /// Parse from `std::env::args`, with per-binary defaults.
+    /// Parse from `std::env::args`, with per-binary defaults. Prints
+    /// usage and exits 0 on `--help`, or exits 2 on a malformed command
+    /// line.
     pub fn parse(default_sizes: &[usize], default_threads: &[usize]) -> Opts {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        match Opts::try_parse(&args, default_sizes, default_threads) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Fallible parser behind [`Opts::parse`]; `args` excludes the
+    /// program name.
+    pub fn try_parse(
+        args: &[String],
+        default_sizes: &[usize],
+        default_threads: &[usize],
+    ) -> Result<Opts, String> {
         let mut opts = Opts {
             sizes: default_sizes.to_vec(),
             threads: default_threads.to_vec(),
             full: false,
+            smoke: false,
             seed: 0xB9A11,
+            reps_override: None,
+            json_dir: None,
         };
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--sizes" => {
-                    i += 1;
-                    opts.sizes = args[i]
-                        .split(',')
-                        .map(|s| s.trim().parse().expect("bad --sizes"))
-                        .collect();
-                }
-                "--threads" => {
-                    i += 1;
-                    opts.threads = args[i]
-                        .split(',')
-                        .map(|s| s.trim().parse().expect("bad --threads"))
-                        .collect();
-                }
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let mut value = || {
+                iter.next()
+                    .ok_or_else(|| format!("missing value after {flag}"))
+            };
+            match flag.as_str() {
+                "--sizes" => opts.sizes = parse_list(value()?, "--sizes")?,
+                "--threads" => opts.threads = parse_list(value()?, "--threads")?,
                 "--seed" => {
-                    i += 1;
-                    opts.seed = args[i].parse().expect("bad --seed");
+                    let v = value()?;
+                    opts.seed = v
+                        .parse()
+                        .map_err(|e| format!("invalid --seed '{v}': {e}"))?;
                 }
+                "--reps" => {
+                    let v = value()?;
+                    let reps: usize = v
+                        .parse()
+                        .map_err(|e| format!("invalid --reps '{v}': {e}"))?;
+                    if reps == 0 {
+                        return Err("--reps must be at least 1".to_string());
+                    }
+                    opts.reps_override = Some(reps);
+                }
+                "--json-dir" => opts.json_dir = Some(value()?.clone()),
                 "--full" => opts.full = true,
-                "--help" | "-h" => {
-                    eprintln!("options: --sizes a,b,c  --threads a,b  --seed N  --full");
-                    std::process::exit(0);
-                }
-                other => panic!("unknown option {other:?}"),
+                "--smoke" => opts.smoke = true,
+                other => return Err(format!("unknown option '{other}'")),
             }
-            i += 1;
         }
-        opts
+        Ok(opts)
     }
+
+    /// Repetitions for a timed measurement: the `--reps` override if
+    /// given, else the binary's size-dependent default.
+    pub fn reps(&self, default: usize) -> usize {
+        self.reps_override.unwrap_or(default).max(1)
+    }
+}
+
+fn parse_list(text: &str, flag: &str) -> Result<Vec<usize>, String> {
+    let items = text
+        .split(',')
+        .map(|s| {
+            let s = s.trim();
+            s.parse::<usize>()
+                .map_err(|e| format!("invalid {flag} item '{s}': {e}"))
+        })
+        .collect::<Result<Vec<usize>, String>>()?;
+    if items.is_empty() || items.contains(&0) {
+        return Err(format!("{flag} items must be positive integers"));
+    }
+    Ok(items)
 }
 
 /// Deterministic random sequence pair of lengths `(m, n)`.
@@ -87,11 +154,26 @@ pub fn model() -> ScoringModel {
     ScoringModel::bpmax_default()
 }
 
-/// Time a closure: one warm-up call, then the median of `reps` timed
-/// calls. Returns seconds.
-pub fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+/// Wall-clock statistics of a repeated measurement: the median and the
+/// median absolute deviation (MAD) — the robust noise estimate the
+/// `bench_compare` regression gate thresholds against.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimeStats {
+    /// Number of timed repetitions.
+    pub reps: usize,
+    /// Median wall time in seconds.
+    pub median_s: f64,
+    /// Median absolute deviation from the median, in seconds (0 when
+    /// `reps == 1`).
+    pub mad_s: f64,
+}
+
+/// Time a closure: one warm-up call, then `reps` timed calls summarized
+/// as median + MAD.
+pub fn time_stats<T>(reps: usize, mut f: impl FnMut() -> T) -> TimeStats {
     std::hint::black_box(f());
-    let mut times: Vec<f64> = (0..reps.max(1))
+    let reps = reps.max(1);
+    let mut times: Vec<f64> = (0..reps)
         .map(|_| {
             let t = Instant::now();
             std::hint::black_box(f());
@@ -99,7 +181,20 @@ pub fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
         })
         .collect();
     times.sort_by(f64::total_cmp);
-    times[times.len() / 2]
+    let median_s = times[times.len() / 2];
+    let mut devs: Vec<f64> = times.iter().map(|&t| (t - median_s).abs()).collect();
+    devs.sort_by(f64::total_cmp);
+    TimeStats {
+        reps,
+        median_s,
+        mad_s: devs[devs.len() / 2],
+    }
+}
+
+/// Time a closure: one warm-up call, then the median of `reps` timed
+/// calls. Returns seconds. (See [`time_stats`] for the full statistics.)
+pub fn time_median<T>(reps: usize, f: impl FnMut() -> T) -> f64 {
+    time_stats(reps, f).median_s
 }
 
 /// GFLOPS from FLOP count and seconds.
@@ -230,5 +325,105 @@ mod tests {
     fn table_checks_arity() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn opts_defaults_when_no_args() {
+        let o = Opts::try_parse(&[], &[16, 32], &[6]).unwrap();
+        assert_eq!(o.sizes, vec![16, 32]);
+        assert_eq!(o.threads, vec![6]);
+        assert!(!o.full && !o.smoke);
+        assert_eq!(o.seed, 0xB9A11);
+        assert_eq!(o.reps_override, None);
+        assert_eq!(o.json_dir, None);
+    }
+
+    #[test]
+    fn opts_good_flags() {
+        let o = Opts::try_parse(
+            &args(&[
+                "--sizes",
+                "8, 12,16",
+                "--threads",
+                "1,6",
+                "--seed",
+                "42",
+                "--reps",
+                "5",
+                "--json-dir",
+                "/tmp/x",
+                "--smoke",
+                "--full",
+            ]),
+            &[99],
+            &[99],
+        )
+        .unwrap();
+        assert_eq!(o.sizes, vec![8, 12, 16]);
+        assert_eq!(o.threads, vec![1, 6]);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.reps_override, Some(5));
+        assert_eq!(o.json_dir.as_deref(), Some("/tmp/x"));
+        assert!(o.smoke && o.full);
+    }
+
+    #[test]
+    fn opts_bad_sizes() {
+        for bad in ["abc", "8,x", "8,,12", "-3", "0", ""] {
+            let err = Opts::try_parse(&args(&["--sizes", bad]), &[16], &[]).unwrap_err();
+            assert!(err.contains("--sizes"), "{bad:?}: {err}");
+        }
+        let err = Opts::try_parse(&args(&["--sizes"]), &[16], &[]).unwrap_err();
+        assert!(err.contains("missing value"), "{err}");
+    }
+
+    #[test]
+    fn opts_bad_threads_and_seed_and_reps() {
+        assert!(Opts::try_parse(&args(&["--threads", "1,zero"]), &[], &[])
+            .unwrap_err()
+            .contains("--threads"));
+        assert!(
+            Opts::try_parse(&args(&["--seed", "not-a-number"]), &[], &[])
+                .unwrap_err()
+                .contains("--seed")
+        );
+        assert!(Opts::try_parse(&args(&["--seed"]), &[], &[])
+            .unwrap_err()
+            .contains("missing value"));
+        assert!(Opts::try_parse(&args(&["--reps", "0"]), &[], &[])
+            .unwrap_err()
+            .contains("--reps"));
+    }
+
+    #[test]
+    fn opts_unknown_flag() {
+        let err = Opts::try_parse(&args(&["--frobnicate"]), &[], &[]).unwrap_err();
+        assert!(err.contains("unknown option"), "{err}");
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn opts_reps_helper() {
+        let o = Opts::try_parse(&[], &[], &[]).unwrap();
+        assert_eq!(o.reps(3), 3);
+        let o = Opts::try_parse(&args(&["--reps", "7"]), &[], &[]).unwrap();
+        assert_eq!(o.reps(3), 7);
+    }
+
+    #[test]
+    fn time_stats_median_and_mad() {
+        let mut calls = 0u32;
+        let stats = time_stats(5, || {
+            calls += 1;
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        });
+        assert_eq!(calls, 6, "warm-up + 5 timed");
+        assert_eq!(stats.reps, 5);
+        assert!(stats.median_s >= 100e-6);
+        assert!(stats.mad_s >= 0.0 && stats.mad_s <= stats.median_s);
     }
 }

@@ -1,12 +1,38 @@
 //! Smoke tests: every figure/table binary runs to completion at tiny
-//! sizes and prints its expected markers. This keeps the harness runnable
-//! as the library evolves — a broken figure binary fails `cargo test`.
+//! sizes, prints its expected markers, and writes a parseable telemetry
+//! report. This keeps the harness runnable as the library evolves — a
+//! broken figure binary fails `cargo test`.
 
+use bench::report::{Kind, Report};
+use std::path::PathBuf;
 use std::process::Command;
 
-fn run(bin: &str, args: &[&str]) -> String {
+/// Whether the artifact is expected to carry at least one nonzero-GFLOPS
+/// measurement (the four structural artifacts — dependence tables,
+/// code-gen LOC, and the two ablation simulators — report counts and
+/// ratios, not throughput).
+fn carries_gflops(artifact: &str) -> bool {
+    !matches!(
+        artifact,
+        "tables02_05_bpmax_schedules"
+            | "table06_codegen_loc"
+            | "ablation_locality"
+            | "ablation_sched_policy"
+    )
+}
+
+/// Run a binary with `--json-dir` pointed at a fresh temp dir; assert it
+/// exits 0 and that its JSON report parses with at least one measurement
+/// (and nonzero finite GFLOPS where the artifact promises throughput).
+/// Returns the captured stdout for marker assertions.
+fn run(bin: &str, artifact: &str, args: &[&str]) -> String {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("bpmax-smoke-{}-{artifact}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
     let out = Command::new(bin)
         .args(args)
+        .arg("--json-dir")
+        .arg(&dir)
         .output()
         .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
     assert!(
@@ -14,12 +40,47 @@ fn run(bin: &str, args: &[&str]) -> String {
         "{bin} {args:?} failed:\n{}",
         String::from_utf8_lossy(&out.stderr)
     );
+
+    let report = Report::load(&dir.join(format!("{artifact}.json")))
+        .unwrap_or_else(|e| panic!("{artifact}: telemetry report unreadable: {e}"));
+    assert_eq!(report.artifact, artifact);
+    assert!(
+        !report.measurements.is_empty(),
+        "{artifact}: report has no measurements"
+    );
+    for m in &report.measurements {
+        assert!(!m.id.is_empty(), "{artifact}: empty measurement id");
+        if let Some(g) = m.gflops {
+            assert!(
+                g.is_finite() && g > 0.0,
+                "{artifact}: non-positive GFLOPS in {}",
+                m.id
+            );
+        }
+        if m.kind == Kind::Measured {
+            if let Some(s) = m.median_s {
+                assert!(s > 0.0, "{artifact}: non-positive median in {}", m.id);
+            }
+        }
+    }
+    if carries_gflops(artifact) {
+        assert!(
+            report.measurements.iter().any(|m| m.gflops.is_some()),
+            "{artifact}: expected at least one GFLOPS-bearing measurement"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
     String::from_utf8_lossy(&out.stdout).into_owned()
 }
 
 #[test]
 fn fig01_summary_runs() {
-    let out = run(env!("CARGO_BIN_EXE_fig01_summary"), &["--sizes", "8,10"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_fig01_summary"),
+        "fig01_summary",
+        &["--sizes", "8,10"],
+    );
     assert!(out.contains("speedup"));
     assert!(out.contains("Xeon"));
 }
@@ -28,6 +89,7 @@ fn fig01_summary_runs() {
 fn table01_runs_and_all_schedules_legal() {
     let out = run(
         env!("CARGO_BIN_EXE_table01_dmp_schedules"),
+        "table01_dmp_schedules",
         &["--sizes", "8,12"],
     );
     assert!(out.contains("j2 (vec)"));
@@ -36,31 +98,44 @@ fn table01_runs_and_all_schedules_legal() {
 
 #[test]
 fn tables02_05_verify() {
-    let out = run(env!("CARGO_BIN_EXE_tables02_05_bpmax_schedules"), &[]);
+    let out = run(
+        env!("CARGO_BIN_EXE_tables02_05_bpmax_schedules"),
+        "tables02_05_bpmax_schedules",
+        &[],
+    );
     assert!(out.contains("all schedule sets verified legal"));
     assert!(out.matches("LEGAL").count() >= 10);
 }
 
 #[test]
 fn fig11_roofline_exact_values() {
-    let out = run(env!("CARGO_BIN_EXE_fig11_roofline"), &[]);
+    let out = run(env!("CARGO_BIN_EXE_fig11_roofline"), "fig11_roofline", &[]);
     assert!(out.contains("345.6"), "paper peak must appear");
     assert!(out.contains("DRAM"));
 }
 
 #[test]
 fn fig12_microbench_runs() {
-    let out = run(env!("CARGO_BIN_EXE_fig12_microbench"), &[]);
+    let out = run(
+        env!("CARGO_BIN_EXE_fig12_microbench"),
+        "fig12_microbench",
+        &["--smoke"],
+    );
     assert!(out.contains("GFLOPS"));
     assert!(out.contains("modeled thread scaling"));
 }
 
 #[test]
 fn fig13_fig14_run() {
-    let out = run(env!("CARGO_BIN_EXE_fig13_dmp_perf"), &["--sizes", "8,12"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_fig13_dmp_perf"),
+        "fig13_dmp_perf",
+        &["--sizes", "8,12"],
+    );
     assert!(out.contains("fine + tiled"));
     let out = run(
         env!("CARGO_BIN_EXE_fig14_dmp_speedup"),
+        "fig14_dmp_speedup",
         &["--sizes", "8,12"],
     );
     assert!(out.contains("modeled speedup"));
@@ -68,10 +143,15 @@ fn fig13_fig14_run() {
 
 #[test]
 fn fig15_fig16_run() {
-    let out = run(env!("CARGO_BIN_EXE_fig15_bpmax_perf"), &["--sizes", "8,10"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_fig15_bpmax_perf"),
+        "fig15_bpmax_perf",
+        &["--sizes", "8,10"],
+    );
     assert!(out.contains("hybrid+tiled"));
     let out = run(
         env!("CARGO_BIN_EXE_fig16_bpmax_speedup"),
+        "fig16_bpmax_speedup",
         &["--sizes", "8,10"],
     );
     assert!(out.contains("modeled speedup vs baseline"));
@@ -79,7 +159,11 @@ fn fig15_fig16_run() {
 
 #[test]
 fn fig17_ht_gain_is_positive_and_small() {
-    let out = run(env!("CARGO_BIN_EXE_fig17_hyperthreading"), &[]);
+    let out = run(
+        env!("CARGO_BIN_EXE_fig17_hyperthreading"),
+        "fig17_hyperthreading",
+        &[],
+    );
     assert!(out.contains("gain vs 6T"));
     // the tiled scenario's 12-thread gain line exists
     assert!(out.contains("12"));
@@ -87,23 +171,39 @@ fn fig17_ht_gain_is_positive_and_small() {
 
 #[test]
 fn fig18_tile_sweep_runs() {
-    let out = run(env!("CARGO_BIN_EXE_fig18_tile_sweep"), &["--sizes", "48"]);
+    let out = run(
+        env!("CARGO_BIN_EXE_fig18_tile_sweep"),
+        "fig18_tile_sweep",
+        &["--sizes", "48"],
+    );
     assert!(out.contains("cubic"));
     assert!(out.contains("untiled"));
 }
 
 #[test]
 fn table06_loc_ordering() {
-    let out = run(env!("CARGO_BIN_EXE_table06_codegen_loc"), &[]);
+    let out = run(
+        env!("CARGO_BIN_EXE_table06_codegen_loc"),
+        "table06_codegen_loc",
+        &[],
+    );
     assert!(out.contains("BPMax hybrid with tiled R0"));
     assert!(out.contains("#pragma omp parallel for"));
 }
 
 #[test]
 fn ablations_run() {
-    let out = run(env!("CARGO_BIN_EXE_ablation_locality"), &[]);
+    let out = run(
+        env!("CARGO_BIN_EXE_ablation_locality"),
+        "ablation_locality",
+        &[],
+    );
     assert!(out.contains("miss ratio"));
-    let out = run(env!("CARGO_BIN_EXE_ablation_sched_policy"), &[]);
+    let out = run(
+        env!("CARGO_BIN_EXE_ablation_sched_policy"),
+        "ablation_sched_policy",
+        &[],
+    );
     assert!(out.contains("dynamic"));
 }
 
@@ -111,10 +211,15 @@ fn ablations_run() {
 fn future_work_binaries_run() {
     let out = run(
         env!("CARGO_BIN_EXE_future_register_tiling"),
+        "future_register_tiling",
         &["--sizes", "16"],
     );
     assert!(out.contains("reg-unrolled"));
-    let out = run(env!("CARGO_BIN_EXE_future_mpi_cluster"), &[]);
+    let out = run(
+        env!("CARGO_BIN_EXE_future_mpi_cluster"),
+        "future_mpi_cluster",
+        &[],
+    );
     assert!(out.contains("speedup"));
     assert!(out.contains("comm %"));
 }

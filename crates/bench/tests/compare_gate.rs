@@ -1,0 +1,242 @@
+//! Integration tests for the `bench_compare` regression gate and the
+//! `bench_aggregate` summary step, driving the real binaries over report
+//! directories built with the `bench::report` API.
+
+use bench::report::{Kind, Measurement, Report, RunMeta};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn meta() -> RunMeta {
+    RunMeta {
+        git_sha: "abc123def456".to_string(),
+        rustc: "rustc 1.95.0".to_string(),
+        host_cores: 1,
+        seed: 761361,
+        threads: vec![6],
+        full: false,
+        smoke: true,
+        unix_time_s: 1_754_500_000,
+    }
+}
+
+fn measured(id: &str, median_s: f64, mad_s: f64) -> Measurement {
+    Measurement {
+        id: id.to_string(),
+        kind: Kind::Measured,
+        reps: 5,
+        median_s: Some(median_s),
+        mad_s: Some(mad_s),
+        gflops: Some(1.0 / median_s / 1e9),
+        metrics: vec![],
+    }
+}
+
+fn modeled(id: &str, gflops: f64) -> Measurement {
+    Measurement {
+        id: id.to_string(),
+        kind: Kind::Modeled,
+        reps: 0,
+        median_s: None,
+        mad_s: None,
+        gflops: Some(gflops),
+        metrics: vec![],
+    }
+}
+
+fn write_reports(dir: &Path, measurements: Vec<Measurement>) {
+    std::fs::create_dir_all(dir).unwrap();
+    let report = Report {
+        artifact: "fig13_dmp_perf".to_string(),
+        meta: meta(),
+        measurements,
+    };
+    std::fs::write(dir.join("fig13_dmp_perf.json"), report.to_json().render()).unwrap();
+}
+
+/// A fresh scratch dir unique to this test.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bpmax-gate-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn compare(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+        .args(args)
+        .output()
+        .expect("spawning bench_compare")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn identical_reports_pass_clean() {
+    let dir = scratch("identical");
+    let base = dir.join("base");
+    let cand = dir.join("cand");
+    let ms = vec![
+        measured("measured/naive/m=16,n=16", 1.0e-4, 2.0e-6),
+        modeled("modeled/fine + tiled/t=6/n=1024", 117.0),
+    ];
+    write_reports(&base, ms.clone());
+    write_reports(&cand, ms);
+    let out = compare(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--candidate",
+        cand.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("no wall-clock regressions"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn inflated_median_fails_the_gate() {
+    let dir = scratch("inflated");
+    let base = dir.join("base");
+    let cand = dir.join("cand");
+    write_reports(
+        &base,
+        vec![measured("measured/naive/m=16,n=16", 1.0e-4, 2.0e-6)],
+    );
+    // 3x slower: far beyond both 3x MAD and the 30% relative floor.
+    write_reports(
+        &cand,
+        vec![measured("measured/naive/m=16,n=16", 3.0e-4, 2.0e-6)],
+    );
+    let out = compare(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--candidate",
+        cand.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stdout(&out).contains("REGRESSION"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slowdown_within_noise_passes() {
+    let dir = scratch("noise");
+    let base = dir.join("base");
+    let cand = dir.join("cand");
+    // 10% slower but MAD is huge: 3x MAD dominates and absorbs it.
+    write_reports(
+        &base,
+        vec![measured("measured/naive/m=16,n=16", 1.0e-4, 2.0e-5)],
+    );
+    write_reports(
+        &cand,
+        vec![measured("measured/naive/m=16,n=16", 1.1e-4, 2.0e-5)],
+    );
+    let out = compare(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--candidate",
+        cand.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn modeled_change_is_drift_not_regression() {
+    let dir = scratch("drift");
+    let base = dir.join("base");
+    let cand = dir.join("cand");
+    write_reports(
+        &base,
+        vec![modeled("modeled/fine + tiled/t=6/n=1024", 117.0)],
+    );
+    write_reports(
+        &cand,
+        vec![modeled("modeled/fine + tiled/t=6/n=1024", 90.0)],
+    );
+    let out = compare(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--candidate",
+        cand.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("drift"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn update_baseline_pins_candidate() {
+    let dir = scratch("update");
+    let base = dir.join("base");
+    let cand = dir.join("cand");
+    write_reports(
+        &cand,
+        vec![measured("measured/naive/m=16,n=16", 1.0e-4, 2.0e-6)],
+    );
+    let out = compare(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--candidate",
+        cand.to_str().unwrap(),
+        "--update-baseline",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    let pinned = Report::load(&base.join("fig13_dmp_perf.json")).unwrap();
+    assert_eq!(pinned.artifact, "fig13_dmp_perf");
+    assert_eq!(pinned.measurements.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_arguments_exit_2() {
+    let out = compare(&["--baseline", "somewhere"]); // missing --candidate
+    assert_eq!(out.status.code(), Some(2));
+    let out = compare(&["--nonsense"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = compare(&[
+        "--baseline",
+        "/nonexistent-base",
+        "--candidate",
+        "/nonexistent-cand",
+    ]);
+    assert_eq!(out.status.code(), Some(2)); // I/O error, not a regression
+}
+
+#[test]
+fn aggregate_writes_summary_with_trajectory() {
+    let dir = scratch("aggregate");
+    let json = dir.join("json");
+    write_reports(
+        &json,
+        vec![
+            measured("measured/naive/m=16,n=16", 1.0e-4, 2.0e-6),
+            measured("measured/tiled 64x16xN/m=16,n=16", 0.5e-4, 1.0e-6),
+            modeled("modeled/fine + tiled/t=6/n=1024", 117.0),
+        ],
+    );
+    let summary_path = dir.join("BENCH_SUMMARY.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_aggregate"))
+        .args([
+            "--dir",
+            json.to_str().unwrap(),
+            "--out",
+            summary_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawning bench_aggregate");
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    let summary = bench::json::parse(&std::fs::read_to_string(&summary_path).unwrap()).unwrap();
+    let traj = summary.get("trajectory").unwrap();
+    assert_eq!(
+        traj.get("dmp_measured_tiled_vs_naive").unwrap().as_f64(),
+        Some(2.0)
+    );
+    assert_eq!(
+        traj.get("dmp_modeled_tiled_gflops").unwrap().as_f64(),
+        Some(117.0)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

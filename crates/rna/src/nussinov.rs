@@ -75,7 +75,7 @@ impl Nussinov {
 impl Nussinov {
     /// Fold with the anti-diagonal wavefront parallelized (the
     /// parallelization Palkowski & Bielecki study for Nussinov — cited as
-    /// related work [17] in the `BPMax` paper). Cells of one anti-diagonal
+    /// related work \[17\] in the `BPMax` paper). Cells of one anti-diagonal
     /// are independent; the split/bifurcation reads stay within earlier
     /// diagonals. Results are identical to [`Nussinov::fold`].
     pub fn fold_parallel(seq: &RnaSeq, model: &ScoringModel) -> Fold {

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Regenerate every table and figure of the paper's evaluation section.
-# Output goes to results/ (one text file per artifact).
+# Each artifact writes a human table to results/<name>.txt AND a
+# structured telemetry report to results/json/<name>.json (see README.md
+# "Benchmark telemetry & regression gate"); the final bench_aggregate
+# step folds the reports into the repo-root BENCH_SUMMARY.json.
 #
 #   ./run_all_figures.sh           # fast configuration (~a few minutes)
 #   ./run_all_figures.sh --full    # larger sizes, closer to the paper
@@ -16,7 +19,7 @@ cargo build --release -p bench --bins
 run() {
     local bin="$1"; shift
     echo "== $bin $* =="
-    ./target/release/"$bin" "$@" $EXTRA | tee "$OUT/$bin.txt"
+    ./target/release/"$bin" "$@" --json-dir "$OUT/json" $EXTRA | tee "$OUT/$bin.txt"
     echo
 }
 
@@ -37,4 +40,7 @@ run ablation_sched_policy
 run future_register_tiling
 run future_mpi_cluster
 
-echo "all artifacts written to $OUT/"
+echo "== bench_aggregate =="
+./target/release/bench_aggregate --dir "$OUT/json" --out BENCH_SUMMARY.json
+
+echo "all artifacts written to $OUT/ (telemetry in $OUT/json/, summary in BENCH_SUMMARY.json)"
