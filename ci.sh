@@ -59,6 +59,7 @@ run_smoke() {
     ./target/release/fig15_bpmax_perf      --smoke --sizes 12,16 --reps 7 --json-dir "$out" > /dev/null
     ./target/release/fig18_tile_sweep      --smoke --sizes 48    --reps 5 --json-dir "$out" > /dev/null
     ./target/release/table01_dmp_schedules --smoke --sizes 16,24 --reps 7 --json-dir "$out" > /dev/null
+    ./target/release/bench_batch_throughput --smoke --sizes 8,12 --reps 5 --json-dir "$out" > /dev/null
 }
 
 case "$BENCH_GATE" in

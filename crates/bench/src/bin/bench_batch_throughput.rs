@@ -1,0 +1,136 @@
+//! Batch engine throughput: pooled arena + adaptive scheduling vs a naive
+//! solve loop.
+//!
+//! Measured part: a mixed-size problem set (cycled from `--sizes`) solved
+//! three ways — a plain per-problem `solve_opts` loop (fresh table every
+//! time), the batch engine cold (arena empty), and the batch engine warm
+//! (arena populated by the cold wave). Scores are asserted bit-identical
+//! across all three. The headline *metrics* are the arena counters: after
+//! the cold wave the steady state must allocate **zero** new blocks
+//! (`second_wave_allocs`), which this binary asserts — that part is
+//! hardware-independent. The wall-clock speedup is reported but not
+//! asserted: on a single-core host (or under the sequential rayon shim)
+//! one-problem-per-thread scheduling has no cores to win on.
+
+use bench::report::Reporter;
+use bench::{banner, f2, gflops, model, time_stats, workload, Opts, Table};
+use bpmax::batch::{BatchEngine, BatchOptions};
+use bpmax::{BpMaxProblem, SolveOptions};
+
+fn main() {
+    let opts = Opts::parse(&[8, 12, 16, 20], &[8]);
+    let mut rep = Reporter::new("bench_batch_throughput", &opts);
+    banner(
+        "Batch",
+        "batch engine throughput and arena reuse",
+        "steady-state solves allocate zero F-table blocks; coarse scheduling scales with cores",
+    );
+
+    let threads = opts.threads[0].max(1);
+    let count = if opts.smoke {
+        24
+    } else if opts.full {
+        128
+    } else {
+        64
+    };
+    let problems: Vec<BpMaxProblem> = (0..count)
+        .map(|i| {
+            let m = opts.sizes[i % opts.sizes.len()];
+            let n = opts.sizes[(i / opts.sizes.len() + i) % opts.sizes.len()];
+            let (s1, s2) = workload(opts.seed + i as u64, m, n);
+            BpMaxProblem::new(s1, s2, model())
+        })
+        .collect();
+    let total_flops: u64 = problems.iter().map(BpMaxProblem::flops).sum();
+    println!(
+        "\n{count} problems, sizes cycled from {:?}, {:.2} MFLOP total",
+        opts.sizes,
+        total_flops as f64 / 1e6
+    );
+
+    // Reference: the naive loop — one fresh F-table per problem.
+    let solve_opts = SolveOptions::new();
+    let naive_scores: Vec<f32> = problems
+        .iter()
+        .map(|p| p.solve_opts(&solve_opts).expect("solve").score())
+        .collect();
+    let reps = opts.reps(3);
+    let naive_stats = time_stats(reps, || {
+        problems
+            .iter()
+            .map(|p| p.solve_opts(&solve_opts).expect("solve").score())
+            .sum::<f32>()
+    });
+    rep.measured("measured/naive-loop/t=1", naive_stats, Some(total_flops));
+    rep.annotate(&[("problems", count as f64)]);
+
+    // Batch engine: cold wave populates the arena, warm waves must not
+    // allocate.
+    let engine = BatchEngine::new(BatchOptions::new().threads(threads)).expect("engine");
+    let cold = engine.solve_all(&problems).expect("cold wave");
+    let cold_scores: Vec<f32> = cold.items.iter().map(|i| i.score).collect();
+    assert_eq!(cold_scores, naive_scores, "batch must match naive solves");
+
+    let after_cold = engine.pool_stats();
+    let warm_stats = time_stats(reps, || {
+        engine.solve_all(&problems).expect("warm wave").len()
+    });
+    let warm = engine.solve_all(&problems).expect("warm wave");
+    let warm_allocs = engine.pool_stats().allocated_since(&after_cold);
+    assert_eq!(
+        warm_allocs,
+        0,
+        "steady state allocated {warm_allocs} blocks (pool {:?})",
+        engine.pool_stats()
+    );
+
+    let speedup = naive_stats.median_s / warm_stats.median_s;
+    let (lat_min, lat_med, lat_max) = warm.latency_s();
+    rep.measured(
+        format!("measured/batch/t={threads}"),
+        warm_stats,
+        Some(total_flops),
+    );
+    rep.annotate(&[
+        ("problems", count as f64),
+        ("threads", threads as f64),
+        ("speedup_vs_naive", speedup),
+        ("coarse_fraction", warm.coarse_fraction()),
+        ("latency_median_s", lat_med),
+        ("pool_allocated", after_cold.allocated as f64),
+        ("pool_reused", engine.pool_stats().reused as f64),
+        ("steady_state_allocs", warm_allocs as f64),
+    ]);
+
+    let mut t = Table::new(&["wave", "median s", "prob/s", "GFLOPS"]);
+    for (name, s) in [("naive loop", naive_stats), ("batch warm", warm_stats)] {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.4}", s.median_s),
+            format!("{:.0}", count as f64 / s.median_s),
+            f2(gflops(total_flops, s.median_s)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\ncold wave: {:.4} s; warm speedup vs naive loop: {:.2}x at {threads} threads \
+         ({:.0}% coarse)",
+        cold.wall_s,
+        speedup,
+        100.0 * warm.coarse_fraction()
+    );
+    println!(
+        "arena: {} blocks allocated cold, {} reuses since, {} steady-state allocations",
+        after_cold.allocated,
+        engine.pool_stats().reused,
+        warm_allocs
+    );
+    println!(
+        "per-problem latency (warm): min {:.2} us / median {:.2} us / max {:.2} us",
+        lat_min * 1e6,
+        lat_med * 1e6,
+        lat_max * 1e6
+    );
+    rep.finish();
+}

@@ -26,7 +26,7 @@ fn main() {
 
     println!("\n--- measured, 1 thread, this machine (GFLOPS) ---");
     println!("(note: parallel variants pay rayon dispatch overhead with no cores to use it;\n their win is in the modeled section / on multicore hardware)");
-    let algs = Algorithm::all();
+    let algs = Algorithm::ALL;
     let mut header = vec!["M=N".to_string()];
     header.extend(algs.iter().map(|a| a.label().to_string()));
     let mut t = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
@@ -36,7 +36,7 @@ fn main() {
         let flops = p.flops();
         let reference = p.compute(Algorithm::Permuted).final_score();
         let mut cells = vec![n.to_string()];
-        for &alg in &algs {
+        for &alg in algs {
             let reps = opts.reps(if n <= 14 { 3 } else { 1 });
             let stats = time_stats(reps, || p.compute(alg));
             assert_eq!(

@@ -158,6 +158,18 @@ fn fig15_fig16_run() {
 }
 
 #[test]
+fn bench_batch_throughput_runs_and_reuses_arena() {
+    let out = run(
+        env!("CARGO_BIN_EXE_bench_batch_throughput"),
+        "bench_batch_throughput",
+        &["--smoke", "--sizes", "6,8,10"],
+    );
+    assert!(out.contains("batch warm"), "{out}");
+    assert!(out.contains("0 steady-state allocations"), "{out}");
+    assert!(out.contains("per-problem latency"), "{out}");
+}
+
+#[test]
 fn fig17_ht_gain_is_positive_and_small() {
     let out = run(
         env!("CARGO_BIN_EXE_fig17_hyperthreading"),

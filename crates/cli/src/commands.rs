@@ -1,9 +1,15 @@
 //! CLI command implementations. Every command returns its output as a
 //! `String` so unit tests can assert on it without spawning processes.
+//!
+//! Errors are typed ([`CliError`]): usage mistakes and domain failures
+//! ([`bpmax::BpMaxError`]) exit with status 2 and print the usage text;
+//! a `verify` run that finds real schedule violations exits 1 with the
+//! report — that's a *finding*, not a misuse.
 
+use bpmax::batch::{BatchEngine, BatchOptions};
 use bpmax::kernels::{Ctx, Tile};
 use bpmax::windowed::scan_ranked;
-use bpmax::{Algorithm, BpMaxProblem};
+use bpmax::{Algorithm, BpMaxError, BpMaxProblem};
 use rna::nussinov::Nussinov;
 use rna::{RnaSeq, ScoringModel};
 use std::fmt::Write as _;
@@ -14,10 +20,14 @@ pub(crate) const USAGE: &str = "usage:
   bpmax-cli fold <seq> [--min-loop K]
   bpmax-cli interact <seq1> <seq2> [--alg base|permuted|coarse|fine|hybrid|hybrid-tiled]
                      [--min-loop K]
-  bpmax-cli scan <query> <target> [--window W] [--top K]
+  bpmax-cli scan <query> <target> [--window W] [--top K] [--batch] [--threads T]
   bpmax-cli info [M] [N]
   bpmax-cli verify [M N] [--static]
   bpmax-cli help
+
+scan --batch solves every window as an independent problem on the pooled
+batch engine (same scores, arena-recycled tables; --threads sizes its
+worker pool).
 
 verify checks the paper's schedule tables against the BPMax dependence
 system: exhaustively at sizes M x N (any size; large sizes warn about
@@ -25,26 +35,89 @@ cost), or symbolically for ALL sizes at once with --static.
 
 <seq> arguments are RNA strings (ACGU/T) or paths to FASTA files.";
 
+/// What went wrong, and therefore how the process should exit.
+#[derive(Debug)]
+pub(crate) enum CliError {
+    /// Malformed invocation (wrong arity, unknown command/flag): print
+    /// the usage text, exit 2.
+    Usage(String),
+    /// A domain failure from the library (bad sequence, unknown
+    /// algorithm, unreadable FASTA…): usage text, exit 2.
+    BpMax(BpMaxError),
+    /// `verify` found genuine schedule violations: print the report as
+    /// is, exit 1. Not a usage problem.
+    Check(String),
+}
+
+impl From<BpMaxError> for CliError {
+    fn from(e: BpMaxError) -> Self {
+        CliError::BpMax(e)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Check(msg) => f.write_str(msg),
+            CliError::BpMax(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl CliError {
+    /// Process exit status for this error (the bench binaries use the
+    /// same convention: 2 = misuse, 1 = real failure).
+    pub(crate) fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) | CliError::BpMax(_) => 2,
+            CliError::Check(_) => 1,
+        }
+    }
+
+    /// Whether the usage text should follow the error message.
+    pub(crate) fn show_usage(&self) -> bool {
+        !matches!(self, CliError::Check(_))
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn bad_arg(detail: impl Into<String>) -> CliError {
+    CliError::BpMax(BpMaxError::InvalidArgument {
+        detail: detail.into(),
+    })
+}
+
 /// Parse a sequence argument: a FASTA path (first record) or a literal.
-fn load_seq(arg: &str) -> Result<RnaSeq, String> {
+fn load_seq(arg: &str) -> Result<RnaSeq, BpMaxError> {
     if Path::new(arg).is_file() {
-        let records = rna::fasta::read_file(arg).map_err(|e| format!("reading {arg}: {e}"))?;
+        let records = rna::fasta::read_file(arg).map_err(|e| BpMaxError::Fasta {
+            path: arg.to_string(),
+            detail: e.to_string(),
+        })?;
         records
             .into_iter()
             .next()
             .map(|r| r.seq)
-            .ok_or_else(|| format!("{arg}: no FASTA records"))
+            .ok_or_else(|| BpMaxError::Fasta {
+                path: arg.to_string(),
+                detail: "no FASTA records".to_string(),
+            })
     } else {
-        arg.parse()
-            .map_err(|e| format!("{arg:?} is neither a file nor an RNA sequence: {e}"))
+        arg.parse().map_err(|e| BpMaxError::InvalidSequence {
+            input: arg.to_string(),
+            detail: format!("{e}"),
+        })
     }
 }
 
 /// Pull `--flag value` out of an argument list (returns remaining args).
-fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
     if let Some(pos) = args.iter().position(|a| a == flag) {
         if pos + 1 >= args.len() {
-            return Err(format!("{flag} requires a value"));
+            return Err(usage(format!("{flag} requires a value")));
         }
         let value = args.remove(pos + 1);
         args.remove(pos);
@@ -54,25 +127,21 @@ fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String
     }
 }
 
-fn parse_alg(name: &str) -> Result<Algorithm, String> {
-    Ok(match name {
-        "base" | "baseline" => Algorithm::Baseline,
-        "permuted" => Algorithm::Permuted,
-        "coarse" => Algorithm::CoarseGrain,
-        "fine" => Algorithm::FineGrain,
-        "hybrid" => Algorithm::Hybrid,
-        "hybrid-tiled" | "tiled" => Algorithm::HybridTiled {
-            tile: Tile::default(),
-        },
-        other => return Err(format!("unknown algorithm {other:?}")),
-    })
+/// Pull a boolean `--flag` out of an argument list.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
 }
 
 /// Entry point: dispatch on the first argument.
-pub(crate) fn dispatch(args: &[String]) -> Result<String, String> {
+pub(crate) fn dispatch(args: &[String]) -> Result<String, CliError> {
     let mut args = args.to_vec();
     if args.is_empty() {
-        return Err("no command given".to_string());
+        return Err(usage("no command given"));
     }
     let cmd = args.remove(0);
     match cmd.as_str() {
@@ -82,22 +151,22 @@ pub(crate) fn dispatch(args: &[String]) -> Result<String, String> {
         "info" => cmd_info(args),
         "verify" => cmd_verify(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(usage(format!("unknown command {other:?}"))),
     }
 }
 
-fn model_with_min_loop(args: &mut Vec<String>) -> Result<ScoringModel, String> {
+fn model_with_min_loop(args: &mut Vec<String>) -> Result<ScoringModel, CliError> {
     let min_loop = take_opt(args, "--min-loop")?
-        .map(|v| v.parse::<usize>().map_err(|_| "bad --min-loop".to_string()))
+        .map(|v| v.parse::<usize>().map_err(|_| bad_arg("bad --min-loop")))
         .transpose()?
         .unwrap_or(0);
     Ok(ScoringModel::bpmax_default().with_min_loop(min_loop))
 }
 
-fn cmd_fold(mut args: Vec<String>) -> Result<String, String> {
+fn cmd_fold(mut args: Vec<String>) -> Result<String, CliError> {
     let model = model_with_min_loop(&mut args)?;
     let [seq_arg] = args.as_slice() else {
-        return Err("fold takes exactly one sequence".to_string());
+        return Err(usage("fold takes exactly one sequence"));
     };
     let seq = load_seq(seq_arg)?;
     let fold = Nussinov::fold(&seq, &model);
@@ -109,24 +178,24 @@ fn cmd_fold(mut args: Vec<String>) -> Result<String, String> {
     Ok(out.trim_end().to_string())
 }
 
-fn cmd_interact(mut args: Vec<String>) -> Result<String, String> {
+fn cmd_interact(mut args: Vec<String>) -> Result<String, CliError> {
     let model = model_with_min_loop(&mut args)?;
     let alg = match take_opt(&mut args, "--alg")? {
-        Some(name) => parse_alg(&name)?,
+        Some(name) => name.parse::<Algorithm>()?,
         None => Algorithm::HybridTiled {
             tile: Tile::default(),
         },
     };
     let [a1, a2] = args.as_slice() else {
-        return Err("interact takes exactly two sequences".to_string());
+        return Err(usage("interact takes exactly two sequences"));
     };
     let s1 = load_seq(a1)?;
     let s2 = load_seq(a2)?;
     let problem = BpMaxProblem::new(s1.clone(), s2.clone(), model);
-    let solution = problem.solve(alg);
+    let solution = problem.solve_opts(&bpmax::SolveOptions::new().algorithm(alg))?;
     let st = solution.traceback();
     st.validate(s1.len(), s2.len())
-        .map_err(|e| format!("internal error — invalid traceback: {e}"))?;
+        .map_err(|e| CliError::Check(format!("internal error — invalid traceback: {e}")))?;
     let (l1, l2) = st.render(s1.len(), s2.len());
     let mut out = String::new();
     let _ = writeln!(out, "strand 1 ({} nt): {s1}", s1.len());
@@ -144,26 +213,34 @@ fn cmd_interact(mut args: Vec<String>) -> Result<String, String> {
     Ok(out.trim_end().to_string())
 }
 
-fn cmd_scan(mut args: Vec<String>) -> Result<String, String> {
+fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
     let model = model_with_min_loop(&mut args)?;
     let window = take_opt(&mut args, "--window")?
-        .map(|v| v.parse::<usize>().map_err(|_| "bad --window".to_string()))
+        .map(|v| v.parse::<usize>().map_err(|_| bad_arg("bad --window")))
         .transpose()?;
     let top = take_opt(&mut args, "--top")?
-        .map(|v| v.parse::<usize>().map_err(|_| "bad --top".to_string()))
+        .map(|v| v.parse::<usize>().map_err(|_| bad_arg("bad --top")))
         .transpose()?
         .unwrap_or(5);
+    let batch = take_flag(&mut args, "--batch");
+    let threads = take_opt(&mut args, "--threads")?
+        .map(|v| v.parse::<usize>().map_err(|_| bad_arg("bad --threads")))
+        .transpose()?;
+    if threads.is_some() && !batch {
+        return Err(usage("--threads only applies with --batch"));
+    }
     let [qa, ta] = args.as_slice() else {
-        return Err("scan takes a query and a target".to_string());
+        return Err(usage("scan takes a query and a target"));
     };
     let query = load_seq(qa)?;
     let target = load_seq(ta)?;
-    if query.is_empty() || target.is_empty() {
-        return Err("scan needs non-empty sequences".to_string());
+    if query.is_empty() {
+        return Err(BpMaxError::EmptySequence { what: "query" }.into());
+    }
+    if target.is_empty() {
+        return Err(BpMaxError::EmptySequence { what: "target" }.into());
     }
     let w = window.unwrap_or_else(|| (query.len() + 4).min(target.len()));
-    let ctx = Ctx::new(query.clone(), target.clone(), model);
-    let ranked = scan_ranked(&ctx, w);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -171,6 +248,14 @@ fn cmd_scan(mut args: Vec<String>) -> Result<String, String> {
         query.len(),
         target.len()
     );
+    let ranked = if batch {
+        let (ranked, note) = scan_batched(&query, &target, &model, w, threads)?;
+        let _ = writeln!(out, "{note}");
+        ranked
+    } else {
+        let ctx = Ctx::new(query.clone(), target.clone(), model);
+        scan_ranked(&ctx, w)
+    };
     let _ = writeln!(out, "top {} windows:", top.min(ranked.len()));
     for (start, score) in ranked.iter().take(top) {
         let end = (start + w).min(target.len());
@@ -183,18 +268,61 @@ fn cmd_scan(mut args: Vec<String>) -> Result<String, String> {
     Ok(out.trim_end().to_string())
 }
 
-fn cmd_info(args: Vec<String>) -> Result<String, String> {
+/// The `scan --batch` fast path: every window becomes an independent
+/// `query × target[s..s+w]` problem on the pooled [`BatchEngine`].
+///
+/// The scoring model is shift-invariant (positions enter only as
+/// `j − i`), so per-window solves produce exactly the banded
+/// [`scan_ranked`] scores — the windowed tests pin that equivalence.
+fn scan_batched(
+    query: &RnaSeq,
+    target: &RnaSeq,
+    model: &ScoringModel,
+    w: usize,
+    threads: Option<usize>,
+) -> Result<(Vec<(usize, f32)>, String), CliError> {
+    let mut opts = BatchOptions::new();
+    if let Some(t) = threads {
+        if t == 0 {
+            return Err(bad_arg("--threads must be at least 1"));
+        }
+        opts = opts.threads(t);
+    }
+    let engine = BatchEngine::new(opts)?;
+    let problems: Vec<BpMaxProblem> = (0..target.len())
+        .map(|s| {
+            let e = (s + w).min(target.len());
+            BpMaxProblem::new(query.clone(), target.slice(s, e), model.clone())
+        })
+        .collect();
+    let report = engine.solve_all(&problems)?;
+    let mut ranked: Vec<(usize, f32)> = report.items.iter().map(|i| (i.index, i.score)).collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let note = format!(
+        "batch engine: {} windows in {:.3} s ({:.0} problems/s, {:.0}% coarse, \
+         {} blocks allocated / {} reused)",
+        report.len(),
+        report.wall_s,
+        report.problems_per_s(),
+        100.0 * report.coarse_fraction(),
+        report.pool.allocated,
+        report.pool.reused,
+    );
+    Ok((ranked, note))
+}
+
+fn cmd_info(args: Vec<String>) -> Result<String, CliError> {
     use machine::roofline::{Roofline, MAXPLUS_STREAM_AI};
     use machine::spec::MachineSpec;
     use machine::traffic;
     let m: usize = args
         .first()
-        .map(|v| v.parse().map_err(|_| "bad M".to_string()))
+        .map(|v| v.parse().map_err(|_| bad_arg("bad M")))
         .transpose()?
         .unwrap_or(16);
     let n: usize = args
         .get(1)
-        .map(|v| v.parse().map_err(|_| "bad N".to_string()))
+        .map(|v| v.parse().map_err(|_| bad_arg("bad N")))
         .transpose()?
         .unwrap_or(512);
     let spec = MachineSpec::xeon_e5_1650v4();
@@ -230,16 +358,11 @@ fn cmd_info(args: Vec<String>) -> Result<String, String> {
 /// Verify the paper's schedule tables against the `BPMax` dependence system:
 /// exhaustively at one size, or symbolically for all sizes with
 /// `--static` — `AlphaZ`'s missing safety net, as a CLI command.
-fn cmd_verify(args: Vec<String>) -> Result<String, String> {
+fn cmd_verify(args: Vec<String>) -> Result<String, CliError> {
     use bpmax::schedules;
     use polyhedral::affine::env;
     let mut args = args;
-    let static_mode = if let Some(pos) = args.iter().position(|a| a == "--static") {
-        args.remove(pos);
-        true
-    } else {
-        false
-    };
+    let static_mode = take_flag(&mut args, "--static");
     let sets = [
         ("base (original order)", schedules::base_schedule()),
         ("fine-grain (Table II)", schedules::fine_grain()),
@@ -249,7 +372,9 @@ fn cmd_verify(args: Vec<String>) -> Result<String, String> {
     ];
     if static_mode {
         if !args.is_empty() {
-            return Err("--static takes no sizes: it certifies all M, N at once".to_string());
+            return Err(usage(
+                "--static takes no sizes: it certifies all M, N at once",
+            ));
         }
         let mut out = String::new();
         let mut all_ok = true;
@@ -287,22 +412,22 @@ fn cmd_verify(args: Vec<String>) -> Result<String, String> {
             }
         );
         if !all_ok {
-            return Err(out);
+            return Err(CliError::Check(out));
         }
         return Ok(out.trim_end().to_string());
     }
     let m: i64 = args
         .first()
-        .map(|v| v.parse().map_err(|_| "bad M".to_string()))
+        .map(|v| v.parse().map_err(|_| bad_arg("bad M")))
         .transpose()?
         .unwrap_or(4);
     let n: i64 = args
         .get(1)
-        .map(|v| v.parse().map_err(|_| "bad N".to_string()))
+        .map(|v| v.parse().map_err(|_| bad_arg("bad N")))
         .transpose()?
         .unwrap_or(4);
     if m < 1 || n < 1 {
-        return Err("verification sizes must be >= 1".to_string());
+        return Err(bad_arg("verification sizes must be >= 1"));
     }
     let params = env(&[("M", m), ("N", n)]);
     let mut out = String::new();
@@ -340,7 +465,7 @@ fn cmd_verify(args: Vec<String>) -> Result<String, String> {
         }
     );
     if !all_ok {
-        return Err(out);
+        return Err(CliError::Check(out));
     }
     Ok(out.trim_end().to_string())
 }
@@ -349,7 +474,7 @@ fn cmd_verify(args: Vec<String>) -> Result<String, String> {
 mod tests {
     use super::*;
 
-    fn run(argv: &[&str]) -> Result<String, String> {
+    fn run(argv: &[&str]) -> Result<String, CliError> {
         dispatch(&argv.iter().map(ToString::to_string).collect::<Vec<_>>())
     }
 
@@ -404,6 +529,50 @@ mod tests {
     }
 
     #[test]
+    fn scan_batch_matches_banded_scan() {
+        let base = &[
+            "scan",
+            "GGCAU",
+            "AUGCCAAAAUGGCAUAAACCGGU",
+            "--window",
+            "6",
+            "--top",
+            "4",
+        ];
+        let banded = run(base).unwrap();
+        let mut argv = base.to_vec();
+        argv.push("--batch");
+        let batched = run(&argv).unwrap();
+        assert!(batched.contains("batch engine:"), "{batched}");
+        // Same ranked windows line-for-line below the header.
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("top "))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(tail(&banded), tail(&batched), "{banded}\nvs\n{batched}");
+    }
+
+    #[test]
+    fn scan_batch_threads_flag() {
+        let out = run(&[
+            "scan",
+            "GGG",
+            "CCCAAACCC",
+            "--window",
+            "3",
+            "--batch",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("batch engine:"), "{out}");
+        let err = run(&["scan", "GGG", "CCC", "--threads", "2"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
     fn info_reports_sizes() {
         let out = run(&["info", "16", "2048"]).unwrap();
         assert!(out.contains("M = 16, N = 2048"));
@@ -419,6 +588,35 @@ mod tests {
         assert!(run(&["interact", "GG"]).is_err());
         assert!(run(&["interact", "GG", "CC", "--alg", "warp"]).is_err());
         assert!(run(&["fold", "GC", "--min-loop"]).is_err());
+    }
+
+    #[test]
+    fn errors_carry_their_exit_codes() {
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.show_usage());
+        let err = run(&["interact", "GG", "CC", "--alg", "warp"]).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                CliError::BpMax(BpMaxError::UnknownAlgorithm { name }) if name == "warp"
+            ),
+            "{err:?}"
+        );
+        assert_eq!(err.exit_code(), 2);
+        let err = run(&["fold", "XYZ"]).unwrap_err();
+        assert!(
+            matches!(&err, CliError::BpMax(BpMaxError::InvalidSequence { .. })),
+            "{err:?}"
+        );
+        let err = run(&["scan", "", "CCC"]).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                CliError::BpMax(BpMaxError::EmptySequence { what: "query" })
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -448,6 +646,7 @@ mod tests {
     fn help_shows_usage() {
         let out = run(&["help"]).unwrap();
         assert!(out.contains("bpmax-cli interact"));
+        assert!(out.contains("--batch"));
     }
 
     #[test]

@@ -5,11 +5,16 @@
 //! bpmax-cli interact GGGAAACCC UUUGG
 //! bpmax-cli interact seq1.fa seq2.fa --alg hybrid-tiled --min-loop 3
 //! bpmax-cli scan GGCAUUCC target.fa --window 16 --top 5
+//! bpmax-cli scan GGCAUUCC target.fa --window 16 --batch --threads 4
 //! bpmax-cli info 16 2048
 //! ```
 //!
 //! Sequence arguments may be literal RNA strings or paths to FASTA files
 //! (the first record is used).
+//!
+//! Exit status: 0 on success; 2 on misuse (bad flags, unknown algorithm,
+//! unreadable sequences — the usage text follows the error); 1 when
+//! `verify` finds genuine schedule violations.
 
 mod commands;
 
@@ -24,9 +29,11 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", commands::USAGE);
-            ExitCode::FAILURE
+            if e.show_usage() {
+                eprintln!();
+                eprintln!("{}", commands::USAGE);
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

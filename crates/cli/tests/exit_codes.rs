@@ -1,0 +1,68 @@
+//! End-to-end exit-status contract of `bpmax-cli`.
+//!
+//! 0 = success, 2 = misuse (usage text on stderr), 1 = `verify` found
+//! real violations. The in-process unit tests cover the error *types*;
+//! this spawns the real binary to pin the process-level mapping.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bpmax-cli"))
+        .args(args)
+        .output()
+        .expect("spawn bpmax-cli");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn success_exits_zero() {
+    let (code, stdout, _) = run(&["interact", "GGG", "CCC"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("interaction score: 9"), "{stdout}");
+}
+
+#[test]
+fn misuse_exits_two_with_usage() {
+    for argv in [
+        vec!["frobnicate"],
+        vec![],
+        vec!["fold"],
+        vec!["fold", "XYZ"],
+        vec!["interact", "GG", "CC", "--alg", "warp"],
+        vec!["scan", "GGG", "CCC", "--window", "oops"],
+    ] {
+        let (code, _, stderr) = run(&argv);
+        assert_eq!(code, 2, "{argv:?}: {stderr}");
+        assert!(stderr.contains("error:"), "{argv:?}: {stderr}");
+        assert!(stderr.contains("usage:"), "{argv:?}: {stderr}");
+    }
+}
+
+#[test]
+fn unknown_algorithm_names_the_candidates() {
+    let (code, _, stderr) = run(&["interact", "GG", "CC", "--alg", "warp"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown algorithm \"warp\""), "{stderr}");
+    assert!(stderr.contains("hybrid-tiled"), "{stderr}");
+}
+
+#[test]
+fn batch_scan_succeeds_end_to_end() {
+    let (code, stdout, stderr) = run(&[
+        "scan",
+        "GGGGG",
+        "AAAAAAAAAACCCCCAAAAAAAAAA",
+        "--window",
+        "5",
+        "--batch",
+        "--threads",
+        "2",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("batch engine:"), "{stdout}");
+    assert!(stdout.contains("CCCCC"), "{stdout}");
+}

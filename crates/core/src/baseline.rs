@@ -21,9 +21,15 @@ use rna::ScoringModel;
 /// Solve by the original diagonal-by-diagonal order. Returns the full
 /// F-table.
 pub fn solve_baseline(ctx: &Ctx, layout: Layout) -> FTable {
+    solve_baseline_into(ctx, FTable::new(ctx.m(), ctx.n(), layout))
+}
+
+/// [`solve_baseline`] into a caller-provided (possibly pool-recycled)
+/// table. `f` must be freshly `-∞`-initialised with dims `ctx.m() × ctx.n()`.
+pub fn solve_baseline_into(ctx: &Ctx, mut f: FTable) -> FTable {
     let m = ctx.m();
     let n = ctx.n();
-    let mut f = FTable::new(m, n, layout);
+    debug_assert!(f.m() == m && f.n() == n, "table shape mismatch");
     for d1 in 0..m {
         for d2 in 0..n {
             for i1 in 0..m - d1 {

@@ -1,0 +1,497 @@
+//! The batch solving engine: throughput across many `BPMax` problems.
+//!
+//! The paper accelerates one instance; the workload that motivates `BPMax`
+//! (and the ROADMAP's production north star) is *scanning* — thousands of
+//! candidate strand pairs, most of them small, a few large. Three things
+//! make a batch qualitatively different from a loop over
+//! [`BpMaxProblem::solve`]:
+//!
+//! 1. **Allocation.** Every solve builds a `Θ(M²N²)` [`FTable`] out of
+//!    `M(M+1)/2` block buffers. Across a batch that is millions of
+//!    transient allocations; the engine routes them through one
+//!    [`BlockPool`] arena so the steady state allocates **nothing**
+//!    ([`PoolStats`] is the receipt — see `bench_batch_throughput`).
+//! 2. **Scheduling shape.** Intra-problem (fine/hybrid) parallelism pays
+//!    a dispatch cost per diagonal that small problems never amortize; a
+//!    batch of small problems wants one-problem-per-thread (coarse),
+//!    while a single large problem wants the paper's hybrid wavefront.
+//!    [`Policy::Auto`] classifies each problem with the calibratable
+//!    [`perfmodel`](crate::perfmodel) cost model and runs each class in
+//!    its best shape.
+//! 3. **Telemetry.** A service needs per-problem latency and aggregate
+//!    throughput, not a bare score: [`BatchReport`] carries both and
+//!    feeds the `bench::report` JSON schema.
+//!
+//! Results are **bit-identical** to per-problem [`BpMaxProblem::solve`]
+//! calls (property-tested in `tests/batch_identical.rs`): every traversal
+//! mode of the engine computes the same F-table by the wavefront
+//! invariant.
+
+use crate::engine::{Algorithm, BpMaxProblem, Solution, SolveOptions};
+use crate::error::BpMaxError;
+use crate::ftable::{BlockPool, FTable, PoolStats};
+use crate::perfmodel::{predict_bpmax_seconds, CostModel};
+use machine::spec::MachineSpec;
+use rayon::prelude::*;
+use simsched::speedup::HtModel;
+use std::time::Instant;
+
+/// How the engine maps problems onto the worker pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Policy {
+    /// Classify per problem with the cost model: problems whose predicted
+    /// serial time is below [`BatchOptions::coarse_cutoff_s`] run
+    /// one-per-thread; larger ones get intra-problem parallelism.
+    #[default]
+    Auto,
+    /// Every problem one-per-thread, fully serial inside (best for large
+    /// batches of small problems).
+    Coarse,
+    /// Every problem sequentially, with the algorithm's own intra-problem
+    /// parallelism (best for a few large problems).
+    IntraProblem,
+}
+
+/// Configuration of a [`BatchEngine`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchOptions {
+    /// Worker threads of the engine's dedicated rayon pool.
+    pub threads: usize,
+    /// Scheduling policy (see [`Policy`]).
+    pub policy: Policy,
+    /// Per-problem solve configuration (algorithm, layout, tile). The
+    /// `threads` knob of [`SolveOptions`] is ignored here — the engine's
+    /// shared pool is the only pool.
+    pub solve: SolveOptions,
+    /// Keep each problem's full F-table in its [`BatchItem`] (disables
+    /// block recycling for those tables; default `false`).
+    pub keep_tables: bool,
+    /// [`Policy::Auto`] threshold: predicted serial seconds below which a
+    /// problem is scheduled coarse. The default (10 ms) keeps per-diagonal
+    /// dispatch overhead under ~1% for the problems that do go fine.
+    pub coarse_cutoff_s: f64,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            policy: Policy::Auto,
+            solve: SolveOptions::new(),
+            keep_tables: false,
+            coarse_cutoff_s: 0.01,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Defaults (host-parallelism threads, [`Policy::Auto`], champion
+    /// algorithm).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker-thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Set the scheduling policy.
+    #[must_use]
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the per-problem solve configuration.
+    #[must_use]
+    pub fn solve(mut self, solve: SolveOptions) -> Self {
+        self.solve = solve;
+        self
+    }
+
+    /// Keep each problem's F-table in the result.
+    #[must_use]
+    pub fn keep_tables(mut self, keep: bool) -> Self {
+        self.keep_tables = keep;
+        self
+    }
+}
+
+/// One solved problem of a batch.
+#[derive(Debug)]
+pub struct BatchItem {
+    /// Position in the input slice.
+    pub index: usize,
+    /// Strand-1 length.
+    pub m: usize,
+    /// Strand-2 length.
+    pub n: usize,
+    /// The optimal interaction score.
+    pub score: f32,
+    /// Wall-clock latency of this solve, seconds.
+    pub seconds: f64,
+    /// Max-plus FLOPs of the instance.
+    pub flops: u64,
+    /// `true` when scheduled one-per-thread (serial traversal), `false`
+    /// when solved with intra-problem parallelism.
+    pub coarse: bool,
+    /// The full F-table, when [`BatchOptions::keep_tables`] was set.
+    pub table: Option<FTable>,
+}
+
+/// Outcome of [`BatchEngine::solve_all`]: per-problem latency plus
+/// aggregate throughput and arena statistics.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-problem results, in input order.
+    pub items: Vec<BatchItem>,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_s: f64,
+    /// Arena counters at completion (cumulative across the engine's
+    /// lifetime — diff two snapshots for per-wave numbers).
+    pub pool: PoolStats,
+}
+
+impl BatchReport {
+    /// Problems solved.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Aggregate throughput, problems per second.
+    pub fn problems_per_s(&self) -> f64 {
+        self.items.len() as f64 / self.wall_s.max(f64::MIN_POSITIVE)
+    }
+
+    /// Total max-plus FLOPs across the batch.
+    pub fn total_flops(&self) -> u64 {
+        self.items.iter().map(|i| i.flops).sum()
+    }
+
+    /// Aggregate throughput in GFLOPS.
+    pub fn gflops(&self) -> f64 {
+        self.total_flops() as f64 / self.wall_s.max(f64::MIN_POSITIVE) / 1e9
+    }
+
+    /// Per-problem latency summary `(min, median, max)` in seconds
+    /// (zeros for an empty batch).
+    pub fn latency_s(&self) -> (f64, f64, f64) {
+        if self.items.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let mut lat: Vec<f64> = self.items.iter().map(|i| i.seconds).collect();
+        lat.sort_by(f64::total_cmp);
+        (lat[0], lat[lat.len() / 2], lat[lat.len() - 1])
+    }
+
+    /// Fraction of problems scheduled coarse (one-per-thread).
+    pub fn coarse_fraction(&self) -> f64 {
+        if self.items.is_empty() {
+            return 0.0;
+        }
+        self.items.iter().filter(|i| i.coarse).count() as f64 / self.items.len() as f64
+    }
+}
+
+/// The throughput engine: a shared rayon pool plus a block arena, reused
+/// across [`BatchEngine::solve_all`] waves so the arena stays warm.
+pub struct BatchEngine {
+    opts: BatchOptions,
+    pool: rayon::ThreadPool,
+    blocks: BlockPool,
+    cost: CostModel,
+    spec: MachineSpec,
+    ht: HtModel,
+}
+
+impl BatchEngine {
+    /// Build an engine (validates the solve configuration once, so a bad
+    /// tile fails here rather than per problem).
+    pub fn new(opts: BatchOptions) -> Result<BatchEngine, BpMaxError> {
+        opts.solve.resolved_algorithm()?;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(opts.threads.max(1))
+            .build()
+            .map_err(|e| BpMaxError::InvalidArgument {
+                detail: format!("building rayon pool of {} threads: {e}", opts.threads),
+            })?;
+        let spec = MachineSpec::xeon_e5_1650v4();
+        let ht = HtModel {
+            physical: spec.cores,
+            smt_efficiency: 0.15,
+        };
+        Ok(BatchEngine {
+            opts,
+            pool,
+            blocks: BlockPool::new(),
+            cost: CostModel::nominal(),
+            spec,
+            ht,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn options(&self) -> &BatchOptions {
+        &self.opts
+    }
+
+    /// Current arena counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.blocks.stats()
+    }
+
+    /// `true` when the cost model predicts this problem is too small to
+    /// amortize intra-problem dispatch — the [`Policy::Auto`] classifier.
+    pub fn classify_coarse(&self, problem: &BpMaxProblem) -> bool {
+        match self.opts.policy {
+            Policy::Coarse => true,
+            Policy::IntraProblem => false,
+            Policy::Auto => {
+                let alg = self
+                    .opts
+                    .solve
+                    .resolved_algorithm()
+                    .unwrap_or(Algorithm::Permuted);
+                let (m, n) = (problem.ctx().m(), problem.ctx().n());
+                predict_bpmax_seconds(alg, m, n, 1, &self.cost, &self.spec, self.ht)
+                    < self.opts.coarse_cutoff_s
+            }
+        }
+    }
+
+    /// Solve every problem; results come back in input order,
+    /// bit-identical to per-problem [`BpMaxProblem::solve`] calls.
+    ///
+    /// Coarse-classified problems run one-per-thread over the shared pool
+    /// with serial traversals; the rest run one at a time, each using the
+    /// whole pool for its own diagonals.
+    pub fn solve_all(&self, problems: &[BpMaxProblem]) -> Result<BatchReport, BpMaxError> {
+        let start = Instant::now();
+        let coarse_class: Vec<bool> = problems.iter().map(|p| self.classify_coarse(p)).collect();
+
+        let mut slots: Vec<Option<BatchItem>> = Vec::new();
+        slots.resize_with(problems.len(), || None);
+
+        // Wave 1: the coarse class, problems distributed over workers.
+        let coarse_idx: Vec<usize> = (0..problems.len()).filter(|&i| coarse_class[i]).collect();
+        let solved: Vec<Result<BatchItem, BpMaxError>> = self.pool.install(|| {
+            coarse_idx
+                .par_iter()
+                .map(|&i| self.solve_one(&problems[i], i, true))
+                .collect()
+        });
+        for item in solved {
+            let item = item?;
+            let slot = item.index;
+            slots[slot] = Some(item);
+        }
+
+        // Wave 2: the large problems, one at a time with intra-problem
+        // parallelism on the same pool.
+        for (i, problem) in problems.iter().enumerate() {
+            if !coarse_class[i] {
+                let item = self.pool.install(|| self.solve_one(problem, i, false))?;
+                slots[i] = Some(item);
+            }
+        }
+
+        Ok(BatchReport {
+            items: slots
+                .into_iter()
+                .map(|s| s.expect("every slot filled"))
+                .collect(),
+            wall_s: start.elapsed().as_secs_f64(),
+            pool: self.blocks.stats(),
+        })
+    }
+
+    /// Solve one problem on a pooled table.
+    fn solve_one(
+        &self,
+        problem: &BpMaxProblem,
+        index: usize,
+        coarse: bool,
+    ) -> Result<BatchItem, BpMaxError> {
+        let algorithm = self.opts.solve.resolved_algorithm()?;
+        let layout = self.opts.solve.resolved_layout(problem.layout());
+        let (m, n) = (problem.ctx().m(), problem.ctx().n());
+        let t = Instant::now();
+        let f = FTable::try_new_in(m, n, layout, &self.blocks)?;
+        let f = if coarse {
+            problem.compute_serial_into(algorithm, f)
+        } else {
+            problem.compute_into(algorithm, f)
+        };
+        let solution = Solution::from_parts(problem, f);
+        let score = solution.score();
+        let seconds = t.elapsed().as_secs_f64();
+        let table = if self.opts.keep_tables {
+            Some(solution.into_ftable())
+        } else {
+            solution.into_ftable().recycle(&self.blocks);
+            None
+        };
+        Ok(BatchItem {
+            index,
+            m,
+            n,
+            score,
+            seconds,
+            flops: problem.flops(),
+            coarse,
+            table,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rna::{RnaSeq, ScoringModel};
+
+    fn mixed_problems(count: usize, seed: u64) -> Vec<BpMaxProblem> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = ScoringModel::bpmax_default();
+        (0..count)
+            .map(|i| {
+                let s1 = RnaSeq::random(&mut rng, 3 + i % 5);
+                let s2 = RnaSeq::random(&mut rng, 2 + (i * 3) % 7);
+                BpMaxProblem::new(s1, s2, model.clone())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_scores_match_sequential_solves() {
+        let problems = mixed_problems(12, 41);
+        let engine = BatchEngine::new(BatchOptions::new().threads(2)).unwrap();
+        let report = engine.solve_all(&problems).unwrap();
+        assert_eq!(report.len(), problems.len());
+        for (i, item) in report.items.iter().enumerate() {
+            assert_eq!(item.index, i);
+            let want = problems[i]
+                .solve(Algorithm::HybridTiled {
+                    tile: crate::kernels::Tile::DEFAULT,
+                })
+                .score();
+            assert_eq!(item.score, want, "problem {i}");
+            assert!(item.seconds >= 0.0);
+            assert!(item.table.is_none(), "tables recycled by default");
+        }
+        assert!(report.wall_s > 0.0);
+        assert!(report.problems_per_s() > 0.0);
+        assert!(report.gflops() >= 0.0);
+    }
+
+    #[test]
+    fn every_policy_gives_the_same_scores() {
+        let problems = mixed_problems(8, 42);
+        let want: Vec<f32> = problems
+            .iter()
+            .map(|p| p.solve(Algorithm::Permuted).score())
+            .collect();
+        for policy in [Policy::Auto, Policy::Coarse, Policy::IntraProblem] {
+            let engine = BatchEngine::new(BatchOptions::new().threads(2).policy(policy)).unwrap();
+            let report = engine.solve_all(&problems).unwrap();
+            let got: Vec<f32> = report.items.iter().map(|i| i.score).collect();
+            assert_eq!(got, want, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn keep_tables_returns_full_tables() {
+        let problems = mixed_problems(4, 43);
+        let engine = BatchEngine::new(
+            BatchOptions::new()
+                .threads(1)
+                .solve(SolveOptions::new().algorithm(Algorithm::Permuted))
+                .keep_tables(true),
+        )
+        .unwrap();
+        let report = engine.solve_all(&problems).unwrap();
+        for (item, p) in report.items.iter().zip(&problems) {
+            let table = item.table.as_ref().expect("table kept");
+            let reference = p.compute(Algorithm::Permuted);
+            for (i1, j1, i2, j2) in reference.iter_cells().collect::<Vec<_>>() {
+                assert_eq!(table.get(i1, j1, i2, j2), reference.get(i1, j1, i2, j2));
+            }
+        }
+    }
+
+    #[test]
+    fn warm_pool_allocates_nothing_on_the_second_wave() {
+        let problems = mixed_problems(10, 44);
+        let engine = BatchEngine::new(BatchOptions::new().threads(1)).unwrap();
+        let first = engine.solve_all(&problems).unwrap();
+        assert!(first.pool.allocated > 0, "cold start allocates");
+        let second = engine.solve_all(&problems).unwrap();
+        assert_eq!(
+            second.pool.allocated_since(&first.pool),
+            0,
+            "steady state must be allocation-free: {:?} -> {:?}",
+            first.pool,
+            second.pool
+        );
+        assert!(second.pool.reused > first.pool.reused);
+    }
+
+    #[test]
+    fn auto_policy_classifies_by_predicted_cost() {
+        let model = ScoringModel::bpmax_default();
+        let mut rng = StdRng::seed_from_u64(45);
+        let small = BpMaxProblem::new(
+            RnaSeq::random(&mut rng, 4),
+            RnaSeq::random(&mut rng, 4),
+            model.clone(),
+        );
+        let large = BpMaxProblem::new(
+            RnaSeq::random(&mut rng, 64),
+            RnaSeq::random(&mut rng, 64),
+            model,
+        );
+        let engine = BatchEngine::new(BatchOptions::new().threads(2)).unwrap();
+        assert!(engine.classify_coarse(&small), "tiny problem goes coarse");
+        assert!(!engine.classify_coarse(&large), "large problem goes fine");
+    }
+
+    #[test]
+    fn empty_batch_and_empty_strands_are_fine() {
+        let engine = BatchEngine::new(BatchOptions::new().threads(1)).unwrap();
+        let report = engine.solve_all(&[]).unwrap();
+        assert!(report.is_empty());
+        assert_eq!(report.latency_s(), (0.0, 0.0, 0.0));
+        // degenerate strand: empty strand-2 degenerates to Nussinov
+        let p = BpMaxProblem::new(
+            "GGGAAACCC".parse().unwrap(),
+            "".parse().unwrap(),
+            ScoringModel::bpmax_default(),
+        );
+        let want = p.solve(Algorithm::Baseline).score();
+        let report = engine.solve_all(std::slice::from_ref(&p)).unwrap();
+        assert_eq!(report.items[0].score, want);
+    }
+
+    #[test]
+    fn bad_tile_fails_at_engine_construction() {
+        let err = BatchEngine::new(BatchOptions::new().solve(SolveOptions::new().tile(
+            crate::kernels::Tile {
+                i2: 0,
+                k2: 1,
+                j2: 1,
+            },
+        )))
+        .err()
+        .expect("bad tile must fail");
+        assert!(matches!(err, BpMaxError::BadTile { .. }), "{err}");
+    }
+}

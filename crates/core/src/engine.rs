@@ -20,13 +20,15 @@
 //! race-free by construction (the `schedules` module verifies the same
 //! property declaratively, on the paper's schedule encodings).
 
-use crate::baseline::solve_baseline;
+use crate::baseline::solve_baseline_into;
+use crate::error::BpMaxError;
 use crate::ftable::{FTable, Layout};
 use crate::kernels::{
     accumulate_r034_parallel, accumulate_r034_serial, finalize_triangle, Ctx, R0Order, Tile,
 };
 use rayon::prelude::*;
 use rna::{JointStructure, RnaSeq, ScoringModel};
+use std::str::FromStr;
 
 /// Which `BPMax` program version to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,18 +53,26 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// All versions, in the order the paper introduces them (with the
-    /// default tile for the tiled version).
+    /// default tile for the tiled version). The single source of truth
+    /// shared by the CLI, the bench binaries, and the tests.
+    pub const ALL: &'static [Algorithm] = &[
+        Algorithm::Baseline,
+        Algorithm::Permuted,
+        Algorithm::CoarseGrain,
+        Algorithm::FineGrain,
+        Algorithm::Hybrid,
+        Algorithm::HybridTiled {
+            tile: Tile::DEFAULT,
+        },
+    ];
+
+    /// All versions as a `Vec`.
+    ///
+    /// Deprecated: iterate [`Algorithm::ALL`] instead — this wrapper only
+    /// remains so pre-existing callers keep compiling and will be removed
+    /// with the other legacy entry points.
     pub fn all() -> Vec<Algorithm> {
-        vec![
-            Algorithm::Baseline,
-            Algorithm::Permuted,
-            Algorithm::CoarseGrain,
-            Algorithm::FineGrain,
-            Algorithm::Hybrid,
-            Algorithm::HybridTiled {
-                tile: Tile::default(),
-            },
-        ]
+        Self::ALL.to_vec()
     }
 
     /// Short label for tables and figures.
@@ -75,6 +85,156 @@ impl Algorithm {
             Algorithm::Hybrid => "hybrid",
             Algorithm::HybridTiled { .. } => "hybrid+tiled",
         }
+    }
+
+    /// The `R0` loop order this version runs (tile shape included).
+    fn r0_order(self) -> R0Order {
+        match self {
+            Algorithm::HybridTiled { tile } => R0Order::Tiled(tile),
+            _ => R0Order::Permuted,
+        }
+    }
+
+    /// The tile in play, if this is the tiled version.
+    pub fn tile(self) -> Option<Tile> {
+        match self {
+            Algorithm::HybridTiled { tile } => Some(tile),
+            _ => None,
+        }
+    }
+
+    /// Check the version is runnable (currently: the tile has no zero
+    /// dimension).
+    pub fn validate(self) -> Result<(), BpMaxError> {
+        match self.tile() {
+            Some(tile) => tile.validate(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl FromStr for Algorithm {
+    type Err = BpMaxError;
+
+    /// Parse a version name as the CLI's `--alg` flag and the bench
+    /// binaries spell them. Accepts both the flag spellings
+    /// (`hybrid-tiled`) and the figure labels ([`Algorithm::label`],
+    /// `hybrid+tiled`); the tiled version gets [`Tile::DEFAULT`].
+    fn from_str(s: &str) -> Result<Algorithm, BpMaxError> {
+        Ok(match s {
+            "base" | "baseline" => Algorithm::Baseline,
+            "permuted" => Algorithm::Permuted,
+            "coarse" | "coarse-grain" => Algorithm::CoarseGrain,
+            "fine" | "fine-grain" => Algorithm::FineGrain,
+            "hybrid" => Algorithm::Hybrid,
+            "hybrid-tiled" | "hybrid+tiled" | "tiled" => Algorithm::HybridTiled {
+                tile: Tile::DEFAULT,
+            },
+            other => {
+                return Err(BpMaxError::UnknownAlgorithm {
+                    name: other.to_string(),
+                })
+            }
+        })
+    }
+}
+
+/// Options for [`BpMaxProblem::solve_opts`] — the one fallible solve
+/// entry point that subsumes the legacy `solve`/`solve_with_threads`/
+/// `compute` trio.
+///
+/// ```
+/// use bpmax::{Algorithm, BpMaxProblem, SolveOptions};
+/// use rna::{RnaSeq, ScoringModel};
+///
+/// let p = BpMaxProblem::new(
+///     "GGGAAACC".parse().unwrap(),
+///     "GGUUUCCC".parse().unwrap(),
+///     ScoringModel::bpmax_default(),
+/// );
+/// let solution = p
+///     .solve_opts(&SolveOptions::new().algorithm(Algorithm::Hybrid).threads(4))
+///     .unwrap();
+/// assert!(solution.score() > 0.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveOptions {
+    algorithm: Algorithm,
+    threads: Option<usize>,
+    layout: Option<Layout>,
+    tile: Option<Tile>,
+}
+
+impl Default for SolveOptions {
+    /// The champion configuration: hybrid+tiled, caller's rayon pool,
+    /// problem's layout.
+    fn default() -> Self {
+        SolveOptions {
+            algorithm: Algorithm::HybridTiled {
+                tile: Tile::DEFAULT,
+            },
+            threads: None,
+            layout: None,
+            tile: None,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Default options (see [`SolveOptions::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Select the program version.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Run on a dedicated rayon pool of this many workers (the paper's
+    /// `OMP_NUM_THREADS` knob). Default: the caller's current pool.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Override the inner-triangle memory map (Fig 10 ablation). Default:
+    /// the problem's own layout.
+    #[must_use]
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.layout = Some(layout);
+        self
+    }
+
+    /// Override the tile shape. Applies when the algorithm is (or
+    /// defaults to) the tiled version; ignored otherwise.
+    #[must_use]
+    pub fn tile(mut self, tile: Tile) -> Self {
+        self.tile = Some(tile);
+        self
+    }
+
+    /// The algorithm with the tile override folded in, validated.
+    pub(crate) fn resolved_algorithm(&self) -> Result<Algorithm, BpMaxError> {
+        let alg = match (self.algorithm, self.tile) {
+            (Algorithm::HybridTiled { .. }, Some(tile)) => Algorithm::HybridTiled { tile },
+            (alg, _) => alg,
+        };
+        alg.validate()?;
+        Ok(alg)
+    }
+
+    /// The requested thread count, if any.
+    pub(crate) fn requested_threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The layout to solve with, given the problem's own.
+    pub(crate) fn resolved_layout(&self, problem_layout: Layout) -> Layout {
+        self.layout.unwrap_or(problem_layout)
     }
 }
 
@@ -98,6 +258,11 @@ impl BpMaxProblem {
     pub fn with_layout(mut self, layout: Layout) -> Self {
         self.layout = layout;
         self
+    }
+
+    /// The inner-triangle memory map solves default to.
+    pub fn layout(&self) -> Layout {
+        self.layout
     }
 
     /// Strand 1.
@@ -125,7 +290,35 @@ impl BpMaxProblem {
         machine::traffic::bpmax_flops(self.ctx.m(), self.ctx.n())
     }
 
+    /// Solve with explicit options — **the** fallible entry point. Size
+    /// overflow and bad tiles come back as [`BpMaxError`] instead of
+    /// panics; the legacy `solve`/`solve_with_threads`/`compute` methods
+    /// are thin wrappers over this.
+    pub fn solve_opts(&self, opts: &SolveOptions) -> Result<Solution<'_>, BpMaxError> {
+        let algorithm = opts.resolved_algorithm()?;
+        let layout = opts.resolved_layout(self.layout);
+        let f = FTable::try_new(self.ctx.m(), self.ctx.n(), layout)?;
+        Ok(Solution {
+            problem: self,
+            f: match opts.requested_threads() {
+                Some(threads) => {
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads.max(1))
+                        .build()
+                        .map_err(|e| BpMaxError::InvalidArgument {
+                            detail: format!("building rayon pool of {threads} threads: {e}"),
+                        })?;
+                    pool.install(|| self.compute_into(algorithm, f))
+                }
+                None => self.compute_into(algorithm, f),
+            },
+        })
+    }
+
     /// Solve with the chosen program version.
+    ///
+    /// Deprecated: use [`BpMaxProblem::solve_opts`] — this wrapper keeps
+    /// the historical panicking behaviour for existing callers.
     pub fn solve(&self, algorithm: Algorithm) -> Solution<'_> {
         let f = self.compute(algorithm);
         Solution { problem: self, f }
@@ -134,37 +327,59 @@ impl BpMaxProblem {
     /// Solve on a dedicated rayon pool of `threads` workers — the knob the
     /// paper's thread sweeps turn (`OMP_NUM_THREADS`). The global pool is
     /// untouched; nested calls inside the pool use its size.
+    ///
+    /// Deprecated: use [`BpMaxProblem::solve_opts`] with
+    /// [`SolveOptions::threads`].
     pub fn solve_with_threads(&self, algorithm: Algorithm, threads: usize) -> Solution<'_> {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads.max(1))
-            .build()
-            .expect("building rayon pool");
-        let f = pool.install(|| self.compute(algorithm));
-        Solution { problem: self, f }
+        self.solve_opts(&SolveOptions::new().algorithm(algorithm).threads(threads))
+            .expect("legacy solve_with_threads")
     }
 
     /// Compute only the F-table (no solution wrapper) — benches use this.
+    ///
+    /// Deprecated: use [`BpMaxProblem::solve_opts`] and
+    /// [`Solution::ftable`] (or [`Solution::into_ftable`]).
     pub fn compute(&self, algorithm: Algorithm) -> FTable {
-        let ctx = &self.ctx;
+        self.compute_into(
+            algorithm,
+            FTable::new(self.ctx.m(), self.ctx.n(), self.layout),
+        )
+    }
+
+    /// Compute into a caller-provided table (freshly `-∞`-initialised,
+    /// matching dims) — the allocation-free path the batch engine's block
+    /// pool feeds.
+    pub(crate) fn compute_into(&self, algorithm: Algorithm, f: FTable) -> FTable {
         match algorithm {
-            Algorithm::Baseline => solve_baseline(ctx, self.layout),
-            Algorithm::Permuted => self.wavefront(WaveMode::Serial(R0Order::Permuted)),
-            Algorithm::CoarseGrain => self.wavefront(WaveMode::Coarse(R0Order::Permuted)),
-            Algorithm::FineGrain => self.wavefront(WaveMode::Fine(R0Order::Permuted)),
-            Algorithm::Hybrid => self.wavefront(WaveMode::Hybrid(R0Order::Permuted)),
+            Algorithm::Baseline => solve_baseline_into(&self.ctx, f),
+            Algorithm::Permuted => self.wavefront(WaveMode::Serial(R0Order::Permuted), f),
+            Algorithm::CoarseGrain => self.wavefront(WaveMode::Coarse(R0Order::Permuted), f),
+            Algorithm::FineGrain => self.wavefront(WaveMode::Fine(R0Order::Permuted), f),
+            Algorithm::Hybrid => self.wavefront(WaveMode::Hybrid(R0Order::Permuted), f),
             Algorithm::HybridTiled { tile } => {
-                self.wavefront(WaveMode::Hybrid(R0Order::Tiled(tile)))
+                self.wavefront(WaveMode::Hybrid(R0Order::Tiled(tile)), f)
             }
+        }
+    }
+
+    /// Fully serial traversal that keeps `algorithm`'s `R0` loop order —
+    /// what the batch engine runs for problems scheduled one-per-thread
+    /// (intra-problem parallel dispatch would only add overhead there).
+    /// Bit-identical to every other mode by the wavefront invariant.
+    pub(crate) fn compute_serial_into(&self, algorithm: Algorithm, f: FTable) -> FTable {
+        match algorithm {
+            Algorithm::Baseline => solve_baseline_into(&self.ctx, f),
+            other => self.wavefront(WaveMode::Serial(other.r0_order()), f),
         }
     }
 
     /// The shared wavefront driver: ascending outer diagonals, then one of
     /// four parallelization modes per diagonal.
-    fn wavefront(&self, mode: WaveMode) -> FTable {
+    fn wavefront(&self, mode: WaveMode, mut f: FTable) -> FTable {
         let ctx = &self.ctx;
         let m = ctx.m();
         let n = ctx.n();
-        let mut f = FTable::new(m, n, self.layout);
+        debug_assert!(f.m() == m && f.n() == n, "table shape mismatch");
         if m == 0 || n == 0 {
             return f;
         }
@@ -254,6 +469,17 @@ pub struct Solution<'p> {
 }
 
 impl<'p> Solution<'p> {
+    /// Wrap a computed table (batch engine's constructor).
+    pub(crate) fn from_parts(problem: &'p BpMaxProblem, f: FTable) -> Solution<'p> {
+        Solution { problem, f }
+    }
+
+    /// Consume the solution, yielding the F-table (e.g. to recycle its
+    /// blocks into a [`crate::ftable::BlockPool`]).
+    pub fn into_ftable(self) -> FTable {
+        self.f
+    }
+
     /// The optimal interaction score `F[0, M−1, 0, N−1]` (0 when either
     /// strand is empty — an empty structure).
     pub fn score(&self) -> f32 {
@@ -305,7 +531,7 @@ mod tests {
     fn all_algorithms_agree_with_baseline_small() {
         let p = problem("GGAUCGAC", "CCGAUG");
         let reference = p.compute(Algorithm::Baseline);
-        for alg in Algorithm::all().into_iter().skip(1) {
+        for &alg in Algorithm::ALL.iter().skip(1) {
             let f = p.compute(alg);
             for (i1, j1, i2, j2) in reference.iter_cells().collect::<Vec<_>>() {
                 assert_eq!(
@@ -326,7 +552,7 @@ mod tests {
             let s2 = RnaSeq::random(&mut rng, 4 + trial % 4);
             let want = spec_score(&s1, &s2, &model);
             let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
-            for alg in Algorithm::all() {
+            for &alg in Algorithm::ALL {
                 assert_eq!(p.solve(alg).score(), want, "{alg:?} on {s1} / {s2}");
             }
         }
@@ -356,12 +582,12 @@ mod tests {
     fn degenerate_sizes() {
         // empty strand-2: score = Nussinov of strand 1
         let p = problem("GGGAAACCC", "");
-        for alg in Algorithm::all() {
+        for &alg in Algorithm::ALL {
             assert_eq!(p.solve(alg).score(), 9.0, "{alg:?}");
         }
         // both single bases
         let p = problem("G", "C");
-        for alg in Algorithm::all() {
+        for &alg in Algorithm::ALL {
             assert_eq!(p.solve(alg).score(), 3.0, "{alg:?}");
         }
     }
@@ -399,6 +625,97 @@ mod tests {
                     p.solve_with_threads(alg, threads).score(),
                     want,
                     "{alg:?} @ {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_opts_agrees_with_legacy_entry_points() {
+        let p = problem("GGAUCGAC", "CCGAUG");
+        let want = p.solve(Algorithm::Permuted).score();
+        for &alg in Algorithm::ALL {
+            let sol = p.solve_opts(&SolveOptions::new().algorithm(alg)).unwrap();
+            assert_eq!(sol.score(), want, "{alg:?}");
+        }
+        let sol = p
+            .solve_opts(
+                &SolveOptions::new()
+                    .algorithm(Algorithm::Hybrid)
+                    .threads(2)
+                    .layout(Layout::Shifted),
+            )
+            .unwrap();
+        assert_eq!(sol.score(), want);
+        assert_eq!(sol.ftable().layout(), Layout::Shifted);
+        // tile override applies to the tiled version
+        let sol = p
+            .solve_opts(&SolveOptions::new().tile(Tile::cubic(2)))
+            .unwrap();
+        assert_eq!(sol.score(), want);
+    }
+
+    #[test]
+    fn solve_opts_rejects_bad_tile() {
+        let p = problem("GGAU", "CCA");
+        let err = p
+            .solve_opts(&SolveOptions::new().tile(Tile {
+                i2: 0,
+                k2: 4,
+                j2: 4,
+            }))
+            .err()
+            .expect("bad tile must fail");
+        assert!(
+            matches!(err, crate::error::BpMaxError::BadTile { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn algorithm_const_all_matches_legacy_vec() {
+        assert_eq!(Algorithm::all(), Algorithm::ALL.to_vec());
+        assert_eq!(Algorithm::ALL.len(), 6);
+    }
+
+    #[test]
+    fn algorithm_from_str_accepts_flags_and_labels() {
+        for &alg in Algorithm::ALL {
+            // every figure label parses back to its algorithm
+            assert_eq!(alg.label().parse::<Algorithm>().unwrap(), alg, "{alg:?}");
+        }
+        assert_eq!(
+            "baseline".parse::<Algorithm>().unwrap(),
+            Algorithm::Baseline
+        );
+        assert_eq!(
+            "hybrid-tiled".parse::<Algorithm>().unwrap(),
+            Algorithm::HybridTiled {
+                tile: Tile::DEFAULT
+            }
+        );
+        assert_eq!(
+            "tiled".parse::<Algorithm>().unwrap(),
+            "hybrid+tiled".parse().unwrap()
+        );
+        let err = "warp".parse::<Algorithm>().unwrap_err();
+        assert!(err.to_string().contains("warp"), "{err}");
+    }
+
+    #[test]
+    fn serial_traversal_is_bit_identical() {
+        let p = problem("GGAUCGACGG", "CCGAUGC");
+        for &alg in Algorithm::ALL {
+            let reference = p.compute(alg);
+            let f = p.compute_serial_into(
+                alg,
+                FTable::new(reference.m(), reference.n(), reference.layout()),
+            );
+            for (i1, j1, i2, j2) in reference.iter_cells().collect::<Vec<_>>() {
+                assert_eq!(
+                    f.get(i1, j1, i2, j2),
+                    reference.get(i1, j1, i2, j2),
+                    "{alg:?} F[{i1},{j1},{i2},{j2}]"
                 );
             }
         }

@@ -1,0 +1,166 @@
+//! The typed error for every fallible `BPMax` entry point.
+//!
+//! Historically the library panicked (`FTable::new` on impossible sizes,
+//! `Tile` misuse deep in a kernel) and the CLI threaded ad-hoc `String`s.
+//! Neither survives a service setting: a batch engine solving thousands of
+//! problems must report *which* problem failed and *why* without tearing
+//! down the process. [`BpMaxError`] is that contract — one enum covering
+//! the domain failures of problem construction, solving, and sequence I/O,
+//! used by [`crate::engine::BpMaxProblem::solve_opts`], the batch engine
+//! ([`crate::batch`]), and `bpmax-cli`.
+
+use crate::kernels::Tile;
+
+/// Everything that can go wrong constructing or solving a `BPMax` problem.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BpMaxError {
+    /// The requested F-table would overflow address arithmetic (or the
+    /// platform's allocation limit): `Θ(M²N²)` cells at strand lengths
+    /// `m × n`.
+    SizeOverflow {
+        /// Strand-1 length.
+        m: usize,
+        /// Strand-2 length.
+        n: usize,
+    },
+    /// A sequence that must be non-empty was empty (e.g. the query or
+    /// target of a scan).
+    EmptySequence {
+        /// Which sequence was empty ("query", "target", …).
+        what: &'static str,
+    },
+    /// A [`Tile`] with a zero dimension — the tiled kernel would make no
+    /// progress.
+    BadTile {
+        /// The offending tile shape.
+        tile: Tile,
+    },
+    /// An algorithm name that [`crate::Algorithm`]'s `FromStr` does not
+    /// recognise.
+    UnknownAlgorithm {
+        /// The unrecognised name.
+        name: String,
+    },
+    /// A sequence argument that is neither a readable FASTA file nor a
+    /// valid RNA string.
+    InvalidSequence {
+        /// The offending input (possibly truncated).
+        input: String,
+        /// Parser detail.
+        detail: String,
+    },
+    /// FASTA I/O failure: unreadable file, or a file with no records.
+    Fasta {
+        /// The path that failed.
+        path: String,
+        /// I/O or format detail.
+        detail: String,
+    },
+    /// A malformed option value (bad `--window`, non-numeric size, …).
+    InvalidArgument {
+        /// Human-readable description of the bad argument.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for BpMaxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BpMaxError::SizeOverflow { m, n } => write!(
+                f,
+                "problem size {m} x {n} overflows the F-table address space \
+                 (Theta(M^2 N^2) cells)"
+            ),
+            BpMaxError::EmptySequence { what } => {
+                write!(f, "{what} sequence must be non-empty")
+            }
+            BpMaxError::BadTile { tile } => write!(
+                f,
+                "tile {}x{}x{} has a zero dimension",
+                tile.i2, tile.k2, tile.j2
+            ),
+            BpMaxError::UnknownAlgorithm { name } => {
+                write!(
+                    f,
+                    "unknown algorithm {name:?} (expected one of: base, permuted, \
+                     coarse, fine, hybrid, hybrid-tiled)"
+                )
+            }
+            BpMaxError::InvalidSequence { input, detail } => {
+                write!(
+                    f,
+                    "{input:?} is neither a file nor an RNA sequence: {detail}"
+                )
+            }
+            BpMaxError::Fasta { path, detail } => write!(f, "reading {path}: {detail}"),
+            BpMaxError::InvalidArgument { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
+impl std::error::Error for BpMaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let cases: Vec<(BpMaxError, &str)> = vec![
+            (
+                BpMaxError::SizeOverflow { m: 1 << 40, n: 2 },
+                "overflows the F-table",
+            ),
+            (
+                BpMaxError::EmptySequence { what: "query" },
+                "query sequence must be non-empty",
+            ),
+            (
+                BpMaxError::BadTile {
+                    tile: Tile {
+                        i2: 0,
+                        k2: 4,
+                        j2: 4,
+                    },
+                },
+                "tile 0x4x4",
+            ),
+            (
+                BpMaxError::UnknownAlgorithm {
+                    name: "warp".to_string(),
+                },
+                "unknown algorithm \"warp\"",
+            ),
+            (
+                BpMaxError::InvalidSequence {
+                    input: "XYZ".to_string(),
+                    detail: "bad base".to_string(),
+                },
+                "neither a file nor an RNA sequence",
+            ),
+            (
+                BpMaxError::Fasta {
+                    path: "a.fa".to_string(),
+                    detail: "no records".to_string(),
+                },
+                "reading a.fa",
+            ),
+            (
+                BpMaxError::InvalidArgument {
+                    detail: "bad --window".to_string(),
+                },
+                "bad --window",
+            ),
+        ];
+        for (err, marker) in cases {
+            let text = err.to_string();
+            assert!(text.contains(marker), "{err:?} -> {text}");
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(BpMaxError::EmptySequence { what: "target" });
+        assert!(e.to_string().contains("target"));
+    }
+}

@@ -25,8 +25,111 @@
 
 pub use tropical::triangular::Layout;
 
+use crate::error::BpMaxError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
 /// Empty-cell initialiser: max-plus additive identity.
 const NEG_INF: f32 = f32::NEG_INFINITY;
+
+/// Strand lengths above this bound always refuse with
+/// [`BpMaxError::SizeOverflow`] — the `Θ(M²N²)` table could not be
+/// addressed anyway, and keeping the bound well under `2³²` lets the
+/// internal index arithmetic (`n·(n+1)/2`, `i·(2n−i+1)/2`) stay overflow-
+/// free on every platform.
+const MAX_STRAND: usize = 1 << 30;
+
+/// Allocation/reuse counters of a [`BlockPool`] — the observability hook
+/// behind the batch engine's "zero steady-state allocation" claim.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Block acquisitions that had to touch the allocator (fresh buffer,
+    /// or a spare grown beyond its capacity).
+    pub allocated: u64,
+    /// Block acquisitions served entirely from pooled spares.
+    pub reused: u64,
+    /// Blocks returned to the pool.
+    pub recycled: u64,
+}
+
+impl PoolStats {
+    /// Allocator touches since `earlier` (counters are monotone).
+    pub fn allocated_since(&self, earlier: &PoolStats) -> u64 {
+        self.allocated - earlier.allocated
+    }
+}
+
+/// A recycling arena for F-table blocks.
+///
+/// Solving a `BPMax` instance allocates one `Vec<f32>` per outer cell —
+/// `M(M+1)/2` buffers of `Θ(N²)` bytes. In a batch workload that pattern
+/// repeats per problem; the pool keeps released buffers (sorted by
+/// capacity) and serves later acquisitions best-fit, so after a warm-up
+/// wave the steady state performs **zero** block allocations
+/// ([`PoolStats`] proves it). Thread-safe: the spare list is behind a
+/// mutex, the counters are atomics — cheap next to the `Θ(M³N³)` solve
+/// each block participates in.
+#[derive(Debug, Default)]
+pub struct BlockPool {
+    /// Spare buffers, sorted by ascending capacity.
+    spares: Mutex<Vec<Vec<f32>>>,
+    allocated: AtomicU64,
+    reused: AtomicU64,
+    recycled: AtomicU64,
+}
+
+impl BlockPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BlockPool::default()
+    }
+
+    /// Acquire a buffer of exactly `len` cells, all `-∞`. Best-fit: the
+    /// smallest spare with sufficient capacity; otherwise the largest
+    /// spare is grown (counted as an allocation), or a fresh buffer is
+    /// allocated.
+    pub fn acquire(&self, len: usize) -> Vec<f32> {
+        let mut buf = {
+            let mut spares = self.spares.lock().expect("block pool poisoned");
+            let pos = spares.partition_point(|s| s.capacity() < len);
+            if pos < spares.len() {
+                spares.remove(pos)
+            } else {
+                spares.pop().unwrap_or_default()
+            }
+        };
+        if buf.capacity() >= len {
+            self.reused.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.allocated.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.clear();
+        buf.resize(len, NEG_INF);
+        buf
+    }
+
+    /// Return a buffer to the pool for later reuse.
+    pub fn release(&self, buf: Vec<f32>) {
+        self.recycled.fetch_add(1, Ordering::Relaxed);
+        let mut spares = self.spares.lock().expect("block pool poisoned");
+        let pos = spares.partition_point(|s| s.capacity() < buf.capacity());
+        spares.insert(pos, buf);
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            allocated: self.allocated.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+            recycled: self.recycled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of spare buffers currently pooled.
+    pub fn spare_count(&self) -> usize {
+        self.spares.lock().expect("block pool poisoned").len()
+    }
+}
 
 /// The packed 4-D `BPMax` table.
 #[derive(Clone, Debug)]
@@ -40,16 +143,67 @@ pub struct FTable {
 
 impl FTable {
     /// Allocate for strand lengths `m × n`, all cells `-∞`.
+    ///
+    /// Panics on sizes the address arithmetic cannot represent; the
+    /// fallible front door is [`FTable::try_new`].
     pub fn new(m: usize, n: usize, layout: Layout) -> Self {
-        let outer = m * (m + 1) / 2;
-        let block_len = layout.storage_len(n);
-        FTable {
+        Self::try_new(m, n, layout).expect("F-table size overflow")
+    }
+
+    /// Fallible allocation: checks the `Θ(M²N²)` footprint against the
+    /// address space before touching the allocator, returning
+    /// [`BpMaxError::SizeOverflow`] instead of panicking/aborting.
+    pub fn try_new(m: usize, n: usize, layout: Layout) -> Result<Self, BpMaxError> {
+        let (outer, block_len) = Self::checked_shape(m, n, layout)?;
+        Ok(FTable {
             m,
             n,
             layout,
             block_len,
             blocks: (0..outer).map(|_| vec![NEG_INF; block_len]).collect(),
+        })
+    }
+
+    /// Like [`FTable::try_new`], but every block buffer is acquired from
+    /// `pool` — the batch engine's zero-steady-state-allocation path.
+    /// Pair with [`FTable::recycle`].
+    pub fn try_new_in(
+        m: usize,
+        n: usize,
+        layout: Layout,
+        pool: &BlockPool,
+    ) -> Result<Self, BpMaxError> {
+        let (outer, block_len) = Self::checked_shape(m, n, layout)?;
+        Ok(FTable {
+            m,
+            n,
+            layout,
+            block_len,
+            blocks: (0..outer).map(|_| pool.acquire(block_len)).collect(),
+        })
+    }
+
+    /// Return every block buffer to `pool` and drop the table shell.
+    pub fn recycle(self, pool: &BlockPool) {
+        for block in self.blocks {
+            pool.release(block);
         }
+    }
+
+    /// Validate `(m, n)` and compute `(outer cells, block length)` without
+    /// overflow. `MAX_STRAND` keeps the per-dimension triangle arithmetic
+    /// in range; the total-byte check keeps the whole table addressable.
+    fn checked_shape(m: usize, n: usize, layout: Layout) -> Result<(usize, usize), BpMaxError> {
+        if m > MAX_STRAND || n > MAX_STRAND {
+            return Err(BpMaxError::SizeOverflow { m, n });
+        }
+        let outer = m * (m + 1) / 2;
+        let block_len = layout.storage_len(n);
+        let total_bytes = outer as u128 * block_len as u128 * std::mem::size_of::<f32>() as u128;
+        if total_bytes > isize::MAX as u128 {
+            return Err(BpMaxError::SizeOverflow { m, n });
+        }
+        Ok((outer, block_len))
     }
 
     /// Strand-1 length `M`.
@@ -319,5 +473,71 @@ mod tests {
         let mut t = FTable::new(2, 4, Layout::Packed);
         let _ = t.take_block(0, 0);
         t.put_block(0, 0, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn try_new_rejects_absurd_sizes() {
+        assert_eq!(
+            FTable::try_new(1 << 31, 4, Layout::Packed).unwrap_err(),
+            BpMaxError::SizeOverflow { m: 1 << 31, n: 4 }
+        );
+        assert!(FTable::try_new(1 << 20, 1 << 20, Layout::Packed).is_err());
+        assert!(FTable::try_new(8, 8, Layout::Packed).is_ok());
+        assert!(FTable::try_new(0, 0, Layout::Packed).is_ok());
+    }
+
+    #[test]
+    fn pool_acquire_release_round_trip_and_counters() {
+        let pool = BlockPool::new();
+        let a = pool.acquire(10);
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|&v| v == f32::NEG_INFINITY));
+        pool.release(a);
+        assert_eq!(pool.spare_count(), 1);
+        // same-size reacquire: served from the spare, no allocation
+        let b = pool.acquire(10);
+        let s = pool.stats();
+        assert_eq!((s.allocated, s.reused, s.recycled), (1, 1, 1));
+        pool.release(b);
+        // smaller request also reuses (capacity 10 >= 4)
+        let c = pool.acquire(4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(pool.stats().reused, 2);
+        pool.release(c);
+        // larger request grows the spare: counted as an allocation
+        let d = pool.acquire(64);
+        assert_eq!(d.len(), 64);
+        assert_eq!(pool.stats().allocated, 2);
+    }
+
+    #[test]
+    fn pool_best_fit_prefers_smallest_sufficient_spare() {
+        let pool = BlockPool::new();
+        pool.release(Vec::with_capacity(100));
+        pool.release(Vec::with_capacity(20));
+        pool.release(Vec::with_capacity(50));
+        let b = pool.acquire(30);
+        // 50 is the smallest capacity >= 30
+        assert!(b.capacity() >= 50 && b.capacity() < 100, "{}", b.capacity());
+        assert_eq!(pool.spare_count(), 2);
+    }
+
+    #[test]
+    fn pooled_table_round_trips_and_stays_allocation_flat() {
+        let pool = BlockPool::new();
+        let mut t = FTable::try_new_in(4, 3, Layout::Packed, &pool).unwrap();
+        t.set(0, 3, 1, 2, 5.0);
+        assert_eq!(t.get(0, 3, 1, 2), 5.0);
+        assert_eq!(t.get(0, 0, 0, 0), f32::NEG_INFINITY);
+        let first_wave = pool.stats().allocated;
+        assert_eq!(first_wave, 10); // one per outer cell
+        t.recycle(&pool);
+        // second wave of the same shape: zero fresh allocations, and the
+        // recycled buffers come back fully reset to -inf
+        let t2 = FTable::try_new_in(4, 3, Layout::Packed, &pool).unwrap();
+        assert_eq!(pool.stats().allocated, first_wave);
+        for (i1, j1, i2, j2) in t2.iter_cells().collect::<Vec<_>>() {
+            assert_eq!(t2.get(i1, j1, i2, j2), f32::NEG_INFINITY);
+        }
     }
 }

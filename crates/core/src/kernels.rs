@@ -159,15 +159,29 @@ pub struct Tile {
 impl Default for Tile {
     /// The paper's generic shape `64 × 16 × N`.
     fn default() -> Self {
-        Tile {
-            i2: 64,
-            k2: 16,
-            j2: usize::MAX,
-        }
+        Tile::DEFAULT
     }
 }
 
 impl Tile {
+    /// The paper's generic shape `64 × 16 × N`, as a `const` so it can sit
+    /// inside [`crate::Algorithm::ALL`].
+    pub const DEFAULT: Tile = Tile {
+        i2: 64,
+        k2: 16,
+        j2: usize::MAX,
+    };
+
+    /// A tile is usable iff every dimension is nonzero (a zero dimension
+    /// would make the tiled loops never advance).
+    pub fn validate(self) -> Result<(), crate::error::BpMaxError> {
+        if self.i2 == 0 || self.k2 == 0 || self.j2 == 0 {
+            Err(crate::error::BpMaxError::BadTile { tile: self })
+        } else {
+            Ok(())
+        }
+    }
+
     /// The paper's small-sequence shape `32 × 4 × N` ("restricted for
     /// sequence length up to 2048").
     pub fn small() -> Self {

@@ -14,17 +14,23 @@
 //! # Quick start
 //!
 //! ```
-//! use bpmax::{Algorithm, BpMaxProblem};
+//! use bpmax::{BpMaxProblem, SolveOptions};
 //! use rna::{RnaSeq, ScoringModel};
 //!
 //! let s1: RnaSeq = "GGGAAACC".parse().unwrap();
 //! let s2: RnaSeq = "GGUUUCCC".parse().unwrap();
 //! let problem = BpMaxProblem::new(s1, s2, ScoringModel::bpmax_default());
-//! let solution = problem.solve(Algorithm::HybridTiled { tile: bpmax::kernels::Tile::default() });
+//! let solution = problem.solve_opts(&SolveOptions::new()).unwrap();
 //! let structure = solution.traceback();
 //! assert_eq!(structure.score(problem.seq1(), problem.seq2(), problem.model()),
 //!            solution.score());
 //! ```
+//!
+//! [`SolveOptions`] picks the champion algorithm by default and exposes
+//! every knob (algorithm, threads, layout, tile) behind one fallible
+//! entry point. To solve *many* problems, use the pooled
+//! [`batch::BatchEngine`] instead of a loop — it recycles F-table
+//! blocks across solves and schedules each problem in its best shape.
 //!
 //! # Module map
 //!
@@ -41,9 +47,13 @@
 //! | [`perfmodel`] | calibrated cost model + `simsched` composition for the multi-thread figures |
 //! | [`windowed`] | banded/windowed BPMax (the Glidemaster-style restriction) |
 //! | [`screening`] | batch all-vs-all scoring and shuffle-null scan significance |
+//! | [`batch`] | the pooled batch engine: arena-recycled tables + adaptive scheduling |
+//! | [`error`] | [`BpMaxError`], the error type of every fallible entry point |
 
 pub mod baseline;
+pub mod batch;
 pub mod engine;
+pub mod error;
 pub mod ftable;
 pub mod kernels;
 pub mod nests;
@@ -54,5 +64,7 @@ pub mod spec;
 pub mod traceback;
 pub mod windowed;
 
-pub use engine::{Algorithm, BpMaxProblem, Solution};
-pub use ftable::FTable;
+pub use batch::{BatchEngine, BatchItem, BatchOptions, BatchReport, Policy};
+pub use engine::{Algorithm, BpMaxProblem, Solution, SolveOptions};
+pub use error::BpMaxError;
+pub use ftable::{BlockPool, FTable, PoolStats};

@@ -241,7 +241,7 @@ mod tests {
         let s1: RnaSeq = "GGAUCGAC".parse().unwrap();
         let s2: RnaSeq = "CGAUGG".parse().unwrap();
         let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
-        for alg in Algorithm::all() {
+        for &alg in Algorithm::ALL {
             let sol = p.solve(alg);
             let st = sol.traceback();
             st.validate(s1.len(), s2.len()).unwrap();

@@ -28,7 +28,7 @@ proptest! {
     fn all_versions_equal_spec(s1 in seq(6), s2 in seq(6), model in scoring()) {
         let want = spec_score(&s1, &s2, &model);
         let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
-        for alg in Algorithm::all() {
+        for &alg in Algorithm::ALL {
             prop_assert_eq!(p.solve(alg).score(), want, "{:?} on {}/{}", alg, &s1, &s2);
         }
     }

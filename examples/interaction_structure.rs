@@ -25,7 +25,7 @@ fn main() {
     // Solve with every program version; assert they agree (the paper's
     // semantic-preservation claim, live).
     let mut scores = Vec::new();
-    for alg in Algorithm::all() {
+    for &alg in Algorithm::ALL {
         scores.push((alg.label(), p.solve(alg).score()));
     }
     println!("scores by program version:");

@@ -5,8 +5,7 @@
 //! cargo run --release --example quickstart -- GGGAAACCC UUUGGG
 //! ```
 
-use bpmax::kernels::Tile;
-use bpmax::{Algorithm, BpMaxProblem};
+use bpmax::{BpMaxProblem, SolveOptions};
 use rna::{RnaSeq, ScoringModel};
 
 fn main() {
@@ -26,9 +25,8 @@ fn main() {
 
     let model = ScoringModel::bpmax_default();
     let problem = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
-    let solution = problem.solve(Algorithm::HybridTiled {
-        tile: Tile::default(),
-    });
+    // SolveOptions defaults to the champion hybrid+tiled version.
+    let solution = problem.solve_opts(&SolveOptions::new()).expect("solve");
 
     println!("\noptimal interaction score: {}", solution.score());
     println!(

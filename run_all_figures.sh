@@ -37,6 +37,7 @@ run fig18_tile_sweep
 run table06_codegen_loc
 run ablation_locality
 run ablation_sched_policy
+run bench_batch_throughput
 run future_register_tiling
 run future_mpi_cluster
 

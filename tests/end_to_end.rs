@@ -23,7 +23,7 @@ fn every_version_matches_spec_and_traceback_is_optimal() {
         let mut spec = SpecEval::new(&s1, &s2, &model);
         let want = spec.top();
         let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
-        for alg in Algorithm::all() {
+        for &alg in Algorithm::ALL {
             let sol = p.solve(alg);
             assert_eq!(sol.score(), want, "{alg:?} {s1}/{s2}");
             let st = sol.traceback();
