@@ -37,6 +37,12 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test --workspace --offline -q
 
+echo "== fault-injection suite (--features fault-inject) =="
+# The deterministic fault harness only compiles under the feature; it
+# proves every injected panic/alloc-failure/slow problem maps to the
+# right batch outcome and that survivors stay bit-identical.
+cargo test -p bpmax --features fault-inject --offline -q
+
 echo "== cargo doc (deny rustdoc warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
 

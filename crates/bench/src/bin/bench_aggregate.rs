@@ -44,10 +44,13 @@ fn main() {
         Ok(reports) if !reports.is_empty() => reports,
         Ok(_) => {
             eprintln!("error: no reports in {}", dir.display());
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
         Err(e) => {
+            // missing directory or corrupt report JSON: misuse, usage text
             eprintln!("error: {e}");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     };

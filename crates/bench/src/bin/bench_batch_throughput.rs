@@ -16,6 +16,7 @@ use bench::report::Reporter;
 use bench::{banner, f2, gflops, model, time_stats, workload, Opts, Table};
 use bpmax::batch::{BatchEngine, BatchOptions};
 use bpmax::{BpMaxProblem, SolveOptions};
+use std::time::Duration;
 
 fn main() {
     let opts = Opts::parse(&[8, 12, 16, 20], &[8]);
@@ -103,8 +104,54 @@ fn main() {
         ("steady_state_allocs", warm_allocs as f64),
     ]);
 
+    // Supervised warm wave: a generous deadline and budget must leave
+    // every outcome Ok with bit-identical scores — supervision overhead
+    // is a couple of relaxed atomic loads per diagonal, nothing more.
+    let supervised = BatchEngine::new(
+        BatchOptions::new()
+            .threads(threads)
+            .deadline(Duration::from_secs(600))
+            .mem_budget(4 << 30),
+    )
+    .expect("supervised engine");
+    supervised.solve_all(&problems).expect("supervised cold");
+    let sup_stats = time_stats(reps, || {
+        supervised
+            .solve_all(&problems)
+            .expect("supervised wave")
+            .len()
+    });
+    let sup_wave = supervised.solve_all(&problems).expect("supervised wave");
+    let counts = sup_wave.outcomes();
+    assert!(
+        counts.all_ok(),
+        "generous supervision must stay all-ok: {counts}"
+    );
+    let sup_scores: Vec<f32> = sup_wave.items.iter().map(|i| i.score).collect();
+    assert_eq!(
+        sup_scores, naive_scores,
+        "supervised batch must match naive solves"
+    );
+    rep.measured(
+        format!("measured/batch-supervised/t={threads}"),
+        sup_stats,
+        Some(total_flops),
+    );
+    rep.annotate(&[
+        ("problems", count as f64),
+        ("outcomes_ok", counts.ok as f64),
+        ("outcomes_degraded", counts.degraded as f64),
+        ("outcomes_failed", counts.failed as f64),
+        ("outcomes_cancelled", counts.cancelled as f64),
+        ("outcomes_timed_out", counts.timed_out as f64),
+    ]);
+
     let mut t = Table::new(&["wave", "median s", "prob/s", "GFLOPS"]);
-    for (name, s) in [("naive loop", naive_stats), ("batch warm", warm_stats)] {
+    for (name, s) in [
+        ("naive loop", naive_stats),
+        ("batch warm", warm_stats),
+        ("batch supervised", sup_stats),
+    ] {
         t.row(vec![
             name.to_string(),
             format!("{:.4}", s.median_s),
@@ -131,6 +178,11 @@ fn main() {
         lat_min * 1e6,
         lat_med * 1e6,
         lat_max * 1e6
+    );
+    println!(
+        "supervised wave (600 s deadline, 4 GiB budget): outcomes: {counts}, \
+         overhead vs warm {:+.1}%",
+        100.0 * (sup_stats.median_s - warm_stats.median_s) / warm_stats.median_s
     );
     rep.finish();
 }

@@ -326,7 +326,11 @@ fn main() {
     match run(&args) {
         Ok(code) => std::process::exit(code),
         Err(e) => {
+            // I/O and parse failures (missing directory, corrupt
+            // baseline JSON) are misuse, not regressions: same exit and
+            // usage text as a bad flag.
             eprintln!("error: {e}");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     }

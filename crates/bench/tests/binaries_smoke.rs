@@ -167,6 +167,52 @@ fn bench_batch_throughput_runs_and_reuses_arena() {
     assert!(out.contains("batch warm"), "{out}");
     assert!(out.contains("0 steady-state allocations"), "{out}");
     assert!(out.contains("per-problem latency"), "{out}");
+    assert!(out.contains("outcomes: ok"), "{out}");
+}
+
+#[test]
+fn supervised_batch_report_carries_outcome_counts() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("bpmax-smoke-{}-supervised", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_batch_throughput"))
+        .args(["--smoke", "--sizes", "6,8"])
+        .arg("--json-dir")
+        .arg(&dir)
+        .output()
+        .expect("spawning bench_batch_throughput");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = Report::load(&dir.join("bench_batch_throughput.json")).unwrap();
+    let supervised = report
+        .measurements
+        .iter()
+        .find(|m| m.id.starts_with("measured/batch-supervised/"))
+        .expect("supervised wave measurement");
+    let metric = |key: &str| {
+        supervised
+            .metrics
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("missing metric {key}: {:?}", supervised.metrics))
+    };
+    let problems = metric("problems");
+    assert!(problems > 0.0);
+    // a generous deadline/budget leaves the whole wave Ok
+    assert_eq!(metric("outcomes_ok"), problems);
+    for key in [
+        "outcomes_degraded",
+        "outcomes_failed",
+        "outcomes_cancelled",
+        "outcomes_timed_out",
+    ] {
+        assert_eq!(metric(key), 0.0, "{key}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -190,6 +190,10 @@ fn update_baseline_pins_candidate() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
 #[test]
 fn bad_arguments_exit_2() {
     let out = compare(&["--baseline", "somewhere"]); // missing --candidate
@@ -203,6 +207,64 @@ fn bad_arguments_exit_2() {
         "/nonexistent-cand",
     ]);
     assert_eq!(out.status.code(), Some(2)); // I/O error, not a regression
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+}
+
+#[test]
+fn corrupt_baseline_json_exits_2_with_usage() {
+    let dir = scratch("corrupt");
+    let base = dir.join("base");
+    let cand = dir.join("cand");
+    write_reports(
+        &cand,
+        vec![measured("measured/naive/m=16,n=16", 1.0e-4, 2.0e-6)],
+    );
+    std::fs::create_dir_all(&base).unwrap();
+    std::fs::write(base.join("fig13_dmp_perf.json"), "{ not json").unwrap();
+    let out = compare(&[
+        "--baseline",
+        base.to_str().unwrap(),
+        "--candidate",
+        cand.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("error:"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn aggregate_missing_and_corrupt_inputs_exit_2_with_usage() {
+    let aggregate = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_bench_aggregate"))
+            .args(args)
+            .output()
+            .expect("spawning bench_aggregate")
+    };
+    // missing directory
+    let out = aggregate(&["--dir", "/nonexistent-json-dir"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+    // corrupt report JSON
+    let dir = scratch("aggregate-corrupt");
+    let json = dir.join("json");
+    std::fs::create_dir_all(&json).unwrap();
+    std::fs::write(json.join("broken.json"), "]]]").unwrap();
+    let out = aggregate(&[
+        "--dir",
+        json.to_str().unwrap(),
+        "--out",
+        dir.join("out.json").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+    // empty directory: nothing to aggregate is misuse too
+    let empty = dir.join("empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = aggregate(&["--dir", empty.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("usage:"), "{}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

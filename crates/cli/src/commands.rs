@@ -21,13 +21,19 @@ pub(crate) const USAGE: &str = "usage:
   bpmax-cli interact <seq1> <seq2> [--alg base|permuted|coarse|fine|hybrid|hybrid-tiled]
                      [--min-loop K]
   bpmax-cli scan <query> <target> [--window W] [--top K] [--batch] [--threads T]
+                 [--deadline SECS] [--mem-budget BYTES]
   bpmax-cli info [M] [N]
   bpmax-cli verify [M N] [--static]
   bpmax-cli help
 
 scan --batch solves every window as an independent problem on the pooled
 batch engine (same scores, arena-recycled tables; --threads sizes its
-worker pool).
+worker pool). --deadline bounds the wall clock of the whole batch
+(seconds, fractional ok) and --mem-budget caps each problem's F-table
+(bytes; K/M/G suffixes). Budget-starved windows degrade to the banded
+algorithm and rank with lower-bound scores; timed-out, cancelled, or
+failed windows are dropped from the ranking and the run exits 3 with the
+partial results plus a failure summary.
 
 verify checks the paper's schedule tables against the BPMax dependence
 system: exhaustively at sizes M x N (any size; large sizes warn about
@@ -47,6 +53,11 @@ pub(crate) enum CliError {
     /// `verify` found genuine schedule violations: print the report as
     /// is, exit 1. Not a usage problem.
     Check(String),
+    /// A supervised batch run completed only partially (deadline, budget,
+    /// or per-problem failures). The payload is the full report — partial
+    /// ranked results plus a failure summary — printed to *stdout* as is;
+    /// exit 3, no usage text.
+    Partial(String),
 }
 
 impl From<BpMaxError> for CliError {
@@ -58,7 +69,9 @@ impl From<BpMaxError> for CliError {
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CliError::Usage(msg) | CliError::Check(msg) => f.write_str(msg),
+            CliError::Usage(msg) | CliError::Check(msg) | CliError::Partial(msg) => {
+                f.write_str(msg)
+            }
             CliError::BpMax(e) => write!(f, "{e}"),
         }
     }
@@ -66,17 +79,28 @@ impl std::fmt::Display for CliError {
 
 impl CliError {
     /// Process exit status for this error (the bench binaries use the
-    /// same convention: 2 = misuse, 1 = real failure).
+    /// same convention: 2 = misuse, 1 = real failure; 3 = the batch ran
+    /// but only partially).
     pub(crate) fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) | CliError::BpMax(_) => 2,
             CliError::Check(_) => 1,
+            CliError::Partial(_) => 3,
         }
     }
 
     /// Whether the usage text should follow the error message.
     pub(crate) fn show_usage(&self) -> bool {
-        !matches!(self, CliError::Check(_))
+        !matches!(self, CliError::Check(_) | CliError::Partial(_))
+    }
+
+    /// Partial-batch reports are *results* (they go to stdout), not
+    /// diagnostics.
+    pub(crate) fn partial_report(&self) -> Option<&str> {
+        match self {
+            CliError::Partial(report) => Some(report),
+            _ => None,
+        }
     }
 }
 
@@ -125,6 +149,22 @@ fn take_opt(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliErr
     } else {
         Ok(None)
     }
+}
+
+/// Parse a byte count with an optional binary K/M/G suffix ("64M").
+fn parse_bytes(v: &str) -> Result<u64, CliError> {
+    let v = v.trim();
+    let (digits, shift) = match v.as_bytes().last() {
+        Some(b'K' | b'k') => (&v[..v.len() - 1], 10u32),
+        Some(b'M' | b'm') => (&v[..v.len() - 1], 20),
+        Some(b'G' | b'g') => (&v[..v.len() - 1], 30),
+        _ => (v, 0),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_shl(shift).filter(|s| s >> shift == n))
+        .ok_or_else(|| bad_arg(format!("bad --mem-budget {v:?} (bytes, K/M/G suffixes ok)")))
 }
 
 /// Pull a boolean `--flag` out of an argument list.
@@ -229,6 +269,18 @@ fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
     if threads.is_some() && !batch {
         return Err(usage("--threads only applies with --batch"));
     }
+    let deadline = take_opt(&mut args, "--deadline")?
+        .map(|v| match v.parse::<f64>() {
+            Ok(s) if s.is_finite() && s >= 0.0 => Ok(std::time::Duration::from_secs_f64(s)),
+            _ => Err(bad_arg(format!("bad --deadline {v:?} (seconds)"))),
+        })
+        .transpose()?;
+    let mem_budget = take_opt(&mut args, "--mem-budget")?
+        .map(|v| parse_bytes(&v))
+        .transpose()?;
+    if (deadline.is_some() || mem_budget.is_some()) && !batch {
+        return Err(usage("--deadline/--mem-budget only apply with --batch"));
+    }
     let [qa, ta] = args.as_slice() else {
         return Err(usage("scan takes a query and a target"));
     };
@@ -248,13 +300,18 @@ fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
         query.len(),
         target.len()
     );
-    let ranked = if batch {
-        let (ranked, note) = scan_batched(&query, &target, &model, w, threads)?;
+    let (ranked, failures) = if batch {
+        let sup = Supervised {
+            threads,
+            deadline,
+            mem_budget,
+        };
+        let (ranked, note, failures) = scan_batched(&query, &target, &model, w, &sup)?;
         let _ = writeln!(out, "{note}");
-        ranked
+        (ranked, failures)
     } else {
         let ctx = Ctx::new(query.clone(), target.clone(), model);
-        scan_ranked(&ctx, w)
+        (scan_ranked(&ctx, w), Vec::new())
     };
     let _ = writeln!(out, "top {} windows:", top.min(ranked.len()));
     for (start, score) in ranked.iter().take(top) {
@@ -265,7 +322,30 @@ fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
             target.slice(*start, end)
         );
     }
-    Ok(out.trim_end().to_string())
+    if failures.is_empty() {
+        return Ok(out.trim_end().to_string());
+    }
+    let _ = writeln!(
+        out,
+        "{} of {} windows did not complete:",
+        failures.len(),
+        target.len()
+    );
+    for line in &failures {
+        let _ = writeln!(out, "{line}");
+    }
+    Err(CliError::Partial(out.trim_end().to_string()))
+}
+
+/// Ranked `(start, score)` windows, the engine note, and the failure
+/// summary lines from a batched scan.
+type BatchedScan = (Vec<(usize, f32)>, String, Vec<String>);
+
+/// Supervision knobs forwarded from `scan --batch` flags.
+struct Supervised {
+    threads: Option<usize>,
+    deadline: Option<std::time::Duration>,
+    mem_budget: Option<u64>,
 }
 
 /// The `scan --batch` fast path: every window becomes an independent
@@ -274,19 +354,29 @@ fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
 /// The scoring model is shift-invariant (positions enter only as
 /// `j − i`), so per-window solves produce exactly the banded
 /// [`scan_ranked`] scores — the windowed tests pin that equivalence.
+/// Windows that timed out, were cancelled, or failed carry no score:
+/// they are dropped from the ranking and itemized in the returned
+/// failure summary (non-empty summary ⇒ the caller exits 3 with partial
+/// results).
 fn scan_batched(
     query: &RnaSeq,
     target: &RnaSeq,
     model: &ScoringModel,
     w: usize,
-    threads: Option<usize>,
-) -> Result<(Vec<(usize, f32)>, String), CliError> {
+    sup: &Supervised,
+) -> Result<BatchedScan, CliError> {
     let mut opts = BatchOptions::new();
-    if let Some(t) = threads {
+    if let Some(t) = sup.threads {
         if t == 0 {
             return Err(bad_arg("--threads must be at least 1"));
         }
         opts = opts.threads(t);
+    }
+    if let Some(d) = sup.deadline {
+        opts = opts.deadline(d);
+    }
+    if let Some(b) = sup.mem_budget {
+        opts = opts.mem_budget(b);
     }
     let engine = BatchEngine::new(opts)?;
     let problems: Vec<BpMaxProblem> = (0..target.len())
@@ -296,11 +386,30 @@ fn scan_batched(
         })
         .collect();
     let report = engine.solve_all(&problems)?;
-    let mut ranked: Vec<(usize, f32)> = report.items.iter().map(|i| (i.index, i.score)).collect();
+    let counts = report.outcomes();
+    let mut ranked: Vec<(usize, f32)> = report
+        .items
+        .iter()
+        .filter(|i| i.outcome.has_score())
+        .map(|i| (i.index, i.score))
+        .collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    let failures: Vec<String> = report
+        .items
+        .iter()
+        .filter(|i| !i.outcome.has_score())
+        .map(|i| {
+            let end = (i.index + w).min(target.len());
+            let why = i
+                .error
+                .as_ref()
+                .map_or_else(String::new, |e| format!(": {e}"));
+            format!("  [{:>5}..{end:<5}) {}{why}", i.index, i.outcome)
+        })
+        .collect();
     let note = format!(
         "batch engine: {} windows in {:.3} s ({:.0} problems/s, {:.0}% coarse, \
-         {} blocks allocated / {} reused)",
+         {} blocks allocated / {} reused)\noutcomes: {counts}",
         report.len(),
         report.wall_s,
         report.problems_per_s(),
@@ -308,7 +417,7 @@ fn scan_batched(
         report.pool.allocated,
         report.pool.reused,
     );
-    Ok((ranked, note))
+    Ok((ranked, note, failures))
 }
 
 fn cmd_info(args: Vec<String>) -> Result<String, CliError> {
@@ -570,6 +679,107 @@ mod tests {
         assert!(out.contains("batch engine:"), "{out}");
         let err = run(&["scan", "GGG", "CCC", "--threads", "2"]).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn scan_supervision_flags_require_batch() {
+        for argv in [
+            ["scan", "GGG", "CCC", "--deadline", "1"],
+            ["scan", "GGG", "CCC", "--mem-budget", "1M"],
+        ] {
+            let err = run(&argv).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{argv:?}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn scan_bad_supervision_values_are_misuse() {
+        for argv in [
+            ["scan", "GGG", "CCC", "--batch", "--deadline", "-1"],
+            ["scan", "GGG", "CCC", "--batch", "--deadline", "soon"],
+            ["scan", "GGG", "CCC", "--batch", "--mem-budget", "lots"],
+            [
+                "scan",
+                "GGG",
+                "CCC",
+                "--batch",
+                "--mem-budget",
+                "99999999999999999999G",
+            ],
+        ] {
+            let err = run(&argv).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{argv:?}: {err:?}");
+            assert!(err.show_usage(), "{argv:?}");
+        }
+    }
+
+    #[test]
+    fn scan_generous_supervision_changes_nothing() {
+        let out = run(&[
+            "scan",
+            "GGGGG",
+            "AAAAAAAAAACCCCCAAAAAAAAAA",
+            "--window",
+            "5",
+            "--batch",
+            "--deadline",
+            "60",
+            "--mem-budget",
+            "1G",
+        ])
+        .unwrap();
+        assert!(out.contains("outcomes: ok"), "{out}");
+        assert!(out.contains("CCCCC"), "{out}");
+    }
+
+    #[test]
+    fn scan_zero_deadline_returns_partial_results() {
+        let err = run(&[
+            "scan",
+            "GGG",
+            "CCCAAACCC",
+            "--window",
+            "3",
+            "--batch",
+            "--deadline",
+            "0",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        assert!(!err.show_usage());
+        let report = err.partial_report().expect("partial report");
+        assert!(report.contains("timed-out"), "{report}");
+        assert!(report.contains("did not complete"), "{report}");
+        assert!(report.contains("deadline exceeded"), "{report}");
+    }
+
+    #[test]
+    fn scan_hopeless_budget_is_partial() {
+        let err = run(&["scan", "GGGGG", "CCCCCCCC", "--batch", "--mem-budget", "1"]).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err:?}");
+        let report = err.partial_report().expect("partial report");
+        assert!(report.contains("failed"), "{report}");
+        assert!(report.contains("memory budget is 1 bytes"), "{report}");
+    }
+
+    #[test]
+    fn scan_budget_degrades_but_still_ranks() {
+        // 3 KiB admits banded tables for the wide leading windows and
+        // full tables for the short trailing ones: a mixed ok/degraded
+        // wave that still exits 0 with a complete ranking.
+        let out = run(&[
+            "scan",
+            "GGGGGGGGGG",
+            "CCCCCCCCCCCCCCC",
+            "--window",
+            "10",
+            "--batch",
+            "--mem-budget",
+            "3K",
+        ])
+        .unwrap();
+        assert!(out.contains("degraded"), "{out}");
+        assert!(out.contains("top "), "{out}");
     }
 
     #[test]

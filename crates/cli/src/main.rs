@@ -14,7 +14,10 @@
 //!
 //! Exit status: 0 on success; 2 on misuse (bad flags, unknown algorithm,
 //! unreadable sequences — the usage text follows the error); 1 when
-//! `verify` finds genuine schedule violations.
+//! `verify` finds genuine schedule violations; 3 when a supervised
+//! `scan --batch` run (`--deadline`, `--mem-budget`) completes only
+//! partially — the partial ranked results and a failure summary still
+//! print to stdout.
 
 mod commands;
 
@@ -28,10 +31,16 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: {e}");
-            if e.show_usage() {
-                eprintln!();
-                eprintln!("{}", commands::USAGE);
+            if let Some(report) = e.partial_report() {
+                // partial results are still results: stdout, not stderr
+                println!("{report}");
+                eprintln!("error: batch completed partially (failure summary above)");
+            } else {
+                eprintln!("error: {e}");
+                if e.show_usage() {
+                    eprintln!();
+                    eprintln!("{}", commands::USAGE);
+                }
             }
             ExitCode::from(e.exit_code())
         }

@@ -1,8 +1,10 @@
 //! End-to-end exit-status contract of `bpmax-cli`.
 //!
 //! 0 = success, 2 = misuse (usage text on stderr), 1 = `verify` found
-//! real violations. The in-process unit tests cover the error *types*;
-//! this spawns the real binary to pin the process-level mapping.
+//! real violations, 3 = a supervised batch run completed partially
+//! (partial results on stdout). The in-process unit tests cover the
+//! error *types*; this spawns the real binary to pin the process-level
+//! mapping.
 
 use std::process::Command;
 
@@ -48,6 +50,45 @@ fn unknown_algorithm_names_the_candidates() {
     assert_eq!(code, 2);
     assert!(stderr.contains("unknown algorithm \"warp\""), "{stderr}");
     assert!(stderr.contains("hybrid-tiled"), "{stderr}");
+}
+
+#[test]
+fn partial_batch_exits_three_with_results_on_stdout() {
+    let (code, stdout, stderr) = run(&[
+        "scan",
+        "GGG",
+        "CCCAAACCC",
+        "--window",
+        "3",
+        "--batch",
+        "--deadline",
+        "0",
+    ]);
+    assert_eq!(code, 3, "{stderr}");
+    // the partial report (outcome counts + failure summary) is a result
+    assert!(stdout.contains("outcomes:"), "{stdout}");
+    assert!(stdout.contains("timed-out"), "{stdout}");
+    assert!(stdout.contains("did not complete"), "{stdout}");
+    assert!(stderr.contains("completed partially"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn supervised_batch_scan_with_headroom_exits_zero() {
+    let (code, stdout, stderr) = run(&[
+        "scan",
+        "GGGGG",
+        "AAAAAAAAAACCCCCAAAAAAAAAA",
+        "--window",
+        "5",
+        "--batch",
+        "--deadline",
+        "60",
+        "--mem-budget",
+        "1G",
+    ]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stdout.contains("outcomes: ok"), "{stdout}");
 }
 
 #[test]

@@ -16,6 +16,7 @@
 
 use crate::ftable::{FTable, Layout};
 use crate::kernels::Ctx;
+use crate::supervise::{Interrupt, Watch};
 use rna::ScoringModel;
 
 /// Solve by the original diagonal-by-diagonal order. Returns the full
@@ -27,22 +28,35 @@ pub fn solve_baseline(ctx: &Ctx, layout: Layout) -> FTable {
 /// [`solve_baseline`] into a caller-provided (possibly pool-recycled)
 /// table. `f` must be freshly `-∞`-initialised with dims `ctx.m() × ctx.n()`.
 pub fn solve_baseline_into(ctx: &Ctx, mut f: FTable) -> FTable {
+    solve_baseline_watched(ctx, &mut f, &Watch::none())
+        .expect("unsupervised solve cannot be interrupted");
+    f
+}
+
+/// [`solve_baseline_into`] under supervision: one checkpoint per `(d1, d2)`
+/// diagonal pair — `Θ(M·N)` cells of work guarded per check.
+pub(crate) fn solve_baseline_watched(
+    ctx: &Ctx,
+    f: &mut FTable,
+    watch: &Watch,
+) -> Result<(), Interrupt> {
     let m = ctx.m();
     let n = ctx.n();
     debug_assert!(f.m() == m && f.n() == n, "table shape mismatch");
     for d1 in 0..m {
         for d2 in 0..n {
+            watch.check()?;
             for i1 in 0..m - d1 {
                 let j1 = i1 + d1;
                 for i2 in 0..n - d2 {
                     let j2 = i2 + d2;
-                    let v = cell(ctx, &f, i1, j1, i2, j2);
+                    let v = cell(ctx, f, i1, j1, i2, j2);
                     f.set(i1, j1, i2, j2, v);
                 }
             }
         }
     }
-    f
+    Ok(())
 }
 
 /// Evaluate one cell with every reduction as an inner loop (2 FLOPs per

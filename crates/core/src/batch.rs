@@ -26,15 +26,28 @@
 //! calls (property-tested in `tests/batch_identical.rs`): every traversal
 //! mode of the engine computes the same F-table by the wavefront
 //! invariant.
+//!
+//! **Bounded failure.** One bad problem never poisons the wave: each
+//! solve runs under the [`supervise`](crate::supervise) layer (batch-wide
+//! [`Deadline`]/[`CancelToken`]/[`MemoryBudget`] merged with any per-solve
+//! supervision), panics are isolated with `catch_unwind`, and every
+//! [`BatchItem`] records an [`Outcome`] instead of aborting
+//! [`BatchEngine::solve_all`]. Buffers touched by a panicked solve are
+//! quarantined, never recycled ([`PoolStats::quarantined`] counts them).
 
 use crate::engine::{Algorithm, BpMaxProblem, Solution, SolveOptions};
 use crate::error::BpMaxError;
 use crate::ftable::{BlockPool, FTable, PoolStats};
 use crate::perfmodel::{predict_bpmax_seconds, CostModel};
+use crate::supervise::{
+    fault, CancelToken, Deadline, Interrupt, MemoryBudget, Outcome, OutcomeCounts, Supervision,
+    Watch,
+};
+use crate::windowed::{max_window_within, solve_windowed_watched};
 use machine::spec::MachineSpec;
 use rayon::prelude::*;
 use simsched::speedup::HtModel;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How the engine maps problems onto the worker pool.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -70,6 +83,19 @@ pub struct BatchOptions {
     /// problem is scheduled coarse. The default (10 ms) keeps per-diagonal
     /// dispatch overhead under ~1% for the problems that do go fine.
     pub coarse_cutoff_s: f64,
+    /// Wall-clock budget for the whole wave, anchored when
+    /// [`BatchEngine::solve_all`] starts. Problems running (or queued)
+    /// past it finish as [`Outcome::TimedOut`].
+    pub deadline: Option<Duration>,
+    /// Per-problem F-table byte cap. Oversized problems degrade to the
+    /// windowed algorithm ([`Outcome::Degraded`]) when
+    /// [`BatchOptions::degrade`] is on, else fail with
+    /// [`BpMaxError::BudgetExceeded`].
+    pub mem_budget: Option<u64>,
+    /// Over-budget behaviour (default `true`: degrade, never silently).
+    pub degrade: bool,
+    /// Cancellation token observed by every solve of the wave.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for BatchOptions {
@@ -80,6 +106,10 @@ impl Default for BatchOptions {
             solve: SolveOptions::new(),
             keep_tables: false,
             coarse_cutoff_s: 0.01,
+            deadline: None,
+            mem_budget: None,
+            degrade: true,
+            cancel: None,
         }
     }
 }
@@ -118,9 +148,37 @@ impl BatchOptions {
         self.keep_tables = keep;
         self
     }
+
+    /// Set the wave's wall-clock budget.
+    #[must_use]
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Set the per-problem F-table byte cap.
+    #[must_use]
+    pub fn mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Set the over-budget behaviour (degrade vs fail).
+    #[must_use]
+    pub fn degrade(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// Watch a cancellation token for the whole wave.
+    #[must_use]
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
 }
 
-/// One solved problem of a batch.
+/// One problem of a batch — solved, degraded, or failed; never missing.
 #[derive(Debug)]
 pub struct BatchItem {
     /// Position in the input slice.
@@ -129,7 +187,8 @@ pub struct BatchItem {
     pub m: usize,
     /// Strand-2 length.
     pub n: usize,
-    /// The optimal interaction score.
+    /// The optimal interaction score ([`Outcome::Ok`]), a valid lower
+    /// bound ([`Outcome::Degraded`]), or `-∞` for unscored outcomes.
     pub score: f32,
     /// Wall-clock latency of this solve, seconds.
     pub seconds: f64,
@@ -138,7 +197,12 @@ pub struct BatchItem {
     /// `true` when scheduled one-per-thread (serial traversal), `false`
     /// when solved with intra-problem parallelism.
     pub coarse: bool,
-    /// The full F-table, when [`BatchOptions::keep_tables`] was set.
+    /// How this problem ended.
+    pub outcome: Outcome,
+    /// The failure, for outcomes other than `Ok`/`Degraded`.
+    pub error: Option<BpMaxError>,
+    /// The full F-table, when [`BatchOptions::keep_tables`] was set (and
+    /// the solve completed exactly).
     pub table: Option<FTable>,
 }
 
@@ -198,6 +262,15 @@ impl BatchReport {
             return 0.0;
         }
         self.items.iter().filter(|i| i.coarse).count() as f64 / self.items.len() as f64
+    }
+
+    /// Aggregate per-outcome tally of the wave.
+    pub fn outcomes(&self) -> OutcomeCounts {
+        let mut counts = OutcomeCounts::default();
+        for item in &self.items {
+            counts.record(item.outcome);
+        }
+        counts
     }
 }
 
@@ -273,8 +346,21 @@ impl BatchEngine {
     /// Coarse-classified problems run one-per-thread over the shared pool
     /// with serial traversals; the rest run one at a time, each using the
     /// whole pool for its own diagonals.
+    ///
+    /// Supervision is per-problem, never per-wave: a problem that is
+    /// cancelled, times out, blows its memory budget, or panics becomes a
+    /// [`BatchItem`] with the matching [`Outcome`] (and its buffers are
+    /// recycled or quarantined), while every other problem completes
+    /// normally. The wave-wide deadline clock starts here.
     pub fn solve_all(&self, problems: &[BpMaxProblem]) -> Result<BatchReport, BpMaxError> {
         let start = Instant::now();
+        let batch_sup = Supervision {
+            cancel: self.opts.cancel.clone(),
+            deadline: self.opts.deadline.map(Deadline::within),
+            budget: self.opts.mem_budget.map(MemoryBudget::bytes),
+            degrade: self.opts.degrade,
+        };
+        let sup = Supervision::merged(&batch_sup, self.opts.solve.supervision());
         let coarse_class: Vec<bool> = problems.iter().map(|p| self.classify_coarse(p)).collect();
 
         let mut slots: Vec<Option<BatchItem>> = Vec::new();
@@ -282,14 +368,13 @@ impl BatchEngine {
 
         // Wave 1: the coarse class, problems distributed over workers.
         let coarse_idx: Vec<usize> = (0..problems.len()).filter(|&i| coarse_class[i]).collect();
-        let solved: Vec<Result<BatchItem, BpMaxError>> = self.pool.install(|| {
+        let solved: Vec<BatchItem> = self.pool.install(|| {
             coarse_idx
                 .par_iter()
-                .map(|&i| self.solve_one(&problems[i], i, true))
+                .map(|&i| self.solve_one(&problems[i], i, true, &sup))
                 .collect()
         });
         for item in solved {
-            let item = item?;
             let slot = item.index;
             slots[slot] = Some(item);
         }
@@ -298,7 +383,9 @@ impl BatchEngine {
         // parallelism on the same pool.
         for (i, problem) in problems.iter().enumerate() {
             if !coarse_class[i] {
-                let item = self.pool.install(|| self.solve_one(problem, i, false))?;
+                let item = self
+                    .pool
+                    .install(|| self.solve_one(problem, i, false, &sup));
                 slots[i] = Some(item);
             }
         }
@@ -313,42 +400,141 @@ impl BatchEngine {
         })
     }
 
-    /// Solve one problem on a pooled table.
+    /// Solve one problem on a pooled table. Infallible by design: every
+    /// failure mode folds into the item's [`Outcome`] + error.
     fn solve_one(
         &self,
         problem: &BpMaxProblem,
         index: usize,
         coarse: bool,
-    ) -> Result<BatchItem, BpMaxError> {
-        let algorithm = self.opts.solve.resolved_algorithm()?;
-        let layout = self.opts.solve.resolved_layout(problem.layout());
+        sup: &Supervision,
+    ) -> BatchItem {
         let (m, n) = (problem.ctx().m(), problem.ctx().n());
         let t = Instant::now();
-        let f = FTable::try_new_in(m, n, layout, &self.blocks)?;
-        let f = if coarse {
-            problem.compute_serial_into(algorithm, f)
-        } else {
-            problem.compute_into(algorithm, f)
+        let (outcome, score, table, error) = match self.solve_inner(problem, index, coarse, sup) {
+            Ok((outcome, score, table)) => (outcome, score, table, None),
+            Err(err) => {
+                let outcome = match err {
+                    BpMaxError::Cancelled => Outcome::Cancelled,
+                    BpMaxError::DeadlineExceeded { .. } => Outcome::TimedOut,
+                    _ => Outcome::Failed,
+                };
+                (outcome, f32::NEG_INFINITY, None, Some(err))
+            }
         };
-        let solution = Solution::from_parts(problem, f);
-        let score = solution.score();
-        let seconds = t.elapsed().as_secs_f64();
-        let table = if self.opts.keep_tables {
-            Some(solution.into_ftable())
-        } else {
-            solution.into_ftable().recycle(&self.blocks);
-            None
-        };
-        Ok(BatchItem {
+        BatchItem {
             index,
             m,
             n,
             score,
-            seconds,
+            seconds: t.elapsed().as_secs_f64(),
             flops: problem.flops(),
             coarse,
+            outcome,
+            error,
             table,
-        })
+        }
+    }
+
+    /// The supervised solve pipeline of one problem: entry check → budget
+    /// admission (degrading if allowed) → pooled allocation → panic-
+    /// isolated compute → recycle-or-quarantine.
+    fn solve_inner(
+        &self,
+        problem: &BpMaxProblem,
+        index: usize,
+        coarse: bool,
+        sup: &Supervision,
+    ) -> Result<(Outcome, f32, Option<FTable>), BpMaxError> {
+        let algorithm = self.opts.solve.resolved_algorithm()?;
+        let layout = self.opts.solve.resolved_layout(problem.layout());
+        let (m, n) = (problem.ctx().m(), problem.ctx().n());
+        let mut watch = Watch::new(sup);
+        if let Some(fault::Fault::Slow { millis }) = fault::active(fault::SITE_SLOW, index) {
+            watch = watch.with_slow(Duration::from_millis(millis));
+        }
+        // entry check: once the wave deadline passes (or the token fires),
+        // every remaining problem resolves deterministically, before any
+        // allocation — even empty ones
+        watch.check_now().map_err(Interrupt::into_error)?;
+        if let Some(budget) = sup.budget {
+            let needed = FTable::estimate_bytes(m, n, layout)?;
+            if !budget.allows(needed) {
+                let over = BpMaxError::BudgetExceeded {
+                    needed_bytes: needed,
+                    budget_bytes: budget.bytes,
+                };
+                if !sup.degrade {
+                    return Err(over);
+                }
+                let w = max_window_within(m, n, budget.bytes).ok_or(over)?;
+                let banded = solve_windowed_watched(problem.ctx(), w, &watch)
+                    .map_err(Interrupt::into_error)?;
+                let score = banded
+                    .window_scores()
+                    .into_iter()
+                    .fold(f32::NEG_INFINITY, f32::max);
+                return Ok((Outcome::Degraded, score, None));
+            }
+        }
+        if fault::active(fault::SITE_ALLOC, index) == Some(fault::Fault::AllocFail) {
+            return Err(BpMaxError::SizeOverflow { m, n });
+        }
+        let mut f = FTable::try_new_in(m, n, layout, &self.blocks)?;
+        let inject_panic = fault::active(fault::SITE_COMPUTE, index) == Some(fault::Fault::Panic);
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if inject_panic {
+                if m > 0 && n > 0 {
+                    // die exactly like a worker mid-triangle: a taken
+                    // block is dropped on the unwind path
+                    let _hostage = f.take_block(0, 0);
+                }
+                panic!("injected fault: compute panic at problem {index}");
+            }
+            if coarse {
+                problem.compute_serial_watched(algorithm, &mut f, &watch)
+            } else {
+                problem.compute_watched(algorithm, &mut f, &watch)
+            }
+        }));
+        match run {
+            Ok(Ok(())) => {
+                let solution = Solution::from_parts(problem, f);
+                let score = solution.score();
+                let table = if self.opts.keep_tables {
+                    Some(solution.into_ftable())
+                } else {
+                    solution.into_ftable().recycle(&self.blocks);
+                    None
+                };
+                Ok((Outcome::Ok, score, table))
+            }
+            Ok(Err(interrupt)) => {
+                // interrupted between diagonals: every block is in the
+                // table, so the recycle is clean
+                f.recycle(&self.blocks);
+                Err(interrupt.into_error())
+            }
+            Err(payload) => {
+                // recycle validates: blocks lost to the unwind are empty
+                // placeholders and get quarantined, never reused
+                f.recycle(&self.blocks);
+                Err(BpMaxError::Panicked {
+                    detail: panic_detail(payload.as_ref()),
+                })
+            }
+        }
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -358,6 +544,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use rna::{RnaSeq, ScoringModel};
+    use std::time::Duration;
 
     fn mixed_problems(count: usize, seed: u64) -> Vec<BpMaxProblem> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -479,6 +666,116 @@ mod tests {
         let want = p.solve(Algorithm::Baseline).score();
         let report = engine.solve_all(std::slice::from_ref(&p)).unwrap();
         assert_eq!(report.items[0].score, want);
+    }
+
+    #[test]
+    fn clean_waves_report_all_ok() {
+        let problems = mixed_problems(6, 46);
+        let engine = BatchEngine::new(BatchOptions::new().threads(2)).unwrap();
+        let report = engine.solve_all(&problems).unwrap();
+        let counts = report.outcomes();
+        assert!(counts.all_ok(), "{counts}");
+        assert_eq!(counts.total(), 6);
+        assert_eq!(report.pool.quarantined, 0);
+        for item in &report.items {
+            assert_eq!(item.outcome, crate::supervise::Outcome::Ok);
+            assert!(item.error.is_none());
+        }
+    }
+
+    #[test]
+    fn cancelled_token_marks_every_item_cancelled() {
+        let problems = mixed_problems(5, 47);
+        let token = CancelToken::new();
+        token.cancel();
+        let engine =
+            BatchEngine::new(BatchOptions::new().threads(2).cancel(token.clone())).unwrap();
+        let report = engine.solve_all(&problems).unwrap();
+        let counts = report.outcomes();
+        assert_eq!(counts.cancelled, 5, "{counts}");
+        for item in &report.items {
+            assert_eq!(item.outcome, crate::supervise::Outcome::Cancelled);
+            assert_eq!(item.error, Some(BpMaxError::Cancelled));
+            assert_eq!(item.score, f32::NEG_INFINITY);
+        }
+        // nothing was allocated for cancelled problems, nothing quarantined
+        assert_eq!(report.pool.allocated, 0);
+        assert_eq!(report.pool.quarantined, 0);
+    }
+
+    #[test]
+    fn zero_deadline_marks_every_item_timed_out() {
+        let problems = mixed_problems(4, 48);
+        let engine =
+            BatchEngine::new(BatchOptions::new().threads(1).deadline(Duration::ZERO)).unwrap();
+        let report = engine.solve_all(&problems).unwrap();
+        assert_eq!(report.outcomes().timed_out, 4);
+        for item in &report.items {
+            assert!(
+                matches!(item.error, Some(BpMaxError::DeadlineExceeded { .. })),
+                "{:?}",
+                item.error
+            );
+        }
+    }
+
+    #[test]
+    fn tight_budget_degrades_but_never_silently() {
+        let model = ScoringModel::bpmax_default();
+        let mut rng = StdRng::seed_from_u64(49);
+        let small = BpMaxProblem::new(
+            RnaSeq::random(&mut rng, 3),
+            RnaSeq::random(&mut rng, 3),
+            model.clone(),
+        );
+        let large = BpMaxProblem::new(
+            RnaSeq::random(&mut rng, 12),
+            RnaSeq::random(&mut rng, 14),
+            model,
+        );
+        let small_exact = small.solve(Algorithm::Permuted).score();
+        let large_exact = large.solve(Algorithm::Permuted).score();
+        // budget chosen between the two table sizes: small fits, large not
+        let budget = FTable::estimate_bytes(12, 14, crate::ftable::Layout::Packed).unwrap() / 2;
+        assert!(budget > FTable::estimate_bytes(3, 3, crate::ftable::Layout::Packed).unwrap());
+        let engine = BatchEngine::new(BatchOptions::new().threads(1).mem_budget(budget)).unwrap();
+        let report = engine.solve_all(&[small, large]).unwrap();
+        let counts = report.outcomes();
+        assert_eq!((counts.ok, counts.degraded), (1, 1), "{counts}");
+        assert_eq!(report.items[0].outcome, crate::supervise::Outcome::Ok);
+        assert_eq!(report.items[0].score, small_exact);
+        assert_eq!(report.items[1].outcome, crate::supervise::Outcome::Degraded);
+        assert!(
+            report.items[1].score <= large_exact && report.items[1].score > f32::NEG_INFINITY,
+            "degraded score {} must lower-bound {large_exact}",
+            report.items[1].score
+        );
+        // strict mode: the same oversize problem fails instead
+        let mut rng = StdRng::seed_from_u64(49);
+        let _ = RnaSeq::random(&mut rng, 3);
+        let _ = RnaSeq::random(&mut rng, 3);
+        let large = BpMaxProblem::new(
+            RnaSeq::random(&mut rng, 12),
+            RnaSeq::random(&mut rng, 14),
+            ScoringModel::bpmax_default(),
+        );
+        let engine = BatchEngine::new(
+            BatchOptions::new()
+                .threads(1)
+                .mem_budget(budget)
+                .degrade(false),
+        )
+        .unwrap();
+        let report = engine.solve_all(std::slice::from_ref(&large)).unwrap();
+        assert_eq!(report.outcomes().failed, 1);
+        assert!(
+            matches!(
+                report.items[0].error,
+                Some(BpMaxError::BudgetExceeded { .. })
+            ),
+            "{:?}",
+            report.items[0].error
+        );
     }
 
     #[test]

@@ -20,12 +20,16 @@
 //! race-free by construction (the `schedules` module verifies the same
 //! property declaratively, on the paper's schedule encodings).
 
-use crate::baseline::solve_baseline_into;
+use crate::baseline::solve_baseline_watched;
 use crate::error::BpMaxError;
 use crate::ftable::{FTable, Layout};
 use crate::kernels::{
     accumulate_r034_parallel, accumulate_r034_serial, finalize_triangle, Ctx, R0Order, Tile,
 };
+use crate::supervise::{
+    CancelToken, Deadline, Interrupt, MemoryBudget, Outcome, Supervision, Watch,
+};
+use crate::windowed::{max_window_within, solve_windowed_watched};
 use rayon::prelude::*;
 use rna::{JointStructure, RnaSeq, ScoringModel};
 use std::str::FromStr;
@@ -163,11 +167,12 @@ pub struct SolveOptions {
     threads: Option<usize>,
     layout: Option<Layout>,
     tile: Option<Tile>,
+    supervision: Supervision,
 }
 
 impl Default for SolveOptions {
     /// The champion configuration: hybrid+tiled, caller's rayon pool,
-    /// problem's layout.
+    /// problem's layout, no supervision.
     fn default() -> Self {
         SolveOptions {
             algorithm: Algorithm::HybridTiled {
@@ -176,6 +181,7 @@ impl Default for SolveOptions {
             threads: None,
             layout: None,
             tile: None,
+            supervision: Supervision::none(),
         }
     }
 }
@@ -215,6 +221,48 @@ impl SolveOptions {
     pub fn tile(mut self, tile: Tile) -> Self {
         self.tile = Some(tile);
         self
+    }
+
+    /// Watch a cancellation token: the solve stops with
+    /// [`BpMaxError::Cancelled`] at the next per-diagonal checkpoint after
+    /// the token fires.
+    #[must_use]
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.supervision.cancel = Some(token);
+        self
+    }
+
+    /// Impose a wall-clock deadline: the solve stops with
+    /// [`BpMaxError::DeadlineExceeded`] once it passes.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.supervision.deadline = Some(deadline);
+        self
+    }
+
+    /// Cap the F-table bytes. [`BpMaxProblem::solve_opts`] rejects
+    /// oversized problems with [`BpMaxError::BudgetExceeded`];
+    /// [`BpMaxProblem::solve_supervised`] can degrade them instead — see
+    /// [`SolveOptions::degrade`].
+    #[must_use]
+    pub fn mem_budget(mut self, budget: MemoryBudget) -> Self {
+        self.supervision.budget = Some(budget);
+        self
+    }
+
+    /// Over-budget behaviour for [`BpMaxProblem::solve_supervised`]:
+    /// `true` falls back to the windowed/banded algorithm at the widest
+    /// in-budget window and reports [`Outcome::Degraded`] (the score is a
+    /// valid lower bound); `false` (the default) rejects.
+    #[must_use]
+    pub fn degrade(mut self, degrade: bool) -> Self {
+        self.supervision.degrade = degrade;
+        self
+    }
+
+    /// The supervision layer in effect.
+    pub(crate) fn supervision(&self) -> &Supervision {
+        &self.supervision
     }
 
     /// The algorithm with the tile override folded in, validated.
@@ -293,25 +341,105 @@ impl BpMaxProblem {
     /// Solve with explicit options — **the** fallible entry point. Size
     /// overflow and bad tiles come back as [`BpMaxError`] instead of
     /// panics; the legacy `solve`/`solve_with_threads`/`compute` methods
-    /// are thin wrappers over this.
+    /// are thin wrappers over this. Supervision is strict here: an
+    /// over-budget problem is rejected, a cancelled/expired solve errs —
+    /// the degrading flavour is [`BpMaxProblem::solve_supervised`].
     pub fn solve_opts(&self, opts: &SolveOptions) -> Result<Solution<'_>, BpMaxError> {
         let algorithm = opts.resolved_algorithm()?;
         let layout = opts.resolved_layout(self.layout);
-        let f = FTable::try_new(self.ctx.m(), self.ctx.n(), layout)?;
-        Ok(Solution {
-            problem: self,
-            f: match opts.requested_threads() {
-                Some(threads) => {
-                    let pool = rayon::ThreadPoolBuilder::new()
-                        .num_threads(threads.max(1))
-                        .build()
-                        .map_err(|e| BpMaxError::InvalidArgument {
-                            detail: format!("building rayon pool of {threads} threads: {e}"),
-                        })?;
-                    pool.install(|| self.compute_into(algorithm, f))
+        let sup = opts.supervision();
+        let watch = Watch::new(sup);
+        // pre-expired deadlines and pre-fired tokens fail before any
+        // allocation, deterministically even on empty problems
+        watch.check_now().map_err(Interrupt::into_error)?;
+        if let Some(budget) = sup.budget {
+            let needed = FTable::estimate_bytes(self.ctx.m(), self.ctx.n(), layout)?;
+            if !budget.allows(needed) {
+                return Err(BpMaxError::BudgetExceeded {
+                    needed_bytes: needed,
+                    budget_bytes: budget.bytes,
+                });
+            }
+        }
+        let mut f = FTable::try_new(self.ctx.m(), self.ctx.n(), layout)?;
+        match opts.requested_threads() {
+            Some(threads) => {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads.max(1))
+                    .build()
+                    .map_err(|e| BpMaxError::InvalidArgument {
+                        detail: format!("building rayon pool of {threads} threads: {e}"),
+                    })?;
+                pool.install(|| self.compute_watched(algorithm, &mut f, &watch))
+            }
+            None => self.compute_watched(algorithm, &mut f, &watch),
+        }
+        .map_err(Interrupt::into_error)?;
+        Ok(Solution { problem: self, f })
+    }
+
+    /// Solve under the full supervision contract, degrading instead of
+    /// rejecting when the memory budget is too small for the exact table
+    /// (and [`SolveOptions::degrade`] is on): the problem falls back to
+    /// the windowed/banded algorithm at the widest window that fits, and
+    /// the result is flagged [`Outcome::Degraded`] — never silently. The
+    /// degraded score is the best window score, a valid lower bound of the
+    /// exact score because `F` is monotone under strand-2 interval
+    /// inclusion (extending an interval can only add unpaired bases).
+    pub fn solve_supervised(&self, opts: &SolveOptions) -> Result<SupervisedSolve<'_>, BpMaxError> {
+        let sup = opts.supervision();
+        // a dead deadline or fired token beats any budget verdict
+        Watch::new(sup).check_now().map_err(Interrupt::into_error)?;
+        if let Some(budget) = sup.budget {
+            let layout = opts.resolved_layout(self.layout);
+            let needed = FTable::estimate_bytes(self.ctx.m(), self.ctx.n(), layout)?;
+            if !budget.allows(needed) {
+                if !sup.degrade {
+                    return Err(BpMaxError::BudgetExceeded {
+                        needed_bytes: needed,
+                        budget_bytes: budget.bytes,
+                    });
                 }
-                None => self.compute_into(algorithm, f),
+                return self.solve_degraded(opts, needed, budget);
+            }
+        }
+        let solution = self.solve_opts(opts)?;
+        let score = solution.score();
+        Ok(SupervisedSolve {
+            outcome: Outcome::Ok,
+            score,
+            solution: Some(solution),
+            window: None,
+        })
+    }
+
+    /// The degraded arm of [`BpMaxProblem::solve_supervised`].
+    fn solve_degraded(
+        &self,
+        opts: &SolveOptions,
+        needed: u64,
+        budget: MemoryBudget,
+    ) -> Result<SupervisedSolve<'_>, BpMaxError> {
+        // surface config errors (bad tile) identically to the exact path
+        opts.resolved_algorithm()?;
+        let w = max_window_within(self.ctx.m(), self.ctx.n(), budget.bytes).ok_or(
+            BpMaxError::BudgetExceeded {
+                needed_bytes: needed,
+                budget_bytes: budget.bytes,
             },
+        )?;
+        let watch = Watch::new(opts.supervision());
+        watch.check_now().map_err(Interrupt::into_error)?;
+        let t = solve_windowed_watched(&self.ctx, w, &watch).map_err(Interrupt::into_error)?;
+        let score = t
+            .window_scores()
+            .into_iter()
+            .fold(f32::NEG_INFINITY, f32::max);
+        Ok(SupervisedSolve {
+            outcome: Outcome::Degraded,
+            score,
+            solution: None,
+            window: Some(w),
         })
     }
 
@@ -349,15 +477,30 @@ impl BpMaxProblem {
     /// Compute into a caller-provided table (freshly `-∞`-initialised,
     /// matching dims) — the allocation-free path the batch engine's block
     /// pool feeds.
-    pub(crate) fn compute_into(&self, algorithm: Algorithm, f: FTable) -> FTable {
+    pub(crate) fn compute_into(&self, algorithm: Algorithm, mut f: FTable) -> FTable {
+        self.compute_watched(algorithm, &mut f, &Watch::none())
+            .expect("unsupervised solve cannot be interrupted");
+        f
+    }
+
+    /// [`BpMaxProblem::compute_into`] under a supervision watch. On
+    /// interrupt the table is left partially filled (and, for parallel
+    /// modes, never with blocks missing — every taken block is put back
+    /// before the checkpoint that can fire).
+    pub(crate) fn compute_watched(
+        &self,
+        algorithm: Algorithm,
+        f: &mut FTable,
+        watch: &Watch,
+    ) -> Result<(), Interrupt> {
         match algorithm {
-            Algorithm::Baseline => solve_baseline_into(&self.ctx, f),
-            Algorithm::Permuted => self.wavefront(WaveMode::Serial(R0Order::Permuted), f),
-            Algorithm::CoarseGrain => self.wavefront(WaveMode::Coarse(R0Order::Permuted), f),
-            Algorithm::FineGrain => self.wavefront(WaveMode::Fine(R0Order::Permuted), f),
-            Algorithm::Hybrid => self.wavefront(WaveMode::Hybrid(R0Order::Permuted), f),
+            Algorithm::Baseline => solve_baseline_watched(&self.ctx, f, watch),
+            Algorithm::Permuted => self.wavefront(WaveMode::Serial(R0Order::Permuted), f, watch),
+            Algorithm::CoarseGrain => self.wavefront(WaveMode::Coarse(R0Order::Permuted), f, watch),
+            Algorithm::FineGrain => self.wavefront(WaveMode::Fine(R0Order::Permuted), f, watch),
+            Algorithm::Hybrid => self.wavefront(WaveMode::Hybrid(R0Order::Permuted), f, watch),
             Algorithm::HybridTiled { tile } => {
-                self.wavefront(WaveMode::Hybrid(R0Order::Tiled(tile)), f)
+                self.wavefront(WaveMode::Hybrid(R0Order::Tiled(tile)), f, watch)
             }
         }
     }
@@ -366,32 +509,40 @@ impl BpMaxProblem {
     /// what the batch engine runs for problems scheduled one-per-thread
     /// (intra-problem parallel dispatch would only add overhead there).
     /// Bit-identical to every other mode by the wavefront invariant.
-    pub(crate) fn compute_serial_into(&self, algorithm: Algorithm, f: FTable) -> FTable {
+    pub(crate) fn compute_serial_watched(
+        &self,
+        algorithm: Algorithm,
+        f: &mut FTable,
+        watch: &Watch,
+    ) -> Result<(), Interrupt> {
         match algorithm {
-            Algorithm::Baseline => solve_baseline_into(&self.ctx, f),
-            other => self.wavefront(WaveMode::Serial(other.r0_order()), f),
+            Algorithm::Baseline => solve_baseline_watched(&self.ctx, f, watch),
+            other => self.wavefront(WaveMode::Serial(other.r0_order()), f, watch),
         }
     }
 
     /// The shared wavefront driver: ascending outer diagonals, then one of
-    /// four parallelization modes per diagonal.
-    fn wavefront(&self, mode: WaveMode, mut f: FTable) -> FTable {
+    /// four parallelization modes per diagonal. The supervision checkpoint
+    /// sits at the top of the `d1` loop — between diagonals every block is
+    /// inside the table, so an interrupt always leaves `f` recyclable.
+    fn wavefront(&self, mode: WaveMode, f: &mut FTable, watch: &Watch) -> Result<(), Interrupt> {
         let ctx = &self.ctx;
         let m = ctx.m();
         let n = ctx.n();
         debug_assert!(f.m() == m && f.n() == n, "table shape mismatch");
         if m == 0 || n == 0 {
-            return f;
+            return Ok(());
         }
         for d1 in 0..m {
+            watch.check()?;
             match mode {
                 WaveMode::Serial(order) => {
                     for i1 in 0..m - d1 {
                         let j1 = i1 + d1;
                         let mut acc = f.take_block(i1, j1);
-                        accumulate_r034_serial(ctx, &f, i1, j1, &mut acc, order);
-                        let prev = prev_block(&f, i1, j1);
-                        finalize_triangle(ctx, i1, j1, &f, prev, &mut acc);
+                        accumulate_r034_serial(ctx, f, i1, j1, &mut acc, order);
+                        let prev = prev_block(f, i1, j1);
+                        finalize_triangle(ctx, i1, j1, f, prev, &mut acc);
                         f.put_block(i1, j1, acc);
                     }
                 }
@@ -403,9 +554,9 @@ impl BpMaxProblem {
                         .collect();
                     taken.par_iter_mut().for_each(|(i1, acc)| {
                         let j1 = *i1 + d1;
-                        accumulate_r034_serial(ctx, &f, *i1, j1, acc, order);
-                        let prev = prev_block(&f, *i1, j1);
-                        finalize_triangle(ctx, *i1, j1, &f, prev, acc);
+                        accumulate_r034_serial(ctx, f, *i1, j1, acc, order);
+                        let prev = prev_block(f, *i1, j1);
+                        finalize_triangle(ctx, *i1, j1, f, prev, acc);
                     });
                     for (i1, acc) in taken {
                         f.put_block(i1, i1 + d1, acc);
@@ -417,9 +568,9 @@ impl BpMaxProblem {
                     for i1 in 0..m - d1 {
                         let j1 = i1 + d1;
                         let mut acc = f.take_block(i1, j1);
-                        accumulate_r034_parallel(ctx, &f, i1, j1, &mut acc, order);
-                        let prev = prev_block(&f, i1, j1);
-                        finalize_triangle(ctx, i1, j1, &f, prev, &mut acc);
+                        accumulate_r034_parallel(ctx, f, i1, j1, &mut acc, order);
+                        let prev = prev_block(f, i1, j1);
+                        finalize_triangle(ctx, i1, j1, f, prev, &mut acc);
                         f.put_block(i1, j1, acc);
                     }
                 }
@@ -431,12 +582,12 @@ impl BpMaxProblem {
                         .map(|i1| (i1, f.take_block(i1, i1 + d1)))
                         .collect();
                     for (i1, acc) in &mut taken {
-                        accumulate_r034_parallel(ctx, &f, *i1, *i1 + d1, acc, order);
+                        accumulate_r034_parallel(ctx, f, *i1, *i1 + d1, acc, order);
                     }
                     taken.par_iter_mut().for_each(|(i1, acc)| {
                         let j1 = *i1 + d1;
-                        let prev = prev_block(&f, *i1, j1);
-                        finalize_triangle(ctx, *i1, j1, &f, prev, acc);
+                        let prev = prev_block(f, *i1, j1);
+                        finalize_triangle(ctx, *i1, j1, f, prev, acc);
                     });
                     for (i1, acc) in taken {
                         f.put_block(i1, i1 + d1, acc);
@@ -444,7 +595,53 @@ impl BpMaxProblem {
                 }
             }
         }
-        f
+        Ok(())
+    }
+}
+
+/// The result of [`BpMaxProblem::solve_supervised`]: the per-problem
+/// verdict plus whatever score the outcome supports.
+pub struct SupervisedSolve<'p> {
+    outcome: Outcome,
+    score: f32,
+    solution: Option<Solution<'p>>,
+    window: Option<usize>,
+}
+
+impl std::fmt::Debug for SupervisedSolve<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisedSolve")
+            .field("outcome", &self.outcome)
+            .field("score", &self.score)
+            .field("window", &self.window)
+            .field("has_solution", &self.solution.is_some())
+            .finish()
+    }
+}
+
+impl<'p> SupervisedSolve<'p> {
+    /// How the solve ended ([`Outcome::Ok`] or [`Outcome::Degraded`] here;
+    /// the other outcomes surface as errors from a single solve, or as
+    /// batch items).
+    pub fn outcome(&self) -> Outcome {
+        self.outcome
+    }
+
+    /// The exact score ([`Outcome::Ok`]) or the best-window lower bound
+    /// ([`Outcome::Degraded`]).
+    pub fn score(&self) -> f32 {
+        self.score
+    }
+
+    /// The full solution — `None` when degraded (the exact table was
+    /// never built; that is the point).
+    pub fn solution(&self) -> Option<&Solution<'p>> {
+        self.solution.as_ref()
+    }
+
+    /// The window width of a degraded solve.
+    pub fn window(&self) -> Option<usize> {
+        self.window
     }
 }
 
@@ -466,6 +663,16 @@ fn prev_block(f: &FTable, i1: usize, j1: usize) -> Option<&[f32]> {
 pub struct Solution<'p> {
     problem: &'p BpMaxProblem,
     f: FTable,
+}
+
+impl std::fmt::Debug for Solution<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Solution")
+            .field("m", &self.f.m())
+            .field("n", &self.f.n())
+            .field("score", &self.score())
+            .finish()
+    }
 }
 
 impl<'p> Solution<'p> {
@@ -518,6 +725,7 @@ mod tests {
     use crate::spec::spec_score;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::time::Duration;
 
     fn problem(a: &str, b: &str) -> BpMaxProblem {
         BpMaxProblem::new(
@@ -664,8 +872,7 @@ mod tests {
                 k2: 4,
                 j2: 4,
             }))
-            .err()
-            .expect("bad tile must fail");
+            .expect_err("bad tile must fail");
         assert!(
             matches!(err, crate::error::BpMaxError::BadTile { .. }),
             "{err}"
@@ -707,10 +914,9 @@ mod tests {
         let p = problem("GGAUCGACGG", "CCGAUGC");
         for &alg in Algorithm::ALL {
             let reference = p.compute(alg);
-            let f = p.compute_serial_into(
-                alg,
-                FTable::new(reference.m(), reference.n(), reference.layout()),
-            );
+            let mut f = FTable::new(reference.m(), reference.n(), reference.layout());
+            p.compute_serial_watched(alg, &mut f, &Watch::none())
+                .unwrap();
             for (i1, j1, i2, j2) in reference.iter_cells().collect::<Vec<_>>() {
                 assert_eq!(
                     f.get(i1, j1, i2, j2),
@@ -719,6 +925,127 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_solve_before_work() {
+        let p = problem("GGAUCGAC", "CCGAUG");
+        let token = crate::supervise::CancelToken::new();
+        token.cancel();
+        let err = p
+            .solve_opts(&SolveOptions::new().cancel(token))
+            .unwrap_err();
+        assert_eq!(err, BpMaxError::Cancelled);
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_solve() {
+        let p = problem("GGAUCGAC", "CCGAUG");
+        let opts = SolveOptions::new().deadline(crate::supervise::Deadline::within(Duration::ZERO));
+        let err = p.solve_opts(&opts).unwrap_err();
+        assert!(matches!(err, BpMaxError::DeadlineExceeded { .. }), "{err}");
+        // … and on the degraded path too
+        let err = p
+            .solve_supervised(
+                &opts
+                    .clone()
+                    .mem_budget(crate::supervise::MemoryBudget::bytes(64))
+                    .degrade(true),
+            )
+            .unwrap_err();
+        assert!(matches!(err, BpMaxError::DeadlineExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn generous_supervision_changes_nothing() {
+        let p = problem("GGAUCGAC", "CCGAUG");
+        let want = p.solve_opts(&SolveOptions::new()).unwrap().score();
+        let token = crate::supervise::CancelToken::new();
+        let supervised = p
+            .solve_opts(
+                &SolveOptions::new()
+                    .cancel(token)
+                    .deadline(crate::supervise::Deadline::within(Duration::from_secs(
+                        3600,
+                    )))
+                    .mem_budget(crate::supervise::MemoryBudget::bytes(u64::MAX)),
+            )
+            .unwrap();
+        assert_eq!(supervised.score(), want);
+    }
+
+    #[test]
+    fn strict_budget_rejects_oversized_problems() {
+        let p = problem("GGAUCGAC", "CCGAUG");
+        let err = p
+            .solve_opts(&SolveOptions::new().mem_budget(crate::supervise::MemoryBudget::bytes(8)))
+            .unwrap_err();
+        match err {
+            BpMaxError::BudgetExceeded {
+                needed_bytes,
+                budget_bytes,
+            } => {
+                assert_eq!(budget_bytes, 8);
+                assert_eq!(
+                    needed_bytes,
+                    FTable::estimate_bytes(8, 6, Layout::Packed).unwrap()
+                );
+            }
+            other => panic!("expected BudgetExceeded, got {other}"),
+        }
+        // solve_supervised without degrade: same rejection
+        let err = p
+            .solve_supervised(
+                &SolveOptions::new().mem_budget(crate::supervise::MemoryBudget::bytes(8)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, BpMaxError::BudgetExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn degraded_solve_reports_a_lower_bound() {
+        let p = problem("GGGAAACC", "GGUUUCCCGG");
+        let exact = p.solve_opts(&SolveOptions::new()).unwrap().score();
+        let full_bytes = FTable::estimate_bytes(8, 10, Layout::Packed).unwrap();
+        let got = p
+            .solve_supervised(
+                &SolveOptions::new()
+                    .mem_budget(crate::supervise::MemoryBudget::bytes(full_bytes / 2))
+                    .degrade(true),
+            )
+            .unwrap();
+        assert_eq!(got.outcome(), crate::supervise::Outcome::Degraded);
+        let w = got.window().expect("degraded solves report their window");
+        assert!((1..10).contains(&w), "w={w}");
+        assert!(got.score() <= exact, "{} vs {exact}", got.score());
+        assert!(got.score() > f32::NEG_INFINITY);
+        assert!(got.solution().is_none());
+
+        // within budget: exact, Outcome::Ok, full solution attached
+        let got = p
+            .solve_supervised(
+                &SolveOptions::new()
+                    .mem_budget(crate::supervise::MemoryBudget::bytes(full_bytes))
+                    .degrade(true),
+            )
+            .unwrap();
+        assert_eq!(got.outcome(), crate::supervise::Outcome::Ok);
+        assert_eq!(got.score(), exact);
+        assert!(got.solution().is_some());
+        assert_eq!(got.window(), None);
+    }
+
+    #[test]
+    fn hopeless_budget_fails_even_with_degradation() {
+        let p = problem("GGAUCGAC", "CCGAUG");
+        let err = p
+            .solve_supervised(
+                &SolveOptions::new()
+                    .mem_budget(crate::supervise::MemoryBudget::bytes(0))
+                    .degrade(true),
+            )
+            .unwrap_err();
+        assert!(matches!(err, BpMaxError::BudgetExceeded { .. }), "{err}");
     }
 
     #[test]

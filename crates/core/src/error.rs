@@ -61,6 +61,27 @@ pub enum BpMaxError {
         /// Human-readable description of the bad argument.
         detail: String,
     },
+    /// The solve was stopped by a [`crate::supervise::CancelToken`].
+    Cancelled,
+    /// The solve was stopped by a [`crate::supervise::Deadline`].
+    DeadlineExceeded {
+        /// Wall-clock seconds elapsed when the deadline fired.
+        elapsed_s: f64,
+    },
+    /// The problem's F-table does not fit the configured
+    /// [`crate::supervise::MemoryBudget`] (and degradation was off).
+    BudgetExceeded {
+        /// Bytes the exact F-table would need.
+        needed_bytes: u64,
+        /// The configured budget in bytes.
+        budget_bytes: u64,
+    },
+    /// A solve panicked; the batch engine isolated it (`catch_unwind`)
+    /// and quarantined its buffers.
+    Panicked {
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for BpMaxError {
@@ -94,6 +115,19 @@ impl std::fmt::Display for BpMaxError {
             }
             BpMaxError::Fasta { path, detail } => write!(f, "reading {path}: {detail}"),
             BpMaxError::InvalidArgument { detail } => write!(f, "{detail}"),
+            BpMaxError::Cancelled => write!(f, "solve cancelled"),
+            BpMaxError::DeadlineExceeded { elapsed_s } => {
+                write!(f, "deadline exceeded after {elapsed_s:.3} s")
+            }
+            BpMaxError::BudgetExceeded {
+                needed_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "F-table needs {needed_bytes} bytes but the memory budget is \
+                 {budget_bytes} bytes"
+            ),
+            BpMaxError::Panicked { detail } => write!(f, "solve panicked: {detail}"),
         }
     }
 }
@@ -151,11 +185,51 @@ mod tests {
                 },
                 "bad --window",
             ),
+            (BpMaxError::Cancelled, "solve cancelled"),
+            (
+                BpMaxError::DeadlineExceeded { elapsed_s: 1.25 },
+                "deadline exceeded after 1.250 s",
+            ),
+            (
+                BpMaxError::BudgetExceeded {
+                    needed_bytes: 4096,
+                    budget_bytes: 1024,
+                },
+                "needs 4096 bytes but the memory budget is 1024",
+            ),
+            (
+                BpMaxError::Panicked {
+                    detail: "index out of bounds".to_string(),
+                },
+                "solve panicked: index out of bounds",
+            ),
         ];
         for (err, marker) in cases {
             let text = err.to_string();
             assert!(text.contains(marker), "{err:?} -> {text}");
         }
+    }
+
+    #[test]
+    fn supervision_variants_round_trip_through_clone_and_eq() {
+        let cases = vec![
+            BpMaxError::Cancelled,
+            BpMaxError::DeadlineExceeded { elapsed_s: 0.5 },
+            BpMaxError::BudgetExceeded {
+                needed_bytes: 10,
+                budget_bytes: 5,
+            },
+            BpMaxError::Panicked {
+                detail: "boom".to_string(),
+            },
+        ];
+        for err in &cases {
+            assert_eq!(err, &err.clone());
+        }
+        assert_ne!(
+            BpMaxError::Cancelled,
+            BpMaxError::DeadlineExceeded { elapsed_s: 0.5 }
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub use tropical::triangular::Layout;
 
 use crate::error::BpMaxError;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Empty-cell initialiser: max-plus additive identity.
 const NEG_INF: f32 = f32::NEG_INFINITY;
@@ -50,6 +50,9 @@ pub struct PoolStats {
     pub reused: u64,
     /// Blocks returned to the pool.
     pub recycled: u64,
+    /// Buffers rejected at recycle time (wrong length after a failed or
+    /// panicked solve) and dropped instead of re-entering the arena.
+    pub quarantined: u64,
 }
 
 impl PoolStats {
@@ -76,6 +79,7 @@ pub struct BlockPool {
     allocated: AtomicU64,
     reused: AtomicU64,
     recycled: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl BlockPool {
@@ -90,7 +94,7 @@ impl BlockPool {
     /// allocated.
     pub fn acquire(&self, len: usize) -> Vec<f32> {
         let mut buf = {
-            let mut spares = self.spares.lock().expect("block pool poisoned");
+            let mut spares = self.lock_spares();
             let pos = spares.partition_point(|s| s.capacity() < len);
             if pos < spares.len() {
                 spares.remove(pos)
@@ -111,9 +115,20 @@ impl BlockPool {
     /// Return a buffer to the pool for later reuse.
     pub fn release(&self, buf: Vec<f32>) {
         self.recycled.fetch_add(1, Ordering::Relaxed);
-        let mut spares = self.spares.lock().expect("block pool poisoned");
+        let mut spares = self.lock_spares();
         let pos = spares.partition_point(|s| s.capacity() < buf.capacity());
         spares.insert(pos, buf);
+    }
+
+    /// Reject a buffer from a failed or aborted solve: count it and drop
+    /// it on the floor. A quarantined buffer never re-enters the spare
+    /// list, so a solve that died mid-flight (panic unwound with blocks
+    /// taken out of the table) can never hand a short buffer to the next
+    /// problem. Safe over-approximation: quarantining costs one fresh
+    /// allocation later, recycling a bad buffer costs correctness.
+    pub fn quarantine(&self, buf: Vec<f32>) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        drop(buf);
     }
 
     /// Snapshot of the counters.
@@ -122,12 +137,22 @@ impl BlockPool {
             allocated: self.allocated.load(Ordering::Relaxed),
             reused: self.reused.load(Ordering::Relaxed),
             recycled: self.recycled.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 
     /// Number of spare buffers currently pooled.
     pub fn spare_count(&self) -> usize {
-        self.spares.lock().expect("block pool poisoned").len()
+        self.lock_spares().len()
+    }
+
+    /// The spare list, poison-tolerant: spares are bare `Vec<f32>`s that
+    /// [`BlockPool::acquire`] fully resets, so a panic while the lock was
+    /// held cannot leave an observable inconsistency worth propagating —
+    /// and the batch engine must keep pooling after isolating a panicked
+    /// problem.
+    fn lock_spares(&self) -> std::sync::MutexGuard<'_, Vec<Vec<f32>>> {
+        self.spares.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -184,10 +209,30 @@ impl FTable {
     }
 
     /// Return every block buffer to `pool` and drop the table shell.
+    ///
+    /// Buffers are validated first: a block whose length is not the
+    /// table's `block_len` (an empty `Vec` left behind when a panic
+    /// unwound past a [`FTable::take_block`], or anything else mangled by
+    /// an aborted solve) is [quarantined](BlockPool::quarantine) instead
+    /// of re-entering the arena.
     pub fn recycle(self, pool: &BlockPool) {
         for block in self.blocks {
-            pool.release(block);
+            if block.len() == self.block_len {
+                pool.release(block);
+            } else {
+                pool.quarantine(block);
+            }
         }
+    }
+
+    /// Bytes of cell storage a table of shape `m × n` would allocate,
+    /// without allocating it — the [`crate::supervise::MemoryBudget`]
+    /// admission check. Errs with [`BpMaxError::SizeOverflow`] on shapes
+    /// [`FTable::try_new`] would refuse anyway.
+    pub fn estimate_bytes(m: usize, n: usize, layout: Layout) -> Result<u64, BpMaxError> {
+        let (outer, block_len) = Self::checked_shape(m, n, layout)?;
+        // fits: checked_shape bounds the product by isize::MAX
+        Ok((outer * block_len * std::mem::size_of::<f32>()) as u64)
     }
 
     /// Validate `(m, n)` and compute `(outer cells, block length)` without
@@ -520,6 +565,46 @@ mod tests {
         // 50 is the smallest capacity >= 30
         assert!(b.capacity() >= 50 && b.capacity() < 100, "{}", b.capacity());
         assert_eq!(pool.spare_count(), 2);
+    }
+
+    #[test]
+    fn recycle_quarantines_taken_blocks() {
+        let pool = BlockPool::new();
+        let mut t = FTable::try_new_in(3, 3, Layout::Packed, &pool).unwrap();
+        // simulate a solve that died with two blocks taken out: the empty
+        // placeholder Vecs must not re-enter the arena
+        let _abandoned = t.take_block(0, 1);
+        let _abandoned = t.take_block(1, 2);
+        t.recycle(&pool);
+        let s = pool.stats();
+        assert_eq!(s.quarantined, 2);
+        assert_eq!(s.recycled, 4); // the other four blocks are fine
+        assert_eq!(pool.spare_count(), 4);
+    }
+
+    #[test]
+    fn quarantined_buffers_never_come_back() {
+        let pool = BlockPool::new();
+        pool.quarantine(vec![0.0; 7]);
+        assert_eq!(pool.spare_count(), 0);
+        assert_eq!(pool.stats().quarantined, 1);
+        // the next acquire is a fresh allocation, not the dropped buffer
+        let b = pool.acquire(7);
+        assert_eq!(pool.stats().allocated, 1);
+        assert!(b.iter().all(|&v| v == f32::NEG_INFINITY));
+    }
+
+    #[test]
+    fn estimate_bytes_matches_real_allocation() {
+        for layout in [Layout::Packed, Layout::Identity, Layout::Shifted] {
+            let t = FTable::new(5, 7, layout);
+            assert_eq!(
+                FTable::estimate_bytes(5, 7, layout).unwrap(),
+                t.storage_bytes() as u64,
+                "{layout:?}"
+            );
+        }
+        assert!(FTable::estimate_bytes(1 << 31, 4, Layout::Packed).is_err());
     }
 
     #[test]

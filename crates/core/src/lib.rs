@@ -48,6 +48,7 @@
 //! | [`windowed`] | banded/windowed BPMax (the Glidemaster-style restriction) |
 //! | [`screening`] | batch all-vs-all scoring and shuffle-null scan significance |
 //! | [`batch`] | the pooled batch engine: arena-recycled tables + adaptive scheduling |
+//! | [`supervise`] | cancellation, deadlines, memory budgets, outcomes, fault injection |
 //! | [`error`] | [`BpMaxError`], the error type of every fallible entry point |
 
 pub mod baseline;
@@ -61,10 +62,12 @@ pub mod perfmodel;
 pub mod schedules;
 pub mod screening;
 pub mod spec;
+pub mod supervise;
 pub mod traceback;
 pub mod windowed;
 
 pub use batch::{BatchEngine, BatchItem, BatchOptions, BatchReport, Policy};
-pub use engine::{Algorithm, BpMaxProblem, Solution, SolveOptions};
+pub use engine::{Algorithm, BpMaxProblem, Solution, SolveOptions, SupervisedSolve};
 pub use error::BpMaxError;
 pub use ftable::{BlockPool, FTable, PoolStats};
+pub use supervise::{CancelToken, Deadline, MemoryBudget, Outcome, OutcomeCounts, Supervision};

@@ -196,6 +196,49 @@ pub enum NestMode {
 
 /// The full optimized `BPMax` nest (Phases A + B per diagonal).
 pub fn optimized_nest(mode: NestMode) -> LoopNest {
+    let (name, body) = optimized_parts(mode);
+    LoopNest::new(
+        name,
+        &["M", "N"],
+        vec![Node::loop_(
+            "d1",
+            Bound::expr(c(0)),
+            Bound::expr(v("M")),
+            body,
+        )],
+    )
+}
+
+/// [`optimized_nest`] with the engine's supervision checkpoint made
+/// explicit: one `S_check` statement at the top of every outer diagonal —
+/// exactly where [`crate::engine`]'s wavefront polls its watch for
+/// cancellation and deadline expiry. Counting statement instances then
+/// bounds the checkpoint overhead *structurally*: `M` checks against
+/// `Θ(M³N³)` reduction work, a ratio that vanishes as sizes grow (the
+/// tests pin it below 2% already at toy sizes).
+pub fn supervised_nest(mode: NestMode) -> LoopNest {
+    let (name, mut body) = optimized_parts(mode);
+    body.insert(
+        0,
+        Node::Comment("supervision checkpoint: cancel/deadline poll".into()),
+    );
+    body.insert(1, Node::stmt("S_check", vec![v("d1")]));
+    let name = format!("{name} (supervised)");
+    LoopNest::new(
+        &name,
+        &["M", "N"],
+        vec![Node::loop_(
+            "d1",
+            Bound::expr(c(0)),
+            Bound::expr(v("M")),
+            body,
+        )],
+    )
+}
+
+/// Shared body of [`optimized_nest`] / [`supervised_nest`]: everything
+/// inside the outer `d1` loop, plus the version name.
+fn optimized_parts(mode: NestMode) -> (&'static str, Vec<Node>) {
     let j1 = || v("i1") + v("d1");
     // Phase A body for one triangle: k1 loop, rows i2, streaming k2/j2.
     let phase_a_rows = |parallel: bool| {
@@ -303,16 +346,7 @@ pub fn optimized_nest(mode: NestMode) -> LoopNest {
             ],
         ),
     };
-    LoopNest::new(
-        name,
-        &["M", "N"],
-        vec![Node::loop_(
-            "d1",
-            Bound::expr(c(0)),
-            Bound::expr(v("M")),
-            body,
-        )],
-    )
+    (name, body)
 }
 
 /// The hybrid nest with the `(i2 × k2)`-tiled `R0` (`j2` untiled) — tile
@@ -522,6 +556,45 @@ mod tests {
         // the dmp kernels are smaller than the full programs
         let dmp = t[1].loc;
         assert!(dmp < tiled);
+    }
+
+    #[test]
+    fn supervised_nest_adds_one_cheap_checkpoint_per_diagonal() {
+        let (m, n) = (6i64, 8i64);
+        let params: Env = [("M".to_string(), m), ("N".to_string(), n)]
+            .into_iter()
+            .collect();
+        for mode in [NestMode::Coarse, NestMode::Fine, NestMode::Hybrid] {
+            // same compute work as the unsupervised nest...
+            assert_eq!(
+                count_r0(&supervised_nest(mode), m, n),
+                expected_r0(m as usize, n as usize),
+                "{mode:?}"
+            );
+            // ...plus exactly one poll per outer diagonal
+            let (mut checks, mut total) = (0u64, 0u64);
+            supervised_nest(mode).execute(&params, &mut |name, _| {
+                total += 1;
+                if name == "S_check" {
+                    checks += 1;
+                }
+            });
+            assert_eq!(checks, m as u64, "one checkpoint per diagonal ({mode:?})");
+            let ratio = checks as f64 / total as f64;
+            assert!(
+                ratio < 0.02,
+                "checkpoint instances are {:.3}% of the nest — the per-diagonal \
+                 granularity must keep supervision under 2% ({mode:?})",
+                100.0 * ratio
+            );
+        }
+    }
+
+    #[test]
+    fn supervised_nest_renders_the_checkpoint() {
+        let text = render(&supervised_nest(NestMode::Hybrid));
+        assert!(text.contains("S_check("), "{text}");
+        assert!(text.contains("supervision checkpoint"), "{text}");
     }
 
     #[test]

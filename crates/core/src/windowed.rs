@@ -16,6 +16,7 @@
 //! `Θ(M²N²)`.
 
 use crate::kernels::Ctx;
+use crate::supervise::{Interrupt, Watch};
 use rna::ScoringModel;
 
 /// A banded F-table: cells `F[i1, j1, i2, j2]` with `j2 − i2 < w`.
@@ -94,6 +95,19 @@ impl WindowedTable {
 /// Traversal is the baseline diagonal order restricted to the band; the
 /// point of this variant is the `Θ(M²·N·w)` footprint, not peak FLOPS.
 pub fn solve_windowed(ctx: &Ctx, w: usize) -> WindowedTable {
+    solve_windowed_watched(ctx, w, &Watch::none())
+        .expect("unsupervised solve cannot be interrupted")
+}
+
+/// [`solve_windowed`] under supervision: one checkpoint per `(d1, d2)`
+/// diagonal pair. This is the degraded path of a memory-budgeted solve, so
+/// it honours the same cancellation token and deadline as the exact path
+/// it stands in for.
+pub(crate) fn solve_windowed_watched(
+    ctx: &Ctx,
+    w: usize,
+    watch: &Watch,
+) -> Result<WindowedTable, Interrupt> {
     assert!(w >= 1, "window width must be at least 1");
     let m = ctx.m();
     let n = ctx.n();
@@ -115,6 +129,7 @@ pub fn solve_windowed(ctx: &Ctx, w: usize) -> WindowedTable {
     };
     for d1 in 0..m {
         for d2 in 0..w.min(n) {
+            watch.check()?;
             for i1 in 0..m - d1 {
                 let j1 = i1 + d1;
                 for i2 in 0..n - d2 {
@@ -125,7 +140,48 @@ pub fn solve_windowed(ctx: &Ctx, w: usize) -> WindowedTable {
             }
         }
     }
-    t
+    Ok(t)
+}
+
+/// Bytes of cell storage a banded table of shape `m × n` at width `w`
+/// would allocate, without allocating it (`u128`: immune to overflow even
+/// at absurd shapes).
+pub fn windowed_bytes(m: usize, n: usize, w: usize) -> u128 {
+    if n == 0 {
+        return 0;
+    }
+    let w = w.min(n) as u128;
+    let n = n as u128;
+    let full_rows = n.saturating_sub(w - 1);
+    let tail = n - full_rows; // rows shorter than w at the strand end
+    let band_len = full_rows * w + tail * (tail + 1) / 2;
+    let outer = m as u128 * (m as u128 + 1) / 2;
+    outer * band_len * std::mem::size_of::<f32>() as u128
+}
+
+/// The widest window `w ∈ [1, n]` whose banded table fits in
+/// `budget_bytes` — `None` when not even `w = 1` fits. Binary search over
+/// the monotone [`windowed_bytes`]; this is how a memory-budgeted solve
+/// picks its degraded shape.
+pub fn max_window_within(m: usize, n: usize, budget_bytes: u64) -> Option<usize> {
+    if m == 0 || n == 0 {
+        // degenerate problems store nothing; any window "fits"
+        return Some(n.max(1));
+    }
+    let fits = |w: usize| windowed_bytes(m, n, w) <= u128::from(budget_bytes);
+    if !fits(1) {
+        return None;
+    }
+    let (mut lo, mut hi) = (1usize, n);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
 }
 
 /// One banded cell — identical math to `baseline::cell`, reading only
@@ -276,5 +332,37 @@ mod tests {
         let c = ctx("", "");
         let t = solve_windowed(&c, 4);
         assert!(t.window_scores().is_empty());
+    }
+
+    #[test]
+    fn windowed_bytes_matches_real_allocation() {
+        let c = ctx("GGGAAACC", "GGGAAACCCGGGAAACCC");
+        for w in [1usize, 4, 17, 18, 30] {
+            let t = solve_windowed(&c, w);
+            assert_eq!(windowed_bytes(8, 18, w), t.storage_bytes() as u128, "w={w}");
+        }
+        assert_eq!(windowed_bytes(8, 0, 4), 0);
+    }
+
+    #[test]
+    fn max_window_within_is_tight() {
+        let (m, n) = (8usize, 18usize);
+        for budget in [0u64, 100, 1000, 10_000, u64::MAX] {
+            match max_window_within(m, n, budget) {
+                Some(w) => {
+                    assert!(windowed_bytes(m, n, w) <= u128::from(budget), "w={w}");
+                    if w < n {
+                        assert!(
+                            windowed_bytes(m, n, w + 1) > u128::from(budget),
+                            "w={w} not maximal for {budget}"
+                        );
+                    }
+                }
+                None => assert!(windowed_bytes(m, n, 1) > u128::from(budget)),
+            }
+        }
+        assert_eq!(max_window_within(m, n, u64::MAX), Some(n));
+        assert_eq!(max_window_within(m, n, 0), None);
+        assert_eq!(max_window_within(0, 5, 0), Some(5));
     }
 }

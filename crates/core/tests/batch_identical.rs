@@ -50,6 +50,10 @@ proptest! {
         ).unwrap();
         let report = engine.solve_all(&problems).unwrap();
         prop_assert_eq!(report.len(), problems.len());
+        // an unsupervised clean wave ends every problem Ok and never
+        // quarantines a buffer
+        prop_assert!(report.outcomes().all_ok(), "{}", report.outcomes());
+        prop_assert_eq!(report.pool.quarantined, 0);
         for (item, p) in report.items.iter().zip(&problems) {
             let reference = p.compute(alg);
             prop_assert_eq!(item.score, p.solve(alg).score());
@@ -79,5 +83,6 @@ proptest! {
         prop_assert_eq!(&got2, &want);
         // recycled buffers never leak values between problems
         prop_assert_eq!(second.pool.allocated_since(&first.pool), 0);
+        prop_assert_eq!(second.pool.quarantined, 0);
     }
 }

@@ -1,0 +1,246 @@
+//! The deterministic fault-injection suite (`--features fault-inject`).
+//!
+//! Proves the batch engine's bounded-failure contract: every injected
+//! panic / allocation failure / slow problem maps to exactly the right
+//! per-problem [`Outcome`], the co-scheduled non-faulted problems stay
+//! bit-identical to unsupervised solves, quarantined buffers never
+//! re-enter the arena, and the zero-steady-state-allocation invariant
+//! survives faulted waves.
+//!
+//! The fault registry is process-global, so every test serializes on one
+//! mutex and disarms through an RAII guard — a panicking assertion can
+//! never leak an armed plan into the next test.
+#![cfg(feature = "fault-inject")]
+
+use bpmax::supervise::fault::{self, Fault, FaultPlan};
+use bpmax::{
+    Algorithm, BatchEngine, BatchOptions, BpMaxError, BpMaxProblem, Outcome, SolveOptions,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rna::{RnaSeq, ScoringModel};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// Serializes tests (the registry is global) and disarms on drop.
+struct Armed {
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl Armed {
+    fn new(plan: FaultPlan) -> Armed {
+        static GATE: Mutex<()> = Mutex::new(());
+        let lock = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        fault::arm(plan);
+        Armed { _lock: lock }
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        fault::disarm();
+    }
+}
+
+fn mixed_problems(count: usize, seed: u64) -> Vec<BpMaxProblem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = ScoringModel::bpmax_default();
+    (0..count)
+        .map(|i| {
+            let s1 = RnaSeq::random(&mut rng, 3 + i % 5);
+            let s2 = RnaSeq::random(&mut rng, 2 + (i * 3) % 7);
+            BpMaxProblem::new(s1, s2, model.clone())
+        })
+        .collect()
+}
+
+/// Reference scores from plain unsupervised solves.
+fn exact_scores(problems: &[BpMaxProblem]) -> Vec<f32> {
+    problems
+        .iter()
+        .map(|p| p.solve_opts(&SolveOptions::new()).unwrap().score())
+        .collect()
+}
+
+fn engine(threads: usize) -> BatchEngine {
+    BatchEngine::new(BatchOptions::new().threads(threads)).unwrap()
+}
+
+#[test]
+fn injected_panic_maps_to_failed_and_survivors_are_bit_identical() {
+    let problems = mixed_problems(8, 101);
+    let want = exact_scores(&problems);
+    let _armed = Armed::new(
+        FaultPlan::new()
+            .fail(fault::SITE_COMPUTE, 2, Fault::Panic)
+            .fail(fault::SITE_COMPUTE, 5, Fault::Panic),
+    );
+    let engine = engine(2);
+    let report = engine
+        .solve_all(&problems)
+        .expect("a panicked problem must not abort the wave");
+    let counts = report.outcomes();
+    assert_eq!((counts.failed, counts.ok), (2, 6), "{counts}");
+    for (i, item) in report.items.iter().enumerate() {
+        if i == 2 || i == 5 {
+            assert_eq!(item.outcome, Outcome::Failed, "problem {i}");
+            assert!(
+                matches!(&item.error, Some(BpMaxError::Panicked { detail })
+                    if detail.contains("injected fault")),
+                "problem {i}: {:?}",
+                item.error
+            );
+            assert_eq!(item.score, f32::NEG_INFINITY);
+        } else {
+            assert_eq!(item.outcome, Outcome::Ok, "problem {i}");
+            assert_eq!(item.score, want[i], "survivor {i} must be bit-identical");
+        }
+    }
+    // each injected panic dropped exactly one taken block -> quarantined
+    assert_eq!(report.pool.quarantined, 2, "{:?}", report.pool);
+}
+
+#[test]
+fn injected_alloc_failure_maps_to_failed() {
+    let problems = mixed_problems(5, 102);
+    let want = exact_scores(&problems);
+    let _armed = Armed::new(FaultPlan::new().fail(fault::SITE_ALLOC, 1, Fault::AllocFail));
+    let report = engine(2).solve_all(&problems).unwrap();
+    assert_eq!(report.outcomes().failed, 1);
+    assert_eq!(report.items[1].outcome, Outcome::Failed);
+    assert!(
+        matches!(report.items[1].error, Some(BpMaxError::SizeOverflow { .. })),
+        "{:?}",
+        report.items[1].error
+    );
+    for (i, item) in report.items.iter().enumerate() {
+        if i != 1 {
+            assert_eq!((item.outcome, item.score), (Outcome::Ok, want[i]));
+        }
+    }
+    assert_eq!(report.pool.quarantined, 0, "no buffers were ever acquired");
+}
+
+#[test]
+fn injected_slowness_trips_the_deadline_mid_solve() {
+    let problems = mixed_problems(4, 103);
+    let want = exact_scores(&problems);
+    // problem 3 sleeps 200 ms per checkpoint against a 150 ms wave
+    // deadline: its entry check passes (problems 0..3 are microseconds of
+    // work), then the first amortized clock read inside the wavefront —
+    // after one sleep — finds the deadline blown.
+    let _armed =
+        Armed::new(FaultPlan::new().fail(fault::SITE_SLOW, 3, Fault::Slow { millis: 200 }));
+    let report = BatchEngine::new(
+        BatchOptions::new()
+            .threads(1)
+            .deadline(Duration::from_millis(150)),
+    )
+    .unwrap()
+    .solve_all(&problems)
+    .unwrap();
+    assert_eq!(report.items[3].outcome, Outcome::TimedOut, "slow problem");
+    assert!(
+        matches!(
+            report.items[3].error,
+            Some(BpMaxError::DeadlineExceeded { elapsed_s }) if elapsed_s > 0.0
+        ),
+        "{:?}",
+        report.items[3].error
+    );
+    for (i, item) in report.items.iter().enumerate().take(3) {
+        assert_eq!(
+            (item.outcome, item.score),
+            (Outcome::Ok, want[i]),
+            "fast problem {i}"
+        );
+    }
+    // the interrupted table was recycled cleanly: nothing quarantined
+    assert_eq!(report.pool.quarantined, 0, "{:?}", report.pool);
+}
+
+#[test]
+fn zero_steady_state_allocation_holds_across_faulted_waves() {
+    let problems = mixed_problems(10, 104);
+    let engine = engine(1);
+    // wave 1 (clean): warms the arena
+    let warm = engine.solve_all(&problems).unwrap();
+    assert!(warm.outcomes().all_ok());
+
+    // wave 2 (faulted): one panic quarantines exactly one buffer
+    let faulted = {
+        let _armed = Armed::new(FaultPlan::new().fail(fault::SITE_COMPUTE, 4, Fault::Panic));
+        engine.solve_all(&problems).unwrap()
+    };
+    assert_eq!(faulted.outcomes().failed, 1);
+    let quarantined_by_wave2 = faulted.pool.quarantined - warm.pool.quarantined;
+    assert_eq!(quarantined_by_wave2, 1);
+    // replacing the quarantined buffer is the only allocation allowed
+    assert!(
+        faulted.pool.allocated_since(&warm.pool) <= quarantined_by_wave2,
+        "{:?} -> {:?}",
+        warm.pool,
+        faulted.pool
+    );
+
+    // wave 3 (clean): the arena re-warms, steady state is allocation-free
+    // again and scores are still bit-identical
+    let recovered = engine.solve_all(&problems).unwrap();
+    assert!(recovered.outcomes().all_ok());
+    let wave4 = engine.solve_all(&problems).unwrap();
+    assert_eq!(
+        wave4.pool.allocated_since(&recovered.pool),
+        0,
+        "steady state must recover after a faulted wave: {:?} -> {:?}",
+        recovered.pool,
+        wave4.pool
+    );
+    let want = exact_scores(&problems);
+    for (item, want) in wave4.items.iter().zip(&want) {
+        assert_eq!(item.score, *want);
+    }
+}
+
+#[test]
+fn seeded_plans_fault_deterministically() {
+    let problems = mixed_problems(12, 105);
+    let plan = FaultPlan::seeded(7, problems.len(), 0.3);
+    assert!(!plan.is_empty(), "density 0.3 over 12 problems injects");
+    assert_eq!(plan, FaultPlan::seeded(7, problems.len(), 0.3));
+
+    let run = |plan: FaultPlan| {
+        let _armed = Armed::new(plan);
+        let report = engine(2).solve_all(&problems).unwrap();
+        report
+            .items
+            .iter()
+            .map(|i| (i.outcome, i.score.to_bits()))
+            .collect::<Vec<_>>()
+    };
+    let first = run(plan.clone());
+    let second = run(plan);
+    assert_eq!(first, second, "same plan, same outcomes, same bits");
+    // the plan really did break something
+    assert!(
+        first.iter().any(|&(o, _)| o != Outcome::Ok),
+        "seeded plan must inject at least one fault into this batch"
+    );
+}
+
+#[test]
+fn disarmed_registry_is_clean() {
+    // Armed's Drop must leave nothing behind for later tests/waves.
+    {
+        let _armed = Armed::new(FaultPlan::new().fail(fault::SITE_COMPUTE, 0, Fault::Panic));
+    }
+    let problems = mixed_problems(3, 106);
+    let report = engine(1).solve_all(&problems).unwrap();
+    assert!(report.outcomes().all_ok(), "{}", report.outcomes());
+    let want: Vec<f32> = problems
+        .iter()
+        .map(|p| p.solve(Algorithm::Permuted).score())
+        .collect();
+    for (item, want) in report.items.iter().zip(&want) {
+        assert_eq!(item.score, *want);
+    }
+}
