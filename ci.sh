@@ -43,6 +43,13 @@ echo "== fault-injection suite (--features fault-inject) =="
 # right batch outcome and that survivors stay bit-identical.
 cargo test -p bpmax --features fault-inject --offline -q
 
+echo "== crash-recovery suite (cli, --features fault-inject) =="
+# SIGKILLs a checkpointed scan mid-wave and resumes it: the ranked output
+# must be bit-identical to an uninterrupted run with zero recomputation
+# of journaled windows, and corrupted/truncated checkpoints must be
+# refused with exit 2 — see crates/cli/tests/crash_recovery.rs.
+cargo test -p bpmax-cli --features fault-inject --offline -q
+
 echo "== cargo doc (deny rustdoc warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
 

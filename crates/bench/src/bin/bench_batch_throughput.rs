@@ -11,6 +11,11 @@
 //! hardware-independent. The wall-clock speedup is reported but not
 //! asserted: on a single-core host (or under the sequential rayon shim)
 //! one-problem-per-thread scheduling has no cores to win on.
+//!
+//! Also measured: the same wave with durable checkpoint journaling
+//! (`solve_all_checkpointed` — the fsync-per-problem overhead) and a
+//! full `resume` from the finished journal (pure replay, zero
+//! recomputation — the resume-overhead floor).
 
 use bench::report::Reporter;
 use bench::{banner, f2, gflops, model, time_stats, workload, Opts, Table};
@@ -146,11 +151,68 @@ fn main() {
         ("outcomes_timed_out", counts.timed_out as f64),
     ]);
 
+    // Checkpointed wave: durable journaling on the warm path, then a
+    // pure journal replay — the resume-overhead number. Scores stay
+    // bit-identical and a full replay recomputes nothing.
+    let ckpt_dir = std::env::temp_dir().join(format!("bpmax-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let ckpt_stats = time_stats(reps, || {
+        engine
+            .solve_all_checkpointed(&problems, &ckpt_dir)
+            .expect("checkpointed wave")
+            .len()
+    });
+    let ckpt_wave = engine
+        .solve_all_checkpointed(&problems, &ckpt_dir)
+        .expect("checkpointed wave");
+    let ckpt_scores: Vec<f32> = ckpt_wave.items.iter().map(|i| i.score).collect();
+    assert_eq!(
+        ckpt_scores, naive_scores,
+        "checkpointed batch must match naive solves"
+    );
+    let resume_stats = time_stats(reps, || {
+        engine.resume(&problems, &ckpt_dir).expect("resume").len()
+    });
+    let resumed = engine.resume(&problems, &ckpt_dir).expect("resume");
+    assert_eq!(
+        resumed.replayed, count,
+        "a completed journal must replay every problem"
+    );
+    let resumed_scores: Vec<f32> = resumed.items.iter().map(|i| i.score).collect();
+    assert_eq!(
+        resumed_scores, naive_scores,
+        "replayed scores must match naive solves"
+    );
+    rep.measured(
+        format!("measured/batch-checkpointed/t={threads}"),
+        ckpt_stats,
+        Some(total_flops),
+    );
+    rep.annotate(&[
+        ("problems", count as f64),
+        (
+            "journal_overhead_vs_warm",
+            (ckpt_stats.median_s - warm_stats.median_s) / warm_stats.median_s,
+        ),
+    ]);
+    rep.measured(
+        format!("measured/batch-resume-replay/t={threads}"),
+        resume_stats,
+        None,
+    );
+    rep.annotate(&[
+        ("problems", count as f64),
+        ("replayed", resumed.replayed as f64),
+    ]);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
     let mut t = Table::new(&["wave", "median s", "prob/s", "GFLOPS"]);
     for (name, s) in [
         ("naive loop", naive_stats),
         ("batch warm", warm_stats),
         ("batch supervised", sup_stats),
+        ("batch checkpointed", ckpt_stats),
+        ("resume (pure replay)", resume_stats),
     ] {
         t.row(vec![
             name.to_string(),
@@ -183,6 +245,13 @@ fn main() {
         "supervised wave (600 s deadline, 4 GiB budget): outcomes: {counts}, \
          overhead vs warm {:+.1}%",
         100.0 * (sup_stats.median_s - warm_stats.median_s) / warm_stats.median_s
+    );
+    println!(
+        "checkpoint: journal overhead vs warm {:+.1}%; full resume replays \
+         {} problems in {:.4} s without recomputing any",
+        100.0 * (ckpt_stats.median_s - warm_stats.median_s) / warm_stats.median_s,
+        resumed.replayed,
+        resume_stats.median_s
     );
     rep.finish();
 }

@@ -22,6 +22,7 @@ pub(crate) const USAGE: &str = "usage:
                      [--min-loop K]
   bpmax-cli scan <query> <target> [--window W] [--top K] [--batch] [--threads T]
                  [--deadline SECS] [--mem-budget BYTES]
+                 [--checkpoint-dir DIR] [--resume]
   bpmax-cli info [M] [N]
   bpmax-cli verify [M N] [--static]
   bpmax-cli help
@@ -29,11 +30,19 @@ pub(crate) const USAGE: &str = "usage:
 scan --batch solves every window as an independent problem on the pooled
 batch engine (same scores, arena-recycled tables; --threads sizes its
 worker pool). --deadline bounds the wall clock of the whole batch
-(seconds, fractional ok) and --mem-budget caps each problem's F-table
-(bytes; K/M/G suffixes). Budget-starved windows degrade to the banded
-algorithm and rank with lower-bound scores; timed-out, cancelled, or
-failed windows are dropped from the ranking and the run exits 3 with the
-partial results plus a failure summary.
+(seconds, fractional, must be > 0) and --mem-budget caps each problem's
+F-table (bytes; K/M/G suffixes). Budget-starved windows degrade to the
+banded algorithm and rank with lower-bound scores; timed-out, cancelled,
+or failed windows are dropped from the ranking and the run exits 3 with
+the partial results plus a failure summary.
+
+--checkpoint-dir DIR journals every completed window to a crash-safe
+checkpoint under DIR (write-to-temp + fsync + atomic rename; a kill at
+any instant leaves a valid journal). --resume replays that journal —
+completed windows are never recomputed and the ranked output is
+bit-identical to an uninterrupted run — and refuses checkpoints written
+under different scoring options or for a different window set. A corrupt
+or truncated checkpoint is a typed error (exit 2), never garbage.
 
 verify checks the paper's schedule tables against the BPMax dependence
 system: exhaustively at sizes M x N (any size; large sizes warn about
@@ -271,8 +280,10 @@ fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
     }
     let deadline = take_opt(&mut args, "--deadline")?
         .map(|v| match v.parse::<f64>() {
-            Ok(s) if s.is_finite() && s >= 0.0 => Ok(std::time::Duration::from_secs_f64(s)),
-            _ => Err(bad_arg(format!("bad --deadline {v:?} (seconds)"))),
+            Ok(s) if s.is_finite() && s > 0.0 => Ok(std::time::Duration::from_secs_f64(s)),
+            _ => Err(bad_arg(format!(
+                "bad --deadline {v:?} (seconds, must be > 0)"
+            ))),
         })
         .transpose()?;
     let mem_budget = take_opt(&mut args, "--mem-budget")?
@@ -280,6 +291,14 @@ fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
         .transpose()?;
     if (deadline.is_some() || mem_budget.is_some()) && !batch {
         return Err(usage("--deadline/--mem-budget only apply with --batch"));
+    }
+    let checkpoint_dir = take_opt(&mut args, "--checkpoint-dir")?.map(std::path::PathBuf::from);
+    let resume = take_flag(&mut args, "--resume");
+    if (checkpoint_dir.is_some() || resume) && !batch {
+        return Err(usage("--checkpoint-dir/--resume only apply with --batch"));
+    }
+    if resume && checkpoint_dir.is_none() {
+        return Err(usage("--resume requires --checkpoint-dir"));
     }
     let [qa, ta] = args.as_slice() else {
         return Err(usage("scan takes a query and a target"));
@@ -305,6 +324,8 @@ fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
             threads,
             deadline,
             mem_budget,
+            checkpoint_dir,
+            resume,
         };
         let (ranked, note, failures) = scan_batched(&query, &target, &model, w, &sup)?;
         let _ = writeln!(out, "{note}");
@@ -346,6 +367,8 @@ struct Supervised {
     threads: Option<usize>,
     deadline: Option<std::time::Duration>,
     mem_budget: Option<u64>,
+    checkpoint_dir: Option<std::path::PathBuf>,
+    resume: bool,
 }
 
 /// The `scan --batch` fast path: every window becomes an independent
@@ -385,7 +408,11 @@ fn scan_batched(
             BpMaxProblem::new(query.clone(), target.slice(s, e), model.clone())
         })
         .collect();
-    let report = engine.solve_all(&problems)?;
+    let report = match (&sup.checkpoint_dir, sup.resume) {
+        (Some(dir), true) => engine.resume(&problems, dir)?,
+        (Some(dir), false) => engine.solve_all_checkpointed(&problems, dir)?,
+        (None, _) => engine.solve_all(&problems)?,
+    };
     let counts = report.outcomes();
     let mut ranked: Vec<(usize, f32)> = report
         .items
@@ -407,7 +434,7 @@ fn scan_batched(
             format!("  [{:>5}..{end:<5}) {}{why}", i.index, i.outcome)
         })
         .collect();
-    let note = format!(
+    let mut note = format!(
         "batch engine: {} windows in {:.3} s ({:.0} problems/s, {:.0}% coarse, \
          {} blocks allocated / {} reused)\noutcomes: {counts}",
         report.len(),
@@ -417,6 +444,15 @@ fn scan_batched(
         report.pool.allocated,
         report.pool.reused,
     );
+    if let Some(dir) = &sup.checkpoint_dir {
+        let _ = write!(
+            note,
+            "\ncheckpoint: {} of {} windows replayed from {}",
+            report.replayed,
+            report.len(),
+            dir.display()
+        );
+    }
     Ok((ranked, note, failures))
 }
 
@@ -696,8 +732,10 @@ mod tests {
     fn scan_bad_supervision_values_are_misuse() {
         for argv in [
             ["scan", "GGG", "CCC", "--batch", "--deadline", "-1"],
+            ["scan", "GGG", "CCC", "--batch", "--deadline", "0"],
             ["scan", "GGG", "CCC", "--batch", "--deadline", "soon"],
             ["scan", "GGG", "CCC", "--batch", "--mem-budget", "lots"],
+            ["scan", "GGG", "CCC", "--batch", "--mem-budget", "-1"],
             [
                 "scan",
                 "GGG",
@@ -733,7 +771,7 @@ mod tests {
     }
 
     #[test]
-    fn scan_zero_deadline_returns_partial_results() {
+    fn scan_tiny_deadline_returns_partial_results() {
         let err = run(&[
             "scan",
             "GGG",
@@ -742,7 +780,7 @@ mod tests {
             "3",
             "--batch",
             "--deadline",
-            "0",
+            "0.000000001",
         ])
         .unwrap_err();
         assert_eq!(err.exit_code(), 3);
@@ -780,6 +818,58 @@ mod tests {
         .unwrap();
         assert!(out.contains("degraded"), "{out}");
         assert!(out.contains("top "), "{out}");
+    }
+
+    #[test]
+    fn scan_checkpoint_flags_require_batch_and_each_other() {
+        for argv in [
+            vec!["scan", "GGG", "CCC", "--checkpoint-dir", "/tmp/x"],
+            vec!["scan", "GGG", "CCC", "--resume"],
+            vec!["scan", "GGG", "CCC", "--batch", "--resume"],
+        ] {
+            let err = run(&argv).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{argv:?}: {err:?}");
+            assert_eq!(err.exit_code(), 2, "{argv:?}");
+        }
+    }
+
+    #[test]
+    fn scan_checkpointed_then_resumed_is_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("bpmax_cli_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = [
+            "scan",
+            "GGCAU",
+            "AUGCCAAAAUGGCAUAAACCGGU",
+            "--window",
+            "6",
+            "--batch",
+            "--checkpoint-dir",
+        ];
+        let mut argv: Vec<&str> = base.to_vec();
+        let dir_s = dir.to_str().unwrap().to_string();
+        argv.push(&dir_s);
+        let first = run(&argv).unwrap();
+        assert!(
+            first.contains("checkpoint: 0 of 23 windows replayed"),
+            "{first}"
+        );
+        assert!(dir.join("journal.bin").is_file());
+        argv.push("--resume");
+        let second = run(&argv).unwrap();
+        assert!(
+            second.contains("checkpoint: 23 of 23 windows replayed"),
+            "{second}"
+        );
+        // the ranked results below the engine note are bit-identical
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("top "))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(tail(&first), tail(&second), "{first}\nvs\n{second}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,7 +23,31 @@ mod commands;
 
 use std::process::ExitCode;
 
+/// Test-only hook (the `fault-inject` feature): `BPMAX_FAULT_SLOW_MS=N`
+/// arms an artificial N ms delay at every supervision checkpoint of
+/// every batch problem, so the crash-recovery integration test can
+/// SIGKILL this process reliably mid-wave. Production builds compile
+/// this to nothing.
+#[cfg(feature = "fault-inject")]
+fn arm_faults_from_env() {
+    use bpmax::supervise::fault::{self, Fault, FaultPlan};
+    if let Some(millis) = std::env::var("BPMAX_FAULT_SLOW_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        let mut plan = FaultPlan::new();
+        for index in 0..512 {
+            plan = plan.fail(fault::SITE_SLOW, index, Fault::Slow { millis });
+        }
+        fault::arm(plan);
+    }
+}
+
+#[cfg(not(feature = "fault-inject"))]
+fn arm_faults_from_env() {}
+
 fn main() -> ExitCode {
+    arm_faults_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&args) {
         Ok(output) => {

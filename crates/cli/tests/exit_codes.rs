@@ -36,6 +36,17 @@ fn misuse_exits_two_with_usage() {
         vec!["fold", "XYZ"],
         vec!["interact", "GG", "CC", "--alg", "warp"],
         vec!["scan", "GGG", "CCC", "--window", "oops"],
+        vec!["scan", "GGG", "CCC", "--batch", "--deadline", "0"],
+        vec!["scan", "GGG", "CCC", "--batch", "--mem-budget", "-1"],
+        vec![
+            "scan",
+            "GGG",
+            "CCC",
+            "--batch",
+            "--mem-budget",
+            "99999999999999999999G",
+        ],
+        vec!["scan", "GGG", "CCC", "--batch", "--resume"],
     ] {
         let (code, _, stderr) = run(&argv);
         assert_eq!(code, 2, "{argv:?}: {stderr}");
@@ -62,7 +73,7 @@ fn partial_batch_exits_three_with_results_on_stdout() {
         "3",
         "--batch",
         "--deadline",
-        "0",
+        "0.000000001",
     ]);
     assert_eq!(code, 3, "{stderr}");
     // the partial report (outcome counts + failure summary) is a result

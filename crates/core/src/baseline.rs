@@ -40,10 +40,28 @@ pub(crate) fn solve_baseline_watched(
     f: &mut FTable,
     watch: &Watch,
 ) -> Result<(), Interrupt> {
+    solve_baseline_watched_range(ctx, f, 0, ctx.m(), watch)
+}
+
+/// [`solve_baseline_watched`] over outer diagonals `start..end` only —
+/// the resume driver. Diagonals `0..start` must already hold final values
+/// (e.g. restored from a [`crate::checkpoint::TableSnapshot`]).
+pub(crate) fn solve_baseline_watched_range(
+    ctx: &Ctx,
+    f: &mut FTable,
+    start: usize,
+    end: usize,
+    watch: &Watch,
+) -> Result<(), Interrupt> {
     let m = ctx.m();
     let n = ctx.n();
     debug_assert!(f.m() == m && f.n() == n, "table shape mismatch");
-    for d1 in 0..m {
+    let end = end.min(m);
+    for d1 in start..end {
+        // diagonals 0..d1 are final: an interrupt below leaves exactly
+        // that resumable prefix (cells of diagonal d1 may be partial and
+        // are discarded by checkpoint capture)
+        watch.note_progress(d1);
         for d2 in 0..n {
             watch.check()?;
             for i1 in 0..m - d1 {
@@ -56,6 +74,7 @@ pub(crate) fn solve_baseline_watched(
             }
         }
     }
+    watch.note_progress(end.max(start));
     Ok(())
 }
 

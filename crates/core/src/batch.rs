@@ -35,6 +35,9 @@
 //! [`BatchEngine::solve_all`]. Buffers touched by a panicked solve are
 //! quarantined, never recycled ([`PoolStats::quarantined`] counts them).
 
+use crate::checkpoint::{
+    self, problem_id, CheckpointSink, Fnv64, JournalRecord, RunManifest, TableSnapshot,
+};
 use crate::engine::{Algorithm, BpMaxProblem, Solution, SolveOptions};
 use crate::error::BpMaxError;
 use crate::ftable::{BlockPool, FTable, PoolStats};
@@ -47,6 +50,7 @@ use crate::windowed::{max_window_within, solve_windowed_watched};
 use machine::spec::MachineSpec;
 use rayon::prelude::*;
 use simsched::speedup::HtModel;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// How the engine maps problems onto the worker pool.
@@ -176,6 +180,39 @@ impl BatchOptions {
         self.cancel = Some(token);
         self
     }
+
+    /// FNV-1a fingerprint of every *score-affecting* option — the
+    /// checkpoint manifest's compatibility rule. Two configurations with
+    /// the same fingerprint produce bit-identical scores, so their
+    /// checkpoints are interchangeable. Threads, scheduling policy, the
+    /// coarse cutoff and deadlines change wall clock, never scores, and
+    /// are deliberately excluded: a resumed run may scale its workers or
+    /// get a fresh deadline.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        let alg = self
+            .solve
+            .resolved_algorithm()
+            .unwrap_or(Algorithm::Permuted);
+        h.write(alg.label().as_bytes());
+        if let Some(tile) = alg.tile() {
+            h.write_u64(tile.i2 as u64);
+            h.write_u64(tile.k2 as u64);
+            h.write_u64(tile.j2 as u64);
+        }
+        // an explicit layout override changes snapshot cell order
+        match self.solve.requested_layout() {
+            None => h.write(&[0xFF]),
+            Some(layout) => h.write(&[checkpoint::layout_code(layout)]),
+        }
+        // memory budgets and degradation decide exact-vs-windowed scores
+        h.write_u64(self.mem_budget.unwrap_or(u64::MAX));
+        h.write(&[u8::from(self.degrade)]);
+        let sup = self.solve.supervision();
+        h.write_u64(sup.budget.map_or(u64::MAX, |b| b.bytes));
+        h.write(&[u8::from(sup.degrade)]);
+        h.finish()
+    }
 }
 
 /// One problem of a batch — solved, degraded, or failed; never missing.
@@ -217,6 +254,10 @@ pub struct BatchReport {
     /// Arena counters at completion (cumulative across the engine's
     /// lifetime — diff two snapshots for per-wave numbers).
     pub pool: PoolStats,
+    /// Problems whose results were replayed from a checkpoint journal
+    /// instead of recomputed (0 for fresh runs). Replayed items carry
+    /// their original score, outcome and latency, but never a table.
+    pub replayed: usize,
 }
 
 impl BatchReport {
@@ -353,6 +394,165 @@ impl BatchEngine {
     /// recycled or quarantined), while every other problem completes
     /// normally. The wave-wide deadline clock starts here.
     pub fn solve_all(&self, problems: &[BpMaxProblem]) -> Result<BatchReport, BpMaxError> {
+        let mut slots: Vec<Option<BatchItem>> = Vec::new();
+        slots.resize_with(problems.len(), || None);
+        self.run_batch(problems, None, slots, None, 0)
+    }
+
+    /// [`BatchEngine::solve_all`] with durable progress: a fresh
+    /// crash-safe checkpoint is written under `dir` (manifest + journal,
+    /// one record per completed problem, plus the partial F-table of an
+    /// interrupted large problem). A killed or cancelled run can be
+    /// picked up by [`BatchEngine::resume`] without recomputing anything
+    /// that finished. Any previous checkpoint in `dir` is replaced.
+    pub fn solve_all_checkpointed(
+        &self,
+        problems: &[BpMaxProblem],
+        dir: &Path,
+    ) -> Result<BatchReport, BpMaxError> {
+        let manifest = RunManifest {
+            options_hash: self.opts.fingerprint(),
+            seed: 0,
+            problem_ids: problems.iter().map(problem_id).collect(),
+        };
+        let sink = CheckpointSink::create(dir, &manifest)?;
+        let mut slots: Vec<Option<BatchItem>> = Vec::new();
+        slots.resize_with(problems.len(), || None);
+        self.run_batch(problems, Some(&sink), slots, None, 0)
+    }
+
+    /// Resume an interrupted [`BatchEngine::solve_all_checkpointed`] run
+    /// from `dir`: replay journaled results (skipping those problems
+    /// entirely), restore the in-flight table snapshot if one was
+    /// flushed, and solve the rest. Output is bit-identical to an
+    /// uninterrupted run by the wavefront invariant.
+    ///
+    /// Refuses with [`BpMaxError::CheckpointMismatch`] when the
+    /// checkpoint was written under different score-affecting options
+    /// ([`BatchOptions::fingerprint`]) or for a different problem set,
+    /// and with [`BpMaxError::CorruptCheckpoint`] when any file fails
+    /// its integrity checks.
+    pub fn resume(&self, problems: &[BpMaxProblem], dir: &Path) -> Result<BatchReport, BpMaxError> {
+        let (sink, (manifest, records, snapshot)) = CheckpointSink::open(dir)?;
+        let want_hash = self.opts.fingerprint();
+        if manifest.options_hash != want_hash {
+            return Err(BpMaxError::CheckpointMismatch {
+                detail: format!(
+                    "checkpoint was written under options {:#018x} but this engine is \
+                     configured as {want_hash:#018x} — refusing to mix configurations",
+                    manifest.options_hash
+                ),
+            });
+        }
+        let ids: Vec<u64> = problems.iter().map(problem_id).collect();
+        if manifest.problem_ids != ids {
+            let detail = if manifest.problem_ids.len() != ids.len() {
+                format!(
+                    "checkpoint covers {} problems but the batch has {}",
+                    manifest.problem_ids.len(),
+                    ids.len()
+                )
+            } else {
+                let at = ids
+                    .iter()
+                    .zip(&manifest.problem_ids)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(0);
+                format!("problem {at} differs from the one the checkpoint was written for")
+            };
+            return Err(BpMaxError::CheckpointMismatch { detail });
+        }
+
+        let jpath = checkpoint::journal_path(dir).display().to_string();
+        let mut slots: Vec<Option<BatchItem>> = Vec::new();
+        slots.resize_with(problems.len(), || None);
+        let mut replayed = 0usize;
+        for rec in &records {
+            let i = rec.index as usize;
+            if i >= problems.len() {
+                return Err(BpMaxError::CorruptCheckpoint {
+                    path: jpath.clone(),
+                    detail: format!(
+                        "record index {i} out of range for a {}-problem batch",
+                        problems.len()
+                    ),
+                });
+            }
+            if slots[i].is_some() {
+                return Err(BpMaxError::CorruptCheckpoint {
+                    path: jpath.clone(),
+                    detail: format!("duplicate journal record for problem {i}"),
+                });
+            }
+            if !rec.outcome.has_score() {
+                return Err(BpMaxError::CorruptCheckpoint {
+                    path: jpath.clone(),
+                    detail: format!(
+                        "journaled outcome {:?} for problem {i} carries no score",
+                        rec.outcome
+                    ),
+                });
+            }
+            let problem = &problems[i];
+            slots[i] = Some(BatchItem {
+                index: i,
+                m: problem.ctx().m(),
+                n: problem.ctx().n(),
+                score: rec.score,
+                seconds: rec.seconds,
+                flops: problem.flops(),
+                coarse: rec.coarse,
+                outcome: rec.outcome,
+                error: None,
+                table: None,
+            });
+            replayed += 1;
+        }
+
+        let snapshot = match snapshot {
+            Some(snap) => {
+                let i = snap.index as usize;
+                if i >= problems.len() {
+                    return Err(BpMaxError::CorruptCheckpoint {
+                        path: checkpoint::snapshot_path(dir).display().to_string(),
+                        detail: format!(
+                            "snapshot index {i} out of range for a {}-problem batch",
+                            problems.len()
+                        ),
+                    });
+                }
+                if snap.problem_id != ids[i] {
+                    return Err(BpMaxError::CheckpointMismatch {
+                        detail: format!(
+                            "table snapshot belongs to a different problem {i} than the batch's"
+                        ),
+                    });
+                }
+                if slots[i].is_some() {
+                    // already journaled: the snapshot is stale, retire it
+                    sink.complete(snap.index);
+                    None
+                } else {
+                    Some(snap)
+                }
+            }
+            None => None,
+        };
+
+        self.run_batch(problems, Some(&sink), slots, snapshot.as_ref(), replayed)
+    }
+
+    /// The shared wave driver behind every `solve_all*` flavour. Slots
+    /// already filled (journal replays) are skipped; `snapshot`, when it
+    /// targets a still-pending problem, seeds that problem's table.
+    fn run_batch(
+        &self,
+        problems: &[BpMaxProblem],
+        ckpt: Option<&CheckpointSink>,
+        mut slots: Vec<Option<BatchItem>>,
+        snapshot: Option<&TableSnapshot>,
+        replayed: usize,
+    ) -> Result<BatchReport, BpMaxError> {
         let start = Instant::now();
         let batch_sup = Supervision {
             cancel: self.opts.cancel.clone(),
@@ -363,15 +563,17 @@ impl BatchEngine {
         let sup = Supervision::merged(&batch_sup, self.opts.solve.supervision());
         let coarse_class: Vec<bool> = problems.iter().map(|p| self.classify_coarse(p)).collect();
 
-        let mut slots: Vec<Option<BatchItem>> = Vec::new();
-        slots.resize_with(problems.len(), || None);
-
         // Wave 1: the coarse class, problems distributed over workers.
-        let coarse_idx: Vec<usize> = (0..problems.len()).filter(|&i| coarse_class[i]).collect();
+        let coarse_idx: Vec<usize> = (0..problems.len())
+            .filter(|&i| coarse_class[i] && slots[i].is_none())
+            .collect();
         let solved: Vec<BatchItem> = self.pool.install(|| {
             coarse_idx
                 .par_iter()
-                .map(|&i| self.solve_one(&problems[i], i, true, &sup))
+                .map(|&i| {
+                    let snap = snapshot.filter(|s| s.index as usize == i);
+                    self.solve_one(&problems[i], i, true, &sup, ckpt, snap)
+                })
                 .collect()
         });
         for item in solved {
@@ -382,11 +584,20 @@ impl BatchEngine {
         // Wave 2: the large problems, one at a time with intra-problem
         // parallelism on the same pool.
         for (i, problem) in problems.iter().enumerate() {
-            if !coarse_class[i] {
+            if !coarse_class[i] && slots[i].is_none() {
+                let snap = snapshot.filter(|s| s.index as usize == i);
                 let item = self
                     .pool
-                    .install(|| self.solve_one(problem, i, false, &sup));
+                    .install(|| self.solve_one(problem, i, false, &sup, ckpt, snap));
                 slots[i] = Some(item);
+            }
+        }
+
+        // a checkpoint that could not be written must fail loudly: the
+        // caller would otherwise trust durability it does not have
+        if let Some(sink) = ckpt {
+            if let Some(e) = sink.take_error() {
+                return Err(e);
             }
         }
 
@@ -397,37 +608,59 @@ impl BatchEngine {
                 .collect(),
             wall_s: start.elapsed().as_secs_f64(),
             pool: self.blocks.stats(),
+            replayed,
         })
     }
 
     /// Solve one problem on a pooled table. Infallible by design: every
-    /// failure mode folds into the item's [`Outcome`] + error.
+    /// failure mode folds into the item's [`Outcome`] + error. Completed
+    /// results (any outcome with a score) are journaled before the item
+    /// is returned, so a crash after this point loses nothing.
     fn solve_one(
         &self,
         problem: &BpMaxProblem,
         index: usize,
         coarse: bool,
         sup: &Supervision,
+        ckpt: Option<&CheckpointSink>,
+        snap: Option<&TableSnapshot>,
     ) -> BatchItem {
         let (m, n) = (problem.ctx().m(), problem.ctx().n());
         let t = Instant::now();
-        let (outcome, score, table, error) = match self.solve_inner(problem, index, coarse, sup) {
-            Ok((outcome, score, table)) => (outcome, score, table, None),
-            Err(err) => {
-                let outcome = match err {
-                    BpMaxError::Cancelled => Outcome::Cancelled,
-                    BpMaxError::DeadlineExceeded { .. } => Outcome::TimedOut,
-                    _ => Outcome::Failed,
-                };
-                (outcome, f32::NEG_INFINITY, None, Some(err))
+        let (outcome, score, table, error) =
+            match self.solve_inner(problem, index, coarse, sup, ckpt, snap) {
+                Ok((outcome, score, table)) => (outcome, score, table, None),
+                Err(err) => {
+                    let outcome = match err {
+                        BpMaxError::Cancelled => Outcome::Cancelled,
+                        BpMaxError::DeadlineExceeded { .. } => Outcome::TimedOut,
+                        _ => Outcome::Failed,
+                    };
+                    (outcome, f32::NEG_INFINITY, None, Some(err))
+                }
+            };
+        let seconds = t.elapsed().as_secs_f64();
+        if let Some(sink) = ckpt {
+            if outcome.has_score() {
+                sink.record(&JournalRecord {
+                    index: index as u64,
+                    outcome,
+                    score,
+                    seconds,
+                    coarse,
+                });
+                sink.complete(index as u64);
             }
-        };
+            // unscored outcomes are NOT journaled: failures are
+            // deterministic and cheap to reproduce, and resume should
+            // retry cancelled/timed-out problems, not trust stale errors
+        }
         BatchItem {
             index,
             m,
             n,
             score,
-            seconds: t.elapsed().as_secs_f64(),
+            seconds,
             flops: problem.flops(),
             coarse,
             outcome,
@@ -445,6 +678,8 @@ impl BatchEngine {
         index: usize,
         coarse: bool,
         sup: &Supervision,
+        ckpt: Option<&CheckpointSink>,
+        snap: Option<&TableSnapshot>,
     ) -> Result<(Outcome, f32, Option<FTable>), BpMaxError> {
         let algorithm = self.opts.solve.resolved_algorithm()?;
         let layout = self.opts.solve.resolved_layout(problem.layout());
@@ -481,6 +716,14 @@ impl BatchEngine {
             return Err(BpMaxError::SizeOverflow { m, n });
         }
         let mut f = FTable::try_new_in(m, n, layout, &self.blocks)?;
+        // seed the table from a checkpoint snapshot when one targets this
+        // problem; a snapshot that no longer fits (layout/shape drift
+        // beyond the fingerprint) is simply ignored — recomputing from
+        // scratch is always correct, only slower
+        let start_diag = match snap {
+            Some(snap) if snap.restore_into(&mut f).is_ok() => snap.done,
+            _ => 0,
+        };
         let inject_panic = fault::active(fault::SITE_COMPUTE, index) == Some(fault::Fault::Panic);
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if inject_panic {
@@ -492,9 +735,9 @@ impl BatchEngine {
                 panic!("injected fault: compute panic at problem {index}");
             }
             if coarse {
-                problem.compute_serial_watched(algorithm, &mut f, &watch)
+                problem.compute_serial_watched_range(algorithm, &mut f, start_diag, m, &watch)
             } else {
-                problem.compute_watched(algorithm, &mut f, &watch)
+                problem.compute_watched_range(algorithm, &mut f, start_diag, m, &watch)
             }
         }));
         match run {
@@ -510,6 +753,22 @@ impl BatchEngine {
                 Ok((Outcome::Ok, score, table))
             }
             Ok(Err(interrupt)) => {
+                // flush the resumable prefix before giving the table up:
+                // diagonals 0..progress are final by the wavefront
+                // invariant. Only the one-at-a-time (fine) wave
+                // snapshots — there is a single snapshot file, and only
+                // large problems are worth the bytes.
+                if let Some(sink) = ckpt {
+                    let done = watch.progress();
+                    if !coarse && done > 0 {
+                        sink.snapshot(&TableSnapshot::capture(
+                            index as u64,
+                            problem_id(problem),
+                            &f,
+                            done,
+                        ));
+                    }
+                }
                 // interrupted between diagonals: every block is in the
                 // table, so the recycle is clean
                 f.recycle(&self.blocks);
@@ -776,6 +1035,166 @@ mod tests {
             "{:?}",
             report.items[0].error
         );
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let p =
+            std::env::temp_dir().join(format!("bpmax-batch-ckpt-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn fingerprint_tracks_scores_not_scheduling() {
+        let base = BatchOptions::new();
+        let fp = base.fingerprint();
+        assert_eq!(fp, BatchOptions::new().fingerprint(), "deterministic");
+        // scheduling knobs do not move the fingerprint
+        assert_eq!(fp, base.clone().threads(13).fingerprint());
+        assert_eq!(fp, base.clone().policy(Policy::Coarse).fingerprint());
+        assert_eq!(
+            fp,
+            base.clone().deadline(Duration::from_secs(1)).fingerprint()
+        );
+        // score-affecting knobs do
+        assert_ne!(
+            fp,
+            base.clone()
+                .solve(SolveOptions::new().algorithm(Algorithm::Permuted))
+                .fingerprint()
+        );
+        assert_ne!(fp, base.clone().mem_budget(1 << 20).fingerprint());
+        assert_ne!(fp, base.clone().degrade(false).fingerprint());
+    }
+
+    #[test]
+    fn checkpoint_resume_replays_completed_work() {
+        let problems = mixed_problems(8, 50);
+        let dir = tmpdir("replay");
+        let engine = BatchEngine::new(BatchOptions::new().threads(2)).unwrap();
+        let full = engine.solve_all_checkpointed(&problems, &dir).unwrap();
+        assert_eq!(full.replayed, 0);
+        let (manifest, records, snapshot) = checkpoint::load(&dir).unwrap();
+        assert_eq!(records.len(), 8, "every completed problem journaled");
+        assert_eq!(snapshot, None, "nothing was interrupted");
+
+        // simulate a crash after the first 4 completions: rebuild the
+        // journal with only that prefix
+        let sink = CheckpointSink::create(&dir, &manifest).unwrap();
+        for rec in &records[..4] {
+            sink.record(rec);
+        }
+        drop(sink);
+
+        let resumed = engine.resume(&problems, &dir).unwrap();
+        assert_eq!(resumed.replayed, 4, "journaled problems not recomputed");
+        assert_eq!(resumed.len(), full.len());
+        for (a, b) in full.items.iter().zip(&resumed.items) {
+            assert_eq!(a.score, b.score, "problem {}", a.index);
+            assert_eq!(a.outcome, b.outcome);
+        }
+        // a second resume replays everything
+        let again = engine.resume(&problems, &dir).unwrap();
+        assert_eq!(again.replayed, 8);
+        for (a, b) in full.items.iter().zip(&again.items) {
+            assert_eq!(a.score, b.score);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_refuses_mismatched_options_and_problems() {
+        let problems = mixed_problems(4, 51);
+        let dir = tmpdir("mismatch");
+        let engine = BatchEngine::new(BatchOptions::new().threads(1)).unwrap();
+        engine.solve_all_checkpointed(&problems, &dir).unwrap();
+
+        // different algorithm: options hash differs
+        let other = BatchEngine::new(
+            BatchOptions::new()
+                .threads(1)
+                .solve(SolveOptions::new().algorithm(Algorithm::Permuted)),
+        )
+        .unwrap();
+        let err = other.resume(&problems, &dir).unwrap_err();
+        assert!(
+            matches!(err, BpMaxError::CheckpointMismatch { .. }),
+            "{err}"
+        );
+
+        // different problem set: id list differs
+        let others = mixed_problems(4, 52);
+        let err = engine.resume(&others, &dir).unwrap_err();
+        assert!(
+            matches!(err, BpMaxError::CheckpointMismatch { .. }),
+            "{err}"
+        );
+
+        // different batch length
+        let err = engine.resume(&problems[..2], &dir).unwrap_err();
+        assert!(
+            matches!(err, BpMaxError::CheckpointMismatch { .. }),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_a_corrupt_journal() {
+        let problems = mixed_problems(3, 53);
+        let dir = tmpdir("corrupt");
+        let engine = BatchEngine::new(BatchOptions::new().threads(1)).unwrap();
+        engine.solve_all_checkpointed(&problems, &dir).unwrap();
+        let jpath = checkpoint::journal_path(&dir);
+        let mut bytes = std::fs::read(&jpath).unwrap();
+        let at = bytes.len() - 3; // inside the last record's payload
+        bytes[at] ^= 0x20;
+        std::fs::write(&jpath, &bytes).unwrap();
+        let err = engine.resume(&problems, &dir).unwrap_err();
+        assert!(matches!(err, BpMaxError::CorruptCheckpoint { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_picks_up_a_table_snapshot_mid_problem() {
+        let model = ScoringModel::bpmax_default();
+        let mut rng = StdRng::seed_from_u64(54);
+        let p = BpMaxProblem::new(
+            RnaSeq::random(&mut rng, 16),
+            RnaSeq::random(&mut rng, 12),
+            model,
+        );
+        let opts = BatchOptions::new().threads(2).policy(Policy::IntraProblem);
+        let engine = BatchEngine::new(opts).unwrap();
+        let want = engine.solve_all(std::slice::from_ref(&p)).unwrap().items[0].score;
+
+        // hand-build a checkpoint holding diagonals 0..9 of the table,
+        // as if the original run was killed mid-problem
+        let dir = tmpdir("snapresume");
+        let manifest = RunManifest {
+            options_hash: engine.options().fingerprint(),
+            seed: 0,
+            problem_ids: vec![problem_id(&p)],
+        };
+        let sink = CheckpointSink::create(&dir, &manifest).unwrap();
+        let alg = engine.options().solve.resolved_algorithm().unwrap();
+        let prefix = p.compute_prefix(alg, 9).unwrap();
+        sink.snapshot(&TableSnapshot::capture(0, problem_id(&p), &prefix, 9));
+        assert_eq!(sink.take_error(), None);
+        drop(sink);
+
+        let resumed = engine.resume(std::slice::from_ref(&p), &dir).unwrap();
+        assert_eq!(resumed.replayed, 0, "the snapshot problem was in flight");
+        assert_eq!(resumed.items[0].outcome, Outcome::Ok);
+        assert_eq!(resumed.items[0].score, want, "bit-identical to scratch");
+        // the finished problem retired its snapshot and journaled itself
+        assert!(!checkpoint::snapshot_path(&dir).exists());
+        let (_, records, _) = checkpoint::load(&dir).unwrap();
+        assert_eq!(records.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

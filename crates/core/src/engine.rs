@@ -20,7 +20,7 @@
 //! race-free by construction (the `schedules` module verifies the same
 //! property declaratively, on the paper's schedule encodings).
 
-use crate::baseline::solve_baseline_watched;
+use crate::baseline::solve_baseline_watched_range;
 use crate::error::BpMaxError;
 use crate::ftable::{FTable, Layout};
 use crate::kernels::{
@@ -284,6 +284,12 @@ impl SolveOptions {
     pub(crate) fn resolved_layout(&self, problem_layout: Layout) -> Layout {
         self.layout.unwrap_or(problem_layout)
     }
+
+    /// The explicit layout override, if any — part of the checkpoint
+    /// options fingerprint (layout changes block order inside a snapshot).
+    pub(crate) fn requested_layout(&self) -> Option<Layout> {
+        self.layout
+    }
 }
 
 /// A `BPMax` problem instance: two strands and a scoring model.
@@ -493,39 +499,114 @@ impl BpMaxProblem {
         f: &mut FTable,
         watch: &Watch,
     ) -> Result<(), Interrupt> {
+        self.compute_watched_range(algorithm, f, 0, self.ctx.m(), watch)
+    }
+
+    /// [`BpMaxProblem::compute_watched`] over outer diagonals
+    /// `start..end` only. Diagonals `0..start` must already hold final
+    /// values (a checkpoint snapshot restore); `end < m` computes a
+    /// resumable prefix. By the wavefront invariant the cells produced are
+    /// bit-identical to a full run's, whatever the split point.
+    pub(crate) fn compute_watched_range(
+        &self,
+        algorithm: Algorithm,
+        f: &mut FTable,
+        start: usize,
+        end: usize,
+        watch: &Watch,
+    ) -> Result<(), Interrupt> {
         match algorithm {
-            Algorithm::Baseline => solve_baseline_watched(&self.ctx, f, watch),
-            Algorithm::Permuted => self.wavefront(WaveMode::Serial(R0Order::Permuted), f, watch),
-            Algorithm::CoarseGrain => self.wavefront(WaveMode::Coarse(R0Order::Permuted), f, watch),
-            Algorithm::FineGrain => self.wavefront(WaveMode::Fine(R0Order::Permuted), f, watch),
-            Algorithm::Hybrid => self.wavefront(WaveMode::Hybrid(R0Order::Permuted), f, watch),
+            Algorithm::Baseline => solve_baseline_watched_range(&self.ctx, f, start, end, watch),
+            Algorithm::Permuted => {
+                self.wavefront_range(WaveMode::Serial(R0Order::Permuted), f, start, end, watch)
+            }
+            Algorithm::CoarseGrain => {
+                self.wavefront_range(WaveMode::Coarse(R0Order::Permuted), f, start, end, watch)
+            }
+            Algorithm::FineGrain => {
+                self.wavefront_range(WaveMode::Fine(R0Order::Permuted), f, start, end, watch)
+            }
+            Algorithm::Hybrid => {
+                self.wavefront_range(WaveMode::Hybrid(R0Order::Permuted), f, start, end, watch)
+            }
             Algorithm::HybridTiled { tile } => {
-                self.wavefront(WaveMode::Hybrid(R0Order::Tiled(tile)), f, watch)
+                self.wavefront_range(WaveMode::Hybrid(R0Order::Tiled(tile)), f, start, end, watch)
             }
         }
     }
 
-    /// Fully serial traversal that keeps `algorithm`'s `R0` loop order —
-    /// what the batch engine runs for problems scheduled one-per-thread
-    /// (intra-problem parallel dispatch would only add overhead there).
-    /// Bit-identical to every other mode by the wavefront invariant.
-    pub(crate) fn compute_serial_watched(
+    /// Fully serial traversal that keeps `algorithm`'s `R0` loop order,
+    /// over outer diagonals `start..end` — what the batch engine runs for
+    /// problems scheduled one-per-thread (intra-problem parallel dispatch
+    /// would only add overhead there). Bit-identical to every other mode
+    /// by the wavefront invariant (see
+    /// [`BpMaxProblem::compute_watched_range`] for the range contract).
+    pub(crate) fn compute_serial_watched_range(
         &self,
         algorithm: Algorithm,
         f: &mut FTable,
+        start: usize,
+        end: usize,
         watch: &Watch,
     ) -> Result<(), Interrupt> {
         match algorithm {
-            Algorithm::Baseline => solve_baseline_watched(&self.ctx, f, watch),
-            other => self.wavefront(WaveMode::Serial(other.r0_order()), f, watch),
+            Algorithm::Baseline => solve_baseline_watched_range(&self.ctx, f, start, end, watch),
+            other => self.wavefront_range(WaveMode::Serial(other.r0_order()), f, start, end, watch),
         }
     }
 
-    /// The shared wavefront driver: ascending outer diagonals, then one of
-    /// four parallelization modes per diagonal. The supervision checkpoint
-    /// sits at the top of the `d1` loop — between diagonals every block is
-    /// inside the table, so an interrupt always leaves `f` recyclable.
-    fn wavefront(&self, mode: WaveMode, f: &mut FTable, watch: &Watch) -> Result<(), Interrupt> {
+    /// Compute only the first `upto` outer diagonals of the F-table —
+    /// the prefix a diagonal-granular snapshot captures. Diagonals
+    /// `upto..m` stay `-∞`-initialised, exactly the state
+    /// [`BpMaxProblem::resume_from`] expects.
+    pub fn compute_prefix(&self, algorithm: Algorithm, upto: usize) -> Result<FTable, BpMaxError> {
+        algorithm.validate()?;
+        let mut f = FTable::try_new(self.ctx.m(), self.ctx.n(), self.layout)?;
+        self.compute_watched_range(algorithm, &mut f, 0, upto, &Watch::none())
+            .map_err(Interrupt::into_error)?;
+        Ok(f)
+    }
+
+    /// Finish a table whose outer diagonals `0..start` already hold final
+    /// values (from [`BpMaxProblem::compute_prefix`] or a restored
+    /// [`crate::checkpoint::TableSnapshot`]). After this, `f` is
+    /// bit-identical to a from-scratch solve with `algorithm`.
+    pub fn resume_from(
+        &self,
+        algorithm: Algorithm,
+        f: &mut FTable,
+        start: usize,
+    ) -> Result<(), BpMaxError> {
+        algorithm.validate()?;
+        if f.m() != self.ctx.m() || f.n() != self.ctx.n() {
+            return Err(BpMaxError::InvalidArgument {
+                detail: format!(
+                    "resume table is {}x{} but the problem is {}x{}",
+                    f.m(),
+                    f.n(),
+                    self.ctx.m(),
+                    self.ctx.n()
+                ),
+            });
+        }
+        self.compute_watched_range(algorithm, f, start, self.ctx.m(), &Watch::none())
+            .map_err(Interrupt::into_error)
+    }
+
+    /// The shared wavefront driver: ascending outer diagonals `start..end`,
+    /// then one of four parallelization modes per diagonal. The supervision
+    /// checkpoint sits at the top of the `d1` loop — between diagonals
+    /// every block is inside the table, so an interrupt always leaves `f`
+    /// recyclable (and, via [`Watch::note_progress`], with a known-final
+    /// diagonal prefix the checkpoint layer can snapshot).
+    fn wavefront_range(
+        &self,
+        mode: WaveMode,
+        f: &mut FTable,
+        start: usize,
+        end: usize,
+        watch: &Watch,
+    ) -> Result<(), Interrupt> {
         let ctx = &self.ctx;
         let m = ctx.m();
         let n = ctx.n();
@@ -533,7 +614,9 @@ impl BpMaxProblem {
         if m == 0 || n == 0 {
             return Ok(());
         }
-        for d1 in 0..m {
+        let end = end.min(m);
+        for d1 in start..end {
+            watch.note_progress(d1);
             watch.check()?;
             match mode {
                 WaveMode::Serial(order) => {
@@ -595,6 +678,7 @@ impl BpMaxProblem {
                 }
             }
         }
+        watch.note_progress(end.max(start));
         Ok(())
     }
 }
@@ -915,7 +999,7 @@ mod tests {
         for &alg in Algorithm::ALL {
             let reference = p.compute(alg);
             let mut f = FTable::new(reference.m(), reference.n(), reference.layout());
-            p.compute_serial_watched(alg, &mut f, &Watch::none())
+            p.compute_serial_watched_range(alg, &mut f, 0, reference.m(), &Watch::none())
                 .unwrap();
             for (i1, j1, i2, j2) in reference.iter_cells().collect::<Vec<_>>() {
                 assert_eq!(
@@ -925,6 +1009,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn prefix_then_resume_is_bit_identical() {
+        let p = problem("GGAUCGACGG", "CCGAUGC");
+        let m = p.seq1().len();
+        for &alg in Algorithm::ALL {
+            let reference = p.compute(alg);
+            for split in [0, 1, m / 2, m - 1, m] {
+                let mut f = p.compute_prefix(alg, split).unwrap();
+                p.resume_from(alg, &mut f, split).unwrap();
+                for (i1, j1, i2, j2) in reference.iter_cells().collect::<Vec<_>>() {
+                    assert_eq!(
+                        f.get(i1, j1, i2, j2),
+                        reference.get(i1, j1, i2, j2),
+                        "{alg:?} split {split} F[{i1},{j1},{i2},{j2}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_from_rejects_shape_mismatch() {
+        let p = problem("GGAUCGAC", "CCGAUG");
+        let other = problem("GGAU", "CCA");
+        let mut f = other.compute_prefix(Algorithm::Permuted, 2).unwrap();
+        let err = p
+            .resume_from(Algorithm::Permuted, &mut f, 2)
+            .expect_err("shape mismatch must fail");
+        assert!(matches!(err, BpMaxError::InvalidArgument { .. }), "{err}");
     }
 
     #[test]

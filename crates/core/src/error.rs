@@ -82,6 +82,31 @@ pub enum BpMaxError {
         /// The panic payload, if it was a string.
         detail: String,
     },
+    /// A checkpoint file failed its integrity checks: bad magic, wrong
+    /// format version, a torn record frame, or a CRC32 mismatch. The data
+    /// is *detectably* damaged — resume refuses rather than replaying
+    /// garbage scores.
+    CorruptCheckpoint {
+        /// The file that failed verification.
+        path: String,
+        /// What exactly was wrong (offset, expected/actual checksum, …).
+        detail: String,
+    },
+    /// A checkpoint was written under a different configuration (options
+    /// hash or problem set): resuming it would silently mix incompatible
+    /// runs, so it is refused.
+    CheckpointMismatch {
+        /// Which fingerprint disagreed and how.
+        detail: String,
+    },
+    /// An I/O failure while writing or reading checkpoint state (the
+    /// filesystem, not the format).
+    CheckpointIo {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error text.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for BpMaxError {
@@ -128,6 +153,15 @@ impl std::fmt::Display for BpMaxError {
                  {budget_bytes} bytes"
             ),
             BpMaxError::Panicked { detail } => write!(f, "solve panicked: {detail}"),
+            BpMaxError::CorruptCheckpoint { path, detail } => {
+                write!(f, "corrupt checkpoint {path}: {detail}")
+            }
+            BpMaxError::CheckpointMismatch { detail } => {
+                write!(f, "checkpoint configuration mismatch: {detail}")
+            }
+            BpMaxError::CheckpointIo { path, detail } => {
+                write!(f, "checkpoint i/o error at {path}: {detail}")
+            }
         }
     }
 }
@@ -202,6 +236,26 @@ mod tests {
                     detail: "index out of bounds".to_string(),
                 },
                 "solve panicked: index out of bounds",
+            ),
+            (
+                BpMaxError::CorruptCheckpoint {
+                    path: "ckpt/journal.bin".to_string(),
+                    detail: "record 3: crc mismatch".to_string(),
+                },
+                "corrupt checkpoint ckpt/journal.bin",
+            ),
+            (
+                BpMaxError::CheckpointMismatch {
+                    detail: "options hash 1 != 2".to_string(),
+                },
+                "checkpoint configuration mismatch",
+            ),
+            (
+                BpMaxError::CheckpointIo {
+                    path: "ckpt/manifest.bin".to_string(),
+                    detail: "permission denied".to_string(),
+                },
+                "checkpoint i/o error at ckpt/manifest.bin",
             ),
         ];
         for (err, marker) in cases {

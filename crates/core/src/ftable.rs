@@ -381,6 +381,60 @@ impl FTable {
         out
     }
 
+    /// Number of outer blocks on diagonals `0..done` of an `m`-strand
+    /// table (the unit of [`FTable::export_diagonals`]).
+    pub fn diagonal_blocks(m: usize, done: usize) -> usize {
+        let done = done.min(m);
+        (0..done).map(|d1| m - d1).sum()
+    }
+
+    /// Copy the blocks of outer diagonals `0..done` out, diagonal-major
+    /// (`d1` ascending, `i1` ascending within a diagonal) — the wavefront
+    /// production order, so a prefix of completed diagonals serializes to
+    /// a contiguous, order-stable cell stream for
+    /// [`crate::checkpoint::TableSnapshot`].
+    pub fn export_diagonals(&self, done: usize) -> Vec<f32> {
+        let done = done.min(self.m);
+        let mut out = Vec::with_capacity(Self::diagonal_blocks(self.m, done) * self.block_len);
+        for d1 in 0..done {
+            for i1 in 0..self.m - d1 {
+                out.extend_from_slice(self.block(i1, i1 + d1));
+            }
+        }
+        out
+    }
+
+    /// Overwrite the blocks of outer diagonals `0..done` from a cell
+    /// stream produced by [`FTable::export_diagonals`] on a table of the
+    /// same shape and layout. The remaining diagonals are untouched (a
+    /// freshly acquired table holds `-∞` there, exactly the state the
+    /// wavefront drivers expect when resuming from diagonal `done`).
+    pub fn import_diagonals(&mut self, done: usize, cells: &[f32]) -> Result<(), BpMaxError> {
+        let done = done.min(self.m);
+        let expect = Self::diagonal_blocks(self.m, done) * self.block_len;
+        if cells.len() != expect {
+            return Err(BpMaxError::InvalidArgument {
+                detail: format!(
+                    "diagonal import: {} cells for {done} diagonals of a {}x{} table \
+                     (expected {expect})",
+                    cells.len(),
+                    self.m,
+                    self.n
+                ),
+            });
+        }
+        let mut offset = 0;
+        for d1 in 0..done {
+            for i1 in 0..self.m - d1 {
+                let next = offset + self.block_len;
+                self.block_mut(i1, i1 + d1)
+                    .copy_from_slice(&cells[offset..next]);
+                offset = next;
+            }
+        }
+        Ok(())
+    }
+
     /// Iterate all valid 4-index cells (slow; tests only).
     pub fn iter_cells(&self) -> impl Iterator<Item = (usize, usize, usize, usize)> + '_ {
         let (m, n) = (self.m, self.n);

@@ -49,10 +49,12 @@
 //! | [`screening`] | batch all-vs-all scoring and shuffle-null scan significance |
 //! | [`batch`] | the pooled batch engine: arena-recycled tables + adaptive scheduling |
 //! | [`supervise`] | cancellation, deadlines, memory budgets, outcomes, fault injection |
+//! | [`checkpoint`] | crash-safe batch journaling + integrity-verified table snapshots |
 //! | [`error`] | [`BpMaxError`], the error type of every fallible entry point |
 
 pub mod baseline;
 pub mod batch;
+pub mod checkpoint;
 pub mod engine;
 pub mod error;
 pub mod ftable;
@@ -67,6 +69,7 @@ pub mod traceback;
 pub mod windowed;
 
 pub use batch::{BatchEngine, BatchItem, BatchOptions, BatchReport, Policy};
+pub use checkpoint::{CheckpointSink, JournalRecord, RunManifest, TableSnapshot};
 pub use engine::{Algorithm, BpMaxProblem, Solution, SolveOptions, SupervisedSolve};
 pub use error::BpMaxError;
 pub use ftable::{BlockPool, FTable, PoolStats};

@@ -356,6 +356,11 @@ pub(crate) struct Watch {
     tick: Cell<u32>,
     /// Artificial per-checkpoint delay (fault injection only).
     slow: Option<Duration>,
+    /// Completed outer diagonals, maintained by the solver drivers via
+    /// [`Watch::note_progress`]. When an interrupt fires, the table's
+    /// diagonals `0..progress` hold final values — the granularity at
+    /// which [`crate::checkpoint`] snapshots an in-flight problem.
+    progress: Cell<usize>,
 }
 
 impl Watch {
@@ -371,6 +376,7 @@ impl Watch {
             deadline: None,
             tick: Cell::new(0),
             slow: None,
+            progress: Cell::new(0),
         }
     }
 
@@ -382,6 +388,7 @@ impl Watch {
             deadline: sup.deadline,
             tick: Cell::new(0),
             slow: None,
+            progress: Cell::new(0),
         }
     }
 
@@ -389,6 +396,20 @@ impl Watch {
     pub(crate) fn with_slow(mut self, delay: Duration) -> Watch {
         self.slow = Some(delay);
         self
+    }
+
+    /// Record that outer diagonals `0..done` of the table in flight hold
+    /// final values. Called by the solver drivers just before each
+    /// diagonal's checkpoint, so on interrupt [`Watch::progress`] names
+    /// exactly the resumable prefix.
+    #[inline]
+    pub(crate) fn note_progress(&self, done: usize) {
+        self.progress.set(done);
+    }
+
+    /// Completed outer diagonals of the solve this watch supervised.
+    pub(crate) fn progress(&self) -> usize {
+        self.progress.get()
     }
 
     /// The amortized checkpoint: cancellation every call, deadline every
@@ -727,6 +748,16 @@ mod tests {
         }
         // …and the next one reads the clock again.
         assert!(watch.check().is_err());
+    }
+
+    #[test]
+    fn watch_progress_tracks_noted_diagonals() {
+        let watch = Watch::none();
+        assert_eq!(watch.progress(), 0);
+        watch.note_progress(3);
+        assert_eq!(watch.progress(), 3);
+        watch.note_progress(7);
+        assert_eq!(watch.progress(), 7);
     }
 
     #[test]

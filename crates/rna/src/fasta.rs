@@ -3,8 +3,15 @@
 //! Enough for the example binaries to load real-ish sequence files: `>`
 //! header lines start a record, subsequent lines are sequence data, blank
 //! lines and `;` comment lines are skipped.
+//!
+//! Ingestion is deliberately tolerant of the formatting noise real files
+//! carry — CRLF line endings, a leading UTF-8 BOM, lowercase bases, `T`
+//! for `U`, whitespace-aligned sequence columns, blank trailing lines —
+//! and deliberately strict about the *content*: IUPAC ambiguity codes
+//! (`N`, `R`, `Y`, …), alignment gaps, and anything else outside
+//! `ACGU/T` are rejected with the exact line and character at fault.
 
-use crate::base::ParseBaseError;
+use crate::base::{Base, ParseBaseError};
 use crate::seq::RnaSeq;
 use std::fmt;
 use std::fs;
@@ -51,36 +58,48 @@ impl From<std::io::Error> for FastaError {
 }
 
 /// Parse FASTA text into records.
+///
+/// Sequence lines are validated as they are read, so a [`FastaError::BadBase`]
+/// names the line actually holding the offending character (not the end
+/// of the record).
 pub fn parse(text: &str) -> Result<Vec<Record>, FastaError> {
+    let text = text.strip_prefix('\u{feff}').unwrap_or(text);
     let mut records: Vec<Record> = Vec::new();
-    let mut current: Option<(String, String)> = None;
+    let mut current: Option<(String, Vec<Base>)> = None;
     for (idx, raw) in text.lines().enumerate() {
+        // `lines` already drops the `\n`; `trim` handles the `\r` of
+        // CRLF files plus any indentation
         let line = raw.trim();
         if line.is_empty() || line.starts_with(';') {
             continue;
         }
         if let Some(header) = line.strip_prefix('>') {
-            if let Some((id, seq)) = current.take() {
-                records.push(make_record(id, &seq, idx)?);
+            if let Some((id, bases)) = current.take() {
+                records.push(Record {
+                    id,
+                    seq: RnaSeq::new(bases),
+                });
             }
-            current = Some((header.trim().to_string(), String::new()));
+            current = Some((header.trim().to_string(), Vec::new()));
         } else {
-            match &mut current {
-                Some((_, seq)) => seq.push_str(line),
-                None => return Err(FastaError::DataBeforeHeader(idx + 1)),
+            let Some((_, bases)) = &mut current else {
+                return Err(FastaError::DataBeforeHeader(idx + 1));
+            };
+            for c in line.chars() {
+                if c.is_whitespace() {
+                    continue; // column-aligned sequence blocks
+                }
+                bases.push(Base::from_char(c).map_err(|e| FastaError::BadBase(idx + 1, e))?);
             }
         }
     }
-    if let Some((id, seq)) = current {
-        let line = text.lines().count();
-        records.push(make_record(id, &seq, line)?);
+    if let Some((id, bases)) = current {
+        records.push(Record {
+            id,
+            seq: RnaSeq::new(bases),
+        });
     }
     Ok(records)
-}
-
-fn make_record(id: String, seq: &str, line: usize) -> Result<Record, FastaError> {
-    let parsed: RnaSeq = seq.parse().map_err(|e| FastaError::BadBase(line, e))?;
-    Ok(Record { id, seq: parsed })
 }
 
 /// Read records from a file.
@@ -139,6 +158,48 @@ mod tests {
     fn rejects_bad_base_with_line() {
         let err = parse(">x\nACGZ\n").unwrap_err();
         assert!(matches!(err, FastaError::BadBase(..)));
+    }
+
+    #[test]
+    fn tolerates_real_world_formatting() {
+        // CRLF line endings, lowercase, T for U, blank trailing lines,
+        // whitespace-aligned columns, and a UTF-8 BOM — all accepted
+        let cases: &[(&str, &str)] = &[
+            (">x\r\nACGU\r\nGGCC\r\n", "ACGUGGCC"),
+            (">x\nacgu\n", "ACGU"),
+            (">x\nACGT\n", "ACGU"),
+            (">x\nACGU\n\n\n", "ACGU"),
+            (">x\nACG U\n", "ACGU"),
+            ("\u{feff}>x\nACGU\n", "ACGU"),
+            (">x\r\nacgt\r\n\r\n", "ACGU"),
+            (">x", ""),
+        ];
+        for (text, want) in cases {
+            let recs = parse(text).unwrap_or_else(|e| panic!("{text:?}: {e}"));
+            assert_eq!(recs.len(), 1, "{text:?}");
+            assert_eq!(recs[0].seq.to_string(), *want, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_content_naming_line_and_character() {
+        // (text, line the error must name, character it must name)
+        let cases: &[(&str, usize, char)] = &[
+            (">x\nACGN\n", 2, 'N'),           // ambiguity code
+            (">x\nACGU\nAYGU\n", 3, 'Y'),     // IUPAC code mid-record
+            (">x\nACGU\n>y\nARGU\n", 4, 'R'), // second record
+            (">x\nAC-GU\n", 2, '-'),          // alignment gap
+            (">x\nACG7\n", 2, '7'),           // stray digit
+        ];
+        for (text, line, ch) in cases {
+            match parse(text) {
+                Err(FastaError::BadBase(at, e)) => {
+                    assert_eq!(at, *line, "{text:?}");
+                    assert_eq!(e.0, *ch, "{text:?}");
+                }
+                other => panic!("{text:?}: expected BadBase, got {other:?}"),
+            }
+        }
     }
 
     #[test]
