@@ -2,10 +2,40 @@
 # Pre-PR gate: run everything the reviewer will run, in the order that
 # fails fastest. All steps must pass before a branch is pushed.
 #
-#   ./ci.sh                        # fmt + clippy + tests + docs + perf gate
+#   ./ci.sh                        # full gate (stage order below)
 #   BENCH_GATE=selfcheck ./ci.sh   # perf gate against a fresh same-host pin
 #   BENCH_GATE=update ./ci.sh      # re-pin results/baseline (after review)
 #   BENCH_GATE=off ./ci.sh         # correctness only
+#   SAN_GATE=off ./ci.sh           # skip the sanitizer stages
+#
+# Stage order (fail-fastest first):
+#   1. cargo fmt --check            cheapest, catches unformatted diffs
+#   2. cargo clippy -D warnings     compiler-adjacent static analysis
+#   3. bpmax-lint                   repo-specific rules (panic-free library
+#                                   code, justified atomic orderings,
+#                                   certificate-scoped unchecked indexing,
+#                                   no timing in solver hot loops)
+#   4. workspace tests              includes the lint self-test (mutant
+#                                   fixtures flagged + clean tree passes)
+#                                   and the certified-unchecked bit-identity
+#                                   property suite
+#   5. fault-injection suite        deterministic failure-path proofs
+#   6. crash-recovery suite         SIGKILL + resume bit-identity
+#   7. cargo doc -D warnings        rustdoc integrity
+#   8. sanitizers (SAN_GATE)        Miri over the kernel unit suites and
+#                                   ThreadSanitizer over the concurrency
+#                                   models — nightly-only; auto-skipped
+#                                   with a notice when the toolchain
+#                                   lacks them (offline containers)
+#   9. smoke-bench perf gate        noise-aware wall-clock regression gate
+#
+# SAN_GATE mirrors BENCH_GATE:
+#   auto       run each sanitizer iff the nightly toolchain supports it
+#              (default; a skip prints a notice, never fails)
+#   require    fail if either sanitizer is unavailable
+#   miri       run Miri only, fail if unavailable (CI nightly matrix)
+#   tsan       run ThreadSanitizer only, fail if unavailable (ditto)
+#   off        skip both sanitizer stages
 #
 # The perf gate (see README.md "Benchmark telemetry & regression gate")
 # runs a small smoke subset of the figure binaries and compares their
@@ -25,6 +55,7 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 BENCH_GATE="${BENCH_GATE:-baseline}"
+SAN_GATE="${SAN_GATE:-auto}"
 BENCH_REL_FLOOR="${BENCH_REL_FLOOR:-0.5}"
 BASELINE_DIR=results/baseline
 
@@ -33,6 +64,9 @@ cargo fmt --check
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== bpmax-lint (repo lint engine) =="
+cargo run -q -p bpmax-lint --offline -- .
 
 echo "== cargo test (workspace) =="
 cargo test --workspace --offline -q
@@ -52,6 +86,69 @@ cargo test -p bpmax-cli --features fault-inject --offline -q
 
 echo "== cargo doc (deny rustdoc warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
+
+# Miri interprets the certified-unchecked kernels' unit suites: any
+# out-of-bounds the polyhedral certificates failed to rule out is UB
+# Miri reports. Scoped to the kernel tests -- Miri is ~100x slower
+# than native. $1 is "required" or "auto".
+run_miri() {
+    if cargo +nightly miri --version > /dev/null 2>&1; then
+        echo "-- miri: bpmax kernel unit suites"
+        cargo +nightly miri test -p bpmax --lib --offline -q kernels::
+    elif [ "$1" = "required" ]; then
+        echo "ci.sh: SAN_GATE=$SAN_GATE but 'cargo +nightly miri' is unavailable" >&2
+        exit 2
+    else
+        echo "-- miri unavailable (needs nightly + 'rustup component add miri'); skipped"
+    fi
+}
+
+# ThreadSanitizer over the concurrency model tests (CancelToken / Watch
+# cancellation, BlockPool quarantine handoff) and the batch engine
+# suite. Needs nightly + rust-src (std is rebuilt instrumented so its
+# synchronization is visible to TSan). $1 is "required" or "auto".
+run_tsan() {
+    local host
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    if rustup component list --toolchain nightly 2> /dev/null | grep -q '^rust-src.*(installed)'; then
+        echo "-- tsan: loom models + batch suite ($host)"
+        RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread"             cargo +nightly test -Zbuild-std --target "$host" -p bpmax --offline -q             --test loom_models
+        RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread"             cargo +nightly test -Zbuild-std --target "$host" -p bpmax --offline -q             --lib batch::
+    elif [ "$1" = "required" ]; then
+        echo "ci.sh: SAN_GATE=$SAN_GATE but nightly rust-src is unavailable" >&2
+        exit 2
+    else
+        echo "-- tsan unavailable (needs nightly + 'rustup component add rust-src'); skipped"
+    fi
+}
+
+case "$SAN_GATE" in
+off)
+    echo "== sanitizers skipped (SAN_GATE=off) =="
+    ;;
+auto)
+    echo "== sanitizers (SAN_GATE=auto) =="
+    run_miri auto
+    run_tsan auto
+    ;;
+require)
+    echo "== sanitizers (SAN_GATE=require) =="
+    run_miri required
+    run_tsan required
+    ;;
+miri)
+    echo "== sanitizers (SAN_GATE=miri) =="
+    run_miri required
+    ;;
+tsan)
+    echo "== sanitizers (SAN_GATE=tsan) =="
+    run_tsan required
+    ;;
+*)
+    echo "ci.sh: unknown SAN_GATE '$SAN_GATE' (auto|require|miri|tsan|off)" >&2
+    exit 2
+    ;;
+esac
 
 if [ "$BENCH_GATE" = "off" ]; then
     echo "ci.sh: all gates passed (perf gate skipped: BENCH_GATE=off)"

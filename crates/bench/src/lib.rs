@@ -17,6 +17,7 @@
 //! `results/json/<name>.json` (see [`report`] for the schema); the
 //! `bench_compare` binary gates CI on those reports and
 //! `bench_aggregate` folds them into `BENCH_SUMMARY.json`.
+#![forbid(unsafe_code)]
 
 pub mod dmp;
 pub mod json;

@@ -24,7 +24,7 @@ pub(crate) const USAGE: &str = "usage:
                  [--deadline SECS] [--mem-budget BYTES]
                  [--checkpoint-dir DIR] [--resume]
   bpmax-cli info [M] [N]
-  bpmax-cli verify [M N] [--static]
+  bpmax-cli verify [M N] [--static] [--bounds]
   bpmax-cli help
 
 scan --batch solves every window as an independent problem on the pooled
@@ -46,7 +46,11 @@ or truncated checkpoint is a typed error (exit 2), never garbage.
 
 verify checks the paper's schedule tables against the BPMax dependence
 system: exhaustively at sizes M x N (any size; large sizes warn about
-cost), or symbolically for ALL sizes at once with --static.
+cost), or symbolically for ALL sizes at once with --static. --bounds
+instead emits the per-kernel memory-safety certificate: every access of
+every compute kernel (and MemMap::addr) proven in-bounds for all sizes
+and tile shapes, or a concrete integer witness of the violation. The
+flags compose; each failed certificate exits 1.
 
 <seq> arguments are RNA strings (ACGU/T) or paths to FASTA files.";
 
@@ -508,6 +512,12 @@ fn cmd_verify(args: Vec<String>) -> Result<String, CliError> {
     use polyhedral::affine::env;
     let mut args = args;
     let static_mode = take_flag(&mut args, "--static");
+    let bounds_mode = take_flag(&mut args, "--bounds");
+    if bounds_mode && !args.is_empty() {
+        return Err(usage(
+            "--bounds takes no sizes: it certifies all sizes and tiles at once",
+        ));
+    }
     let sets = [
         ("base (original order)", schedules::base_schedule()),
         ("fine-grain (Table II)", schedules::fine_grain()),
@@ -515,14 +525,60 @@ fn cmd_verify(args: Vec<String>) -> Result<String, CliError> {
         ("hybrid (Table IV)", schedules::hybrid()),
         ("hybrid+tiled (Table V)", schedules::hybrid_tiled(2, 2)),
     ];
+    let mut bounds_out = String::new();
+    let mut bounds_ok = true;
+    if bounds_mode {
+        use polyhedral::bounds::AccessVerdict;
+        for cert in bpmax::bounds::certify_kernels() {
+            let undecided = cert
+                .accesses
+                .iter()
+                .any(|a| matches!(a.verdict, AccessVerdict::Unknown { .. }));
+            let verdict = if cert.is_in_bounds() {
+                "IN-BOUNDS (all sizes)"
+            } else if undecided && cert.violations().next().is_none() {
+                bounds_ok = false;
+                "UNDECIDED"
+            } else {
+                bounds_ok = false;
+                "OUT-OF-BOUNDS"
+            };
+            let _ = writeln!(
+                bounds_out,
+                "{:<28} {:>4} cases  {verdict}",
+                cert.kernel,
+                cert.cases_checked()
+            );
+            for w in cert.violations() {
+                let _ = writeln!(bounds_out, "    {w}");
+            }
+        }
+        let _ = writeln!(
+            bounds_out,
+            "
+{}",
+            if bounds_ok {
+                "all kernel accesses certified in-bounds for every size and tile"
+            } else {
+                "KERNEL BOUNDS NOT CERTIFIED"
+            }
+        );
+        if !static_mode {
+            if !bounds_ok {
+                return Err(CliError::Check(bounds_out));
+            }
+            return Ok(bounds_out.trim_end().to_string());
+        }
+        let _ = writeln!(bounds_out);
+    }
     if static_mode {
         if !args.is_empty() {
             return Err(usage(
                 "--static takes no sizes: it certifies all M, N at once",
             ));
         }
-        let mut out = String::new();
-        let mut all_ok = true;
+        let mut out = bounds_out;
+        let mut all_ok = bounds_ok;
         for (name, sys) in &sets {
             let report = sys.verify_static();
             let verdict = if report.is_legal() {
@@ -940,6 +996,22 @@ mod tests {
         let out = run(&["verify", "--static"]).unwrap();
         assert!(out.contains("certified legal for every M, N"), "{out}");
         assert_eq!(out.matches("LEGAL (all sizes)").count(), 5, "{out}");
+    }
+
+    #[test]
+    fn verify_bounds_certifies_kernels() {
+        let out = run(&["verify", "--bounds"]).unwrap();
+        assert!(out.contains("certified in-bounds"), "{out}");
+        assert!(out.contains("r0_instance_permuted"), "{out}");
+        assert!(out.contains("memmap_addr"), "{out}");
+        assert!(run(&["verify", "3", "4", "--bounds"]).is_err()); // sizes + --bounds
+    }
+
+    #[test]
+    fn verify_bounds_composes_with_static() {
+        let out = run(&["verify", "--bounds", "--static"]).unwrap();
+        assert!(out.contains("certified in-bounds"), "{out}");
+        assert!(out.contains("certified legal for every M, N"), "{out}");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! `scan --batch` run (`--deadline`, `--mem-budget`) completes only
 //! partially — the partial ranked results and a failure summary still
 //! print to stdout.
+#![forbid(unsafe_code)]
 
 mod commands;
 

@@ -29,7 +29,7 @@ pub fn solve_baseline(ctx: &Ctx, layout: Layout) -> FTable {
 /// table. `f` must be freshly `-∞`-initialised with dims `ctx.m() × ctx.n()`.
 pub fn solve_baseline_into(ctx: &Ctx, mut f: FTable) -> FTable {
     solve_baseline_watched(ctx, &mut f, &Watch::none())
-        .expect("unsupervised solve cannot be interrupted");
+        .expect("unsupervised solve cannot be interrupted"); // lint: allow(expect): Watch::none() can never interrupt
     f
 }
 

@@ -604,7 +604,7 @@ impl BatchEngine {
         Ok(BatchReport {
             items: slots
                 .into_iter()
-                .map(|s| s.expect("every slot filled"))
+                .map(|s| s.expect("every slot filled")) // lint: allow(expect): the dispatch loop filled every slot
                 .collect(),
             wall_s: start.elapsed().as_secs_f64(),
             pool: self.blocks.stats(),
@@ -732,12 +732,14 @@ impl BatchEngine {
                     // block is dropped on the unwind path
                     let _hostage = f.take_block(0, 0);
                 }
-                panic!("injected fault: compute panic at problem {index}");
+                panic!("injected fault: compute panic at problem {index}"); // lint: allow(panic): deliberate injected fault (fault-inject harness)
             }
+            let bounds = crate::kernels::BoundsMode::build_default();
             if coarse {
-                problem.compute_serial_watched_range(algorithm, &mut f, start_diag, m, &watch)
+                problem
+                    .compute_serial_watched_range(algorithm, &mut f, start_diag, m, &watch, bounds)
             } else {
-                problem.compute_watched_range(algorithm, &mut f, start_diag, m, &watch)
+                problem.compute_watched_range(algorithm, &mut f, start_diag, m, &watch, bounds)
             }
         }));
         match run {
@@ -1040,7 +1042,7 @@ mod tests {
     fn tmpdir(tag: &str) -> std::path::PathBuf {
         use std::sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
-        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed); // ordering: unique-suffix counter only; nothing is published
         let p =
             std::env::temp_dir().join(format!("bpmax-batch-ckpt-{}-{tag}-{n}", std::process::id()));
         let _ = std::fs::remove_dir_all(&p);

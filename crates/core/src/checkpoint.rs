@@ -240,11 +240,11 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self, what: &str) -> Result<u32, BpMaxError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap())) // lint: allow(unwrap): take(4) returned exactly 4 bytes
     }
 
     fn u64(&mut self, what: &str) -> Result<u64, BpMaxError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap())) // lint: allow(unwrap): take(8) returned exactly 8 bytes
     }
 
     fn f32(&mut self, what: &str) -> Result<f32, BpMaxError> {
@@ -253,7 +253,7 @@ impl<'a> Cursor<'a> {
 
     fn f64(&mut self, what: &str) -> Result<f64, BpMaxError> {
         Ok(f64::from_bits(u64::from_le_bytes(
-            self.take(8, what)?.try_into().unwrap(),
+            self.take(8, what)?.try_into().unwrap(), // lint: allow(unwrap): take(8) returned exactly 8 bytes
         )))
     }
 
@@ -551,7 +551,7 @@ impl TableSnapshot {
         let raw = cur.take(count.saturating_mul(4), "snapshot cells")?;
         let cells = raw
             .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap())) // lint: allow(unwrap): chunks_exact(4) yields 4-byte chunks
             .collect();
         if !cur.done() {
             return Err(cur.corrupt("trailing bytes after snapshot".to_string()));
@@ -743,7 +743,7 @@ impl CheckpointSink {
     /// Journal one completed problem (atomic whole-file rewrite). Called
     /// from worker threads; failures are latched, not returned.
     pub fn record(&self, rec: &JournalRecord) {
-        let mut journal = self.journal.lock().unwrap();
+        let mut journal = self.journal.lock().unwrap(); // lint: allow(unwrap): holders never panic with the journal lock held
         put_frame(&mut journal, &rec.encode());
         let result = write_atomic(&journal_path(&self.dir), &journal);
         drop(journal);
@@ -757,7 +757,7 @@ impl CheckpointSink {
         let mut bytes = header(KIND_SNAPSHOT);
         put_frame(&mut bytes, &snap.encode());
         match write_atomic(&snapshot_path(&self.dir), &bytes) {
-            Ok(()) => *self.snapshot_for.lock().unwrap() = Some(snap.index),
+            Ok(()) => *self.snapshot_for.lock().unwrap() = Some(snap.index), // lint: allow(unwrap): holders never panic with this lock held
             Err(e) => self.latch(e),
         }
     }
@@ -765,7 +765,7 @@ impl CheckpointSink {
     /// Retire the on-disk snapshot once the problem it belonged to has a
     /// journaled result (no-op for any other index).
     pub fn complete(&self, index: u64) {
-        let mut owner = self.snapshot_for.lock().unwrap();
+        let mut owner = self.snapshot_for.lock().unwrap(); // lint: allow(unwrap): holders never panic with this lock held
         if *owner == Some(index) {
             let spath = snapshot_path(&self.dir);
             match fs::remove_file(&spath) {
@@ -782,11 +782,11 @@ impl CheckpointSink {
     /// The first I/O failure any write hit, if one did — the wave's
     /// results are valid, but the checkpoint on disk is behind.
     pub fn take_error(&self) -> Option<BpMaxError> {
-        self.error.lock().unwrap().take()
+        self.error.lock().unwrap().take() // lint: allow(unwrap): holders never panic with this lock held
     }
 
     fn latch(&self, e: BpMaxError) {
-        let mut slot = self.error.lock().unwrap();
+        let mut slot = self.error.lock().unwrap(); // lint: allow(unwrap): holders never panic with this lock held
         if slot.is_none() {
             *slot = Some(e);
         }
@@ -802,7 +802,7 @@ mod tests {
 
     fn tmpdir(tag: &str) -> PathBuf {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
-        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed); // ordering: unique-suffix counter only; nothing is published
         let p =
             std::env::temp_dir().join(format!("bpmax-ckpt-test-{}-{tag}-{n}", std::process::id()));
         let _ = fs::remove_dir_all(&p);

@@ -24,7 +24,8 @@ use crate::baseline::solve_baseline_watched_range;
 use crate::error::BpMaxError;
 use crate::ftable::{FTable, Layout};
 use crate::kernels::{
-    accumulate_r034_parallel, accumulate_r034_serial, finalize_triangle, Ctx, R0Order, Tile,
+    accumulate_r034_parallel_mode, accumulate_r034_serial_mode, finalize_triangle, BoundsMode, Ctx,
+    R0Order, Tile,
 };
 use crate::supervise::{
     CancelToken, Deadline, Interrupt, MemoryBudget, Outcome, Supervision, Watch,
@@ -167,6 +168,7 @@ pub struct SolveOptions {
     threads: Option<usize>,
     layout: Option<Layout>,
     tile: Option<Tile>,
+    bounds: Option<BoundsMode>,
     supervision: Supervision,
 }
 
@@ -181,6 +183,7 @@ impl Default for SolveOptions {
             threads: None,
             layout: None,
             tile: None,
+            bounds: None,
             supervision: Supervision::none(),
         }
     }
@@ -220,6 +223,22 @@ impl SolveOptions {
     #[must_use]
     pub fn tile(mut self, tile: Tile) -> Self {
         self.tile = Some(tile);
+        self
+    }
+
+    /// Select the certified-unchecked fast path (`true`) or force safe
+    /// indexing (`false`) in the Phase A kernels, overriding the build
+    /// default ([`BoundsMode::build_default`] — checked unless the
+    /// `certified-unchecked` feature is on). Results are bit-identical
+    /// either way; this is purely a performance knob, backed by the
+    /// in-bounds certificates of [`crate::bounds`].
+    #[must_use]
+    pub fn certified_unchecked(mut self, on: bool) -> Self {
+        self.bounds = Some(if on {
+            BoundsMode::CertifiedUnchecked
+        } else {
+            BoundsMode::Checked
+        });
         self
     }
 
@@ -278,6 +297,12 @@ impl SolveOptions {
     /// The requested thread count, if any.
     pub(crate) fn requested_threads(&self) -> Option<usize> {
         self.threads
+    }
+
+    /// The bounds mode to solve with (explicit override or the build
+    /// default).
+    pub(crate) fn resolved_bounds_mode(&self) -> BoundsMode {
+        self.bounds.unwrap_or_default()
     }
 
     /// The layout to solve with, given the problem's own.
@@ -368,6 +393,7 @@ impl BpMaxProblem {
             }
         }
         let mut f = FTable::try_new(self.ctx.m(), self.ctx.n(), layout)?;
+        let bounds = opts.resolved_bounds_mode();
         match opts.requested_threads() {
             Some(threads) => {
                 let pool = rayon::ThreadPoolBuilder::new()
@@ -376,9 +402,9 @@ impl BpMaxProblem {
                     .map_err(|e| BpMaxError::InvalidArgument {
                         detail: format!("building rayon pool of {threads} threads: {e}"),
                     })?;
-                pool.install(|| self.compute_watched(algorithm, &mut f, &watch))
+                pool.install(|| self.compute_watched(algorithm, &mut f, &watch, bounds))
             }
-            None => self.compute_watched(algorithm, &mut f, &watch),
+            None => self.compute_watched(algorithm, &mut f, &watch, bounds),
         }
         .map_err(Interrupt::into_error)?;
         Ok(Solution { problem: self, f })
@@ -466,7 +492,7 @@ impl BpMaxProblem {
     /// [`SolveOptions::threads`].
     pub fn solve_with_threads(&self, algorithm: Algorithm, threads: usize) -> Solution<'_> {
         self.solve_opts(&SolveOptions::new().algorithm(algorithm).threads(threads))
-            .expect("legacy solve_with_threads")
+            .expect("legacy solve_with_threads") // lint: allow(expect): no supervision, cannot be interrupted
     }
 
     /// Compute only the F-table (no solution wrapper) — benches use this.
@@ -484,8 +510,13 @@ impl BpMaxProblem {
     /// matching dims) — the allocation-free path the batch engine's block
     /// pool feeds.
     pub(crate) fn compute_into(&self, algorithm: Algorithm, mut f: FTable) -> FTable {
-        self.compute_watched(algorithm, &mut f, &Watch::none())
-            .expect("unsupervised solve cannot be interrupted");
+        self.compute_watched(
+            algorithm,
+            &mut f,
+            &Watch::none(),
+            BoundsMode::build_default(),
+        )
+        .expect("unsupervised solve cannot be interrupted"); // lint: allow(expect): Watch::none() can never interrupt
         f
     }
 
@@ -498,8 +529,9 @@ impl BpMaxProblem {
         algorithm: Algorithm,
         f: &mut FTable,
         watch: &Watch,
+        bounds: BoundsMode,
     ) -> Result<(), Interrupt> {
-        self.compute_watched_range(algorithm, f, 0, self.ctx.m(), watch)
+        self.compute_watched_range(algorithm, f, 0, self.ctx.m(), watch, bounds)
     }
 
     /// [`BpMaxProblem::compute_watched`] over outer diagonals
@@ -514,25 +546,19 @@ impl BpMaxProblem {
         start: usize,
         end: usize,
         watch: &Watch,
+        bounds: BoundsMode,
     ) -> Result<(), Interrupt> {
-        match algorithm {
-            Algorithm::Baseline => solve_baseline_watched_range(&self.ctx, f, start, end, watch),
-            Algorithm::Permuted => {
-                self.wavefront_range(WaveMode::Serial(R0Order::Permuted), f, start, end, watch)
+        let wave = match algorithm {
+            Algorithm::Baseline => {
+                return solve_baseline_watched_range(&self.ctx, f, start, end, watch)
             }
-            Algorithm::CoarseGrain => {
-                self.wavefront_range(WaveMode::Coarse(R0Order::Permuted), f, start, end, watch)
-            }
-            Algorithm::FineGrain => {
-                self.wavefront_range(WaveMode::Fine(R0Order::Permuted), f, start, end, watch)
-            }
-            Algorithm::Hybrid => {
-                self.wavefront_range(WaveMode::Hybrid(R0Order::Permuted), f, start, end, watch)
-            }
-            Algorithm::HybridTiled { tile } => {
-                self.wavefront_range(WaveMode::Hybrid(R0Order::Tiled(tile)), f, start, end, watch)
-            }
-        }
+            Algorithm::Permuted => WaveMode::Serial(R0Order::Permuted),
+            Algorithm::CoarseGrain => WaveMode::Coarse(R0Order::Permuted),
+            Algorithm::FineGrain => WaveMode::Fine(R0Order::Permuted),
+            Algorithm::Hybrid => WaveMode::Hybrid(R0Order::Permuted),
+            Algorithm::HybridTiled { tile } => WaveMode::Hybrid(R0Order::Tiled(tile)),
+        };
+        self.wavefront_range(wave, f, start, end, watch, bounds)
     }
 
     /// Fully serial traversal that keeps `algorithm`'s `R0` loop order,
@@ -548,10 +574,18 @@ impl BpMaxProblem {
         start: usize,
         end: usize,
         watch: &Watch,
+        bounds: BoundsMode,
     ) -> Result<(), Interrupt> {
         match algorithm {
             Algorithm::Baseline => solve_baseline_watched_range(&self.ctx, f, start, end, watch),
-            other => self.wavefront_range(WaveMode::Serial(other.r0_order()), f, start, end, watch),
+            other => self.wavefront_range(
+                WaveMode::Serial(other.r0_order()),
+                f,
+                start,
+                end,
+                watch,
+                bounds,
+            ),
         }
     }
 
@@ -562,8 +596,15 @@ impl BpMaxProblem {
     pub fn compute_prefix(&self, algorithm: Algorithm, upto: usize) -> Result<FTable, BpMaxError> {
         algorithm.validate()?;
         let mut f = FTable::try_new(self.ctx.m(), self.ctx.n(), self.layout)?;
-        self.compute_watched_range(algorithm, &mut f, 0, upto, &Watch::none())
-            .map_err(Interrupt::into_error)?;
+        self.compute_watched_range(
+            algorithm,
+            &mut f,
+            0,
+            upto,
+            &Watch::none(),
+            BoundsMode::build_default(),
+        )
+        .map_err(Interrupt::into_error)?;
         Ok(f)
     }
 
@@ -589,8 +630,15 @@ impl BpMaxProblem {
                 ),
             });
         }
-        self.compute_watched_range(algorithm, f, start, self.ctx.m(), &Watch::none())
-            .map_err(Interrupt::into_error)
+        self.compute_watched_range(
+            algorithm,
+            f,
+            start,
+            self.ctx.m(),
+            &Watch::none(),
+            BoundsMode::build_default(),
+        )
+        .map_err(Interrupt::into_error)
     }
 
     /// The shared wavefront driver: ascending outer diagonals `start..end`,
@@ -606,11 +654,12 @@ impl BpMaxProblem {
         start: usize,
         end: usize,
         watch: &Watch,
+        bounds: BoundsMode,
     ) -> Result<(), Interrupt> {
         let ctx = &self.ctx;
         let m = ctx.m();
         let n = ctx.n();
-        debug_assert!(f.m() == m && f.n() == n, "table shape mismatch");
+        assert!(f.m() == m && f.n() == n, "table shape mismatch");
         if m == 0 || n == 0 {
             return Ok(());
         }
@@ -623,7 +672,7 @@ impl BpMaxProblem {
                     for i1 in 0..m - d1 {
                         let j1 = i1 + d1;
                         let mut acc = f.take_block(i1, j1);
-                        accumulate_r034_serial(ctx, f, i1, j1, &mut acc, order);
+                        accumulate_r034_serial_mode(ctx, f, i1, j1, &mut acc, order, bounds);
                         let prev = prev_block(f, i1, j1);
                         finalize_triangle(ctx, i1, j1, f, prev, &mut acc);
                         f.put_block(i1, j1, acc);
@@ -637,7 +686,7 @@ impl BpMaxProblem {
                         .collect();
                     taken.par_iter_mut().for_each(|(i1, acc)| {
                         let j1 = *i1 + d1;
-                        accumulate_r034_serial(ctx, f, *i1, j1, acc, order);
+                        accumulate_r034_serial_mode(ctx, f, *i1, j1, acc, order, bounds);
                         let prev = prev_block(f, *i1, j1);
                         finalize_triangle(ctx, *i1, j1, f, prev, acc);
                     });
@@ -651,7 +700,7 @@ impl BpMaxProblem {
                     for i1 in 0..m - d1 {
                         let j1 = i1 + d1;
                         let mut acc = f.take_block(i1, j1);
-                        accumulate_r034_parallel(ctx, f, i1, j1, &mut acc, order);
+                        accumulate_r034_parallel_mode(ctx, f, i1, j1, &mut acc, order, bounds);
                         let prev = prev_block(f, i1, j1);
                         finalize_triangle(ctx, i1, j1, f, prev, &mut acc);
                         f.put_block(i1, j1, acc);
@@ -665,7 +714,7 @@ impl BpMaxProblem {
                         .map(|i1| (i1, f.take_block(i1, i1 + d1)))
                         .collect();
                     for (i1, acc) in &mut taken {
-                        accumulate_r034_parallel(ctx, f, *i1, *i1 + d1, acc, order);
+                        accumulate_r034_parallel_mode(ctx, f, *i1, *i1 + d1, acc, order, bounds);
                     }
                     taken.par_iter_mut().for_each(|(i1, acc)| {
                         let j1 = *i1 + d1;
@@ -999,8 +1048,15 @@ mod tests {
         for &alg in Algorithm::ALL {
             let reference = p.compute(alg);
             let mut f = FTable::new(reference.m(), reference.n(), reference.layout());
-            p.compute_serial_watched_range(alg, &mut f, 0, reference.m(), &Watch::none())
-                .unwrap();
+            p.compute_serial_watched_range(
+                alg,
+                &mut f,
+                0,
+                reference.m(),
+                &Watch::none(),
+                BoundsMode::build_default(),
+            )
+            .unwrap();
             for (i1, j1, i2, j2) in reference.iter_cells().collect::<Vec<_>>() {
                 assert_eq!(
                     f.get(i1, j1, i2, j2),

@@ -103,9 +103,9 @@ impl BlockPool {
             }
         };
         if buf.capacity() >= len {
-            self.reused.fetch_add(1, Ordering::Relaxed);
+            self.reused.fetch_add(1, Ordering::Relaxed); // ordering: monotone stats counter
         } else {
-            self.allocated.fetch_add(1, Ordering::Relaxed);
+            self.allocated.fetch_add(1, Ordering::Relaxed); // ordering: monotone stats counter
         }
         buf.clear();
         buf.resize(len, NEG_INF);
@@ -114,7 +114,7 @@ impl BlockPool {
 
     /// Return a buffer to the pool for later reuse.
     pub fn release(&self, buf: Vec<f32>) {
-        self.recycled.fetch_add(1, Ordering::Relaxed);
+        self.recycled.fetch_add(1, Ordering::Relaxed); // ordering: monotone stats counter
         let mut spares = self.lock_spares();
         let pos = spares.partition_point(|s| s.capacity() < buf.capacity());
         spares.insert(pos, buf);
@@ -127,17 +127,17 @@ impl BlockPool {
     /// problem. Safe over-approximation: quarantining costs one fresh
     /// allocation later, recycling a bad buffer costs correctness.
     pub fn quarantine(&self, buf: Vec<f32>) {
-        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        self.quarantined.fetch_add(1, Ordering::Relaxed); // ordering: monotone stats counter
         drop(buf);
     }
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
-            allocated: self.allocated.load(Ordering::Relaxed),
-            reused: self.reused.load(Ordering::Relaxed),
-            recycled: self.recycled.load(Ordering::Relaxed),
-            quarantined: self.quarantined.load(Ordering::Relaxed),
+            allocated: self.allocated.load(Ordering::Relaxed), // ordering: monotone stats counter
+            reused: self.reused.load(Ordering::Relaxed),       // ordering: monotone stats counter
+            recycled: self.recycled.load(Ordering::Relaxed),   // ordering: monotone stats counter
+            quarantined: self.quarantined.load(Ordering::Relaxed), // ordering: monotone stats counter
         }
     }
 
@@ -172,7 +172,7 @@ impl FTable {
     /// Panics on sizes the address arithmetic cannot represent; the
     /// fallible front door is [`FTable::try_new`].
     pub fn new(m: usize, n: usize, layout: Layout) -> Self {
-        Self::try_new(m, n, layout).expect("F-table size overflow")
+        Self::try_new(m, n, layout).expect("F-table size overflow") // lint: allow(expect): documented panicking front door; try_new is fallible
     }
 
     /// Fallible allocation: checks the `Θ(M²N²)` footprint against the

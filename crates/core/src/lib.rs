@@ -45,15 +45,27 @@
 //! | [`schedules`] | Tables I–V encoded as `polyhedral` schedules + dependence system, machine-verified |
 //! | [`nests`] | generated loop nests per version (Table VI LOC metric) |
 //! | [`perfmodel`] | calibrated cost model + `simsched` composition for the multi-thread figures |
-//! | [`windowed`] | banded/windowed BPMax (the Glidemaster-style restriction) |
+//! | [`windowed`] | banded/windowed `BPMax` (the Glidemaster-style restriction) |
 //! | [`screening`] | batch all-vs-all scoring and shuffle-null scan significance |
 //! | [`batch`] | the pooled batch engine: arena-recycled tables + adaptive scheduling |
 //! | [`supervise`] | cancellation, deadlines, memory budgets, outcomes, fault injection |
 //! | [`checkpoint`] | crash-safe batch journaling + integrity-verified table snapshots |
 //! | [`error`] | [`BpMaxError`], the error type of every fallible entry point |
+//!
+//! # Safety policy
+//!
+//! The crate denies `unsafe_code` globally. The only exemptions are the
+//! `certified-unchecked` kernels in [`kernels`], each carrying a
+//! per-function `#[allow(unsafe_code)]` plus a `certified-by:` pointer
+//! to the [`bounds`] certificate (exact Fourier–Motzkin in-bounds proof
+//! over all problem and tile sizes — `bpmax-cli verify --bounds`) that
+//! justifies every elided check.
+
+#![deny(unsafe_code)]
 
 pub mod baseline;
 pub mod batch;
+pub mod bounds;
 pub mod checkpoint;
 pub mod engine;
 pub mod error;
@@ -73,4 +85,5 @@ pub use checkpoint::{CheckpointSink, JournalRecord, RunManifest, TableSnapshot};
 pub use engine::{Algorithm, BpMaxProblem, Solution, SolveOptions, SupervisedSolve};
 pub use error::BpMaxError;
 pub use ftable::{BlockPool, FTable, PoolStats};
+pub use kernels::BoundsMode;
 pub use supervise::{CancelToken, Deadline, MemoryBudget, Outcome, OutcomeCounts, Supervision};

@@ -57,12 +57,12 @@ impl CancelToken {
     /// Request cancellation: every solve watching this token (or a clone
     /// of it) stops at its next checkpoint.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Release);
+        self.flag.store(true, Ordering::Release); // ordering: Release pairs with the Acquire load in is_cancelled
     }
 
     /// Has [`CancelToken::cancel`] been called?
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
+        self.flag.load(Ordering::Acquire) // ordering: Acquire pairs with the Release store in cancel
     }
 }
 

@@ -96,7 +96,7 @@ impl WindowedTable {
 /// point of this variant is the `Θ(M²·N·w)` footprint, not peak FLOPS.
 pub fn solve_windowed(ctx: &Ctx, w: usize) -> WindowedTable {
     solve_windowed_watched(ctx, w, &Watch::none())
-        .expect("unsupervised solve cannot be interrupted")
+        .expect("unsupervised solve cannot be interrupted") // lint: allow(expect): Watch::none() can never interrupt
 }
 
 /// [`solve_windowed`] under supervision: one checkpoint per `(d1, d2)`

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 fn tmpdir(tag: &str) -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
-    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed); // ordering: unique-suffix counter only; nothing is published
     let dir =
         std::env::temp_dir().join(format!("bpmax-roundtrip-{}-{tag}-{n}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

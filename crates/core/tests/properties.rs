@@ -4,7 +4,7 @@
 use bpmax::kernels::Tile;
 use bpmax::spec::{spec_score, SpecEval};
 use bpmax::windowed::solve_windowed;
-use bpmax::{Algorithm, BpMaxProblem};
+use bpmax::{Algorithm, BpMaxProblem, SolveOptions};
 use proptest::prelude::*;
 use rna::base::BASES;
 use rna::{RnaSeq, ScoringModel};
@@ -46,6 +46,31 @@ proptest! {
         let want = p.solve(Algorithm::Permuted).score();
         let tile = Tile { i2: ti, k2: tk, j2: tj };
         prop_assert_eq!(p.solve(Algorithm::HybridTiled { tile }).score(), want);
+    }
+
+    #[test]
+    fn certified_unchecked_is_bit_identical(s1 in seq(7), s2 in seq(7), model in scoring()) {
+        // The certified-unchecked fast path must produce the *same bits*
+        // as the safe path in every cell of the F-table, for every
+        // program version — the contract `bpmax-cli verify --bounds`
+        // certifies statically and this test checks dynamically.
+        let p = BpMaxProblem::new(s1.clone(), s2.clone(), model);
+        for &alg in Algorithm::ALL {
+            let safe = p
+                .solve_opts(&SolveOptions::new().algorithm(alg).certified_unchecked(false))
+                .unwrap();
+            let fast = p
+                .solve_opts(&SolveOptions::new().algorithm(alg).certified_unchecked(true))
+                .unwrap();
+            let (fs, ff) = (safe.ftable(), fast.ftable());
+            for (i1, j1, i2, j2) in fs.iter_cells() {
+                prop_assert_eq!(
+                    fs.get(i1, j1, i2, j2).to_bits(),
+                    ff.get(i1, j1, i2, j2).to_bits(),
+                    "{:?} F[{},{},{},{}] on {}/{}", alg, i1, j1, i2, j2, &s1, &s2
+                );
+            }
+        }
     }
 
     #[test]

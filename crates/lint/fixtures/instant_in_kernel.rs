@@ -1,0 +1,16 @@
+// Mutant fixture: `instant-hot-loop` must flag the bare Instant::now
+// when this file is linted under a hot-path name
+// (crates/core/src/kernels.rs) and accept the escaped one.
+
+use std::time::Instant;
+
+pub fn timed_row() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn timed_row_escaped() -> f64 {
+    // lint: allow(instant): one-shot calibration outside the wavefront loop
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,14 @@
+// Mutant fixture: `atomic-ordering` must flag the bare Relaxed load and
+// the SeqCst store, and accept the justified fetch_add.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::SeqCst);
+    c.load(Ordering::Relaxed)
+}
+
+pub fn bump_justified(c: &AtomicUsize) -> usize {
+    // ordering: monotone counter, readers only need eventual visibility
+    c.fetch_add(1, Ordering::Relaxed)
+}

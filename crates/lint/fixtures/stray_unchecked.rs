@@ -1,0 +1,16 @@
+// Mutant fixture: `certified-unchecked` must flag the bare
+// `get_unchecked` and accept the certificate-scoped one.
+
+#[allow(unsafe_code)]
+pub fn head(xs: &[f32]) -> f32 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+/// Reads the first element without a bounds check.
+///
+/// certified-by: `bounds::demo_spec` (tier 1); caller asserts non-empty.
+#[allow(unsafe_code)]
+pub fn head_certified(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty());
+    unsafe { *xs.get_unchecked(0) }
+}

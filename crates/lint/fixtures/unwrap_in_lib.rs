@@ -1,0 +1,24 @@
+// Mutant fixture: `no-panic` must flag each of the three calls below
+// (library file, not in a test region, no escape comment).
+
+pub fn parse_len(s: &str) -> usize {
+    let n: usize = s.parse().unwrap();
+    if n == 0 {
+        panic!("zero length");
+    }
+    n
+}
+
+pub fn first(xs: &[u8]) -> u8 {
+    xs.first().copied().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    // In the test tail the same calls are fine.
+    #[test]
+    fn t() {
+        let n: usize = "3".parse().unwrap();
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,29 @@
+//! `bpmax-lint` binary: lint the workspace, print findings, exit 1 if any.
+//!
+//! Usage: `bpmax-lint [workspace-root]` (default: current directory).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    match bpmax_lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("bpmax-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("bpmax-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bpmax-lint: error walking {}: {e}", root.display());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -60,7 +60,7 @@ impl Set {
         }
         let mut wb = false;
         if self.tags.len() == self.assoc {
-            let (_, dirty) = self.tags.pop().unwrap();
+            let (_, dirty) = self.tags.pop().unwrap(); // lint: allow(unwrap): len == assoc >= 1 here
             wb = dirty;
         }
         self.tags.insert(0, (tag, write));

@@ -19,6 +19,7 @@
 //!   paper's hardware performance counters).
 //! * [`traffic`] — closed-form working-set/traffic estimates for the `BPMax`
 //!   reductions (the Θ(N²)-per-row analysis of §V.C).
+#![forbid(unsafe_code)]
 
 pub mod cache;
 pub mod roofline;

@@ -68,7 +68,7 @@ impl Roofline {
             .roofs()
             .into_iter()
             .find(|r| r.name == level)
-            .unwrap_or_else(|| panic!("unknown memory level {level:?}"));
+            .unwrap_or_else(|| panic!("unknown memory level {level:?}")); // lint: allow(panic): unknown level is a caller bug, documented
         (ai * roof.bw_gbps).min(self.peak())
     }
 
@@ -79,7 +79,7 @@ impl Roofline {
             .roofs()
             .into_iter()
             .find(|r| r.name == level)
-            .unwrap_or_else(|| panic!("unknown memory level {level:?}"));
+            .unwrap_or_else(|| panic!("unknown memory level {level:?}")); // lint: allow(panic): unknown level is a caller bug, documented
         self.peak() / roof.bw_gbps
     }
 

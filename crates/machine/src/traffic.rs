@@ -41,7 +41,7 @@ pub fn r1r2_row_working_set_bytes(n: usize) -> usize {
 /// Does the `R1`/`R2` row working set fit in the machine's last-level
 /// cache? (The paper's N = 2048 case: 16 MB > 15 MB L3 → no.)
 pub fn r1r2_row_fits_llc(spec: &MachineSpec, n: usize) -> bool {
-    let llc = spec.caches.last().expect("machine has caches").size_bytes;
+    let llc = spec.caches.last().expect("machine has caches").size_bytes; // lint: allow(expect): every MachineSpec lists at least one cache
     r1r2_row_working_set_bytes(n) <= llc
 }
 

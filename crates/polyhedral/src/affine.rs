@@ -80,7 +80,7 @@ impl AffineExpr {
             }
             let val = *env
                 .get(v)
-                .unwrap_or_else(|| panic!("unbound variable {v:?} in affine expression {self}"));
+                .unwrap_or_else(|| panic!("unbound variable {v:?} in affine expression {self}")); // lint: allow(panic): unbound variable is a caller bug, documented
             acc += c * val;
         }
         acc

@@ -55,9 +55,9 @@ impl Bound {
     pub fn eval(&self, env: &Env) -> i64 {
         let it = self.exprs.iter().map(|e| e.eval(env));
         if self.is_min {
-            it.min().unwrap()
+            it.min().unwrap() // lint: allow(unwrap): bound lists are non-empty by construction
         } else {
-            it.max().unwrap()
+            it.max().unwrap() // lint: allow(unwrap): bound lists are non-empty by construction
         }
     }
 

@@ -278,7 +278,7 @@ impl System {
     pub fn schedule(&self, var: &str) -> &Schedule {
         self.schedules
             .get(var)
-            .unwrap_or_else(|| panic!("no schedule set for {var:?}"))
+            .unwrap_or_else(|| panic!("no schedule set for {var:?}")) // lint: allow(panic): missing schedule is a caller bug, documented
     }
 
     /// Verify every dependence instance at the given parameter values.

@@ -149,7 +149,7 @@ impl Domain {
     pub fn param_box(&self, params: &Env, param: &str) -> Vec<(i64, i64)> {
         let b = *params
             .get(param)
-            .unwrap_or_else(|| panic!("parameter {param:?} unbound"));
+            .unwrap_or_else(|| panic!("parameter {param:?} unbound")); // lint: allow(panic): unbound parameter is a caller bug
         vec![(0, b); self.indices.len()]
     }
 

@@ -76,10 +76,11 @@
 //! "#).unwrap();
 //! assert!(!bad.verify(&env(&[("N", 10)]), 10, 5).is_empty());
 //! ```
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod affine;
+pub mod bounds;
 pub mod codegen;
 pub mod dependence;
 pub mod domain;
@@ -92,6 +93,10 @@ pub mod tiling;
 pub mod verify_static;
 
 pub use affine::{AffineExpr, AffineMap, Env};
+pub use bounds::{
+    AccessReport, AccessSpec, AccessVerdict, BoundsCertificate, BoundsOptions, BoundsViolation,
+    KernelSpec, Region,
+};
 pub use dependence::{Dependence, System, Var, Violation};
 pub use domain::{Constraint, Domain};
 pub use presburger::{Assignment, Budget, Feasibility, LinExpr, Polyhedron};

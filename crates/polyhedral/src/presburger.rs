@@ -145,7 +145,7 @@ impl LinExpr {
             if c != 0 {
                 let val = *env
                     .get(v)
-                    .unwrap_or_else(|| panic!("unbound variable `{v}` in LinExpr::eval"));
+                    .unwrap_or_else(|| panic!("unbound variable `{v}` in LinExpr::eval")); // lint: allow(panic): unbound variable is a caller bug
                 acc += c * i128::from(val);
             }
         }
@@ -382,8 +382,8 @@ impl<'a> Solver<'a> {
                     .iter()
                     .find(|(_, &c)| c == 1 || c == -1)
                     .map(|(v, &c)| (v.clone(), c))
-                    .expect("unit coefficient just found");
-                // coeff * var + rest = 0  ⟹  var = -rest / coeff.
+                    .expect("unit coefficient just found"); // lint: allow(expect): the find above just located this coefficient
+                                                            // coeff * var + rest = 0  ⟹  var = -rest / coeff.
                 let mut rest = eq.clone();
                 rest.coeffs.remove(&var);
                 let replacement = rest.scale(-coeff); // 1/coeff == coeff for ±1
@@ -428,7 +428,7 @@ impl<'a> Solver<'a> {
                     let neg = system.iter().filter(|e| e.coeff(v) < 0).count();
                     (pos * neg, pos + neg)
                 })
-                .expect("non-empty var set")
+                .expect("non-empty var set") // lint: allow(expect): loop guard ensures vars remain
                 .to_string();
 
             let mut rest = Vec::new();

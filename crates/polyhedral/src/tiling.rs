@@ -31,7 +31,7 @@ pub fn strip_mine(schedule: &Schedule, band: &[usize], sizes: &[i64]) -> Schedul
     assert_eq!(band.len(), sizes.len(), "band/sizes length mismatch");
     assert!(!band.is_empty(), "empty tiling band");
     let dims = schedule.dims();
-    let first = *band.iter().min().unwrap();
+    let first = *band.iter().min().unwrap(); // lint: allow(unwrap): band verified non-empty above
     assert!(
         band.iter().all(|&d| d < dims.len()),
         "band dimension out of range"
@@ -44,7 +44,7 @@ pub fn strip_mine(schedule: &Schedule, band: &[usize], sizes: &[i64]) -> Schedul
                 expr: e.clone(),
                 size: s,
             }),
-            SchedDim::Tiled { .. } => panic!("dimension {d} is already tiled"),
+            SchedDim::Tiled { .. } => panic!("dimension {d} is already tiled"), // lint: allow(panic): double-tiling a dim is a caller bug
         }
     }
     let mut new_dims = Vec::with_capacity(dims.len() + band.len());

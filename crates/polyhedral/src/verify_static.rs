@@ -497,7 +497,7 @@ impl<'a> DepAnalysis<'a> {
             .map(|p| {
                 (
                     p.clone(),
-                    *witness.get(p).expect("params are always constrained"),
+                    *witness.get(p).expect("params are always constrained"), // lint: allow(expect): system constructors constrain every parameter
                 )
             })
             .collect();

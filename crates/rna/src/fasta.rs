@@ -116,7 +116,7 @@ pub fn render(records: &[Record]) -> String {
         out.push('\n');
         let s = r.seq.to_string();
         for chunk in s.as_bytes().chunks(60) {
-            out.push_str(std::str::from_utf8(chunk).unwrap());
+            out.push_str(std::str::from_utf8(chunk).unwrap()); // lint: allow(unwrap): sequence bytes are ASCII base letters
             out.push('\n');
         }
         if r.seq.is_empty() {

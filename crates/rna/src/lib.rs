@@ -29,6 +29,7 @@
 //! let st = fold.traceback();
 //! assert_eq!(st.pairs().len(), 3);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod base;
 pub mod datasets;

@@ -18,6 +18,7 @@
 //! * [`distributed`] — an MPI-cluster model of the wavefront (the paper's
 //!   future-work item), exposing the latency-bound vs compute-bound
 //!   regimes of a distributed `BPMax`.
+#![forbid(unsafe_code)]
 
 pub mod distributed;
 pub mod sched;

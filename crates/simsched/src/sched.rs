@@ -79,8 +79,8 @@ pub fn simulate_dag_speed(graph: &TaskGraph, workers: usize, speed: f64) -> SimR
     let mut done = 0usize;
     loop {
         while !ready.is_empty() && !free.is_empty() {
-            let t = ready.pop_front().unwrap();
-            let w = free.pop_front().unwrap();
+            let t = ready.pop_front().unwrap(); // lint: allow(unwrap): loop guard checked non-empty
+            let w = free.pop_front().unwrap(); // lint: allow(unwrap): loop guard checked non-empty
             let dur = graph.cost(t) / speed;
             busy[w] += dur;
             running.push(Reverse((OrdF64(now + dur), t, w)));
@@ -187,7 +187,7 @@ fn simulate_grab(
         (0..workers).map(|w| Reverse((OrdF64(0.0), w))).collect();
     let mut makespan = 0.0f64;
     while next < n {
-        let Reverse((OrdF64(t), w)) = heap.pop().unwrap();
+        let Reverse((OrdF64(t), w)) = heap.pop().unwrap(); // lint: allow(unwrap): heap holds one entry per worker
         let take = chunk_fn(n - next, w).min(n - next).max(1);
         let dur: f64 = costs[next..next + take].iter().sum();
         next += take;

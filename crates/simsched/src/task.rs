@@ -106,7 +106,7 @@ impl TaskGraph {
 
     /// Critical-path length (the ∞-thread makespan). Panics on cycles.
     pub fn critical_path(&self) -> f64 {
-        let order = self.topo_order().expect("task graph has a cycle");
+        let order = self.topo_order().expect("task graph has a cycle"); // lint: allow(expect): cycles panic by contract; topo_order is the fallible path
         let mut finish = vec![0.0f64; self.len()];
         for &t in &order {
             let start = finish[t]; // accumulated via predecessors below

@@ -43,6 +43,7 @@
 //! // (A ⊗ B)[0][1] = max(A[0][0]+B[0][1], A[0][1]+B[1][1]) = max(0+0, 1+3) = 4
 //! assert_eq!(c1[(0, 1)], 4.0);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod gemm;
 pub mod matrix;

