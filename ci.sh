@@ -21,13 +21,26 @@
 #                                   property suite
 #   5. fault-injection suite        deterministic failure-path proofs
 #   6. crash-recovery suite         SIGKILL + resume bit-identity
-#   7. cargo doc -D warnings        rustdoc integrity
-#   8. sanitizers (SAN_GATE)        Miri over the kernel unit suites and
+#   7. feature matrix (FEATURE_GATE) cargo test under the cargo-feature
+#                                   combinations (certified-unchecked,
+#                                   simd, both) whose defaults the other
+#                                   stages don't exercise — every combo
+#                                   is pinned bit-identical
+#   8. cargo doc -D warnings        rustdoc integrity
+#   9. sanitizers (SAN_GATE)        Miri over the kernel unit suites and
 #                                   ThreadSanitizer over the concurrency
 #                                   models — nightly-only; auto-skipped
 #                                   with a notice when the toolchain
 #                                   lacks them (offline containers)
-#   9. smoke-bench perf gate        noise-aware wall-clock regression gate
+#  10. smoke-bench perf gate        noise-aware wall-clock regression gate
+#
+# FEATURE_GATE mirrors BENCH_GATE/SAN_GATE:
+#   auto       test the combos not already covered by other stages:
+#              certified-unchecked, simd, certified-unchecked+simd
+#              (default covered by stage 4, fault-inject by stages 5-6)
+#   all        every combo including default and fault-inject — what the
+#              CI feature-matrix job proves, one runner per combo
+#   off        skip the feature-matrix stage
 #
 # SAN_GATE mirrors BENCH_GATE:
 #   auto       run each sanitizer iff the nightly toolchain supports it
@@ -56,6 +69,7 @@ cd "$(dirname "$0")"
 
 BENCH_GATE="${BENCH_GATE:-baseline}"
 SAN_GATE="${SAN_GATE:-auto}"
+FEATURE_GATE="${FEATURE_GATE:-auto}"
 BENCH_REL_FLOOR="${BENCH_REL_FLOOR:-0.5}"
 BASELINE_DIR=results/baseline
 
@@ -83,6 +97,52 @@ echo "== crash-recovery suite (cli, --features fault-inject) =="
 # of journaled windows, and corrupted/truncated checkpoints must be
 # refused with exit 2 — see crates/cli/tests/crash_recovery.rs.
 cargo test -p bpmax-cli --features fault-inject --offline -q
+
+# One cargo-feature combination across the three feature-bearing crates.
+# tropical only has `simd`, so its feature list is the intersection.
+run_feature_combo() {
+    local combo="$1"
+    echo "-- feature combo: ${combo:-default}"
+    case ",$combo," in
+    *",simd,"*)
+        cargo test -p tropical --features simd --offline -q
+        ;;
+    *)
+        cargo test -p tropical --offline -q
+        ;;
+    esac
+    if [ -n "$combo" ]; then
+        cargo test -p bpmax --features "$combo" --offline -q
+        cargo test -p bpmax-cli --features "$combo" --offline -q
+    else
+        cargo test -p bpmax --offline -q
+        cargo test -p bpmax-cli --offline -q
+    fi
+}
+
+case "$FEATURE_GATE" in
+off)
+    echo "== feature matrix skipped (FEATURE_GATE=off) =="
+    ;;
+auto)
+    echo "== feature matrix (FEATURE_GATE=auto) =="
+    run_feature_combo "certified-unchecked"
+    run_feature_combo "simd"
+    run_feature_combo "certified-unchecked,simd"
+    ;;
+all)
+    echo "== feature matrix (FEATURE_GATE=all) =="
+    run_feature_combo ""
+    run_feature_combo "certified-unchecked"
+    run_feature_combo "simd"
+    run_feature_combo "certified-unchecked,simd"
+    run_feature_combo "fault-inject"
+    ;;
+*)
+    echo "ci.sh: unknown FEATURE_GATE '$FEATURE_GATE' (auto|all|off)" >&2
+    exit 2
+    ;;
+esac
 
 echo "== cargo doc (deny rustdoc warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
@@ -170,6 +230,7 @@ run_smoke() {
     ./target/release/fig18_tile_sweep      --smoke --sizes 48    --reps 5 --json-dir "$out" > /dev/null
     ./target/release/table01_dmp_schedules --smoke --sizes 16,24 --reps 7 --json-dir "$out" > /dev/null
     ./target/release/bench_batch_throughput --smoke --sizes 8,12 --reps 5 --json-dir "$out" > /dev/null
+    ./target/release/bench_simd_kernel     --smoke --sizes 12,16 --reps 5 --json-dir "$out" > /dev/null
 }
 
 case "$BENCH_GATE" in

@@ -314,10 +314,25 @@ fn run(args: &Args) -> Result<i32, String> {
     }
 }
 
+/// On a GitHub Actions runner, surface a fatal gate error as a workflow
+/// `::error::` annotation so the step failure is readable in the checks
+/// UI without digging through logs. No-op everywhere else.
+fn annotate_error(title: &str, msg: &str) {
+    if std::env::var_os("GITHUB_ACTIONS").is_some() {
+        // Newlines terminate workflow commands; escape per the runner spec.
+        let escaped = msg
+            .replace('%', "%25")
+            .replace('\r', "%0D")
+            .replace('\n', "%0A");
+        println!("::error title={title}::{escaped}");
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
         Err(e) => {
+            annotate_error("bench_compare usage error", &e);
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
             std::process::exit(2);
@@ -329,6 +344,7 @@ fn main() {
             // I/O and parse failures (missing directory, corrupt
             // baseline JSON) are misuse, not regressions: same exit and
             // usage text as a bad flag.
+            annotate_error("bench_compare usage error", &e);
             eprintln!("error: {e}");
             eprintln!("{USAGE}");
             std::process::exit(2);

@@ -1,0 +1,219 @@
+//! Measured SIMD register-tiled max-plus kernel — the paper's "future
+//! work" register tiling, implemented and measured.
+//!
+//! Three layers, all on this machine at 1 thread:
+//!
+//! 1. **Stream kernel (headline).** The 4-way fused lane-array kernel
+//!    [`tropical::simd::mp_axpy4`] over L1-resident rows: four fused
+//!    `Y = max(a_r + X_r, Y)` updates share one load/store of the
+//!    accumulator row, so arithmetic intensity doubles and the kernel
+//!    runs at the vector-unit rate instead of the store-port rate.
+//! 2. **Solve kernel.** The same kernel inside the triangular double
+//!    max-plus instance (`R0Order::SimdReg`) versus the cache-tiled
+//!    order — the trajectory point the acceptance gate pins.
+//! 3. **Bit-identity.** Every R0 order agrees on the dmp checksum and
+//!    all six program versions (SIMD on *and* off) agree with the
+//!    memoized specification oracle — asserted at runtime, every run.
+//!
+//! The lane-array kernels are always compiled; the `simd` cargo feature
+//! only flips the solve-path default, so this binary measures the same
+//! code under any feature set.
+
+use bench::dmp::{dmp_flops, dmp_solve};
+use bench::report::Reporter;
+use bench::{banner, f2, gflops, model, time_stats, workload, Opts, Table};
+use bpmax::ftable::Layout;
+use bpmax::kernels::{R0Order, Tile};
+use bpmax::spec::spec_score;
+use bpmax::{Algorithm, BpMaxProblem, SolveOptions};
+use std::time::Instant;
+use tropical::scalar::mp_axpy_scalar;
+use tropical::simd::{mp_axpy4, mp_axpy_lanes};
+
+/// Deterministic fill in `[-60, 65)` (same family as the dmp seeding).
+fn filled(seed: u64, n: usize) -> Vec<f32> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s % 1000) as f32) / 8.0 - 60.0
+        })
+        .collect()
+}
+
+/// Per-sweep broadcast values near zero: roughly half the lanes update
+/// each sweep, so the stream neither saturates nor goes dead.
+fn alphas(it: usize) -> [f32; 4] {
+    let base = (it % 7) as f32 * 1e-3 - 3e-3;
+    [base, base - 1e-3, base + 1e-3, base - 2e-3]
+}
+
+/// Time `iters` sweeps of the 4-way fused kernel over rows of `len`
+/// elements; returns (GFLOPS, flops). 8 FLOPs per element per sweep.
+fn stream_axpy4(len: usize, iters: usize) -> (f64, u64) {
+    let x0 = filled(1, len);
+    let x1 = filled(2, len);
+    let x2 = filled(3, len);
+    let x3 = filled(4, len);
+    let mut y = filled(5, len);
+    mp_axpy4(alphas(0), [&x0, &x1, &x2, &x3], &mut y); // warm-up
+    let t = Instant::now();
+    for it in 0..iters {
+        mp_axpy4(alphas(it), [&x0, &x1, &x2, &x3], &mut y);
+    }
+    let seconds = t.elapsed().as_secs_f64();
+    std::hint::black_box(&y);
+    let flops = 8 * len as u64 * iters as u64;
+    (gflops(flops, seconds), flops)
+}
+
+/// Time `iters` sweeps of a single-row kernel (`kernel(a, x, y)`);
+/// returns GFLOPS at 2 FLOPs per element per sweep.
+fn stream_single(len: usize, iters: usize, kernel: impl Fn(f32, &[f32], &mut [f32])) -> f64 {
+    let x = filled(1, len);
+    let mut y = filled(5, len);
+    kernel(alphas(0)[0], &x, &mut y); // warm-up
+    let t = Instant::now();
+    for it in 0..iters {
+        kernel(alphas(it)[0], &x, &mut y);
+    }
+    let seconds = t.elapsed().as_secs_f64();
+    std::hint::black_box(&y);
+    gflops(2 * len as u64 * iters as u64, seconds)
+}
+
+fn main() {
+    let opts = Opts::parse(&[16, 24, 32], &[]);
+    let mut rep = Reporter::new("bench_simd_kernel", &opts);
+    banner(
+        "SIMD kernel",
+        "explicitly vectorized register-tiled max-plus (lane-array mp_axpy4)",
+        "conclusion: 'an additional level of tiling at the register level is required' — implemented here",
+    );
+
+    // --- runtime bit-identity: every R0 order, one checksum ---
+    let orders = [
+        ("naive", R0Order::Naive),
+        ("permuted", R0Order::Permuted),
+        ("cache-tiled", R0Order::Tiled(Tile::small())),
+        ("reg-tiled", R0Order::RegTiled),
+        ("simd-reg", R0Order::SimdReg),
+    ];
+    let reference = dmp_solve(8, 9, orders[0].1, Layout::Packed);
+    for &(name, order) in &orders[1..] {
+        let got = dmp_solve(8, 9, order, Layout::Packed);
+        assert_eq!(
+            got.to_bits(),
+            reference.to_bits(),
+            "R0 order {name} diverges from naive on the dmp checksum"
+        );
+    }
+    println!(
+        "\nbit-identity: all {} R0 orders agree on the dmp checksum",
+        orders.len()
+    );
+
+    // --- runtime bit-identity: all six program versions vs the oracle,
+    //     with the SIMD path forced on and forced off ---
+    let (s1, s2) = workload(opts.seed, 9, 10);
+    let oracle = spec_score(&s1, &s2, &model());
+    let p = BpMaxProblem::new(s1, s2, model());
+    for &alg in Algorithm::ALL {
+        for simd_on in [true, false] {
+            let solution = p
+                .solve_opts(&SolveOptions::new().algorithm(alg).simd(simd_on))
+                .expect("solve failed");
+            assert_eq!(
+                solution.score().to_bits(),
+                oracle.to_bits(),
+                "{} (simd={simd_on}) diverges from the memoized oracle",
+                alg.label()
+            );
+        }
+    }
+    println!(
+        "bit-identity: all {} algorithms x simd on/off match the memoized oracle",
+        Algorithm::ALL.len()
+    );
+
+    // --- headline: L1-resident stream rate of the fused kernel ---
+    let budget: u64 = if opts.full {
+        1 << 31
+    } else if opts.smoke {
+        1 << 24
+    } else {
+        1 << 29
+    };
+    println!("\n--- measured stream kernels, 1 thread, L1-resident rows ---");
+    let mut t = Table::new(&[
+        "row len",
+        "scalar axpy",
+        "simd axpy",
+        "simd axpy4",
+        "axpy4/scalar",
+    ]);
+    for &len in &[512usize, 1024, 2048] {
+        let iters1 = ((budget / (2 * len as u64)).max(1)) as usize;
+        let iters4 = ((budget / (8 * len as u64)).max(1)) as usize;
+        let g_scalar = stream_single(len, iters1, mp_axpy_scalar);
+        let g_lanes = stream_single(len, iters1, mp_axpy_lanes);
+        let (g_axpy4, _) = stream_axpy4(len, iters4);
+        rep.measured_gflops(format!("measured/scalar-axpy/len={len}"), g_scalar);
+        rep.measured_gflops(format!("measured/simd-axpy/len={len}"), g_lanes);
+        rep.measured_gflops(format!("measured/simd-axpy4/len={len}"), g_axpy4);
+        rep.annotate(&[("speedup_vs_scalar", g_axpy4 / g_scalar)]);
+        t.row(vec![
+            len.to_string(),
+            f2(g_scalar),
+            f2(g_lanes),
+            f2(g_axpy4),
+            f2(g_axpy4 / g_scalar),
+        ]);
+    }
+    t.print();
+
+    // --- solve-level: the kernel inside the triangular dmp instance ---
+    println!("\n--- measured dmp solve, 1 thread (GFLOPS) ---");
+    let mut t = Table::new(&[
+        "M=N",
+        "cache-tiled",
+        "reg-tiled",
+        "simd-reg",
+        "simd/cache-tiled",
+    ]);
+    for &n in &opts.sizes {
+        let flops = dmp_flops(n, n);
+        let reps = opts.reps(if n <= 24 { 3 } else { 1 });
+        let s_tiled = time_stats(reps, || {
+            dmp_solve(n, n, R0Order::Tiled(Tile::small()), Layout::Packed)
+        });
+        let s_reg = time_stats(reps, || dmp_solve(n, n, R0Order::RegTiled, Layout::Packed));
+        let s_simd = time_stats(reps, || dmp_solve(n, n, R0Order::SimdReg, Layout::Packed));
+        rep.measured(
+            format!("measured/dmp-tiled/m={n},n={n}"),
+            s_tiled,
+            Some(flops),
+        );
+        rep.measured(format!("measured/dmp-reg/m={n},n={n}"), s_reg, Some(flops));
+        rep.measured(
+            format!("measured/dmp-simd/m={n},n={n}"),
+            s_simd,
+            Some(flops),
+        );
+        rep.annotate(&[("speedup_vs_cache_tiled", s_tiled.median_s / s_simd.median_s)]);
+        t.row(vec![
+            n.to_string(),
+            f2(gflops(flops, s_tiled.median_s)),
+            f2(gflops(flops, s_reg.median_s)),
+            f2(gflops(flops, s_simd.median_s)),
+            f2(s_tiled.median_s / s_simd.median_s),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n(checksum + oracle bit-identity asserted above; the property suite pins the kernels)"
+    );
+    rep.finish();
+}

@@ -513,6 +513,7 @@ pub fn summarize(reports: &[Report]) -> Json {
 
     let by_name = |name: &str| reports.iter().find(|r| r.artifact == name);
     let mut trajectory = Vec::new();
+    let mut dmp_tiled_pin = None;
     // Serial double max-plus: loop order + tiling, measured on this host
     // (Fig 13's measured half; the paper's Phase I story).
     if let Some(fig13) = by_name("fig13_dmp_perf") {
@@ -522,6 +523,7 @@ pub fn summarize(reports: &[Report]) -> Json {
             trajectory.push(("dmp_measured_naive_gflops", Json::num(naive)));
             trajectory.push(("dmp_measured_tiled_gflops", Json::num(tiled)));
             trajectory.push(("dmp_measured_tiled_vs_naive", Json::num(tiled / naive)));
+            dmp_tiled_pin = Some(tiled);
         }
         if let Some(g) = fig13.best_gflops_with_prefix(Kind::Modeled, "modeled/fine + tiled") {
             // paper: 117 GFLOPS for the tiled kernel at 6 threads
@@ -539,6 +541,22 @@ pub fn summarize(reports: &[Report]) -> Json {
                 "bpmax_measured_hybrid_tiled_vs_base",
                 Json::num(tiled / base),
             ));
+        }
+    }
+    // Register-level SIMD kernel: the "future work" tiling implemented —
+    // the fused lane-array stream rate and the in-solve SimdReg point,
+    // pinned against the cache-tiled dmp rate above.
+    if let Some(simd) = by_name("bench_simd_kernel") {
+        let axpy4 = simd.best_gflops_with_prefix(Kind::Measured, "measured/simd-axpy4");
+        let solve = simd.best_gflops_with_prefix(Kind::Measured, "measured/dmp-simd");
+        if let Some(g) = axpy4 {
+            trajectory.push(("simd_measured_axpy4_gflops", Json::num(g)));
+            if let Some(tiled) = dmp_tiled_pin {
+                trajectory.push(("simd_axpy4_vs_dmp_tiled", Json::num(g / tiled)));
+            }
+        }
+        if let Some(g) = solve {
+            trajectory.push(("simd_measured_dmp_gflops", Json::num(g)));
         }
     }
     if let Some(fig16) = by_name("fig16_bpmax_speedup") {
@@ -719,6 +737,47 @@ mod tests {
         assert_eq!(
             arts[0].get("best_measured_gflops").unwrap().as_f64(),
             Some(2.75)
+        );
+    }
+
+    #[test]
+    fn summarize_pins_simd_kernel_against_dmp_tiled() {
+        let mut simd = sample_report();
+        simd.artifact = "bench_simd_kernel".to_string();
+        simd.measurements = vec![
+            Measurement {
+                id: "measured/simd-axpy4/len=1024".to_string(),
+                kind: Kind::Measured,
+                reps: 1,
+                median_s: None,
+                mad_s: None,
+                gflops: Some(11.0),
+                metrics: vec![],
+            },
+            Measurement {
+                id: "measured/dmp-simd/m=32,n=32".to_string(),
+                kind: Kind::Measured,
+                reps: 3,
+                median_s: Some(1.0e-3),
+                mad_s: Some(1.0e-5),
+                gflops: Some(2.2),
+                metrics: vec![],
+            },
+        ];
+        let summary = summarize(&[sample_report(), simd]);
+        let traj = summary.get("trajectory").unwrap();
+        assert_eq!(
+            traj.get("simd_measured_axpy4_gflops").unwrap().as_f64(),
+            Some(11.0)
+        );
+        assert_eq!(
+            traj.get("simd_measured_dmp_gflops").unwrap().as_f64(),
+            Some(2.2)
+        );
+        // pinned against fig13's best tiled rate (2.75 in the sample)
+        assert_eq!(
+            traj.get("simd_axpy4_vs_dmp_tiled").unwrap().as_f64(),
+            Some(11.0 / 2.75)
         );
     }
 

@@ -266,6 +266,22 @@ fn ablations_run() {
 }
 
 #[test]
+fn bench_simd_kernel_runs_and_asserts_bit_identity() {
+    let out = run(
+        env!("CARGO_BIN_EXE_bench_simd_kernel"),
+        "bench_simd_kernel",
+        &["--smoke", "--sizes", "10,12", "--reps", "2"],
+    );
+    assert!(
+        out.contains("all 5 R0 orders agree on the dmp checksum"),
+        "{out}"
+    );
+    assert!(out.contains("match the memoized oracle"), "{out}");
+    assert!(out.contains("simd axpy4"), "{out}");
+    assert!(out.contains("simd-reg"), "{out}");
+}
+
+#[test]
 fn future_work_binaries_run() {
     let out = run(
         env!("CARGO_BIN_EXE_future_register_tiling"),

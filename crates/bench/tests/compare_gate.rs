@@ -211,6 +211,44 @@ fn bad_arguments_exit_2() {
 }
 
 #[test]
+fn usage_errors_annotate_on_github_actions() {
+    // With GITHUB_ACTIONS set, exit-2 failures emit a workflow `::error`
+    // annotation; without it, the output stays clean for local runs.
+    let on_ci = Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+        .args(["--baseline", "somewhere"]) // missing --candidate
+        .env("GITHUB_ACTIONS", "true")
+        .output()
+        .expect("spawning bench_compare");
+    assert_eq!(on_ci.status.code(), Some(2));
+    assert!(
+        stdout(&on_ci).contains("::error title=bench_compare usage error::"),
+        "{}",
+        stdout(&on_ci)
+    );
+    let local = Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+        .args(["--baseline", "somewhere"])
+        .env_remove("GITHUB_ACTIONS")
+        .output()
+        .expect("spawning bench_compare");
+    assert_eq!(local.status.code(), Some(2));
+    assert!(!stdout(&local).contains("::error"), "{}", stdout(&local));
+
+    // I/O errors annotate too (the newline-escape path).
+    let io = Command::new(env!("CARGO_BIN_EXE_bench_compare"))
+        .args([
+            "--baseline",
+            "/nonexistent-base",
+            "--candidate",
+            "/nonexistent-cand",
+        ])
+        .env("GITHUB_ACTIONS", "true")
+        .output()
+        .expect("spawning bench_compare");
+    assert_eq!(io.status.code(), Some(2));
+    assert!(stdout(&io).contains("::error"), "{}", stdout(&io));
+}
+
+#[test]
 fn corrupt_baseline_json_exits_2_with_usage() {
     let dir = scratch("corrupt");
     let base = dir.join("base");

@@ -19,10 +19,10 @@ use std::path::Path;
 pub(crate) const USAGE: &str = "usage:
   bpmax-cli fold <seq> [--min-loop K]
   bpmax-cli interact <seq1> <seq2> [--alg base|permuted|coarse|fine|hybrid|hybrid-tiled]
-                     [--min-loop K]
+                     [--min-loop K] [--simd | --no-simd]
   bpmax-cli scan <query> <target> [--window W] [--top K] [--batch] [--threads T]
                  [--deadline SECS] [--mem-budget BYTES]
-                 [--checkpoint-dir DIR] [--resume]
+                 [--checkpoint-dir DIR] [--resume] [--simd | --no-simd]
   bpmax-cli info [M] [N]
   bpmax-cli verify [M N] [--static] [--bounds]
   bpmax-cli help
@@ -43,6 +43,12 @@ completed windows are never recomputed and the ranked output is
 bit-identical to an uninterrupted run — and refuses checkpoints written
 under different scoring options or for a different window set. A corrupt
 or truncated checkpoint is a typed error (exit 2), never garbage.
+
+--simd / --no-simd override the build default for the explicitly
+vectorized lane-array kernels (the hybrid+tiled algorithm's SimdReg
+path). Both paths are always compiled and bit-identical — the flags
+change speed, never scores. The default follows the `simd` cargo
+feature. For scan, the flags apply only with --batch.
 
 verify checks the paper's schedule tables against the BPMax dependence
 system: exhaustively at sizes M x N (any size; large sizes warn about
@@ -231,6 +237,21 @@ fn cmd_fold(mut args: Vec<String>) -> Result<String, CliError> {
     Ok(out.trim_end().to_string())
 }
 
+/// Parse the tri-state `--simd` / `--no-simd` override. `None` keeps
+/// the build default (the `simd` cargo feature).
+fn take_simd(args: &mut Vec<String>) -> Result<Option<bool>, CliError> {
+    let on = take_flag(args, "--simd");
+    let off = take_flag(args, "--no-simd");
+    if on && off {
+        return Err(usage("--simd and --no-simd are mutually exclusive"));
+    }
+    Ok(match (on, off) {
+        (true, _) => Some(true),
+        (_, true) => Some(false),
+        _ => None,
+    })
+}
+
 fn cmd_interact(mut args: Vec<String>) -> Result<String, CliError> {
     let model = model_with_min_loop(&mut args)?;
     let alg = match take_opt(&mut args, "--alg")? {
@@ -239,13 +260,18 @@ fn cmd_interact(mut args: Vec<String>) -> Result<String, CliError> {
             tile: Tile::default(),
         },
     };
+    let simd = take_simd(&mut args)?;
     let [a1, a2] = args.as_slice() else {
         return Err(usage("interact takes exactly two sequences"));
     };
     let s1 = load_seq(a1)?;
     let s2 = load_seq(a2)?;
     let problem = BpMaxProblem::new(s1.clone(), s2.clone(), model);
-    let solution = problem.solve_opts(&bpmax::SolveOptions::new().algorithm(alg))?;
+    let mut solve = bpmax::SolveOptions::new().algorithm(alg);
+    if let Some(on) = simd {
+        solve = solve.simd(on);
+    }
+    let solution = problem.solve_opts(&solve)?;
     let st = solution.traceback();
     st.validate(s1.len(), s2.len())
         .map_err(|e| CliError::Check(format!("internal error — invalid traceback: {e}")))?;
@@ -301,6 +327,10 @@ fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
     if (checkpoint_dir.is_some() || resume) && !batch {
         return Err(usage("--checkpoint-dir/--resume only apply with --batch"));
     }
+    let simd = take_simd(&mut args)?;
+    if simd.is_some() && !batch {
+        return Err(usage("--simd/--no-simd only apply with --batch"));
+    }
     if resume && checkpoint_dir.is_none() {
         return Err(usage("--resume requires --checkpoint-dir"));
     }
@@ -330,6 +360,7 @@ fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
             mem_budget,
             checkpoint_dir,
             resume,
+            simd,
         };
         let (ranked, note, failures) = scan_batched(&query, &target, &model, w, &sup)?;
         let _ = writeln!(out, "{note}");
@@ -373,6 +404,7 @@ struct Supervised {
     mem_budget: Option<u64>,
     checkpoint_dir: Option<std::path::PathBuf>,
     resume: bool,
+    simd: Option<bool>,
 }
 
 /// The `scan --batch` fast path: every window becomes an independent
@@ -398,6 +430,9 @@ fn scan_batched(
             return Err(bad_arg("--threads must be at least 1"));
         }
         opts = opts.threads(t);
+    }
+    if let Some(on) = sup.simd {
+        opts = opts.solve(bpmax::SolveOptions::new().simd(on));
     }
     if let Some(d) = sup.deadline {
         opts = opts.deadline(d);
@@ -715,6 +750,19 @@ mod tests {
     }
 
     #[test]
+    fn interact_simd_flags_bit_identical() {
+        // Both SIMD modes are always compiled; the flags pick one per run
+        // and the rendered output (scores included) must not change.
+        let on = run(&["interact", "GGGAAACCC", "UUU", "--simd"]).unwrap();
+        let off = run(&["interact", "GGGAAACCC", "UUU", "--no-simd"]).unwrap();
+        let default = run(&["interact", "GGGAAACCC", "UUU"]).unwrap();
+        assert_eq!(on, off);
+        assert_eq!(on, default);
+        let err = run(&["interact", "GGG", "CCC", "--simd", "--no-simd"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
     fn scan_finds_planted_site() {
         let out = run(&[
             "scan",
@@ -771,6 +819,26 @@ mod tests {
         assert!(out.contains("batch engine:"), "{out}");
         let err = run(&["scan", "GGG", "CCC", "--threads", "2"]).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn scan_batch_simd_flags() {
+        let base = &["scan", "GGG", "CCCAAACCC", "--window", "3", "--batch"];
+        let mut on = base.to_vec();
+        on.push("--simd");
+        let mut off = base.to_vec();
+        off.push("--no-simd");
+        let out_on = run(&on).unwrap();
+        let out_off = run(&off).unwrap();
+        let results = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.starts_with("top "))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(results(&out_on), results(&out_off));
+        let err = run(&["scan", "GGG", "CCC", "--simd"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
     }
 
     #[test]

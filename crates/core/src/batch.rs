@@ -734,12 +734,12 @@ impl BatchEngine {
                 }
                 panic!("injected fault: compute panic at problem {index}"); // lint: allow(panic): deliberate injected fault (fault-inject harness)
             }
-            let bounds = crate::kernels::BoundsMode::build_default();
+            let modes = self.opts.solve.resolved_kernel_modes();
             if coarse {
                 problem
-                    .compute_serial_watched_range(algorithm, &mut f, start_diag, m, &watch, bounds)
+                    .compute_serial_watched_range(algorithm, &mut f, start_diag, m, &watch, modes)
             } else {
-                problem.compute_watched_range(algorithm, &mut f, start_diag, m, &watch, bounds)
+                problem.compute_watched_range(algorithm, &mut f, start_diag, m, &watch, modes)
             }
         }));
         match run {

@@ -514,10 +514,7 @@ impl TableSnapshot {
         if blocks == 0 {
             return (self.cells.is_empty()).then_some(0);
         }
-        self.cells
-            .len()
-            .is_multiple_of(blocks)
-            .then(|| self.cells.len() / blocks)
+        (self.cells.len() % blocks == 0).then(|| self.cells.len() / blocks)
     }
 
     fn encode(&self) -> Vec<u8> {

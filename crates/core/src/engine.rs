@@ -25,7 +25,7 @@ use crate::error::BpMaxError;
 use crate::ftable::{FTable, Layout};
 use crate::kernels::{
     accumulate_r034_parallel_mode, accumulate_r034_serial_mode, finalize_triangle, BoundsMode, Ctx,
-    R0Order, Tile,
+    KernelModes, R0Order, SimdMode, Tile,
 };
 use crate::supervise::{
     CancelToken, Deadline, Interrupt, MemoryBudget, Outcome, Supervision, Watch,
@@ -93,9 +93,14 @@ impl Algorithm {
     }
 
     /// The `R0` loop order this version runs (tile shape included).
-    fn r0_order(self) -> R0Order {
-        match self {
-            Algorithm::HybridTiled { tile } => R0Order::Tiled(tile),
+    /// Under [`SimdMode::LaneArray`] the tiled version upgrades to the
+    /// explicitly vectorized register-tiled order — the other versions
+    /// keep their streaming order (whose `mp_axpy` the `simd` feature
+    /// routes through the lane kernels at compile time).
+    fn r0_order(self, simd: SimdMode) -> R0Order {
+        match (self, simd) {
+            (Algorithm::HybridTiled { .. }, SimdMode::LaneArray) => R0Order::SimdReg,
+            (Algorithm::HybridTiled { tile }, SimdMode::Scalar) => R0Order::Tiled(tile),
             _ => R0Order::Permuted,
         }
     }
@@ -169,6 +174,7 @@ pub struct SolveOptions {
     layout: Option<Layout>,
     tile: Option<Tile>,
     bounds: Option<BoundsMode>,
+    simd: Option<SimdMode>,
     supervision: Supervision,
 }
 
@@ -184,6 +190,7 @@ impl Default for SolveOptions {
             layout: None,
             tile: None,
             bounds: None,
+            simd: None,
             supervision: Supervision::none(),
         }
     }
@@ -238,6 +245,22 @@ impl SolveOptions {
             BoundsMode::CertifiedUnchecked
         } else {
             BoundsMode::Checked
+        });
+        self
+    }
+
+    /// Select the explicitly vectorized SIMD kernels (`true`) or the
+    /// auto-vectorized scalar loops (`false`) for the hybrid+tiled `R0`
+    /// path, overriding the build default ([`SimdMode::build_default`] —
+    /// scalar unless the `simd` feature is on). Results are bit-identical
+    /// either way; this is purely a performance knob, pinned by the
+    /// kernel property suites.
+    #[must_use]
+    pub fn simd(mut self, on: bool) -> Self {
+        self.simd = Some(if on {
+            SimdMode::LaneArray
+        } else {
+            SimdMode::Scalar
         });
         self
     }
@@ -303,6 +326,20 @@ impl SolveOptions {
     /// default).
     pub(crate) fn resolved_bounds_mode(&self) -> BoundsMode {
         self.bounds.unwrap_or_default()
+    }
+
+    /// The SIMD mode to solve with (explicit override or the build
+    /// default).
+    pub(crate) fn resolved_simd_mode(&self) -> SimdMode {
+        self.simd.unwrap_or_default()
+    }
+
+    /// Both kernel-selection knobs, resolved together.
+    pub(crate) fn resolved_kernel_modes(&self) -> KernelModes {
+        KernelModes {
+            bounds: self.resolved_bounds_mode(),
+            simd: self.resolved_simd_mode(),
+        }
     }
 
     /// The layout to solve with, given the problem's own.
@@ -393,7 +430,7 @@ impl BpMaxProblem {
             }
         }
         let mut f = FTable::try_new(self.ctx.m(), self.ctx.n(), layout)?;
-        let bounds = opts.resolved_bounds_mode();
+        let modes = opts.resolved_kernel_modes();
         match opts.requested_threads() {
             Some(threads) => {
                 let pool = rayon::ThreadPoolBuilder::new()
@@ -402,9 +439,9 @@ impl BpMaxProblem {
                     .map_err(|e| BpMaxError::InvalidArgument {
                         detail: format!("building rayon pool of {threads} threads: {e}"),
                     })?;
-                pool.install(|| self.compute_watched(algorithm, &mut f, &watch, bounds))
+                pool.install(|| self.compute_watched(algorithm, &mut f, &watch, modes))
             }
-            None => self.compute_watched(algorithm, &mut f, &watch, bounds),
+            None => self.compute_watched(algorithm, &mut f, &watch, modes),
         }
         .map_err(Interrupt::into_error)?;
         Ok(Solution { problem: self, f })
@@ -514,7 +551,7 @@ impl BpMaxProblem {
             algorithm,
             &mut f,
             &Watch::none(),
-            BoundsMode::build_default(),
+            KernelModes::build_default(),
         )
         .expect("unsupervised solve cannot be interrupted"); // lint: allow(expect): Watch::none() can never interrupt
         f
@@ -529,9 +566,9 @@ impl BpMaxProblem {
         algorithm: Algorithm,
         f: &mut FTable,
         watch: &Watch,
-        bounds: BoundsMode,
+        modes: KernelModes,
     ) -> Result<(), Interrupt> {
-        self.compute_watched_range(algorithm, f, 0, self.ctx.m(), watch, bounds)
+        self.compute_watched_range(algorithm, f, 0, self.ctx.m(), watch, modes)
     }
 
     /// [`BpMaxProblem::compute_watched`] over outer diagonals
@@ -546,7 +583,7 @@ impl BpMaxProblem {
         start: usize,
         end: usize,
         watch: &Watch,
-        bounds: BoundsMode,
+        modes: KernelModes,
     ) -> Result<(), Interrupt> {
         let wave = match algorithm {
             Algorithm::Baseline => {
@@ -556,9 +593,9 @@ impl BpMaxProblem {
             Algorithm::CoarseGrain => WaveMode::Coarse(R0Order::Permuted),
             Algorithm::FineGrain => WaveMode::Fine(R0Order::Permuted),
             Algorithm::Hybrid => WaveMode::Hybrid(R0Order::Permuted),
-            Algorithm::HybridTiled { tile } => WaveMode::Hybrid(R0Order::Tiled(tile)),
+            Algorithm::HybridTiled { .. } => WaveMode::Hybrid(algorithm.r0_order(modes.simd)),
         };
-        self.wavefront_range(wave, f, start, end, watch, bounds)
+        self.wavefront_range(wave, f, start, end, watch, modes.bounds)
     }
 
     /// Fully serial traversal that keeps `algorithm`'s `R0` loop order,
@@ -574,17 +611,17 @@ impl BpMaxProblem {
         start: usize,
         end: usize,
         watch: &Watch,
-        bounds: BoundsMode,
+        modes: KernelModes,
     ) -> Result<(), Interrupt> {
         match algorithm {
             Algorithm::Baseline => solve_baseline_watched_range(&self.ctx, f, start, end, watch),
             other => self.wavefront_range(
-                WaveMode::Serial(other.r0_order()),
+                WaveMode::Serial(other.r0_order(modes.simd)),
                 f,
                 start,
                 end,
                 watch,
-                bounds,
+                modes.bounds,
             ),
         }
     }
@@ -602,7 +639,7 @@ impl BpMaxProblem {
             0,
             upto,
             &Watch::none(),
-            BoundsMode::build_default(),
+            KernelModes::build_default(),
         )
         .map_err(Interrupt::into_error)?;
         Ok(f)
@@ -636,7 +673,7 @@ impl BpMaxProblem {
             start,
             self.ctx.m(),
             &Watch::none(),
-            BoundsMode::build_default(),
+            KernelModes::build_default(),
         )
         .map_err(Interrupt::into_error)
     }
@@ -1054,7 +1091,7 @@ mod tests {
                 0,
                 reference.m(),
                 &Watch::none(),
-                BoundsMode::build_default(),
+                KernelModes::build_default(),
             )
             .unwrap();
             for (i1, j1, i2, j2) in reference.iter_cells().collect::<Vec<_>>() {

@@ -32,6 +32,7 @@ use rayon::prelude::*;
 use rna::nussinov::{Fold, Nussinov};
 use rna::{RnaSeq, ScoringModel};
 use tropical::scalar::mp_axpy;
+use tropical::simd::{mp_axpy4, mp_axpy_lanes};
 
 /// Shared per-problem context: sequences, model, `S⁽¹⁾`/`S⁽²⁾` tables and
 /// pre-evaluated pair-weight tables.
@@ -413,6 +414,82 @@ pub(crate) fn r0_row_reg(ft: &FTable, arow: &[f32], b: &[f32], crow: &mut [f32],
     }
 }
 
+/// `R0` matrix instance with **explicit SIMD register tiling** — the same
+/// 4× `k2` unroll as [`r0_instance_reg`], but with the shared-range body
+/// and the streaming tail routed through the lane-array kernels of
+/// [`tropical::simd`] ([`mp_axpy4`] / [`mp_axpy_lanes`]) instead of
+/// trusting LLVM to auto-vectorize the indexed loop. This is the kernel
+/// [`R0Order::SimdReg`] selects, and the one the hybrid+tiled solve runs
+/// under [`SimdMode::LaneArray`].
+pub fn r0_instance_simd(ft: &FTable, a: &[f32], b: &[f32], acc: &mut [f32]) {
+    let n = ft.n();
+    assert_block_shapes(ft, &[a, b, acc]);
+    if n < 2 {
+        return;
+    }
+    for i2 in 0..n {
+        let arow = ft.row_of(a, i2);
+        let rs = ft.inner_row_start(i2);
+        let crow = &mut acc[rs..rs + (n - i2)];
+        r0_row_simd(ft, arow, b, crow, i2);
+    }
+}
+
+/// One row of the SIMD register-tiled `R0` instance (shared by the serial
+/// and fine-grain parallel drivers).
+///
+/// Structure mirrors [`r0_row_reg`] group for group; only the inner loops
+/// differ: the shared range `[k2+4, n)` is one [`mp_axpy4`] over the four
+/// `B`-row tails (`B` row `r` covers columns `[r, n)`, so lane `l`'s slice
+/// starts at offset `3 − l`), and the `< 4` remainder `k2` values stream
+/// through [`mp_axpy_lanes`]. Bit-identical to every other order: the
+/// per-element expressions are the sequential `mp_axpy` updates.
+pub(crate) fn r0_row_simd(ft: &FTable, arow: &[f32], b: &[f32], crow: &mut [f32], i2: usize) {
+    let n = ft.n();
+    debug_assert!(i2 < n, "row {i2} outside triangle of {n} rows");
+    debug_assert!(
+        arow.len() >= n - i2 && crow.len() >= n - i2,
+        "row slices shorter than the {} remaining columns of row {i2}",
+        n - i2
+    );
+    let mut k2 = i2;
+    while k2 + 4 <= n.saturating_sub(1) {
+        let av = [
+            arow[k2 - i2],
+            arow[k2 + 1 - i2],
+            arow[k2 + 2 - i2],
+            arow[k2 + 3 - i2],
+        ];
+        let b0 = ft.row_of(b, k2 + 1);
+        let b1 = ft.row_of(b, k2 + 2);
+        let b2 = ft.row_of(b, k2 + 3);
+        let b3 = ft.row_of(b, k2 + 4);
+        // Head: columns j2 in (k2, k2+4) are only reachable by the
+        // earlier k2 values of this group — at most 3 scalar updates.
+        for (lane, brow) in [b0, b1, b2].iter().enumerate() {
+            let kk = k2 + lane;
+            let hi = (k2 + 4).min(n);
+            for j2 in kk + 1..hi {
+                crow[j2 - i2] = (av[lane] + brow[j2 - (kk + 1)]).max(crow[j2 - i2]);
+            }
+        }
+        // Body: the shared range [k2+4, n) as one fused 4-stream pass
+        // (all five slices have length n - (k2+4), asserted by mp_axpy4).
+        let lo = k2 + 4;
+        mp_axpy4(av, [&b0[3..], &b1[2..], &b2[1..], b3], &mut crow[lo - i2..]);
+        k2 += 4;
+    }
+    // Remainder k2 values: explicit lane-array streaming updates.
+    while k2 < n.saturating_sub(1) {
+        let av = arow[k2 - i2];
+        if av != f32::NEG_INFINITY {
+            let brow = ft.row_of(b, k2 + 1);
+            mp_axpy_lanes(av, brow, &mut crow[k2 + 1 - i2..]);
+        }
+        k2 += 1;
+    }
+}
+
 // ---------------------------------------------------------------------
 // Certified-unchecked fast path
 // ---------------------------------------------------------------------
@@ -698,6 +775,102 @@ fn r0_row_reg_unchecked(ft: &FTable, arow: &[f32], b: &[f32], crow: &mut [f32], 
     }
 }
 
+/// [`r0_instance_simd`] with certified-unchecked indexing.
+///
+/// certified-by: `bounds::r0_row_reg/{head,body,tail}` — the SIMD row
+/// kernel touches exactly the access shapes of the register-unrolled
+/// row, so the same certificates license it.
+pub fn r0_instance_simd_unchecked(ft: &FTable, a: &[f32], b: &[f32], acc: &mut [f32]) {
+    let n = ft.n();
+    assert_block_shapes(ft, &[a, b, acc]);
+    if n < 2 {
+        return;
+    }
+    for i2 in 0..n {
+        let arow = row_of_unchecked(ft, a, i2);
+        let crow = row_of_mut_unchecked(ft, acc, i2);
+        r0_row_simd_unchecked(ft, arow, b, crow, i2);
+    }
+}
+
+/// [`r0_row_simd`] with certified-unchecked indexing — same 4× unroll,
+/// same head/lane-body/tail split; the element and row accesses are
+/// unchecked, while the fused body still flows through the safe
+/// [`mp_axpy4`] (which re-asserts the five slice lengths it is handed).
+/// `crow` must be exactly the `n − i2` valid columns of row `i2`.
+///
+/// certified-by: `bounds::r0_row_reg/head` (lane columns
+/// `j2 ∈ (k2 + lane, k2 + 4)`), `bounds::r0_row_reg/body` (the body
+/// slices `b{lane}[3 − lane..]` and `crow[k2 + 4 − i2..]` are exactly
+/// the certified shared-range accesses `j2 ∈ [k2 + 4, n)`, re-expressed
+/// as slices), `bounds::r0_row_reg/tail` (remainder, same shape as the
+/// permuted row).
+#[allow(unsafe_code)]
+fn r0_row_simd_unchecked(ft: &FTable, arow: &[f32], b: &[f32], crow: &mut [f32], i2: usize) {
+    let n = ft.n();
+    debug_assert!(i2 < n && arow.len() >= n - i2 && crow.len() == n - i2);
+    let mut k2 = i2;
+    while k2 + 4 <= n.saturating_sub(1) {
+        // SAFETY: the unroll guard gives `k2 + 4 ≤ n − 1`, so all four
+        // `A` lanes and `B` rows `k2+1..=k2+4` exist (certified lane
+        // accesses of `bounds::r0_row_reg/head`).
+        unsafe {
+            let av = [
+                *arow.get_unchecked(k2 - i2),
+                *arow.get_unchecked(k2 + 1 - i2),
+                *arow.get_unchecked(k2 + 2 - i2),
+                *arow.get_unchecked(k2 + 3 - i2),
+            ];
+            let b0 = row_of_unchecked(ft, b, k2 + 1);
+            let b1 = row_of_unchecked(ft, b, k2 + 2);
+            let b2 = row_of_unchecked(ft, b, k2 + 3);
+            let b3 = row_of_unchecked(ft, b, k2 + 4);
+            // Head: columns j2 in (k2, k2+4), at most 3 scalar updates.
+            for (lane, brow) in [b0, b1, b2].iter().enumerate() {
+                let kk = k2 + lane;
+                let hi = (k2 + 4).min(n);
+                for j2 in kk + 1..hi {
+                    // SAFETY: `j2 < k2 + 4 ≤ n` keeps `j2 − i2` inside
+                    // `crow` and `j2 − kk − 1 < 3` inside `brow`
+                    // (`bounds::r0_row_reg/head`).
+                    let c = crow.get_unchecked_mut(j2 - i2);
+                    *c = (av[lane] + *brow.get_unchecked(j2 - (kk + 1))).max(*c);
+                }
+            }
+            // Body: the shared range [k2+4, n) as one fused pass.
+            // SAFETY: `B` row `k2+1+lane` has `n − (k2+1+lane)` columns
+            // and `3 − lane ≤ n − (k2+1+lane)` under the unroll guard, so
+            // every tail start is in range; `k2 + 4 − i2 ≤ n − i2` bounds
+            // the `crow` tail (`bounds::r0_row_reg/body`). All five
+            // slices have length `n − (k2+4)`, which `mp_axpy4` asserts.
+            let lo = k2 + 4;
+            mp_axpy4(
+                av,
+                [
+                    b0.get_unchecked(3..),
+                    b1.get_unchecked(2..),
+                    b2.get_unchecked(1..),
+                    b3,
+                ],
+                crow.get_unchecked_mut(lo - i2..),
+            );
+        }
+        k2 += 4;
+    }
+    // Remainder k2 values: explicit lane-array streaming updates.
+    while k2 < n.saturating_sub(1) {
+        // SAFETY: `k2 ≤ n − 2` ⇒ `k2 − i2 < n − i2` and the tail start
+        // `k2 + 1 − i2 ≤ n − i2 = crow.len()` (`bounds::r0_row_reg/tail`).
+        let av = unsafe { *arow.get_unchecked(k2 - i2) };
+        if av != f32::NEG_INFINITY {
+            let brow = row_of_unchecked(ft, b, k2 + 1);
+            let dst = unsafe { crow.get_unchecked_mut(k2 + 1 - i2..) };
+            mp_axpy_lanes(av, brow, dst);
+        }
+        k2 += 1;
+    }
+}
+
 // ---------------------------------------------------------------------
 // R3 / R4: whole-block axpys that ride along with R0
 // ---------------------------------------------------------------------
@@ -735,6 +908,11 @@ pub enum R0Order {
     Tiled(Tile),
     /// Register-level `k2`-unrolled streaming (the paper's future work).
     RegTiled,
+    /// Register-tiled streaming through the explicit lane-array SIMD
+    /// kernels of [`tropical::simd`] (same 4× unroll as
+    /// [`R0Order::RegTiled`], vectorization made explicit instead of
+    /// trusted to LLVM).
+    SimdReg,
 }
 
 /// Whether Phase A's hot loops keep Rust's slice bounds checks or run
@@ -773,6 +951,59 @@ impl Default for BoundsMode {
     /// [`BoundsMode::build_default`].
     fn default() -> Self {
         Self::build_default()
+    }
+}
+
+/// Whether the solve drivers pick the explicitly vectorized SIMD kernels
+/// or the auto-vectorized scalar loops for the hybrid+tiled `R0` path.
+///
+/// Both paths are always compiled; the `simd` cargo feature only moves
+/// the *default* (the convention [`BoundsMode`] set: a feature unified
+/// across a workspace cannot silently change behaviour — results are
+/// bit-identical either way, pinned by the kernel property suites, so
+/// the mode is purely a performance knob).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdMode {
+    /// Scalar streaming loops; vectorization left to LLVM.
+    Scalar,
+    /// Explicit lane-array kernels ([`tropical::simd`]): the hybrid+tiled
+    /// algorithm runs [`R0Order::SimdReg`] instead of the tiled order.
+    LaneArray,
+}
+
+impl SimdMode {
+    /// The build's default mode: [`SimdMode::LaneArray`] iff the crate
+    /// was compiled with the `simd` feature.
+    pub fn build_default() -> Self {
+        if cfg!(feature = "simd") {
+            SimdMode::LaneArray
+        } else {
+            SimdMode::Scalar
+        }
+    }
+}
+
+impl Default for SimdMode {
+    /// [`SimdMode::build_default`].
+    fn default() -> Self {
+        Self::build_default()
+    }
+}
+
+/// The resolved per-run kernel selection the engine threads through the
+/// wavefront drivers: bounds-check elision and explicit vectorization.
+/// Both knobs are pure performance choices — every combination is
+/// bit-identical, pinned by the kernel property suites.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct KernelModes {
+    pub(crate) bounds: BoundsMode,
+    pub(crate) simd: SimdMode,
+}
+
+impl KernelModes {
+    /// Both modes at their build defaults (cargo-feature driven).
+    pub(crate) fn build_default() -> Self {
+        Self::default()
     }
 }
 
@@ -822,6 +1053,10 @@ pub fn accumulate_r034_serial_mode(
             (R0Order::RegTiled, BoundsMode::Checked) => r0_instance_reg(ft, a, b, acc),
             (R0Order::RegTiled, BoundsMode::CertifiedUnchecked) => {
                 r0_instance_reg_unchecked(ft, a, b, acc);
+            }
+            (R0Order::SimdReg, BoundsMode::Checked) => r0_instance_simd(ft, a, b, acc),
+            (R0Order::SimdReg, BoundsMode::CertifiedUnchecked) => {
+                r0_instance_simd_unchecked(ft, a, b, acc);
             }
         }
         r3_block(ctx.s1v(i1, k1), b, acc);
@@ -915,6 +1150,12 @@ pub fn accumulate_r034_parallel_mode(
                         }
                         (R0Order::RegTiled, BoundsMode::CertifiedUnchecked) => {
                             r0_row_reg_unchecked(ft, arow, b, crow, i2);
+                        }
+                        (R0Order::SimdReg, BoundsMode::Checked) => {
+                            r0_row_simd(ft, arow, b, crow, i2);
+                        }
+                        (R0Order::SimdReg, BoundsMode::CertifiedUnchecked) => {
+                            r0_row_simd_unchecked(ft, arow, b, crow, i2);
                         }
                         (R0Order::Tiled(t), BoundsMode::CertifiedUnchecked) => {
                             r0_row_tiled_unchecked(ft, arow, b, crow, i2, t);
@@ -1133,6 +1374,32 @@ mod tests {
         }
     }
 
+    #[test]
+    fn simd_r0_agrees_with_naive() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for layout in [Layout::Packed, Layout::Identity, Layout::Shifted] {
+            for n in [1usize, 2, 4, 5, 7, 11, 16, 23] {
+                let ft = FTable::new(2, n, layout);
+                let a = random_block(&ft, &mut rng);
+                let b = random_block(&ft, &mut rng);
+                let mut c1 = random_block(&ft, &mut rng);
+                let mut c2 = c1.clone();
+                r0_instance_naive(&ft, &a, &b, &mut c1);
+                r0_instance_simd(&ft, &a, &b, &mut c2);
+                for i2 in 0..n {
+                    for j2 in i2..n {
+                        let k = ft.inner(i2, j2);
+                        assert_eq!(
+                            c1[k].to_bits(),
+                            c2[k].to_bits(),
+                            "{layout:?} n={n} ({i2},{j2})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// Bitwise block equality — the certified-unchecked contract is
     /// *bit*-identity, not approximate agreement.
     fn assert_bits_eq(checked: &[f32], unchecked: &[f32], what: &str) {
@@ -1164,6 +1431,12 @@ mod tests {
                 r0_instance_reg_unchecked(&ft, &a, &b, &mut u);
                 assert_bits_eq(&c, &u, &format!("{layout:?} n={n} reg"));
 
+                let mut c = base.clone();
+                let mut u = base.clone();
+                r0_instance_simd(&ft, &a, &b, &mut c);
+                r0_instance_simd_unchecked(&ft, &a, &b, &mut u);
+                assert_bits_eq(&c, &u, &format!("{layout:?} n={n} simd"));
+
                 for t in [Tile::default(), Tile::cubic(3), Tile::small()] {
                     let mut c = base.clone();
                     let mut u = base.clone();
@@ -1185,6 +1458,7 @@ mod tests {
             R0Order::Tiled(Tile::cubic(2)),
             R0Order::Tiled(Tile::default()),
             R0Order::RegTiled,
+            R0Order::SimdReg,
         ] {
             let mut ft = FTable::new(c.m(), c.n(), Layout::Packed);
             for i1 in 0..c.m() {
@@ -1234,6 +1508,17 @@ mod tests {
         };
         assert_eq!(BoundsMode::build_default(), want);
         assert_eq!(BoundsMode::default(), want);
+    }
+
+    #[test]
+    fn simd_mode_default_tracks_feature() {
+        let want = if cfg!(feature = "simd") {
+            SimdMode::LaneArray
+        } else {
+            SimdMode::Scalar
+        };
+        assert_eq!(SimdMode::build_default(), want);
+        assert_eq!(SimdMode::default(), want);
     }
 
     #[test]

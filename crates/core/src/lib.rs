@@ -85,5 +85,5 @@ pub use checkpoint::{CheckpointSink, JournalRecord, RunManifest, TableSnapshot};
 pub use engine::{Algorithm, BpMaxProblem, Solution, SolveOptions, SupervisedSolve};
 pub use error::BpMaxError;
 pub use ftable::{BlockPool, FTable, PoolStats};
-pub use kernels::BoundsMode;
+pub use kernels::{BoundsMode, SimdMode};
 pub use supervise::{CancelToken, Deadline, MemoryBudget, Outcome, OutcomeCounts, Supervision};

@@ -21,6 +21,7 @@
 use crate::matrix::Matrix;
 use crate::scalar::mp_axpy;
 use crate::semiring::Semiring;
+use crate::simd::mp_axpy4;
 use rayon::prelude::*;
 
 /// FLOPs of one `m×k — k×n` semiring product (2 per inner iteration).
@@ -88,6 +89,42 @@ pub fn maxplus_gemm_permuted(a: &Matrix<f32>, b: &Matrix<f32>, c: &mut Matrix<f3
                 continue; // annihilator: the whole axpy is a no-op
             }
             mp_axpy(aik, b.row(k), c.row_mut(i));
+        }
+    }
+}
+
+/// Max-plus product with **register-level blocking** of the reduction:
+/// `ikj` order with the `k` loop unrolled 4×, fusing four streaming updates
+/// into one pass over the `C` row via [`mp_axpy4`].
+///
+/// The plain permuted kernel loads and stores the `C` row once per `k`
+/// step (arithmetic intensity 1/6 FLOP/byte); keeping a register tile of
+/// `C` live across four fused `k` steps quarters that traffic (8 FLOPs per
+/// 24 B ≈ 1/3) — the paper's "additional level of tiling at the register
+/// level" applied to the dense product. Results are bit-identical to
+/// [`maxplus_gemm_permuted`] (four sequential per-element updates in the
+/// same order), which the tests pin.
+pub fn maxplus_gemm_reg(a: &Matrix<f32>, b: &Matrix<f32>, c: &mut Matrix<f32>) {
+    check_dims(a, b, c);
+    let (m, kk) = (a.rows(), a.cols());
+    for i in 0..m {
+        let crow = c.row_mut(i);
+        let mut k = 0;
+        while k + 4 <= kk {
+            let aik = [a[(i, k)], a[(i, k + 1)], a[(i, k + 2)], a[(i, k + 3)]];
+            mp_axpy4(
+                aik,
+                [b.row(k), b.row(k + 1), b.row(k + 2), b.row(k + 3)],
+                crow,
+            );
+            k += 4;
+        }
+        while k < kk {
+            let aik = a[(i, k)];
+            if aik != f32::NEG_INFINITY {
+                mp_axpy(aik, b.row(k), crow);
+            }
+            k += 1;
         }
     }
 }
@@ -241,6 +278,28 @@ mod tests {
             let mut c = Matrix::neg_inf(4, 5);
             maxplus_gemm_tiled(&a, &b, &mut c, shape);
             assert_eq!(c, reference, "shape {shape:?}");
+        }
+    }
+
+    #[test]
+    fn reg_matches_permuted_bitwise() {
+        // Cover every k remainder class (k mod 4) and -inf annihilators.
+        for kk in 1..10usize {
+            let a = Matrix::from_fn(5, kk, |i, j| {
+                if (i + j) % 4 == 0 {
+                    f32::NEG_INFINITY
+                } else {
+                    (i as f32) * 0.5 - (j as f32)
+                }
+            });
+            let b = Matrix::from_fn(kk, 7, |i, j| (j as f32) * 0.25 - (i as f32) * 0.75);
+            let mut c1 = Matrix::neg_inf(5, 7);
+            let mut c2 = Matrix::neg_inf(5, 7);
+            maxplus_gemm_permuted(&a, &b, &mut c1);
+            maxplus_gemm_reg(&a, &b, &mut c2);
+            let bits =
+                |m: &Matrix<f32>| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&c1), bits(&c2), "kk={kk}");
         }
     }
 

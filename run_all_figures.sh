@@ -38,6 +38,7 @@ run table06_codegen_loc
 run ablation_locality
 run ablation_sched_policy
 run bench_batch_throughput
+run bench_simd_kernel
 run future_register_tiling
 run future_mpi_cluster
 
