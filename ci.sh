@@ -21,18 +21,22 @@
 #                                   property suite
 #   5. fault-injection suite        deterministic failure-path proofs
 #   6. crash-recovery suite         SIGKILL + resume bit-identity
-#   7. feature matrix (FEATURE_GATE) cargo test under the cargo-feature
+#   7. serve smoke                  daemon round-trip against the real
+#                                   binary: cold solve, warm cache hit,
+#                                   over-budget typed reject (exit 2),
+#                                   clean shutdown
+#   8. feature matrix (FEATURE_GATE) cargo test under the cargo-feature
 #                                   combinations (certified-unchecked,
 #                                   simd, both) whose defaults the other
 #                                   stages don't exercise — every combo
 #                                   is pinned bit-identical
-#   8. cargo doc -D warnings        rustdoc integrity
-#   9. sanitizers (SAN_GATE)        Miri over the kernel unit suites and
+#   9. cargo doc -D warnings        rustdoc integrity
+#  10. sanitizers (SAN_GATE)        Miri over the kernel unit suites and
 #                                   ThreadSanitizer over the concurrency
 #                                   models — nightly-only; auto-skipped
 #                                   with a notice when the toolchain
 #                                   lacks them (offline containers)
-#  10. smoke-bench perf gate        noise-aware wall-clock regression gate
+#  11. smoke-bench perf gate        noise-aware wall-clock regression gate
 #
 # FEATURE_GATE mirrors BENCH_GATE/SAN_GATE:
 #   auto       test the combos not already covered by other stages:
@@ -97,6 +101,36 @@ echo "== crash-recovery suite (cli, --features fault-inject) =="
 # of journaled windows, and corrupted/truncated checkpoints must be
 # refused with exit 2 — see crates/cli/tests/crash_recovery.rs.
 cargo test -p bpmax-cli --features fault-inject --offline -q
+
+echo "== serve smoke (daemon round-trip against the real binary) =="
+# A live daemon on a throwaway socket: a cold solve, the identical
+# request again as a warm cache hit, an over-budget request that must be
+# a *typed* rejection (exit 2, not a crash), then a clean shutdown that
+# the daemon process itself exits 0 from.
+cargo build -p bpmax-cli --offline -q
+SERVE_DIR="$(mktemp -d)"
+SERVE_SOCK="$SERVE_DIR/bpmax.sock"
+BPMAX="./target/debug/bpmax-cli"
+"$BPMAX" serve --socket "$SERVE_SOCK" --cache-dir "$SERVE_DIR/cache" &
+SERVE_PID=$!
+for _ in $(seq 1 200); do
+    [ -S "$SERVE_SOCK" ] && break
+    sleep 0.05
+done
+"$BPMAX" client --socket "$SERVE_SOCK" solve GGGAAACCC UUUGG | grep -q "^score: 15"
+"$BPMAX" client --socket "$SERVE_SOCK" solve GGGAAACCC UUUGG | grep -q "cache hit"
+reject_rc=0
+"$BPMAX" client --socket "$SERVE_SOCK" solve GGGGGGGGGG CCCCCCCCCC \
+    --mem-budget 64 2> /dev/null || reject_rc=$?
+if [ "$reject_rc" -ne 2 ]; then
+    echo "ci.sh: over-budget solve exited $reject_rc, want the typed reject (2)" >&2
+    kill "$SERVE_PID" 2> /dev/null || true
+    exit 1
+fi
+"$BPMAX" client --socket "$SERVE_SOCK" shutdown > /dev/null
+wait "$SERVE_PID"
+rm -rf "$SERVE_DIR"
+echo "-- serve smoke: cold solve, warm hit, typed reject, clean shutdown"
 
 # One cargo-feature combination across the three feature-bearing crates.
 # tropical only has `simd`, so its feature list is the intersection.
@@ -231,6 +265,7 @@ run_smoke() {
     ./target/release/table01_dmp_schedules --smoke --sizes 16,24 --reps 7 --json-dir "$out" > /dev/null
     ./target/release/bench_batch_throughput --smoke --sizes 8,12 --reps 5 --json-dir "$out" > /dev/null
     ./target/release/bench_simd_kernel     --smoke --sizes 12,16 --reps 5 --json-dir "$out" > /dev/null
+    ./target/release/bench_serve           --smoke --sizes 16,20 --reps 5 --json-dir "$out" > /dev/null
 }
 
 case "$BENCH_GATE" in

@@ -3,7 +3,7 @@
 
 use bench::{model, workload};
 use bpmax::kernels::Tile;
-use bpmax::{Algorithm, BpMaxProblem};
+use bpmax::{Algorithm, BpMaxProblem, SolveOptions};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_variants(c: &mut Criterion) {
@@ -22,7 +22,7 @@ fn bench_variants(c: &mut Criterion) {
         },
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(alg.label()), &alg, |b, &alg| {
-            b.iter(|| p.compute(alg));
+            b.iter(|| p.solve_opts(&SolveOptions::new().algorithm(alg)).unwrap());
         });
     }
     group.finish();

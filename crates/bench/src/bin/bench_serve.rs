@@ -1,0 +1,192 @@
+//! Solve-daemon round-trip latency: cold solve vs warm cache hit.
+//!
+//! Measured part: an in-process [`Server`] on a real Unix socket, driven
+//! by a persistent [`Client`] connection. Three request classes are
+//! timed — `stats` (the pure protocol floor: socket + codec, no solver),
+//! cold solves (every request a *distinct* problem, so the solver runs
+//! and the result is cached), and warm cache hits (a fixed already-solved
+//! set replayed, so the daemon answers from the content-addressed cache
+//! without touching the solver or the pool). Warm scores are asserted
+//! bit-identical to their cold counterparts, the pool counters must not
+//! move across the warm wave, and the headline ratio — warm hits at
+//! least 10x faster than cold solves — is asserted, not just reported:
+//! it is the whole point of keeping a daemon resident.
+//!
+//! Cold timing note: the daemon memoizes every solve, so a repeated
+//! closure over one problem set would measure the cache after the first
+//! repetition. Each timed repetition (and the warm-up call) therefore
+//! consumes a fresh slice of a pregenerated problem pool.
+
+use bench::report::Reporter;
+use bench::{banner, f2, model, time_stats, workload, Opts, Table};
+use bpmax::serve::{Client, Response, Server, ServerConfig, SolveRequest};
+use bpmax::{BpMaxProblem, SolveOptions};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn solved(resp: Response) -> (f32, bool) {
+    match resp {
+        Response::Solved {
+            score, cache_hit, ..
+        } => (score, cache_hit),
+        other => panic!("expected Solved, got {other:?}"),
+    }
+}
+
+fn main() {
+    let opts = Opts::parse(&[16, 24], &[1]);
+    let mut rep = Reporter::new("bench_serve", &opts);
+    banner(
+        "Serve",
+        "resident daemon round-trip latency",
+        "a warm cache hit must be >=10x faster than a cold solve",
+    );
+
+    let per_pass = if opts.smoke {
+        8
+    } else if opts.full {
+        48
+    } else {
+        24
+    };
+    let reps = opts.reps(5);
+    // Fresh problems for the warm-up call plus every timed repetition.
+    let cold_pool: Vec<SolveRequest> = (0..per_pass * (reps + 1))
+        .map(|i| {
+            let m = opts.sizes[i % opts.sizes.len()];
+            let n = opts.sizes[(i / opts.sizes.len() + i) % opts.sizes.len()];
+            let (s1, s2) = workload(opts.seed + i as u64, m, n);
+            SolveRequest::new(s1, s2, model())
+        })
+        .collect();
+    // The warm set: a disjoint seed range, solved once up front, then
+    // replayed as pure cache hits.
+    let warm_set: Vec<SolveRequest> = (0..per_pass)
+        .map(|i| {
+            let m = opts.sizes[i % opts.sizes.len()];
+            let (s1, s2) = workload(opts.seed + 0x5EED + i as u64, m, m);
+            SolveRequest::new(s1, s2, model())
+        })
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("bpmax-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let server = Arc::new(
+        Server::new(ServerConfig {
+            socket: dir.join("bpmax.sock"),
+            ..ServerConfig::default()
+        })
+        .expect("server"),
+    );
+    let runner = Arc::clone(&server);
+    let daemon = std::thread::spawn(move || runner.run().expect("daemon"));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Client::connect(&server.cfg().socket).is_err() {
+        assert!(Instant::now() < deadline, "daemon never came up");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut client = Client::connect(&server.cfg().socket).expect("connect");
+    println!(
+        "\n{per_pass} requests per pass, sizes cycled from {:?}, one persistent connection",
+        opts.sizes
+    );
+
+    // Protocol floor: stats round-trips carry no solve at all.
+    let proto_stats = time_stats(reps, || client.stats().expect("stats"));
+    rep.measured("measured/serve-protocol/t=1", proto_stats, None);
+
+    // Cold: every request a fresh problem — the solver runs each time.
+    let next = AtomicUsize::new(0);
+    let cold_stats = time_stats(reps, || {
+        let at = next.fetch_add(per_pass, Ordering::Relaxed); // ordering: single-threaded cursor over the pool
+        cold_pool[at..at + per_pass]
+            .iter()
+            .map(|r| solved(client.solve(r).expect("cold solve")).0)
+            .sum::<f32>()
+    });
+    rep.measured("measured/serve-cold/t=1", cold_stats, None);
+    rep.annotate(&[
+        ("requests", per_pass as f64),
+        ("latency_us", 1e6 * cold_stats.median_s / per_pass as f64),
+    ]);
+
+    // Warm: solve the warm set once, remember the scores, then every
+    // replay must be a cache hit with the same bits.
+    let reference: Vec<f32> = warm_set
+        .iter()
+        .map(|r| solved(client.solve(r).expect("warm seed")).0)
+        .collect();
+    let stats_before = client.stats().expect("stats");
+    let warm_stats = time_stats(reps, || {
+        warm_set
+            .iter()
+            .zip(&reference)
+            .map(|(r, want)| {
+                let (score, hit) = solved(client.solve(r).expect("warm hit"));
+                assert!(hit, "warm request missed the cache");
+                assert_eq!(score.to_bits(), want.to_bits(), "cache hit changed bits");
+                score
+            })
+            .sum::<f32>()
+    });
+    let stats_after = client.stats().expect("stats");
+    assert_eq!(
+        stats_after.solves, stats_before.solves,
+        "warm wave must not run the solver"
+    );
+    assert_eq!(
+        stats_after.pool.allocated_since(&stats_before.pool),
+        0,
+        "warm wave must not touch the pool"
+    );
+
+    // In-process reference: the warm scores must match direct solves.
+    for (req, want) in warm_set.iter().zip(&reference) {
+        let direct = BpMaxProblem::new(req.seq1.clone(), req.seq2.clone(), req.model.clone())
+            .solve_opts(&SolveOptions::new())
+            .expect("direct solve")
+            .score();
+        assert_eq!(direct.to_bits(), want.to_bits(), "daemon diverged from lib");
+    }
+
+    let speedup = cold_stats.median_s / warm_stats.median_s;
+    rep.measured("measured/serve-warm-hit/t=1", warm_stats, None);
+    rep.annotate(&[
+        ("requests", per_pass as f64),
+        ("latency_us", 1e6 * warm_stats.median_s / per_pass as f64),
+        ("speedup_vs_cold", speedup),
+        (
+            "cache_hits",
+            (stats_after.cache_hits - stats_before.cache_hits) as f64,
+        ),
+    ]);
+
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut t = Table::new(&["request class", "median s / pass", "us / request"]);
+    for (name, s, n) in [
+        ("stats (protocol floor)", proto_stats, 1usize),
+        ("cold solve", cold_stats, per_pass),
+        ("warm cache hit", warm_stats, per_pass),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.6}", s.median_s),
+            f2(1e6 * s.median_s / n as f64),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nwarm cache hit: {speedup:.1}x faster than cold solve \
+         (scores bit-identical, zero solver runs, zero pool allocations)"
+    );
+    assert!(
+        speedup >= 10.0,
+        "warm hits must be >=10x faster than cold solves, got {speedup:.1}x"
+    );
+    rep.finish();
+}

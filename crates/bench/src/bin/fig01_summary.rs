@@ -9,10 +9,16 @@ use bench::report::Reporter;
 use bench::{banner, f1, f2, model, time_stats, workload, Opts, Table};
 use bpmax::kernels::Tile;
 use bpmax::perfmodel::{predict_bpmax_gflops, predict_bpmax_seconds, CostModel};
-use bpmax::{Algorithm, BpMaxProblem};
+use bpmax::{Algorithm, BpMaxProblem, SolveOptions};
 use machine::spec::MachineSpec;
 use machine::traffic;
 use simsched::speedup::HtModel;
+
+fn solve(p: &BpMaxProblem, alg: Algorithm) -> bpmax::FTable {
+    p.solve_opts(&SolveOptions::new().algorithm(alg))
+        .expect("unsupervised bench solve")
+        .into_ftable()
+}
 
 fn main() {
     let opts = Opts::parse(&[12, 18, 24], &[]);
@@ -29,11 +35,14 @@ fn main() {
         let (s1, s2) = workload(opts.seed, n, n);
         let p = BpMaxProblem::new(s1, s2, model());
         let reps = opts.reps(if n <= 14 { 3 } else { 1 });
-        let sb = time_stats(reps, || p.compute(Algorithm::Baseline));
+        let sb = time_stats(reps, || solve(&p, Algorithm::Baseline));
         let st = time_stats(reps, || {
-            p.compute(Algorithm::HybridTiled {
-                tile: Tile::default(),
-            })
+            solve(
+                &p,
+                Algorithm::HybridTiled {
+                    tile: Tile::default(),
+                },
+            )
         });
         let (tb, tt) = (sb.median_s, st.median_s);
         rep.measured(format!("measured/base/n={n}"), sb, Some(p.flops()));

@@ -11,9 +11,15 @@ use bench::report::Reporter;
 use bench::{banner, f2, gflops, model, time_stats, workload, Opts, Table};
 use bpmax::kernels::Tile;
 use bpmax::perfmodel::{predict_bpmax_gflops, CostModel};
-use bpmax::{Algorithm, BpMaxProblem};
+use bpmax::{Algorithm, BpMaxProblem, SolveOptions};
 use machine::spec::MachineSpec;
 use simsched::speedup::HtModel;
+
+fn solve(p: &BpMaxProblem, alg: Algorithm) -> bpmax::FTable {
+    p.solve_opts(&SolveOptions::new().algorithm(alg))
+        .expect("unsupervised bench solve")
+        .into_ftable()
+}
 
 fn main() {
     let opts = Opts::parse(&[10, 14, 18, 24], &[6]);
@@ -34,13 +40,13 @@ fn main() {
         let (s1, s2) = workload(opts.seed, n, n);
         let p = BpMaxProblem::new(s1, s2, model());
         let flops = p.flops();
-        let reference = p.compute(Algorithm::Permuted).final_score();
+        let reference = solve(&p, Algorithm::Permuted).final_score();
         let mut cells = vec![n.to_string()];
         for &alg in algs {
             let reps = opts.reps(if n <= 14 { 3 } else { 1 });
-            let stats = time_stats(reps, || p.compute(alg));
+            let stats = time_stats(reps, || solve(&p, alg));
             assert_eq!(
-                p.compute(alg).final_score(),
+                solve(&p, alg).final_score(),
                 reference,
                 "version {alg:?} disagrees"
             );

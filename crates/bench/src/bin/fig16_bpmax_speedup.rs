@@ -9,9 +9,15 @@ use bench::report::Reporter;
 use bench::{banner, f1, model, time_stats, workload, Opts, Table};
 use bpmax::kernels::Tile;
 use bpmax::perfmodel::{predict_bpmax_seconds, CostModel};
-use bpmax::{Algorithm, BpMaxProblem};
+use bpmax::{Algorithm, BpMaxProblem, SolveOptions};
 use machine::spec::MachineSpec;
 use simsched::speedup::HtModel;
+
+fn solve(p: &BpMaxProblem, alg: Algorithm) -> bpmax::FTable {
+    p.solve_opts(&SolveOptions::new().algorithm(alg))
+        .expect("unsupervised bench solve")
+        .into_ftable()
+}
 
 fn main() {
     let opts = Opts::parse(&[10, 14, 18, 24], &[6]);
@@ -30,7 +36,7 @@ fn main() {
         let p = BpMaxProblem::new(s1, s2, model());
         let reps = opts.reps(if n <= 14 { 3 } else { 1 });
         let flops = p.flops();
-        let s_base = time_stats(reps, || p.compute(Algorithm::Baseline));
+        let s_base = time_stats(reps, || solve(&p, Algorithm::Baseline));
         let t_base = s_base.median_s;
         rep.measured(format!("measured/base/n={n}"), s_base, Some(flops));
         let mut cells = vec![n.to_string()];
@@ -41,7 +47,7 @@ fn main() {
                 tile: Tile::default(),
             },
         ] {
-            let stats = time_stats(reps, || p.compute(alg));
+            let stats = time_stats(reps, || solve(&p, alg));
             rep.measured(
                 format!("measured/{}/n={n}", alg.label()),
                 stats,

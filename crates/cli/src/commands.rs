@@ -8,12 +8,13 @@
 
 use bpmax::batch::{BatchEngine, BatchOptions};
 use bpmax::kernels::{Ctx, Tile};
+use bpmax::serve::{Client, Response, Server, ServerConfig, SolveRequest};
 use bpmax::windowed::scan_ranked;
-use bpmax::{Algorithm, BpMaxError, BpMaxProblem};
+use bpmax::{Algorithm, BpMaxError, BpMaxProblem, ComputeProfile};
 use rna::nussinov::Nussinov;
 use rna::{RnaSeq, ScoringModel};
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Usage text shown on errors and by `help`.
 pub(crate) const USAGE: &str = "usage:
@@ -23,6 +24,14 @@ pub(crate) const USAGE: &str = "usage:
   bpmax-cli scan <query> <target> [--window W] [--top K] [--batch] [--threads T]
                  [--deadline SECS] [--mem-budget BYTES]
                  [--checkpoint-dir DIR] [--resume] [--simd | --no-simd]
+  bpmax-cli serve --socket PATH [--threads T] [--mem-budget BYTES]
+                  [--max-seconds S] [--cache-dir DIR]
+  bpmax-cli client --socket PATH solve <seq1> <seq2>
+                   [--alg base|permuted|coarse|fine|hybrid|hybrid-tiled]
+                   [--min-loop K] [--simd | --no-simd]
+                   [--mem-budget BYTES] [--degrade]
+  bpmax-cli client --socket PATH stats
+  bpmax-cli client --socket PATH shutdown
   bpmax-cli info [M] [N]
   bpmax-cli verify [M N] [--static] [--bounds]
   bpmax-cli help
@@ -49,6 +58,17 @@ vectorized lane-array kernels (the hybrid+tiled algorithm's SimdReg
 path). Both paths are always compiled and bit-identical — the flags
 change speed, never scores. The default follows the `simd` cargo
 feature. For scan, the flags apply only with --batch.
+
+serve runs a resident solve daemon on a Unix socket: one warm batch
+engine (hot block-pool arenas) answers every client request, results are
+cached in memory and (with --cache-dir) on disk keyed by problem content
+x solve options, and requests the server-side --mem-budget or
+--max-seconds cannot admit get a typed rejection instead of an OOM.
+client sends one request: solve prints the score (and whether it was a
+cache hit), a rejected solve exits 2 with the reason, a server-side
+solve failure exits 1; stats prints the daemon's counters; shutdown
+stops it cleanly. --degrade lets an over-budget solve fall back to the
+banded lower bound instead of being rejected.
 
 verify checks the paper's schedule tables against the BPMax dependence
 system: exhaustively at sizes M x N (any size; large sizes warn about
@@ -207,6 +227,8 @@ pub(crate) fn dispatch(args: &[String]) -> Result<String, CliError> {
         "fold" => cmd_fold(args),
         "interact" => cmd_interact(args),
         "scan" => cmd_scan(args),
+        "serve" => cmd_serve(args),
+        "client" => cmd_client(args),
         "info" => cmd_info(args),
         "verify" => cmd_verify(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -292,6 +314,91 @@ fn cmd_interact(mut args: Vec<String>) -> Result<String, CliError> {
     Ok(out.trim_end().to_string())
 }
 
+/// Parse `--threads T`, shared by `scan --batch`, `serve`, and the
+/// batch-args table; the worker count must be at least 1.
+fn take_threads(args: &mut Vec<String>) -> Result<Option<usize>, CliError> {
+    take_opt(args, "--threads")?
+        .map(|v| match v.parse::<usize>() {
+            Ok(t) if t >= 1 => Ok(t),
+            Ok(_) => Err(bad_arg("--threads must be at least 1")),
+            Err(_) => Err(bad_arg("bad --threads")),
+        })
+        .transpose()
+}
+
+/// Parse `--deadline SECS` / `--max-seconds SECS`-style positive
+/// fractional seconds.
+fn take_seconds(args: &mut Vec<String>, flag: &str) -> Result<Option<f64>, CliError> {
+    take_opt(args, flag)?
+        .map(|v| match v.parse::<f64>() {
+            Ok(s) if s.is_finite() && s > 0.0 => Ok(s),
+            _ => Err(bad_arg(format!("bad {flag} {v:?} (seconds, must be > 0)"))),
+        })
+        .transpose()
+}
+
+/// The `scan --batch` flag set, parsed and cross-validated in one place.
+///
+/// Every flag that is only meaningful on the batch engine is declared in
+/// the single `gated` table inside [`BatchArgs::parse`] — adding a flag
+/// means adding a row there, not scattering another ad-hoc `if` through
+/// the command body. Pair-wise constraints (`--resume` needs
+/// `--checkpoint-dir`) live here too.
+struct BatchArgs {
+    batch: bool,
+    threads: Option<usize>,
+    deadline: Option<std::time::Duration>,
+    mem_budget: Option<u64>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    simd: Option<bool>,
+}
+
+impl BatchArgs {
+    fn parse(args: &mut Vec<String>) -> Result<BatchArgs, CliError> {
+        let batch = take_flag(args, "--batch");
+        let threads = take_threads(args)?;
+        let deadline = take_seconds(args, "--deadline")?.map(std::time::Duration::from_secs_f64);
+        let mem_budget = take_opt(args, "--mem-budget")?
+            .map(|v| parse_bytes(&v))
+            .transpose()?;
+        let checkpoint_dir = take_opt(args, "--checkpoint-dir")?.map(PathBuf::from);
+        let resume = take_flag(args, "--resume");
+        let simd = take_simd(args)?;
+        let gated = [
+            (threads.is_some(), "--threads"),
+            (
+                deadline.is_some() || mem_budget.is_some(),
+                "--deadline/--mem-budget",
+            ),
+            (
+                checkpoint_dir.is_some() || resume,
+                "--checkpoint-dir/--resume",
+            ),
+            (simd.is_some(), "--simd/--no-simd"),
+        ];
+        if !batch {
+            for (present, flag) in gated {
+                if present {
+                    return Err(usage(format!("{flag} only applies with --batch")));
+                }
+            }
+        }
+        if resume && checkpoint_dir.is_none() {
+            return Err(usage("--resume requires --checkpoint-dir"));
+        }
+        Ok(BatchArgs {
+            batch,
+            threads,
+            deadline,
+            mem_budget,
+            checkpoint_dir,
+            resume,
+            simd,
+        })
+    }
+}
+
 fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
     let model = model_with_min_loop(&mut args)?;
     let window = take_opt(&mut args, "--window")?
@@ -301,39 +408,7 @@ fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
         .map(|v| v.parse::<usize>().map_err(|_| bad_arg("bad --top")))
         .transpose()?
         .unwrap_or(5);
-    let batch = take_flag(&mut args, "--batch");
-    let threads = take_opt(&mut args, "--threads")?
-        .map(|v| v.parse::<usize>().map_err(|_| bad_arg("bad --threads")))
-        .transpose()?;
-    if threads.is_some() && !batch {
-        return Err(usage("--threads only applies with --batch"));
-    }
-    let deadline = take_opt(&mut args, "--deadline")?
-        .map(|v| match v.parse::<f64>() {
-            Ok(s) if s.is_finite() && s > 0.0 => Ok(std::time::Duration::from_secs_f64(s)),
-            _ => Err(bad_arg(format!(
-                "bad --deadline {v:?} (seconds, must be > 0)"
-            ))),
-        })
-        .transpose()?;
-    let mem_budget = take_opt(&mut args, "--mem-budget")?
-        .map(|v| parse_bytes(&v))
-        .transpose()?;
-    if (deadline.is_some() || mem_budget.is_some()) && !batch {
-        return Err(usage("--deadline/--mem-budget only apply with --batch"));
-    }
-    let checkpoint_dir = take_opt(&mut args, "--checkpoint-dir")?.map(std::path::PathBuf::from);
-    let resume = take_flag(&mut args, "--resume");
-    if (checkpoint_dir.is_some() || resume) && !batch {
-        return Err(usage("--checkpoint-dir/--resume only apply with --batch"));
-    }
-    let simd = take_simd(&mut args)?;
-    if simd.is_some() && !batch {
-        return Err(usage("--simd/--no-simd only apply with --batch"));
-    }
-    if resume && checkpoint_dir.is_none() {
-        return Err(usage("--resume requires --checkpoint-dir"));
-    }
+    let batch_args = BatchArgs::parse(&mut args)?;
     let [qa, ta] = args.as_slice() else {
         return Err(usage("scan takes a query and a target"));
     };
@@ -353,16 +428,8 @@ fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
         query.len(),
         target.len()
     );
-    let (ranked, failures) = if batch {
-        let sup = Supervised {
-            threads,
-            deadline,
-            mem_budget,
-            checkpoint_dir,
-            resume,
-            simd,
-        };
-        let (ranked, note, failures) = scan_batched(&query, &target, &model, w, &sup)?;
+    let (ranked, failures) = if batch_args.batch {
+        let (ranked, note, failures) = scan_batched(&query, &target, &model, w, &batch_args)?;
         let _ = writeln!(out, "{note}");
         (ranked, failures)
     } else {
@@ -397,16 +464,6 @@ fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
 /// summary lines from a batched scan.
 type BatchedScan = (Vec<(usize, f32)>, String, Vec<String>);
 
-/// Supervision knobs forwarded from `scan --batch` flags.
-struct Supervised {
-    threads: Option<usize>,
-    deadline: Option<std::time::Duration>,
-    mem_budget: Option<u64>,
-    checkpoint_dir: Option<std::path::PathBuf>,
-    resume: bool,
-    simd: Option<bool>,
-}
-
 /// The `scan --batch` fast path: every window becomes an independent
 /// `query × target[s..s+w]` problem on the pooled [`BatchEngine`].
 ///
@@ -422,13 +479,10 @@ fn scan_batched(
     target: &RnaSeq,
     model: &ScoringModel,
     w: usize,
-    sup: &Supervised,
+    sup: &BatchArgs,
 ) -> Result<BatchedScan, CliError> {
     let mut opts = BatchOptions::new();
     if let Some(t) = sup.threads {
-        if t == 0 {
-            return Err(bad_arg("--threads must be at least 1"));
-        }
         opts = opts.threads(t);
     }
     if let Some(on) = sup.simd {
@@ -493,6 +547,141 @@ fn scan_batched(
         );
     }
     Ok((ranked, note, failures))
+}
+
+/// `serve`: run the resident solve daemon until a client sends
+/// `shutdown`. Blocking by design — the readiness signal for scripts is
+/// the socket file appearing (a banner also goes to stderr so stdout
+/// stays the result channel).
+fn cmd_serve(mut args: Vec<String>) -> Result<String, CliError> {
+    let socket = take_opt(&mut args, "--socket")?
+        .map(PathBuf::from)
+        .ok_or_else(|| usage("serve requires --socket PATH"))?;
+    let threads = take_threads(&mut args)?;
+    let mem_budget = take_opt(&mut args, "--mem-budget")?
+        .map(|v| parse_bytes(&v))
+        .transpose()?;
+    let max_predicted_s = take_seconds(&mut args, "--max-seconds")?;
+    let cache_dir = take_opt(&mut args, "--cache-dir")?.map(PathBuf::from);
+    if !args.is_empty() {
+        return Err(usage(format!("serve: unexpected arguments {args:?}")));
+    }
+    let server = Server::new(ServerConfig {
+        socket: socket.clone(),
+        threads,
+        mem_budget,
+        max_predicted_s,
+        cache_dir,
+    })?;
+    eprintln!("bpmax-serve: listening on {}", socket.display());
+    server.run()?;
+    let stats = server.stats();
+    Ok(format!(
+        "bpmax-serve on {} shut down cleanly: {} requests, {} solves, \
+         {} cache hits, {} rejected",
+        socket.display(),
+        stats.requests,
+        stats.solves,
+        stats.cache_hits,
+        stats.rejects
+    ))
+}
+
+/// `client`: one request against a running daemon. All argument
+/// validation happens before connecting, so misuse exits 2 without a
+/// live server.
+fn cmd_client(mut args: Vec<String>) -> Result<String, CliError> {
+    let socket = take_opt(&mut args, "--socket")?
+        .map(PathBuf::from)
+        .ok_or_else(|| usage("client requires --socket PATH"))?;
+    if args.is_empty() {
+        return Err(usage("client needs an action: solve | stats | shutdown"));
+    }
+    let action = args.remove(0);
+    match action.as_str() {
+        "solve" => {
+            let model = model_with_min_loop(&mut args)?;
+            let alg = take_opt(&mut args, "--alg")?
+                .map(|name| name.parse::<Algorithm>())
+                .transpose()?;
+            let simd = take_simd(&mut args)?;
+            let mem_budget = take_opt(&mut args, "--mem-budget")?
+                .map(|v| parse_bytes(&v))
+                .transpose()?;
+            let degrade = take_flag(&mut args, "--degrade");
+            let [a1, a2] = args.as_slice() else {
+                return Err(usage("client solve takes exactly two sequences"));
+            };
+            let s1 = load_seq(a1)?;
+            let s2 = load_seq(a2)?;
+            let mut profile = ComputeProfile::new();
+            if let Some(alg) = alg {
+                profile = profile.algorithm(alg);
+            }
+            if let Some(on) = simd {
+                profile = profile.simd(on);
+            }
+            let mut req = SolveRequest::new(s1, s2, model)
+                .profile(profile)
+                .degrade(degrade);
+            if let Some(bytes) = mem_budget {
+                req = req.mem_budget(bytes);
+            }
+            let mut client = Client::connect(&socket)?;
+            match client.solve(&req)? {
+                Response::Solved {
+                    score,
+                    outcome,
+                    seconds,
+                    cache_hit,
+                } => Ok(format!(
+                    "score: {score}\noutcome: {}{}\nserver seconds: {seconds:.6}",
+                    outcome.as_str(),
+                    if cache_hit { " (cache hit)" } else { "" }
+                )),
+                Response::Rejected(reason) => Err(bad_arg(format!("request rejected: {reason}"))),
+                Response::Error { detail } => {
+                    Err(CliError::Check(format!("server error: {detail}")))
+                }
+                other => Err(BpMaxError::Protocol {
+                    detail: format!("unexpected reply to solve: {other:?}"),
+                }
+                .into()),
+            }
+        }
+        "stats" => {
+            if !args.is_empty() {
+                return Err(usage(format!(
+                    "client stats takes no arguments, got {args:?}"
+                )));
+            }
+            let stats = Client::connect(&socket)?.stats()?;
+            Ok(format!(
+                "requests: {}\ncache hits: {}\nsolves: {}\nrejected: {}\n\
+                 pool blocks: {} allocated, {} reused, {} recycled, {} quarantined",
+                stats.requests,
+                stats.cache_hits,
+                stats.solves,
+                stats.rejects,
+                stats.pool.allocated,
+                stats.pool.reused,
+                stats.pool.recycled,
+                stats.pool.quarantined
+            ))
+        }
+        "shutdown" => {
+            if !args.is_empty() {
+                return Err(usage(format!(
+                    "client shutdown takes no arguments, got {args:?}"
+                )));
+            }
+            Client::connect(&socket)?.shutdown()?;
+            Ok("server acknowledged shutdown".to_string())
+        }
+        other => Err(usage(format!(
+            "unknown client action {other:?} (expected solve | stats | shutdown)"
+        ))),
+    }
 }
 
 fn cmd_info(args: Vec<String>) -> Result<String, CliError> {
@@ -994,6 +1183,94 @@ mod tests {
         };
         assert_eq!(tail(&first), tail(&second), "{first}\nvs\n{second}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// One table of misuse invocations across `scan --batch`, `serve`,
+    /// and `client`: every row must exit 2 with the usage text. New
+    /// batch-gated or serve/client flags get a row here, not a bespoke
+    /// test.
+    #[test]
+    fn flag_misuse_table_exits_2() {
+        let cases: &[&[&str]] = &[
+            // batch-gated scan flags without --batch
+            &["scan", "GGG", "CCC", "--threads", "2"],
+            &["scan", "GGG", "CCC", "--deadline", "1"],
+            &["scan", "GGG", "CCC", "--mem-budget", "1M"],
+            &["scan", "GGG", "CCC", "--checkpoint-dir", "/tmp/x"],
+            &["scan", "GGG", "CCC", "--resume"],
+            &["scan", "GGG", "CCC", "--simd"],
+            // pair-wise constraints
+            &["scan", "GGG", "CCC", "--batch", "--resume"],
+            &["scan", "GGG", "CCC", "--batch", "--simd", "--no-simd"],
+            // bad values (batch table parses them centrally)
+            &["scan", "GGG", "CCC", "--batch", "--threads", "0"],
+            &["scan", "GGG", "CCC", "--batch", "--threads", "many"],
+            &["scan", "GGG", "CCC", "--batch", "--deadline", "0"],
+            &["scan", "GGG", "CCC", "--batch", "--mem-budget", "lots"],
+            // serve misuse (validated before binding anything)
+            &["serve"],
+            &["serve", "--socket"],
+            &["serve", "--socket", "/tmp/s.sock", "--threads", "0"],
+            &["serve", "--socket", "/tmp/s.sock", "--max-seconds", "0"],
+            &["serve", "--socket", "/tmp/s.sock", "--max-seconds", "soon"],
+            &["serve", "--socket", "/tmp/s.sock", "--mem-budget", "lots"],
+            &["serve", "--socket", "/tmp/s.sock", "stray"],
+            // client misuse (validated before connecting)
+            &["client"],
+            &["client", "--socket", "/tmp/s.sock"],
+            &["client", "--socket", "/tmp/s.sock", "frobnicate"],
+            &["client", "--socket", "/tmp/s.sock", "solve", "GGG"],
+            &[
+                "client",
+                "--socket",
+                "/tmp/s.sock",
+                "solve",
+                "GGG",
+                "CCC",
+                "--alg",
+                "warp",
+            ],
+            &[
+                "client",
+                "--socket",
+                "/tmp/s.sock",
+                "solve",
+                "GGG",
+                "CCC",
+                "--mem-budget",
+                "lots",
+            ],
+            &[
+                "client",
+                "--socket",
+                "/tmp/s.sock",
+                "solve",
+                "GGG",
+                "CCC",
+                "--simd",
+                "--no-simd",
+            ],
+            &["client", "--socket", "/tmp/s.sock", "stats", "extra"],
+            &["client", "--socket", "/tmp/s.sock", "shutdown", "now"],
+        ];
+        for argv in cases {
+            let err = run(argv).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{argv:?}: {err:?}");
+            assert!(err.show_usage(), "{argv:?}");
+        }
+    }
+
+    #[test]
+    fn client_against_missing_socket_is_a_domain_error() {
+        let err = run(&[
+            "client",
+            "--socket",
+            "/tmp/bpmax-no-such-daemon.sock",
+            "stats",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err:?}");
+        assert!(err.to_string().contains("connecting to"), "{err}");
     }
 
     #[test]

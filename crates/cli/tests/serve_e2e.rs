@@ -1,0 +1,185 @@
+//! End-to-end contract of `bpmax-cli serve` / `bpmax-cli client`
+//! against the real binaries: a daemon serves solves over its Unix
+//! socket, repeat requests come back as cache hits with identical
+//! scores, over-budget requests exit 2 with a typed rejection, shutdown
+//! is clean — and after a SIGKILL (no chance to clean up) a restarted
+//! daemon still answers warm from the on-disk cache tier, while a
+//! corrupted cache entry is silently recomputed, never replayed.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed); // ordering: unique-suffix counter only; nothing is published
+    let dir = std::env::temp_dir().join(format!("bpmax-servee2e-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawn the daemon and wait for its socket to accept (the socket file
+/// alone can exist before the listener is ready, so probe with a real
+/// client request).
+// Every caller kills or waits the returned daemon; clippy cannot see
+// past the return.
+#[allow(clippy::zombie_processes)]
+fn start_daemon(socket: &Path, cache_dir: &Path, extra: &[&str]) -> Child {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bpmax-cli"))
+        .arg("serve")
+        .arg("--socket")
+        .arg(socket)
+        .arg("--cache-dir")
+        .arg(cache_dir)
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn bpmax-cli serve");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (code, _, _) = client(socket, &["stats"]);
+        if code == 0 {
+            return child;
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("daemon never came up");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn client(socket: &Path, args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bpmax-cli"))
+        .arg("client")
+        .arg("--socket")
+        .arg(socket)
+        .args(args)
+        .output()
+        .expect("spawn bpmax-cli client");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn score_line(stdout: &str) -> &str {
+    stdout
+        .lines()
+        .find(|l| l.starts_with("score:"))
+        .unwrap_or_else(|| panic!("no score line in:\n{stdout}"))
+}
+
+#[test]
+fn daemon_round_trip_cache_hit_reject_and_clean_shutdown() {
+    let dir = tmpdir("roundtrip");
+    let socket = dir.join("bpmax.sock");
+    let cache = dir.join("cache");
+    let mut daemon = start_daemon(&socket, &cache, &[]);
+
+    // cold solve
+    let (code, cold, stderr) = client(&socket, &["solve", "GGGAAACCC", "UUUGG"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(!cold.contains("cache hit"), "{cold}");
+
+    // identical repeat: a cache hit with the same score
+    let (code, warm, stderr) = client(&socket, &["solve", "GGGAAACCC", "UUUGG"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(warm.contains("cache hit"), "{warm}");
+    assert_eq!(score_line(&cold), score_line(&warm));
+
+    // different options ⇒ different cache key ⇒ not a hit
+    let (code, other, stderr) =
+        client(&socket, &["solve", "GGGAAACCC", "UUUGG", "--min-loop", "3"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(!other.contains("cache hit"), "{other}");
+
+    // over-budget: typed rejection, exit 2
+    let (code, _, stderr) = client(
+        &socket,
+        &["solve", "GGGGGGGGGG", "CCCCCCCCCC", "--mem-budget", "64"],
+    );
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("request rejected"), "{stderr}");
+    assert!(stderr.contains("budget is 64"), "{stderr}");
+
+    // stats reflect the traffic
+    let (code, stats, stderr) = client(&socket, &["stats"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(stats.contains("cache hits: 1"), "{stats}");
+    assert!(stats.contains("rejected: 1"), "{stats}");
+
+    // clean shutdown: client acks, daemon exits 0, socket removed
+    let (code, out, stderr) = client(&socket, &["shutdown"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(out.contains("acknowledged"), "{out}");
+    let status = daemon.wait().expect("daemon exit");
+    assert_eq!(status.code(), Some(0));
+    assert!(!socket.exists(), "socket file removed on shutdown");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkill_then_restart_answers_warm_from_disk() {
+    let dir = tmpdir("sigkill");
+    let socket = dir.join("bpmax.sock");
+    let cache = dir.join("cache");
+    let mut daemon = start_daemon(&socket, &cache, &[]);
+
+    let (code, cold, stderr) = client(&socket, &["solve", "GGCAUUCC", "AUGGCAU"]);
+    assert_eq!(code, 0, "{stderr}");
+    let cold_score = score_line(&cold).to_string();
+
+    // SIGKILL: no shutdown handshake, no cleanup — the disk tier was
+    // written at solve time via atomic rename, so nothing can be torn
+    daemon.kill().expect("kill daemon");
+    let _ = daemon.wait();
+
+    // restart on a fresh socket over the same cache dir
+    let socket2 = dir.join("bpmax2.sock");
+    let mut daemon = start_daemon(&socket2, &cache, &[]);
+    let (code, revived, stderr) = client(&socket2, &["solve", "GGCAUUCC", "AUGGCAU"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(revived.contains("cache hit"), "{revived}");
+    assert_eq!(score_line(&revived), cold_score);
+
+    let (code, _, stderr) = client(&socket2, &["shutdown"]);
+    assert_eq!(code, 0, "{stderr}");
+    let status = daemon.wait().expect("daemon exit");
+    assert_eq!(status.code(), Some(0));
+
+    // a corrupted cache entry is a miss, not garbage: flip one byte in
+    // every entry, restart (so the memory tier is empty and the disk
+    // tier must be consulted), and the recomputed score must still match
+    let mut flipped = 0;
+    for entry in std::fs::read_dir(&cache).unwrap() {
+        let path = entry.unwrap().path();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        flipped += 1;
+    }
+    assert!(flipped >= 1, "cache dir empty");
+    let socket3 = dir.join("bpmax3.sock");
+    let mut daemon = start_daemon(&socket3, &cache, &[]);
+    let (code, recomputed, stderr) = client(&socket3, &["solve", "GGCAUUCC", "AUGGCAU"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(
+        !recomputed.contains("cache hit"),
+        "corrupt entry replayed: {recomputed}"
+    );
+    assert_eq!(score_line(&recomputed), cold_score);
+
+    let (code, _, stderr) = client(&socket3, &["shutdown"]);
+    assert_eq!(code, 0, "{stderr}");
+    let status = daemon.wait().expect("daemon exit");
+    assert_eq!(status.code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}

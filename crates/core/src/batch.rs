@@ -4,7 +4,7 @@
 //! (and the ROADMAP's production north star) is *scanning* — thousands of
 //! candidate strand pairs, most of them small, a few large. Three things
 //! make a batch qualitatively different from a loop over
-//! [`BpMaxProblem::solve`]:
+//! [`BpMaxProblem::solve_opts`]:
 //!
 //! 1. **Allocation.** Every solve builds a `Θ(M²N²)` [`FTable`] out of
 //!    `M(M+1)/2` block buffers. Across a batch that is millions of
@@ -22,7 +22,7 @@
 //!    throughput, not a bare score: [`BatchReport`] carries both and
 //!    feeds the `bench::report` JSON schema.
 //!
-//! Results are **bit-identical** to per-problem [`BpMaxProblem::solve`]
+//! Results are **bit-identical** to per-problem [`BpMaxProblem::solve_opts`]
 //! calls (property-tested in `tests/batch_identical.rs`): every traversal
 //! mode of the engine computes the same F-table by the wavefront
 //! invariant.
@@ -190,21 +190,9 @@ impl BatchOptions {
     /// get a fresh deadline.
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv64::new();
-        let alg = self
-            .solve
-            .resolved_algorithm()
-            .unwrap_or(Algorithm::Permuted);
-        h.write(alg.label().as_bytes());
-        if let Some(tile) = alg.tile() {
-            h.write_u64(tile.i2 as u64);
-            h.write_u64(tile.k2 as u64);
-            h.write_u64(tile.j2 as u64);
-        }
-        // an explicit layout override changes snapshot cell order
-        match self.solve.requested_layout() {
-            None => h.write(&[0xFF]),
-            Some(layout) => h.write(&[checkpoint::layout_code(layout)]),
-        }
+        // algorithm / tile / layout: the shared ComputeProfile rule, the
+        // same bytes the serve result-cache key hashes
+        self.solve.profile().fingerprint_into(&mut h);
         // memory budgets and degradation decide exact-vs-windowed scores
         h.write_u64(self.mem_budget.unwrap_or(u64::MAX));
         h.write(&[u8::from(self.degrade)]);
@@ -365,15 +353,17 @@ impl BatchEngine {
     /// `true` when the cost model predicts this problem is too small to
     /// amortize intra-problem dispatch — the [`Policy::Auto`] classifier.
     pub fn classify_coarse(&self, problem: &BpMaxProblem) -> bool {
+        self.classify_coarse_with(problem, &self.opts.solve)
+    }
+
+    /// [`BatchEngine::classify_coarse`] against explicit solve options
+    /// (the daemon classifies per request, not per engine).
+    fn classify_coarse_with(&self, problem: &BpMaxProblem, solve: &SolveOptions) -> bool {
         match self.opts.policy {
             Policy::Coarse => true,
             Policy::IntraProblem => false,
             Policy::Auto => {
-                let alg = self
-                    .opts
-                    .solve
-                    .resolved_algorithm()
-                    .unwrap_or(Algorithm::Permuted);
+                let alg = solve.resolved_algorithm().unwrap_or(Algorithm::Permuted);
                 let (m, n) = (problem.ctx().m(), problem.ctx().n());
                 predict_bpmax_seconds(alg, m, n, 1, &self.cost, &self.spec, self.ht)
                     < self.opts.coarse_cutoff_s
@@ -381,8 +371,37 @@ impl BatchEngine {
         }
     }
 
+    /// Predicted single-thread solve seconds for `problem` under `solve` —
+    /// the perfmodel number the serve daemon's admission control compares
+    /// against its `max_predicted_s` cap.
+    pub fn predict_seconds(&self, problem: &BpMaxProblem, solve: &SolveOptions) -> f64 {
+        let alg = solve.resolved_algorithm().unwrap_or(Algorithm::Permuted);
+        let (m, n) = (problem.ctx().m(), problem.ctx().n());
+        predict_bpmax_seconds(alg, m, n, 1, &self.cost, &self.spec, self.ht)
+    }
+
+    /// Solve one problem on the engine's resident rayon pool and warm
+    /// block arena with *per-request* solve options — the serve daemon's
+    /// entry point. Scheduling (coarse serial vs intra-problem parallel)
+    /// is classified per request through the perfmodel exactly like
+    /// [`Policy::Auto`]; supervision merges the engine-wide layer with the
+    /// request's own. Infallible like the batch waves: every failure mode
+    /// folds into the returned item's [`Outcome`] + error.
+    pub fn solve_pooled(&self, problem: &BpMaxProblem, solve: &SolveOptions) -> BatchItem {
+        let batch_sup = Supervision {
+            cancel: self.opts.cancel.clone(),
+            deadline: self.opts.deadline.map(Deadline::within),
+            budget: self.opts.mem_budget.map(MemoryBudget::bytes),
+            degrade: self.opts.degrade,
+        };
+        let sup = Supervision::merged(&batch_sup, solve.supervision());
+        let coarse = self.classify_coarse_with(problem, solve);
+        self.pool
+            .install(|| self.solve_one(problem, 0, coarse, &sup, None, None, solve))
+    }
+
     /// Solve every problem; results come back in input order,
-    /// bit-identical to per-problem [`BpMaxProblem::solve`] calls.
+    /// bit-identical to per-problem [`BpMaxProblem::solve_opts`] calls.
     ///
     /// Coarse-classified problems run one-per-thread over the shared pool
     /// with serial traversals; the rest run one at a time, each using the
@@ -572,7 +591,7 @@ impl BatchEngine {
                 .par_iter()
                 .map(|&i| {
                     let snap = snapshot.filter(|s| s.index as usize == i);
-                    self.solve_one(&problems[i], i, true, &sup, ckpt, snap)
+                    self.solve_one(&problems[i], i, true, &sup, ckpt, snap, &self.opts.solve)
                 })
                 .collect()
         });
@@ -586,9 +605,9 @@ impl BatchEngine {
         for (i, problem) in problems.iter().enumerate() {
             if !coarse_class[i] && slots[i].is_none() {
                 let snap = snapshot.filter(|s| s.index as usize == i);
-                let item = self
-                    .pool
-                    .install(|| self.solve_one(problem, i, false, &sup, ckpt, snap));
+                let item = self.pool.install(|| {
+                    self.solve_one(problem, i, false, &sup, ckpt, snap, &self.opts.solve)
+                });
                 slots[i] = Some(item);
             }
         }
@@ -616,6 +635,7 @@ impl BatchEngine {
     /// failure mode folds into the item's [`Outcome`] + error. Completed
     /// results (any outcome with a score) are journaled before the item
     /// is returned, so a crash after this point loses nothing.
+    #[allow(clippy::too_many_arguments)]
     fn solve_one(
         &self,
         problem: &BpMaxProblem,
@@ -624,11 +644,12 @@ impl BatchEngine {
         sup: &Supervision,
         ckpt: Option<&CheckpointSink>,
         snap: Option<&TableSnapshot>,
+        solve: &SolveOptions,
     ) -> BatchItem {
         let (m, n) = (problem.ctx().m(), problem.ctx().n());
         let t = Instant::now();
         let (outcome, score, table, error) =
-            match self.solve_inner(problem, index, coarse, sup, ckpt, snap) {
+            match self.solve_inner(problem, index, coarse, sup, ckpt, snap, solve) {
                 Ok((outcome, score, table)) => (outcome, score, table, None),
                 Err(err) => {
                     let outcome = match err {
@@ -672,6 +693,7 @@ impl BatchEngine {
     /// The supervised solve pipeline of one problem: entry check → budget
     /// admission (degrading if allowed) → pooled allocation → panic-
     /// isolated compute → recycle-or-quarantine.
+    #[allow(clippy::too_many_arguments)]
     fn solve_inner(
         &self,
         problem: &BpMaxProblem,
@@ -680,9 +702,10 @@ impl BatchEngine {
         sup: &Supervision,
         ckpt: Option<&CheckpointSink>,
         snap: Option<&TableSnapshot>,
+        solve: &SolveOptions,
     ) -> Result<(Outcome, f32, Option<FTable>), BpMaxError> {
-        let algorithm = self.opts.solve.resolved_algorithm()?;
-        let layout = self.opts.solve.resolved_layout(problem.layout());
+        let algorithm = solve.resolved_algorithm()?;
+        let layout = solve.resolved_layout(problem.layout());
         let (m, n) = (problem.ctx().m(), problem.ctx().n());
         let mut watch = Watch::new(sup);
         if let Some(fault::Fault::Slow { millis }) = fault::active(fault::SITE_SLOW, index) {
@@ -734,7 +757,7 @@ impl BatchEngine {
                 }
                 panic!("injected fault: compute panic at problem {index}"); // lint: allow(panic): deliberate injected fault (fault-inject harness)
             }
-            let modes = self.opts.solve.resolved_kernel_modes();
+            let modes = solve.resolved_kernel_modes();
             if coarse {
                 problem
                     .compute_serial_watched_range(algorithm, &mut f, start_diag, m, &watch, modes)
@@ -819,6 +842,13 @@ mod tests {
             .collect()
     }
 
+    /// Score via the one entry point, with `alg`.
+    fn score(p: &BpMaxProblem, alg: Algorithm) -> f32 {
+        p.solve_opts(&SolveOptions::new().algorithm(alg))
+            .unwrap()
+            .score()
+    }
+
     #[test]
     fn batch_scores_match_sequential_solves() {
         let problems = mixed_problems(12, 41);
@@ -827,11 +857,12 @@ mod tests {
         assert_eq!(report.len(), problems.len());
         for (i, item) in report.items.iter().enumerate() {
             assert_eq!(item.index, i);
-            let want = problems[i]
-                .solve(Algorithm::HybridTiled {
+            let want = score(
+                &problems[i],
+                Algorithm::HybridTiled {
                     tile: crate::kernels::Tile::DEFAULT,
-                })
-                .score();
+                },
+            );
             assert_eq!(item.score, want, "problem {i}");
             assert!(item.seconds >= 0.0);
             assert!(item.table.is_none(), "tables recycled by default");
@@ -846,7 +877,7 @@ mod tests {
         let problems = mixed_problems(8, 42);
         let want: Vec<f32> = problems
             .iter()
-            .map(|p| p.solve(Algorithm::Permuted).score())
+            .map(|p| score(p, Algorithm::Permuted))
             .collect();
         for policy in [Policy::Auto, Policy::Coarse, Policy::IntraProblem] {
             let engine = BatchEngine::new(BatchOptions::new().threads(2).policy(policy)).unwrap();
@@ -869,7 +900,10 @@ mod tests {
         let report = engine.solve_all(&problems).unwrap();
         for (item, p) in report.items.iter().zip(&problems) {
             let table = item.table.as_ref().expect("table kept");
-            let reference = p.compute(Algorithm::Permuted);
+            let reference = p
+                .solve_opts(&SolveOptions::new().algorithm(Algorithm::Permuted))
+                .unwrap()
+                .into_ftable();
             for (i1, j1, i2, j2) in reference.iter_cells().collect::<Vec<_>>() {
                 assert_eq!(table.get(i1, j1, i2, j2), reference.get(i1, j1, i2, j2));
             }
@@ -924,7 +958,7 @@ mod tests {
             "".parse().unwrap(),
             ScoringModel::bpmax_default(),
         );
-        let want = p.solve(Algorithm::Baseline).score();
+        let want = score(&p, Algorithm::Baseline);
         let report = engine.solve_all(std::slice::from_ref(&p)).unwrap();
         assert_eq!(report.items[0].score, want);
     }
@@ -994,8 +1028,8 @@ mod tests {
             RnaSeq::random(&mut rng, 14),
             model,
         );
-        let small_exact = small.solve(Algorithm::Permuted).score();
-        let large_exact = large.solve(Algorithm::Permuted).score();
+        let small_exact = score(&small, Algorithm::Permuted);
+        let large_exact = score(&large, Algorithm::Permuted);
         // budget chosen between the two table sizes: small fits, large not
         let budget = FTable::estimate_bytes(12, 14, crate::ftable::Layout::Packed).unwrap() / 2;
         assert!(budget > FTable::estimate_bytes(3, 3, crate::ftable::Layout::Packed).unwrap());

@@ -178,36 +178,38 @@ pub fn problem_id(problem: &BpMaxProblem) -> u64 {
 // Wire primitives
 // ---------------------------------------------------------------------------
 
-fn put_u8(buf: &mut Vec<u8>, v: u8) {
+pub(crate) fn put_u8(buf: &mut Vec<u8>, v: u8) {
     buf.push(v);
 }
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f32(buf: &mut Vec<u8>, v: f32) {
+pub(crate) fn put_f32(buf: &mut Vec<u8>, v: f32) {
     buf.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
-fn put_f64(buf: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
     buf.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
 /// Bounds-checked little-endian reader; every failure is a
-/// [`BpMaxError::CorruptCheckpoint`] naming the file and offset.
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
+/// [`BpMaxError::CorruptCheckpoint`] naming the file (or, for the serve
+/// wire, the connection) and offset. Shared with [`crate::serve`], which
+/// maps the errors to [`BpMaxError::Protocol`] at its decode boundary.
+pub(crate) struct Cursor<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
     path: String,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8], path: &Path) -> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8], path: &Path) -> Cursor<'a> {
         Cursor {
             buf,
             pos: 0,
@@ -215,14 +217,14 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn corrupt(&self, detail: String) -> BpMaxError {
+    pub(crate) fn corrupt(&self, detail: String) -> BpMaxError {
         BpMaxError::CorruptCheckpoint {
             path: self.path.clone(),
             detail,
         }
     }
 
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], BpMaxError> {
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], BpMaxError> {
         if self.buf.len() - self.pos < n {
             return Err(self.corrupt(format!(
                 "truncated at byte {}: {what} needs {n} bytes, {} remain",
@@ -235,29 +237,29 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self, what: &str) -> Result<u8, BpMaxError> {
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, BpMaxError> {
         Ok(self.take(1, what)?[0])
     }
 
-    fn u32(&mut self, what: &str) -> Result<u32, BpMaxError> {
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, BpMaxError> {
         Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap())) // lint: allow(unwrap): take(4) returned exactly 4 bytes
     }
 
-    fn u64(&mut self, what: &str) -> Result<u64, BpMaxError> {
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, BpMaxError> {
         Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap())) // lint: allow(unwrap): take(8) returned exactly 8 bytes
     }
 
-    fn f32(&mut self, what: &str) -> Result<f32, BpMaxError> {
+    pub(crate) fn f32(&mut self, what: &str) -> Result<f32, BpMaxError> {
         Ok(f32::from_bits(self.u32(what)?))
     }
 
-    fn f64(&mut self, what: &str) -> Result<f64, BpMaxError> {
+    pub(crate) fn f64(&mut self, what: &str) -> Result<f64, BpMaxError> {
         Ok(f64::from_bits(u64::from_le_bytes(
             self.take(8, what)?.try_into().unwrap(), // lint: allow(unwrap): take(8) returned exactly 8 bytes
         )))
     }
 
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
 }
@@ -288,13 +290,13 @@ fn check_header(cur: &mut Cursor<'_>, kind: u8) -> Result<(), BpMaxError> {
     Ok(())
 }
 
-fn put_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+pub(crate) fn put_frame(buf: &mut Vec<u8>, payload: &[u8]) {
     put_u32(buf, payload.len() as u32);
     put_u32(buf, crc32(payload));
     buf.extend_from_slice(payload);
 }
 
-fn take_frame<'a>(cur: &mut Cursor<'a>, what: &str) -> Result<&'a [u8], BpMaxError> {
+pub(crate) fn take_frame<'a>(cur: &mut Cursor<'a>, what: &str) -> Result<&'a [u8], BpMaxError> {
     let len = cur.u32(&format!("{what} frame length"))? as usize;
     let stored = cur.u32(&format!("{what} frame checksum"))?;
     let payload = cur.take(len, &format!("{what} frame payload"))?;
@@ -315,7 +317,7 @@ pub(crate) fn layout_code(layout: Layout) -> u8 {
     }
 }
 
-fn layout_from_code(code: u8, cur: &Cursor<'_>) -> Result<Layout, BpMaxError> {
+pub(crate) fn layout_from_code(code: u8, cur: &Cursor<'_>) -> Result<Layout, BpMaxError> {
     match code {
         0 => Ok(Layout::Packed),
         1 => Ok(Layout::Identity),
@@ -324,7 +326,7 @@ fn layout_from_code(code: u8, cur: &Cursor<'_>) -> Result<Layout, BpMaxError> {
     }
 }
 
-fn outcome_code(outcome: Outcome) -> u8 {
+pub(crate) fn outcome_code(outcome: Outcome) -> u8 {
     match outcome {
         Outcome::Ok => 0,
         Outcome::Degraded => 1,
@@ -334,7 +336,7 @@ fn outcome_code(outcome: Outcome) -> u8 {
     }
 }
 
-fn outcome_from_code(code: u8, cur: &Cursor<'_>) -> Result<Outcome, BpMaxError> {
+pub(crate) fn outcome_from_code(code: u8, cur: &Cursor<'_>) -> Result<Outcome, BpMaxError> {
     match code {
         0 => Ok(Outcome::Ok),
         1 => Ok(Outcome::Degraded),
@@ -579,7 +581,7 @@ impl TableSnapshot {
 /// Write `bytes` to `path` crash-safely: temp file in the same directory,
 /// `fsync`, atomic rename, best-effort directory `fsync`. A reader (or a
 /// crash) can only ever observe the old complete file or the new one.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), BpMaxError> {
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), BpMaxError> {
     let io = |detail: String| BpMaxError::CheckpointIo {
         path: path.display().to_string(),
         detail,
@@ -602,7 +604,7 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), BpMaxError> {
     Ok(())
 }
 
-fn read_file(path: &Path) -> Result<Vec<u8>, BpMaxError> {
+pub(crate) fn read_file(path: &Path) -> Result<Vec<u8>, BpMaxError> {
     fs::read(path).map_err(|e| BpMaxError::CheckpointIo {
         path: path.display().to_string(),
         detail: e.to_string(),
@@ -885,7 +887,10 @@ mod tests {
         snap.restore_into(&mut f2).unwrap();
         p.resume_from(Algorithm::Hybrid, &mut f2, snap.done)
             .unwrap();
-        let reference = p.compute(Algorithm::Hybrid);
+        let reference = p
+            .solve_opts(&crate::engine::SolveOptions::new().algorithm(Algorithm::Hybrid))
+            .unwrap()
+            .into_ftable();
         for (i1, j1, i2, j2) in reference.iter_cells().collect::<Vec<_>>() {
             assert_eq!(f2.get(i1, j1, i2, j2), reference.get(i1, j1, i2, j2));
         }

@@ -71,15 +71,6 @@ impl Algorithm {
         },
     ];
 
-    /// All versions as a `Vec`.
-    ///
-    /// Deprecated: iterate [`Algorithm::ALL`] instead — this wrapper only
-    /// remains so pre-existing callers keep compiling and will be removed
-    /// with the other legacy entry points.
-    pub fn all() -> Vec<Algorithm> {
-        Self::ALL.to_vec()
-    }
-
     /// Short label for tables and figures.
     pub fn label(&self) -> &'static str {
         match self {
@@ -149,55 +140,44 @@ impl FromStr for Algorithm {
     }
 }
 
-/// Options for [`BpMaxProblem::solve_opts`] — the one fallible solve
-/// entry point that subsumes the legacy `solve`/`solve_with_threads`/
-/// `compute` trio.
+/// The compute configuration shared by every consumer of "how to run a
+/// solve": [`SolveOptions`] (solo solves), [`crate::batch::BatchOptions`]
+/// (the engine), the checkpoint options fingerprint, and the serve wire
+/// requests all embed this one type instead of hand-syncing copies of the
+/// same five knobs.
 ///
-/// ```
-/// use bpmax::{Algorithm, BpMaxProblem, SolveOptions};
-/// use rna::{RnaSeq, ScoringModel};
-///
-/// let p = BpMaxProblem::new(
-///     "GGGAAACC".parse().unwrap(),
-///     "GGUUUCCC".parse().unwrap(),
-///     ScoringModel::bpmax_default(),
-/// );
-/// let solution = p
-///     .solve_opts(&SolveOptions::new().algorithm(Algorithm::Hybrid).threads(4))
-///     .unwrap();
-/// assert!(solution.score() > 0.0);
-/// ```
-#[derive(Clone, Debug, PartialEq)]
-pub struct SolveOptions {
+/// Holds the program version plus the four overrides (tile, layout,
+/// bounds, SIMD). Everything *score-affecting* lives here — thread
+/// counts, deadlines and scheduling policy deliberately do not, which is
+/// why the result cache can key on a profile fingerprint and stay valid
+/// across machine shapes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComputeProfile {
     algorithm: Algorithm,
-    threads: Option<usize>,
-    layout: Option<Layout>,
     tile: Option<Tile>,
+    layout: Option<Layout>,
     bounds: Option<BoundsMode>,
     simd: Option<SimdMode>,
-    supervision: Supervision,
 }
 
-impl Default for SolveOptions {
-    /// The champion configuration: hybrid+tiled, caller's rayon pool,
-    /// problem's layout, no supervision.
+impl Default for ComputeProfile {
+    /// The champion configuration: hybrid+tiled with the default tile,
+    /// problem's layout, build-default kernel modes.
     fn default() -> Self {
-        SolveOptions {
+        ComputeProfile {
             algorithm: Algorithm::HybridTiled {
                 tile: Tile::DEFAULT,
             },
-            threads: None,
-            layout: None,
             tile: None,
+            layout: None,
             bounds: None,
             simd: None,
-            supervision: Supervision::none(),
         }
     }
 }
 
-impl SolveOptions {
-    /// Default options (see [`SolveOptions::default`]).
+impl ComputeProfile {
+    /// Default profile (see [`ComputeProfile::default`]).
     pub fn new() -> Self {
         Self::default()
     }
@@ -209,11 +189,11 @@ impl SolveOptions {
         self
     }
 
-    /// Run on a dedicated rayon pool of this many workers (the paper's
-    /// `OMP_NUM_THREADS` knob). Default: the caller's current pool.
+    /// Override the tile shape. Applies when the algorithm is (or
+    /// defaults to) the tiled version; ignored otherwise.
     #[must_use]
-    pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = Some(threads);
+    pub fn tile(mut self, tile: Tile) -> Self {
+        self.tile = Some(tile);
         self
     }
 
@@ -222,14 +202,6 @@ impl SolveOptions {
     #[must_use]
     pub fn layout(mut self, layout: Layout) -> Self {
         self.layout = Some(layout);
-        self
-    }
-
-    /// Override the tile shape. Applies when the algorithm is (or
-    /// defaults to) the tiled version; ignored otherwise.
-    #[must_use]
-    pub fn tile(mut self, tile: Tile) -> Self {
-        self.tile = Some(tile);
         self
     }
 
@@ -262,6 +234,203 @@ impl SolveOptions {
         } else {
             SimdMode::Scalar
         });
+        self
+    }
+
+    /// The algorithm with the tile override folded in, validated.
+    pub(crate) fn resolved_algorithm(&self) -> Result<Algorithm, BpMaxError> {
+        let alg = match (self.algorithm, self.tile) {
+            (Algorithm::HybridTiled { .. }, Some(tile)) => Algorithm::HybridTiled { tile },
+            (alg, _) => alg,
+        };
+        alg.validate()?;
+        Ok(alg)
+    }
+
+    /// The bounds mode to solve with (explicit override or the build
+    /// default).
+    pub(crate) fn resolved_bounds_mode(&self) -> BoundsMode {
+        self.bounds.unwrap_or_default()
+    }
+
+    /// The SIMD mode to solve with (explicit override or the build
+    /// default).
+    pub(crate) fn resolved_simd_mode(&self) -> SimdMode {
+        self.simd.unwrap_or_default()
+    }
+
+    /// Both kernel-selection knobs, resolved together.
+    pub(crate) fn resolved_kernel_modes(&self) -> KernelModes {
+        KernelModes {
+            bounds: self.resolved_bounds_mode(),
+            simd: self.resolved_simd_mode(),
+        }
+    }
+
+    /// The layout to solve with, given the problem's own.
+    pub(crate) fn resolved_layout(&self, problem_layout: Layout) -> Layout {
+        self.layout.unwrap_or(problem_layout)
+    }
+
+    /// The explicit layout override, if any — part of the checkpoint
+    /// options fingerprint (layout changes block order inside a snapshot).
+    pub(crate) fn requested_layout(&self) -> Option<Layout> {
+        self.layout
+    }
+
+    /// The raw knobs, for the serve wire codec (which must round-trip the
+    /// profile exactly, overrides-vs-defaults included).
+    pub(crate) fn parts(
+        &self,
+    ) -> (
+        Algorithm,
+        Option<Tile>,
+        Option<Layout>,
+        Option<BoundsMode>,
+        Option<SimdMode>,
+    ) {
+        (
+            self.algorithm,
+            self.tile,
+            self.layout,
+            self.bounds,
+            self.simd,
+        )
+    }
+
+    /// Rebuild from raw knobs (serve wire decode).
+    pub(crate) fn from_parts(
+        algorithm: Algorithm,
+        tile: Option<Tile>,
+        layout: Option<Layout>,
+        bounds: Option<BoundsMode>,
+        simd: Option<SimdMode>,
+    ) -> Self {
+        ComputeProfile {
+            algorithm,
+            tile,
+            layout,
+            bounds,
+            simd,
+        }
+    }
+
+    /// Hash the *score-affecting* knobs into `h`: resolved algorithm
+    /// label, tile shape, layout override. The one fingerprint rule shared
+    /// by the checkpoint manifest ([`crate::batch::BatchOptions::fingerprint`])
+    /// and the serve result-cache key. Bounds/SIMD modes are deliberately
+    /// excluded — both paths are proven bit-identical, so caching across
+    /// them is sound.
+    pub(crate) fn fingerprint_into(&self, h: &mut crate::checkpoint::Fnv64) {
+        let alg = self.resolved_algorithm().unwrap_or(Algorithm::Permuted);
+        h.write(alg.label().as_bytes());
+        if let Some(tile) = alg.tile() {
+            h.write_u64(tile.i2 as u64);
+            h.write_u64(tile.k2 as u64);
+            h.write_u64(tile.j2 as u64);
+        }
+        match self.requested_layout() {
+            None => h.write(&[0xFF]),
+            Some(layout) => h.write(&[crate::checkpoint::layout_code(layout)]),
+        }
+    }
+}
+
+/// Options for [`BpMaxProblem::solve_opts`] — the one fallible solve
+/// entry point.
+///
+/// A [`ComputeProfile`] (the score-affecting knobs, shared with the batch
+/// engine and the serve wire API) plus the per-run extras: a thread count
+/// and a [`Supervision`] layer.
+///
+/// ```
+/// use bpmax::{Algorithm, BpMaxProblem, SolveOptions};
+/// use rna::{RnaSeq, ScoringModel};
+///
+/// let p = BpMaxProblem::new(
+///     "GGGAAACC".parse().unwrap(),
+///     "GGUUUCCC".parse().unwrap(),
+///     ScoringModel::bpmax_default(),
+/// );
+/// let solution = p
+///     .solve_opts(&SolveOptions::new().algorithm(Algorithm::Hybrid).threads(4))
+///     .unwrap();
+/// assert!(solution.score() > 0.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SolveOptions {
+    profile: ComputeProfile,
+    threads: Option<usize>,
+    supervision: Supervision,
+}
+
+impl SolveOptions {
+    /// Default options: the default [`ComputeProfile`], caller's rayon
+    /// pool, no supervision.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an existing compute profile (e.g. one decoded from a
+    /// serve request).
+    pub fn from_profile(profile: ComputeProfile) -> Self {
+        SolveOptions {
+            profile,
+            threads: None,
+            supervision: Supervision::none(),
+        }
+    }
+
+    /// The embedded compute profile.
+    pub fn profile(&self) -> &ComputeProfile {
+        &self.profile
+    }
+
+    /// Select the program version.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.profile = self.profile.algorithm(algorithm);
+        self
+    }
+
+    /// Run on a dedicated rayon pool of this many workers (the paper's
+    /// `OMP_NUM_THREADS` knob). Default: the caller's current pool.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Override the inner-triangle memory map (Fig 10 ablation). Default:
+    /// the problem's own layout.
+    #[must_use]
+    pub fn layout(mut self, layout: Layout) -> Self {
+        self.profile = self.profile.layout(layout);
+        self
+    }
+
+    /// Override the tile shape. Applies when the algorithm is (or
+    /// defaults to) the tiled version; ignored otherwise.
+    #[must_use]
+    pub fn tile(mut self, tile: Tile) -> Self {
+        self.profile = self.profile.tile(tile);
+        self
+    }
+
+    /// Select the certified-unchecked fast path (`true`) or force safe
+    /// indexing (`false`) — see [`ComputeProfile::certified_unchecked`].
+    #[must_use]
+    pub fn certified_unchecked(mut self, on: bool) -> Self {
+        self.profile = self.profile.certified_unchecked(on);
+        self
+    }
+
+    /// Select the explicitly vectorized SIMD kernels (`true`) or the
+    /// auto-vectorized scalar loops (`false`) — see
+    /// [`ComputeProfile::simd`].
+    #[must_use]
+    pub fn simd(mut self, on: bool) -> Self {
+        self.profile = self.profile.simd(on);
         self
     }
 
@@ -309,12 +478,7 @@ impl SolveOptions {
 
     /// The algorithm with the tile override folded in, validated.
     pub(crate) fn resolved_algorithm(&self) -> Result<Algorithm, BpMaxError> {
-        let alg = match (self.algorithm, self.tile) {
-            (Algorithm::HybridTiled { .. }, Some(tile)) => Algorithm::HybridTiled { tile },
-            (alg, _) => alg,
-        };
-        alg.validate()?;
-        Ok(alg)
+        self.profile.resolved_algorithm()
     }
 
     /// The requested thread count, if any.
@@ -322,35 +486,14 @@ impl SolveOptions {
         self.threads
     }
 
-    /// The bounds mode to solve with (explicit override or the build
-    /// default).
-    pub(crate) fn resolved_bounds_mode(&self) -> BoundsMode {
-        self.bounds.unwrap_or_default()
-    }
-
-    /// The SIMD mode to solve with (explicit override or the build
-    /// default).
-    pub(crate) fn resolved_simd_mode(&self) -> SimdMode {
-        self.simd.unwrap_or_default()
-    }
-
     /// Both kernel-selection knobs, resolved together.
     pub(crate) fn resolved_kernel_modes(&self) -> KernelModes {
-        KernelModes {
-            bounds: self.resolved_bounds_mode(),
-            simd: self.resolved_simd_mode(),
-        }
+        self.profile.resolved_kernel_modes()
     }
 
     /// The layout to solve with, given the problem's own.
     pub(crate) fn resolved_layout(&self, problem_layout: Layout) -> Layout {
-        self.layout.unwrap_or(problem_layout)
-    }
-
-    /// The explicit layout override, if any — part of the checkpoint
-    /// options fingerprint (layout changes block order inside a snapshot).
-    pub(crate) fn requested_layout(&self) -> Option<Layout> {
-        self.layout
+        self.profile.resolved_layout(problem_layout)
     }
 }
 
@@ -408,8 +551,7 @@ impl BpMaxProblem {
 
     /// Solve with explicit options — **the** fallible entry point. Size
     /// overflow and bad tiles come back as [`BpMaxError`] instead of
-    /// panics; the legacy `solve`/`solve_with_threads`/`compute` methods
-    /// are thin wrappers over this. Supervision is strict here: an
+    /// panics. Supervision is strict here: an
     /// over-budget problem is rejected, a cancelled/expired solve errs —
     /// the degrading flavour is [`BpMaxProblem::solve_supervised`].
     pub fn solve_opts(&self, opts: &SolveOptions) -> Result<Solution<'_>, BpMaxError> {
@@ -512,52 +654,7 @@ impl BpMaxProblem {
         })
     }
 
-    /// Solve with the chosen program version.
-    ///
-    /// Deprecated: use [`BpMaxProblem::solve_opts`] — this wrapper keeps
-    /// the historical panicking behaviour for existing callers.
-    pub fn solve(&self, algorithm: Algorithm) -> Solution<'_> {
-        let f = self.compute(algorithm);
-        Solution { problem: self, f }
-    }
-
-    /// Solve on a dedicated rayon pool of `threads` workers — the knob the
-    /// paper's thread sweeps turn (`OMP_NUM_THREADS`). The global pool is
-    /// untouched; nested calls inside the pool use its size.
-    ///
-    /// Deprecated: use [`BpMaxProblem::solve_opts`] with
-    /// [`SolveOptions::threads`].
-    pub fn solve_with_threads(&self, algorithm: Algorithm, threads: usize) -> Solution<'_> {
-        self.solve_opts(&SolveOptions::new().algorithm(algorithm).threads(threads))
-            .expect("legacy solve_with_threads") // lint: allow(expect): no supervision, cannot be interrupted
-    }
-
-    /// Compute only the F-table (no solution wrapper) — benches use this.
-    ///
-    /// Deprecated: use [`BpMaxProblem::solve_opts`] and
-    /// [`Solution::ftable`] (or [`Solution::into_ftable`]).
-    pub fn compute(&self, algorithm: Algorithm) -> FTable {
-        self.compute_into(
-            algorithm,
-            FTable::new(self.ctx.m(), self.ctx.n(), self.layout),
-        )
-    }
-
-    /// Compute into a caller-provided table (freshly `-∞`-initialised,
-    /// matching dims) — the allocation-free path the batch engine's block
-    /// pool feeds.
-    pub(crate) fn compute_into(&self, algorithm: Algorithm, mut f: FTable) -> FTable {
-        self.compute_watched(
-            algorithm,
-            &mut f,
-            &Watch::none(),
-            KernelModes::build_default(),
-        )
-        .expect("unsupervised solve cannot be interrupted"); // lint: allow(expect): Watch::none() can never interrupt
-        f
-    }
-
-    /// [`BpMaxProblem::compute_into`] under a supervision watch. On
+    /// Compute into a caller-provided table under a supervision watch. On
     /// interrupt the table is left partially filled (and, for parallel
     /// modes, never with blocks missing — every taken block is put back
     /// before the checkpoint that can fire).
@@ -905,12 +1002,26 @@ mod tests {
         )
     }
 
+    /// Score via the one entry point, with `alg`.
+    fn score(p: &BpMaxProblem, alg: Algorithm) -> f32 {
+        p.solve_opts(&SolveOptions::new().algorithm(alg))
+            .unwrap()
+            .score()
+    }
+
+    /// F-table via the one entry point, with `alg`.
+    fn table(p: &BpMaxProblem, alg: Algorithm) -> FTable {
+        p.solve_opts(&SolveOptions::new().algorithm(alg))
+            .unwrap()
+            .into_ftable()
+    }
+
     #[test]
     fn all_algorithms_agree_with_baseline_small() {
         let p = problem("GGAUCGAC", "CCGAUG");
-        let reference = p.compute(Algorithm::Baseline);
+        let reference = table(&p, Algorithm::Baseline);
         for &alg in Algorithm::ALL.iter().skip(1) {
-            let f = p.compute(alg);
+            let f = table(&p, alg);
             for (i1, j1, i2, j2) in reference.iter_cells().collect::<Vec<_>>() {
                 assert_eq!(
                     f.get(i1, j1, i2, j2),
@@ -931,7 +1042,7 @@ mod tests {
             let want = spec_score(&s1, &s2, &model);
             let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
             for &alg in Algorithm::ALL {
-                assert_eq!(p.solve(alg).score(), want, "{alg:?} on {s1} / {s2}");
+                assert_eq!(score(&p, alg), want, "{alg:?} on {s1} / {s2}");
             }
         }
     }
@@ -951,7 +1062,7 @@ mod tests {
                     tile: Tile::cubic(2),
                 },
             ] {
-                assert_eq!(p.solve(alg).score(), want, "{layout:?} {alg:?}");
+                assert_eq!(score(&p, alg), want, "{layout:?} {alg:?}");
             }
         }
     }
@@ -961,19 +1072,19 @@ mod tests {
         // empty strand-2: score = Nussinov of strand 1
         let p = problem("GGGAAACCC", "");
         for &alg in Algorithm::ALL {
-            assert_eq!(p.solve(alg).score(), 9.0, "{alg:?}");
+            assert_eq!(score(&p, alg), 9.0, "{alg:?}");
         }
         // both single bases
         let p = problem("G", "C");
         for &alg in Algorithm::ALL {
-            assert_eq!(p.solve(alg).score(), 3.0, "{alg:?}");
+            assert_eq!(score(&p, alg), 3.0, "{alg:?}");
         }
     }
 
     #[test]
     fn tile_shapes_do_not_change_results() {
         let p = problem("GGAUCGACGG", "CCGAUGC");
-        let want = p.solve(Algorithm::Permuted).score();
+        let want = score(&p, Algorithm::Permuted);
         for tile in [
             Tile::cubic(1),
             Tile::cubic(3),
@@ -985,33 +1096,29 @@ mod tests {
                 j2: 3,
             },
         ] {
-            assert_eq!(
-                p.solve(Algorithm::HybridTiled { tile }).score(),
-                want,
-                "{tile:?}"
-            );
+            assert_eq!(score(&p, Algorithm::HybridTiled { tile }), want, "{tile:?}");
         }
     }
 
     #[test]
     fn explicit_thread_counts_agree() {
         let p = problem("GGAUCGAC", "CCGAUG");
-        let want = p.solve(Algorithm::Permuted).score();
+        let want = score(&p, Algorithm::Permuted);
         for threads in [1usize, 2, 4] {
             for alg in [Algorithm::FineGrain, Algorithm::Hybrid] {
-                assert_eq!(
-                    p.solve_with_threads(alg, threads).score(),
-                    want,
-                    "{alg:?} @ {threads} threads"
-                );
+                let got = p
+                    .solve_opts(&SolveOptions::new().algorithm(alg).threads(threads))
+                    .unwrap()
+                    .score();
+                assert_eq!(got, want, "{alg:?} @ {threads} threads");
             }
         }
     }
 
     #[test]
-    fn solve_opts_agrees_with_legacy_entry_points() {
+    fn solve_opts_agrees_across_algorithms() {
         let p = problem("GGAUCGAC", "CCGAUG");
-        let want = p.solve(Algorithm::Permuted).score();
+        let want = score(&p, Algorithm::Permuted);
         for &alg in Algorithm::ALL {
             let sol = p.solve_opts(&SolveOptions::new().algorithm(alg)).unwrap();
             assert_eq!(sol.score(), want, "{alg:?}");
@@ -1050,9 +1157,52 @@ mod tests {
     }
 
     #[test]
-    fn algorithm_const_all_matches_legacy_vec() {
-        assert_eq!(Algorithm::all(), Algorithm::ALL.to_vec());
+    fn algorithm_const_all_lists_every_version_once() {
         assert_eq!(Algorithm::ALL.len(), 6);
+        for (i, a) in Algorithm::ALL.iter().enumerate() {
+            for b in Algorithm::ALL.iter().skip(i + 1) {
+                assert_ne!(a, b, "duplicate entry in Algorithm::ALL");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_options_and_profile_share_one_core() {
+        // every profile knob set through SolveOptions lands in the
+        // embedded ComputeProfile — the single shared options core
+        let profile = ComputeProfile::new()
+            .algorithm(Algorithm::Hybrid)
+            .tile(Tile::cubic(3))
+            .layout(Layout::Shifted)
+            .certified_unchecked(false)
+            .simd(false);
+        let via_opts = SolveOptions::new()
+            .algorithm(Algorithm::Hybrid)
+            .tile(Tile::cubic(3))
+            .layout(Layout::Shifted)
+            .certified_unchecked(false)
+            .simd(false);
+        assert_eq!(*via_opts.profile(), profile);
+        assert_eq!(*SolveOptions::from_profile(profile).profile(), profile);
+        // threads are not part of the profile (score-neutral)
+        assert_eq!(*via_opts.clone().threads(7).profile(), profile);
+    }
+
+    #[test]
+    fn profile_fingerprint_ignores_kernel_modes_and_threads() {
+        let base = ComputeProfile::new();
+        let fp = |p: &ComputeProfile| {
+            let mut h = crate::checkpoint::Fnv64::new();
+            p.fingerprint_into(&mut h);
+            h.finish()
+        };
+        // bit-identical knobs hash alike…
+        assert_eq!(fp(&base), fp(&base.simd(true)));
+        assert_eq!(fp(&base), fp(&base.certified_unchecked(true)));
+        // …score-affecting knobs do not
+        assert_ne!(fp(&base), fp(&base.algorithm(Algorithm::Permuted)));
+        assert_ne!(fp(&base), fp(&base.layout(Layout::Shifted)));
+        assert_ne!(fp(&base), fp(&base.tile(Tile::cubic(2))));
     }
 
     #[test]
@@ -1083,7 +1233,7 @@ mod tests {
     fn serial_traversal_is_bit_identical() {
         let p = problem("GGAUCGACGG", "CCGAUGC");
         for &alg in Algorithm::ALL {
-            let reference = p.compute(alg);
+            let reference = table(&p, alg);
             let mut f = FTable::new(reference.m(), reference.n(), reference.layout());
             p.compute_serial_watched_range(
                 alg,
@@ -1109,7 +1259,7 @@ mod tests {
         let p = problem("GGAUCGACGG", "CCGAUGC");
         let m = p.seq1().len();
         for &alg in Algorithm::ALL {
-            let reference = p.compute(alg);
+            let reference = table(&p, alg);
             for split in [0, 1, m / 2, m - 1, m] {
                 let mut f = p.compute_prefix(alg, split).unwrap();
                 p.resume_from(alg, &mut f, split).unwrap();

@@ -107,6 +107,14 @@ pub enum BpMaxError {
         /// The underlying I/O error text.
         detail: String,
     },
+    /// A malformed message on the solve-service wire: bad magic, wrong
+    /// protocol version, a torn or oversized frame, a CRC32 mismatch, or
+    /// a payload that does not decode. The connection is poisoned — the
+    /// peer answers with a typed error (or drops) rather than guessing.
+    Protocol {
+        /// What exactly was wrong (offset, expected/actual bytes, …).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for BpMaxError {
@@ -161,6 +169,9 @@ impl std::fmt::Display for BpMaxError {
             }
             BpMaxError::CheckpointIo { path, detail } => {
                 write!(f, "checkpoint i/o error at {path}: {detail}")
+            }
+            BpMaxError::Protocol { detail } => {
+                write!(f, "protocol error: {detail}")
             }
         }
     }
@@ -256,6 +267,12 @@ mod tests {
                     detail: "permission denied".to_string(),
                 },
                 "checkpoint i/o error at ckpt/manifest.bin",
+            ),
+            (
+                BpMaxError::Protocol {
+                    detail: "frame crc mismatch".to_string(),
+                },
+                "protocol error: frame crc mismatch",
             ),
         ];
         for (err, marker) in cases {

@@ -50,6 +50,7 @@
 //! | [`batch`] | the pooled batch engine: arena-recycled tables + adaptive scheduling |
 //! | [`supervise`] | cancellation, deadlines, memory budgets, outcomes, fault injection |
 //! | [`checkpoint`] | crash-safe batch journaling + integrity-verified table snapshots |
+//! | [`serve`] | the resident solve daemon: wire protocol, admission control, content-addressed result cache |
 //! | [`error`] | [`BpMaxError`], the error type of every fallible entry point |
 //!
 //! # Safety policy
@@ -75,6 +76,7 @@ pub mod nests;
 pub mod perfmodel;
 pub mod schedules;
 pub mod screening;
+pub mod serve;
 pub mod spec;
 pub mod supervise;
 pub mod traceback;
@@ -82,8 +84,29 @@ pub mod windowed;
 
 pub use batch::{BatchEngine, BatchItem, BatchOptions, BatchReport, Policy};
 pub use checkpoint::{CheckpointSink, JournalRecord, RunManifest, TableSnapshot};
-pub use engine::{Algorithm, BpMaxProblem, Solution, SolveOptions, SupervisedSolve};
+pub use engine::{
+    Algorithm, BpMaxProblem, ComputeProfile, Solution, SolveOptions, SupervisedSolve,
+};
 pub use error::BpMaxError;
 pub use ftable::{BlockPool, FTable, PoolStats};
 pub use kernels::{BoundsMode, SimdMode};
+pub use serve::{
+    Client, RejectReason, Request, Response, Server, ServerConfig, ServerStats, SolveRequest,
+};
 pub use supervise::{CancelToken, Deadline, MemoryBudget, Outcome, OutcomeCounts, Supervision};
+
+/// The one-import surface for typical callers: problem construction, the
+/// unified solve options, the batch engine, the solve service, and the
+/// `rna` domain types they consume. `use bpmax::prelude::*;` replaces
+/// the doc-deprecated free-function era (`solve`, `solve_with_threads`,
+/// `compute`) with the single options-driven API.
+pub mod prelude {
+    pub use crate::batch::{BatchEngine, BatchItem, BatchOptions, BatchReport, Policy};
+    pub use crate::engine::{Algorithm, BpMaxProblem, ComputeProfile, Solution, SolveOptions};
+    pub use crate::error::BpMaxError;
+    pub use crate::serve::{
+        Client, RejectReason, Request, Response, Server, ServerConfig, ServerStats, SolveRequest,
+    };
+    pub use crate::supervise::{CancelToken, Deadline, MemoryBudget, Outcome, Supervision};
+    pub use rna::{Base, JointStructure, RnaSeq, ScoringModel, Structure};
+}

@@ -22,7 +22,7 @@
 //!   ratio, which is what caps the full `BPMax` at ~60% below the pure
 //!   kernel (§V.C) and what hyper-threading amplifies.
 
-use crate::engine::{Algorithm, BpMaxProblem};
+use crate::engine::{Algorithm, BpMaxProblem, SolveOptions};
 use crate::kernels::Tile;
 use machine::spec::MachineSpec;
 use machine::traffic;
@@ -80,13 +80,18 @@ impl CostModel {
         let model = ScoringModel::bpmax_default();
         let p = BpMaxProblem::new(s1, s2, model);
         let flops = traffic::r0_flops(size, size) as f64;
+        let solve = |alg: Algorithm| {
+            p.solve_opts(&SolveOptions::new().algorithm(alg))
+                .map(super::engine::Solution::into_ftable)
+                .ok()
+        };
         let time = |alg: Algorithm| -> f64 {
             let t = Instant::now();
-            std::hint::black_box(p.compute(alg));
+            std::hint::black_box(solve(alg));
             t.elapsed().as_secs_f64()
         };
         // Warm-up.
-        let _ = p.compute(Algorithm::Permuted);
+        let _ = solve(Algorithm::Permuted);
         let t_base = time(Algorithm::Baseline);
         let t_perm = time(Algorithm::Permuted);
         let t_tiled = time(Algorithm::HybridTiled {

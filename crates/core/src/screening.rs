@@ -14,7 +14,7 @@
 //!   reports each window's z-score so hits can be ranked by surprise, not
 //!   raw score (GC-rich windows score high under any query).
 
-use crate::engine::{Algorithm, BpMaxProblem};
+use crate::engine::{Algorithm, BpMaxProblem, SolveOptions};
 use crate::kernels::Ctx;
 use crate::windowed::solve_windowed;
 use rand::rngs::StdRng;
@@ -33,7 +33,8 @@ pub fn score_matrix(queries: &[RnaSeq], targets: &[RnaSeq], model: &ScoringModel
                 .iter()
                 .map(|t| {
                     BpMaxProblem::new(q.clone(), t.clone(), model.clone())
-                        .solve(Algorithm::Permuted)
+                        .solve_opts(&SolveOptions::new().algorithm(Algorithm::Permuted))
+                        .expect("unsupervised screening solve") // lint: allow(expect): no supervision; only absurd strand lengths could fail, matching the historical panic
                         .score()
                 })
                 .collect()
@@ -144,7 +145,8 @@ mod tests {
         for (qi, q) in queries.iter().enumerate() {
             for (ti, t) in targets.iter().enumerate() {
                 let direct = BpMaxProblem::new(q.clone(), t.clone(), model.clone())
-                    .solve(Algorithm::Hybrid)
+                    .solve_opts(&SolveOptions::new().algorithm(Algorithm::Hybrid))
+                    .unwrap()
                     .score();
                 assert_eq!(m[qi][ti], direct);
             }

@@ -1,0 +1,1359 @@
+//! The resident solve service: a long-lived daemon that keeps a
+//! [`BatchEngine`] with hot [`crate::ftable::BlockPool`] arenas alive
+//! across requests, plus the wire protocol and client both `bpmax-cli
+//! serve` and `bpmax-cli client` speak.
+//!
+//! # Protocol
+//!
+//! One message per request/response, over a Unix stream socket, in the
+//! `checkpoint` container conventions (little-endian, CRC-framed):
+//!
+//! ```text
+//! [8B magic "BPMXSERV"] [u32 version] [u8 kind] [u32 len] [u32 crc32] [payload]
+//! ```
+//!
+//! A connection carries any number of request → response exchanges; the
+//! client closing its end is the normal goodbye. Every malformed byte —
+//! bad magic, wrong version, torn or oversized frame, CRC mismatch, a
+//! payload that does not decode — is a typed [`BpMaxError::Protocol`],
+//! never a panic; the server answers [`Response::Error`] where it can
+//! still frame a reply and drops the connection where it cannot.
+//!
+//! # Admission and degradation
+//!
+//! A [`SolveRequest`] is admitted through the perfmodel and the server's
+//! [`MemoryBudget`]: an exact solve that cannot fit the effective budget
+//! (the tighter of server cap and request cap) is *rejected* with a typed
+//! [`RejectReason::Memory`] — unless the request opts into degradation,
+//! in which case the engine falls back to the windowed lower-bound solve
+//! and the response is flagged [`Outcome::Degraded`]. A predicted runtime
+//! above the server's cap is rejected with
+//! [`RejectReason::PredictedTime`] before any allocation happens.
+//! Concurrent admitted requests queue on the engine's rayon pool.
+//!
+//! # Result cache
+//!
+//! Results are cached in a content-addressed in-memory + on-disk store
+//! keyed by `(problem content-id) × (options fingerprint)`:
+//! [`crate::checkpoint::problem_id`] (FNV-1a over strands + scoring
+//! model) crossed with the [`crate::batch::BatchOptions::fingerprint`]
+//! rule over the request's [`ComputeProfile`], effective memory budget,
+//! and degrade flag. Thread counts are deliberately *not* in the key —
+//! every program version is bit-identical at any thread count, so a warm
+//! hit is valid across machine shapes. A warm hit skips the solver
+//! entirely (the pool stats prove zero block acquisitions) and returns
+//! the bit-exact cold score. The on-disk tier (one CRC-framed file per
+//! key under the cache dir) survives daemon restarts; a corrupt entry is
+//! detected and treated as a miss, never replayed.
+
+use crate::batch::{BatchEngine, BatchOptions};
+use crate::checkpoint::{
+    layout_code, layout_from_code, outcome_code, outcome_from_code, problem_id, put_f32, put_f64,
+    put_frame, put_u32, put_u64, put_u8, read_file, take_frame, write_atomic, Cursor,
+};
+use crate::engine::{Algorithm, BpMaxProblem, ComputeProfile, SolveOptions};
+use crate::error::BpMaxError;
+use crate::ftable::{FTable, PoolStats};
+use crate::kernels::Tile;
+use crate::supervise::{MemoryBudget, Outcome};
+use rna::base::BASES;
+use rna::{RnaSeq, ScoringModel};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Magic bytes opening every serve-wire message and cache file.
+pub const MAGIC: &[u8; 8] = b"BPMXSERV";
+
+/// Wire format version; a mismatch is a typed rejection, not a guess.
+pub const VERSION: u32 = 1;
+
+/// Ceiling on a single frame's payload: no request needs more, and the
+/// reader must never let a corrupted length field drive allocation.
+const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+// Message kind bytes. Requests are low, responses high, cache entries
+// out-of-band; a stray response decoded as a request (or vice versa)
+// fails on the kind byte, not deep inside a payload.
+const KIND_SOLVE: u8 = 1;
+const KIND_STATS: u8 = 2;
+const KIND_SHUTDOWN: u8 = 3;
+const KIND_SOLVED: u8 = 16;
+const KIND_REJECTED: u8 = 17;
+const KIND_ERROR: u8 = 18;
+const KIND_STATS_REPLY: u8 = 19;
+const KIND_SHUTTING_DOWN: u8 = 20;
+const KIND_CACHE_ENTRY: u8 = 32;
+
+/// Map a decode failure from the shared checkpoint cursor (which speaks
+/// `CorruptCheckpoint`) to the wire's own error type, preserving the
+/// offset detail.
+fn wire_err(e: BpMaxError) -> BpMaxError {
+    match e {
+        BpMaxError::CorruptCheckpoint { detail, .. } => BpMaxError::Protocol { detail },
+        other => other,
+    }
+}
+
+fn protocol(detail: String) -> BpMaxError {
+    BpMaxError::Protocol { detail }
+}
+
+// ---------------------------------------------------------------------------
+// Request / response API
+// ---------------------------------------------------------------------------
+
+/// One solve job, exactly as it crosses the wire: the problem content
+/// (strands + scoring model) plus the score-affecting [`ComputeProfile`]
+/// and the request-side supervision knobs. This is the unified request
+/// type the CLI's one-shot path and the daemon share — both build it,
+/// one solves it locally, the other encodes it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveRequest {
+    /// Strand 1.
+    pub seq1: RnaSeq,
+    /// Strand 2.
+    pub seq2: RnaSeq,
+    /// The scoring model (round-tripped bit-exactly).
+    pub model: ScoringModel,
+    /// The score-affecting solve configuration.
+    pub profile: ComputeProfile,
+    /// Request-side F-table byte cap; the server's own cap still applies
+    /// (the tighter one wins).
+    pub mem_budget: Option<u64>,
+    /// Over-budget behaviour: degrade to the windowed lower-bound solve
+    /// (`true`) or take the typed rejection (`false`, default).
+    pub degrade: bool,
+}
+
+impl SolveRequest {
+    /// A request with the default (champion) profile and no caps.
+    pub fn new(seq1: RnaSeq, seq2: RnaSeq, model: ScoringModel) -> Self {
+        SolveRequest {
+            seq1,
+            seq2,
+            model,
+            profile: ComputeProfile::default(),
+            mem_budget: None,
+            degrade: false,
+        }
+    }
+
+    /// Replace the compute profile.
+    #[must_use]
+    pub fn profile(mut self, profile: ComputeProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Cap the F-table bytes for this request.
+    #[must_use]
+    pub fn mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Degrade to windowed solves instead of rejecting when over budget.
+    #[must_use]
+    pub fn degrade(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
+        self
+    }
+}
+
+/// A client→server message.
+// Solve dwarfs the flag-like Stats/Shutdown variants, but a Request is
+// a transient decoded-once value passed by reference — boxing would add
+// a per-message allocation and indirection for no live-memory win.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Solve one problem (or serve it from the result cache).
+    Solve(SolveRequest),
+    /// Report the server's counters and pool statistics.
+    Stats,
+    /// Stop accepting connections and exit the accept loop.
+    Shutdown,
+}
+
+/// Why a request was refused admission.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RejectReason {
+    /// The exact F-table does not fit the effective memory budget (and
+    /// the request did not opt into degradation).
+    Memory {
+        /// Bytes the exact table needs.
+        needed_bytes: u64,
+        /// The effective budget (tighter of server and request caps).
+        budget_bytes: u64,
+    },
+    /// The perfmodel predicts a runtime above the server's cap.
+    PredictedTime {
+        /// Predicted single-thread seconds.
+        predicted_s: f64,
+        /// The server's `--max-seconds` cap.
+        cap_s: f64,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::Memory {
+                needed_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "F-table needs {needed_bytes} bytes but the effective budget is {budget_bytes}"
+            ),
+            RejectReason::PredictedTime { predicted_s, cap_s } => write!(
+                f,
+                "predicted runtime {predicted_s:.3} s exceeds the {cap_s:.3} s cap"
+            ),
+        }
+    }
+}
+
+/// Aggregate server counters plus the resident pool's statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Total requests handled (solve + stats + shutdown).
+    pub requests: u64,
+    /// Solve requests answered from the result cache.
+    pub cache_hits: u64,
+    /// Solve requests that ran the engine.
+    pub solves: u64,
+    /// Solve requests refused admission.
+    pub rejects: u64,
+    /// The resident [`crate::ftable::BlockPool`]'s counters.
+    pub pool: PoolStats,
+}
+
+/// A server→client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The solve finished (or was served warm from the cache).
+    Solved {
+        /// The interaction score (exact, or the windowed lower bound
+        /// when `outcome` is [`Outcome::Degraded`]).
+        score: f32,
+        /// [`Outcome::Ok`] or [`Outcome::Degraded`].
+        outcome: Outcome,
+        /// Server-side wall-clock seconds for this answer (0 is
+        /// plausible for a warm hit).
+        seconds: f64,
+        /// `true` when the result came from the cache without running
+        /// the solver.
+        cache_hit: bool,
+    },
+    /// The request was refused admission; nothing was solved.
+    Rejected(RejectReason),
+    /// The request failed (malformed payload, solver error, …).
+    Error {
+        /// Human-readable failure description.
+        detail: String,
+    },
+    /// Reply to [`Request::Stats`].
+    Stats(ServerStats),
+    /// Reply to [`Request::Shutdown`]; the server exits after sending it.
+    ShuttingDown,
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------------
+
+fn put_seq(buf: &mut Vec<u8>, seq: &RnaSeq) {
+    put_u64(buf, seq.len() as u64);
+    for &b in seq.bases() {
+        put_u8(buf, b.index() as u8);
+    }
+}
+
+fn take_seq(cur: &mut Cursor<'_>, what: &str) -> Result<RnaSeq, BpMaxError> {
+    let len = cur.u64(what)?;
+    if len > MAX_FRAME_BYTES as u64 {
+        return Err(cur.corrupt(format!("{what}: absurd strand length {len}")));
+    }
+    let mut bases = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        let idx = cur.u8(what)?;
+        if idx >= 4 {
+            return Err(cur.corrupt(format!("{what}: base index {idx} out of range")));
+        }
+        bases.push(BASES[idx as usize]);
+    }
+    Ok(RnaSeq::new(bases))
+}
+
+fn put_model(buf: &mut Vec<u8>, model: &ScoringModel) {
+    for a in BASES {
+        for b in BASES {
+            put_f32(buf, model.intra(a, b));
+            put_f32(buf, model.inter(a, b));
+        }
+    }
+    put_u64(buf, model.min_loop() as u64);
+}
+
+fn take_model(cur: &mut Cursor<'_>) -> Result<ScoringModel, BpMaxError> {
+    let mut intra = [[0.0f32; 4]; 4];
+    let mut inter = [[0.0f32; 4]; 4];
+    for a in BASES {
+        for b in BASES {
+            intra[a.index()][b.index()] = cur.f32("model intra weight")?;
+            inter[a.index()][b.index()] = cur.f32("model inter weight")?;
+        }
+    }
+    let min_loop = cur.u64("model min_loop")?;
+    if min_loop > MAX_FRAME_BYTES as u64 {
+        return Err(cur.corrupt(format!("model: absurd min_loop {min_loop}")));
+    }
+    Ok(ScoringModel::from_tables(intra, inter, min_loop as usize))
+}
+
+fn algorithm_code(alg: Algorithm) -> u8 {
+    match alg {
+        Algorithm::Baseline => 0,
+        Algorithm::Permuted => 1,
+        Algorithm::CoarseGrain => 2,
+        Algorithm::FineGrain => 3,
+        Algorithm::Hybrid => 4,
+        Algorithm::HybridTiled { .. } => 5,
+    }
+}
+
+fn put_tile(buf: &mut Vec<u8>, tile: Tile) {
+    put_u64(buf, tile.i2 as u64);
+    put_u64(buf, tile.k2 as u64);
+    put_u64(buf, tile.j2 as u64);
+}
+
+fn take_tile(cur: &mut Cursor<'_>, what: &str) -> Result<Tile, BpMaxError> {
+    // No range cap: usize::MAX is a legitimate "full extent" dimension
+    // (Tile::DEFAULT uses it); only a value this platform cannot even
+    // represent is malformed.
+    let dim = |cur: &mut Cursor<'_>| -> Result<usize, BpMaxError> {
+        let v = cur.u64(what)?;
+        usize::try_from(v).map_err(|_| cur.corrupt(format!("{what}: tile dimension {v} overflows")))
+    };
+    Ok(Tile {
+        i2: dim(cur)?,
+        k2: dim(cur)?,
+        j2: dim(cur)?,
+    })
+}
+
+fn put_algorithm(buf: &mut Vec<u8>, alg: Algorithm) {
+    put_u8(buf, algorithm_code(alg));
+    if let Some(tile) = alg.tile() {
+        put_tile(buf, tile);
+    }
+}
+
+fn take_algorithm(cur: &mut Cursor<'_>) -> Result<Algorithm, BpMaxError> {
+    Ok(match cur.u8("algorithm code")? {
+        0 => Algorithm::Baseline,
+        1 => Algorithm::Permuted,
+        2 => Algorithm::CoarseGrain,
+        3 => Algorithm::FineGrain,
+        4 => Algorithm::Hybrid,
+        5 => Algorithm::HybridTiled {
+            tile: take_tile(cur, "algorithm tile")?,
+        },
+        other => return Err(cur.corrupt(format!("unknown algorithm code {other}"))),
+    })
+}
+
+/// `Option<T>` via a presence byte (`0` absent, `1` present).
+fn put_opt<T>(buf: &mut Vec<u8>, v: Option<T>, put: impl FnOnce(&mut Vec<u8>, T)) {
+    match v {
+        None => put_u8(buf, 0),
+        Some(v) => {
+            put_u8(buf, 1);
+            put(buf, v);
+        }
+    }
+}
+
+fn take_presence(cur: &mut Cursor<'_>, what: &str) -> Result<bool, BpMaxError> {
+    match cur.u8(what)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(cur.corrupt(format!("{what}: presence byte {other} is not 0/1"))),
+    }
+}
+
+fn take_bool(cur: &mut Cursor<'_>, what: &str) -> Result<bool, BpMaxError> {
+    take_presence(cur, what)
+}
+
+fn put_profile(buf: &mut Vec<u8>, profile: &ComputeProfile) {
+    let (alg, tile, layout, bounds, simd) = profile.parts();
+    put_algorithm(buf, alg);
+    put_opt(buf, tile, put_tile);
+    put_opt(buf, layout, |b, l| put_u8(b, layout_code(l)));
+    put_opt(buf, bounds, |b, m| {
+        put_u8(
+            b,
+            u8::from(m == crate::kernels::BoundsMode::CertifiedUnchecked),
+        );
+    });
+    put_opt(buf, simd, |b, m| {
+        put_u8(b, u8::from(m == crate::kernels::SimdMode::LaneArray));
+    });
+}
+
+fn take_profile(cur: &mut Cursor<'_>) -> Result<ComputeProfile, BpMaxError> {
+    use crate::kernels::{BoundsMode, SimdMode};
+    let alg = take_algorithm(cur)?;
+    let tile = take_presence(cur, "profile tile override")?
+        .then(|| take_tile(cur, "profile tile"))
+        .transpose()?;
+    let layout = if take_presence(cur, "profile layout override")? {
+        let code = cur.u8("profile layout code")?;
+        Some(layout_from_code(code, cur)?)
+    } else {
+        None
+    };
+    let bounds = if take_presence(cur, "profile bounds override")? {
+        Some(if take_bool(cur, "profile bounds mode")? {
+            BoundsMode::CertifiedUnchecked
+        } else {
+            BoundsMode::Checked
+        })
+    } else {
+        None
+    };
+    let simd = if take_presence(cur, "profile simd override")? {
+        Some(if take_bool(cur, "profile simd mode")? {
+            SimdMode::LaneArray
+        } else {
+            SimdMode::Scalar
+        })
+    } else {
+        None
+    };
+    Ok(ComputeProfile::from_parts(alg, tile, layout, bounds, simd))
+}
+
+fn header(kind: u8) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(MAGIC);
+    put_u32(&mut buf, VERSION);
+    put_u8(&mut buf, kind);
+    buf
+}
+
+fn check_header(cur: &mut Cursor<'_>) -> Result<u8, BpMaxError> {
+    let magic = cur.take(MAGIC.len(), "magic")?;
+    if magic != MAGIC {
+        return Err(cur.corrupt(format!("bad magic {magic:02x?}, want {MAGIC:02x?}")));
+    }
+    let version = cur.u32("format version")?;
+    if version != VERSION {
+        return Err(cur.corrupt(format!(
+            "format version {version}, this build reads {VERSION}"
+        )));
+    }
+    cur.u8("message kind")
+}
+
+fn solve_request_payload(req: &SolveRequest) -> Vec<u8> {
+    let mut p = Vec::new();
+    put_seq(&mut p, &req.seq1);
+    put_seq(&mut p, &req.seq2);
+    put_model(&mut p, &req.model);
+    put_profile(&mut p, &req.profile);
+    put_opt(&mut p, req.mem_budget, put_u64);
+    put_u8(&mut p, u8::from(req.degrade));
+    p
+}
+
+fn take_solve_request(cur: &mut Cursor<'_>) -> Result<SolveRequest, BpMaxError> {
+    let seq1 = take_seq(cur, "strand 1")?;
+    let seq2 = take_seq(cur, "strand 2")?;
+    let model = take_model(cur)?;
+    let profile = take_profile(cur)?;
+    let mem_budget = take_presence(cur, "request mem budget")?
+        .then(|| cur.u64("request mem budget bytes"))
+        .transpose()?;
+    let degrade = take_bool(cur, "request degrade flag")?;
+    Ok(SolveRequest {
+        seq1,
+        seq2,
+        model,
+        profile,
+        mem_budget,
+        degrade,
+    })
+}
+
+/// Encode one request as a complete wire message.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let (kind, payload) = match req {
+        Request::Solve(solve) => (KIND_SOLVE, solve_request_payload(solve)),
+        Request::Stats => (KIND_STATS, Vec::new()),
+        Request::Shutdown => (KIND_SHUTDOWN, Vec::new()),
+    };
+    let mut buf = header(kind);
+    put_frame(&mut buf, &payload);
+    buf
+}
+
+/// Decode one complete wire message as a request. Every malformation is
+/// a typed [`BpMaxError::Protocol`].
+pub fn decode_request(bytes: &[u8]) -> Result<Request, BpMaxError> {
+    let mut cur = Cursor::new(bytes, Path::new("wire"));
+    let (kind, payload) = (|| {
+        let kind = check_header(&mut cur)?;
+        let payload = take_frame(&mut cur, "request frame")?;
+        if !cur.done() {
+            return Err(cur.corrupt("trailing bytes after request frame".to_string()));
+        }
+        Ok((kind, payload))
+    })()
+    .map_err(wire_err)?;
+    let mut p = Cursor::new(payload, Path::new("wire"));
+    let req = (|| {
+        let req = match kind {
+            KIND_SOLVE => Request::Solve(take_solve_request(&mut p)?),
+            KIND_STATS => Request::Stats,
+            KIND_SHUTDOWN => Request::Shutdown,
+            other => return Err(p.corrupt(format!("unknown request kind {other}"))),
+        };
+        if !p.done() {
+            return Err(p.corrupt("trailing bytes in request payload".to_string()));
+        }
+        Ok(req)
+    })()
+    .map_err(wire_err)?;
+    Ok(req)
+}
+
+fn put_stats(buf: &mut Vec<u8>, stats: &ServerStats) {
+    put_u64(buf, stats.requests);
+    put_u64(buf, stats.cache_hits);
+    put_u64(buf, stats.solves);
+    put_u64(buf, stats.rejects);
+    put_u64(buf, stats.pool.allocated);
+    put_u64(buf, stats.pool.reused);
+    put_u64(buf, stats.pool.recycled);
+    put_u64(buf, stats.pool.quarantined);
+}
+
+fn take_stats(cur: &mut Cursor<'_>) -> Result<ServerStats, BpMaxError> {
+    Ok(ServerStats {
+        requests: cur.u64("stats requests")?,
+        cache_hits: cur.u64("stats cache hits")?,
+        solves: cur.u64("stats solves")?,
+        rejects: cur.u64("stats rejects")?,
+        pool: PoolStats {
+            allocated: cur.u64("stats pool allocated")?,
+            reused: cur.u64("stats pool reused")?,
+            recycled: cur.u64("stats pool recycled")?,
+            quarantined: cur.u64("stats pool quarantined")?,
+        },
+    })
+}
+
+/// Encode one response as a complete wire message.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let (kind, payload) = match resp {
+        Response::Solved {
+            score,
+            outcome,
+            seconds,
+            cache_hit,
+        } => {
+            let mut p = Vec::new();
+            put_f32(&mut p, *score);
+            put_u8(&mut p, outcome_code(*outcome));
+            put_f64(&mut p, *seconds);
+            put_u8(&mut p, u8::from(*cache_hit));
+            (KIND_SOLVED, p)
+        }
+        Response::Rejected(reason) => {
+            let mut p = Vec::new();
+            match *reason {
+                RejectReason::Memory {
+                    needed_bytes,
+                    budget_bytes,
+                } => {
+                    put_u8(&mut p, 0);
+                    put_u64(&mut p, needed_bytes);
+                    put_u64(&mut p, budget_bytes);
+                }
+                RejectReason::PredictedTime { predicted_s, cap_s } => {
+                    put_u8(&mut p, 1);
+                    put_f64(&mut p, predicted_s);
+                    put_f64(&mut p, cap_s);
+                }
+            }
+            (KIND_REJECTED, p)
+        }
+        Response::Error { detail } => {
+            let mut p = Vec::new();
+            put_u64(&mut p, detail.len() as u64);
+            p.extend_from_slice(detail.as_bytes());
+            (KIND_ERROR, p)
+        }
+        Response::Stats(stats) => {
+            let mut p = Vec::new();
+            put_stats(&mut p, stats);
+            (KIND_STATS_REPLY, p)
+        }
+        Response::ShuttingDown => (KIND_SHUTTING_DOWN, Vec::new()),
+    };
+    let mut buf = header(kind);
+    put_frame(&mut buf, &payload);
+    buf
+}
+
+/// Decode one complete wire message as a response.
+pub fn decode_response(bytes: &[u8]) -> Result<Response, BpMaxError> {
+    let mut cur = Cursor::new(bytes, Path::new("wire"));
+    let (kind, payload) = (|| {
+        let kind = check_header(&mut cur)?;
+        let payload = take_frame(&mut cur, "response frame")?;
+        if !cur.done() {
+            return Err(cur.corrupt("trailing bytes after response frame".to_string()));
+        }
+        Ok((kind, payload))
+    })()
+    .map_err(wire_err)?;
+    let mut p = Cursor::new(payload, Path::new("wire"));
+    let resp = (|| {
+        let resp = match kind {
+            KIND_SOLVED => {
+                let score = p.f32("response score")?;
+                let code = p.u8("response outcome")?;
+                let outcome = outcome_from_code(code, &p)?;
+                let seconds = p.f64("response seconds")?;
+                let cache_hit = take_bool(&mut p, "response cache-hit flag")?;
+                Response::Solved {
+                    score,
+                    outcome,
+                    seconds,
+                    cache_hit,
+                }
+            }
+            KIND_REJECTED => Response::Rejected(match p.u8("reject reason kind")? {
+                0 => RejectReason::Memory {
+                    needed_bytes: p.u64("reject needed bytes")?,
+                    budget_bytes: p.u64("reject budget bytes")?,
+                },
+                1 => RejectReason::PredictedTime {
+                    predicted_s: p.f64("reject predicted seconds")?,
+                    cap_s: p.f64("reject cap seconds")?,
+                },
+                other => return Err(p.corrupt(format!("unknown reject reason {other}"))),
+            }),
+            KIND_ERROR => {
+                let len = p.u64("error detail length")?;
+                if len > MAX_FRAME_BYTES as u64 {
+                    return Err(p.corrupt(format!("error detail length {len} absurd")));
+                }
+                let raw = p.take(len as usize, "error detail")?;
+                let detail = std::str::from_utf8(raw)
+                    .map_err(|e| p.corrupt(format!("error detail not utf-8: {e}")))?
+                    .to_string();
+                Response::Error { detail }
+            }
+            KIND_STATS_REPLY => Response::Stats(take_stats(&mut p)?),
+            KIND_SHUTTING_DOWN => Response::ShuttingDown,
+            other => return Err(p.corrupt(format!("unknown response kind {other}"))),
+        };
+        if !p.done() {
+            return Err(p.corrupt("trailing bytes in response payload".to_string()));
+        }
+        Ok(resp)
+    })()
+    .map_err(wire_err)?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------------
+// Stream framing
+// ---------------------------------------------------------------------------
+
+/// Fixed prefix of every message: magic + version + kind + frame len +
+/// frame crc. Reading it tells the reader exactly how many payload bytes
+/// follow.
+const MESSAGE_PREFIX: usize = 8 + 4 + 1 + 4 + 4;
+
+fn fill(stream: &mut impl Read, buf: &mut [u8], already: usize) -> Result<usize, BpMaxError> {
+    let mut filled = already;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(filled),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(protocol(format!("socket read: {e}"))),
+        }
+    }
+    Ok(filled)
+}
+
+/// Read one complete wire message off a stream. `Ok(None)` is the clean
+/// end of the conversation (EOF on a message boundary); EOF mid-message
+/// and a corrupted length field are typed protocol errors.
+pub fn read_message(stream: &mut impl Read) -> Result<Option<Vec<u8>>, BpMaxError> {
+    let mut prefix = [0u8; MESSAGE_PREFIX];
+    let got = fill(stream, &mut prefix, 0)?;
+    if got == 0 {
+        return Ok(None);
+    }
+    if got < MESSAGE_PREFIX {
+        return Err(protocol(format!(
+            "connection closed mid-message after {got} of {MESSAGE_PREFIX} prefix bytes"
+        )));
+    }
+    // lint: allow(unwrap): the slice is exactly 4 bytes by construction
+    let len = u32::from_le_bytes(prefix[13..17].try_into().unwrap());
+    if len > MAX_FRAME_BYTES {
+        return Err(protocol(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let mut msg = vec![0u8; MESSAGE_PREFIX + len as usize];
+    msg[..MESSAGE_PREFIX].copy_from_slice(&prefix);
+    let total = fill(stream, &mut msg, MESSAGE_PREFIX)?;
+    if total < msg.len() {
+        return Err(protocol(format!(
+            "connection closed mid-message after {total} of {} bytes",
+            msg.len()
+        )));
+    }
+    Ok(Some(msg))
+}
+
+fn write_message(stream: &mut impl Write, bytes: &[u8]) -> Result<(), BpMaxError> {
+    stream
+        .write_all(bytes)
+        .and_then(|()| stream.flush())
+        .map_err(|e| protocol(format!("socket write: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+/// The fingerprint half of the cache key: the shared
+/// [`BatchOptions::fingerprint`] rule over the request's profile,
+/// effective budget, and degrade flag. Thread counts and deadlines are
+/// excluded on purpose — they cannot change a score.
+fn cache_fingerprint(
+    profile: &ComputeProfile,
+    effective_budget: Option<u64>,
+    degrade: bool,
+) -> u64 {
+    let mut opts = BatchOptions::new()
+        .solve(SolveOptions::from_profile(*profile))
+        .degrade(degrade);
+    if let Some(bytes) = effective_budget {
+        opts = opts.mem_budget(bytes);
+    }
+    opts.fingerprint()
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct CachedResult {
+    score: f32,
+    outcome: Outcome,
+}
+
+fn encode_cache_entry(pid: u64, fp: u64, r: CachedResult) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_u64(&mut payload, pid);
+    put_u64(&mut payload, fp);
+    put_f32(&mut payload, r.score);
+    put_u8(&mut payload, outcome_code(r.outcome));
+    let mut buf = header(KIND_CACHE_ENTRY);
+    put_frame(&mut buf, &payload);
+    buf
+}
+
+fn decode_cache_entry(bytes: &[u8], path: &Path) -> Result<(u64, u64, CachedResult), BpMaxError> {
+    let mut cur = Cursor::new(bytes, path);
+    let kind = check_header(&mut cur)?;
+    if kind != KIND_CACHE_ENTRY {
+        return Err(cur.corrupt(format!("kind {kind} is not a cache entry")));
+    }
+    let payload = take_frame(&mut cur, "cache entry frame")?;
+    if !cur.done() {
+        return Err(cur.corrupt("trailing bytes after cache entry".to_string()));
+    }
+    let mut p = Cursor::new(payload, path);
+    let pid = p.u64("cache problem id")?;
+    let fp = p.u64("cache options fingerprint")?;
+    let score = p.f32("cache score")?;
+    let outcome = outcome_from_code(p.u8("cache outcome")?, &p)?;
+    if !p.done() {
+        return Err(p.corrupt("trailing bytes in cache payload".to_string()));
+    }
+    Ok((pid, fp, CachedResult { score, outcome }))
+}
+
+/// Content-addressed result store: an in-memory map in front of an
+/// optional on-disk tier (one atomic CRC-framed file per key, named
+/// `<problem-id>-<fingerprint>.bin`). Corrupt or mismatched disk entries
+/// are misses, never answers.
+struct ResultCache {
+    mem: Mutex<HashMap<(u64, u64), CachedResult>>,
+    dir: Option<PathBuf>,
+}
+
+impl ResultCache {
+    fn new(dir: Option<PathBuf>) -> Result<ResultCache, BpMaxError> {
+        if let Some(dir) = &dir {
+            std::fs::create_dir_all(dir).map_err(|e| BpMaxError::CheckpointIo {
+                path: dir.display().to_string(),
+                detail: e.to_string(),
+            })?;
+        }
+        Ok(ResultCache {
+            mem: Mutex::new(HashMap::new()),
+            dir,
+        })
+    }
+
+    fn entry_path(dir: &Path, pid: u64, fp: u64) -> PathBuf {
+        dir.join(format!("{pid:016x}-{fp:016x}.bin"))
+    }
+
+    fn get(&self, pid: u64, fp: u64) -> Option<CachedResult> {
+        // lint: allow(unwrap): a poisoned cache mutex means a panicking
+        // handler thread already tore the process invariants down
+        if let Some(hit) = self.mem.lock().unwrap().get(&(pid, fp)) {
+            return Some(*hit);
+        }
+        let dir = self.dir.as_deref()?;
+        let path = Self::entry_path(dir, pid, fp);
+        let bytes = read_file(&path).ok()?;
+        match decode_cache_entry(&bytes, &path) {
+            Ok((got_pid, got_fp, r)) if got_pid == pid && got_fp == fp => {
+                // lint: allow(unwrap): see above
+                self.mem.lock().unwrap().insert((pid, fp), r);
+                Some(r)
+            }
+            // Corrupt or mismatched: a miss. Remove so the re-solve can
+            // rewrite a clean entry.
+            _ => {
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    fn put(&self, pid: u64, fp: u64, r: CachedResult) {
+        // lint: allow(unwrap): see get()
+        self.mem.lock().unwrap().insert((pid, fp), r);
+        if let Some(dir) = &self.dir {
+            // Disk persistence is best-effort: a full disk degrades the
+            // cache to memory-only, it does not fail the solve.
+            let _ = write_atomic(
+                &Self::entry_path(dir, pid, fp),
+                &encode_cache_entry(pid, fp, r),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Daemon configuration (`bpmax-cli serve`'s flags).
+#[derive(Clone, Debug, Default)]
+pub struct ServerConfig {
+    /// Unix socket path to listen on (created on bind, removed on exit).
+    pub socket: PathBuf,
+    /// Rayon worker threads for the resident engine (default: one per
+    /// core).
+    pub threads: Option<usize>,
+    /// Server-side F-table byte cap applied to every request (a request
+    /// may tighten it, never widen it).
+    pub mem_budget: Option<u64>,
+    /// Reject requests the perfmodel predicts to run longer than this
+    /// many single-thread seconds.
+    pub max_predicted_s: Option<f64>,
+    /// Directory for the on-disk result-cache tier; `None` keeps the
+    /// cache memory-only.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// The resident solve daemon: one warm [`BatchEngine`] (hot block-pool
+/// arenas), one two-tier result cache, admission control in front.
+pub struct Server {
+    cfg: ServerConfig,
+    engine: BatchEngine,
+    cache: ResultCache,
+    stop: AtomicBool,
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    solves: AtomicU64,
+    rejects: AtomicU64,
+}
+
+impl Server {
+    /// Build the resident engine and cache; nothing listens yet.
+    pub fn new(cfg: ServerConfig) -> Result<Server, BpMaxError> {
+        let mut bopts = BatchOptions::new();
+        if let Some(threads) = cfg.threads {
+            bopts = bopts.threads(threads);
+        }
+        let engine = BatchEngine::new(bopts)?;
+        let cache = ResultCache::new(cfg.cache_dir.clone())?;
+        Ok(Server {
+            cfg,
+            engine,
+            cache,
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+            rejects: AtomicU64::new(0),
+        })
+    }
+
+    /// The configuration this server was built with.
+    pub fn cfg(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Current counters + pool statistics.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed), // ordering: report-only counter
+            cache_hits: self.cache_hits.load(Ordering::Relaxed), // ordering: report-only counter
+            solves: self.solves.load(Ordering::Relaxed),     // ordering: report-only counter
+            rejects: self.rejects.load(Ordering::Relaxed),   // ordering: report-only counter
+            pool: self.engine.pool_stats(),
+        }
+    }
+
+    /// True once a shutdown request has been accepted.
+    pub fn stopping(&self) -> bool {
+        // ordering: Acquire pairs with the Release in handle(); the flag
+        // only ever goes false -> true
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Handle one request. Pure with respect to the transport — the
+    /// socket loop and the in-process tests share this path.
+    pub fn handle(&self, req: &Request) -> Response {
+        // ordering: monotonic counter, no other state hangs off it
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match req {
+            Request::Solve(solve) => self.handle_solve(solve),
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Shutdown => {
+                // ordering: Release pairs with the Acquire in stopping()
+                self.stop.store(true, Ordering::Release);
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    fn handle_solve(&self, req: &SolveRequest) -> Response {
+        let problem = BpMaxProblem::new(req.seq1.clone(), req.seq2.clone(), req.model.clone());
+        let effective_budget = match (self.cfg.mem_budget, req.mem_budget) {
+            (None, None) => None,
+            (server, request) => Some(server.unwrap_or(u64::MAX).min(request.unwrap_or(u64::MAX))),
+        };
+
+        // Cache first: a warm hit answers without touching the solver or
+        // the pool. The key is the problem content-id crossed with the
+        // fingerprint of everything score-affecting (profile + effective
+        // budget + degrade — a degraded score depends on the budget).
+        let pid = problem_id(&problem);
+        let fp = cache_fingerprint(&req.profile, effective_budget, req.degrade);
+        if let Some(hit) = self.cache.get(pid, fp) {
+            // ordering: monotonic counter
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Response::Solved {
+                score: hit.score,
+                outcome: hit.outcome,
+                seconds: 0.0,
+                cache_hit: true,
+            };
+        }
+
+        // Admission: memory, then predicted runtime — both before any
+        // F-table allocation.
+        let mut solve = SolveOptions::from_profile(req.profile).degrade(req.degrade);
+        if let Some(bytes) = effective_budget {
+            solve = solve.mem_budget(MemoryBudget::bytes(bytes));
+            let layout = req.profile.resolved_layout(problem.layout());
+            let needed = match FTable::estimate_bytes(req.seq1.len(), req.seq2.len(), layout) {
+                Ok(needed) => needed,
+                Err(e) => {
+                    return Response::Error {
+                        detail: e.to_string(),
+                    }
+                }
+            };
+            if needed > bytes && !req.degrade {
+                // ordering: monotonic counter
+                self.rejects.fetch_add(1, Ordering::Relaxed);
+                return Response::Rejected(RejectReason::Memory {
+                    needed_bytes: needed,
+                    budget_bytes: bytes,
+                });
+            }
+            // degrade=true falls through: the engine runs the windowed
+            // lower-bound solve at the widest in-budget window.
+        }
+        if let Some(cap_s) = self.cfg.max_predicted_s {
+            let predicted_s = self.engine.predict_seconds(&problem, &solve);
+            if predicted_s > cap_s {
+                // ordering: monotonic counter
+                self.rejects.fetch_add(1, Ordering::Relaxed);
+                return Response::Rejected(RejectReason::PredictedTime { predicted_s, cap_s });
+            }
+        }
+
+        let item = self.engine.solve_pooled(&problem, &solve);
+        match item.outcome {
+            Outcome::Ok | Outcome::Degraded => {
+                // ordering: monotonic counter
+                self.solves.fetch_add(1, Ordering::Relaxed);
+                self.cache.put(
+                    pid,
+                    fp,
+                    CachedResult {
+                        score: item.score,
+                        outcome: item.outcome,
+                    },
+                );
+                Response::Solved {
+                    score: item.score,
+                    outcome: item.outcome,
+                    seconds: item.seconds,
+                    cache_hit: false,
+                }
+            }
+            other => Response::Error {
+                detail: match item.error {
+                    Some(e) => e.to_string(),
+                    None => format!("solve ended {}", other.as_str()),
+                },
+            },
+        }
+    }
+
+    fn serve_connection(&self, mut stream: UnixStream) {
+        loop {
+            // A clean goodbye, or a peer that vanished mid-message:
+            // either way this conversation is over.
+            let Ok(Some(msg)) = read_message(&mut stream) else {
+                return;
+            };
+            let resp = match decode_request(&msg) {
+                Ok(req) => self.handle(&req),
+                Err(e) => Response::Error {
+                    detail: e.to_string(),
+                },
+            };
+            let shutting_down = matches!(resp, Response::ShuttingDown);
+            if write_message(&mut stream, &encode_response(&resp)).is_err() {
+                return;
+            }
+            if shutting_down {
+                // Unblock the accept loop so run() can observe the stop
+                // flag: a throwaway self-connection.
+                let _ = UnixStream::connect(&self.cfg.socket);
+                return;
+            }
+        }
+    }
+
+    /// Bind the socket and serve until a shutdown request arrives.
+    /// Blocking; spawn it on a thread to drive the server in-process.
+    pub fn run(&self) -> Result<(), BpMaxError> {
+        // A stale socket file from a killed daemon would fail the bind.
+        let _ = std::fs::remove_file(&self.cfg.socket);
+        let listener =
+            UnixListener::bind(&self.cfg.socket).map_err(|e| BpMaxError::InvalidArgument {
+                detail: format!("binding {}: {e}", self.cfg.socket.display()),
+            })?;
+        std::thread::scope(|scope| {
+            for conn in listener.incoming() {
+                if self.stopping() {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    scope.spawn(move || self.serve_connection(stream));
+                }
+            }
+        });
+        let _ = std::fs::remove_file(&self.cfg.socket);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// A blocking client for the solve daemon; one connection, any number of
+/// exchanges.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connect to a running daemon's socket.
+    pub fn connect(socket: &Path) -> Result<Client, BpMaxError> {
+        let stream = UnixStream::connect(socket).map_err(|e| BpMaxError::InvalidArgument {
+            detail: format!("connecting to {}: {e}", socket.display()),
+        })?;
+        Ok(Client { stream })
+    }
+
+    fn exchange(&mut self, req: &Request) -> Result<Response, BpMaxError> {
+        write_message(&mut self.stream, &encode_request(req))?;
+        let msg = read_message(&mut self.stream)?
+            .ok_or_else(|| protocol("server closed the connection without replying".to_string()))?;
+        decode_response(&msg)
+    }
+
+    /// Submit one solve request; any of the typed responses may come
+    /// back.
+    pub fn solve(&mut self, req: &SolveRequest) -> Result<Response, BpMaxError> {
+        self.exchange(&Request::Solve(req.clone()))
+    }
+
+    /// Fetch the server's counters.
+    pub fn stats(&mut self) -> Result<ServerStats, BpMaxError> {
+        match self.exchange(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error { detail } => Err(protocol(detail)),
+            other => Err(protocol(format!("expected stats reply, got {other:?}"))),
+        }
+    }
+
+    /// Ask the server to shut down; returns once it acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), BpMaxError> {
+        match self.exchange(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error { detail } => Err(protocol(detail)),
+            other => Err(protocol(format!("expected shutdown ack, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ftable::Layout;
+    use crate::kernels::Tile;
+
+    fn request() -> SolveRequest {
+        SolveRequest::new(
+            "GGGAAACCC".parse().unwrap(),
+            "UUUGG".parse().unwrap(),
+            ScoringModel::bpmax_default(),
+        )
+    }
+
+    #[test]
+    fn request_round_trips_with_every_override() {
+        let req = request()
+            .profile(
+                ComputeProfile::new()
+                    .algorithm(Algorithm::HybridTiled {
+                        tile: Tile {
+                            i2: 3,
+                            k2: 5,
+                            j2: 7,
+                        },
+                    })
+                    .tile(Tile {
+                        i2: 2,
+                        k2: 2,
+                        j2: 2,
+                    })
+                    .layout(Layout::Shifted)
+                    .certified_unchecked(true)
+                    .simd(false),
+            )
+            .mem_budget(1 << 20)
+            .degrade(true);
+        let wire = encode_request(&Request::Solve(req.clone()));
+        assert_eq!(decode_request(&wire).unwrap(), Request::Solve(req));
+    }
+
+    #[test]
+    fn plain_requests_round_trip() {
+        for req in [Request::Solve(request()), Request::Stats, Request::Shutdown] {
+            let wire = encode_request(&req);
+            assert_eq!(decode_request(&wire).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response::Solved {
+                score: 15.0,
+                outcome: Outcome::Ok,
+                seconds: 0.125,
+                cache_hit: true,
+            },
+            Response::Solved {
+                score: 7.5,
+                outcome: Outcome::Degraded,
+                seconds: 0.0,
+                cache_hit: false,
+            },
+            Response::Rejected(RejectReason::Memory {
+                needed_bytes: 1 << 30,
+                budget_bytes: 1 << 20,
+            }),
+            Response::Rejected(RejectReason::PredictedTime {
+                predicted_s: 120.0,
+                cap_s: 1.5,
+            }),
+            Response::Error {
+                detail: "protocol error: bad magic".to_string(),
+            },
+            Response::Stats(ServerStats {
+                requests: 10,
+                cache_hits: 3,
+                solves: 6,
+                rejects: 1,
+                pool: PoolStats {
+                    allocated: 4,
+                    reused: 9,
+                    recycled: 13,
+                    quarantined: 0,
+                },
+            }),
+            Response::ShuttingDown,
+        ];
+        for resp in cases {
+            let wire = encode_response(&resp);
+            assert_eq!(decode_response(&wire).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn request_decoded_as_response_is_a_typed_error() {
+        let wire = encode_request(&Request::Stats);
+        assert!(matches!(
+            decode_response(&wire),
+            Err(BpMaxError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn cache_fingerprint_ignores_nothing_score_affecting() {
+        let profile = ComputeProfile::new();
+        let base = cache_fingerprint(&profile, None, false);
+        // budget and degrade are part of the key
+        assert_ne!(base, cache_fingerprint(&profile, Some(1 << 20), false));
+        assert_ne!(base, cache_fingerprint(&profile, None, true));
+        // a different algorithm is a different key
+        assert_ne!(
+            base,
+            cache_fingerprint(&profile.algorithm(Algorithm::Baseline), None, false)
+        );
+        // bounds/simd are bit-identical paths: same key
+        assert_eq!(
+            base,
+            cache_fingerprint(&profile.certified_unchecked(true).simd(true), None, false)
+        );
+    }
+
+    #[test]
+    fn in_process_server_solves_caches_and_rejects() {
+        let server = Server::new(ServerConfig::default()).unwrap();
+        let req = request();
+
+        // cold solve
+        let cold = server.handle(&Request::Solve(req.clone()));
+        let (cold_score, cold_hit) = match cold {
+            Response::Solved {
+                score,
+                cache_hit,
+                outcome: Outcome::Ok,
+                ..
+            } => (score, cache_hit),
+            other => panic!("cold solve: {other:?}"),
+        };
+        assert!(!cold_hit);
+        assert_eq!(cold_score, 15.0);
+
+        // warm hit: same bits, no solver run
+        let before = server.stats();
+        let warm = server.handle(&Request::Solve(req.clone()));
+        match warm {
+            Response::Solved {
+                score,
+                cache_hit: true,
+                ..
+            } => assert_eq!(score.to_bits(), cold_score.to_bits()),
+            other => panic!("warm solve: {other:?}"),
+        }
+        let after = server.stats();
+        assert_eq!(after.solves, before.solves, "warm hit must not solve");
+        assert_eq!(after.pool.allocated_since(&before.pool), 0);
+        assert_eq!(after.cache_hits, before.cache_hits + 1);
+
+        // over-budget without degrade: typed rejection
+        let tight = req.clone().mem_budget(8);
+        match server.handle(&Request::Solve(tight)) {
+            Response::Rejected(RejectReason::Memory {
+                budget_bytes: 8, ..
+            }) => {}
+            other => panic!("over-budget: {other:?}"),
+        }
+
+        // over-budget with degrade: a windowed lower bound, cached too
+        // (2048 < the ~2.7 KiB exact table, but wide enough for a band)
+        let degraded = req.clone().mem_budget(2048).degrade(true);
+        let first = match server.handle(&Request::Solve(degraded.clone())) {
+            Response::Solved {
+                score,
+                outcome: Outcome::Degraded,
+                cache_hit: false,
+                ..
+            } => score,
+            other => panic!("degraded: {other:?}"),
+        };
+        assert!(first <= cold_score);
+        match server.handle(&Request::Solve(degraded)) {
+            Response::Solved {
+                score,
+                outcome: Outcome::Degraded,
+                cache_hit: true,
+                ..
+            } => assert_eq!(score.to_bits(), first.to_bits()),
+            other => panic!("degraded warm: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predicted_time_cap_rejects_before_solving() {
+        let server = Server::new(ServerConfig {
+            max_predicted_s: Some(0.0),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        match server.handle(&Request::Solve(request())) {
+            Response::Rejected(RejectReason::PredictedTime { cap_s, .. }) => {
+                assert_eq!(cap_s, 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.solves, 0);
+        assert_eq!(stats.rejects, 1);
+        assert_eq!(stats.pool.allocated, 0);
+    }
+}

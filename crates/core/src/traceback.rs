@@ -184,7 +184,7 @@ impl Tracer<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{Algorithm, BpMaxProblem};
+    use crate::engine::{Algorithm, BpMaxProblem, SolveOptions};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use rna::{RnaSeq, ScoringModel};
@@ -195,7 +195,9 @@ mod tests {
             b.parse().unwrap(),
             ScoringModel::bpmax_default(),
         );
-        let sol = p.solve(Algorithm::Permuted);
+        let sol = p
+            .solve_opts(&SolveOptions::new().algorithm(Algorithm::Permuted))
+            .unwrap();
         let score = sol.score();
         let st = sol.traceback();
         (p, score, st)
@@ -227,7 +229,9 @@ mod tests {
             let s1 = RnaSeq::random(&mut rng, 9);
             let s2 = RnaSeq::random(&mut rng, 7);
             let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
-            let sol = p.solve(Algorithm::Hybrid);
+            let sol = p
+                .solve_opts(&SolveOptions::new().algorithm(Algorithm::Hybrid))
+                .unwrap();
             let st = sol.traceback();
             st.validate(9, 7)
                 .unwrap_or_else(|e| panic!("{s1}/{s2}: {e}"));
@@ -242,7 +246,7 @@ mod tests {
         let s2: RnaSeq = "CGAUGG".parse().unwrap();
         let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
         for &alg in Algorithm::ALL {
-            let sol = p.solve(alg);
+            let sol = p.solve_opts(&SolveOptions::new().algorithm(alg)).unwrap();
             let st = sol.traceback();
             st.validate(s1.len(), s2.len()).unwrap();
             assert_eq!(st.score(&s1, &s2, &model), sol.score(), "{alg:?}");

@@ -245,7 +245,7 @@ pub fn scan_ranked(ctx: &Ctx, w: usize) -> Vec<(usize, f32)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{Algorithm, BpMaxProblem};
+    use crate::engine::{Algorithm, BpMaxProblem, SolveOptions};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use rna::RnaSeq;
@@ -266,7 +266,10 @@ mod tests {
             let s1 = RnaSeq::random(&mut rng, 5);
             let s2 = RnaSeq::random(&mut rng, 8);
             let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
-            let full = p.compute(Algorithm::Permuted);
+            let full = p
+                .solve_opts(&SolveOptions::new().algorithm(Algorithm::Permuted))
+                .unwrap()
+                .into_ftable();
             let c = Ctx::new(s1.clone(), s2.clone(), model.clone());
             for w in [1usize, 3, 8] {
                 let banded = solve_windowed(&c, w);
@@ -292,7 +295,11 @@ mod tests {
         let c = ctx("GGGAAACCC", "UUUCC");
         let t = solve_windowed(&c, 5);
         let p = BpMaxProblem::new(c.s1.clone(), c.s2.clone(), ScoringModel::bpmax_default());
-        assert_eq!(t.get(0, 8, 0, 4), p.solve(Algorithm::Permuted).score());
+        let want = p
+            .solve_opts(&SolveOptions::new().algorithm(Algorithm::Permuted))
+            .unwrap()
+            .score();
+        assert_eq!(t.get(0, 8, 0, 4), want);
     }
 
     #[test]

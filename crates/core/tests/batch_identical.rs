@@ -55,8 +55,9 @@ proptest! {
         prop_assert!(report.outcomes().all_ok(), "{}", report.outcomes());
         prop_assert_eq!(report.pool.quarantined, 0);
         for (item, p) in report.items.iter().zip(&problems) {
-            let reference = p.compute(alg);
-            prop_assert_eq!(item.score, p.solve(alg).score());
+            let sol = p.solve_opts(&SolveOptions::new().algorithm(alg)).unwrap();
+            prop_assert_eq!(item.score, sol.score());
+            let reference = sol.into_ftable();
             let table = item.table.as_ref().expect("keep_tables");
             for (i1, j1, i2, j2) in reference.iter_cells().collect::<Vec<_>>() {
                 prop_assert_eq!(

@@ -6,7 +6,7 @@
 //! the bytes on disk is detected, never replayed.
 
 use bpmax::checkpoint::{self, CheckpointSink, RunManifest, TableSnapshot};
-use bpmax::{Algorithm, BpMaxError, BpMaxProblem, FTable};
+use bpmax::{Algorithm, BpMaxError, BpMaxProblem, FTable, SolveOptions};
 use proptest::prelude::*;
 use rna::base::BASES;
 use rna::{RnaSeq, ScoringModel};
@@ -57,7 +57,10 @@ proptest! {
         let m = p.seq1().len();
         let split = ((m as f64) * split_frac).floor() as usize;
 
-        let reference = p.compute(alg);
+        let reference = p
+            .solve_opts(&SolveOptions::new().algorithm(alg))
+            .unwrap()
+            .into_ftable();
         let prefix = p.compute_prefix(alg, split).unwrap();
         let snap = TableSnapshot::capture(0, checkpoint::problem_id(&p), &prefix, split);
 

@@ -238,7 +238,11 @@ fn disarmed_registry_is_clean() {
     assert!(report.outcomes().all_ok(), "{}", report.outcomes());
     let want: Vec<f32> = problems
         .iter()
-        .map(|p| p.solve(Algorithm::Permuted).score())
+        .map(|p| {
+            p.solve_opts(&SolveOptions::new().algorithm(Algorithm::Permuted))
+                .unwrap()
+                .score()
+        })
         .collect();
     for (item, want) in report.items.iter().zip(&want) {
         assert_eq!(item.score, *want);

@@ -45,7 +45,10 @@ fn solve_racing_a_cancel_is_complete_or_cleanly_interrupted() {
     let s1: RnaSeq = "GGAUCGAUCG".parse().expect("seq");
     let s2: RnaSeq = "CCGAUAGC".parse().expect("seq");
     let problem = Arc::new(BpMaxProblem::new(s1, s2, ScoringModel::bpmax_default()));
-    let want = problem.solve(Algorithm::Hybrid).score();
+    let want = problem
+        .solve_opts(&SolveOptions::new().algorithm(Algorithm::Hybrid))
+        .expect("unsupervised reference solve")
+        .score();
     loom::model(move || {
         let token = CancelToken::new();
         let p = Arc::clone(&problem);

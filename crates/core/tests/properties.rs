@@ -29,7 +29,8 @@ proptest! {
         let want = spec_score(&s1, &s2, &model);
         let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
         for &alg in Algorithm::ALL {
-            prop_assert_eq!(p.solve(alg).score(), want, "{:?} on {}/{}", alg, &s1, &s2);
+            let got = p.solve_opts(&SolveOptions::new().algorithm(alg)).unwrap().score();
+            prop_assert_eq!(got, want, "{:?} on {}/{}", alg, &s1, &s2);
         }
     }
 
@@ -43,9 +44,16 @@ proptest! {
     ) {
         let model = ScoringModel::bpmax_default();
         let p = BpMaxProblem::new(s1, s2, model);
-        let want = p.solve(Algorithm::Permuted).score();
+        let want = p
+            .solve_opts(&SolveOptions::new().algorithm(Algorithm::Permuted))
+            .unwrap()
+            .score();
         let tile = Tile { i2: ti, k2: tk, j2: tj };
-        prop_assert_eq!(p.solve(Algorithm::HybridTiled { tile }).score(), want);
+        let got = p
+            .solve_opts(&SolveOptions::new().algorithm(Algorithm::HybridTiled { tile }))
+            .unwrap()
+            .score();
+        prop_assert_eq!(got, want);
     }
 
     #[test]
@@ -76,7 +84,9 @@ proptest! {
     #[test]
     fn traceback_is_always_valid_and_optimal(s1 in seq(7), s2 in seq(7), model in scoring()) {
         let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
-        let sol = p.solve(Algorithm::Hybrid);
+        let sol = p
+            .solve_opts(&SolveOptions::new().algorithm(Algorithm::Hybrid))
+            .unwrap();
         let st = sol.traceback();
         prop_assert!(st.validate(s1.len(), s2.len()).is_ok());
         prop_assert_eq!(st.score(&s1, &s2, &model), sol.score());
@@ -110,7 +120,10 @@ proptest! {
         prop_assume!(!s1.is_empty() && !s2.is_empty());
         let model = ScoringModel::bpmax_default();
         let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
-        let full = p.compute(Algorithm::Permuted);
+        let full = p
+            .solve_opts(&SolveOptions::new().algorithm(Algorithm::Permuted))
+            .unwrap()
+            .into_ftable();
         let ctx = bpmax::kernels::Ctx::new(s1.clone(), s2.clone(), model);
         let banded = solve_windowed(&ctx, w);
         for i1 in 0..s1.len() {

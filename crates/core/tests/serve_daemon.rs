@@ -1,0 +1,200 @@
+//! End-to-end contract of the resident solve daemon over a real Unix
+//! socket: concurrent clients all get correct scores; a warm cache hit
+//! is bit-identical to the cold solve and provably skips the solver
+//! (zero new pool allocations, solve counter unchanged); an over-budget
+//! request gets a typed rejection, not an OOM; and the on-disk cache
+//! tier survives a full daemon restart.
+
+use bpmax::serve::{Client, RejectReason, Response, Server, ServerConfig, SolveRequest};
+use bpmax::{BpMaxProblem, SolveOptions};
+use rna::{RnaSeq, ScoringModel};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed); // ordering: unique-suffix counter only
+    let dir = std::env::temp_dir().join(format!("bpmax-serve-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Start a daemon on its own thread and wait until the socket accepts.
+fn start(cfg: ServerConfig) -> (Arc<Server>, std::thread::JoinHandle<()>) {
+    let server = Arc::new(Server::new(cfg).unwrap());
+    let runner = Arc::clone(&server);
+    let handle = std::thread::spawn(move || runner.run().unwrap());
+    let socket = server.cfg().socket.clone();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Client::connect(&socket).is_err() {
+        assert!(Instant::now() < deadline, "daemon never came up");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    (server, handle)
+}
+
+fn req(s1: &str, s2: &str) -> SolveRequest {
+    SolveRequest::new(
+        s1.parse::<RnaSeq>().unwrap(),
+        s2.parse::<RnaSeq>().unwrap(),
+        ScoringModel::bpmax_default(),
+    )
+}
+
+fn solved_score(resp: Response) -> (f32, bool) {
+    match resp {
+        Response::Solved {
+            score, cache_hit, ..
+        } => (score, cache_hit),
+        other => panic!("expected Solved, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_clients_cache_identity_and_typed_rejects() {
+    let dir = tmpdir("e2e");
+    let cfg = ServerConfig {
+        socket: dir.join("bpmax.sock"),
+        cache_dir: Some(dir.join("cache")),
+        ..ServerConfig::default()
+    };
+    let socket = cfg.socket.clone();
+    let (server, handle) = start(cfg);
+
+    // a handful of distinct problems, each solved by its own client
+    // thread — every score must match an in-process reference solve
+    let pairs: &[(&str, &str)] = &[
+        ("GGGAAACCC", "UUUGG"),
+        ("GGCAUUCC", "AUGGCAU"),
+        ("AAAA", "UUUU"),
+        ("GCGCGC", "GCGC"),
+        ("GGAUCGAC", "CCGAUG"),
+    ];
+    std::thread::scope(|scope| {
+        for (s1, s2) in pairs {
+            let socket = &socket;
+            scope.spawn(move || {
+                let mut client = Client::connect(socket).unwrap();
+                let (score, _) = solved_score(client.solve(&req(s1, s2)).unwrap());
+                let reference = BpMaxProblem::new(
+                    s1.parse().unwrap(),
+                    s2.parse().unwrap(),
+                    ScoringModel::bpmax_default(),
+                )
+                .solve_opts(&SolveOptions::new())
+                .unwrap()
+                .score();
+                assert_eq!(score.to_bits(), reference.to_bits(), "{s1} x {s2}");
+            });
+        }
+    });
+
+    // warm hit: bit-identical, and provably no solver run — the pool
+    // allocates nothing new and the solve counter does not move
+    let mut client = Client::connect(&socket).unwrap();
+    let (cold, cold_hit) = solved_score(client.solve(&req("GGGAAACCC", "UUUGG")).unwrap());
+    assert!(cold_hit, "first repeat of a solved problem already warm");
+    let before = client.stats().unwrap();
+    let (warm, warm_hit) = solved_score(client.solve(&req("GGGAAACCC", "UUUGG")).unwrap());
+    assert!(warm_hit);
+    assert_eq!(warm.to_bits(), cold.to_bits());
+    let after = client.stats().unwrap();
+    assert_eq!(after.solves, before.solves, "warm hit must not solve");
+    assert_eq!(
+        after.pool.allocated_since(&before.pool),
+        0,
+        "warm hit must not touch the pool"
+    );
+    assert_eq!(after.cache_hits, before.cache_hits + 1);
+
+    // over-budget request: typed rejection with the numbers, not an OOM
+    // and not a BpMaxError
+    let tight = req("GGGGGGGGGG", "CCCCCCCCCC").mem_budget(64);
+    match client.solve(&tight).unwrap() {
+        Response::Rejected(RejectReason::Memory {
+            needed_bytes,
+            budget_bytes,
+        }) => {
+            assert_eq!(budget_bytes, 64);
+            assert!(needed_bytes > 64);
+        }
+        other => panic!("expected Memory reject, got {other:?}"),
+    }
+
+    // clean shutdown: the accept loop exits and the socket disappears
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    assert!(!socket.exists(), "socket removed on shutdown");
+    let stats = server.stats();
+    assert!(stats.requests >= 10, "{stats:?}");
+
+    // restart over the same cache dir: the disk tier answers warm with
+    // the same bits, again without running the solver
+    let cfg = ServerConfig {
+        socket: dir.join("bpmax2.sock"),
+        cache_dir: Some(dir.join("cache")),
+        ..ServerConfig::default()
+    };
+    let socket2 = cfg.socket.clone();
+    let (server2, handle2) = start(cfg);
+    let mut client = Client::connect(&socket2).unwrap();
+    let (revived, hit) = solved_score(client.solve(&req("GGGAAACCC", "UUUGG")).unwrap());
+    assert!(hit, "disk cache must survive the restart");
+    assert_eq!(revived.to_bits(), cold.to_bits());
+    let stats = server2.stats();
+    assert_eq!(stats.solves, 0, "restarted daemon answered from disk");
+    assert_eq!(stats.pool.allocated, 0);
+    client.shutdown().unwrap();
+    handle2.join().unwrap();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn server_side_budget_rejects_without_request_opt_in() {
+    let dir = tmpdir("budget");
+    // 2 KiB: too small for the exact 8x8 table (~5 KiB), wide enough
+    // for a banded window, so --degrade has somewhere to land
+    let cfg = ServerConfig {
+        socket: dir.join("bpmax.sock"),
+        mem_budget: Some(2048),
+        ..ServerConfig::default()
+    };
+    let socket = cfg.socket.clone();
+    let (_server, handle) = start(cfg);
+    let mut client = Client::connect(&socket).unwrap();
+
+    // the server cap applies even when the request asks for nothing
+    match client.solve(&req("GGGGGGGG", "CCCCCCCC")).unwrap() {
+        Response::Rejected(RejectReason::Memory { budget_bytes, .. }) => {
+            assert_eq!(budget_bytes, 2048);
+        }
+        other => panic!("{other:?}"),
+    }
+    // a request cap tighter than the server's wins
+    match client
+        .solve(&req("GGGGGGGG", "CCCCCCCC").mem_budget(16))
+        .unwrap()
+    {
+        Response::Rejected(RejectReason::Memory { budget_bytes, .. }) => {
+            assert_eq!(budget_bytes, 16);
+        }
+        other => panic!("{other:?}"),
+    }
+    // degrade turns the rejection into a windowed lower-bound answer
+    match client
+        .solve(&req("GGGGGGGG", "CCCCCCCC").degrade(true))
+        .unwrap()
+    {
+        Response::Solved { outcome, .. } => {
+            assert_eq!(outcome, bpmax::Outcome::Degraded);
+        }
+        other => panic!("{other:?}"),
+    }
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -129,6 +129,32 @@ fn classification_matches_repo_layout() {
 }
 
 #[test]
+fn serve_module_is_panic_free_lib_code() {
+    // The daemon's wire decoder faces untrusted bytes: it must stay
+    // lib-classified (no unwrap/expect/panic without a justified escape)
+    // and actually lint clean, independent of the workspace-wide sweep.
+    let rel = "crates/core/src/serve.rs";
+    assert_eq!(classify(rel), FileKind::Lib);
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => panic!("read {}: {e}", path.display()),
+    };
+    let findings = lint_source(rel, &text, FileKind::Lib);
+    assert!(
+        findings.is_empty(),
+        "serve module must stay panic-free:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
 fn hot_file_set_exists_on_disk() {
     // If a hot file is renamed the rule silently stops applying — fail
     // loudly here instead.

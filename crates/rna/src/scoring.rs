@@ -61,6 +61,20 @@ impl ScoringModel {
         }
     }
 
+    /// Build a model from explicit 4×4 weight tables (indexed by
+    /// [`Base::index`], `[a][b]`) and a hairpin constraint. This is the
+    /// lossless counterpart of reading the tables back via
+    /// [`Self::intra`] / [`Self::inter`] — wire codecs use it to
+    /// round-trip arbitrary models bit-exactly, including asymmetric
+    /// ones no builder shortcut can express.
+    pub fn from_tables(intra: [[f32; 4]; 4], inter: [[f32; 4]; 4], min_loop: usize) -> Self {
+        ScoringModel {
+            intra,
+            inter,
+            min_loop,
+        }
+    }
+
     /// Replace the intermolecular table (e.g. to penalise or forbid
     /// inter-strand wobble pairs).
     pub fn with_inter_weights(mut self, gc: f32, au: f32, gu: f32) -> Self {
@@ -194,6 +208,23 @@ mod tests {
         assert_eq!(m.inter(Base::G, Base::C), 5.0);
         assert_eq!(m.intra(Base::G, Base::C), 3.0);
         assert_eq!(m.max_weight(), 5.0);
+    }
+
+    #[test]
+    fn from_tables_round_trips_bit_exactly() {
+        let m = ScoringModel::bpmax_default()
+            .with_inter_weights(5.0, 4.0, 0.5)
+            .with_min_loop(2);
+        let mut intra = [[0.0f32; 4]; 4];
+        let mut inter = [[0.0f32; 4]; 4];
+        for a in BASES {
+            for b in BASES {
+                intra[a.index()][b.index()] = m.intra(a, b);
+                inter[a.index()][b.index()] = m.inter(a, b);
+            }
+        }
+        let rebuilt = ScoringModel::from_tables(intra, inter, m.min_loop());
+        assert_eq!(rebuilt, m);
     }
 
     #[test]

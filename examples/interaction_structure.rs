@@ -6,7 +6,7 @@
 //! ```
 
 use bpmax::kernels::Tile;
-use bpmax::{Algorithm, BpMaxProblem};
+use bpmax::{Algorithm, BpMaxProblem, SolveOptions};
 use rna::{RnaSeq, ScoringModel};
 
 fn main() {
@@ -26,7 +26,10 @@ fn main() {
     // semantic-preservation claim, live).
     let mut scores = Vec::new();
     for &alg in Algorithm::ALL {
-        scores.push((alg.label(), p.solve(alg).score()));
+        let sol = p
+            .solve_opts(&SolveOptions::new().algorithm(alg))
+            .expect("unsupervised solve");
+        scores.push((alg.label(), sol.score()));
     }
     println!("scores by program version:");
     for (label, score) in &scores {
@@ -34,9 +37,11 @@ fn main() {
     }
     assert!(scores.windows(2).all(|w| w[0].1 == w[1].1));
 
-    let sol = p.solve(Algorithm::HybridTiled {
-        tile: Tile::default(),
-    });
+    let sol = p
+        .solve_opts(&SolveOptions::new().algorithm(Algorithm::HybridTiled {
+            tile: Tile::default(),
+        }))
+        .expect("unsupervised solve");
     let f = sol.ftable();
     println!(
         "\nF-table: {} x {} outer cells, {:.2} KiB packed",

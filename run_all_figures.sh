@@ -39,6 +39,7 @@ run ablation_locality
 run ablation_sched_policy
 run bench_batch_throughput
 run bench_simd_kernel
+run bench_serve
 run future_register_tiling
 run future_mpi_cluster
 

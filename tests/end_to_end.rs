@@ -4,7 +4,7 @@
 use bpmax::kernels::Tile;
 use bpmax::spec::SpecEval;
 use bpmax::windowed::solve_windowed;
-use bpmax::{Algorithm, BpMaxProblem};
+use bpmax::{Algorithm, BpMaxProblem, Solution, SolveOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rna::nussinov::Nussinov;
@@ -12,6 +12,11 @@ use rna::{RnaSeq, ScoringModel};
 
 fn random_pair(rng: &mut StdRng, m: usize, n: usize) -> (RnaSeq, RnaSeq) {
     (RnaSeq::random(rng, m), RnaSeq::random(rng, n))
+}
+
+fn solve(p: &BpMaxProblem, alg: Algorithm) -> Solution<'_> {
+    p.solve_opts(&SolveOptions::new().algorithm(alg))
+        .expect("unsupervised solve")
 }
 
 #[test]
@@ -24,7 +29,7 @@ fn every_version_matches_spec_and_traceback_is_optimal() {
         let want = spec.top();
         let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
         for &alg in Algorithm::ALL {
-            let sol = p.solve(alg);
+            let sol = solve(&p, alg);
             assert_eq!(sol.score(), want, "{alg:?} {s1}/{s2}");
             let st = sol.traceback();
             st.validate(s1.len(), s2.len()).unwrap();
@@ -39,9 +44,13 @@ fn full_table_cells_match_spec_everywhere() {
     let model = ScoringModel::bpmax_default().with_min_loop(2);
     let (s1, s2) = random_pair(&mut rng, 6, 6);
     let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
-    let f = p.compute(Algorithm::HybridTiled {
-        tile: Tile::cubic(2),
-    });
+    let f = solve(
+        &p,
+        Algorithm::HybridTiled {
+            tile: Tile::cubic(2),
+        },
+    )
+    .into_ftable();
     let mut spec = SpecEval::new(&s1, &s2, &model);
     for (i1, j1, i2, j2) in f.iter_cells().collect::<Vec<_>>() {
         assert_eq!(
@@ -60,12 +69,16 @@ fn interaction_score_is_symmetric_in_strand_roles() {
     let model = ScoringModel::bpmax_default();
     for _ in 0..6 {
         let (s1, s2) = random_pair(&mut rng, 7, 5);
-        let a = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone())
-            .solve(Algorithm::Permuted)
-            .score();
-        let b = BpMaxProblem::new(s2.clone(), s1.clone(), model.clone())
-            .solve(Algorithm::Permuted)
-            .score();
+        let a = solve(
+            &BpMaxProblem::new(s1.clone(), s2.clone(), model.clone()),
+            Algorithm::Permuted,
+        )
+        .score();
+        let b = solve(
+            &BpMaxProblem::new(s2.clone(), s1.clone(), model.clone()),
+            Algorithm::Permuted,
+        )
+        .score();
         assert_eq!(a, b, "{s1} / {s2}");
     }
 }
@@ -77,7 +90,7 @@ fn interaction_never_below_independent_folds() {
     for _ in 0..8 {
         let (s1, s2) = random_pair(&mut rng, 8, 6);
         let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
-        let score = p.solve(Algorithm::Hybrid).score();
+        let score = solve(&p, Algorithm::Hybrid).score();
         let floor =
             Nussinov::fold(&s1, &model).best_score() + Nussinov::fold(&s2, &model).best_score();
         assert!(score >= floor, "{s1}/{s2}: {score} < {floor}");
@@ -90,7 +103,7 @@ fn windowed_solver_agrees_with_full_solver_on_the_band() {
     let model = ScoringModel::bpmax_default();
     let (s1, s2) = random_pair(&mut rng, 4, 10);
     let p = BpMaxProblem::new(s1.clone(), s2.clone(), model.clone());
-    let full = p.compute(Algorithm::Permuted);
+    let full = solve(&p, Algorithm::Permuted).into_ftable();
     let ctx = bpmax::kernels::Ctx::new(s1, s2, model);
     let banded = solve_windowed(&ctx, 4);
     for i1 in 0..4 {
@@ -113,7 +126,7 @@ fn growing_either_strand_never_decreases_the_score() {
     let mut prev = 0.0f32;
     for len in 1..=8 {
         let p = BpMaxProblem::new(s1.slice(0, len), s2.clone(), model.clone());
-        let score = p.solve(Algorithm::Permuted).score();
+        let score = solve(&p, Algorithm::Permuted).score();
         assert!(score >= prev, "len {len}: {score} < {prev}");
         prev = score;
     }
@@ -132,7 +145,7 @@ fn antisense_duplex_is_recovered() {
         binding.clone(),
         ScoringModel::bpmax_default(),
     );
-    let sol = p.solve(Algorithm::Hybrid);
+    let sol = solve(&p, Algorithm::Hybrid);
     let st = sol.traceback();
     st.validate(12, 12).unwrap();
     // A full duplex pairs every position intermolecularly (or does at
@@ -152,9 +165,12 @@ fn antisense_duplex_is_recovered() {
 fn kissing_hairpins_mix_intra_and_inter_pairs() {
     let (s1, s2, stem, loop_len) = rna::datasets::kissing_hairpins(4, 5);
     let p = BpMaxProblem::new(s1.clone(), s2.clone(), ScoringModel::bpmax_default());
-    let sol = p.solve(Algorithm::HybridTiled {
-        tile: Tile::default(),
-    });
+    let sol = solve(
+        &p,
+        Algorithm::HybridTiled {
+            tile: Tile::default(),
+        },
+    );
     // stems: GC×4 (12) + AU×4 (8); kissing loops: CG×5 (15)
     let expected = 3.0 * stem as f32 + 2.0 * stem as f32 + 3.0 * loop_len as f32;
     assert_eq!(sol.score(), expected);
@@ -176,5 +192,5 @@ fn fasta_to_interaction_pipeline() {
         records[1].seq.clone(),
         ScoringModel::bpmax_default(),
     );
-    assert_eq!(p.solve(Algorithm::Hybrid).score(), 15.0);
+    assert_eq!(solve(&p, Algorithm::Hybrid).score(), 15.0);
 }
