@@ -21,27 +21,31 @@
 #                                   property suite
 #   5. fault-injection suite        deterministic failure-path proofs
 #   6. crash-recovery suite         SIGKILL + resume bit-identity
-#   7. serve smoke                  daemon round-trip against the real
+#   7. coordinator recovery suite   real spawned worker processes:
+#                                   SIGKILL-a-worker merge bit-identity,
+#                                   poison quarantine at the retry cap
+#                                   with the exact backoff schedule
+#   8. serve smoke                  daemon round-trip against the real
 #                                   binary: cold solve, warm cache hit,
 #                                   over-budget typed reject (exit 2),
 #                                   clean shutdown
-#   8. feature matrix (FEATURE_GATE) cargo test under the cargo-feature
+#   9. feature matrix (FEATURE_GATE) cargo test under the cargo-feature
 #                                   combinations (certified-unchecked,
 #                                   simd, both) whose defaults the other
 #                                   stages don't exercise — every combo
 #                                   is pinned bit-identical
-#   9. cargo doc -D warnings        rustdoc integrity
-#  10. sanitizers (SAN_GATE)        Miri over the kernel unit suites and
+#  10. cargo doc -D warnings        rustdoc integrity
+#  11. sanitizers (SAN_GATE)        Miri over the kernel unit suites and
 #                                   ThreadSanitizer over the concurrency
 #                                   models — nightly-only; auto-skipped
 #                                   with a notice when the toolchain
 #                                   lacks them (offline containers)
-#  11. smoke-bench perf gate        noise-aware wall-clock regression gate
+#  12. smoke-bench perf gate        noise-aware wall-clock regression gate
 #
 # FEATURE_GATE mirrors BENCH_GATE/SAN_GATE:
 #   auto       test the combos not already covered by other stages:
 #              certified-unchecked, simd, certified-unchecked+simd
-#              (default covered by stage 4, fault-inject by stages 5-6)
+#              (default covered by stage 4, fault-inject by stages 5-7)
 #   all        every combo including default and fault-inject — what the
 #              CI feature-matrix job proves, one runner per combo
 #   off        skip the feature-matrix stage
@@ -101,6 +105,15 @@ echo "== crash-recovery suite (cli, --features fault-inject) =="
 # of journaled windows, and corrupted/truncated checkpoints must be
 # refused with exit 2 — see crates/cli/tests/crash_recovery.rs.
 cargo test -p bpmax-cli --features fault-inject --offline -q
+
+echo "== coordinator recovery suite (real spawned worker processes) =="
+# Spawns real bpmax-cli worker processes under the shard coordinator:
+# SIGKILL-9 one mid-wave and the merged ranked report must be
+# bit-identical to the single-process run with zero recomputation of
+# journaled windows; a deterministically-aborting window must quarantine
+# at the retry cap with the exact capped-backoff schedule — see
+# crates/cli/tests/coordinator_recovery.rs.
+cargo test -p bpmax-cli --features fault-inject --offline -q --test coordinator_recovery
 
 echo "== serve smoke (daemon round-trip against the real binary) =="
 # A live daemon on a throwaway socket: a cold solve, the identical
@@ -266,6 +279,7 @@ run_smoke() {
     ./target/release/bench_batch_throughput --smoke --sizes 8,12 --reps 5 --json-dir "$out" > /dev/null
     ./target/release/bench_simd_kernel     --smoke --sizes 12,16 --reps 5 --json-dir "$out" > /dev/null
     ./target/release/bench_serve           --smoke --sizes 16,20 --reps 5 --json-dir "$out" > /dev/null
+    ./target/release/bench_coordinator     --smoke --sizes 12,16 --reps 3 --json-dir "$out" > /dev/null
 }
 
 case "$BENCH_GATE" in

@@ -7,6 +7,7 @@
 //! report — that's a *finding*, not a misuse.
 
 use bpmax::batch::{BatchEngine, BatchOptions};
+use bpmax::coordinator;
 use bpmax::kernels::{Ctx, Tile};
 use bpmax::serve::{Client, Response, Server, ServerConfig, SolveRequest};
 use bpmax::windowed::scan_ranked;
@@ -22,10 +23,11 @@ pub(crate) const USAGE: &str = "usage:
   bpmax-cli interact <seq1> <seq2> [--alg base|permuted|coarse|fine|hybrid|hybrid-tiled]
                      [--min-loop K] [--simd | --no-simd]
   bpmax-cli scan <query> <target> [--window W] [--top K] [--batch] [--threads T]
-                 [--deadline SECS] [--mem-budget BYTES]
+                 [--deadline SECS] [--mem-budget BYTES] [--workers N]
                  [--checkpoint-dir DIR] [--resume] [--simd | --no-simd]
   bpmax-cli serve --socket PATH [--threads T] [--mem-budget BYTES]
-                  [--max-seconds S] [--cache-dir DIR]
+                  [--max-seconds S] [--cache-dir DIR] [--cache-mem BYTES]
+                  [--read-timeout S]
   bpmax-cli client --socket PATH solve <seq1> <seq2>
                    [--alg base|permuted|coarse|fine|hybrid|hybrid-tiled]
                    [--min-loop K] [--simd | --no-simd]
@@ -53,6 +55,17 @@ bit-identical to an uninterrupted run — and refuses checkpoints written
 under different scoring options or for a different window set. A corrupt
 or truncated checkpoint is a typed error (exit 2), never garbage.
 
+--workers N shards the batch across N supervised worker processes (this
+same binary, re-invoked), each journaling into its own checkpoint
+directory under a shared work ledger (--checkpoint-dir names the ledger
+root; default: a temporary directory, removed afterwards). A killed or
+wedged worker is respawned with capped exponential backoff and its
+unfinished windows are taken over by survivors; a window that keeps
+killing workers is quarantined after the retry cap and reported like any
+failed window (exit 3). The merged ranking is bit-identical to a
+single-process run. --workers conflicts with --resume: the ledger is
+recreated fresh each run.
+
 --simd / --no-simd override the build default for the explicitly
 vectorized lane-array kernels (the hybrid+tiled algorithm's SimdReg
 path). Both paths are always compiled and bit-identical — the flags
@@ -64,6 +77,11 @@ engine (hot block-pool arenas) answers every client request, results are
 cached in memory and (with --cache-dir) on disk keyed by problem content
 x solve options, and requests the server-side --mem-budget or
 --max-seconds cannot admit get a typed rejection instead of an OOM.
+--cache-mem caps the in-memory cache tier (bytes; K/M/G suffixes) —
+over-budget entries are evicted least-recently-used first and spill to
+the --cache-dir tier, so warm answers stay bit-identical. --read-timeout
+drops connections whose peer stays silent that many seconds mid-message
+(fractional; a typed protocol error is sent first, best-effort).
 client sends one request: solve prints the score (and whether it was a
 cache hit), a rejected solve exits 2 with the reason, a server-side
 solve failure exits 1; stats prints the daemon's counters; shutdown
@@ -352,6 +370,7 @@ struct BatchArgs {
     checkpoint_dir: Option<PathBuf>,
     resume: bool,
     simd: Option<bool>,
+    workers: Option<usize>,
 }
 
 impl BatchArgs {
@@ -365,6 +384,14 @@ impl BatchArgs {
         let checkpoint_dir = take_opt(args, "--checkpoint-dir")?.map(PathBuf::from);
         let resume = take_flag(args, "--resume");
         let simd = take_simd(args)?;
+        let workers = take_opt(args, "--workers")?
+            .map(|v| match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(bad_arg(format!(
+                    "bad --workers {v:?} (need an integer >= 1)"
+                ))),
+            })
+            .transpose()?;
         let gated = [
             (threads.is_some(), "--threads"),
             (
@@ -376,6 +403,7 @@ impl BatchArgs {
                 "--checkpoint-dir/--resume",
             ),
             (simd.is_some(), "--simd/--no-simd"),
+            (workers.is_some(), "--workers"),
         ];
         if !batch {
             for (present, flag) in gated {
@@ -387,6 +415,12 @@ impl BatchArgs {
         if resume && checkpoint_dir.is_none() {
             return Err(usage("--resume requires --checkpoint-dir"));
         }
+        if workers.is_some() && resume {
+            return Err(usage(
+                "--workers cannot be combined with --resume (the coordinator \
+                 ledger is recreated fresh each run)",
+            ));
+        }
         Ok(BatchArgs {
             batch,
             threads,
@@ -395,11 +429,15 @@ impl BatchArgs {
             checkpoint_dir,
             resume,
             simd,
+            workers,
         })
     }
 }
 
 fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
+    // the coordinator re-invokes this binary with the same scan argv
+    // (minus coordinator-only flags) so workers rebuild the problem list
+    let raw: Vec<String> = args.clone();
     let model = model_with_min_loop(&mut args)?;
     let window = take_opt(&mut args, "--window")?
         .map(|v| v.parse::<usize>().map_err(|_| bad_arg("bad --window")))
@@ -429,7 +467,7 @@ fn cmd_scan(mut args: Vec<String>) -> Result<String, CliError> {
         target.len()
     );
     let (ranked, failures) = if batch_args.batch {
-        let (ranked, note, failures) = scan_batched(&query, &target, &model, w, &batch_args)?;
+        let (ranked, note, failures) = scan_batched(&query, &target, &model, w, &batch_args, &raw)?;
         let _ = writeln!(out, "{note}");
         (ranked, failures)
     } else {
@@ -480,6 +518,7 @@ fn scan_batched(
     model: &ScoringModel,
     w: usize,
     sup: &BatchArgs,
+    raw: &[String],
 ) -> Result<BatchedScan, CliError> {
     let mut opts = BatchOptions::new();
     if let Some(t) = sup.threads {
@@ -494,17 +533,35 @@ fn scan_batched(
     if let Some(b) = sup.mem_budget {
         opts = opts.mem_budget(b);
     }
-    let engine = BatchEngine::new(opts)?;
     let problems: Vec<BpMaxProblem> = (0..target.len())
         .map(|s| {
             let e = (s + w).min(target.len());
             BpMaxProblem::new(query.clone(), target.slice(s, e), model.clone())
         })
         .collect();
-    let report = match (&sup.checkpoint_dir, sup.resume) {
-        (Some(dir), true) => engine.resume(&problems, dir)?,
-        (Some(dir), false) => engine.solve_all_checkpointed(&problems, dir)?,
-        (None, _) => engine.solve_all(&problems)?,
+    if let Some(env) = coordinator::worker_env() {
+        // spawned coordinator worker: claim problems off the shared
+        // ledger, journal into this incarnation's own directory, print
+        // nothing (the coordinator nulls worker stdout anyway)
+        coordinator::run_worker(&problems, opts, &env)?;
+        return Ok((
+            Vec::new(),
+            format!("coordinator worker slot {}: ledger settled", env.slot),
+            Vec::new(),
+        ));
+    }
+    let mut coord_note = None;
+    let report = if let Some(n) = sup.workers {
+        let (report, note) = scan_coordinated(&problems, opts, sup, n, raw)?;
+        coord_note = Some(note);
+        report
+    } else {
+        let engine = BatchEngine::new(opts)?;
+        match (&sup.checkpoint_dir, sup.resume) {
+            (Some(dir), true) => engine.resume(&problems, dir)?,
+            (Some(dir), false) => engine.solve_all_checkpointed(&problems, dir)?,
+            (None, _) => engine.solve_all(&problems)?,
+        }
     };
     let counts = report.outcomes();
     let mut ranked: Vec<(usize, f32)> = report
@@ -537,7 +594,9 @@ fn scan_batched(
         report.pool.allocated,
         report.pool.reused,
     );
-    if let Some(dir) = &sup.checkpoint_dir {
+    if let Some(coord) = coord_note {
+        let _ = write!(note, "\n{coord}");
+    } else if let Some(dir) = &sup.checkpoint_dir {
         let _ = write!(
             note,
             "\ncheckpoint: {} of {} windows replayed from {}",
@@ -547,6 +606,103 @@ fn scan_batched(
         );
     }
     Ok((ranked, note, failures))
+}
+
+/// Read a `BPMAX_COORD_*` millisecond tuning knob (tests shrink the
+/// backoff and heartbeat windows through these; defaults are production).
+fn env_millis(name: &str) -> Option<std::time::Duration> {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(std::time::Duration::from_millis)
+}
+
+/// Shard the batch across `n` supervised worker processes (this same
+/// binary, re-invoked with the coordinator environment contract) and
+/// merge their journals. Returns the merged report plus the coordinator
+/// note line with the recovery telemetry.
+fn scan_coordinated(
+    problems: &[BpMaxProblem],
+    opts: BatchOptions,
+    sup: &BatchArgs,
+    n: usize,
+    raw: &[String],
+) -> Result<(bpmax::BatchReport, String), CliError> {
+    let mut copts = bpmax::CoordinatorOptions::new().workers(n);
+    if let Some(r) = std::env::var(coordinator::ENV_RETRIES)
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+    {
+        copts = copts.max_retries(r.max(1));
+    }
+    let base = env_millis("BPMAX_COORD_BACKOFF_MS").unwrap_or(copts.backoff);
+    let cap = env_millis("BPMAX_COORD_BACKOFF_CAP_MS").unwrap_or(copts.backoff_cap);
+    copts = copts.backoff(base, cap.max(base));
+    if let Some(hb) = env_millis("BPMAX_COORD_HEARTBEAT_MS") {
+        copts = copts.heartbeat_timeout(hb);
+    }
+    if let Some(d) = env_millis("BPMAX_COORD_DEADLINE_MS") {
+        copts = copts.worker_deadline(d);
+    }
+
+    // each worker gets its share of the thread budget (the fingerprint
+    // excludes threads, so per-worker counts never invalidate the ledger)
+    let total_threads = opts.threads;
+    let per_worker = (total_threads / n.max(1)).max(1);
+    let mut wargs = vec!["scan".to_string()];
+    let mut skip_value = false;
+    for a in raw {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        match a.as_str() {
+            "--workers" | "--checkpoint-dir" | "--threads" => skip_value = true,
+            "--resume" => {}
+            _ => wargs.push(a.clone()),
+        }
+    }
+    wargs.push("--threads".to_string());
+    wargs.push(per_worker.to_string());
+    let program = std::env::current_exe().map_err(|e| {
+        CliError::BpMax(BpMaxError::Coordinator {
+            detail: format!("resolving the worker binary path: {e}"),
+        })
+    })?;
+    let cmd = bpmax::WorkerCommand {
+        program,
+        args: wargs,
+    };
+
+    let (dir, ephemeral) = match &sup.checkpoint_dir {
+        Some(dir) => (dir.clone(), false),
+        None => (
+            std::env::temp_dir().join(format!("bpmax-coord-{}", std::process::id())),
+            true,
+        ),
+    };
+    let result = coordinator::run(problems, &opts, &copts, &cmd, &dir);
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let creport = result?;
+
+    let mut note = format!(
+        "coordinator: {} workers, {} respawns, {} stolen, {} poisoned",
+        creport.workers,
+        creport.respawns.len(),
+        creport.stolen,
+        creport.poisoned
+    );
+    if !creport.respawns.is_empty() {
+        let delays: Vec<String> = creport
+            .respawns
+            .iter()
+            .map(|r| format!("{}ms", r.delay.as_millis()))
+            .collect();
+        let _ = write!(note, ", backoff [{}]", delays.join(", "));
+    }
+    Ok((creport.report, note))
 }
 
 /// `serve`: run the resident solve daemon until a client sends
@@ -563,6 +719,13 @@ fn cmd_serve(mut args: Vec<String>) -> Result<String, CliError> {
         .transpose()?;
     let max_predicted_s = take_seconds(&mut args, "--max-seconds")?;
     let cache_dir = take_opt(&mut args, "--cache-dir")?.map(PathBuf::from);
+    let cache_mem_budget = take_opt(&mut args, "--cache-mem")?
+        .map(|v| parse_bytes(&v))
+        .transpose()?;
+    let read_timeout = take_seconds(&mut args, "--read-timeout")?
+        .map(std::time::Duration::try_from_secs_f64)
+        .transpose()
+        .map_err(|e| usage(format!("--read-timeout: {e}")))?;
     if !args.is_empty() {
         return Err(usage(format!("serve: unexpected arguments {args:?}")));
     }
@@ -572,18 +735,22 @@ fn cmd_serve(mut args: Vec<String>) -> Result<String, CliError> {
         mem_budget,
         max_predicted_s,
         cache_dir,
+        cache_mem_budget,
+        read_timeout,
     })?;
     eprintln!("bpmax-serve: listening on {}", socket.display());
     server.run()?;
     let stats = server.stats();
     Ok(format!(
         "bpmax-serve on {} shut down cleanly: {} requests, {} solves, \
-         {} cache hits, {} rejected",
+         {} cache hits, {} rejected, {} evicted, {} timed out",
         socket.display(),
         stats.requests,
         stats.solves,
         stats.cache_hits,
-        stats.rejects
+        stats.rejects,
+        stats.evictions,
+        stats.timeouts
     ))
 }
 
@@ -658,11 +825,14 @@ fn cmd_client(mut args: Vec<String>) -> Result<String, CliError> {
             let stats = Client::connect(&socket)?.stats()?;
             Ok(format!(
                 "requests: {}\ncache hits: {}\nsolves: {}\nrejected: {}\n\
+                 cache evictions: {}\nread timeouts: {}\n\
                  pool blocks: {} allocated, {} reused, {} recycled, {} quarantined",
                 stats.requests,
                 stats.cache_hits,
                 stats.solves,
                 stats.rejects,
+                stats.evictions,
+                stats.timeouts,
                 stats.pool.allocated,
                 stats.pool.reused,
                 stats.pool.recycled,
@@ -1199,14 +1369,28 @@ mod tests {
             &["scan", "GGG", "CCC", "--checkpoint-dir", "/tmp/x"],
             &["scan", "GGG", "CCC", "--resume"],
             &["scan", "GGG", "CCC", "--simd"],
+            &["scan", "GGG", "CCC", "--workers", "2"],
             // pair-wise constraints
             &["scan", "GGG", "CCC", "--batch", "--resume"],
             &["scan", "GGG", "CCC", "--batch", "--simd", "--no-simd"],
+            &[
+                "scan",
+                "GGG",
+                "CCC",
+                "--batch",
+                "--workers",
+                "2",
+                "--checkpoint-dir",
+                "/tmp/x",
+                "--resume",
+            ],
             // bad values (batch table parses them centrally)
             &["scan", "GGG", "CCC", "--batch", "--threads", "0"],
             &["scan", "GGG", "CCC", "--batch", "--threads", "many"],
             &["scan", "GGG", "CCC", "--batch", "--deadline", "0"],
             &["scan", "GGG", "CCC", "--batch", "--mem-budget", "lots"],
+            &["scan", "GGG", "CCC", "--batch", "--workers", "0"],
+            &["scan", "GGG", "CCC", "--batch", "--workers", "many"],
             // serve misuse (validated before binding anything)
             &["serve"],
             &["serve", "--socket"],

@@ -24,22 +24,48 @@ mod commands;
 
 use std::process::ExitCode;
 
-/// Test-only hook (the `fault-inject` feature): `BPMAX_FAULT_SLOW_MS=N`
-/// arms an artificial N ms delay at every supervision checkpoint of
-/// every batch problem, so the crash-recovery integration test can
-/// SIGKILL this process reliably mid-wave. Production builds compile
-/// this to nothing.
+/// Test-only hooks (the `fault-inject` feature). Production builds
+/// compile this to nothing.
+///
+/// * `BPMAX_FAULT_SLOW_MS=N` arms an artificial N ms delay at every
+///   supervision checkpoint of every batch problem, so the
+///   crash-recovery integration tests can SIGKILL this process reliably
+///   mid-wave.
+/// * `BPMAX_FAULT_SPAWN_FAIL=i,j,…` fails the coordinator's i-th/j-th
+///   worker spawn attempts (`coordinator.spawn` site), exercising the
+///   backoff + slot-retirement path without a real exec failure.
+/// * `BPMAX_FAULT_HEARTBEAT_DROP=i,j,…` makes the coordinator's
+///   i-th/j-th heartbeat checks see a stale worker
+///   (`coordinator.heartbeat` site), forcing deterministic
+///   kill-and-respawn of a healthy process.
 #[cfg(feature = "fault-inject")]
 fn arm_faults_from_env() {
     use bpmax::supervise::fault::{self, Fault, FaultPlan};
+    let indices = |name: &str| -> Vec<usize> {
+        std::env::var(name)
+            .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+            .unwrap_or_default()
+    };
+    let mut plan = FaultPlan::new();
+    let mut armed = false;
     if let Some(millis) = std::env::var("BPMAX_FAULT_SLOW_MS")
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
     {
-        let mut plan = FaultPlan::new();
         for index in 0..512 {
             plan = plan.fail(fault::SITE_SLOW, index, Fault::Slow { millis });
         }
+        armed = true;
+    }
+    for index in indices("BPMAX_FAULT_SPAWN_FAIL") {
+        plan = plan.fail(fault::SITE_SPAWN, index, Fault::Panic);
+        armed = true;
+    }
+    for index in indices("BPMAX_FAULT_HEARTBEAT_DROP") {
+        plan = plan.fail(fault::SITE_HEARTBEAT, index, Fault::Panic);
+        armed = true;
+    }
+    if armed {
         fault::arm(plan);
     }
 }

@@ -50,6 +50,7 @@
 //! | [`batch`] | the pooled batch engine: arena-recycled tables + adaptive scheduling |
 //! | [`supervise`] | cancellation, deadlines, memory budgets, outcomes, fault injection |
 //! | [`checkpoint`] | crash-safe batch journaling + integrity-verified table snapshots |
+//! | [`coordinator`] | multi-process shard coordinator: work ledger, worker supervision, crash-tolerant merge |
 //! | [`serve`] | the resident solve daemon: wire protocol, admission control, content-addressed result cache |
 //! | [`error`] | [`BpMaxError`], the error type of every fallible entry point |
 //!
@@ -68,6 +69,7 @@ pub mod baseline;
 pub mod batch;
 pub mod bounds;
 pub mod checkpoint;
+pub mod coordinator;
 pub mod engine;
 pub mod error;
 pub mod ftable;
@@ -84,6 +86,7 @@ pub mod windowed;
 
 pub use batch::{BatchEngine, BatchItem, BatchOptions, BatchReport, Policy};
 pub use checkpoint::{CheckpointSink, JournalRecord, RunManifest, TableSnapshot};
+pub use coordinator::{CoordinatorOptions, CoordinatorReport, WorkerCommand};
 pub use engine::{
     Algorithm, BpMaxProblem, ComputeProfile, Solution, SolveOptions, SupervisedSolve,
 };

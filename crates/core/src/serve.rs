@@ -17,7 +17,10 @@
 //! bad magic, wrong version, torn or oversized frame, CRC mismatch, a
 //! payload that does not decode — is a typed [`BpMaxError::Protocol`],
 //! never a panic; the server answers [`Response::Error`] where it can
-//! still frame a reply and drops the connection where it cannot.
+//! still frame a reply and drops the connection where it cannot. A
+//! configurable per-connection read timeout gives silent peers the same
+//! treatment: a typed error reply (best-effort) and a hang-up, so a
+//! stalled client can never pin a handler thread forever.
 //!
 //! # Admission and degradation
 //!
@@ -42,9 +45,12 @@
 //! every program version is bit-identical at any thread count, so a warm
 //! hit is valid across machine shapes. A warm hit skips the solver
 //! entirely (the pool stats prove zero block acquisitions) and returns
-//! the bit-exact cold score. The on-disk tier (one CRC-framed file per
-//! key under the cache dir) survives daemon restarts; a corrupt entry is
-//! detected and treated as a miss, never replayed.
+//! the bit-exact cold score. The in-memory tier holds a configurable
+//! byte budget; over-budget entries are evicted least-recently-used
+//! first and spill to the on-disk tier, so eviction changes where an
+//! answer lives, never its bits. The on-disk tier (one CRC-framed file
+//! per key under the cache dir) survives daemon restarts; a corrupt
+//! entry is detected and treated as a miss, never replayed.
 
 use crate::batch::{BatchEngine, BatchOptions};
 use crate::checkpoint::{
@@ -64,12 +70,15 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Magic bytes opening every serve-wire message and cache file.
 pub const MAGIC: &[u8; 8] = b"BPMXSERV";
 
 /// Wire format version; a mismatch is a typed rejection, not a guess.
-pub const VERSION: u32 = 1;
+/// v2 widened the stats reply with the cache-eviction and read-timeout
+/// counters.
+pub const VERSION: u32 = 2;
 
 /// Ceiling on a single frame's payload: no request needs more, and the
 /// reader must never let a corrupted length field drive allocation.
@@ -228,6 +237,12 @@ pub struct ServerStats {
     pub solves: u64,
     /// Solve requests refused admission.
     pub rejects: u64,
+    /// Entries evicted from the in-memory cache tier to fit its byte
+    /// budget (each spilled to the disk tier when one is configured).
+    pub evictions: u64,
+    /// Connections dropped because the peer stayed silent past the
+    /// per-connection read timeout.
+    pub timeouts: u64,
     /// The resident [`crate::ftable::BlockPool`]'s counters.
     pub pool: PoolStats,
 }
@@ -539,6 +554,8 @@ fn put_stats(buf: &mut Vec<u8>, stats: &ServerStats) {
     put_u64(buf, stats.cache_hits);
     put_u64(buf, stats.solves);
     put_u64(buf, stats.rejects);
+    put_u64(buf, stats.evictions);
+    put_u64(buf, stats.timeouts);
     put_u64(buf, stats.pool.allocated);
     put_u64(buf, stats.pool.reused);
     put_u64(buf, stats.pool.recycled);
@@ -551,6 +568,8 @@ fn take_stats(cur: &mut Cursor<'_>) -> Result<ServerStats, BpMaxError> {
         cache_hits: cur.u64("stats cache hits")?,
         solves: cur.u64("stats solves")?,
         rejects: cur.u64("stats rejects")?,
+        evictions: cur.u64("stats evictions")?,
+        timeouts: cur.u64("stats timeouts")?,
         pool: PoolStats {
             allocated: cur.u64("stats pool allocated")?,
             reused: cur.u64("stats pool reused")?,
@@ -692,6 +711,17 @@ fn fill(stream: &mut impl Read, buf: &mut [u8], already: usize) -> Result<usize,
             Ok(0) => return Ok(filled),
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // A read timeout keeps its own marker ("socket read timed
+            // out") — `read_timed_out` below is the other half of that
+            // contract.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(protocol(format!("socket read timed out: {e}")))
+            }
             Err(e) => return Err(protocol(format!("socket read: {e}"))),
         }
     }
@@ -729,6 +759,13 @@ pub fn read_message(stream: &mut impl Read) -> Result<Option<Vec<u8>>, BpMaxErro
         )));
     }
     Ok(Some(msg))
+}
+
+/// True when a read error came from the socket's configured read
+/// timeout rather than a malformed or torn message — the marker string
+/// is [`fill`]'s contract with the server's connection loop.
+fn read_timed_out(e: &BpMaxError) -> bool {
+    matches!(e, BpMaxError::Protocol { detail } if detail.starts_with("socket read timed out"))
 }
 
 fn write_message(stream: &mut impl Write, bytes: &[u8]) -> Result<(), BpMaxError> {
@@ -798,17 +835,78 @@ fn decode_cache_entry(bytes: &[u8], path: &Path) -> Result<(u64, u64, CachedResu
     Ok((pid, fp, CachedResult { score, outcome }))
 }
 
-/// Content-addressed result store: an in-memory map in front of an
-/// optional on-disk tier (one atomic CRC-framed file per key, named
-/// `<problem-id>-<fingerprint>.bin`). Corrupt or mismatched disk entries
-/// are misses, never answers.
+/// Approximate resident cost of one in-memory cache entry: the 16-byte
+/// key, the value, and hash-map slot overhead. The budget arithmetic
+/// only needs to be consistent across entries, not exact.
+const MEM_ENTRY_BYTES: u64 = 64;
+
+/// The in-memory cache tier: a map with a per-entry last-use stamp, so a
+/// byte budget can evict least-recently-used first. Scores never leave
+/// the process through this type — eviction changes *where* an answer
+/// lives (memory vs disk), never its bits.
+struct MemTier {
+    map: HashMap<(u64, u64), (CachedResult, u64)>,
+    /// Monotonic use counter; larger stamp = more recently touched.
+    clock: u64,
+    /// Byte budget over `len() * MEM_ENTRY_BYTES`; `None` is unbounded.
+    budget: Option<u64>,
+}
+
+impl MemTier {
+    fn stamp(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn get(&mut self, key: (u64, u64)) -> Option<CachedResult> {
+        let now = self.stamp();
+        let (r, at) = self.map.get_mut(&key)?;
+        *at = now;
+        Some(*r)
+    }
+
+    /// Insert `key`, then shed least-recently-used entries until the
+    /// tier fits its budget again. Returns the shed entries so the
+    /// caller can spill them to the disk tier.
+    fn insert(&mut self, key: (u64, u64), r: CachedResult) -> Vec<((u64, u64), CachedResult)> {
+        let now = self.stamp();
+        self.map.insert(key, (r, now));
+        let Some(budget) = self.budget else {
+            return Vec::new();
+        };
+        // Never evict below one entry: the freshly inserted result must
+        // survive long enough to answer an immediate re-ask.
+        let cap = usize::try_from((budget / MEM_ENTRY_BYTES).max(1)).unwrap_or(usize::MAX);
+        let mut shed = Vec::new();
+        while self.map.len() > cap {
+            // O(n) scan per eviction is fine: the budget keeps this map
+            // small by construction.
+            let lru = self.map.iter().min_by_key(|(_, (_, at))| *at);
+            // lint: allow(unwrap): len > cap >= 1, so the map is non-empty
+            let oldest = *lru.map(|(k, _)| k).unwrap();
+            // lint: allow(unwrap): `oldest` was just read out of the map
+            let (r, _) = self.map.remove(&oldest).unwrap();
+            shed.push((oldest, r));
+        }
+        shed
+    }
+}
+
+/// Content-addressed result store: a byte-budgeted LRU in-memory tier in
+/// front of an optional on-disk tier (one atomic CRC-framed file per
+/// key, named `<problem-id>-<fingerprint>.bin`). Entries evicted from
+/// memory spill to disk, so a warm hit stays warm — it just pays one
+/// file read — and stays bit-identical, because the disk codec
+/// round-trips scores exactly. Corrupt or mismatched disk entries are
+/// misses, never answers.
 struct ResultCache {
-    mem: Mutex<HashMap<(u64, u64), CachedResult>>,
+    mem: Mutex<MemTier>,
     dir: Option<PathBuf>,
+    evictions: AtomicU64,
 }
 
 impl ResultCache {
-    fn new(dir: Option<PathBuf>) -> Result<ResultCache, BpMaxError> {
+    fn new(dir: Option<PathBuf>, mem_budget: Option<u64>) -> Result<ResultCache, BpMaxError> {
         if let Some(dir) = &dir {
             std::fs::create_dir_all(dir).map_err(|e| BpMaxError::CheckpointIo {
                 path: dir.display().to_string(),
@@ -816,8 +914,13 @@ impl ResultCache {
             })?;
         }
         Ok(ResultCache {
-            mem: Mutex::new(HashMap::new()),
+            mem: Mutex::new(MemTier {
+                map: HashMap::new(),
+                clock: 0,
+                budget: mem_budget,
+            }),
             dir,
+            evictions: AtomicU64::new(0),
         })
     }
 
@@ -825,19 +928,45 @@ impl ResultCache {
         dir.join(format!("{pid:016x}-{fp:016x}.bin"))
     }
 
+    /// Entries evicted from the in-memory tier so far.
+    fn evictions(&self) -> u64 {
+        // ordering: report-only counter
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Spill entries shed by the in-memory tier to the disk tier.
+    /// Usually a no-op rewrite of identical bytes (every put already
+    /// wrote through), but it re-covers an entry whose put-time write
+    /// failed on a then-full disk.
+    fn spill(&self, shed: Vec<((u64, u64), CachedResult)>) {
+        for ((pid, fp), r) in shed {
+            // ordering: monotonic counter
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if let Some(dir) = &self.dir {
+                let _ = write_atomic(
+                    &Self::entry_path(dir, pid, fp),
+                    &encode_cache_entry(pid, fp, r),
+                );
+            }
+        }
+    }
+
     fn get(&self, pid: u64, fp: u64) -> Option<CachedResult> {
         // lint: allow(unwrap): a poisoned cache mutex means a panicking
         // handler thread already tore the process invariants down
-        if let Some(hit) = self.mem.lock().unwrap().get(&(pid, fp)) {
-            return Some(*hit);
+        if let Some(hit) = self.mem.lock().unwrap().get((pid, fp)) {
+            return Some(hit);
         }
         let dir = self.dir.as_deref()?;
         let path = Self::entry_path(dir, pid, fp);
         let bytes = read_file(&path).ok()?;
         match decode_cache_entry(&bytes, &path) {
             Ok((got_pid, got_fp, r)) if got_pid == pid && got_fp == fp => {
+                // Promote back into memory; promoting may itself evict
+                // colder entries.
                 // lint: allow(unwrap): see above
-                self.mem.lock().unwrap().insert((pid, fp), r);
+                let shed = self.mem.lock().unwrap().insert((pid, fp), r);
+                self.spill(shed);
                 Some(r)
             }
             // Corrupt or mismatched: a miss. Remove so the re-solve can
@@ -851,7 +980,8 @@ impl ResultCache {
 
     fn put(&self, pid: u64, fp: u64, r: CachedResult) {
         // lint: allow(unwrap): see get()
-        self.mem.lock().unwrap().insert((pid, fp), r);
+        let shed = self.mem.lock().unwrap().insert((pid, fp), r);
+        self.spill(shed);
         if let Some(dir) = &self.dir {
             // Disk persistence is best-effort: a full disk degrades the
             // cache to memory-only, it does not fail the solve.
@@ -884,6 +1014,14 @@ pub struct ServerConfig {
     /// Directory for the on-disk result-cache tier; `None` keeps the
     /// cache memory-only.
     pub cache_dir: Option<PathBuf>,
+    /// Byte budget for the in-memory result-cache tier; over-budget
+    /// entries are evicted least-recently-used first and spilled to the
+    /// disk tier. `None` keeps every entry resident.
+    pub cache_mem_budget: Option<u64>,
+    /// Per-connection read timeout: a peer silent this long mid-message
+    /// gets a typed protocol error and the connection is dropped.
+    /// `None` waits forever.
+    pub read_timeout: Option<Duration>,
 }
 
 /// The resident solve daemon: one warm [`BatchEngine`] (hot block-pool
@@ -897,6 +1035,7 @@ pub struct Server {
     cache_hits: AtomicU64,
     solves: AtomicU64,
     rejects: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 impl Server {
@@ -907,7 +1046,7 @@ impl Server {
             bopts = bopts.threads(threads);
         }
         let engine = BatchEngine::new(bopts)?;
-        let cache = ResultCache::new(cfg.cache_dir.clone())?;
+        let cache = ResultCache::new(cfg.cache_dir.clone(), cfg.cache_mem_budget)?;
         Ok(Server {
             cfg,
             engine,
@@ -917,6 +1056,7 @@ impl Server {
             cache_hits: AtomicU64::new(0),
             solves: AtomicU64::new(0),
             rejects: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
         })
     }
 
@@ -932,6 +1072,8 @@ impl Server {
             cache_hits: self.cache_hits.load(Ordering::Relaxed), // ordering: report-only counter
             solves: self.solves.load(Ordering::Relaxed),     // ordering: report-only counter
             rejects: self.rejects.load(Ordering::Relaxed),   // ordering: report-only counter
+            evictions: self.cache.evictions(),
+            timeouts: self.timeouts.load(Ordering::Relaxed), // ordering: report-only counter
             pool: self.engine.pool_stats(),
         }
     }
@@ -1047,11 +1189,31 @@ impl Server {
     }
 
     fn serve_connection(&self, mut stream: UnixStream) {
+        // Per-connection read deadline: a peer that connects and then
+        // goes silent must not pin a handler thread forever.
+        if let Some(limit) = self.cfg.read_timeout {
+            let _ = stream.set_read_timeout(Some(limit));
+        }
         loop {
-            // A clean goodbye, or a peer that vanished mid-message:
-            // either way this conversation is over.
-            let Ok(Some(msg)) = read_message(&mut stream) else {
-                return;
+            let msg = match read_message(&mut stream) {
+                Ok(Some(msg)) => msg,
+                // A clean goodbye (EOF on a message boundary).
+                Ok(None) => return,
+                Err(e) => {
+                    if read_timed_out(&e) {
+                        // ordering: monotonic counter
+                        self.timeouts.fetch_add(1, Ordering::Relaxed);
+                        // Best-effort: tell the peer why before hanging
+                        // up — it may still be listening.
+                        let resp = Response::Error {
+                            detail: e.to_string(),
+                        };
+                        let _ = write_message(&mut stream, &encode_response(&resp));
+                    }
+                    // Timed out, vanished mid-message, or sent garbage
+                    // framing: the conversation is over either way.
+                    return;
+                }
             };
             let resp = match decode_request(&msg) {
                 Ok(req) => self.handle(&req),
@@ -1227,6 +1389,8 @@ mod tests {
                 cache_hits: 3,
                 solves: 6,
                 rejects: 1,
+                evictions: 5,
+                timeouts: 2,
                 pool: PoolStats {
                     allocated: 4,
                     reused: 9,
@@ -1336,6 +1500,142 @@ mod tests {
             } => assert_eq!(score.to_bits(), first.to_bits()),
             other => panic!("degraded warm: {other:?}"),
         }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed); // ordering: unique-suffix counter only; nothing is published
+        let p =
+            std::env::temp_dir().join(format!("bpmax-serve-test-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    /// Three problems with distinct content-ids, so each occupies its
+    /// own cache slot.
+    fn distinct_requests() -> [SolveRequest; 3] {
+        ["GGGAAACCC", "GGAUCC", "GCAUGC"].map(|s| {
+            SolveRequest::new(
+                s.parse().unwrap(),
+                "UUUGG".parse().unwrap(),
+                ScoringModel::bpmax_default(),
+            )
+        })
+    }
+
+    #[test]
+    fn mem_budget_evicts_lru_and_disk_spill_keeps_hits_bit_identical() {
+        let dir = tmpdir("lru-spill");
+        // MEM_ENTRY_BYTES budget => the mem tier holds exactly one entry.
+        let server = Server::new(ServerConfig {
+            cache_dir: Some(dir.clone()),
+            cache_mem_budget: Some(MEM_ENTRY_BYTES),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let [a, b, _] = distinct_requests();
+
+        let score_of = |resp: Response| match resp {
+            Response::Solved {
+                score, cache_hit, ..
+            } => (score, cache_hit),
+            other => panic!("{other:?}"),
+        };
+
+        let (cold_a, _) = score_of(server.handle(&Request::Solve(a.clone())));
+        // Solving B evicts A from the one-entry mem tier.
+        score_of(server.handle(&Request::Solve(b)));
+        assert!(server.stats().evictions >= 1, "{:?}", server.stats());
+
+        // A is gone from memory but spilled/written to disk: still a
+        // cache hit (no solver run), still the exact same bits.
+        let before = server.stats();
+        let (warm_a, hit) = score_of(server.handle(&Request::Solve(a)));
+        assert!(hit, "expected a disk-tier hit");
+        assert_eq!(warm_a.to_bits(), cold_a.to_bits());
+        assert_eq!(server.stats().solves, before.solves);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_only_eviction_is_a_miss_that_resolves_to_the_same_bits() {
+        // No disk tier: eviction genuinely forgets, and the re-solve
+        // must reproduce the identical score.
+        let server = Server::new(ServerConfig {
+            cache_mem_budget: Some(MEM_ENTRY_BYTES),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let [a, b, c] = distinct_requests();
+        let cold_a = match server.handle(&Request::Solve(a.clone())) {
+            Response::Solved { score, .. } => score,
+            other => panic!("{other:?}"),
+        };
+        server.handle(&Request::Solve(b));
+        server.handle(&Request::Solve(c));
+        assert!(server.stats().evictions >= 2);
+        match server.handle(&Request::Solve(a)) {
+            Response::Solved {
+                score,
+                cache_hit: false,
+                ..
+            } => assert_eq!(score.to_bits(), cold_a.to_bits()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbudgeted_cache_never_evicts() {
+        let server = Server::new(ServerConfig::default()).unwrap();
+        for req in distinct_requests() {
+            server.handle(&Request::Solve(req));
+        }
+        assert_eq!(server.stats().evictions, 0);
+    }
+
+    #[test]
+    fn silent_peer_times_out_with_a_typed_error_reply() {
+        let server = Server::new(ServerConfig {
+            read_timeout: Some(Duration::from_millis(40)),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let (mut ours, theirs) = UnixStream::pair().unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(|| server.serve_connection(theirs));
+            // Say nothing. The server must give up on its own and send
+            // a typed protocol error before hanging up.
+            let msg = read_message(&mut ours).unwrap().expect("an error reply");
+            match decode_response(&msg).unwrap() {
+                Response::Error { detail } => {
+                    assert!(detail.contains("timed out"), "{detail}");
+                }
+                other => panic!("{other:?}"),
+            }
+            // Then EOF: the connection is closed, not half-open.
+            assert!(matches!(read_message(&mut ours), Ok(None)));
+        });
+        assert_eq!(server.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn responsive_peer_is_not_timed_out() {
+        let server = Server::new(ServerConfig {
+            read_timeout: Some(Duration::from_millis(500)),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let (mut ours, theirs) = UnixStream::pair().unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(|| server.serve_connection(theirs));
+            write_message(&mut ours, &encode_request(&Request::Stats)).unwrap();
+            let msg = read_message(&mut ours).unwrap().unwrap();
+            assert!(matches!(decode_response(&msg).unwrap(), Response::Stats(_)));
+            drop(ours); // clean goodbye unblocks the handler
+        });
+        assert_eq!(server.stats().timeouts, 0);
     }
 
     #[test]

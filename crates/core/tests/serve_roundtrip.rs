@@ -111,18 +111,22 @@ fn response() -> impl Strategy<Value = Response> {
             RejectReason::PredictedTime { predicted_s, cap_s }
         )),
         detail.prop_map(|detail| Response::Error { detail }),
-        proptest::collection::vec(any::<u64>(), 8..=8).prop_map(|v| Response::Stats(ServerStats {
-            requests: v[0],
-            cache_hits: v[1],
-            solves: v[2],
-            rejects: v[3],
-            pool: PoolStats {
-                allocated: v[4],
-                reused: v[5],
-                recycled: v[6],
-                quarantined: v[7],
-            },
-        })),
+        proptest::collection::vec(any::<u64>(), 10..=10).prop_map(|v| Response::Stats(
+            ServerStats {
+                requests: v[0],
+                cache_hits: v[1],
+                solves: v[2],
+                rejects: v[3],
+                evictions: v[4],
+                timeouts: v[5],
+                pool: PoolStats {
+                    allocated: v[6],
+                    reused: v[7],
+                    recycled: v[8],
+                    quarantined: v[9],
+                },
+            }
+        )),
         Just(Response::ShuttingDown),
     ]
 }
@@ -194,6 +198,8 @@ fn every_byte_flip_is_rejected() {
         cache_hits: 2,
         solves: 4,
         rejects: 1,
+        evictions: 3,
+        timeouts: 1,
         pool: PoolStats::default(),
     });
     let wire = encode_response(&resp);
