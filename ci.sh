@@ -145,6 +145,73 @@ wait "$SERVE_PID"
 rm -rf "$SERVE_DIR"
 echo "-- serve smoke: cold solve, warm hit, typed reject, clean shutdown"
 
+echo "== serve overload + drain (fault-inject build) =="
+# The deterministic slot-hold fault (BPMAX_FAULT_SERVE_HOLD_MS) makes
+# every admitted solve occupy its in-flight slot for a fixed window, so
+# a 1-slot, 0-queue daemon can be saturated by script: a second request
+# must be *shed* with the typed overloaded rejection (exit 2, not a
+# hang), a retrying client must ride the backoff to a real answer, and
+# a shutdown landing mid-solve must drain — refusing new solves (exit 1)
+# while the in-flight one still completes and the daemon exits 0.
+cargo build -p bpmax-cli --features fault-inject --offline -q
+BPMAXF="./target/debug/bpmax-cli"
+OVER_DIR="$(mktemp -d)"
+OVER_SOCK="$OVER_DIR/bpmax.sock"
+BPMAX_FAULT_SERVE_HOLD_MS=1500 "$BPMAXF" serve --socket "$OVER_SOCK" \
+    --max-inflight 1 --queue-depth 0 --queue-wait 0.2 > "$OVER_DIR/serve.out" &
+OVER_PID=$!
+for _ in $(seq 1 200); do
+    [ -S "$OVER_SOCK" ] && break
+    sleep 0.05
+done
+# client A occupies the single slot for the injected 1.5 s hold...
+"$BPMAXF" client --socket "$OVER_SOCK" solve GGGAAACCC UUUGG > "$OVER_DIR/a.out" &
+A_PID=$!
+sleep 0.4
+# ...so client B is shed: typed overloaded rejection, exit 2, instantly
+shed_rc=0
+"$BPMAXF" client --socket "$OVER_SOCK" solve GGCAUUCC AUGGCAU \
+    2> "$OVER_DIR/b.err" > /dev/null || shed_rc=$?
+if [ "$shed_rc" -ne 2 ] || ! grep -q "overloaded" "$OVER_DIR/b.err"; then
+    echo "ci.sh: shed solve exited $shed_rc, want typed overload (2):" >&2
+    cat "$OVER_DIR/b.err" >&2
+    kill "$OVER_PID" 2> /dev/null || true
+    exit 1
+fi
+# a retrying client backs off past the hold and gets a real answer
+"$BPMAXF" client --socket "$OVER_SOCK" solve GGCAUUCC AUGGCAU --retries 8 \
+    | grep -q "^score:"
+wait "$A_PID"
+grep -q "^score: 15" "$OVER_DIR/a.out"
+# drain: a shutdown landing while a solve is in flight...
+"$BPMAXF" client --socket "$OVER_SOCK" solve GCGCGC GCGC > "$OVER_DIR/c.out" &
+C_PID=$!
+sleep 0.4
+"$BPMAXF" client --socket "$OVER_SOCK" shutdown > /dev/null
+# ...refuses new solves with the typed drain error (exit 1, not 2)
+drain_rc=0
+"$BPMAXF" client --socket "$OVER_SOCK" solve AAAA UUUU \
+    2> "$OVER_DIR/d.err" > /dev/null || drain_rc=$?
+if [ "$drain_rc" -ne 1 ] || ! grep -q "draining" "$OVER_DIR/d.err"; then
+    echo "ci.sh: solve during drain exited $drain_rc, want drain refusal (1):" >&2
+    cat "$OVER_DIR/d.err" >&2
+    kill "$OVER_PID" 2> /dev/null || true
+    exit 1
+fi
+# ...while the in-flight solve still completes with its answer
+wait "$C_PID"
+grep -q "^score:" "$OVER_DIR/c.out"
+# ...and the daemon itself exits 0 with the socket removed
+wait "$OVER_PID"
+if [ -S "$OVER_SOCK" ]; then
+    echo "ci.sh: drained daemon left its socket behind" >&2
+    exit 1
+fi
+grep -q "shut down cleanly" "$OVER_DIR/serve.out"
+grep -q "shed" "$OVER_DIR/serve.out"
+rm -rf "$OVER_DIR"
+echo "-- serve overload + drain: typed shed (2), retry recovery, drain refusal (1), clean exit"
+
 # One cargo-feature combination across the three feature-bearing crates.
 # tropical only has `simd`, so its feature list is the intersection.
 run_feature_combo() {
@@ -279,6 +346,7 @@ run_smoke() {
     ./target/release/bench_batch_throughput --smoke --sizes 8,12 --reps 5 --json-dir "$out" > /dev/null
     ./target/release/bench_simd_kernel     --smoke --sizes 12,16 --reps 5 --json-dir "$out" > /dev/null
     ./target/release/bench_serve           --smoke --sizes 16,20 --reps 5 --json-dir "$out" > /dev/null
+    ./target/release/bench_serve_load      --smoke --sizes 12,16 --reps 3 --json-dir "$out" > /dev/null
     ./target/release/bench_coordinator     --smoke --sizes 12,16 --reps 3 --json-dir "$out" > /dev/null
 }
 

@@ -1,0 +1,310 @@
+//! Solve-daemon saturation: aggregate throughput under concurrent
+//! clients, and overload behaviour at a deliberately tiny capacity.
+//!
+//! Three measured phases against an in-process [`Server`] on a real
+//! Unix socket:
+//!
+//! 1. **Serial baseline** — one persistent client solves a pass of
+//!    fresh problems back to back. This is the throughput of the
+//!    pre-concurrency daemon, which handled one connection at a time.
+//! 2. **Concurrent** — the same pass shape split across 4 client
+//!    threads. The daemon admits them in parallel (bounded only by its
+//!    in-flight ledger, unbounded here), so aggregate throughput should
+//!    beat the serial baseline wherever more than one core exists. The
+//!    headline ratio is asserted with a core-count-aware floor: >=2x
+//!    with 4+ cores, >=1.2x with 2-3, and a permissive sanity floor on
+//!    a single core, where concurrency can only add scheduling overhead.
+//!    Every concurrent score is asserted bit-identical to a direct
+//!    in-process solve — concurrency must change wall-clock, never bits.
+//! 3. **Overload** — a daemon squeezed to `max_inflight = 1` with no
+//!    queue, hammered by 4 clients using [`Client::solve_with_retry`].
+//!    Requests are shed with the typed overloaded rejection and the
+//!    clients' capped jittered backoff recovers every one of them:
+//!    all answers arrive, all bit-identical. Shedding plus retry must
+//!    degrade latency, never correctness.
+//!
+//! Cold timing note: the daemon memoizes every solve, so each timed
+//! repetition consumes a fresh slice of a pregenerated problem pool
+//! (cache hits would measure the cache, not the solver).
+
+use bench::report::Reporter;
+use bench::{banner, f2, model, time_stats, workload, Opts, Table};
+use bpmax::serve::{
+    Client, RejectReason, Response, RetryPolicy, Server, ServerConfig, SolveRequest,
+};
+use bpmax::{BpMaxProblem, SolveOptions};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 4;
+
+fn solved(resp: Response) -> f32 {
+    match resp {
+        Response::Solved { score, .. } => score,
+        other => panic!("expected Solved, got {other:?}"),
+    }
+}
+
+/// Start a daemon on its own thread and wait until the socket accepts.
+fn start(cfg: ServerConfig) -> (Arc<Server>, std::thread::JoinHandle<()>) {
+    let server = Arc::new(Server::new(cfg).expect("server"));
+    let runner = Arc::clone(&server);
+    let handle = std::thread::spawn(move || runner.run().expect("daemon"));
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Client::connect(&server.cfg().socket).is_err() {
+        assert!(Instant::now() < deadline, "daemon never came up");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    (server, handle)
+}
+
+/// Fresh, distinct problems: one per request of every timed repetition.
+fn pool(opts: &Opts, tag: u64, count: usize) -> Vec<SolveRequest> {
+    (0..count)
+        .map(|i| {
+            let m = opts.sizes[i % opts.sizes.len()];
+            let n = opts.sizes[(i / opts.sizes.len() + i) % opts.sizes.len()];
+            let (s1, s2) = workload(opts.seed ^ tag ^ (i as u64) << 32, m, n);
+            SolveRequest::new(s1, s2, model())
+        })
+        .collect()
+}
+
+/// Direct in-process reference solve — the bits the daemon must match.
+fn reference(req: &SolveRequest) -> f32 {
+    BpMaxProblem::new(req.seq1.clone(), req.seq2.clone(), req.model.clone())
+        .solve_opts(&SolveOptions::new())
+        .expect("direct solve")
+        .score()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let at = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[at]
+}
+
+fn main() {
+    let opts = Opts::parse(&[12, 16], &[CLIENTS]);
+    let mut rep = Reporter::new("bench_serve_load", &opts);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    banner(
+        "ServeLoad",
+        "daemon throughput under concurrent clients + overload shedding",
+        "concurrent aggregate throughput beats one-at-a-time serving",
+    );
+
+    let per_pass = if opts.smoke {
+        8
+    } else if opts.full {
+        48
+    } else {
+        24
+    };
+    let reps = opts.reps(5);
+    println!(
+        "\n{per_pass} requests per pass, {CLIENTS} clients in the concurrent phase, \
+         {cores} core(s), sizes cycled from {:?}",
+        opts.sizes
+    );
+
+    // ---- phase 1: serial baseline -------------------------------------
+    let serial_pool = pool(&opts, 0x5E71A1, per_pass * (reps + 1));
+    let dir = std::env::temp_dir().join(format!("bpmax-bench-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let (server, daemon) = start(ServerConfig {
+        socket: dir.join("serial.sock"),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&server.cfg().socket).expect("connect");
+    let next = AtomicUsize::new(0);
+    let serial_stats = time_stats(reps, || {
+        let at = next.fetch_add(per_pass, Ordering::Relaxed); // ordering: single-threaded cursor over the pool
+        serial_pool[at..at + per_pass]
+            .iter()
+            .map(|r| solved(client.solve(r).expect("serial solve")))
+            .sum::<f32>()
+    });
+    client.shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+    rep.measured("measured/serve-load-serial/t=1", serial_stats, None);
+    rep.annotate(&[
+        ("requests", per_pass as f64),
+        ("rps", per_pass as f64 / serial_stats.median_s),
+    ]);
+
+    // ---- phase 2: concurrent clients, same pass shape -----------------
+    let conc_pool = Arc::new(pool(&opts, 0xC0C0A, per_pass * (reps + 1)));
+    let (server, daemon) = start(ServerConfig {
+        socket: dir.join("concurrent.sock"),
+        ..ServerConfig::default()
+    });
+    let socket: Arc<PathBuf> = Arc::new(server.cfg().socket.clone());
+    // (pool index, score, seconds) per request; verified bit-identical
+    // against direct solves *after* the timed passes — the reference
+    // solver must not run inside the measurement.
+    let answers: Arc<Mutex<Vec<(usize, f32, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let pass = AtomicUsize::new(0);
+    let conc_stats = time_stats(reps, || {
+        let base = pass.fetch_add(per_pass, Ordering::Relaxed); // ordering: one cursor bump per timed pass
+        std::thread::scope(|scope| {
+            for c in 0..CLIENTS {
+                let (pool, socket, answers) = (&conc_pool, &socket, &answers);
+                scope.spawn(move || {
+                    let mut client = Client::connect(socket.as_path()).expect("connect");
+                    // client c takes every CLIENTS-th problem of the pass
+                    let mut got = Vec::new();
+                    for i in (c..per_pass).step_by(CLIENTS) {
+                        let req = &pool[base + i];
+                        let t0 = Instant::now();
+                        let score = solved(client.solve(req).expect("concurrent solve"));
+                        got.push((base + i, score, t0.elapsed().as_secs_f64()));
+                    }
+                    answers.lock().expect("answers lock").extend(got);
+                });
+            }
+        });
+    });
+    let conc_server_stats = server.stats();
+    for &(i, score, _) in answers.lock().expect("answers lock").iter() {
+        assert_eq!(
+            score.to_bits(),
+            reference(&conc_pool[i]).to_bits(),
+            "concurrent answer diverged from the lib"
+        );
+    }
+    Client::connect(socket.as_path())
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    daemon.join().expect("daemon thread");
+
+    let mut lat: Vec<f64> = answers
+        .lock()
+        .expect("answers lock")
+        .iter()
+        .map(|&(_, _, s)| s)
+        .collect();
+    lat.sort_by(f64::total_cmp);
+    let (p50_us, p99_us) = (1e6 * percentile(&lat, 0.50), 1e6 * percentile(&lat, 0.99));
+    let speedup = serial_stats.median_s / conc_stats.median_s;
+    rep.measured(
+        format!("measured/serve-load-concurrent/t={CLIENTS}"),
+        conc_stats,
+        None,
+    );
+    rep.annotate(&[
+        ("requests", per_pass as f64),
+        ("rps", per_pass as f64 / conc_stats.median_s),
+        ("speedup_vs_serial", speedup),
+        ("cores", cores as f64),
+        ("latency_p50_us", p50_us),
+        ("latency_p99_us", p99_us),
+        ("shed", conc_server_stats.shed as f64),
+    ]);
+    assert_eq!(
+        conc_server_stats.shed, 0,
+        "an unbounded ledger must not shed"
+    );
+
+    // ---- phase 3: overload — shed, retry, recover ---------------------
+    let over_pool = pool(&opts, 0x0BAD, CLIENTS * per_pass.min(8));
+    let each = over_pool.len() / CLIENTS;
+    let (server, daemon) = start(ServerConfig {
+        socket: dir.join("overload.sock"),
+        max_inflight: Some(1),
+        queue_depth: Some(0),
+        queue_wait: Some(Duration::from_millis(5)),
+        ..ServerConfig::default()
+    });
+    let socket: Arc<PathBuf> = Arc::new(server.cfg().socket.clone());
+    let over_pool = Arc::new(over_pool);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let (pool, socket) = (&over_pool, &socket);
+            scope.spawn(move || {
+                let policy = RetryPolicy {
+                    attempts: 16,
+                    base: Duration::from_millis(2),
+                    cap: Duration::from_millis(50),
+                    seed: 0xB0FF + c as u64,
+                };
+                for req in &pool[c * each..(c + 1) * each] {
+                    let resp = Client::solve_with_retry(socket.as_path(), req, policy)
+                        .expect("retry budget exhausted under overload");
+                    if let Response::Rejected(RejectReason::Overloaded { .. }) = resp {
+                        panic!("solve_with_retry returned a shed as Ok");
+                    }
+                    assert_eq!(
+                        solved(resp).to_bits(),
+                        reference(req).to_bits(),
+                        "retried answer diverged from the lib"
+                    );
+                }
+            });
+        }
+    });
+    let over_wall = t0.elapsed().as_secs_f64();
+    let over_server_stats = server.stats();
+    Client::connect(socket.as_path())
+        .expect("connect")
+        .shutdown()
+        .expect("shutdown");
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+    rep.annotate(&[
+        ("overload_requests", over_pool.len() as f64),
+        ("overload_wall_s", over_wall),
+        ("overload_shed", over_server_stats.shed as f64),
+    ]);
+    if cores >= 2 {
+        assert!(
+            over_server_stats.shed >= 1,
+            "4 clients against a 1-slot, 0-queue daemon must shed at least once"
+        );
+    }
+
+    // ---- verdict ------------------------------------------------------
+    let mut t = Table::new(&["phase", "median s / pass", "requests / s"]);
+    for (name, s) in [
+        ("serial (1 client)", serial_stats),
+        ("concurrent (4 clients)", conc_stats),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.6}", s.median_s),
+            f2(per_pass as f64 / s.median_s),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nconcurrent aggregate throughput: {speedup:.2}x the serial baseline \
+         on {cores} core(s); p50 {p50_us:.0} us, p99 {p99_us:.0} us per request; \
+         overload phase shed {} request(s), every one recovered by retry with \
+         bit-identical answers",
+        over_server_stats.shed
+    );
+    // The floor scales with what the machine can actually deliver: real
+    // parallel speedup needs real cores; on one core the assertion only
+    // guards against pathological serialization overhead.
+    let floor = if cores >= 4 {
+        2.0
+    } else if cores >= 2 {
+        1.2
+    } else {
+        0.6
+    };
+    assert!(
+        speedup >= floor,
+        "aggregate throughput at {CLIENTS} clients must be >={floor:.1}x the \
+         serial baseline on {cores} core(s), got {speedup:.2}x"
+    );
+    rep.finish();
+}

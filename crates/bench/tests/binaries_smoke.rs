@@ -20,6 +20,7 @@ fn carries_gflops(artifact: &str) -> bool {
             | "ablation_locality"
             | "ablation_sched_policy"
             | "bench_serve"
+            | "bench_serve_load"
     )
 }
 
@@ -230,6 +231,21 @@ fn bench_serve_warm_hits_beat_cold_solves() {
     assert!(out.contains("warm cache hit"), "{out}");
     assert!(out.contains("x faster than cold solve"), "{out}");
     assert!(out.contains("protocol floor"), "{out}");
+}
+
+#[test]
+fn bench_serve_load_concurrent_throughput_and_overload_recovery() {
+    let out = run(
+        env!("CARGO_BIN_EXE_bench_serve_load"),
+        "bench_serve_load",
+        &["--smoke", "--sizes", "10,12", "--reps", "3"],
+    );
+    // the binary itself asserts the core-gated throughput floor, the
+    // bit-identity of every concurrent and retried answer, and (with
+    // >=2 cores) that the starved overload daemon shed at least once
+    assert!(out.contains("concurrent aggregate throughput"), "{out}");
+    assert!(out.contains("recovered by retry"), "{out}");
+    assert!(out.contains("bit-identical answers"), "{out}");
 }
 
 #[test]

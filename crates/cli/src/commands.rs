@@ -9,7 +9,7 @@
 use bpmax::batch::{BatchEngine, BatchOptions};
 use bpmax::coordinator;
 use bpmax::kernels::{Ctx, Tile};
-use bpmax::serve::{Client, Response, Server, ServerConfig, SolveRequest};
+use bpmax::serve::{Client, Response, RetryPolicy, Server, ServerConfig, SolveRequest};
 use bpmax::windowed::scan_ranked;
 use bpmax::{Algorithm, BpMaxError, BpMaxProblem, ComputeProfile};
 use rna::nussinov::Nussinov;
@@ -27,11 +27,13 @@ pub(crate) const USAGE: &str = "usage:
                  [--checkpoint-dir DIR] [--resume] [--simd | --no-simd]
   bpmax-cli serve --socket PATH [--threads T] [--mem-budget BYTES]
                   [--max-seconds S] [--cache-dir DIR] [--cache-mem BYTES]
-                  [--read-timeout S]
+                  [--read-timeout S] [--max-inflight N] [--queue-depth N]
+                  [--queue-wait S] [--drain-timeout S]
   bpmax-cli client --socket PATH solve <seq1> <seq2>
                    [--alg base|permuted|coarse|fine|hybrid|hybrid-tiled]
                    [--min-loop K] [--simd | --no-simd]
                    [--mem-budget BYTES] [--degrade]
+                   [--deadline S] [--retries N]
   bpmax-cli client --socket PATH stats
   bpmax-cli client --socket PATH shutdown
   bpmax-cli info [M] [N]
@@ -82,11 +84,30 @@ over-budget entries are evicted least-recently-used first and spill to
 the --cache-dir tier, so warm answers stay bit-identical. --read-timeout
 drops connections whose peer stays silent that many seconds mid-message
 (fractional; a typed protocol error is sent first, best-effort).
+Connections are served concurrently; --max-inflight bounds how many
+solves execute at once (default: unbounded) and --queue-depth how many
+admitted requests may wait for a slot (default: unbounded). A request
+past both bounds is *shed* with a typed overloaded rejection carrying a
+retry-after hint — exit 2 at the client — instead of queueing without
+limit; --queue-wait caps how long a queued request waits for a slot
+(seconds, default 30). The server-side --mem-budget is aggregate: the
+predicted F-table bytes of every in-flight solve are summed against it,
+so concurrent requests that fit alone but not together queue instead of
+overcommitting memory. shutdown starts a graceful drain: new solves are
+refused (exit 1), in-flight solves finish (bounded by --drain-timeout
+seconds, default 10, then cancelled), the memory cache tier is flushed
+to --cache-dir, and the daemon exits 0.
 client sends one request: solve prints the score (and whether it was a
 cache hit), a rejected solve exits 2 with the reason, a server-side
 solve failure exits 1; stats prints the daemon's counters; shutdown
 stops it cleanly. --degrade lets an over-budget solve fall back to the
-banded lower bound instead of being rejected.
+banded lower bound instead of being rejected. --deadline bounds one
+solve end to end, queue wait included (seconds, fractional). --retries N
+retries a shed or torn solve up to N extra times with capped, jittered
+backoff that honours the server's retry-after hint; retrying is safe
+because results are content-addressed (a duplicate attempt at worst
+lands a warm cache hit). An exhausted retry budget exits 2 with the
+typed overloaded error.
 
 verify checks the paper's schedule tables against the BPMax dependence
 system: exhaustively at sizes M x N (any size; large sizes warn about
@@ -726,6 +747,28 @@ fn cmd_serve(mut args: Vec<String>) -> Result<String, CliError> {
         .map(std::time::Duration::try_from_secs_f64)
         .transpose()
         .map_err(|e| usage(format!("--read-timeout: {e}")))?;
+    let max_inflight = take_opt(&mut args, "--max-inflight")?
+        .map(|v| match v.parse::<u64>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(bad_arg(format!(
+                "bad --max-inflight {v:?} (count, must be >= 1)"
+            ))),
+        })
+        .transpose()?;
+    let queue_depth = take_opt(&mut args, "--queue-depth")?
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| bad_arg(format!("bad --queue-depth {v:?} (count, 0 disables)")))
+        })
+        .transpose()?;
+    let queue_wait = take_seconds(&mut args, "--queue-wait")?
+        .map(std::time::Duration::try_from_secs_f64)
+        .transpose()
+        .map_err(|e| usage(format!("--queue-wait: {e}")))?;
+    let drain_timeout = take_seconds(&mut args, "--drain-timeout")?
+        .map(std::time::Duration::try_from_secs_f64)
+        .transpose()
+        .map_err(|e| usage(format!("--drain-timeout: {e}")))?;
     if !args.is_empty() {
         return Err(usage(format!("serve: unexpected arguments {args:?}")));
     }
@@ -737,20 +780,28 @@ fn cmd_serve(mut args: Vec<String>) -> Result<String, CliError> {
         cache_dir,
         cache_mem_budget,
         read_timeout,
+        max_inflight,
+        queue_depth,
+        queue_wait,
+        drain_timeout,
     })?;
     eprintln!("bpmax-serve: listening on {}", socket.display());
     server.run()?;
     let stats = server.stats();
     Ok(format!(
         "bpmax-serve on {} shut down cleanly: {} requests, {} solves, \
-         {} cache hits, {} rejected, {} evicted, {} timed out",
+         {} cache hits, {} rejected, {} shed, {} drained, {} evicted, \
+         {} timed out, {} handler panics",
         socket.display(),
         stats.requests,
         stats.solves,
         stats.cache_hits,
         stats.rejects,
+        stats.shed,
+        stats.drained,
         stats.evictions,
-        stats.timeouts
+        stats.timeouts,
+        stats.panicked
     ))
 }
 
@@ -776,6 +827,16 @@ fn cmd_client(mut args: Vec<String>) -> Result<String, CliError> {
                 .map(|v| parse_bytes(&v))
                 .transpose()?;
             let degrade = take_flag(&mut args, "--degrade");
+            let deadline = take_seconds(&mut args, "--deadline")?
+                .map(std::time::Duration::try_from_secs_f64)
+                .transpose()
+                .map_err(|e| usage(format!("--deadline: {e}")))?;
+            let retries = take_opt(&mut args, "--retries")?
+                .map(|v| {
+                    v.parse::<u32>()
+                        .map_err(|_| bad_arg(format!("bad --retries {v:?} (count)")))
+                })
+                .transpose()?;
             let [a1, a2] = args.as_slice() else {
                 return Err(usage("client solve takes exactly two sequences"));
             };
@@ -794,8 +855,21 @@ fn cmd_client(mut args: Vec<String>) -> Result<String, CliError> {
             if let Some(bytes) = mem_budget {
                 req = req.mem_budget(bytes);
             }
-            let mut client = Client::connect(&socket)?;
-            match client.solve(&req)? {
+            if let Some(d) = deadline {
+                req = req.deadline(d);
+            }
+            let response = match retries {
+                Some(n) if n > 0 => Client::solve_with_retry(
+                    &socket,
+                    &req,
+                    RetryPolicy {
+                        attempts: n + 1,
+                        ..RetryPolicy::default()
+                    },
+                )?,
+                _ => Client::connect(&socket)?.solve(&req)?,
+            };
+            match response {
                 Response::Solved {
                     score,
                     outcome,
@@ -825,7 +899,8 @@ fn cmd_client(mut args: Vec<String>) -> Result<String, CliError> {
             let stats = Client::connect(&socket)?.stats()?;
             Ok(format!(
                 "requests: {}\ncache hits: {}\nsolves: {}\nrejected: {}\n\
-                 cache evictions: {}\nread timeouts: {}\n\
+                 cache evictions: {}\nread timeouts: {}\nin flight: {}\n\
+                 shed (overload): {}\ndrained: {}\nhandler panics: {}\n\
                  pool blocks: {} allocated, {} reused, {} recycled, {} quarantined",
                 stats.requests,
                 stats.cache_hits,
@@ -833,6 +908,10 @@ fn cmd_client(mut args: Vec<String>) -> Result<String, CliError> {
                 stats.rejects,
                 stats.evictions,
                 stats.timeouts,
+                stats.inflight,
+                stats.shed,
+                stats.drained,
+                stats.panicked,
                 stats.pool.allocated,
                 stats.pool.reused,
                 stats.pool.recycled,
@@ -1398,6 +1477,12 @@ mod tests {
             &["serve", "--socket", "/tmp/s.sock", "--max-seconds", "0"],
             &["serve", "--socket", "/tmp/s.sock", "--max-seconds", "soon"],
             &["serve", "--socket", "/tmp/s.sock", "--mem-budget", "lots"],
+            &["serve", "--socket", "/tmp/s.sock", "--max-inflight", "0"],
+            &["serve", "--socket", "/tmp/s.sock", "--max-inflight", "lots"],
+            &["serve", "--socket", "/tmp/s.sock", "--queue-depth", "-1"],
+            &["serve", "--socket", "/tmp/s.sock", "--queue-depth", "deep"],
+            &["serve", "--socket", "/tmp/s.sock", "--queue-wait", "0"],
+            &["serve", "--socket", "/tmp/s.sock", "--drain-timeout", "-2"],
             &["serve", "--socket", "/tmp/s.sock", "stray"],
             // client misuse (validated before connecting)
             &["client"],
@@ -1433,6 +1518,26 @@ mod tests {
                 "CCC",
                 "--simd",
                 "--no-simd",
+            ],
+            &[
+                "client",
+                "--socket",
+                "/tmp/s.sock",
+                "solve",
+                "GGG",
+                "CCC",
+                "--deadline",
+                "0",
+            ],
+            &[
+                "client",
+                "--socket",
+                "/tmp/s.sock",
+                "solve",
+                "GGG",
+                "CCC",
+                "--retries",
+                "some",
             ],
             &["client", "--socket", "/tmp/s.sock", "stats", "extra"],
             &["client", "--socket", "/tmp/s.sock", "shutdown", "now"],

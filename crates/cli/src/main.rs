@@ -38,6 +38,16 @@ use std::process::ExitCode;
 ///   i-th/j-th heartbeat checks see a stale worker
 ///   (`coordinator.heartbeat` site), forcing deterministic
 ///   kill-and-respawn of a healthy process.
+/// * `BPMAX_FAULT_SERVE_HOLD_MS=N` makes every admitted serve request
+///   hold its in-flight slot an extra N ms (`serve.queue` site), so the
+///   overload and drain scripts can saturate a `--max-inflight 1`
+///   daemon deterministically.
+/// * `BPMAX_FAULT_SERVE_HANDLER_PANIC=i,j,…` panics the daemon's
+///   i-th/j-th request handlers (`serve.handler` site), exercising the
+///   catch-unwind isolation and the `panicked` counter.
+/// * `BPMAX_FAULT_SERVE_ACCEPT_DROP=i,j,…` drops the daemon's i-th/j-th
+///   accepted connections before reading a byte (`serve.accept` site),
+///   exercising client-side retry on torn connections.
 #[cfg(feature = "fault-inject")]
 fn arm_faults_from_env() {
     use bpmax::supervise::fault::{self, Fault, FaultPlan};
@@ -63,6 +73,23 @@ fn arm_faults_from_env() {
     }
     for index in indices("BPMAX_FAULT_HEARTBEAT_DROP") {
         plan = plan.fail(fault::SITE_HEARTBEAT, index, Fault::Panic);
+        armed = true;
+    }
+    if let Some(millis) = std::env::var("BPMAX_FAULT_SERVE_HOLD_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        for index in 0..512 {
+            plan = plan.fail(fault::SITE_SERVE_QUEUE, index, Fault::Slow { millis });
+        }
+        armed = true;
+    }
+    for index in indices("BPMAX_FAULT_SERVE_HANDLER_PANIC") {
+        plan = plan.fail(fault::SITE_SERVE_HANDLER, index, Fault::Panic);
+        armed = true;
+    }
+    for index in indices("BPMAX_FAULT_SERVE_ACCEPT_DROP") {
+        plan = plan.fail(fault::SITE_SERVE_ACCEPT, index, Fault::Panic);
         armed = true;
     }
     if armed {

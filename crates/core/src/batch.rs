@@ -350,6 +350,14 @@ impl BatchEngine {
         self.blocks.stats()
     }
 
+    /// Worker threads in the resident rayon pool — the engine's natural
+    /// concurrency. The serve daemon reports it and the load benchmark
+    /// annotates it; more concurrent [`BatchEngine::solve_pooled`]
+    /// callers than this queue inside rayon, not in the OS scheduler.
+    pub fn pool_threads(&self) -> usize {
+        self.pool.current_num_threads()
+    }
+
     /// `true` when the cost model predicts this problem is too small to
     /// amortize intra-problem dispatch — the [`Policy::Auto`] classifier.
     pub fn classify_coarse(&self, problem: &BpMaxProblem) -> bool {

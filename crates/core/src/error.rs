@@ -125,6 +125,21 @@ pub enum BpMaxError {
         /// What exactly was wrong (offset, expected/actual bytes, …).
         detail: String,
     },
+    /// The solve daemon shed the request: its in-flight ledger was at
+    /// capacity and the wait queue was full (or the queue wait timed
+    /// out). Nothing was solved; retrying is safe because results are
+    /// content-addressed — a duplicate attempt at worst lands a warm
+    /// cache hit. [`crate::serve::Client::solve_with_retry`] returns
+    /// this once its retry budget is exhausted.
+    Overloaded {
+        /// Solves executing when the request was shed.
+        inflight: u64,
+        /// The queue bound that was full (slots).
+        depth: u64,
+        /// The server's hint for when capacity should free up, in
+        /// milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for BpMaxError {
@@ -186,6 +201,15 @@ impl std::fmt::Display for BpMaxError {
             BpMaxError::Protocol { detail } => {
                 write!(f, "protocol error: {detail}")
             }
+            BpMaxError::Overloaded {
+                inflight,
+                depth,
+                retry_after_ms,
+            } => write!(
+                f,
+                "server overloaded: {inflight} solves in flight and the \
+                 {depth}-slot queue is full; retry in ~{retry_after_ms} ms"
+            ),
         }
     }
 }
@@ -292,6 +316,14 @@ mod tests {
                     detail: "frame crc mismatch".to_string(),
                 },
                 "protocol error: frame crc mismatch",
+            ),
+            (
+                BpMaxError::Overloaded {
+                    inflight: 4,
+                    depth: 2,
+                    retry_after_ms: 250,
+                },
+                "server overloaded: 4 solves in flight",
             ),
         ];
         for (err, marker) in cases {

@@ -94,7 +94,8 @@ pub use error::BpMaxError;
 pub use ftable::{BlockPool, FTable, PoolStats};
 pub use kernels::{BoundsMode, SimdMode};
 pub use serve::{
-    Client, RejectReason, Request, Response, Server, ServerConfig, ServerStats, SolveRequest,
+    Client, RejectReason, Request, Response, RetryPolicy, Server, ServerConfig, ServerStats,
+    SolveRequest,
 };
 pub use supervise::{CancelToken, Deadline, MemoryBudget, Outcome, OutcomeCounts, Supervision};
 

@@ -32,7 +32,31 @@
 //! and the response is flagged [`Outcome::Degraded`]. A predicted runtime
 //! above the server's cap is rejected with
 //! [`RejectReason::PredictedTime`] before any allocation happens.
-//! Concurrent admitted requests queue on the engine's rayon pool.
+//!
+//! # Concurrency, backpressure, and drain
+//!
+//! Admitted requests execute concurrently on the engine's rayon pool,
+//! but never unboundedly: a bounded in-flight ledger caps how many
+//! solves run at once (`max_inflight`) and how many *bytes* of admitted
+//! F-tables coexist (the server `mem_budget` is an **aggregate** cap
+//! across in-flight work, not only a per-request one). A request that
+//! arrives at capacity waits in a bounded queue (`queue_depth` slots,
+//! `queue_wait` at most — tightened by the request's own deadline);
+//! overflow or a wait timeout is shed with a typed
+//! [`RejectReason::Overloaded`] carrying a retry hint, never an
+//! unbounded wait. Shedding is deliberately distinct from the budget
+//! rejections above: over-capacity is the *server's* state, so the
+//! client may retry — which is always safe, because results are
+//! content-addressed (a duplicate attempt at worst hits the cache).
+//!
+//! Shutdown is a drain, not an abort: the daemon stops admitting new
+//! solves (they get a clean typed refusal), lets in-flight work finish
+//! under `drain_timeout` (stragglers are cancelled through their solve
+//! supervision tokens past that), flushes the in-memory cache tier to
+//! the disk tier, and only then exits the accept loop. A panicking
+//! handler is caught (`catch_unwind`), counted, and answered with a
+//! typed error; cache locking is poison-tolerant — one bad request can
+//! never take the daemon down.
 //!
 //! # Result cache
 //!
@@ -61,24 +85,27 @@ use crate::engine::{Algorithm, BpMaxProblem, ComputeProfile, SolveOptions};
 use crate::error::BpMaxError;
 use crate::ftable::{FTable, PoolStats};
 use crate::kernels::Tile;
-use crate::supervise::{MemoryBudget, Outcome};
+use crate::supervise::{fault, CancelToken, Deadline, MemoryBudget, Outcome};
 use rna::base::BASES;
 use rna::{RnaSeq, ScoringModel};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Magic bytes opening every serve-wire message and cache file.
 pub const MAGIC: &[u8; 8] = b"BPMXSERV";
 
 /// Wire format version; a mismatch is a typed rejection, not a guess.
 /// v2 widened the stats reply with the cache-eviction and read-timeout
-/// counters.
-pub const VERSION: u32 = 2;
+/// counters. v3 added the overload counters (inflight / shed / drained
+/// / panicked) to the stats reply, the [`RejectReason::Overloaded`]
+/// load-shedding rejection, and the per-request deadline field.
+pub const VERSION: u32 = 3;
 
 /// Ceiling on a single frame's payload: no request needs more, and the
 /// reader must never let a corrupted length field drive allocation.
@@ -136,6 +163,11 @@ pub struct SolveRequest {
     /// Over-budget behaviour: degrade to the windowed lower-bound solve
     /// (`true`) or take the typed rejection (`false`, default).
     pub degrade: bool,
+    /// Request-side wall-clock budget, measured from the moment the
+    /// server receives the request: it bounds the queue wait *and* the
+    /// solve (wired into the solve's [`Deadline`]). `None` leaves only
+    /// the server-side limits.
+    pub deadline: Option<Duration>,
 }
 
 impl SolveRequest {
@@ -148,6 +180,7 @@ impl SolveRequest {
             profile: ComputeProfile::default(),
             mem_budget: None,
             degrade: false,
+            deadline: None,
         }
     }
 
@@ -169,6 +202,13 @@ impl SolveRequest {
     #[must_use]
     pub fn degrade(mut self, degrade: bool) -> Self {
         self.degrade = degrade;
+        self
+    }
+
+    /// Bound the queue wait plus solve to this wall-clock budget.
+    #[must_use]
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
         self
     }
 }
@@ -206,6 +246,19 @@ pub enum RejectReason {
         /// The server's `--max-seconds` cap.
         cap_s: f64,
     },
+    /// The server shed the request: the in-flight ledger was at capacity
+    /// and the wait queue was full (or the queue wait timed out).
+    /// Nothing was solved; retrying is always safe under content
+    /// addressing — see [`Client::solve_with_retry`].
+    Overloaded {
+        /// Solves executing when the request was shed.
+        inflight: u64,
+        /// The queue bound that was full (slots).
+        depth: u64,
+        /// Server's estimate of when capacity frees up, in milliseconds
+        /// — seed the retry backoff with it.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for RejectReason {
@@ -221,6 +274,15 @@ impl std::fmt::Display for RejectReason {
             RejectReason::PredictedTime { predicted_s, cap_s } => write!(
                 f,
                 "predicted runtime {predicted_s:.3} s exceeds the {cap_s:.3} s cap"
+            ),
+            RejectReason::Overloaded {
+                inflight,
+                depth,
+                retry_after_ms,
+            } => write!(
+                f,
+                "server overloaded: {inflight} solves in flight, {depth}-slot \
+                 queue full; retry in ~{retry_after_ms} ms"
             ),
         }
     }
@@ -243,6 +305,19 @@ pub struct ServerStats {
     /// Connections dropped because the peer stayed silent past the
     /// per-connection read timeout.
     pub timeouts: u64,
+    /// Solves executing right now (a gauge, not a counter): admitted
+    /// through the in-flight ledger and not yet finished.
+    pub inflight: u64,
+    /// Requests shed with [`RejectReason::Overloaded`] (queue overflow
+    /// or queue-wait timeout). Counted separately from `rejects`, which
+    /// are admission-policy refusals of requests the server *could*
+    /// have run.
+    pub shed: u64,
+    /// In-flight solves that completed during a graceful drain.
+    pub drained: u64,
+    /// Handler panics caught by the connection loop (the daemon
+    /// survived each one and answered a typed error).
+    pub panicked: u64,
     /// The resident [`crate::ftable::BlockPool`]'s counters.
     pub pool: PoolStats,
 }
@@ -485,6 +560,12 @@ fn solve_request_payload(req: &SolveRequest) -> Vec<u8> {
     put_profile(&mut p, &req.profile);
     put_opt(&mut p, req.mem_budget, put_u64);
     put_u8(&mut p, u8::from(req.degrade));
+    // Deadlines cross the wire as whole milliseconds: sub-millisecond
+    // serving deadlines are not meaningful, and u64 ms round-trips
+    // exactly where f64 seconds would not.
+    put_opt(&mut p, req.deadline, |b, d| {
+        put_u64(b, u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+    });
     p
 }
 
@@ -497,6 +578,10 @@ fn take_solve_request(cur: &mut Cursor<'_>) -> Result<SolveRequest, BpMaxError> 
         .then(|| cur.u64("request mem budget bytes"))
         .transpose()?;
     let degrade = take_bool(cur, "request degrade flag")?;
+    let deadline = take_presence(cur, "request deadline")?
+        .then(|| cur.u64("request deadline millis"))
+        .transpose()?
+        .map(Duration::from_millis);
     Ok(SolveRequest {
         seq1,
         seq2,
@@ -504,6 +589,7 @@ fn take_solve_request(cur: &mut Cursor<'_>) -> Result<SolveRequest, BpMaxError> 
         profile,
         mem_budget,
         degrade,
+        deadline,
     })
 }
 
@@ -556,6 +642,10 @@ fn put_stats(buf: &mut Vec<u8>, stats: &ServerStats) {
     put_u64(buf, stats.rejects);
     put_u64(buf, stats.evictions);
     put_u64(buf, stats.timeouts);
+    put_u64(buf, stats.inflight);
+    put_u64(buf, stats.shed);
+    put_u64(buf, stats.drained);
+    put_u64(buf, stats.panicked);
     put_u64(buf, stats.pool.allocated);
     put_u64(buf, stats.pool.reused);
     put_u64(buf, stats.pool.recycled);
@@ -570,6 +660,10 @@ fn take_stats(cur: &mut Cursor<'_>) -> Result<ServerStats, BpMaxError> {
         rejects: cur.u64("stats rejects")?,
         evictions: cur.u64("stats evictions")?,
         timeouts: cur.u64("stats timeouts")?,
+        inflight: cur.u64("stats inflight")?,
+        shed: cur.u64("stats shed")?,
+        drained: cur.u64("stats drained")?,
+        panicked: cur.u64("stats panicked")?,
         pool: PoolStats {
             allocated: cur.u64("stats pool allocated")?,
             reused: cur.u64("stats pool reused")?,
@@ -610,6 +704,16 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     put_u8(&mut p, 1);
                     put_f64(&mut p, predicted_s);
                     put_f64(&mut p, cap_s);
+                }
+                RejectReason::Overloaded {
+                    inflight,
+                    depth,
+                    retry_after_ms,
+                } => {
+                    put_u8(&mut p, 2);
+                    put_u64(&mut p, inflight);
+                    put_u64(&mut p, depth);
+                    put_u64(&mut p, retry_after_ms);
                 }
             }
             (KIND_REJECTED, p)
@@ -669,6 +773,11 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, BpMaxError> {
                     predicted_s: p.f64("reject predicted seconds")?,
                     cap_s: p.f64("reject cap seconds")?,
                 },
+                2 => RejectReason::Overloaded {
+                    inflight: p.u64("reject inflight")?,
+                    depth: p.u64("reject queue depth")?,
+                    retry_after_ms: p.u64("reject retry hint")?,
+                },
                 other => return Err(p.corrupt(format!("unknown reject reason {other}"))),
             }),
             KIND_ERROR => {
@@ -711,9 +820,9 @@ fn fill(stream: &mut impl Read, buf: &mut [u8], already: usize) -> Result<usize,
             Ok(0) => return Ok(filled),
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            // A read timeout keeps its own marker ("socket read timed
-            // out") — `read_timed_out` below is the other half of that
-            // contract.
+            // A client-side read timeout keeps its own marker ("socket
+            // read timed out"); the server uses the polled reader above
+            // instead of this blocking fill.
             Err(e)
                 if matches!(
                     e.kind(),
@@ -761,18 +870,19 @@ pub fn read_message(stream: &mut impl Read) -> Result<Option<Vec<u8>>, BpMaxErro
     Ok(Some(msg))
 }
 
-/// True when a read error came from the socket's configured read
-/// timeout rather than a malformed or torn message — the marker string
-/// is [`fill`]'s contract with the server's connection loop.
-fn read_timed_out(e: &BpMaxError) -> bool {
-    matches!(e, BpMaxError::Protocol { detail } if detail.starts_with("socket read timed out"))
-}
-
 fn write_message(stream: &mut impl Write, bytes: &[u8]) -> Result<(), BpMaxError> {
     stream
         .write_all(bytes)
         .and_then(|()| stream.flush())
         .map_err(|e| protocol(format!("socket write: {e}")))
+}
+
+/// Poison-tolerant lock: a panicking handler thread must never take the
+/// daemon's shared state down with it. Every protected value here (cache
+/// map, ledger counters, phase) is valid after any partial update — the
+/// poison flag carries no information we act on.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 // ---------------------------------------------------------------------------
@@ -952,9 +1062,7 @@ impl ResultCache {
     }
 
     fn get(&self, pid: u64, fp: u64) -> Option<CachedResult> {
-        // lint: allow(unwrap): a poisoned cache mutex means a panicking
-        // handler thread already tore the process invariants down
-        if let Some(hit) = self.mem.lock().unwrap().get((pid, fp)) {
+        if let Some(hit) = lock(&self.mem).get((pid, fp)) {
             return Some(hit);
         }
         let dir = self.dir.as_deref()?;
@@ -964,8 +1072,7 @@ impl ResultCache {
             Ok((got_pid, got_fp, r)) if got_pid == pid && got_fp == fp => {
                 // Promote back into memory; promoting may itself evict
                 // colder entries.
-                // lint: allow(unwrap): see above
-                let shed = self.mem.lock().unwrap().insert((pid, fp), r);
+                let shed = lock(&self.mem).insert((pid, fp), r);
                 self.spill(shed);
                 Some(r)
             }
@@ -979,12 +1086,30 @@ impl ResultCache {
     }
 
     fn put(&self, pid: u64, fp: u64, r: CachedResult) {
-        // lint: allow(unwrap): see get()
-        let shed = self.mem.lock().unwrap().insert((pid, fp), r);
+        let shed = lock(&self.mem).insert((pid, fp), r);
         self.spill(shed);
         if let Some(dir) = &self.dir {
             // Disk persistence is best-effort: a full disk degrades the
             // cache to memory-only, it does not fail the solve.
+            let _ = write_atomic(
+                &Self::entry_path(dir, pid, fp),
+                &encode_cache_entry(pid, fp, r),
+            );
+        }
+    }
+
+    /// Write every in-memory entry through to the disk tier (a no-op
+    /// without one). Called on drain, so a restarted daemon inherits
+    /// the full warm set — including entries whose put-time write-through
+    /// failed transiently. Best-effort like every disk write here.
+    fn flush(&self) {
+        let Some(dir) = &self.dir else { return };
+        let entries: Vec<((u64, u64), CachedResult)> = lock(&self.mem)
+            .map
+            .iter()
+            .map(|(&key, &(r, _))| (key, r))
+            .collect();
+        for ((pid, fp), r) in entries {
             let _ = write_atomic(
                 &Self::entry_path(dir, pid, fp),
                 &encode_cache_entry(pid, fp, r),
@@ -1019,23 +1144,156 @@ pub struct ServerConfig {
     /// disk tier. `None` keeps every entry resident.
     pub cache_mem_budget: Option<u64>,
     /// Per-connection read timeout: a peer silent this long mid-message
-    /// gets a typed protocol error and the connection is dropped.
-    /// `None` waits forever.
+    /// gets a typed protocol error and the connection is dropped. The
+    /// same limit is applied as the socket *write* timeout, so a peer
+    /// that never drains responses cannot pin a handler either. `None`
+    /// waits forever.
     pub read_timeout: Option<Duration>,
+    /// Cap on concurrently executing solves; arrivals past it queue,
+    /// and past the queue they are shed with
+    /// [`RejectReason::Overloaded`]. `None` is unbounded (the aggregate
+    /// byte cap below may still bound concurrency).
+    pub max_inflight: Option<u64>,
+    /// Slots in the wait queue in front of the in-flight ledger; an
+    /// arrival finding the queue full is shed immediately. `None` is
+    /// unbounded (waits are still bounded by `queue_wait`).
+    pub queue_depth: Option<u64>,
+    /// Longest a queued request waits for capacity before being shed
+    /// (tightened further by the request's own deadline). `None` takes
+    /// the 30 s default — a queue wait is *never* unbounded.
+    pub queue_wait: Option<Duration>,
+    /// Longest a graceful drain waits for in-flight solves before
+    /// cancelling the stragglers through their supervision tokens.
+    /// `None` takes the 10 s default.
+    pub drain_timeout: Option<Duration>,
+}
+
+/// Queue waits are never unbounded: a request with no explicit
+/// `queue_wait` config still gives up (and is shed) after this long.
+const DEFAULT_QUEUE_WAIT: Duration = Duration::from_secs(30);
+
+/// Default limit a graceful drain waits for in-flight solves before
+/// cancelling the stragglers.
+const DEFAULT_DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How often a blocked server-side read wakes to re-check the drain
+/// state, so an idle keep-alive connection cannot stall a shutdown.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// Floor and ceiling on the `retry_after_ms` hint attached to
+/// [`RejectReason::Overloaded`]: the predicted solve time of the work
+/// ahead, clamped to something a client can reasonably sleep.
+const RETRY_HINT_MS: (u64, u64) = (50, 5000);
+
+/// The daemon's lifecycle. Transitions are monotonic:
+/// `Running → Draining → Stopped`, never backwards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Accepting and solving.
+    Running,
+    /// A shutdown was accepted: new solves are refused with a typed
+    /// error, in-flight solves finish (or are cancelled at the drain
+    /// timeout), the cache mem tier flushes to disk.
+    Draining,
+    /// Drain complete; the accept loop exits.
+    Stopped,
+}
+
+/// The in-flight ledger's counters, guarded by one mutex: how many
+/// solves run, how many wait, and how many admitted F-table bytes
+/// coexist. `bytes` is the *aggregate* admission extension — each
+/// request's table was individually checked against the budget, but
+/// without this sum N admitted requests could multiply the server's
+/// memory cap by N.
+#[derive(Clone, Copy, Debug, Default)]
+struct LedgerState {
+    running: u64,
+    queued: u64,
+    bytes: u64,
+}
+
+struct Ledger {
+    state: Mutex<LedgerState>,
+    /// Notified whenever a slot frees (guard drop) or the phase leaves
+    /// `Running` (queued waiters must wake and take the drain refusal).
+    changed: Condvar,
+}
+
+/// RAII in-flight slot: admission increments `running`/`bytes`, and this
+/// guard's `Drop` gives them back — including when the solve panics, so
+/// a caught panic can never leak ledger capacity.
+struct AdmitGuard<'a> {
+    server: &'a Server,
+    bytes: u64,
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        let mut led = lock(&self.server.ledger.state);
+        led.running = led.running.saturating_sub(1);
+        led.bytes = led.bytes.saturating_sub(self.bytes);
+        drop(led);
+        if self.server.stopping() {
+            // ordering: monotonic counter
+            self.server.drained.fetch_add(1, Ordering::Relaxed);
+        }
+        self.server.ledger.changed.notify_all();
+    }
+}
+
+/// How one polled buffer fill ended.
+enum FillEnd {
+    /// The buffer is full.
+    Full,
+    /// EOF after this many bytes (0 = a clean boundary).
+    Eof(usize),
+    /// The daemon is draining and the peer was idle at a boundary.
+    Draining,
+    /// The peer stayed silent past the configured read timeout.
+    TimedOut,
+    /// A hard I/O error or a post-drain give-up mid-message.
+    Torn,
+}
+
+/// What the polled server-side reader produced: one message, or the
+/// reason the conversation is over.
+enum NextMessage {
+    /// A complete framed message.
+    Msg(Vec<u8>),
+    /// EOF on a message boundary — the peer's clean goodbye.
+    Goodbye,
+    /// The daemon is draining and the peer is idle: close at the
+    /// message boundary.
+    Draining,
+    /// The peer stayed silent past the configured read timeout.
+    TimedOut,
+    /// Torn mid-message, an oversized frame, or a hard I/O error — the
+    /// conversation cannot continue.
+    Torn,
 }
 
 /// The resident solve daemon: one warm [`BatchEngine`] (hot block-pool
-/// arenas), one two-tier result cache, admission control in front.
+/// arenas), one two-tier result cache, admission control plus a bounded
+/// in-flight ledger in front, and a drain-aware connection loop around
+/// it all.
 pub struct Server {
     cfg: ServerConfig,
     engine: BatchEngine,
     cache: ResultCache,
-    stop: AtomicBool,
+    phase: Mutex<Phase>,
+    phase_changed: Condvar,
+    ledger: Ledger,
+    /// Cancels every in-flight solve when the drain timeout fires; wired
+    /// into each solve's supervision.
+    drain_cancel: CancelToken,
     requests: AtomicU64,
     cache_hits: AtomicU64,
     solves: AtomicU64,
     rejects: AtomicU64,
     timeouts: AtomicU64,
+    shed: AtomicU64,
+    drained: AtomicU64,
+    panicked: AtomicU64,
 }
 
 impl Server {
@@ -1051,12 +1309,21 @@ impl Server {
             cfg,
             engine,
             cache,
-            stop: AtomicBool::new(false),
+            phase: Mutex::new(Phase::Running),
+            phase_changed: Condvar::new(),
+            ledger: Ledger {
+                state: Mutex::new(LedgerState::default()),
+                changed: Condvar::new(),
+            },
+            drain_cancel: CancelToken::new(),
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             solves: AtomicU64::new(0),
             rejects: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
         })
     }
 
@@ -1067,6 +1334,7 @@ impl Server {
 
     /// Current counters + pool statistics.
     pub fn stats(&self) -> ServerStats {
+        let led = *lock(&self.ledger.state);
         ServerStats {
             requests: self.requests.load(Ordering::Relaxed), // ordering: report-only counter
             cache_hits: self.cache_hits.load(Ordering::Relaxed), // ordering: report-only counter
@@ -1074,44 +1342,186 @@ impl Server {
             rejects: self.rejects.load(Ordering::Relaxed),   // ordering: report-only counter
             evictions: self.cache.evictions(),
             timeouts: self.timeouts.load(Ordering::Relaxed), // ordering: report-only counter
+            inflight: led.running,
+            shed: self.shed.load(Ordering::Relaxed), // ordering: report-only counter
+            drained: self.drained.load(Ordering::Relaxed), // ordering: report-only counter
+            panicked: self.panicked.load(Ordering::Relaxed), // ordering: report-only counter
             pool: self.engine.pool_stats(),
         }
     }
 
-    /// True once a shutdown request has been accepted.
+    fn phase(&self) -> Phase {
+        *lock(&self.phase)
+    }
+
+    /// True once a shutdown request has been accepted (the daemon is
+    /// draining or already stopped).
     pub fn stopping(&self) -> bool {
-        // ordering: Acquire pairs with the Release in handle(); the flag
-        // only ever goes false -> true
-        self.stop.load(Ordering::Acquire)
+        self.phase() != Phase::Running
+    }
+
+    /// Begin a graceful drain, exactly as a wire [`Request::Shutdown`]
+    /// would: stop admitting solves, let in-flight work finish under the
+    /// drain timeout, flush the cache, then exit the accept loop. The
+    /// workspace forbids `unsafe`, so a SIGTERM handler cannot exist —
+    /// this method (and the wire shutdown it backs) *is* the daemon's
+    /// termination protocol. Idempotent.
+    pub fn begin_drain(&self) {
+        {
+            let mut phase = lock(&self.phase);
+            if *phase == Phase::Running {
+                *phase = Phase::Draining;
+            }
+        }
+        self.phase_changed.notify_all();
+        // Queued admission waiters must wake up and take the refusal.
+        self.ledger.changed.notify_all();
+    }
+
+    fn set_stopped(&self) {
+        {
+            let mut phase = lock(&self.phase);
+            *phase = Phase::Stopped;
+        }
+        self.phase_changed.notify_all();
+        self.ledger.changed.notify_all();
+    }
+
+    fn drain_refusal() -> Response {
+        Response::Error {
+            detail: "server is draining: no new solves are admitted (the daemon \
+                     is shutting down; retry against a restarted instance)"
+                .to_string(),
+        }
+    }
+
+    fn overloaded(&self, led: LedgerState, retry_after_ms: u64) -> Response {
+        // ordering: monotonic counter
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        Response::Rejected(RejectReason::Overloaded {
+            inflight: led.running,
+            depth: self.cfg.queue_depth.unwrap_or(led.queued),
+            retry_after_ms,
+        })
+    }
+
+    /// Reserve an in-flight slot (and `planned_bytes` of the aggregate
+    /// byte cap), waiting in the bounded queue when the ledger is full.
+    /// Every refusal is typed: queue overflow and wait timeout shed with
+    /// [`RejectReason::Overloaded`], a drain refuses outright, and an
+    /// expired request deadline reports how long it waited.
+    fn admit(
+        &self,
+        planned_bytes: u64,
+        retry_after_ms: u64,
+        deadline: Option<&Deadline>,
+    ) -> Result<AdmitGuard<'_>, Response> {
+        let max_wait = self.cfg.queue_wait.unwrap_or(DEFAULT_QUEUE_WAIT);
+        let started = Instant::now();
+        let mut led = lock(&self.ledger.state);
+        let mut queued_here = false;
+        loop {
+            if self.stopping() {
+                if queued_here {
+                    led.queued = led.queued.saturating_sub(1);
+                }
+                return Err(Self::drain_refusal());
+            }
+            let slot_free = self.cfg.max_inflight.is_none_or(|cap| led.running < cap);
+            let bytes_fit = self
+                .cfg
+                .mem_budget
+                .is_none_or(|budget| led.bytes.saturating_add(planned_bytes) <= budget);
+            if slot_free && bytes_fit {
+                if queued_here {
+                    led.queued = led.queued.saturating_sub(1);
+                }
+                led.running += 1;
+                led.bytes = led.bytes.saturating_add(planned_bytes);
+                return Ok(AdmitGuard {
+                    server: self,
+                    bytes: planned_bytes,
+                });
+            }
+            if !queued_here {
+                if self
+                    .cfg
+                    .queue_depth
+                    .is_some_and(|depth| led.queued >= depth)
+                {
+                    return Err(self.overloaded(*led, retry_after_ms));
+                }
+                led.queued += 1;
+                queued_here = true;
+            }
+            // The longest this request may still wait: the queue-wait
+            // budget, tightened by its own deadline.
+            let mut allowance = max_wait.saturating_sub(started.elapsed());
+            if let Some(deadline) = deadline {
+                allowance = allowance.min(deadline.remaining());
+            }
+            if allowance.is_zero() {
+                led.queued = led.queued.saturating_sub(1);
+                if deadline.is_some_and(Deadline::expired) {
+                    return Err(Response::Error {
+                        detail: BpMaxError::DeadlineExceeded {
+                            elapsed_s: started.elapsed().as_secs_f64(),
+                        }
+                        .to_string(),
+                    });
+                }
+                return Err(self.overloaded(*led, retry_after_ms));
+            }
+            led = self
+                .ledger
+                .changed
+                .wait_timeout(led, allowance)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
     }
 
     /// Handle one request. Pure with respect to the transport — the
     /// socket loop and the in-process tests share this path.
     pub fn handle(&self, req: &Request) -> Response {
-        // ordering: monotonic counter, no other state hangs off it
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        // ordering: monotonic counter, no other state hangs off it; the
+        // prior value doubles as this request's ordinal for fault sites
+        let seq = self.requests.fetch_add(1, Ordering::Relaxed);
         match req {
-            Request::Solve(solve) => self.handle_solve(solve),
+            Request::Solve(solve) => {
+                if fault::active(fault::SITE_SERVE_HANDLER, seq as usize)
+                    == Some(fault::Fault::Panic)
+                {
+                    // lint: allow(panic): deliberate injected fault — the
+                    // connection loop's catch_unwind must contain it
+                    panic!("injected fault: serve handler panic");
+                }
+                if self.stopping() {
+                    return Self::drain_refusal();
+                }
+                self.handle_solve(solve, seq)
+            }
             Request::Stats => Response::Stats(self.stats()),
             Request::Shutdown => {
-                // ordering: Release pairs with the Acquire in stopping()
-                self.stop.store(true, Ordering::Release);
+                self.begin_drain();
                 Response::ShuttingDown
             }
         }
     }
 
-    fn handle_solve(&self, req: &SolveRequest) -> Response {
+    fn handle_solve(&self, req: &SolveRequest, seq: u64) -> Response {
         let problem = BpMaxProblem::new(req.seq1.clone(), req.seq2.clone(), req.model.clone());
         let effective_budget = match (self.cfg.mem_budget, req.mem_budget) {
             (None, None) => None,
             (server, request) => Some(server.unwrap_or(u64::MAX).min(request.unwrap_or(u64::MAX))),
         };
 
-        // Cache first: a warm hit answers without touching the solver or
-        // the pool. The key is the problem content-id crossed with the
-        // fingerprint of everything score-affecting (profile + effective
-        // budget + degrade — a degraded score depends on the budget).
+        // Cache first: a warm hit answers without touching the solver,
+        // the pool, or the in-flight ledger — it holds no F-table bytes
+        // and no slot. The key is the problem content-id crossed with
+        // the fingerprint of everything score-affecting (profile +
+        // effective budget + degrade — a degraded score depends on the
+        // budget).
         let pid = problem_id(&problem);
         let fp = cache_fingerprint(&req.profile, effective_budget, req.degrade);
         if let Some(hit) = self.cache.get(pid, fp) {
@@ -1125,20 +1535,24 @@ impl Server {
             };
         }
 
+        // The request's wall-clock budget starts at receipt and covers
+        // the queue wait plus the solve.
+        let deadline = req.deadline.map(Deadline::within);
+
         // Admission: memory, then predicted runtime — both before any
         // F-table allocation.
         let mut solve = SolveOptions::from_profile(req.profile).degrade(req.degrade);
+        let layout = req.profile.resolved_layout(problem.layout());
+        let needed = match FTable::estimate_bytes(req.seq1.len(), req.seq2.len(), layout) {
+            Ok(needed) => needed,
+            Err(e) => {
+                return Response::Error {
+                    detail: e.to_string(),
+                }
+            }
+        };
         if let Some(bytes) = effective_budget {
             solve = solve.mem_budget(MemoryBudget::bytes(bytes));
-            let layout = req.profile.resolved_layout(problem.layout());
-            let needed = match FTable::estimate_bytes(req.seq1.len(), req.seq2.len(), layout) {
-                Ok(needed) => needed,
-                Err(e) => {
-                    return Response::Error {
-                        detail: e.to_string(),
-                    }
-                }
-            };
             if needed > bytes && !req.degrade {
                 // ordering: monotonic counter
                 self.rejects.fetch_add(1, Ordering::Relaxed);
@@ -1150,8 +1564,8 @@ impl Server {
             // degrade=true falls through: the engine runs the windowed
             // lower-bound solve at the widest in-budget window.
         }
+        let predicted_s = self.engine.predict_seconds(&problem, &solve);
         if let Some(cap_s) = self.cfg.max_predicted_s {
-            let predicted_s = self.engine.predict_seconds(&problem, &solve);
             if predicted_s > cap_s {
                 // ordering: monotonic counter
                 self.rejects.fetch_add(1, Ordering::Relaxed);
@@ -1159,7 +1573,30 @@ impl Server {
             }
         }
 
+        // Reserve what this solve will actually hold: the exact table,
+        // or at most the effective budget when degrading. The retry hint
+        // handed to shed requests is the predicted runtime of the work
+        // occupying the slot they wanted.
+        let planned = effective_budget.map_or(needed, |bytes| needed.min(bytes));
+        let retry_hint = ((predicted_s * 1000.0) as u64).clamp(RETRY_HINT_MS.0, RETRY_HINT_MS.1);
+        let slot = match self.admit(planned, retry_hint, deadline.as_ref()) {
+            Ok(slot) => slot,
+            Err(refusal) => return refusal,
+        };
+        // Injected slot hold: occupy admitted capacity without solving,
+        // deterministically driving queue overflow and drain windows.
+        if let Some(fault::Fault::Slow { millis }) =
+            fault::active(fault::SITE_SERVE_QUEUE, seq as usize)
+        {
+            std::thread::sleep(Duration::from_millis(millis));
+        }
+
+        let mut solve = solve.cancel(self.drain_cancel.clone());
+        if let Some(deadline) = deadline {
+            solve = solve.deadline(deadline);
+        }
         let item = self.engine.solve_pooled(&problem, &solve);
+        drop(slot);
         match item.outcome {
             Outcome::Ok | Outcome::Degraded => {
                 // ordering: monotonic counter
@@ -1188,35 +1625,128 @@ impl Server {
         }
     }
 
-    fn serve_connection(&self, mut stream: UnixStream) {
-        // Per-connection read deadline: a peer that connects and then
-        // goes silent must not pin a handler thread forever.
-        if let Some(limit) = self.cfg.read_timeout {
-            let _ = stream.set_read_timeout(Some(limit));
-        }
-        loop {
-            let msg = match read_message(&mut stream) {
-                Ok(Some(msg)) => msg,
-                // A clean goodbye (EOF on a message boundary).
-                Ok(None) => return,
-                Err(e) => {
-                    if read_timed_out(&e) {
-                        // ordering: monotonic counter
-                        self.timeouts.fetch_add(1, Ordering::Relaxed);
-                        // Best-effort: tell the peer why before hanging
-                        // up — it may still be listening.
-                        let resp = Response::Error {
-                            detail: e.to_string(),
-                        };
-                        let _ = write_message(&mut stream, &encode_response(&resp));
+    /// Fill `buf` completely, waking at every poll tick to re-check the
+    /// drain state and the silence clock. `at_boundary` marks a read
+    /// that sits between messages — only there may a drain close the
+    /// connection cleanly; mid-message the peer gets to finish its
+    /// frame (until the drain gives up and cancels).
+    fn fill_polled(&self, stream: &mut UnixStream, buf: &mut [u8], at_boundary: bool) -> FillEnd {
+        let mut filled = 0usize;
+        let mut quiet = Instant::now();
+        while filled < buf.len() {
+            match stream.read(&mut buf[filled..]) {
+                Ok(0) => return FillEnd::Eof(filled),
+                Ok(n) => {
+                    filled += n;
+                    quiet = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // The poll tick fired, not necessarily the timeout:
+                    // check the world, then keep waiting.
+                    if at_boundary && filled == 0 && self.stopping() {
+                        return FillEnd::Draining;
                     }
-                    // Timed out, vanished mid-message, or sent garbage
-                    // framing: the conversation is over either way.
+                    if self.drain_cancel.is_cancelled() {
+                        // The drain stopped being patient; nobody waits
+                        // for a half-composed message any more.
+                        return if at_boundary && filled == 0 {
+                            FillEnd::Draining
+                        } else {
+                            FillEnd::Torn
+                        };
+                    }
+                    if self
+                        .cfg
+                        .read_timeout
+                        .is_some_and(|limit| quiet.elapsed() >= limit)
+                    {
+                        return FillEnd::TimedOut;
+                    }
+                }
+                Err(_) => return FillEnd::Torn,
+            }
+        }
+        FillEnd::Full
+    }
+
+    /// Read one complete wire message, drain-aware: the server-side
+    /// counterpart of [`read_message`]. The socket's read timeout must
+    /// already be set to the poll tick.
+    fn read_message_polled(&self, stream: &mut UnixStream) -> NextMessage {
+        let mut prefix = [0u8; MESSAGE_PREFIX];
+        match self.fill_polled(stream, &mut prefix, true) {
+            FillEnd::Full => {}
+            FillEnd::Eof(0) => return NextMessage::Goodbye,
+            FillEnd::Eof(_) | FillEnd::Torn => return NextMessage::Torn,
+            FillEnd::Draining => return NextMessage::Draining,
+            FillEnd::TimedOut => return NextMessage::TimedOut,
+        }
+        // lint: allow(unwrap): the slice is exactly 4 bytes by construction
+        let len = u32::from_le_bytes(prefix[13..17].try_into().unwrap());
+        if len > MAX_FRAME_BYTES {
+            return NextMessage::Torn;
+        }
+        let mut msg = vec![0u8; MESSAGE_PREFIX + len as usize];
+        msg[..MESSAGE_PREFIX].copy_from_slice(&prefix);
+        match self.fill_polled(stream, &mut msg[MESSAGE_PREFIX..], false) {
+            FillEnd::Full => NextMessage::Msg(msg),
+            FillEnd::TimedOut => NextMessage::TimedOut,
+            FillEnd::Eof(_) | FillEnd::Torn | FillEnd::Draining => NextMessage::Torn,
+        }
+    }
+
+    fn serve_connection(&self, mut stream: UnixStream) {
+        // The socket wakes the reader every poll tick (or sooner, when
+        // the configured read timeout is tighter) so a blocked read can
+        // watch the drain state and the silence clock.
+        let tick = self
+            .cfg
+            .read_timeout
+            .map_or(POLL_TICK, |limit| limit.min(POLL_TICK));
+        let _ = stream.set_read_timeout(Some(tick));
+        // A peer that never drains its responses must not pin this
+        // thread any more than a silent one: mirror the limit on writes.
+        let _ = stream.set_write_timeout(self.cfg.read_timeout);
+        loop {
+            let msg = match self.read_message_polled(&mut stream) {
+                NextMessage::Msg(msg) => msg,
+                // Goodbye is the peer's clean close; Draining is ours;
+                // Torn peers (vanished mid-message, garbage framing)
+                // get no reply — the conversation is over either way.
+                NextMessage::Goodbye | NextMessage::Draining | NextMessage::Torn => return,
+                NextMessage::TimedOut => {
+                    // ordering: monotonic counter
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    // Best-effort: tell the peer why before hanging up —
+                    // it may still be listening.
+                    let resp = Response::Error {
+                        detail: "socket read timed out: peer stayed silent past the \
+                                 connection's read timeout"
+                            .to_string(),
+                    };
+                    let _ = write_message(&mut stream, &encode_response(&resp));
                     return;
                 }
             };
             let resp = match decode_request(&msg) {
-                Ok(req) => self.handle(&req),
+                Ok(req) => match catch_unwind(AssertUnwindSafe(|| self.handle(&req))) {
+                    Ok(resp) => resp,
+                    Err(_) => {
+                        // ordering: monotonic counter
+                        self.panicked.fetch_add(1, Ordering::Relaxed);
+                        Response::Error {
+                            detail: "internal error: the request handler panicked (the \
+                                     daemon recovered; this request was not solved)"
+                                .to_string(),
+                        }
+                    }
+                },
                 Err(e) => Response::Error {
                     detail: e.to_string(),
                 },
@@ -1226,16 +1756,74 @@ impl Server {
                 return;
             }
             if shutting_down {
-                // Unblock the accept loop so run() can observe the stop
-                // flag: a throwaway self-connection.
-                let _ = UnixStream::connect(&self.cfg.socket);
+                // The drain watcher owns the rest of the shutdown; this
+                // conversation is complete.
                 return;
             }
         }
     }
 
-    /// Bind the socket and serve until a shutdown request arrives.
-    /// Blocking; spawn it on a thread to drive the server in-process.
+    /// Wait until nothing runs or waits in the ledger. Returns whether
+    /// it went idle within `limit` (`None` waits without limit).
+    fn wait_idle(&self, limit: Option<Duration>) -> bool {
+        let started = Instant::now();
+        let mut led = lock(&self.ledger.state);
+        loop {
+            if led.running == 0 && led.queued == 0 {
+                return true;
+            }
+            let wait = match limit {
+                None => POLL_TICK,
+                Some(limit) => {
+                    let left = limit.saturating_sub(started.elapsed());
+                    if left.is_zero() {
+                        return false;
+                    }
+                    left.min(POLL_TICK)
+                }
+            };
+            led = self
+                .ledger
+                .changed
+                .wait_timeout(led, wait)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// The drain watcher: sleeps until a drain begins, shepherds
+    /// in-flight work out (cancelling stragglers at the drain timeout),
+    /// flushes the cache mem tier to disk, and stops the accept loop.
+    fn drain_and_stop(&self) {
+        {
+            let mut phase = lock(&self.phase);
+            while *phase == Phase::Running {
+                phase = self
+                    .phase_changed
+                    .wait(phase)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        let limit = self.cfg.drain_timeout.unwrap_or(DEFAULT_DRAIN_TIMEOUT);
+        if !self.wait_idle(Some(limit)) {
+            // Stragglers: cancel through the solves' supervision tokens,
+            // then give the cancellations one more drain window to land
+            // at their checkpoints.
+            self.drain_cancel.cancel();
+            self.wait_idle(Some(limit));
+        }
+        self.cache.flush();
+        // From here every polled reader gives up promptly, so the scope
+        // join cannot hang on an idle or half-written connection.
+        self.drain_cancel.cancel();
+        self.set_stopped();
+        // Unblock the accept loop so it can observe the stop.
+        let _ = UnixStream::connect(&self.cfg.socket);
+    }
+
+    /// Bind the socket and serve until a shutdown request arrives and
+    /// its graceful drain completes. Blocking; spawn it on a thread to
+    /// drive the server in-process.
     pub fn run(&self) -> Result<(), BpMaxError> {
         // A stale socket file from a killed daemon would fail the bind.
         let _ = std::fs::remove_file(&self.cfg.socket);
@@ -1244,12 +1832,28 @@ impl Server {
                 detail: format!("binding {}: {e}", self.cfg.socket.display()),
             })?;
         std::thread::scope(|scope| {
-            for conn in listener.incoming() {
-                if self.stopping() {
+            scope.spawn(|| self.drain_and_stop());
+            for (accepted, conn) in listener.incoming().enumerate() {
+                if self.phase() == Phase::Stopped {
                     break;
                 }
+                // Injected accept failure: drop the connection before a
+                // handler thread exists, exactly as a crashed accept
+                // would — the retrying client must survive it.
+                if fault::active(fault::SITE_SERVE_ACCEPT, accepted).is_some() {
+                    continue;
+                }
                 if let Ok(stream) = conn {
-                    scope.spawn(move || self.serve_connection(stream));
+                    scope.spawn(move || {
+                        // The handler path contains its own panics; this
+                        // outer belt keeps an unexpected one in the
+                        // read/write path from poisoning the scope join.
+                        if catch_unwind(AssertUnwindSafe(|| self.serve_connection(stream))).is_err()
+                        {
+                            // ordering: monotonic counter
+                            self.panicked.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
                 }
             }
         });
@@ -1307,6 +1911,103 @@ impl Client {
             other => Err(protocol(format!("expected shutdown ack, got {other:?}"))),
         }
     }
+
+    /// Submit a solve with capped, jittered retry on [`Overloaded`]
+    /// sheds and torn connections. Safe to call repeatedly for the same
+    /// request: the server's results are content-addressed, so a
+    /// duplicate attempt at worst lands a warm cache hit — retrying is
+    /// idempotent by construction.
+    ///
+    /// Each attempt opens a fresh connection (the previous one may be
+    /// the thing that tore). Typed non-transient answers — `Solved`,
+    /// budget/time `Rejected`, server `Error` — return immediately;
+    /// only overload sheds and transport failures burn attempts. When
+    /// the budget runs out the last failure comes back typed:
+    /// [`BpMaxError::Overloaded`] for a shed,
+    /// the transport error otherwise.
+    ///
+    /// [`Overloaded`]: RejectReason::Overloaded
+    pub fn solve_with_retry(
+        socket: &Path,
+        req: &SolveRequest,
+        policy: RetryPolicy,
+    ) -> Result<Response, BpMaxError> {
+        let attempts = policy.attempts.max(1);
+        let mut jitter = policy.seed | 1;
+        let mut attempt = 0u32;
+        loop {
+            let outcome = Client::connect(socket).and_then(|mut client| client.solve(req));
+            let (err, hint_ms) = match outcome {
+                Ok(Response::Rejected(RejectReason::Overloaded {
+                    inflight,
+                    depth,
+                    retry_after_ms,
+                })) => (
+                    BpMaxError::Overloaded {
+                        inflight,
+                        depth,
+                        retry_after_ms,
+                    },
+                    retry_after_ms,
+                ),
+                // A torn connection or a refused connect is transient:
+                // the daemon may be busy accepting or mid-restart.
+                Err(e @ (BpMaxError::Protocol { .. } | BpMaxError::InvalidArgument { .. })) => {
+                    (e, 0)
+                }
+                other => return other,
+            };
+            attempt += 1;
+            if attempt >= attempts {
+                return Err(err);
+            }
+            std::thread::sleep(policy.backoff(attempt - 1, hint_ms, &mut jitter));
+        }
+    }
+}
+
+/// Backoff policy for [`Client::solve_with_retry`]: capped exponential
+/// growth from `base`, scaled by a deterministic jitter in `[0.5, 1.5)`
+/// so a herd of shed clients does not return in lockstep, and never
+/// sleeping less than the server's `retry_after_ms` hint asks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included); clamped to at least 1.
+    pub attempts: u32,
+    /// First backoff step; doubles each further attempt.
+    pub base: Duration,
+    /// Ceiling on any single sleep.
+    pub cap: Duration,
+    /// Seed for the deterministic jitter stream (same seed → same
+    /// sleeps, so tests reproduce).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(1),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based), given the
+    /// server's `retry_after_ms` hint. `state` carries the jitter
+    /// stream between calls.
+    fn backoff(&self, attempt: u32, hint_ms: u64, state: &mut u64) -> Duration {
+        // xorshift64 — deterministic, no external RNG needed.
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        let jitter = 0.5 + (*state >> 11) as f64 / (1u64 << 53) as f64;
+        let exp_s = self.base.as_secs_f64() * (1u64 << attempt.min(16)) as f64;
+        let want_s = exp_s.max(hint_ms as f64 / 1000.0);
+        Duration::from_secs_f64((want_s * jitter).min(self.cap.as_secs_f64()))
+    }
 }
 
 #[cfg(test)]
@@ -1345,7 +2046,8 @@ mod tests {
                     .simd(false),
             )
             .mem_budget(1 << 20)
-            .degrade(true);
+            .degrade(true)
+            .deadline(Duration::from_millis(1500));
         let wire = encode_request(&Request::Solve(req.clone()));
         assert_eq!(decode_request(&wire).unwrap(), Request::Solve(req));
     }
@@ -1381,6 +2083,11 @@ mod tests {
                 predicted_s: 120.0,
                 cap_s: 1.5,
             }),
+            Response::Rejected(RejectReason::Overloaded {
+                inflight: 8,
+                depth: 4,
+                retry_after_ms: 250,
+            }),
             Response::Error {
                 detail: "protocol error: bad magic".to_string(),
             },
@@ -1391,6 +2098,10 @@ mod tests {
                 rejects: 1,
                 evictions: 5,
                 timeouts: 2,
+                inflight: 7,
+                shed: 11,
+                drained: 8,
+                panicked: 1,
                 pool: PoolStats {
                     allocated: 4,
                     reused: 9,
@@ -1636,6 +2347,314 @@ mod tests {
             drop(ours); // clean goodbye unblocks the handler
         });
         assert_eq!(server.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_typed_overload_and_recovers() {
+        let server = Server::new(ServerConfig {
+            max_inflight: Some(1),
+            queue_depth: Some(0),
+            queue_wait: Some(Duration::from_millis(50)),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        // Occupy the single slot by hand, as a running solve would.
+        let slot = server.admit(0, 123, None).unwrap();
+        match server.handle(&Request::Solve(request())) {
+            Response::Rejected(RejectReason::Overloaded {
+                inflight: 1,
+                depth: 0,
+                retry_after_ms,
+            }) => assert!(retry_after_ms >= RETRY_HINT_MS.0),
+            other => panic!("{other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.inflight, 1);
+        assert_eq!(stats.rejects, 0, "sheds are not admission rejects");
+        drop(slot);
+        assert_eq!(server.stats().inflight, 0);
+        match server.handle(&Request::Solve(request())) {
+            Response::Solved {
+                cache_hit: false, ..
+            } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_wait_timeout_sheds_instead_of_waiting_forever() {
+        let server = Server::new(ServerConfig {
+            max_inflight: Some(1),
+            queue_wait: Some(Duration::from_millis(30)),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let _slot = server.admit(0, 99, None).unwrap();
+        let t0 = Instant::now();
+        // Unbounded queue depth: the request queues, waits out the
+        // 30 ms budget, and is shed — never an unbounded wait.
+        match server.handle(&Request::Solve(request())) {
+            Response::Rejected(RejectReason::Overloaded { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        assert_eq!(server.stats().shed, 1);
+    }
+
+    #[test]
+    fn queued_request_runs_when_capacity_frees() {
+        let server = Server::new(ServerConfig {
+            max_inflight: Some(1),
+            queue_depth: Some(4),
+            queue_wait: Some(Duration::from_secs(5)),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let slot = server.admit(0, 99, None).unwrap();
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| server.handle(&Request::Solve(request())));
+            std::thread::sleep(Duration::from_millis(30));
+            drop(slot);
+            match waiter.join().unwrap() {
+                Response::Solved {
+                    cache_hit: false, ..
+                } => {}
+                other => panic!("{other:?}"),
+            }
+        });
+        assert_eq!(server.stats().shed, 0);
+    }
+
+    #[test]
+    fn aggregate_budget_blocks_concurrent_requests_that_fit_alone() {
+        let server = Server::new(ServerConfig {
+            mem_budget: Some(64 << 10),
+            queue_depth: Some(0),
+            queue_wait: Some(Duration::from_millis(40)),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        // Occupy the entire aggregate byte budget.
+        let slot = server.admit(64 << 10, 77, None).unwrap();
+        // This request fits the per-request budget easily, but the
+        // ledger has no aggregate room: shed, not Memory-rejected.
+        match server.handle(&Request::Solve(request())) {
+            Response::Rejected(RejectReason::Overloaded { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        drop(slot);
+        match server.handle(&Request::Solve(request())) {
+            Response::Solved { .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_deadline_bounds_the_queue_wait() {
+        let server = Server::new(ServerConfig {
+            max_inflight: Some(1),
+            queue_wait: Some(Duration::from_secs(30)),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let _slot = server.admit(0, 50, None).unwrap();
+        let req = request().deadline(Duration::from_millis(40));
+        let t0 = Instant::now();
+        match server.handle(&Request::Solve(req)) {
+            Response::Error { detail } => {
+                assert!(detail.contains("deadline exceeded"), "{detail}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn drain_refuses_new_solves_but_answers_stats_and_shutdown() {
+        let server = Server::new(ServerConfig::default()).unwrap();
+        assert!(matches!(
+            server.handle(&Request::Solve(request())),
+            Response::Solved { .. }
+        ));
+        server.begin_drain();
+        // Even a request the cache could answer is refused: the daemon
+        // is going away, the client must move on.
+        match server.handle(&Request::Solve(request())) {
+            Response::Error { detail } => assert!(detail.contains("draining"), "{detail}"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(server.handle(&Request::Stats), Response::Stats(_)));
+        // A second shutdown is an idempotent ack, not an error.
+        assert!(matches!(
+            server.handle(&Request::Shutdown),
+            Response::ShuttingDown
+        ));
+    }
+
+    #[test]
+    fn drain_wakes_queued_waiters_with_the_refusal() {
+        let server = Server::new(ServerConfig {
+            max_inflight: Some(1),
+            queue_depth: Some(4),
+            queue_wait: Some(Duration::from_secs(30)),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let _slot = server.admit(0, 50, None).unwrap();
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| server.handle(&Request::Solve(request())));
+            std::thread::sleep(Duration::from_millis(30));
+            let t0 = Instant::now();
+            server.begin_drain();
+            match waiter.join().unwrap() {
+                Response::Error { detail } => assert!(detail.contains("draining"), "{detail}"),
+                other => panic!("{other:?}"),
+            }
+            // The waiter must be woken promptly, not ride out its 30 s
+            // queue-wait budget.
+            assert!(t0.elapsed() < Duration::from_secs(5));
+        });
+    }
+
+    #[test]
+    fn poisoned_cache_lock_does_not_kill_the_daemon() {
+        let server = Server::new(ServerConfig::default()).unwrap();
+        // Poison the cache mutex exactly as a panicking handler would.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = server.cache.mem.lock().unwrap();
+            panic!("poison the cache lock");
+        }));
+        assert!(server.cache.mem.lock().is_err(), "mutex should be poisoned");
+        // Solving still works: the locking is poison-tolerant.
+        assert!(matches!(
+            server.handle(&Request::Solve(request())),
+            Response::Solved { .. }
+        ));
+    }
+
+    #[test]
+    fn cache_flush_recovers_the_disk_tier() {
+        let dir = tmpdir("flush");
+        let server = Server::new(ServerConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        assert!(matches!(
+            server.handle(&Request::Solve(request())),
+            Response::Solved { .. }
+        ));
+        // Sabotage the disk tier (as a transiently full disk at put
+        // time would); the drain-time flush must re-cover every entry.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            std::fs::remove_file(entry.unwrap().path()).unwrap();
+        }
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        server.cache.flush();
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_recovers_from_overload_and_torn_connections() {
+        let dir = tmpdir("retry");
+        let socket = dir.join("sock");
+        let listener = UnixListener::bind(&socket).unwrap();
+        let fake = std::thread::spawn(move || {
+            // 1st attempt: shed. 2nd: torn (close without replying).
+            // 3rd: solved.
+            for round in 0..3 {
+                let (mut conn, _) = listener.accept().unwrap();
+                let msg = read_message(&mut conn).unwrap().unwrap();
+                assert!(matches!(decode_request(&msg).unwrap(), Request::Solve(_)));
+                match round {
+                    0 => {
+                        let resp = Response::Rejected(RejectReason::Overloaded {
+                            inflight: 1,
+                            depth: 0,
+                            retry_after_ms: 1,
+                        });
+                        write_message(&mut conn, &encode_response(&resp)).unwrap();
+                    }
+                    1 => drop(conn),
+                    _ => {
+                        let resp = Response::Solved {
+                            score: 42.0,
+                            outcome: Outcome::Ok,
+                            seconds: 0.0,
+                            cache_hit: false,
+                        };
+                        write_message(&mut conn, &encode_response(&resp)).unwrap();
+                    }
+                }
+            }
+        });
+        let policy = RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(5),
+            seed: 7,
+        };
+        let resp = Client::solve_with_retry(&socket, &request(), policy).unwrap();
+        assert!(matches!(resp, Response::Solved { score, .. } if score == 42.0));
+        fake.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_a_typed_overload_error() {
+        let dir = tmpdir("retry-cap");
+        let socket = dir.join("sock");
+        let listener = UnixListener::bind(&socket).unwrap();
+        let fake = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (mut conn, _) = listener.accept().unwrap();
+                let _ = read_message(&mut conn).unwrap().unwrap();
+                let resp = Response::Rejected(RejectReason::Overloaded {
+                    inflight: 9,
+                    depth: 3,
+                    retry_after_ms: 2,
+                });
+                write_message(&mut conn, &encode_response(&resp)).unwrap();
+            }
+        });
+        let policy = RetryPolicy {
+            attempts: 2,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(4),
+            seed: 11,
+        };
+        let err = Client::solve_with_retry(&socket, &request(), policy).unwrap_err();
+        assert_eq!(
+            err,
+            BpMaxError::Overloaded {
+                inflight: 9,
+                depth: 3,
+                retry_after_ms: 2,
+            }
+        );
+        fake.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_hint_respecting() {
+        let policy = RetryPolicy::default();
+        let mut a = policy.seed | 1;
+        let mut b = policy.seed | 1;
+        let mut last = Duration::ZERO;
+        for attempt in 0..6 {
+            let x = policy.backoff(attempt, 100, &mut a);
+            let y = policy.backoff(attempt, 100, &mut b);
+            assert_eq!(x, y, "same seed must give the same sleeps");
+            assert!(x <= policy.cap);
+            // Jitter floor is 0.5: never sleep less than half the
+            // server's hint.
+            assert!(x >= Duration::from_millis(50), "{x:?}");
+            last = last.max(x);
+        }
+        assert!(last > Duration::from_millis(50), "backoff should grow");
     }
 
     #[test]

@@ -101,6 +101,13 @@ impl Deadline {
         self.started.elapsed().as_secs_f64()
     }
 
+    /// Time left before the deadline passes (zero once it has). The
+    /// serve daemon caps a request's queue wait by this, so queue time
+    /// counts against the same clock as solve time.
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
     /// The earlier of two optional deadlines.
     pub(crate) fn earlier(a: Option<Deadline>, b: Option<Deadline>) -> Option<Deadline> {
         match (a, b) {
@@ -478,6 +485,20 @@ pub mod fault {
     /// Any fault makes the checked worker look stale, forcing a
     /// deterministic kill-and-respawn.
     pub const SITE_HEARTBEAT: &str = "coordinator.heartbeat";
+    /// Site: one accepted serve-daemon connection (index = accept
+    /// ordinal). Any fault drops the connection before a handler thread
+    /// exists — the deterministic stand-in for an accept-time failure
+    /// that the retrying client must survive.
+    pub const SITE_SERVE_ACCEPT: &str = "serve.accept";
+    /// Site: one serve-daemon request handler (index = request
+    /// ordinal). `Panic` unwinds inside the handler, exercising the
+    /// daemon's `catch_unwind` isolation + `panicked` counter.
+    pub const SITE_SERVE_HANDLER: &str = "serve.handler";
+    /// Site: one admitted serve-daemon solve (index = request ordinal).
+    /// `Slow { millis }` holds the admission slot that long before the
+    /// solve runs, deterministically driving queue overflow and drain
+    /// windows in the overload tests.
+    pub const SITE_SERVE_QUEUE: &str = "serve.queue";
 
     /// One injected fault.
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -227,6 +227,134 @@ fn seeded_plans_fault_deterministically() {
     );
 }
 
+mod serve_faults {
+    //! Injected faults inside the solve daemon: a panicking request
+    //! handler must be contained by the connection loop's catch_unwind
+    //! (typed error reply, counter, daemon keeps serving), and a
+    //! connection dropped at accept must be recovered by the client's
+    //! retry loop. Same global registry, same [`Armed`] serialization.
+
+    use super::Armed;
+    use bpmax::serve::{Client, Response, RetryPolicy, Server, ServerConfig, SolveRequest};
+    use bpmax::supervise::fault::{self, Fault, FaultPlan};
+    use bpmax::{BpMaxProblem, SolveOptions};
+    use rna::ScoringModel;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    fn tmp_socket(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bpmax-fault-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("bpmax.sock")
+    }
+
+    /// Start a daemon and wait for the socket. The readiness probe is
+    /// exactly one successful connect, so it consumes accept ordinal 0
+    /// and no request ordinal — fault indices stay deterministic.
+    fn start(cfg: ServerConfig) -> (Arc<Server>, std::thread::JoinHandle<()>) {
+        let server = Arc::new(Server::new(cfg).unwrap());
+        let runner = Arc::clone(&server);
+        let handle = std::thread::spawn(move || runner.run().unwrap());
+        let socket = server.cfg().socket.clone();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Client::connect(&socket).is_err() {
+            assert!(Instant::now() < deadline, "daemon never came up");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        (server, handle)
+    }
+
+    fn req() -> SolveRequest {
+        SolveRequest::new(
+            "GGGAAACCC".parse().unwrap(),
+            "UUUGG".parse().unwrap(),
+            ScoringModel::bpmax_default(),
+        )
+    }
+
+    fn reference() -> f32 {
+        BpMaxProblem::new(
+            "GGGAAACCC".parse().unwrap(),
+            "UUUGG".parse().unwrap(),
+            ScoringModel::bpmax_default(),
+        )
+        .solve_opts(&SolveOptions::new())
+        .unwrap()
+        .score()
+    }
+
+    #[test]
+    fn handler_panic_is_contained_and_the_daemon_keeps_serving() {
+        // request ordinal 0 is the first solve (the readiness probe
+        // sends no request)
+        let _armed = Armed::new(FaultPlan::new().fail(fault::SITE_SERVE_HANDLER, 0, Fault::Panic));
+        let (server, handle) = start(ServerConfig {
+            socket: tmp_socket("handler-panic"),
+            ..ServerConfig::default()
+        });
+        let socket = server.cfg().socket.clone();
+
+        // the faulted request gets a typed error, not a dead socket
+        let mut client = Client::connect(&socket).unwrap();
+        match client.solve(&req()).unwrap() {
+            Response::Error { detail } => {
+                assert!(detail.contains("panicked"), "{detail}");
+            }
+            other => panic!("expected a panic-isolation error, got {other:?}"),
+        }
+
+        // the daemon recovered: the next solve (ordinal 1) is correct
+        let mut client = Client::connect(&socket).unwrap();
+        match client.solve(&req()).unwrap() {
+            Response::Solved { score, .. } => {
+                assert_eq!(score.to_bits(), reference().to_bits());
+            }
+            other => panic!("expected Solved after recovery, got {other:?}"),
+        }
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.panicked, 1, "{stats:?}");
+        assert_eq!(stats.solves, 1, "{stats:?}");
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn connections_dropped_at_accept_are_recovered_by_retry() {
+        // accept ordinal 0 is the readiness probe; drop the next two
+        // connections before a byte is read
+        let _armed = Armed::new(
+            FaultPlan::new()
+                .fail(fault::SITE_SERVE_ACCEPT, 1, Fault::Panic)
+                .fail(fault::SITE_SERVE_ACCEPT, 2, Fault::Panic),
+        );
+        let (server, handle) = start(ServerConfig {
+            socket: tmp_socket("accept-drop"),
+            ..ServerConfig::default()
+        });
+        let socket = server.cfg().socket.clone();
+
+        // attempts 1 and 2 land on dropped connections; attempt 3 wins
+        let policy = RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        };
+        match Client::solve_with_retry(&socket, &req(), policy).unwrap() {
+            Response::Solved { score, .. } => {
+                assert_eq!(score.to_bits(), reference().to_bits());
+            }
+            other => panic!("expected Solved via retry, got {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.solves, 1, "{stats:?}");
+        assert_eq!(stats.panicked, 0, "an accept drop is not a panic");
+        Client::connect(&socket).unwrap().shutdown().unwrap();
+        handle.join().unwrap();
+    }
+}
+
 #[test]
 fn disarmed_registry_is_clean() {
     // Armed's Drop must leave nothing behind for later tests/waves.

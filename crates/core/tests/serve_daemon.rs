@@ -198,3 +198,182 @@ fn server_side_budget_rejects_without_request_opt_in() {
     handle.join().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Chaos: a storm of garbage, torn, vanishing, and silent clients
+/// running alongside correct ones. Every well-formed request must be
+/// answered bit-identically to a reference solve; the broken peers must
+/// not panic the daemon, wedge a worker thread, or shed anyone; and the
+/// daemon must still shut down cleanly afterwards.
+#[test]
+fn chaos_storm_of_broken_clients_does_not_break_correct_ones() {
+    use bpmax::serve::{encode_request, Request};
+    use std::io::Write;
+    use std::os::unix::net::UnixStream;
+
+    let dir = tmpdir("chaos");
+    let cfg = ServerConfig {
+        socket: dir.join("bpmax.sock"),
+        read_timeout: Some(Duration::from_millis(200)),
+        ..ServerConfig::default()
+    };
+    let socket = cfg.socket.clone();
+    let (server, handle) = start(cfg);
+
+    let pairs: &[(&str, &str)] = &[
+        ("GGGAAACCC", "UUUGG"),
+        ("GGCAUUCC", "AUGGCAU"),
+        ("GCGCGC", "GCGC"),
+        ("GGAUCGAC", "CCGAUG"),
+    ];
+    std::thread::scope(|scope| {
+        // correct clients, one per problem, scored against references
+        for (s1, s2) in pairs {
+            let socket = &socket;
+            scope.spawn(move || {
+                let mut client = Client::connect(socket).unwrap();
+                let (score, _) = solved_score(client.solve(&req(s1, s2)).unwrap());
+                let reference = BpMaxProblem::new(
+                    s1.parse().unwrap(),
+                    s2.parse().unwrap(),
+                    ScoringModel::bpmax_default(),
+                )
+                .solve_opts(&SolveOptions::new())
+                .unwrap()
+                .score();
+                assert_eq!(score.to_bits(), reference.to_bits(), "{s1} x {s2}");
+            });
+        }
+        // garbage clients: junk bytes that never were a frame
+        for _ in 0..3 {
+            let socket = &socket;
+            scope.spawn(move || {
+                let mut s = UnixStream::connect(socket).unwrap();
+                let _ = s.write_all(&[0xA5u8; 64]);
+            });
+        }
+        // vanishing clients: connect, say nothing, hang up
+        for _ in 0..3 {
+            let socket = &socket;
+            scope.spawn(move || {
+                let _ = UnixStream::connect(socket).unwrap();
+            });
+        }
+        // torn clients: half a valid frame, then hang up mid-message
+        for _ in 0..2 {
+            let socket = &socket;
+            scope.spawn(move || {
+                let wire = encode_request(&Request::Stats);
+                let mut s = UnixStream::connect(socket).unwrap();
+                let _ = s.write_all(&wire[..10]);
+            });
+        }
+        // a silent client that outstays the read timeout
+        let socket = &socket;
+        scope.spawn(move || {
+            let s = UnixStream::connect(socket).unwrap();
+            std::thread::sleep(Duration::from_millis(500));
+            drop(s);
+        });
+    });
+
+    // the storm is over; the daemon must be fully healthy
+    let mut client = Client::connect(&socket).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.solves, 4, "{stats:?}");
+    assert_eq!(stats.panicked, 0, "{stats:?}");
+    assert_eq!(stats.shed, 0, "{stats:?}");
+    assert_eq!(stats.inflight, 0, "{stats:?}");
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    assert!(!socket.exists(), "socket removed on shutdown");
+    assert_eq!(server.stats().panicked, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Graceful drain: a shutdown that lands mid-solve lets the in-flight
+/// request finish (bit-identical answer), refuses new solves with a
+/// typed drain error, flushes the cache to the disk tier, and exits the
+/// accept loop cleanly. A restarted daemon inherits the warm entry.
+#[test]
+fn drain_finishes_inflight_refuses_new_solves_and_flushes_the_cache() {
+    // ~1 s of solving in a debug build: wide enough to observe
+    // in-flight via the gauge and land a shutdown in the middle
+    const BIG1: &str = "GGGAAACCCGGGAAACCCGGGAAACCCGGGAAACCC";
+    const BIG2: &str = "UUUGGCAUGCAUGCAUGCAUGCAUGCAUGCAUGCAU";
+
+    let dir = tmpdir("drain");
+    let cfg = ServerConfig {
+        socket: dir.join("bpmax.sock"),
+        cache_dir: Some(dir.join("cache")),
+        drain_timeout: Some(Duration::from_secs(60)),
+        ..ServerConfig::default()
+    };
+    let socket = cfg.socket.clone();
+    let (server, handle) = start(cfg);
+
+    let solver = std::thread::spawn({
+        let socket = socket.clone();
+        move || {
+            let mut client = Client::connect(&socket).unwrap();
+            solved_score(client.solve(&req(BIG1, BIG2)).unwrap())
+        }
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().inflight == 0 {
+        assert!(Instant::now() < deadline, "solve never became in-flight");
+        assert!(
+            !solver.is_finished(),
+            "solve finished before it could be observed in flight"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // shutdown acknowledges immediately and starts the drain
+    Client::connect(&socket).unwrap().shutdown().unwrap();
+
+    // while the big solve drains, new solves get the typed refusal
+    let mut probe = Client::connect(&socket).unwrap();
+    match probe.solve(&req("GGG", "CCC")) {
+        Ok(Response::Error { detail }) => {
+            assert!(detail.contains("draining"), "{detail}");
+        }
+        other => panic!("expected a drain refusal, got {other:?}"),
+    }
+
+    // the in-flight solve still finishes, bit-identical to a reference
+    let (score, _) = solver.join().unwrap();
+    let reference = BpMaxProblem::new(
+        BIG1.parse().unwrap(),
+        BIG2.parse().unwrap(),
+        ScoringModel::bpmax_default(),
+    )
+    .solve_opts(&SolveOptions::new())
+    .unwrap()
+    .score();
+    assert_eq!(score.to_bits(), reference.to_bits());
+
+    // the accept loop exits on its own once the drain completes
+    handle.join().unwrap();
+    assert!(!socket.exists(), "socket removed after drain");
+    let stats = server.stats();
+    assert!(stats.drained >= 1, "{stats:?}");
+    assert_eq!(stats.panicked, 0, "{stats:?}");
+
+    // the flushed disk tier answers a restarted daemon warm, without
+    // ever running the solver
+    let cfg = ServerConfig {
+        socket: dir.join("bpmax2.sock"),
+        cache_dir: Some(dir.join("cache")),
+        ..ServerConfig::default()
+    };
+    let socket2 = cfg.socket.clone();
+    let (server2, handle2) = start(cfg);
+    let mut client = Client::connect(&socket2).unwrap();
+    let (revived, hit) = solved_score(client.solve(&req(BIG1, BIG2)).unwrap());
+    assert!(hit, "drained cache must answer the restarted daemon warm");
+    assert_eq!(revived.to_bits(), score.to_bits());
+    assert_eq!(server2.stats().solves, 0, "answered from disk, not solved");
+    client.shutdown().unwrap();
+    handle2.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -68,18 +68,23 @@ fn solve_request() -> impl Strategy<Value = SolveRequest> {
         seq(9),
         model(),
         profile(),
-        opt(any::<u64>()),
+        (opt(any::<u64>()), opt(0u64..1 << 40)),
         any::<bool>(),
     )
-        .prop_map(|(s1, s2, model, profile, mem_budget, degrade)| {
-            let mut req = SolveRequest::new(s1, s2, model)
-                .profile(profile)
-                .degrade(degrade);
-            if let Some(b) = mem_budget {
-                req = req.mem_budget(b);
-            }
-            req
-        })
+        .prop_map(
+            |(s1, s2, model, profile, (mem_budget, deadline_ms), degrade)| {
+                let mut req = SolveRequest::new(s1, s2, model)
+                    .profile(profile)
+                    .degrade(degrade);
+                if let Some(b) = mem_budget {
+                    req = req.mem_budget(b);
+                }
+                if let Some(ms) = deadline_ms {
+                    req = req.deadline(std::time::Duration::from_millis(ms));
+                }
+                req
+            },
+        )
 }
 
 fn response() -> impl Strategy<Value = Response> {
@@ -110,8 +115,15 @@ fn response() -> impl Strategy<Value = Response> {
         (0.0f64..1e6, 0.0f64..1e6).prop_map(|(predicted_s, cap_s)| Response::Rejected(
             RejectReason::PredictedTime { predicted_s, cap_s }
         )),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(inflight, depth, retry_after_ms)| {
+            Response::Rejected(RejectReason::Overloaded {
+                inflight,
+                depth,
+                retry_after_ms,
+            })
+        }),
         detail.prop_map(|detail| Response::Error { detail }),
-        proptest::collection::vec(any::<u64>(), 10..=10).prop_map(|v| Response::Stats(
+        proptest::collection::vec(any::<u64>(), 14..=14).prop_map(|v| Response::Stats(
             ServerStats {
                 requests: v[0],
                 cache_hits: v[1],
@@ -119,11 +131,15 @@ fn response() -> impl Strategy<Value = Response> {
                 rejects: v[3],
                 evictions: v[4],
                 timeouts: v[5],
+                inflight: v[6],
+                shed: v[7],
+                drained: v[8],
+                panicked: v[9],
                 pool: PoolStats {
-                    allocated: v[6],
-                    reused: v[7],
-                    recycled: v[8],
-                    quarantined: v[9],
+                    allocated: v[10],
+                    reused: v[11],
+                    recycled: v[12],
+                    quarantined: v[13],
                 },
             }
         )),
@@ -200,6 +216,10 @@ fn every_byte_flip_is_rejected() {
         rejects: 1,
         evictions: 3,
         timeouts: 1,
+        inflight: 2,
+        shed: 5,
+        drained: 4,
+        panicked: 1,
         pool: PoolStats::default(),
     });
     let wire = encode_response(&resp);

@@ -40,6 +40,7 @@ run ablation_sched_policy
 run bench_batch_throughput
 run bench_simd_kernel
 run bench_serve
+run bench_serve_load
 run future_register_tiling
 run future_mpi_cluster
 
